@@ -1,0 +1,197 @@
+// swve — command-line front end.
+//
+//   swve align  [options] QUERY.fa TARGET.fa     pairwise alignment
+//   swve search [options] QUERY.fa DB.fa         scenario-1 database search
+//   swve batch  [options] QUERIES.fa DB.fa       scenario-2 batched server
+//   swve info                                    CPU/ISA/build report
+//
+// Common options:
+//   --matrix NAME        blosum45/50/62/80/90, pam120/250, dna_iupac
+//   --match N --mismatch N   fixed scoring instead of a matrix
+//   --open N --extend N  affine gap penalties (default 11/1)
+//   --linear N           linear gap penalty N
+//   --band N             banded alignment |i-j| <= N
+//   --isa NAME           scalar/sse41/avx2/avx512/auto
+//   --width 8|16|32|auto DP integer width
+//   --top K              hits per query (search/batch; default 10)
+//   --threads N          worker threads (default: hardware)
+//   --dna                parse sequences with the DNA alphabet
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "swve.hpp"
+
+using namespace swve;
+
+namespace {
+
+struct CliOptions {
+  align::AlignConfig cfg;
+  std::string matrix_name = "blosum62";
+  size_t top_k = 10;
+  unsigned threads = 0;
+  bool dna = false;
+  std::vector<std::string> positional;
+};
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fputs(
+      "usage: swve <align|search|batch|info> [options] FILES...\n"
+      "  swve align  QUERY.fa TARGET.fa   pairwise (first record of each)\n"
+      "  swve search QUERY.fa DB.fa       one query vs database, top hits\n"
+      "  swve batch  QUERIES.fa DB.fa     many queries vs database\n"
+      "  swve info                        CPU / ISA / calibration report\n"
+      "options: --matrix NAME | --match N --mismatch N | --open N --extend N\n"
+      "         --linear N | --band N | --isa NAME | --width 8|16|32|auto\n"
+      "         --top K | --threads N | --dna\n",
+      stderr);
+  std::exit(2);
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions o;
+  bool fixed = false;
+  for (int i = 2; i < argc; ++i) {
+    std::string s = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(("missing value for " + s).c_str());
+      return argv[++i];
+    };
+    if (s == "--matrix") o.matrix_name = next();
+    else if (s == "--match") { o.cfg.match = std::atoi(next()); fixed = true; }
+    else if (s == "--mismatch") { o.cfg.mismatch = std::atoi(next()); fixed = true; }
+    else if (s == "--open") o.cfg.gap_open = std::atoi(next());
+    else if (s == "--extend") o.cfg.gap_extend = std::atoi(next());
+    else if (s == "--linear") {
+      o.cfg.gap_model = core::GapModel::Linear;
+      o.cfg.gap_extend = std::atoi(next());
+    } else if (s == "--band") o.cfg.band = std::atoi(next());
+    else if (s == "--isa") o.cfg.isa = simd::isa_from_string(next());
+    else if (s == "--width") {
+      std::string w = next();
+      o.cfg.width = w == "8"    ? core::Width::W8
+                    : w == "16" ? core::Width::W16
+                    : w == "32" ? core::Width::W32
+                                : core::Width::Adaptive;
+    } else if (s == "--top") o.top_k = std::strtoul(next(), nullptr, 10);
+    else if (s == "--threads") o.threads = static_cast<unsigned>(std::atoi(next()));
+    else if (s == "--dna") o.dna = true;
+    else if (s == "--help") usage();
+    else if (s.rfind("--", 0) == 0) usage(("unknown option " + s).c_str());
+    else o.positional.push_back(s);
+  }
+  if (fixed) {
+    o.cfg.scheme = core::ScoreScheme::Fixed;
+  } else {
+    const matrix::ScoreMatrix* m = matrix::ScoreMatrix::find(o.matrix_name);
+    if (!m) usage(("unknown matrix " + o.matrix_name).c_str());
+    o.cfg.matrix = m;
+    if (m->alphabet().kind() == seq::AlphabetKind::Dna) o.dna = true;
+  }
+  o.cfg.validate();
+  return o;
+}
+
+const seq::Alphabet& alpha(const CliOptions& o) {
+  return o.dna ? seq::Alphabet::dna() : seq::Alphabet::protein();
+}
+
+int cmd_info() {
+  const auto& f = simd::cpu_features();
+  std::printf("swve %s\n", "1.0.0");
+  std::printf("cpu: sse4.1=%d avx2=%d avx512(bw/vl)=%d vbmi=%d, %u hardware threads\n",
+              f.sse41, f.avx2, f.avx512bw_vl, f.avx512vbmi, f.hardware_threads);
+  std::printf("resolved ISA: %s\n", simd::isa_name(simd::resolve_isa(simd::Isa::Auto)));
+  perf::FreqSample fs = perf::measure_frequency(50);
+  std::printf("effective frequency: %.2f GHz\n", fs.ghz);
+  std::printf("built-in matrices:");
+  for (const auto& n : matrix::ScoreMatrix::builtin_names()) std::printf(" %s", n.c_str());
+  std::printf(" dna_iupac\n");
+  return 0;
+}
+
+int cmd_align(const CliOptions& o) {
+  if (o.positional.size() != 2) usage("align needs QUERY.fa TARGET.fa");
+  auto qs = seq::read_fasta_file(o.positional[0], alpha(o));
+  auto ts = seq::read_fasta_file(o.positional[1], alpha(o));
+  if (qs.empty() || ts.empty()) usage("empty FASTA input");
+  align::AlignConfig cfg = o.cfg;
+  cfg.traceback = true;
+  cfg.max_traceback_cells = uint64_t{1} << 34;
+  align::Aligner aligner(cfg);
+  core::Alignment a = aligner.align(qs[0], ts[0]);
+  align::AlignmentStats st = align::alignment_stats(qs[0], ts[0], a);
+  std::printf("%s x %s: score %d, identity %.1f%%, cigar %s\n", qs[0].id().c_str(),
+              ts[0].id().c_str(), a.score, 100 * st.identity(),
+              a.cigar.to_string().c_str());
+  std::printf("query [%d,%d]  target [%d,%d]  (%s, %d-bit%s)\n\n", a.begin_query,
+              a.end_query, a.begin_ref, a.end_ref, simd::isa_name(a.isa_used),
+              a.width_used == core::Width::W8 ? 8
+              : a.width_used == core::Width::W16 ? 16 : 32,
+              a.saturated_8 ? ", 8-bit saturated" : "");
+  std::fputs(align::format_alignment(qs[0], ts[0], a).c_str(), stdout);
+  return 0;
+}
+
+int cmd_search(const CliOptions& o) {
+  if (o.positional.size() != 2) usage("search needs QUERY.fa DB.fa");
+  auto qs = seq::read_fasta_file(o.positional[0], alpha(o));
+  if (qs.empty()) usage("empty query FASTA");
+  seq::SequenceDatabase db =
+      seq::SequenceDatabase::from_fasta_file(o.positional[1], alpha(o));
+  parallel::ThreadPool pool(o.threads);
+  align::DatabaseSearch search(db, o.cfg);
+  align::SearchResult res = search.search(qs[0], o.top_k, &pool);
+  std::fprintf(stderr, "searched %zu sequences (%llu residues) in %.3f s, %.2f GCUPS\n",
+               db.size(), static_cast<unsigned long long>(db.total_residues()),
+               res.seconds, res.gcups());
+  std::printf("query\ttarget\tscore\tend_q\tend_t\n");
+  for (const auto& h : res.hits)
+    std::printf("%s\t%s\t%d\t%d\t%d\n", qs[0].id().c_str(),
+                db[h.seq_index].id().c_str(), h.score, h.end_query, h.end_ref);
+  return 0;
+}
+
+int cmd_batch(const CliOptions& o) {
+  if (o.positional.size() != 2) usage("batch needs QUERIES.fa DB.fa");
+  auto qs = seq::read_fasta_file(o.positional[0], alpha(o));
+  if (qs.empty()) usage("empty queries FASTA");
+  seq::SequenceDatabase db =
+      seq::SequenceDatabase::from_fasta_file(o.positional[1], alpha(o));
+  parallel::ThreadPool pool(o.threads);
+  align::BatchServer server(db, o.cfg);
+  perf::Stopwatch sw;
+  auto results = server.run(qs, o.top_k, &pool);
+  uint64_t cells = 0;
+  for (const auto& q : qs) cells += q.length() * db.total_residues();
+  std::fprintf(stderr, "%zu queries x %zu sequences in %.3f s, %.2f GCUPS (%d lanes)\n",
+               qs.size(), db.size(), sw.seconds(), perf::gcups(cells, sw.seconds()),
+               server.lanes());
+  std::printf("query\ttarget\tscore\n");
+  for (size_t qi = 0; qi < qs.size(); ++qi)
+    for (const auto& h : results[qi].result.hits)
+      std::printf("%s\t%s\t%d\n", qs[qi].id().c_str(), db[h.seq_index].id().c_str(),
+                  h.score);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "info") return cmd_info();
+    CliOptions o = parse(argc, argv);
+    if (cmd == "align") return cmd_align(o);
+    if (cmd == "search") return cmd_search(o);
+    if (cmd == "batch") return cmd_batch(o);
+    usage(("unknown command " + cmd).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "swve: %s\n", e.what());
+    return 1;
+  }
+}

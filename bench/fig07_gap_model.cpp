@@ -1,0 +1,43 @@
+// Fig 7: affine vs linear gap penalty.
+//
+// Paper finding: the affine model's extra E/F bookkeeping does not cause a
+// noticeable performance drop.
+#include "bench_common.hpp"
+#include "core/workspace.hpp"
+
+using namespace swve;
+using bench::BenchArgs;
+using bench::Workload;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::parse(argc, argv);
+  Workload w = Workload::make(args);
+  bench::print_environment();
+  perf::print_banner(std::cout,
+                     "Fig 7: affine (11/1) vs linear (2) gap penalty, GCUPS per query");
+
+  core::Workspace ws;
+  auto kernel = [&](core::GapModel gm) {
+    return [&, gm](const seq::Sequence& q, const seq::Sequence& t) {
+      core::AlignConfig cfg;
+      cfg.gap_model = gm;
+      if (gm == core::GapModel::Linear) cfg.gap_extend = 2;
+      cfg.width = core::Width::W16;
+      core::diag_align(q, t, cfg, ws);
+    };
+  };
+
+  perf::Table table({"query", "len", "affine GCUPS", "linear GCUPS", "affine/linear"});
+  std::vector<double> ratios;
+  for (const auto& q : w.queries) {
+    double ga = bench::time_gcups(q, w.db, kernel(core::GapModel::Affine));
+    double gl = bench::time_gcups(q, w.db, kernel(core::GapModel::Linear));
+    ratios.push_back(ga / gl);
+    table.row({q.id(), std::to_string(q.length()), perf::Table::num(ga, 2),
+               perf::Table::num(gl, 2), perf::Table::num(ga / gl, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\ngeomean affine/linear: " << perf::Table::num(bench::geomean(ratios), 2)
+            << "  (paper: ~1, no noticeable drop from the affine model)\n";
+  return 0;
+}

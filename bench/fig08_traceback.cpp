@@ -1,0 +1,44 @@
+// Fig 8: with vs without traceback.
+//
+// Paper finding: storing per-cell directions for backtracking surprisingly
+// does not degrade throughput (the direction stores are contiguous in the
+// diagonal-linearized layout and the walk itself is O(path)).
+#include "bench_common.hpp"
+#include "core/workspace.hpp"
+
+using namespace swve;
+using bench::BenchArgs;
+using bench::Workload;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::parse(argc, argv);
+  Workload w = Workload::make(args);
+  bench::print_environment();
+  perf::print_banner(std::cout, "Fig 8: with vs without traceback, GCUPS per query");
+
+  core::Workspace ws;
+  auto kernel = [&](bool tb) {
+    return [&, tb](const seq::Sequence& q, const seq::Sequence& t) {
+      core::AlignConfig cfg;
+      cfg.traceback = tb;
+      cfg.width = core::Width::W16;
+      cfg.max_traceback_cells = uint64_t{1} << 33;
+      core::diag_align(q, t, cfg, ws);
+    };
+  };
+
+  perf::Table table({"query", "len", "no-tb GCUPS", "tb GCUPS", "tb/no-tb"});
+  std::vector<double> ratios;
+  for (const auto& q : w.queries) {
+    double g0 = bench::time_gcups(q, w.db, kernel(false));
+    double g1 = bench::time_gcups(q, w.db, kernel(true));
+    ratios.push_back(g1 / g0);
+    table.row({q.id(), std::to_string(q.length()), perf::Table::num(g0, 2),
+               perf::Table::num(g1, 2), perf::Table::num(g1 / g0, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\ngeomean traceback/no-traceback: "
+            << perf::Table::num(bench::geomean(ratios), 2)
+            << "  (paper: ~1, traceback does not degrade performance)\n";
+  return 0;
+}

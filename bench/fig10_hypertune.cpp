@@ -1,0 +1,90 @@
+// Fig 10: performance improvement from GA compiler-hyperparameter tuning,
+// per architecture and query size.
+//
+// Default: the deterministic simulated response surface (DESIGN.md §4,
+// substitution 4) with four "architectures" standing in for the paper's
+// Haswell / Broadwell / Skylake / Cascade Lake. Pass --real to drive the GA
+// with the actual gcc+dlopen evaluator on this machine (slow, one
+// compilation per evaluation).
+//
+// Paper finding: ~10% average improvement, up to ~50%, strongly query-size
+// dependent and uneven across architectures.
+#include "bench_common.hpp"
+#include "tune/evaluator.hpp"
+#include "tune/ga.hpp"
+
+using namespace swve;
+using bench::BenchArgs;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::parse(argc, argv);
+  bench::print_environment();
+  tune::FlagSpace space = tune::FlagSpace::gcc_default();
+
+  if (args.real_tuner) {
+    perf::print_banner(std::cout, "Fig 10 (REAL gcc evaluator): GA over GCC flags");
+    tune::GccEvaluator::Options opt;
+    opt.query_size = 256;
+    opt.db_size = 1 << 14;
+    tune::GccEvaluator eval(space, opt);
+    if (!eval.available()) {
+      std::cout << "gcc+dlopen unavailable in this environment; rerun without --real\n";
+      return 0;
+    }
+    tune::GaParams p;
+    p.population = 10;
+    p.generations = args.quick ? 3 : 6;
+    tune::GaResult res = tune::run_ga(space, eval, p);
+    std::cout << "baseline (plain -O3): " << perf::Table::num(res.baseline_fitness, 3)
+              << " GCUPS\nbest: " << perf::Table::num(res.best_fitness, 3)
+              << " GCUPS  (+" << perf::Table::percent(res.improvement()) << ")\n"
+              << "flags: " << space.to_string(res.best) << "\n";
+    return 0;
+  }
+
+  perf::print_banner(std::cout,
+                     "Fig 10: GA tuning improvement by architecture and query size");
+  const char* arch_names[] = {"haswell", "broadwell", "skylake", "cascadelake"};
+  const uint64_t arch_seeds[] = {1001, 1002, 1003, 1004};
+  std::vector<int> query_sizes = {64, 128, 256, 512, 1024, 2048};
+  if (args.quick) query_sizes = {128, 1024};
+
+  perf::Table table([&] {
+    std::vector<std::string> h = {"arch"};
+    for (int qs : query_sizes) h.push_back("q=" + std::to_string(qs));
+    h.push_back("mean");
+    return h;
+  }());
+
+  std::vector<double> all;
+  for (int a = 0; a < 4; ++a) {
+    std::vector<std::string> row = {arch_names[a]};
+    double sum = 0;
+    for (int qs : query_sizes) {
+      tune::SimulatedEvaluator eval(space, arch_seeds[a], qs);
+      tune::GaParams p;
+      p.seed = arch_seeds[a] * 13 + static_cast<uint64_t>(qs);
+      p.population = args.quick ? 12 : 24;
+      p.generations = args.quick ? 6 : 14;
+      tune::GaResult res = tune::run_ga(space, eval, p);
+      double imp = res.improvement();
+      all.push_back(imp);
+      sum += imp;
+      row.push_back(perf::Table::percent(imp));
+    }
+    row.push_back(perf::Table::percent(sum / static_cast<double>(query_sizes.size())));
+    table.row(row);
+  }
+  table.print(std::cout);
+
+  double mean = 0, mx = 0;
+  for (double x : all) {
+    mean += x;
+    mx = std::max(mx, x);
+  }
+  mean /= static_cast<double>(all.size());
+  std::cout << "\nmean improvement " << perf::Table::percent(mean) << ", max "
+            << perf::Table::percent(mx)
+            << "  (paper: ~10% average, up to ~50%, query-size dependent)\n";
+  return 0;
+}

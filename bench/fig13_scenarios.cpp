@@ -1,0 +1,99 @@
+// Fig 13: the three Smith-Waterman usage scenarios (§II-C / §IV-G).
+//   1. single query streamed against the database (threads split the db);
+//   2. a batch of queries on a centralized server (batch32 kernel,
+//      queries fan out across threads);
+//   3. many small query/reference pairs (SW as a subroutine, reusable
+//      aligner, working set in cache).
+//
+// Paper findings: larger queries => higher GCUPS; accumulating queries and
+// batching (scenario 2) roughly doubles efficiency in some cases.
+#include <random>
+
+#include "align/batch_server.hpp"
+#include "align/db_search.hpp"
+#include "bench_common.hpp"
+
+using namespace swve;
+using bench::BenchArgs;
+using bench::Workload;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::parse(argc, argv);
+  Workload w = Workload::make(args);
+  bench::print_environment();
+  const unsigned hw = simd::cpu_features().hardware_threads;
+  parallel::ThreadPool pool(hw);
+  core::AlignConfig cfg;  // adaptive width: the production configuration
+
+  perf::print_banner(std::cout, "Fig 13 / scenario 1: single query vs database");
+  {
+    align::DatabaseSearch search(w.db, cfg);
+    perf::Table t({"query", "len", "GCUPS (1 thread)", "GCUPS (" +
+                                                           std::to_string(hw) +
+                                                           " threads)"});
+    for (const auto& q : w.queries) {
+      align::SearchResult r1 = search.search(q, 10);
+      align::SearchResult rn = search.search(q, 10, &pool);
+      t.row({q.id(), std::to_string(q.length()), perf::Table::num(r1.gcups(), 2),
+             perf::Table::num(rn.gcups(), 2)});
+    }
+    t.print(std::cout);
+  }
+
+  perf::print_banner(std::cout,
+                     "Fig 13 / scenario 2: batched queries on a centralized server");
+  {
+    align::BatchServer server(w.db, cfg);
+    align::DatabaseSearch search(w.db, cfg);
+
+    // One-at-a-time processing (client waits per query)...
+    perf::Stopwatch sw1;
+    uint64_t cells = 0;
+    for (const auto& q : w.queries) {
+      search.search(q, 10, &pool);
+      cells += q.length() * w.db.total_residues();
+    }
+    double serial_gcups = perf::gcups(cells, sw1.seconds());
+
+    // ...vs accumulating the batch and running the batch32 kernel.
+    perf::Stopwatch sw2;
+    server.run(w.queries, 10, &pool);
+    double batch_gcups = perf::gcups(cells, sw2.seconds());
+
+    perf::Table t({"mode", "GCUPS", "vs one-at-a-time"});
+    t.row({"one query at a time", perf::Table::num(serial_gcups, 2), "1.00"});
+    t.row({"accumulated batch (batch32)", perf::Table::num(batch_gcups, 2),
+           perf::Table::num(batch_gcups / serial_gcups, 2)});
+    t.print(std::cout);
+    std::cout << "(paper: accumulating queries before computing can ~double efficiency)\n";
+  }
+
+  perf::print_banner(std::cout, "Fig 13 / scenario 3: SW as a subroutine (small pairs)");
+  {
+    std::mt19937_64 rng(args.seed + 99);
+    std::vector<seq::Sequence> pairs_q, pairs_r;
+    const int pairs = args.quick ? 2000 : 10000;
+    uint64_t cells = 0;
+    for (int i = 0; i < pairs; ++i) {
+      uint32_t lq = 30 + static_cast<uint32_t>(rng() % 100);
+      uint32_t lr = 30 + static_cast<uint32_t>(rng() % 100);
+      pairs_q.push_back(seq::generate_sequence(rng(), lq));
+      pairs_r.push_back(seq::generate_sequence(rng(), lr));
+      cells += static_cast<uint64_t>(lq) * lr;
+    }
+    core::Workspace ws;
+    // Warm up, then measure the steady state (no allocation per call).
+    for (int i = 0; i < 100; ++i) core::diag_align(pairs_q[0], pairs_r[0], cfg, ws);
+    perf::Stopwatch sw;
+    for (int i = 0; i < pairs; ++i)
+      core::diag_align(pairs_q[static_cast<size_t>(i)], pairs_r[static_cast<size_t>(i)],
+                       cfg, ws);
+    double g = perf::gcups(cells, sw.seconds());
+    double per_call_us = sw.seconds() / pairs * 1e6;
+    perf::Table t({"pairs", "mean pair", "GCUPS", "us/call"});
+    t.row({std::to_string(pairs), "~80x80", perf::Table::num(g, 2),
+           perf::Table::num(per_call_us, 2)});
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Fig 14: head-to-head with the Parasail-style kernels on 10 queries.
+//
+// Columns: this paper's diagonal kernel (adaptive 8/16-bit, the production
+// configuration) against from-scratch implementations of parasail's three
+// SW families: diag (classic wavefront), scan (prefix-max), striped
+// (Farrar + lazy-F). Paper result on its testbeds: ours 3.9x vs diag,
+// 1.9x vs scan, 1.5x vs striped — with the added benefit that our runtime
+// is deterministic while striped's correction loop is data dependent
+// (lazy-F iteration counts are printed as evidence).
+#include "baseline/diag_basic.hpp"
+#include "baseline/scan.hpp"
+#include "baseline/striped.hpp"
+#include "bench_common.hpp"
+#include "core/workspace.hpp"
+
+using namespace swve;
+using bench::BenchArgs;
+using bench::Workload;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::parse(argc, argv);
+  Workload w = Workload::make(args);
+  bench::print_environment();
+  if (!simd::isa_available(simd::Isa::Avx2)) {
+    std::cout << "fig14 requires AVX2 (baseline kernels)\n";
+    return 0;
+  }
+  perf::print_banner(std::cout,
+                     "Fig 14: ours (diag, adaptive 8/16) vs parasail-style kernels, GCUPS");
+
+  core::Workspace ws;
+  core::AlignConfig cfg;  // BLOSUM62, affine 11/1, adaptive width
+
+  perf::Table t({"query", "len", "ours", "striped", "scan", "diag", "ours/striped",
+                 "ours/scan", "ours/diag"});
+  std::vector<double> r_striped, r_scan, r_diag;
+  uint64_t lazy_total = 0;
+
+  for (const auto& q : w.queries) {
+    double g_ours = bench::time_gcups(q, w.db, [&](const auto& qq, const auto& tt) {
+      core::diag_align(qq, tt, cfg, ws);
+    });
+
+    baseline::StripedAligner striped(q, cfg);
+    double g_striped = bench::time_gcups(q, w.db, [&](const auto&, const auto& tt) {
+      auto res = striped.align(tt, ws);
+      (void)res;
+    });
+    // lazy-F evidence, one extra pass:
+    for (size_t s = 0; s < std::min<size_t>(w.db.size(), 50); ++s)
+      lazy_total += striped.align16(w.db[s], ws).lazy_f_iterations;
+
+    baseline::ScanAligner scan(q, cfg);
+    double g_scan = bench::time_gcups(q, w.db, [&](const auto&, const auto& tt) {
+      scan.align(tt, ws);
+    });
+
+    baseline::DiagBasicAligner diag(q, cfg);
+    double g_diag = bench::time_gcups(q, w.db, [&](const auto&, const auto& tt) {
+      diag.align(tt, ws);
+    });
+
+    r_striped.push_back(g_ours / g_striped);
+    r_scan.push_back(g_ours / g_scan);
+    r_diag.push_back(g_ours / g_diag);
+    t.row({q.id(), std::to_string(q.length()), perf::Table::num(g_ours, 2),
+           perf::Table::num(g_striped, 2), perf::Table::num(g_scan, 2),
+           perf::Table::num(g_diag, 2), perf::Table::num(g_ours / g_striped, 2),
+           perf::Table::num(g_ours / g_scan, 2),
+           perf::Table::num(g_ours / g_diag, 2)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\ngeomean speedups  vs striped: "
+            << perf::Table::num(bench::geomean(r_striped), 2)
+            << "   vs scan: " << perf::Table::num(bench::geomean(r_scan), 2)
+            << "   vs diag: " << perf::Table::num(bench::geomean(r_diag), 2) << "\n"
+            << "paper reports    vs striped: 1.5    vs scan: 1.9    vs diag: 3.9\n"
+            << "striped lazy-F iterations observed (data-dependent work): " << lazy_total
+            << "\n";
+  return 0;
+}

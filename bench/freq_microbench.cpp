@@ -1,0 +1,32 @@
+// §IV-E microbenchmark: CPU-frequency stability under multi-core load.
+// (The measurement behind Fig 11's recalibration.)
+#include "bench_common.hpp"
+#include "perf/freq_monitor.hpp"
+
+using namespace swve;
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  bench::print_environment();
+  perf::print_banner(std::cout, "CPU frequency vs concurrent busy threads");
+
+  perf::FreqSample single = perf::measure_frequency(args.quick ? 30 : 100);
+  std::cout << "single-thread effective frequency: " << perf::Table::num(single.ghz, 2)
+            << " GHz";
+  if (single.tsc_ghz > 0)
+    std::cout << "   (invariant TSC: " << perf::Table::num(single.tsc_ghz, 2) << " GHz)";
+  std::cout << "\n\n";
+
+  const int maxt = static_cast<int>(2 * simd::cpu_features().hardware_threads);
+  perf::FreqScalingReport rep =
+      perf::frequency_scaling(maxt, args.quick ? 30 : 80);
+  perf::Table t({"busy threads", "mean GHz", "min GHz", "drop vs 1T"});
+  for (size_t i = 0; i < rep.threads.size(); ++i)
+    t.row({std::to_string(rep.threads[i]), perf::Table::num(rep.ghz_mean[i], 2),
+           perf::Table::num(rep.ghz_min[i], 2),
+           perf::Table::percent(1.0 - rep.ghz_mean[i] / rep.ghz_mean[0])});
+  t.print(std::cout);
+  std::cout << "\n(paper: the frequency is not stable in multi-core mode; single-\n"
+               " thread baselines must be recalibrated before judging scaling)\n";
+  return 0;
+}

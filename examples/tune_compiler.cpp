@@ -1,0 +1,53 @@
+// Compiler-hyperparameter tuning demo (§III-E / Fig 10): evolve GCC flag
+// settings for the SW kernel with the genetic algorithm.
+//
+//   ./example_tune_compiler          # deterministic simulated surface
+//   ./example_tune_compiler --real   # compile+dlopen+time with real gcc
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "swve.hpp"
+
+using namespace swve;
+
+int main(int argc, char** argv) {
+  const bool real = argc > 1 && !std::strcmp(argv[1], "--real");
+  tune::FlagSpace space = tune::FlagSpace::gcc_default();
+  std::printf("flag space: %zu hyperparameters, ~%.1e combinations\n", space.size(),
+              space.search_space_size());
+
+  std::unique_ptr<tune::Evaluator> eval;
+  if (real) {
+    auto gcc = std::make_unique<tune::GccEvaluator>(space);
+    if (!gcc->available()) {
+      std::puts("gcc+dlopen unavailable here; falling back to the simulated surface");
+    } else {
+      std::puts("evaluator: real gcc (each evaluation compiles & times the kernel)");
+      eval = std::move(gcc);
+    }
+  }
+  if (!eval) {
+    std::puts("evaluator: simulated response surface (seed 7, query size 512)");
+    eval = std::make_unique<tune::SimulatedEvaluator>(space, 7, 512);
+  }
+
+  tune::GaParams p;
+  p.seed = 3;
+  p.population = real ? 8 : 24;
+  p.generations = real ? 4 : 15;
+  std::printf("GA: population %d, %d generations, tournament %d, mutation %.2f\n\n",
+              p.population, p.generations, p.tournament, p.mutation_rate);
+
+  tune::GaResult res = tune::run_ga(space, *eval, p);
+
+  std::printf("baseline (plain -O3): %.3f\n", res.baseline_fitness);
+  for (size_t g = 0; g < res.generation_best.size(); ++g)
+    std::printf("  gen %2zu best: %.3f  (+%.1f%%)\n", g + 1, res.generation_best[g],
+                100.0 * (res.generation_best[g] / res.baseline_fitness - 1.0));
+  std::printf("\nbest individual (+%.1f%%, %llu evaluations):\n  %s\n",
+              100.0 * res.improvement(),
+              static_cast<unsigned long long>(res.evaluations),
+              space.to_string(res.best).c_str());
+  return 0;
+}

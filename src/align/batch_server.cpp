@@ -1,0 +1,71 @@
+#include "align/batch_server.hpp"
+
+#include <algorithm>
+
+#include "perf/timer.hpp"
+#include "simd/cpu.hpp"
+
+namespace swve::align {
+
+namespace {
+int pick_lanes() {
+#if defined(SWVE_HAVE_AVX512_BUILD)
+  if (simd::resolve_isa(simd::Isa::Auto) == simd::Isa::Avx512 &&
+      simd::cpu_features().avx512vbmi)
+    return 64;
+#endif
+  return 32;
+}
+}  // namespace
+
+BatchServer::BatchServer(const seq::SequenceDatabase& db, AlignConfig cfg)
+    : db_(&db), cfg_(cfg), bdb_(db, pick_lanes()) {
+  cfg_.validate();
+  cfg_.traceback = false;
+}
+
+std::vector<BatchQueryResult> BatchServer::run(const std::vector<seq::Sequence>& queries,
+                                               size_t top_k,
+                                               parallel::ThreadPool* pool) const {
+  std::vector<BatchQueryResult> out(queries.size());
+
+  auto run_query = [&](size_t qi) {
+    perf::Stopwatch sw;
+    core::Workspace ws;
+    BatchQueryResult& r = out[qi];
+    const seq::Sequence& q = queries[qi];
+    r.result.query_length = q.length();
+    r.result.db_residues = db_->total_residues();
+    std::vector<int> scores =
+        core::batch_scores(q, bdb_, *db_, cfg_, ws, &r.batch_stats);
+    // Top-k over the score vector (index order => deterministic ties).
+    std::vector<Hit> hits;
+    for (size_t s = 0; s < scores.size(); ++s)
+      if (scores[s] > 0)
+        hits.push_back(Hit{static_cast<uint32_t>(s), scores[s], -1, -1});
+    std::sort(hits.begin(), hits.end());
+    if (hits.size() > top_k) hits.resize(top_k);
+    r.result.hits = std::move(hits);
+    r.result.stats.cells = r.batch_stats.cells8 + r.batch_stats.rescored_cells;
+    r.result.stats.vector_cells = r.batch_stats.cells8;
+    r.result.seconds = sw.seconds();
+  };
+
+  if (pool) {
+    pool->parallel_chunks(queries.size(),
+                          [&](size_t qi, unsigned) { run_query(qi); });
+  } else {
+    for (size_t qi = 0; qi < queries.size(); ++qi) run_query(qi);
+  }
+  return out;
+}
+
+core::Alignment BatchServer::realign(const seq::Sequence& query, const Hit& hit) const {
+  AlignConfig cfg = cfg_;
+  cfg.traceback = true;
+  cfg.width = core::Width::Adaptive;
+  core::Workspace ws;
+  return core::diag_align(query, (*db_)[hit.seq_index], cfg, ws);
+}
+
+}  // namespace swve::align

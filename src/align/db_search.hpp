@@ -1,0 +1,80 @@
+// Scenario 1: one query streamed against a sequence database, partitioned
+// across threads by residue count, with deterministic top-k merging.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "align/aligner.hpp"
+#include "core/batch32.hpp"
+#include "parallel/thread_pool.hpp"
+#include "seq/database.hpp"
+
+namespace swve::align {
+
+struct Hit {
+  uint32_t seq_index = 0;  ///< index into the database
+  int score = 0;
+  int end_query = -1;
+  int end_ref = -1;
+
+  /// Ordering for top-k: higher score first, then lower index (stable and
+  /// thread-count independent).
+  friend bool operator<(const Hit& a, const Hit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.seq_index < b.seq_index;
+  }
+};
+
+struct SearchResult {
+  std::vector<Hit> hits;  ///< top-k, best first
+  core::KernelStats stats;
+  double seconds = 0;
+  uint64_t query_length = 0;
+  uint64_t db_residues = 0;
+  double gcups() const {
+    return seconds > 0
+               ? static_cast<double>(query_length) *
+                     static_cast<double>(db_residues) / seconds / 1e9
+               : 0.0;
+  }
+};
+
+/// How DatabaseSearch scores the database.
+enum class SearchMode {
+  /// Stream every sequence through the intra-sequence diagonal kernel
+  /// (adaptive width). Hits carry exact end positions.
+  Diagonal,
+  /// Score through the inter-sequence batch32 kernel (the database is
+  /// packed once at construction), then re-align only the top-k hits with
+  /// the diagonal kernel for end positions. Fastest for scoring whole
+  /// databases; identical hits and scores.
+  Batch,
+};
+
+class DatabaseSearch {
+ public:
+  DatabaseSearch(const seq::SequenceDatabase& db, AlignConfig cfg,
+                 SearchMode mode = SearchMode::Diagonal);
+
+  /// Search with `pool` (or single-threaded when null). Results are
+  /// identical for every thread count and for both search modes.
+  SearchResult search(seq::SeqView query, size_t top_k,
+                      parallel::ThreadPool* pool = nullptr) const;
+
+  SearchMode mode() const noexcept { return mode_; }
+
+ private:
+  SearchResult search_diagonal(seq::SeqView query, size_t top_k,
+                               parallel::ThreadPool* pool) const;
+  SearchResult search_batch(seq::SeqView query, size_t top_k,
+                            parallel::ThreadPool* pool) const;
+
+  const seq::SequenceDatabase* db_;
+  AlignConfig cfg_;
+  SearchMode mode_;
+  std::unique_ptr<core::Batch32Db> bdb_;  // Batch mode only
+};
+
+}  // namespace swve::align

@@ -1,0 +1,124 @@
+#include "align/format.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace swve::align {
+
+namespace {
+
+struct Columns {
+  std::string q, mid, t;
+  size_t q_begin, t_begin;  // 0-based start coordinates
+};
+
+Columns build_columns(const seq::Sequence& query, const seq::Sequence& target,
+                      const core::Alignment& aln) {
+  Columns c;
+  c.q_begin = static_cast<size_t>(aln.begin_query);
+  c.t_begin = static_cast<size_t>(aln.begin_ref);
+  size_t qi = c.q_begin, tj = c.t_begin;
+  const auto& alpha = query.alphabet();
+  for (size_t k = 0; k < aln.cigar.size(); ++k) {
+    const auto op = aln.cigar.op(k);
+    for (uint32_t u = 0; u < aln.cigar.len(k); ++u) {
+      switch (op) {
+        case core::CigarOp::Match: {
+          const uint8_t a = query.codes()[qi++];
+          const uint8_t b = target.codes()[tj++];
+          c.q += alpha.decode(a);
+          c.t += alpha.decode(b);
+          c.mid += a == b ? '|' : '.';
+          break;
+        }
+        case core::CigarOp::Ins:
+          c.q += alpha.decode(query.codes()[qi++]);
+          c.t += '-';
+          c.mid += ' ';
+          break;
+        case core::CigarOp::Del:
+          c.q += '-';
+          c.t += alpha.decode(target.codes()[tj++]);
+          c.mid += ' ';
+          break;
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+AlignmentStats alignment_stats(const seq::Sequence& query,
+                               const seq::Sequence& target,
+                               const core::Alignment& aln) {
+  AlignmentStats s;
+  if (aln.cigar.empty()) {
+    if (aln.score > 0)
+      throw std::invalid_argument(
+          "alignment_stats: alignment has no CIGAR (traceback disabled?)");
+    return s;
+  }
+  size_t qi = static_cast<size_t>(aln.begin_query);
+  size_t tj = static_cast<size_t>(aln.begin_ref);
+  for (size_t k = 0; k < aln.cigar.size(); ++k) {
+    const auto op = aln.cigar.op(k);
+    const uint32_t len = aln.cigar.len(k);
+    s.columns += len;
+    switch (op) {
+      case core::CigarOp::Match:
+        for (uint32_t u = 0; u < len; ++u) {
+          if (query.codes()[qi++] == target.codes()[tj++])
+            ++s.matches;
+          else
+            ++s.mismatches;
+        }
+        break;
+      case core::CigarOp::Ins:
+        s.gaps += len;
+        ++s.gap_openings;
+        qi += len;
+        break;
+      case core::CigarOp::Del:
+        s.gaps += len;
+        ++s.gap_openings;
+        tj += len;
+        break;
+    }
+  }
+  return s;
+}
+
+std::string format_alignment(const seq::Sequence& query,
+                             const seq::Sequence& target,
+                             const core::Alignment& aln, int width) {
+  if (aln.cigar.empty()) return "";
+  if (width <= 0) width = 60;
+  Columns c = build_columns(query, target, aln);
+
+  std::ostringstream out;
+  size_t q_pos = c.q_begin, t_pos = c.t_begin;
+  for (size_t off = 0; off < c.q.size(); off += static_cast<size_t>(width)) {
+    const size_t chunk = std::min<size_t>(static_cast<size_t>(width),
+                                          c.q.size() - off);
+    const std::string qs = c.q.substr(off, chunk);
+    const std::string ms = c.mid.substr(off, chunk);
+    const std::string ts = c.t.substr(off, chunk);
+    size_t q_res = 0, t_res = 0;  // residues consumed in this block
+    for (char ch : qs)
+      if (ch != '-') ++q_res;
+    for (char ch : ts)
+      if (ch != '-') ++t_res;
+
+    out << "Query  " << q_pos + 1 << "\t" << qs << "\t" << q_pos + q_res << "\n";
+    out << "       "
+        << "\t" << ms << "\t\n";
+    out << "Sbjct  " << t_pos + 1 << "\t" << ts << "\t" << t_pos + t_res << "\n";
+    if (off + chunk < c.q.size()) out << "\n";
+    q_pos += q_res;
+    t_pos += t_res;
+  }
+  return out.str();
+}
+
+}  // namespace swve::align

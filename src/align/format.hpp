@@ -1,0 +1,41 @@
+// Human-readable rendering of alignments (pairwise blocks, identity stats).
+#pragma once
+
+#include <string>
+
+#include "core/params.hpp"
+#include "core/result.hpp"
+#include "seq/sequence.hpp"
+
+namespace swve::align {
+
+/// Column-level composition of an alignment derived from its CIGAR.
+struct AlignmentStats {
+  uint64_t columns = 0;     ///< aligned columns (M + I + D)
+  uint64_t matches = 0;     ///< identical M columns
+  uint64_t mismatches = 0;  ///< non-identical M columns
+  uint64_t gaps = 0;        ///< I + D columns
+  uint64_t gap_openings = 0;
+  double identity() const {
+    return columns ? static_cast<double>(matches) / static_cast<double>(columns)
+                   : 0.0;
+  }
+};
+
+/// Compute column statistics. Requires a traceback-bearing alignment
+/// (throws std::invalid_argument on an empty CIGAR with positive score).
+AlignmentStats alignment_stats(const seq::Sequence& query,
+                               const seq::Sequence& target,
+                               const core::Alignment& aln);
+
+/// Render a BLAST-style pairwise block:
+///   Query  12  MKTAYIAKQR--QISF  25
+///              ||||||||||  ||.|
+///   Sbjct  3   MKTAYIAKQRDDQITF  18
+/// Wrapped at `width` columns. Coordinates are 1-based inclusive. Returns
+/// "" for empty alignments.
+std::string format_alignment(const seq::Sequence& query,
+                             const seq::Sequence& target,
+                             const core::Alignment& aln, int width = 60);
+
+}  // namespace swve::align

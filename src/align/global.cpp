@@ -1,0 +1,248 @@
+#include "align/global.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "core/traceback.hpp"
+
+namespace swve::align {
+
+namespace {
+
+using core::AlignConfig;
+using core::Alignment;
+using core::CigarOp;
+
+// Far enough from INT_MIN that a subtraction cannot wrap.
+constexpr int kNegInf = INT32_MIN / 4;
+
+struct Scorer {
+  const AlignConfig* cfg;
+  int operator()(uint8_t a, uint8_t b) const {
+    return cfg->scheme == core::ScoreScheme::Matrix
+               ? cfg->matrix->score(a, b)
+               : (a == b ? cfg->match : cfg->mismatch);
+  }
+};
+
+inline int gap_cost(const AlignConfig& cfg, int len) {
+  if (len <= 0) return 0;
+  return cfg.gap_model == core::GapModel::Affine
+             ? cfg.gap_open + (len - 1) * cfg.gap_extend
+             : len * cfg.gap_extend;
+}
+
+}  // namespace
+
+Alignment global_align(seq::SeqView q, seq::SeqView r, const AlignConfig& cfg,
+                       GlobalMode mode) {
+  cfg.validate();
+  const int m = static_cast<int>(q.length);
+  const int n = static_cast<int>(r.length);
+  const int band = cfg.band;
+  if (band >= 0 && mode == GlobalMode::Global && std::abs(m - n) > band)
+    throw std::invalid_argument("global_align: band excludes every global path");
+
+  Alignment out;
+  out.isa_used = simd::Isa::Scalar;
+  out.width_used = core::Width::W32;
+
+  // Degenerate sizes: the alignment is a pure gap (or empty).
+  if (m == 0 || n == 0) {
+    const bool free_q_gap =  // gap consuming the reference
+        mode != GlobalMode::Global;
+    const bool free_r_gap =  // gap consuming the query
+        mode == GlobalMode::Overlap;
+    if (m == 0 && n == 0) {
+      out.score = 0;
+      return out;
+    }
+    if (m == 0) {
+      out.score = free_q_gap ? 0 : -gap_cost(cfg, n);
+      if (cfg.traceback && !free_q_gap && n > 0) {
+        out.cigar.push(CigarOp::Del, static_cast<uint32_t>(n));
+        out.begin_ref = 0;
+        out.end_ref = n - 1;
+      }
+      return out;
+    }
+    out.score = free_r_gap ? 0 : -gap_cost(cfg, m);
+    if (cfg.traceback && !free_r_gap) {
+      out.cigar.push(CigarOp::Ins, static_cast<uint32_t>(m));
+      out.begin_query = 0;
+      out.end_query = m - 1;
+    }
+    return out;
+  }
+
+  const Scorer score{&cfg};
+  const bool affine = cfg.gap_model == core::GapModel::Affine;
+  const int open = affine ? cfg.gap_open : cfg.gap_extend;
+  const int ext = cfg.gap_extend;
+
+  const bool tb = cfg.traceback;
+  std::vector<uint8_t> dirs;
+  const size_t cols = static_cast<size_t>(n) + 1;
+  if (tb) {
+    const uint64_t cells =
+        (static_cast<uint64_t>(m) + 1) * (static_cast<uint64_t>(n) + 1);
+    if (cells > cfg.max_traceback_cells)
+      throw std::length_error("global_align: traceback matrix exceeds cell cap");
+    dirs.assign(cells, core::kTbStop);
+  }
+  auto dir_at = [&](int i, int j) -> uint8_t& {
+    return dirs[static_cast<size_t>(i) * cols + static_cast<size_t>(j)];
+  };
+
+  // Rolling rows over the (m+1) x (n+1) grid; cell (i, j) = i query and j
+  // reference residues consumed.
+  std::vector<int> hrow(cols), erow(cols);
+  const bool free_lead_r = mode != GlobalMode::Global;   // H(0, j) = 0
+  const bool free_lead_q = mode == GlobalMode::Overlap;  // H(i, 0) = 0
+
+  hrow[0] = 0;
+  for (int j = 1; j <= n; ++j) {
+    hrow[static_cast<size_t>(j)] = free_lead_r ? 0 : -gap_cost(cfg, j);
+    erow[static_cast<size_t>(j)] = kNegInf;  // E undefined on row 0
+    if (tb && !free_lead_r) dir_at(0, j) = core::kTbF | core::kTbFExt;
+  }
+  erow[0] = kNegInf;
+
+  int best = kNegInf, best_i = -1, best_j = -1;  // Semi/Overlap end cell
+  for (int i = 1; i <= m; ++i) {
+    const int jb = band >= 0 ? std::max(1, i - band) : 1;
+    const int je = band >= 0 ? std::min(n, i + band) : n;
+    // H(i-1, jb-1): the diagonal neighbor of the band's first cell sits ON
+    // the band edge (|i-j| == band), so it was computed by row i-1 (or is
+    // the column-0 boundary). Read it before this row overwrites slot 0.
+    int hdiag = hrow[static_cast<size_t>(jb) - 1];
+    const int h_col0 = free_lead_q ? 0 : -gap_cost(cfg, i);
+    if (jb == 1 && tb && !free_lead_q) dir_at(i, 0) = core::kTbE | core::kTbEExt;
+    int hleft = jb == 1 ? h_col0 : kNegInf;  // (i, jb-1) is out of band
+    int f = kNegInf;
+    if (band >= 0 && i + band <= n) {
+      // The slot entering the band from above holds a stale older row;
+      // out-of-band cells read as unreachable.
+      hrow[static_cast<size_t>(i + band)] = kNegInf;
+      erow[static_cast<size_t>(i + band)] = kNegInf;
+    }
+    hrow[0] = h_col0;
+
+    for (int j = jb; j <= je; ++j) {
+      const size_t jj = static_cast<size_t>(j);
+      const int hup = hrow[jj];  // H(i-1, j): not yet overwritten
+      int e, f_open, e_open;
+      if (affine) {
+        e_open = hup - open;
+        e = std::max(e_open, erow[jj] - ext);
+        f_open = hleft - open;
+        f = std::max(f_open, f - ext);
+      } else {
+        e_open = e = hup - ext;
+        f_open = f = hleft - ext;
+      }
+      e = std::max(e, kNegInf);  // keep unreachable chains from drifting
+      f = std::max(f, kNegInf);
+      const int hs = hdiag + score(q[static_cast<size_t>(i - 1)], r[jj - 1]);
+      int h = std::max({hs, e, f});
+      h = std::max(h, kNegInf);
+
+      if (tb) {
+        uint8_t flags;
+        if (h == hs)
+          flags = core::kTbDiag;
+        else if (h == e)
+          flags = core::kTbE;
+        else
+          flags = core::kTbF;
+        if (affine) {
+          if (e != e_open) flags |= core::kTbEExt;
+          if (f != f_open) flags |= core::kTbFExt;
+        }
+        dir_at(i, j) = flags;
+      }
+
+      hdiag = hup;
+      hleft = h;
+      erow[jj] = e;
+      hrow[jj] = h;
+
+      // Candidate end cells for the free-trailing-gap modes.
+      const bool last_row = i == m;
+      const bool last_col = j == n;
+      const bool is_end = mode == GlobalMode::Global
+                              ? (last_row && last_col)
+                              : mode == GlobalMode::SemiGlobal
+                                    ? last_row
+                                    : (last_row || last_col);
+      if (is_end && h > best) {
+        best = h;
+        best_i = i;
+        best_j = j;
+      }
+    }
+  }
+  if (best_i < 0)
+    throw std::invalid_argument("global_align: band excludes every valid path");
+
+  out.score = best;
+  out.end_query = best_i - 1;
+  out.end_ref = best_j - 1;
+  out.stats.cells = static_cast<uint64_t>(m) * static_cast<uint64_t>(n);
+  out.stats.scalar_cells = out.stats.cells;
+
+  if (tb) {
+    // Walk back from the end cell to a free boundary.
+    core::Cigar rev;
+    int i = best_i, j = best_j;
+    enum class St { H, E, F } st = St::H;
+    auto at_free_start = [&] {
+      switch (mode) {
+        case GlobalMode::Global: return i == 0 && j == 0;
+        case GlobalMode::SemiGlobal: return i == 0;
+        case GlobalMode::Overlap: return i == 0 || j == 0;
+      }
+      return true;
+    };
+    while (!at_free_start()) {
+      const uint8_t flags = dir_at(i, j);
+      if (st == St::H) {
+        switch (flags & core::kTbSrcMask) {
+          case core::kTbDiag:
+            rev.push(CigarOp::Match, 1);
+            --i;
+            --j;
+            break;
+          case core::kTbE:
+            st = St::E;
+            break;
+          case core::kTbF:
+            st = St::F;
+            break;
+          default:
+            throw std::logic_error("global_align: walked into a stop cell");
+        }
+      } else if (st == St::E) {
+        rev.push(CigarOp::Ins, 1);
+        if (!(flags & core::kTbEExt)) st = St::H;
+        --i;
+      } else {
+        rev.push(CigarOp::Del, 1);
+        if (!(flags & core::kTbFExt)) st = St::H;
+        --j;
+      }
+    }
+    rev.reverse();
+    out.cigar = std::move(rev);
+    out.begin_query = i;  // first consumed residue (0-based); == i after walk
+    out.begin_ref = j;
+    if (out.cigar.empty()) {
+      out.begin_query = out.end_query = -1;
+      out.begin_ref = out.end_ref = -1;
+    }
+  }
+  return out;
+}
+
+}  // namespace swve::align

@@ -1,0 +1,39 @@
+// Global (Needleman-Wunsch) and semi-global alignment.
+//
+// The paper — and this library's SIMD kernels — target local
+// Smith-Waterman; real pipelines built on it (read mapping, MSA seeding,
+// the paper's scenario 3) regularly also need the global family. This
+// module provides exact scalar implementations with full traceback, sharing
+// the library's scoring configuration, gap conventions, and CIGAR
+// machinery. Vectorizing these modes is listed as future work in DESIGN.md
+// (their negative boundary conditions do not fit the zero-clamped unsigned
+// domain of the diagonal kernel).
+//
+// Modes:
+//   Global      both sequences end-to-end (Needleman-Wunsch); end gaps pay.
+//   SemiGlobal  the whole QUERY must align, gaps at the ends of the
+//               REFERENCE are free ("glocal": read-vs-window mapping).
+//   Overlap     free end gaps on both sequences (dovetail/overlap
+//               detection): the path must touch (0,*)/(*,0) and end on the
+//               last row or column, interior gaps pay.
+#pragma once
+
+#include "core/params.hpp"
+#include "core/result.hpp"
+#include "seq/sequence.hpp"
+
+namespace swve::align {
+
+enum class GlobalMode { Global, SemiGlobal, Overlap };
+
+/// Align under `mode`. Uses cfg's scoring/gap settings; cfg.width/isa are
+/// ignored (exact 32-bit scalar), cfg.band restricts |i-j| like the local
+/// kernel (with out-of-band treated as unreachable, score -inf).
+/// cfg.traceback controls CIGAR production. The returned Alignment's
+/// begin/end are the aligned spans of each sequence (for Global the spans
+/// are the whole sequences).
+core::Alignment global_align(seq::SeqView query, seq::SeqView reference,
+                             const core::AlignConfig& cfg,
+                             GlobalMode mode = GlobalMode::Global);
+
+}  // namespace swve::align

@@ -1,0 +1,166 @@
+#include "align/stats.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "core/dispatch.hpp"
+#include "seq/synthetic.hpp"
+
+namespace swve::align {
+
+namespace {
+constexpr double kEulerGamma = 0.5772156649015329;
+
+double sum_exp(const matrix::ScoreMatrix& m, std::span<const double> bg,
+               double lambda) {
+  double s = 0;
+  const int dim = static_cast<int>(bg.size());
+  for (int a = 0; a < dim; ++a) {
+    if (bg[static_cast<size_t>(a)] == 0) continue;
+    for (int b = 0; b < dim; ++b) {
+      if (bg[static_cast<size_t>(b)] == 0) continue;
+      s += bg[static_cast<size_t>(a)] * bg[static_cast<size_t>(b)] *
+           std::exp(lambda *
+                    m.score(static_cast<uint8_t>(a), static_cast<uint8_t>(b)));
+    }
+  }
+  return s;
+}
+}  // namespace
+
+KarlinParams karlin_ungapped(const matrix::ScoreMatrix& matrix,
+                             std::span<const double> background) {
+  if (background.empty() ||
+      static_cast<int>(background.size()) > matrix.dim())
+    throw std::invalid_argument("karlin_ungapped: background size mismatch");
+
+  // Requirement for the Gumbel regime: negative expected score, positive
+  // maximum score.
+  double expected = 0;
+  const int dim = static_cast<int>(background.size());
+  for (int a = 0; a < dim; ++a)
+    for (int b = 0; b < dim; ++b)
+      expected += background[static_cast<size_t>(a)] *
+                  background[static_cast<size_t>(b)] *
+                  matrix.score(static_cast<uint8_t>(a), static_cast<uint8_t>(b));
+  if (expected >= 0)
+    throw std::invalid_argument(
+        "karlin_ungapped: expected score must be negative");
+
+  // f(lambda) = sum p_i p_j exp(lambda s_ij): f(0) = 1, dips below 1 (E[s] <
+  // 0), then grows without bound (max score > 0). Bracket the nontrivial
+  // root and bisect.
+  double hi = 0.5;
+  while (sum_exp(matrix, background, hi) < 1.0) {
+    hi *= 2;
+    if (hi > 100)
+      throw std::runtime_error("karlin_ungapped: failed to bracket lambda");
+  }
+  double lo = hi / 2;
+  while (sum_exp(matrix, background, lo) > 1.0) lo /= 2;
+  for (int it = 0; it < 200; ++it) {
+    double mid = 0.5 * (lo + hi);
+    (sum_exp(matrix, background, mid) < 1.0 ? lo : hi) = mid;
+  }
+  const double lambda = 0.5 * (lo + hi);
+
+  // Relative entropy H = sum q_ij * lambda * s_ij with q_ij the aligned-pair
+  // frequencies p_i p_j exp(lambda s_ij).
+  double H = 0;
+  for (int a = 0; a < dim; ++a)
+    for (int b = 0; b < dim; ++b) {
+      double s = matrix.score(static_cast<uint8_t>(a), static_cast<uint8_t>(b));
+      double q = background[static_cast<size_t>(a)] *
+                 background[static_cast<size_t>(b)] * std::exp(lambda * s);
+      H += q * lambda * s;
+    }
+
+  KarlinParams p;
+  p.lambda = lambda;
+  p.H = H;
+  p.K = H / lambda;  // documented rough approximation
+  p.gapped = false;
+  return p;
+}
+
+std::optional<KarlinParams> published_gapped(const std::string& matrix_name,
+                                             int gap_open, int gap_extend) {
+  // ALP / NCBI-BLAST published gapped Gumbel parameters.
+  struct Row {
+    const char* matrix;
+    int open, ext;
+    double lambda, K, H;
+  };
+  static constexpr Row kTable[] = {
+      {"blosum62", 11, 1, 0.267, 0.041, 0.140},
+      {"blosum62", 10, 1, 0.243, 0.035, 0.120},
+      {"blosum62", 12, 1, 0.280, 0.046, 0.190},
+      {"blosum62", 10, 2, 0.255, 0.035, 0.130},
+      {"blosum50", 13, 2, 0.232, 0.057, 0.110},
+      {"blosum50", 10, 3, 0.210, 0.040, 0.090},
+      {"blosum45", 14, 2, 0.202, 0.041, 0.090},
+      {"blosum80", 10, 1, 0.300, 0.072, 0.270},
+      {"blosum90", 10, 1, 0.310, 0.084, 0.310},
+      {"pam250", 14, 2, 0.174, 0.023, 0.070},
+      {"pam120", 16, 2, 0.280, 0.056, 0.250},
+  };
+  for (const Row& r : kTable)
+    if (matrix_name == r.matrix && gap_open == r.open && gap_extend == r.ext) {
+      KarlinParams p;
+      p.lambda = r.lambda;
+      p.K = r.K;
+      p.H = r.H;
+      p.gapped = true;
+      return p;
+    }
+  return std::nullopt;
+}
+
+KarlinParams calibrate_gapped(const core::AlignConfig& cfg, int samples,
+                              uint32_t len, uint64_t seed) {
+  if (samples < 30) throw std::invalid_argument("calibrate_gapped: samples < 30");
+  core::AlignConfig c = cfg;
+  c.traceback = false;
+  core::Workspace ws;
+  std::vector<double> scores;
+  scores.reserve(static_cast<size_t>(samples));
+  const seq::AlphabetKind kind = c.scheme == core::ScoreScheme::Matrix
+                                     ? c.matrix->alphabet().kind()
+                                     : seq::AlphabetKind::Protein;
+  for (int k = 0; k < samples; ++k) {
+    auto q = seq::generate_sequence(seed + 2 * static_cast<uint64_t>(k), len, kind);
+    auto r =
+        seq::generate_sequence(seed + 2 * static_cast<uint64_t>(k) + 1, len, kind);
+    scores.push_back(core::diag_align(q, r, c, ws).score);
+  }
+
+  double mean = 0;
+  for (double s : scores) mean += s;
+  mean /= samples;
+  double var = 0;
+  for (double s : scores) var += (s - mean) * (s - mean);
+  var /= (samples - 1);
+  if (var <= 0) throw std::runtime_error("calibrate_gapped: degenerate scores");
+
+  KarlinParams p;
+  p.lambda = M_PI / std::sqrt(6.0 * var);
+  const double mu = mean - kEulerGamma / p.lambda;
+  p.K = std::exp(p.lambda * mu) / (static_cast<double>(len) * len);
+  p.H = 0;
+  p.gapped = true;
+  return p;
+}
+
+double evalue(const KarlinParams& p, int score, uint64_t query_length,
+              uint64_t db_residues) {
+  return p.K * static_cast<double>(query_length) *
+         static_cast<double>(db_residues) * std::exp(-p.lambda * score);
+}
+
+double bitscore(const KarlinParams& p, int score) {
+  return (p.lambda * score - std::log(p.K)) / std::log(2.0);
+}
+
+}  // namespace swve::align

@@ -1,0 +1,61 @@
+// Alignment score statistics: Karlin-Altschul parameters, E-values and bit
+// scores for database-search hits.
+//
+// Local-alignment scores of unrelated sequences follow an extreme-value
+// (Gumbel) distribution: E = K * m * n * exp(-lambda * S). This module
+// provides lambda three ways:
+//   * analytically for ungapped scoring (the classical Karlin-Altschul
+//     equation sum p_i p_j exp(lambda s_ij) = 1, solved by bisection);
+//   * from a small table of published gapped parameters for common
+//     (matrix, gap) combinations;
+//   * by empirical calibration: align random sequence pairs with the actual
+//     kernel configuration and fit a Gumbel by the method of moments —
+//     works for any scoring scheme, including banded alignment.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "core/params.hpp"
+
+namespace swve::align {
+
+struct KarlinParams {
+  double lambda = 0;  ///< scale of the score distribution (nats per score)
+  double K = 0;       ///< search-space prefactor
+  double H = 0;       ///< relative entropy per aligned pair (nats); 0 if n/a
+  bool gapped = false;
+};
+
+/// Exact ungapped lambda and H for a matrix and residue background
+/// (`background` has one frequency per code; typically
+/// seq::protein_background()). K is approximated as H/lambda (documented
+/// rough estimate — calibrate empirically when accurate E-values matter).
+/// Throws if the expected score is non-negative (no Gumbel regime).
+KarlinParams karlin_ungapped(const matrix::ScoreMatrix& matrix,
+                             std::span<const double> background);
+
+/// Published gapped parameters (ALP/BLAST values) for common
+/// configurations; nullopt if the combination is not in the table.
+std::optional<KarlinParams> published_gapped(const std::string& matrix_name,
+                                             int gap_open, int gap_extend);
+
+/// Empirical calibration: align `samples` random length-`len` pairs under
+/// `cfg` (through the real kernels) and fit a Gumbel by moments:
+///   lambda = pi / (sd * sqrt(6)),  mu = mean - gamma/lambda,
+///   K = exp(lambda * mu) / (len * len).
+/// Deterministic for a given seed. `cfg.traceback` is ignored.
+KarlinParams calibrate_gapped(const core::AlignConfig& cfg, int samples = 300,
+                              uint32_t len = 200, uint64_t seed = 99);
+
+/// Expected number of chance hits with score >= S for a query of length m
+/// against db_residues of target.
+double evalue(const KarlinParams& p, int score, uint64_t query_length,
+              uint64_t db_residues);
+
+/// Normalized score in bits: (lambda*S - ln K) / ln 2.
+double bitscore(const KarlinParams& p, int score);
+
+}  // namespace swve::align

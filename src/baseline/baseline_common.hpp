@@ -1,0 +1,31 @@
+// Shared result type for the Parasail-style baseline kernels (Fig 14).
+#pragma once
+
+#include <cstdint>
+
+#include "core/params.hpp"
+#include "core/result.hpp"
+#include "core/workspace.hpp"
+#include "seq/sequence.hpp"
+
+namespace swve::baseline {
+
+/// Raw result of one baseline kernel run. The baselines are score-oriented
+/// (like parasail's sw_* functions): they report the score and the end
+/// column; end_query is not tracked (-1).
+struct BaselineResult {
+  int score = 0;
+  int end_ref = -1;
+  bool saturated = false;
+  /// Striped only: lazy-F correction-loop inner iterations. This is the
+  /// data-dependent ("speculation + correction") work the paper contrasts
+  /// with the deterministic diagonal kernel.
+  uint64_t lazy_f_iterations = 0;
+  core::KernelStats stats;
+};
+
+/// Large-magnitude negative sentinel for signed 16-bit baseline arithmetic;
+/// far enough from INT16_MIN that saturating decay cannot wrap.
+inline constexpr int16_t kNeg16 = -30000;
+
+}  // namespace swve::baseline

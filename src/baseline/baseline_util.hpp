@@ -1,0 +1,33 @@
+// Internal helpers shared by the baseline aligner wrappers.
+#pragma once
+
+#include <memory>
+
+#include "core/params.hpp"
+#include "matrix/score_matrix.hpp"
+
+namespace swve::baseline::detail {
+
+/// Baselines are score-oriented and matrix-driven (like parasail): disable
+/// traceback, model Linear as affine with open == extend, and rewrite a
+/// Fixed score scheme into an equivalent match/mismatch matrix (the padded
+/// 24-dim table covers every alphabet's code range).
+inline core::AlignConfig sanitize(const core::AlignConfig& cfg,
+                                  std::unique_ptr<matrix::ScoreMatrix>& owned) {
+  core::AlignConfig c = cfg;
+  c.traceback = false;
+  c.validate();
+  if (c.gap_model == core::GapModel::Linear) {
+    c.gap_model = core::GapModel::Affine;
+    c.gap_open = c.gap_extend;
+  }
+  if (c.scheme == core::ScoreScheme::Fixed) {
+    owned = std::make_unique<matrix::ScoreMatrix>(matrix::ScoreMatrix::match_mismatch(
+        c.match, c.mismatch, seq::Alphabet::protein()));
+    c.scheme = core::ScoreScheme::Matrix;
+    c.matrix = owned.get();
+  }
+  return c;
+}
+
+}  // namespace swve::baseline::detail

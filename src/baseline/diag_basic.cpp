@@ -1,0 +1,46 @@
+#include "baseline/diag_basic.hpp"
+
+#include <stdexcept>
+
+#include "baseline/baseline_util.hpp"
+#include "core/scalar_ref.hpp"
+#include "simd/cpu.hpp"
+
+namespace swve::baseline {
+
+DiagBasicAligner::DiagBasicAligner(seq::SeqView q, const core::AlignConfig& cfg)
+    : query_(q.data, q.data + q.length), cfg_(detail::sanitize(cfg, owned_matrix_)) {}
+
+BaselineResult DiagBasicAligner::align16(seq::SeqView r, core::Workspace& ws) const {
+#if defined(SWVE_HAVE_AVX2_BUILD)
+  if (simd::cpu_features().avx2)
+    return diag_basic16_avx2(query_.data(), static_cast<int>(query_.size()), r, cfg_,
+                             ws);
+#endif
+  (void)r;
+  (void)ws;
+  throw std::runtime_error("DiagBasicAligner::align16 requires AVX2");
+}
+
+core::Alignment DiagBasicAligner::align(seq::SeqView r, core::Workspace& ws) const {
+#if defined(SWVE_HAVE_AVX2_BUILD)
+  if (simd::cpu_features().avx2) {
+    BaselineResult r16 = align16(r, ws);
+    if (!r16.saturated) {
+      core::Alignment a;
+      a.isa_used = simd::Isa::Avx2;
+      a.width_used = core::Width::W16;
+      a.score = r16.score;
+      a.stats = r16.stats;
+      return a;
+    }
+  }
+#endif
+  (void)ws;
+  const seq::SeqView qv(query_.data(), query_.size());
+  core::Alignment exact = core::ref_align(qv, r, cfg_);
+  exact.saturated_16 = true;
+  return exact;
+}
+
+}  // namespace swve::baseline

@@ -1,0 +1,42 @@
+// Classic anti-diagonal ("wavefront", Wozniak 1997) baseline, as in
+// parasail's sw_diag family. Same traversal as the paper's kernel but
+// WITHOUT its optimizations, which makes it the natural ablation reference:
+//   * substitution scores are fetched by a scalar per-cell loop into a
+//     per-diagonal staging buffer (no reorganized-matrix gather, Fig 4);
+//   * the maximum is reduced horizontally on every diagonal (no deferred
+//     per-row maximum, §III-D);
+//   * 16-bit only (no 8/16 adaptive width).
+// Reports score only (end cell untracked, like score-only wavefronts).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baseline/baseline_common.hpp"
+#include "matrix/score_matrix.hpp"
+
+namespace swve::baseline {
+
+class DiagBasicAligner {
+ public:
+  DiagBasicAligner(seq::SeqView q, const core::AlignConfig& cfg);
+
+  /// 16-bit wavefront kernel. Requires AVX2 (throws otherwise).
+  BaselineResult align16(seq::SeqView r, core::Workspace& ws) const;
+
+  /// 16-bit, exact 32-bit scalar fallback on saturation / without AVX2.
+  core::Alignment align(seq::SeqView r, core::Workspace& ws) const;
+
+ private:
+  std::vector<uint8_t> query_;
+  // Constructed before cfg_ (sanitize() fills it during cfg_ init).
+  std::unique_ptr<matrix::ScoreMatrix> owned_matrix_;
+  core::AlignConfig cfg_;
+};
+
+#if defined(SWVE_HAVE_AVX2_BUILD)
+BaselineResult diag_basic16_avx2(const uint8_t* q, int m, seq::SeqView r,
+                                 const core::AlignConfig& cfg, core::Workspace& ws);
+#endif
+
+}  // namespace swve::baseline

@@ -1,0 +1,50 @@
+#include "baseline/scan.hpp"
+
+#include <stdexcept>
+
+#include "baseline/baseline_util.hpp"
+#include "core/scalar_ref.hpp"
+#include "simd/cpu.hpp"
+
+namespace swve::baseline {
+
+ScanAligner::ScanAligner(seq::SeqView q, const core::AlignConfig& cfg)
+    : query_(q.data, q.data + q.length), cfg_(detail::sanitize(cfg, owned_matrix_)) {
+  const seq::SeqView qv(query_.data(), query_.size());
+  prof16_ = std::make_unique<matrix::SequentialProfile<int16_t>>(
+      qv, *cfg_.matrix, 32, kNeg16, 0);
+}
+
+BaselineResult ScanAligner::align16(seq::SeqView r, core::Workspace& ws) const {
+#if defined(SWVE_HAVE_AVX2_BUILD)
+  if (simd::cpu_features().avx2)
+    return scan16_avx2(*prof16_, r, cfg_.gap_open, cfg_.gap_extend, ws);
+#endif
+  (void)r;
+  (void)ws;
+  throw std::runtime_error("ScanAligner::align16 requires AVX2");
+}
+
+core::Alignment ScanAligner::align(seq::SeqView r, core::Workspace& ws) const {
+#if defined(SWVE_HAVE_AVX2_BUILD)
+  if (simd::cpu_features().avx2) {
+    BaselineResult r16 = align16(r, ws);
+    if (!r16.saturated) {
+      core::Alignment a;
+      a.isa_used = simd::Isa::Avx2;
+      a.width_used = core::Width::W16;
+      a.score = r16.score;
+      a.end_ref = r16.end_ref;
+      a.stats = r16.stats;
+      return a;
+    }
+  }
+#endif
+  (void)ws;
+  const seq::SeqView qv(query_.data(), query_.size());
+  core::Alignment exact = core::ref_align(qv, r, cfg_);
+  exact.saturated_16 = true;
+  return exact;
+}
+
+}  // namespace swve::baseline

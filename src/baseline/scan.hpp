@@ -1,0 +1,46 @@
+// Prefix-scan Smith-Waterman baseline (Rognes 2011 / Daily 2016 "scan"
+// family). Two fully vectorized passes per database column:
+//   pass 1: E and the F-free candidate T(i) = max(0, H(i-1,j-1)+s, E(i,j))
+//           for every query row (no vertical dependency);
+//   pass 2: F via a weighted max prefix scan — with gap_open >= gap_extend,
+//           F(i) = max(T(i-1)-open, F(i-1)-ext) is a decayed running max of
+//           T-open, computed with a Hillis-Steele in-register scan plus a
+//           scalar carry between 16-lane blocks; then H = max(T, F).
+// 16-bit signed arithmetic; saturation falls back to the exact 32-bit
+// scalar model in align().
+#pragma once
+
+#include <memory>
+
+#include "baseline/baseline_common.hpp"
+#include "matrix/query_profile.hpp"
+
+namespace swve::baseline {
+
+class ScanAligner {
+ public:
+  ScanAligner(seq::SeqView q, const core::AlignConfig& cfg);
+
+  /// 16-bit scan kernel. Requires AVX2 (throws otherwise).
+  BaselineResult align16(seq::SeqView r, core::Workspace& ws) const;
+
+  /// 16-bit, exact 32-bit scalar fallback on saturation / without AVX2.
+  core::Alignment align(seq::SeqView r, core::Workspace& ws) const;
+
+  int query_length() const noexcept { return static_cast<int>(query_.size()); }
+
+ private:
+  std::vector<uint8_t> query_;
+  // Constructed before cfg_ (sanitize() fills it during cfg_ init).
+  std::unique_ptr<matrix::ScoreMatrix> owned_matrix_;
+  core::AlignConfig cfg_;
+  std::unique_ptr<matrix::SequentialProfile<int16_t>> prof16_;
+};
+
+#if defined(SWVE_HAVE_AVX2_BUILD)
+BaselineResult scan16_avx2(const matrix::SequentialProfile<int16_t>& prof,
+                           seq::SeqView r, int gap_open, int gap_extend,
+                           core::Workspace& ws);
+#endif
+
+}  // namespace swve::baseline

@@ -1,0 +1,498 @@
+// AVX2 implementations of the Parasail-style baselines (compiled with
+// -mavx2). See striped.hpp / scan.hpp / diag_basic.hpp for the algorithms.
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "baseline/diag_basic.hpp"
+#include "baseline/scan.hpp"
+#include "baseline/striped.hpp"
+
+namespace swve::baseline {
+
+namespace {
+
+// ---- cross-lane element shifts (toward higher indices) ------------------
+
+inline __m256i lane_carry(__m256i v) {  // [0, v_low]: feeds alignr shifts
+  return _mm256_permute2x128_si256(v, v, 0x08);
+}
+inline __m256i shl_1x8(__m256i v) {  // one byte
+  return _mm256_alignr_epi8(v, lane_carry(v), 15);
+}
+inline __m256i shl_1x16(__m256i v) {  // one epi16 element
+  return _mm256_alignr_epi8(v, lane_carry(v), 14);
+}
+inline __m256i shl_2x16(__m256i v) {
+  return _mm256_alignr_epi8(v, lane_carry(v), 12);
+}
+inline __m256i shl_4x16(__m256i v) {
+  return _mm256_alignr_epi8(v, lane_carry(v), 8);
+}
+inline __m256i shl_8x16(__m256i v) { return lane_carry(v); }
+
+inline bool any_gt_epi16(__m256i a, __m256i b) {
+  const __m256i m = _mm256_cmpgt_epi16(a, b);
+  return !_mm256_testz_si256(m, m);
+}
+inline bool any_gt_epu8(__m256i a, __m256i b) {
+  const __m256i f = _mm256_set1_epi8(static_cast<char>(0x80));
+  const __m256i m =
+      _mm256_cmpgt_epi8(_mm256_xor_si256(a, f), _mm256_xor_si256(b, f));
+  return !_mm256_testz_si256(m, m);
+}
+
+inline int hmax_epi16(__m256i v) {
+  __m128i x = _mm_max_epi16(_mm256_castsi256_si128(v), _mm256_extracti128_si256(v, 1));
+  x = _mm_max_epi16(x, _mm_srli_si128(x, 8));
+  x = _mm_max_epi16(x, _mm_srli_si128(x, 4));
+  x = _mm_max_epi16(x, _mm_srli_si128(x, 2));
+  return static_cast<int16_t>(_mm_cvtsi128_si32(x));
+}
+inline int hmax_epu8(__m256i v) {
+  __m128i x = _mm_max_epu8(_mm256_castsi256_si128(v), _mm256_extracti128_si256(v, 1));
+  x = _mm_max_epu8(x, _mm_srli_si128(x, 8));
+  x = _mm_max_epu8(x, _mm_srli_si128(x, 4));
+  x = _mm_max_epu8(x, _mm_srli_si128(x, 2));
+  x = _mm_max_epu8(x, _mm_srli_si128(x, 1));
+  return _mm_cvtsi128_si32(x) & 0xFF;
+}
+
+}  // namespace
+
+// ======================= striped, 16-bit signed ==========================
+
+BaselineResult striped16_avx2(const matrix::StripedProfile<int16_t>& prof,
+                              seq::SeqView r, int gap_open, int gap_extend,
+                              core::Workspace& ws) {
+  constexpr int L = 16;
+  const int seg_len = prof.seg_len();
+  const int n = static_cast<int>(r.length);
+  BaselineResult out;
+  if (prof.query_length() == 0 || n == 0) return out;
+
+  const size_t bytes = static_cast<size_t>(seg_len) * sizeof(__m256i);
+  auto* pvHLoad = static_cast<__m256i*>(ws.baseline[0].ensure_zeroed(bytes));
+  auto* pvHStore = static_cast<__m256i*>(ws.baseline[1].ensure_zeroed(bytes));
+  auto* pvE = static_cast<__m256i*>(ws.baseline[2].ensure_zeroed(bytes));
+
+  const __m256i vZero = _mm256_setzero_si256();
+  const __m256i vGapO = _mm256_set1_epi16(static_cast<short>(gap_open));
+  const __m256i vGapE = _mm256_set1_epi16(static_cast<short>(gap_extend));
+  __m256i vMax = vZero;
+  __m256i vMaxSeen = vZero;
+  int best_seen = 0;
+  int end_ref = -1;
+  uint64_t lazy_iters = 0;
+
+  for (int j = 0; j < n; ++j) {
+    const auto* vP = reinterpret_cast<const __m256i*>(prof.row(r[static_cast<size_t>(j)]));
+    // H(i-1, j-1) for stripe 0 comes from the last stripe of the previous
+    // column, shifted by one query position.
+    __m256i vH = shl_1x16(pvHLoad[seg_len - 1]);
+    __m256i vF = _mm256_set1_epi16(kNeg16);
+
+    for (int s = 0; s < seg_len; ++s) {
+      vH = _mm256_adds_epi16(vH, _mm256_loadu_si256(vP + s));
+      const __m256i vE = pvE[s];
+      vH = _mm256_max_epi16(vH, vE);
+      vH = _mm256_max_epi16(vH, vF);
+      vH = _mm256_max_epi16(vH, vZero);
+      vMax = _mm256_max_epi16(vMax, vH);
+      pvHStore[s] = vH;
+      const __m256i vHo = _mm256_subs_epi16(vH, vGapO);
+      pvE[s] = _mm256_max_epi16(_mm256_subs_epi16(vE, vGapE), vHo);
+      vF = _mm256_max_epi16(_mm256_subs_epi16(vF, vGapE), vHo);
+      vH = pvHLoad[s];
+    }
+
+    // Lazy-F: the speculative main pass ignored F chains that cross lane
+    // boundaries. Each correction pass shifts F one lane and replays the
+    // column, folding in both gap-extension (F-e) and gap-open (H-o)
+    // candidates — the open fold is required for chains that re-open from a
+    // high H in an earlier lane. A pass that raises nothing ends the loop;
+    // a chain crosses at most L-1 lane boundaries, so L passes always
+    // suffice. The pass count is data dependent (the paper's determinism
+    // point about striped).
+    bool settled = false;
+    __m256i vFLast = vF;  // carry at the end of the previous pass
+    for (int k = 0; k < L && !settled; ++k) {
+      vF = shl_1x16(vF);
+      vF = _mm256_insert_epi16(vF, kNeg16, 0);
+      bool raised = false;
+      for (int s = 0; s < seg_len; ++s) {
+        ++lazy_iters;
+        __m256i vH2 = pvHStore[s];
+        if (any_gt_epi16(vF, vH2)) {
+          vH2 = _mm256_max_epi16(vH2, vF);
+          pvHStore[s] = vH2;
+          vMax = _mm256_max_epi16(vMax, vH2);
+          raised = true;
+        }
+        const __m256i vHo = _mm256_subs_epi16(vH2, vGapO);
+        pvE[s] = _mm256_max_epi16(pvE[s], vHo);  // keep E exact after repair
+        vF = _mm256_max_epi16(_mm256_subs_epi16(vF, vGapE), vHo);
+        // Fast exit: nothing raised this pass AND the carry is dominated by
+        // the stored-H open chain. Domination makes the rest of this pass a
+        // pure function of stored H (a stationary carry), so no later pass
+        // can deliver anything new either. A bare "nothing raised" test is
+        // NOT sufficient: a live through-carry (vF > H-o somewhere) can
+        // cross several quiet lanes before it finally raises a cell.
+        if (!raised && !any_gt_epi16(vF, vHo)) {
+          settled = true;
+          break;
+        }
+      }
+      // Fixpoint: nothing raised and the end-of-pass carry did not grow in
+      // any lane, so every future delivery is a subset of past ones. (A dead
+      // carry, <= 0 everywhere, is a special case: it can't beat H >= 0.)
+      if (!raised &&
+          (!any_gt_epi16(vF, vFLast) || !any_gt_epi16(vF, vZero)))
+        settled = true;
+      vFLast = vF;
+    }
+
+    // The horizontal reduce only runs on columns where some lane improved.
+    if (any_gt_epi16(vMax, vMaxSeen)) {
+      vMaxSeen = vMax;
+      int cur = hmax_epi16(vMax);
+      if (cur > best_seen) {
+        best_seen = cur;
+        end_ref = j;
+      }
+    }
+    std::swap(pvHLoad, pvHStore);
+  }
+
+  const int best = hmax_epi16(vMax);
+  out.score = best;
+  out.end_ref = best > 0 ? end_ref : -1;
+  out.saturated = best >= INT16_MAX;
+  out.lazy_f_iterations = lazy_iters;
+  out.stats.cells = static_cast<uint64_t>(prof.query_length()) * static_cast<uint64_t>(n);
+  out.stats.vector_cells = static_cast<uint64_t>(seg_len) * L * static_cast<uint64_t>(n);
+  return out;
+}
+
+// ======================= striped, 8-bit unsigned biased ==================
+
+BaselineResult striped8_avx2(const matrix::StripedProfile<uint8_t>& prof,
+                             seq::SeqView r, int gap_open, int gap_extend,
+                             int max_subst, core::Workspace& ws) {
+  constexpr int L = 32;
+  const int seg_len = prof.seg_len();
+  const int n = static_cast<int>(r.length);
+  BaselineResult out;
+  if (prof.query_length() == 0 || n == 0) return out;
+
+  const size_t bytes = static_cast<size_t>(seg_len) * sizeof(__m256i);
+  auto* pvHLoad = static_cast<__m256i*>(ws.baseline[0].ensure_zeroed(bytes));
+  auto* pvHStore = static_cast<__m256i*>(ws.baseline[1].ensure_zeroed(bytes));
+  auto* pvE = static_cast<__m256i*>(ws.baseline[2].ensure_zeroed(bytes));
+
+  const int bias = prof.bias();
+  auto clamp_u8 = [](int v) { return v < 0 ? 0 : (v > 255 ? 255 : v); };
+  const __m256i vBias = _mm256_set1_epi8(static_cast<char>(bias));
+  const __m256i vGapO = _mm256_set1_epi8(static_cast<char>(clamp_u8(gap_open)));
+  const __m256i vGapE = _mm256_set1_epi8(static_cast<char>(clamp_u8(gap_extend)));
+  __m256i vMax = _mm256_setzero_si256();
+  __m256i vMaxSeen = _mm256_setzero_si256();
+  int best_seen = 0;
+  int end_ref = -1;
+  uint64_t lazy_iters = 0;
+
+  for (int j = 0; j < n; ++j) {
+    const auto* vP = reinterpret_cast<const __m256i*>(prof.row(r[static_cast<size_t>(j)]));
+    __m256i vH = shl_1x8(pvHLoad[seg_len - 1]);
+    __m256i vF = _mm256_setzero_si256();  // clamped domain: "-inf" == 0
+
+    for (int s = 0; s < seg_len; ++s) {
+      vH = _mm256_subs_epu8(_mm256_adds_epu8(vH, _mm256_loadu_si256(vP + s)), vBias);
+      const __m256i vE = pvE[s];
+      vH = _mm256_max_epu8(vH, vE);
+      vH = _mm256_max_epu8(vH, vF);
+      vMax = _mm256_max_epu8(vMax, vH);
+      pvHStore[s] = vH;
+      const __m256i vHo = _mm256_subs_epu8(vH, vGapO);
+      pvE[s] = _mm256_max_epu8(_mm256_subs_epu8(vE, vGapE), vHo);
+      vF = _mm256_max_epu8(_mm256_subs_epu8(vF, vGapE), vHo);
+      vH = pvHLoad[s];
+    }
+
+    // Same corrected lazy-F as the 16-bit kernel (see comment there).
+    bool settled = false;
+    __m256i vFLast = vF;
+    for (int k = 0; k < L && !settled; ++k) {
+      vF = shl_1x8(vF);  // shifts in 0 == clamped-domain -inf
+      bool raised = false;
+      for (int s = 0; s < seg_len; ++s) {
+        ++lazy_iters;
+        __m256i vH2 = pvHStore[s];
+        if (any_gt_epu8(vF, vH2)) {
+          vH2 = _mm256_max_epu8(vH2, vF);
+          pvHStore[s] = vH2;
+          vMax = _mm256_max_epu8(vMax, vH2);
+          raised = true;
+        }
+        const __m256i vHo = _mm256_subs_epu8(vH2, vGapO);
+        pvE[s] = _mm256_max_epu8(pvE[s], vHo);
+        vF = _mm256_max_epu8(_mm256_subs_epu8(vF, vGapE), vHo);
+        // See the 16-bit kernel for why domination is required here.
+        if (!raised && !any_gt_epu8(vF, vHo)) {
+          settled = true;
+          break;
+        }
+      }
+      if (!raised && (!any_gt_epu8(vF, vFLast) ||
+                      !any_gt_epu8(vF, _mm256_setzero_si256())))
+        settled = true;
+      vFLast = vF;
+    }
+
+    if (any_gt_epu8(vMax, vMaxSeen)) {
+      vMaxSeen = vMax;
+      int cur = hmax_epu8(vMax);
+      if (cur > best_seen) {
+        best_seen = cur;
+        end_ref = j;
+      }
+    }
+    std::swap(pvHLoad, pvHStore);
+  }
+
+  const int best = hmax_epu8(vMax);
+  out.score = best;
+  out.end_ref = best > 0 ? end_ref : -1;
+  out.saturated = best >= 255 - bias - max_subst;
+  out.lazy_f_iterations = lazy_iters;
+  out.stats.cells = static_cast<uint64_t>(prof.query_length()) * static_cast<uint64_t>(n);
+  out.stats.vector_cells = static_cast<uint64_t>(seg_len) * L * static_cast<uint64_t>(n);
+  return out;
+}
+
+// ======================= scan, 16-bit signed =============================
+
+BaselineResult scan16_avx2(const matrix::SequentialProfile<int16_t>& prof,
+                           seq::SeqView r, int gap_open, int gap_extend,
+                           core::Workspace& ws) {
+  constexpr int L = 16;
+  const int m = prof.query_length();
+  const int n = static_cast<int>(r.length);
+  BaselineResult out;
+  if (m == 0 || n == 0) return out;
+
+  const int mr = (m + L - 1) / L * L;  // rounded row count (profile is padded)
+  const size_t elems = static_cast<size_t>(mr) + 2 * core::kPad;
+  auto* H = static_cast<int16_t*>(ws.baseline[0].ensure_zeroed(elems * 2)) + core::kPad;
+  auto* E = static_cast<int16_t*>(ws.baseline[1].ensure(elems * 2)) + core::kPad;
+  auto* T = static_cast<int16_t*>(ws.baseline[2].ensure_zeroed(elems * 2)) + core::kPad;
+  for (int i = -core::kPad; i < mr + core::kPad; ++i) E[i] = kNeg16;
+
+  const int o = gap_open, e = gap_extend;
+  const int C = o + 1;  // sentinel offset: shifted-in zeros act as -inf
+  const __m256i vZero = _mm256_setzero_si256();
+  const __m256i vO = _mm256_set1_epi16(static_cast<short>(o));
+  const __m256i vGe = _mm256_set1_epi16(static_cast<short>(e));
+  alignas(32) int16_t rampA[L], rampT[L];
+  for (int t = 0; t < L; ++t) {
+    rampA[t] = static_cast<int16_t>((t + 1) * e + C);
+    rampT[t] = static_cast<int16_t>(t * e + C);
+    // carry decay ramp reuses t*e without C (see below)
+  }
+  const __m256i vRampA = _mm256_load_si256(reinterpret_cast<const __m256i*>(rampA));
+  const __m256i vRampTC = _mm256_load_si256(reinterpret_cast<const __m256i*>(rampT));
+  alignas(32) int16_t rampE[L];
+  for (int t = 0; t < L; ++t) rampE[t] = static_cast<int16_t>(t * e);
+  const __m256i vRampE = _mm256_load_si256(reinterpret_cast<const __m256i*>(rampE));
+
+  __m256i vMax = vZero;
+  __m256i vMaxSeen = vZero;
+  int best_seen = 0;
+  int end_ref = -1;
+
+  for (int j = 0; j < n; ++j) {
+    const int16_t* prow = prof.row(r[static_cast<size_t>(j)]);
+
+    // Pass 1: E(i,j) and the F-free candidate T(i).
+    for (int i = 0; i < mr; i += L) {
+      const __m256i vHs =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(H + i - 1));
+      const __m256i vS = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(prow + i));
+      const __m256i vDiag = _mm256_adds_epi16(vHs, vS);
+      const __m256i vE = _mm256_max_epi16(
+          _mm256_subs_epi16(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(H + i)), vO),
+          _mm256_subs_epi16(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(E + i)), vGe));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(E + i), vE);
+      __m256i vT = _mm256_max_epi16(_mm256_max_epi16(vDiag, vE), vZero);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(T + i), vT);
+    }
+
+    // Pass 2: F by decayed max-prefix-scan over U = T - open, then H.
+    int carry = kNeg16;  // F at the block base
+    for (int i = 0; i < mr; i += L) {
+      const __m256i vT = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(T + i));
+      const __m256i vV = _mm256_sub_epi16(vT, vO);
+      __m256i vP = _mm256_adds_epi16(vV, vRampA);  // A' = V + (t+1)e + C >= 1
+      vP = shl_1x16(vP);                           // exclusive; injects 0 == -inf
+      vP = _mm256_max_epi16(vP, shl_1x16(vP));
+      vP = _mm256_max_epi16(vP, shl_2x16(vP));
+      vP = _mm256_max_epi16(vP, shl_4x16(vP));
+      vP = _mm256_max_epi16(vP, shl_8x16(vP));
+      const __m256i vM = _mm256_sub_epi16(vP, vRampTC);  // in-block F
+      const __m256i vFc =
+          _mm256_subs_epi16(_mm256_set1_epi16(static_cast<short>(carry)), vRampE);
+      const __m256i vF = _mm256_max_epi16(vM, vFc);
+      const __m256i vH = _mm256_max_epi16(vT, vF);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(H + i), vH);
+      vMax = _mm256_max_epi16(vMax, vH);
+      const int f_last = static_cast<int16_t>(_mm256_extract_epi16(vF, 15));
+      const int v_last = static_cast<int16_t>(_mm256_extract_epi16(vV, 15));
+      carry = std::max(f_last - e, v_last);
+      carry = std::max<int>(carry, kNeg16);
+    }
+
+    if (any_gt_epi16(vMax, vMaxSeen)) {
+      vMaxSeen = vMax;
+      int cur = hmax_epi16(vMax);
+      if (cur > best_seen) {
+        best_seen = cur;
+        end_ref = j;
+      }
+    }
+  }
+
+  const int best = hmax_epi16(vMax);
+  out.score = best;
+  out.end_ref = best > 0 ? end_ref : -1;
+  out.saturated = best >= INT16_MAX - (L * e + C) - 64;
+  out.stats.cells = static_cast<uint64_t>(m) * static_cast<uint64_t>(n);
+  out.stats.vector_cells = static_cast<uint64_t>(mr) * static_cast<uint64_t>(n);
+  return out;
+}
+
+// ======================= classic wavefront (diag), 16-bit ================
+
+BaselineResult diag_basic16_avx2(const uint8_t* q, int m, seq::SeqView r,
+                                 const core::AlignConfig& cfg, core::Workspace& ws) {
+  constexpr int L = 16;
+  const int n = static_cast<int>(r.length);
+  BaselineResult out;
+  if (m == 0 || n == 0) return out;
+
+  const bool affine = cfg.gap_model == core::GapModel::Affine;
+  const int o = affine ? cfg.gap_open : cfg.gap_extend;
+  const int e = cfg.gap_extend;
+
+  const size_t elems = static_cast<size_t>(m) + 2 * core::kPad;
+  int16_t* B[6];
+  for (int t = 0; t < 3; ++t)
+    B[t] = static_cast<int16_t*>(ws.h[t].ensure_zeroed(elems * 2)) + core::kPad;
+  B[3] = static_cast<int16_t*>(ws.e[0].ensure_zeroed(elems * 2)) + core::kPad;
+  B[4] = static_cast<int16_t*>(ws.e[1].ensure_zeroed(elems * 2)) + core::kPad;
+  auto* sbuf = static_cast<int16_t*>(ws.baseline[3].ensure(elems * 2)) + core::kPad;
+  int16_t *Hc = B[0], *Hp = B[1], *Hp2 = B[2], *Ec = B[3], *Ep = B[4];
+  int16_t* Fp = static_cast<int16_t*>(ws.f[0].ensure_zeroed(elems * 2)) + core::kPad;
+  int16_t* Fc = static_cast<int16_t*>(ws.f[1].ensure_zeroed(elems * 2)) + core::kPad;
+
+  const int32_t* mat = cfg.scheme == core::ScoreScheme::Matrix
+                           ? cfg.matrix->data32()
+                           : nullptr;
+  const __m256i vZero = _mm256_setzero_si256();
+  const __m256i vO = _mm256_set1_epi16(static_cast<short>(o));
+  const __m256i vGe = _mm256_set1_epi16(static_cast<short>(e));
+
+  int best = 0;
+  for (int d = 0; d < m + n - 1; ++d) {
+    const int lo = d - n + 1 < 0 ? 0 : d - n + 1;
+    const int hi = d < m - 1 ? d : m - 1;
+
+    // No gather, no reversed reference: fetch every cell's substitution
+    // score with a scalar loop into a staging buffer (the classic approach
+    // the paper's Fig 4 reorganization replaces).
+    if (mat) {
+      for (int i = lo; i <= hi; ++i)
+        sbuf[i] = static_cast<int16_t>(
+            mat[static_cast<int32_t>(q[i]) * seq::kMatrixStride + r[d - i]]);
+    } else {
+      for (int i = lo; i <= hi; ++i)
+        sbuf[i] = static_cast<int16_t>(q[i] == r[d - i] ? cfg.match : cfg.mismatch);
+    }
+
+    __m256i vDiagMax = vZero;
+    int i = lo;
+    for (; i + L <= hi + 1; i += L) {
+      const __m256i vS = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sbuf + i));
+      const __m256i vHd =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(Hp2 + i - 1));
+      __m256i vH = _mm256_adds_epi16(vHd, vS);
+      __m256i vE, vF;
+      if (affine) {
+        vE = _mm256_max_epi16(
+            _mm256_subs_epi16(
+                _mm256_loadu_si256(reinterpret_cast<const __m256i*>(Hp + i - 1)), vO),
+            _mm256_subs_epi16(
+                _mm256_loadu_si256(reinterpret_cast<const __m256i*>(Ep + i - 1)), vGe));
+        vF = _mm256_max_epi16(
+            _mm256_subs_epi16(
+                _mm256_loadu_si256(reinterpret_cast<const __m256i*>(Hp + i)), vO),
+            _mm256_subs_epi16(
+                _mm256_loadu_si256(reinterpret_cast<const __m256i*>(Fp + i)), vGe));
+      } else {
+        vE = _mm256_subs_epi16(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(Hp + i - 1)), vGe);
+        vF = _mm256_subs_epi16(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(Hp + i)), vGe);
+      }
+      vH = _mm256_max_epi16(vH, vE);
+      vH = _mm256_max_epi16(vH, vF);
+      vH = _mm256_max_epi16(vH, vZero);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(Hc + i), vH);
+      if (affine) {
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(Ec + i), vE);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(Fc + i), vF);
+      }
+      vDiagMax = _mm256_max_epi16(vDiagMax, vH);
+    }
+    for (; i <= hi; ++i) {  // scalar tail
+      int hd = Hp2[i - 1] + sbuf[i];
+      int ev, fv;
+      if (affine) {
+        ev = std::max(Hp[i - 1] - o, std::max<int>(Ep[i - 1] - e, kNeg16));
+        fv = std::max(Hp[i] - o, std::max<int>(Fp[i] - e, kNeg16));
+      } else {
+        ev = std::max<int>(Hp[i - 1] - e, kNeg16);
+        fv = std::max<int>(Hp[i] - e, kNeg16);
+      }
+      int h = std::max({0, hd, ev, fv});
+      Hc[i] = static_cast<int16_t>(h);
+      if (affine) {
+        Ec[i] = static_cast<int16_t>(std::max<int>(ev, kNeg16));
+        Fc[i] = static_cast<int16_t>(std::max<int>(fv, kNeg16));
+      }
+      if (h > best) best = h;
+    }
+
+    // Per-diagonal horizontal reduction — exactly the cost the paper's
+    // deferred-maximum scheme (§III-D) eliminates.
+    best = std::max(best, hmax_epi16(vDiagMax));
+
+    int16_t* t = Hp2;
+    Hp2 = Hp;
+    Hp = Hc;
+    Hc = t;
+    if (affine) {
+      std::swap(Ec, Ep);
+      std::swap(Fc, Fp);
+    }
+  }
+
+  out.score = best;
+  out.end_ref = -1;
+  out.saturated = best >= INT16_MAX;
+  out.stats.cells = static_cast<uint64_t>(m) * static_cast<uint64_t>(n);
+  out.stats.diagonals = static_cast<uint64_t>(m + n - 1);
+  return out;
+}
+
+}  // namespace swve::baseline

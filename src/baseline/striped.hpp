@@ -1,0 +1,58 @@
+// Striped Smith-Waterman baseline (Farrar 2007), as in parasail's
+// sw_striped family: striped query profile, column-wise sweep, speculative
+// F computation repaired by the lazy-F correction loop. The correction loop
+// makes the running time data dependent — the instability the paper
+// contrasts with its deterministic diagonal kernel (§IV-H).
+//
+// Implemented widths: 8-bit unsigned biased and 16-bit signed saturating
+// (AVX2). `align()` runs the 8->16 ladder and falls back to the exact
+// 32-bit scalar model if 16-bit saturates. Like parasail, the kernel
+// reports score and end_ref only.
+#pragma once
+
+#include <memory>
+
+#include "baseline/baseline_common.hpp"
+#include "matrix/query_profile.hpp"
+
+namespace swve::baseline {
+
+class StripedAligner {
+ public:
+  /// Builds the striped profiles once; reuse across many references.
+  /// Requires gap_open >= 1 (profile padding correctness; see DESIGN.md).
+  StripedAligner(seq::SeqView q, const core::AlignConfig& cfg);
+
+  /// 8-bit unsigned kernel. Requires AVX2 (throws otherwise).
+  BaselineResult align8(seq::SeqView r, core::Workspace& ws) const;
+  /// 16-bit signed kernel. Requires AVX2 (throws otherwise).
+  BaselineResult align16(seq::SeqView r, core::Workspace& ws) const;
+
+  /// Adaptive: 8-bit, then 16-bit on saturation, then exact 32-bit scalar.
+  /// On machines without AVX2 this is the exact scalar model throughout.
+  core::Alignment align(seq::SeqView r, core::Workspace& ws) const;
+
+  int query_length() const noexcept { return static_cast<int>(query_.size()); }
+
+ private:
+  std::vector<uint8_t> query_;  // owned copy (profile outlives caller views)
+  // owned_matrix_ must be declared (and thus constructed) before cfg_:
+  // sanitize() materializes a Fixed-scheme matrix into it while cfg_ is
+  // being initialized.
+  std::unique_ptr<matrix::ScoreMatrix> owned_matrix_;
+  core::AlignConfig cfg_;
+  std::unique_ptr<matrix::StripedProfile<uint8_t>> prof8_;
+  std::unique_ptr<matrix::StripedProfile<int16_t>> prof16_;
+};
+
+#if defined(SWVE_HAVE_AVX2_BUILD)
+// AVX2 kernels (defined in simd_baselines_avx2.cpp).
+BaselineResult striped8_avx2(const matrix::StripedProfile<uint8_t>& prof,
+                             seq::SeqView r, int gap_open, int gap_extend,
+                             int max_subst, core::Workspace& ws);
+BaselineResult striped16_avx2(const matrix::StripedProfile<int16_t>& prof,
+                              seq::SeqView r, int gap_open, int gap_extend,
+                              core::Workspace& ws);
+#endif
+
+}  // namespace swve::baseline

@@ -1,0 +1,147 @@
+#include "core/batch32.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "core/batch32_kernel.hpp"
+#include "core/dispatch.hpp"
+
+namespace swve::core {
+
+Batch32Db::Batch32Db(const seq::SequenceDatabase& db, int lanes) : lanes_(lanes) {
+  if (lanes != 32 && lanes != 64)
+    throw std::invalid_argument("Batch32Db: lanes must be 32 or 64");
+  total_seqs_ = db.size();
+  const auto& order = db.by_length();  // ascending length: minimal padding
+
+  for (size_t start = 0; start < order.size(); start += static_cast<size_t>(lanes)) {
+    const size_t count = std::min(static_cast<size_t>(lanes), order.size() - start);
+    uint32_t max_len = 0;
+    for (size_t k = 0; k < count; ++k)
+      max_len = std::max(max_len,
+                         static_cast<uint32_t>(db[order[start + k]].length()));
+    if (max_len == 0) continue;  // batch of empty sequences: nothing to score
+
+    BatchMeta meta;
+    meta.column_offset = columns_.size();
+    meta.index_offset = seq_index_.size();
+    meta.max_len = max_len;
+    meta.count = static_cast<uint32_t>(count);
+    batches_.push_back(meta);
+
+    for (size_t k = 0; k < count; ++k) {
+      seq_index_.push_back(order[start + k]);
+      seq_len_.push_back(static_cast<uint32_t>(db[order[start + k]].length()));
+    }
+
+    // Transpose: column j holds residue j of every lane (pad past the end).
+    const size_t base = columns_.size();
+    columns_.resize(base + static_cast<size_t>(max_len) * static_cast<size_t>(lanes),
+                    kBatchPadCode);
+    for (size_t k = 0; k < count; ++k) {
+      const seq::Sequence& s = db[order[start + k]];
+      const uint8_t* codes = s.data();
+      for (size_t j = 0; j < s.length(); ++j)
+        columns_[base + j * static_cast<size_t>(lanes) + k] = codes[j];
+      real_residues_ += s.length();
+    }
+    padded_residues_ +=
+        static_cast<uint64_t>(max_len) * static_cast<uint64_t>(lanes);
+  }
+}
+
+Batch32Db::Batch Batch32Db::batch(size_t b) const noexcept {
+  const BatchMeta& meta = batches_[b];
+  return Batch{columns_.data() + meta.column_offset, meta.max_len, meta.count,
+               seq_index_.data() + meta.index_offset,
+               seq_len_.data() + meta.index_offset};
+}
+
+double Batch32Db::padding_overhead() const noexcept {
+  return real_residues_ == 0
+             ? 0.0
+             : static_cast<double>(padded_residues_) /
+                       static_cast<double>(real_residues_) -
+                   1.0;
+}
+
+Batch8Result batch32_u8_scalar(seq::SeqView q, const uint8_t* columns, uint32_t cols,
+                               int lanes, const AlignConfig& cfg, Workspace& ws) {
+  if (lanes == 64) return batch32_kernel<EmuBatchEngine<64>>(q, columns, cols, cfg, ws);
+  return batch32_kernel<EmuBatchEngine<32>>(q, columns, cols, cfg, ws);
+}
+
+Batch8Result batch32_align_u8(seq::SeqView q, const Batch32Db::Batch& batch, int lanes,
+                              const AlignConfig& cfg, Workspace& ws, simd::Isa isa) {
+  cfg.validate();
+#if defined(SWVE_HAVE_AVX512_BUILD)
+  if (lanes == 64 && isa == simd::Isa::Avx512 && simd::cpu_features().avx512vbmi)
+    return batch32_u8_avx512(q, batch.columns, batch.max_len, cfg, ws);
+#endif
+#if defined(SWVE_HAVE_AVX2_BUILD)
+  if (lanes == 32 && (isa == simd::Isa::Avx2 || isa == simd::Isa::Avx512) &&
+      simd::cpu_features().avx2)
+    return batch32_u8_avx2(q, batch.columns, batch.max_len, cfg, ws);
+#endif
+  return batch32_u8_scalar(q, batch.columns, batch.max_len, lanes, cfg, ws);
+}
+
+/// Lanes per batch for a resolved ISA (must match the Batch32Db packing).
+static int batch_lanes_for(simd::Isa isa) {
+  if (isa == simd::Isa::Avx512 && simd::cpu_features().avx512vbmi) return 64;
+  return 32;
+}
+
+std::vector<int> batch_scores(seq::SeqView q, const Batch32Db& bdb,
+                              const seq::SequenceDatabase& db, const AlignConfig& cfg,
+                              Workspace& ws, BatchSearchStats* stats) {
+  cfg.validate();
+  if (cfg.traceback)
+    throw std::invalid_argument("batch_scores: traceback is not supported; "
+                                "re-align candidates with Aligner instead");
+  if (cfg.band >= 0)
+    throw std::invalid_argument("batch_scores: banding is not supported by the "
+                                "inter-sequence kernel");
+  const simd::Isa isa = simd::resolve_isa(cfg.isa);
+  const int lanes = bdb.lanes();
+  if (lanes != batch_lanes_for(isa) && lanes != 32)
+    throw std::invalid_argument("batch_scores: database packed for a different ISA");
+
+  std::vector<int> scores(db.size(), 0);
+  BatchSearchStats local{};
+
+  // Wider re-score config: same scoring, diagonal kernel, adaptive from 16.
+  AlignConfig wide = cfg;
+  wide.width = Width::W16;
+  wide.isa = isa;
+
+  for (size_t b = 0; b < bdb.batch_count(); ++b) {
+    Batch32Db::Batch batch = bdb.batch(b);
+    Batch8Result r8 = batch32_align_u8(q, batch, lanes, cfg, ws, isa);
+    local.cells8 += static_cast<uint64_t>(batch.max_len) * q.length *
+                    static_cast<uint64_t>(lanes);
+    for (uint32_t k = 0; k < batch.count; ++k) {
+      const uint32_t seq_idx = batch.seq_index[k];
+      if (r8.saturated_mask & (uint64_t{1} << k)) {
+        // Exact re-score at 16 bits, escalating to 32 if needed.
+        const seq::Sequence& s = db[seq_idx];
+        Alignment a = diag_align(q, s, wide, ws);
+        if (a.saturated) {
+          AlignConfig wide32 = wide;
+          wide32.width = Width::W32;
+          a = diag_align(q, s, wide32, ws);
+        }
+        scores[seq_idx] = a.score;
+        local.rescored++;
+        local.rescored_cells += a.stats.cells;
+      } else {
+        scores[seq_idx] = r8.max_score[k];
+      }
+    }
+  }
+  if (stats) *stats = local;
+  return scores;
+}
+
+}  // namespace swve::core

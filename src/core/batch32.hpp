@@ -1,0 +1,110 @@
+// Inter-sequence batch kernel (Fig 5 of the paper).
+//
+// The database is reorganized offline into batches of `lanes` transposed
+// sequences: byte k of column j is residue j of the batch's k-th sequence,
+// so one vector load yields "the same position of 32 different sequences"
+// and every lane runs its own private DP matrix (vectorization method (b) of
+// Fig 1 — no intra-matrix dependencies at all). Substitution scores come
+// from an in-register 32-entry lookup of the query residue's matrix row:
+// the row is exactly one 256-bit load (rows are padded to 32 bytes), and
+// the lookup is vpermb under AVX-512-VBMI or a double-pshufb+blend under
+// AVX2 ("extract scores with AVX shuffling instructions").
+//
+// The kernel is 8-bit and score-only: it is the high-throughput scoring
+// front end of scenario 2 (batch of queries vs database). Lanes that
+// saturate are re-scored exactly by the diagonal kernel's 16/32-bit ladder.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/workspace.hpp"
+#include "seq/database.hpp"
+
+namespace swve::core {
+
+/// Database packed for the batch kernel. Sequences are length-sorted before
+/// batching so per-batch padding (to the batch max length) stays small.
+class Batch32Db {
+ public:
+  /// `lanes` is the kernel width in sequences: 32 (AVX2 / scalar) or 64
+  /// (AVX-512 VBMI). The final ragged batch is padded with empty lanes.
+  Batch32Db(const seq::SequenceDatabase& db, int lanes);
+
+  struct Batch {
+    const uint8_t* columns;  ///< max_len columns of `lanes` bytes each
+    uint32_t max_len;        ///< longest sequence in the batch
+    uint32_t count;          ///< valid lanes (rest are padding)
+    const uint32_t* seq_index;  ///< count entries: original database indices
+    const uint32_t* seq_len;    ///< count entries
+  };
+
+  int lanes() const noexcept { return lanes_; }
+  size_t batch_count() const noexcept { return batches_.size(); }
+  Batch batch(size_t b) const noexcept;
+  size_t sequence_count() const noexcept { return total_seqs_; }
+  /// Padding overhead: padded cells / real cells - 1.
+  double padding_overhead() const noexcept;
+
+ private:
+  struct BatchMeta {
+    size_t column_offset;  // into columns_, in bytes
+    size_t index_offset;   // into seq_index_/seq_len_
+    uint32_t max_len;
+    uint32_t count;
+  };
+  int lanes_;
+  size_t total_seqs_ = 0;
+  uint64_t real_residues_ = 0;
+  uint64_t padded_residues_ = 0;
+  std::vector<uint8_t> columns_;
+  std::vector<uint32_t> seq_index_;
+  std::vector<uint32_t> seq_len_;
+  std::vector<BatchMeta> batches_;
+};
+
+/// Pad residue code used for lanes past a sequence's end and for empty
+/// lanes: the top padded matrix row/column, which scores the matrix minimum
+/// against everything (and never equals a real query code in Fixed mode).
+inline constexpr uint8_t kBatchPadCode = seq::kMatrixStride - 1;
+
+/// Raw per-batch 8-bit result.
+struct Batch8Result {
+  uint8_t max_score[64];    ///< per-lane running maximum (unbiased H domain)
+  uint64_t saturated_mask;  ///< lanes whose max hit the saturation bound
+};
+
+/// Run the 8-bit batch kernel for one query against one batch.
+/// `isa` must be resolved; falls back internally if the ISA lacks the
+/// required byte-shuffle support. Affine/Linear and Matrix/Fixed honored;
+/// traceback is not supported (by design, see header comment).
+Batch8Result batch32_align_u8(seq::SeqView q, const Batch32Db::Batch& batch, int lanes,
+                              const AlignConfig& cfg, Workspace& ws, simd::Isa isa);
+
+/// Score one query against the whole packed database: runs the 8-bit batch
+/// kernel and transparently re-scores saturated lanes with the diagonal
+/// kernel's 16/32-bit ladder. Returns scores indexed by original database
+/// sequence index, plus statistics.
+struct BatchSearchStats {
+  uint64_t cells8 = 0;        ///< DP cells done by the 8-bit batch kernel
+  uint64_t rescored = 0;      ///< sequences re-scored at 16/32 bits
+  uint64_t rescored_cells = 0;
+};
+std::vector<int> batch_scores(seq::SeqView q, const Batch32Db& bdb,
+                              const seq::SequenceDatabase& db, const AlignConfig& cfg,
+                              Workspace& ws, BatchSearchStats* stats = nullptr);
+
+// Per-ISA kernel entry points (internal; exposed for tests/benches).
+Batch8Result batch32_u8_scalar(seq::SeqView q, const uint8_t* columns, uint32_t cols,
+                               int lanes, const AlignConfig& cfg, Workspace& ws);
+#if defined(SWVE_HAVE_AVX2_BUILD)
+Batch8Result batch32_u8_avx2(seq::SeqView q, const uint8_t* columns, uint32_t cols,
+                             const AlignConfig& cfg, Workspace& ws);  // 32 lanes
+#endif
+#if defined(SWVE_HAVE_AVX512_BUILD)
+Batch8Result batch32_u8_avx512(seq::SeqView q, const uint8_t* columns, uint32_t cols,
+                               const AlignConfig& cfg, Workspace& ws);  // 64 lanes
+#endif
+
+}  // namespace swve::core

@@ -1,0 +1,19 @@
+// AVX2 instantiations of the diagonal kernel (compiled with -mavx2 -mbmi2).
+#include "core/diag_kernel.hpp"
+#include "core/dispatch.hpp"
+#include "simd/engines_avx2.hpp"
+
+namespace swve::core {
+
+DiagOutput diag_avx2(const DiagRequest& rq, Width width) {
+  switch (width) {
+    case Width::W8:
+      return diag_run<simd::Avx2U8>(rq);
+    case Width::W16:
+      return diag_run<simd::Avx2U16>(rq);
+    default:
+      return diag_run<simd::Avx2I32>(rq);
+  }
+}
+
+}  // namespace swve::core

@@ -1,0 +1,20 @@
+// AVX-512 instantiations of the diagonal kernel
+// (compiled with -mavx512f -mavx512bw -mavx512vl).
+#include "core/diag_kernel.hpp"
+#include "core/dispatch.hpp"
+#include "simd/engines_avx512.hpp"
+
+namespace swve::core {
+
+DiagOutput diag_avx512(const DiagRequest& rq, Width width) {
+  switch (width) {
+    case Width::W8:
+      return diag_run<simd::Avx512U8>(rq);
+    case Width::W16:
+      return diag_run<simd::Avx512U16>(rq);
+    default:
+      return diag_run<simd::Avx512I32>(rq);
+  }
+}
+
+}  // namespace swve::core

@@ -1,0 +1,496 @@
+// The paper's diagonal kernel, written once as a template over a SIMD
+// engine and instantiated per ISA (scalar/AVX2/AVX-512) x width (8/16/32) x
+// gap model x score mode x traceback.
+//
+// Shape of the computation (DESIGN.md §3):
+//   * anti-diagonal wavefront d = i + j; DP buffers are indexed by the query
+//     row i and triple/double buffered over d, so every dependency —
+//     H(i,j-1), H(i-1,j), H(i-1,j-1), E(i-1,j), F(i,j-1) — is an unaligned
+//     contiguous load at offset i or i-1 of the previous diagonals
+//     (diagonal-based memory linearization, Fig 2);
+//   * the reference is reversed once so the diagonal's substitution-matrix
+//     indices 32*q[i] + r[d-i] are two forward contiguous loads and one
+//     vector add (Fig 4); scores arrive either through vpgatherdd (Gather)
+//     or a scalar-staged linear buffer (Fill) — chosen at runtime, because
+//     gather throughput varies wildly across microarchitectures;
+//   * full vectors cover the diagonal body; the ragged tail is ONE
+//     zero-masked vector (the paper's Fig 3 zero-padding), with invalid
+//     lanes blended to 0 — exactly the boundary value the next diagonals
+//     expect; tiny diagonals run scalar ("standard CPU instructions");
+//   * the maximum is deferred: a per-row running max plus the diagonal index
+//     of its last strict improvement; one O(m) scalar pass at the end finds
+//     the global best and end cell (§III-D). Strict-improvement updates give
+//     the same (min i, then min j) tie-break as the golden scalar model;
+//   * 8/16-bit engines run in the unsigned biased domain with saturating
+//     arithmetic; if the observed maximum exceeds cap - bias - max_score the
+//     result is flagged saturated and the dispatcher re-runs wider.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+
+#include "core/params.hpp"
+#include "core/result.hpp"
+#include "core/traceback.hpp"
+#include "core/workspace.hpp"
+
+namespace swve::core {
+
+struct DiagRequest {
+  const uint8_t* q = nullptr;
+  int m = 0;
+  const uint8_t* r = nullptr;
+  int n = 0;
+  const AlignConfig* cfg = nullptr;
+  Workspace* ws = nullptr;
+};
+
+struct DiagOutput {
+  int score = 0;
+  int end_query = -1;
+  int end_ref = -1;
+  bool saturated = false;
+  KernelStats stats;
+  // With cfg->traceback, direction flags are left in ws->tb_dirs /
+  // ws->tb_offsets (diagonal-major; see DiagTracebackView).
+};
+
+using DiagKernelFn = DiagOutput (*)(const DiagRequest&);
+
+/// Compile-time score mode of one kernel instantiation.
+enum class KMode : uint8_t { Gather, Fill, Shuffle, Fixed };
+
+namespace detail {
+inline int64_t clamp0_i64(int64_t x) { return x < 0 ? 0 : x; }
+/// Diagonals at most this long run fully scalar (Fig 3's "for small
+/// segments we revert to standard CPU instructions").
+inline constexpr int kScalarDiagonal = 4;
+
+/// Row range of anti-diagonal d for an m x n matrix with optional band
+/// (|i - j| <= band). May be empty (lo > hi) under a band.
+struct DiagRange {
+  int lo, hi;
+};
+inline DiagRange diag_range(int d, int m, int n, int band) {
+  int lo = d - n + 1 < 0 ? 0 : d - n + 1;
+  int hi = d < m - 1 ? d : m - 1;
+  if (band >= 0) {
+    const int blo = (d - band + 1) >> 1;  // ceil((d-band)/2), >= 0 region
+    const int bhi = (d + band) >> 1;      // floor((d+band)/2)
+    if (blo > lo) lo = blo;
+    if (bhi < hi) hi = bhi;
+  }
+  return {lo, hi};
+}
+}  // namespace detail
+
+template <class E, GapModel GM, KMode SM, bool TB>
+DiagOutput diag_align_impl(const DiagRequest& rq) {
+  using elem = typename E::elem;
+  using vec = typename E::vec;
+  constexpr int V = E::lanes;
+  constexpr int64_t kCap = E::cap;
+
+  const int m = rq.m;
+  const int n = rq.n;
+  DiagOutput out;
+  if (m == 0 || n == 0) return out;
+
+  const AlignConfig& cfg = *rq.cfg;
+  const uint8_t* q = rq.q;
+  const uint8_t* r = rq.r;
+  Workspace& ws = *rq.ws;
+
+  const int bias = E::is_signed ? 0 : cfg.bias();
+  const int smax = cfg.max_subst_score();
+  const int64_t sat_limit = E::is_signed ? kCap : kCap - bias - smax;
+  const int64_t open64 = GM == GapModel::Affine ? cfg.gap_open : cfg.gap_extend;
+  const int64_t ext64 = cfg.gap_extend;
+  const int64_t open_c = open64 > kCap ? kCap : open64;  // clamped into elem
+  const int64_t ext_c = ext64 > kCap ? kCap : ext64;
+
+  // ---- workspace ------------------------------------------------------
+  const size_t stride = (static_cast<size_t>(m) + 2 * kPad) * sizeof(elem);
+  elem* H[3];
+  for (int t = 0; t < 3; ++t)
+    H[t] = static_cast<elem*>(ws.h[t].ensure_zeroed(stride)) + kPad;
+  elem *Ebuf[2] = {nullptr, nullptr}, *Fbuf[2] = {nullptr, nullptr};
+  if constexpr (GM == GapModel::Affine) {
+    for (int t = 0; t < 2; ++t) {
+      Ebuf[t] = static_cast<elem*>(ws.e[t].ensure_zeroed(stride)) + kPad;
+      Fbuf[t] = static_cast<elem*>(ws.f[t].ensure_zeroed(stride)) + kPad;
+    }
+  }
+  // rowmax/bestd carry kPad slack so the masked tail vector may touch
+  // (masked-out) lanes past m.
+  elem* rowmax = static_cast<elem*>(
+      ws.rowmax.ensure_zeroed((static_cast<size_t>(m) + kPad) * sizeof(elem)));
+  auto* bestd = static_cast<int32_t*>(
+      ws.best_diag.ensure((static_cast<size_t>(m) + kPad) * 4));
+  for (int i = 0; i < m; ++i) bestd[i] = -1;
+
+  const int32_t* mat32 = nullptr;
+  int32_t* qmul = nullptr;
+  int32_t* dbrev = nullptr;
+  elem* qencE = nullptr;
+  elem* dbrevE = nullptr;
+  [[maybe_unused]] elem* sbuf = nullptr;
+  if constexpr (SM != KMode::Fixed) mat32 = cfg.matrix->data32();
+  if constexpr (SM == KMode::Gather || SM == KMode::Fill) {
+    // Pads are zeroed: masked-tail gathers then index row 0 / column 0,
+    // which is always inside the table.
+    qmul = static_cast<int32_t*>(
+        ws.qmul32.ensure((static_cast<size_t>(m) + kPad) * 4));
+    for (int i = 0; i < m; ++i)
+      qmul[i] = static_cast<int32_t>(q[i]) * seq::kMatrixStride;
+    std::memset(qmul + m, 0, kPad * 4);
+    dbrev = static_cast<int32_t*>(
+        ws.dbrev32.ensure((static_cast<size_t>(n) + kPad) * 4));
+    for (int t = 0; t < n; ++t) dbrev[t] = r[n - 1 - t];
+    std::memset(dbrev + n, 0, kPad * 4);
+    if constexpr (SM == KMode::Fill)
+      sbuf = static_cast<elem*>(ws.diag_scores.ensure_zeroed(stride)) + kPad;
+  }
+  if constexpr (SM == KMode::Fixed || SM == KMode::Shuffle) {
+    // Encoded residues widened to the element type (compare feed for Fixed,
+    // lookup indices for Shuffle). Pads zeroed: code 0 is a valid index.
+    qencE = static_cast<elem*>(
+        ws.qenc.ensure_zeroed((static_cast<size_t>(m) + kPad) * sizeof(elem)));
+    for (int i = 0; i < m; ++i) qencE[i] = q[i];
+    dbrevE = static_cast<elem*>(
+        ws.dbrev_enc.ensure_zeroed((static_cast<size_t>(n) + kPad) * sizeof(elem)));
+    for (int t = 0; t < n; ++t) dbrevE[t] = r[n - 1 - t];
+  }
+  // Shuffle delivery: stage the biased byte table into registers once.
+  [[maybe_unused]] auto stab = [&] {
+    if constexpr (SM == KMode::Shuffle)
+      return E::load_shuffle_table(cfg.matrix->rows_biased_u8());
+    else
+      return 0;
+  }();
+
+  uint8_t* tbdirs = nullptr;
+  uint64_t* tboff = nullptr;
+  if constexpr (TB) {
+    const uint64_t cells = static_cast<uint64_t>(m) * static_cast<uint64_t>(n);
+    if (cells > cfg.max_traceback_cells)
+      throw std::length_error("diag_align: traceback matrix exceeds cell cap");
+    // +kPad slack: the masked tail stores a full vector of direction bytes.
+    tbdirs = static_cast<uint8_t*>(ws.tb_dirs.ensure(cells + kPad));
+    tboff = static_cast<uint64_t*>(
+        ws.tb_offsets.ensure(static_cast<size_t>(m + n) * 8));
+    uint64_t off = 0;
+    for (int d = 0; d < m + n - 1; ++d) {
+      tboff[d] = off;
+      const auto [lo, hi] = detail::diag_range(d, m, n, cfg.band);
+      if (hi >= lo) off += static_cast<uint64_t>(hi - lo + 1);
+    }
+  }
+
+  // ---- constants ------------------------------------------------------
+  const vec vzero = E::zero();
+  const vec vbias = E::set1(bias);
+  const vec vopen = E::set1(open_c);
+  const vec vext = E::set1(ext_c);
+  const vec viota = E::iota();
+  [[maybe_unused]] vec vmatch_b{}, vmis_b{};
+  if constexpr (SM == KMode::Fixed) {
+    auto clamp_elem = [&](int64_t v) {
+      if (!E::is_signed) {
+        if (v < 0) v = 0;
+        if (v > kCap) v = kCap;
+      }
+      return v;
+    };
+    vmatch_b = E::set1(clamp_elem(cfg.match + bias));
+    vmis_b = E::set1(clamp_elem(cfg.mismatch + bias));
+  }
+  [[maybe_unused]] const vec v1 = E::set1(kTbDiag);
+  [[maybe_unused]] const vec v2 = E::set1(kTbE);
+  [[maybe_unused]] const vec v3 = E::set1(kTbF);
+  [[maybe_unused]] const vec v4 = E::set1(kTbEExt);
+  [[maybe_unused]] const vec v8 = E::set1(kTbFExt);
+
+  elem* Hc = H[0];
+  elem* Hp = H[1];
+  elem* Hp2 = H[2];
+  elem* Ec = Ebuf[0];
+  elem* Ep = Ebuf[1];
+  elem* Fc = Fbuf[0];
+  elem* Fp = Fbuf[1];
+
+  uint64_t vec_cells = 0, scalar_cells = 0;
+
+  // One DP step for V lanes at base row i; `valid` < V marks the ragged
+  // tail (Fig 3): lanes >= valid are computed but blended to zero before
+  // every store, which is exactly the "never reached" boundary value.
+  auto vector_step = [&](int i, int lo, int d, const int32_t* dbr,
+                         const elem* dbrE, uint8_t* tbrow, int valid) {
+    vec sb;
+    if constexpr (SM == KMode::Gather)
+      sb = E::gather_scores(qmul + i, dbr + i, mat32, bias);
+    else if constexpr (SM == KMode::Fill)
+      sb = E::loadu(sbuf + i);
+    else if constexpr (SM == KMode::Shuffle)
+      sb = E::shuffle_scores(stab, qencE + i, dbrE + i);
+    else
+      sb = E::blend(E::cmpeq(E::loadu(qencE + i), E::loadu(dbrE + i)), vmis_b,
+                    vmatch_b);
+    (void)lo;
+    const vec hd = E::loadu(Hp2 + i - 1);
+    const vec hs = E::add_score(hd, sb, vbias);
+    vec e, f;
+    [[maybe_unused]] vec e_open{}, f_open{};
+    if constexpr (GM == GapModel::Affine) {
+      e_open = E::sub_floor(E::loadu(Hp + i - 1), vopen);
+      const vec e_ext = E::sub_floor(E::loadu(Ep + i - 1), vext);
+      e = E::max(e_open, e_ext);
+      f_open = E::sub_floor(E::loadu(Hp + i), vopen);
+      const vec f_ext = E::sub_floor(E::loadu(Fp + i), vext);
+      f = E::max(f_open, f_ext);
+    } else {
+      e = E::sub_floor(E::loadu(Hp + i - 1), vext);
+      f = E::sub_floor(E::loadu(Hp + i), vext);
+    }
+    vec h = E::max(hs, E::max(e, f));
+
+    if (valid < V) {
+      const auto vm = E::cmpgt(E::set1(valid), viota);  // lane < valid
+      h = E::blend(vm, vzero, h);
+      e = E::blend(vm, vzero, e);
+      f = E::blend(vm, vzero, f);
+    }
+    E::storeu(Hc + i, h);
+    if constexpr (GM == GapModel::Affine) {
+      E::storeu(Ec + i, e);
+      E::storeu(Fc + i, f);
+    }
+
+    if constexpr (TB) {
+      // Priority on ties: stop > diag > E > F — apply lowest first.
+      vec dir = E::blend(E::cmpeq(h, f), vzero, v3);
+      dir = E::blend(E::cmpeq(h, e), dir, v2);
+      dir = E::blend(E::cmpeq(h, hs), dir, v1);
+      dir = E::blend(E::cmpeq(h, vzero), dir, vzero);
+      if constexpr (GM == GapModel::Affine) {
+        // Gap runs prefer "open" on ties: extend bit only if != open term.
+        dir = E::or_(dir, E::blend(E::cmpeq(e, e_open), v4, vzero));
+        dir = E::or_(dir, E::blend(E::cmpeq(f, f_open), v8, vzero));
+      }
+      E::store_dir_u8(tbrow + i, dir);  // tail over-run lands in slack
+    }
+
+    // Deferred maximum (§III-D): per-row running max; the improving lanes
+    // also record the diagonal index, fully vectorized (improvements are
+    // frequent when gaps are cheap, so no scalar bit-loop here). Masked
+    // tail lanes hold h == 0 and never improve (rowmax is zero-initialized
+    // through its padding).
+    const vec rm = E::loadu(rowmax + i);
+    const auto imp = E::cmpgt(h, rm);
+    if (E::any(imp)) {
+      E::storeu(rowmax + i, E::max(rm, h));
+      E::store_bestd(bestd + i, imp, d);
+    }
+  };
+
+  // The identical recurrence, one cell, scalar (tiny diagonals).
+  auto scalar_cell = [&](int i, int d, uint8_t* tbrow) {
+    const int j = d - i;
+    int64_t s;
+    if constexpr (SM == KMode::Fixed)
+      s = q[i] == r[j] ? cfg.match : cfg.mismatch;
+    else
+      s = mat32[static_cast<int32_t>(q[i]) * seq::kMatrixStride + r[j]];
+    int64_t hs = static_cast<int64_t>(Hp2[i - 1]) + s + bias;
+    if (!E::is_signed && hs > kCap) hs = kCap;  // mimic saturating add
+    hs -= bias;
+    if (hs < 0) hs = 0;
+    int64_t e, f;
+    [[maybe_unused]] int64_t e_open = 0, f_open = 0;
+    if constexpr (GM == GapModel::Affine) {
+      e_open = detail::clamp0_i64(static_cast<int64_t>(Hp[i - 1]) - open_c);
+      const int64_t e_ext =
+          detail::clamp0_i64(static_cast<int64_t>(Ep[i - 1]) - ext_c);
+      e = e_open > e_ext ? e_open : e_ext;
+      f_open = detail::clamp0_i64(static_cast<int64_t>(Hp[i]) - open_c);
+      const int64_t f_ext =
+          detail::clamp0_i64(static_cast<int64_t>(Fp[i]) - ext_c);
+      f = f_open > f_ext ? f_open : f_ext;
+    } else {
+      e = detail::clamp0_i64(static_cast<int64_t>(Hp[i - 1]) - ext_c);
+      f = detail::clamp0_i64(static_cast<int64_t>(Hp[i]) - ext_c);
+    }
+    int64_t h = hs;
+    if (e > h) h = e;
+    if (f > h) h = f;
+    Hc[i] = static_cast<elem>(h);
+    if constexpr (GM == GapModel::Affine) {
+      Ec[i] = static_cast<elem>(e);
+      Fc[i] = static_cast<elem>(f);
+    }
+    if constexpr (TB) {
+      uint8_t flags;
+      if (h == 0)
+        flags = kTbStop;
+      else if (h == hs)
+        flags = kTbDiag;
+      else if (h == e)
+        flags = kTbE;
+      else
+        flags = kTbF;
+      if constexpr (GM == GapModel::Affine) {
+        if (e != e_open) flags |= kTbEExt;
+        if (f != f_open) flags |= kTbFExt;
+      }
+      tbrow[i] = flags;
+    }
+    if (h > static_cast<int64_t>(rowmax[i])) {
+      rowmax[i] = static_cast<elem>(h);
+      bestd[i] = d;
+    }
+  };
+
+  // ---- main anti-diagonal sweep ---------------------------------------
+  for (int d = 0; d < m + n - 1; ++d) {
+    const auto [lo, hi] = detail::diag_range(d, m, n, cfg.band);
+    if (hi < lo) {  // empty banded diagonal: just rotate the buffers
+      elem* te = Hp2;
+      Hp2 = Hp;
+      Hp = Hc;
+      Hc = te;
+      if constexpr (GM == GapModel::Affine) {
+        std::swap(Ec, Ep);
+        std::swap(Fc, Fp);
+      }
+      continue;
+    }
+    const int len = hi - lo + 1;
+    [[maybe_unused]] const int32_t* dbr =
+        dbrev != nullptr ? dbrev + (n - 1 - d) : nullptr;
+    [[maybe_unused]] const elem* dbrE =
+        dbrevE != nullptr ? dbrevE + (n - 1 - d) : nullptr;
+    [[maybe_unused]] uint8_t* tbrow = nullptr;
+    if constexpr (TB) tbrow = tbdirs + tboff[d] - lo;
+
+    if (len <= detail::kScalarDiagonal) {
+      for (int i = lo; i <= hi; ++i) scalar_cell(i, d, tbrow);
+      scalar_cells += static_cast<uint64_t>(len);
+    } else {
+      if constexpr (SM == KMode::Fill) {
+        const int32_t* dbri = dbr;
+        for (int i = lo; i <= hi; ++i)
+          sbuf[i] = static_cast<elem>(mat32[qmul[i] + dbri[i]] + bias);
+      }
+      int i = lo;
+      for (; i + V <= hi + 1; i += V) {
+        vector_step(i, lo, d, dbr, dbrE, tbrow, V);
+        vec_cells += V;
+      }
+      if (i <= hi) {  // ragged tail: one zero-masked vector (Fig 3)
+        vector_step(i, lo, d, dbr, dbrE, tbrow, hi - i + 1);
+        scalar_cells += static_cast<uint64_t>(hi - i + 1);
+      }
+    }
+
+    // Boundary sentinels: cells just outside this diagonal's range must
+    // read as 0 from the next diagonals (out-of-ref columns for the full
+    // DP, out-of-band cells under a band). Overwrites are provably either
+    // dead slots or already zero; indices stay inside the kPad margins.
+    Hc[lo - 1] = 0;
+    Hc[hi + 1] = 0;
+    if constexpr (GM == GapModel::Affine) {
+      Ec[lo - 1] = 0;
+      Ec[hi + 1] = 0;
+      Fc[lo - 1] = 0;
+      Fc[hi + 1] = 0;
+    }
+
+    elem* t = Hp2;
+    Hp2 = Hp;
+    Hp = Hc;
+    Hc = t;
+    if constexpr (GM == GapModel::Affine) {
+      std::swap(Ec, Ep);
+      std::swap(Fc, Fp);
+    }
+  }
+
+  // ---- deferred global maximum (§III-D) --------------------------------
+  int64_t best = 0;
+  int bi = -1;
+  for (int i = 0; i < m; ++i) {
+    if (static_cast<int64_t>(rowmax[i]) > best) {
+      best = rowmax[i];
+      bi = i;
+    }
+  }
+  out.score = static_cast<int>(best);
+  if (bi >= 0) {
+    out.end_query = bi;
+    out.end_ref = bestd[bi] - bi;
+  }
+  out.saturated = !E::is_signed && best >= sat_limit;
+  out.stats.cells = vec_cells + scalar_cells;
+  out.stats.vector_cells = vec_cells;
+  out.stats.scalar_cells = scalar_cells;
+  out.stats.diagonals = static_cast<uint64_t>(m + n - 1);
+  return out;
+}
+
+/// Runtime (gap model, score mode, traceback) -> template instantiation
+/// switch; used by each ISA translation unit. cfg.delivery must already be
+/// resolved (never Auto here; see core::diag_align).
+template <class E>
+DiagOutput diag_run(const DiagRequest& rq) {
+  const AlignConfig& c = *rq.cfg;
+  KMode mode;
+  if (c.scheme == ScoreScheme::Fixed) {
+    mode = KMode::Fixed;
+  } else {
+    switch (c.delivery) {
+      case ScoreDelivery::Fill:
+        mode = KMode::Fill;
+        break;
+      case ScoreDelivery::Shuffle:
+        // Requires engine support AND runtime VBMI; degrade to Fill.
+        mode = E::has_shuffle_scores && simd::cpu_features().avx512vbmi
+                   ? KMode::Shuffle
+                   : KMode::Fill;
+        break;
+      default:
+        mode = KMode::Gather;
+        break;
+    }
+  }
+  const bool tb = c.traceback;
+  auto with_mode = [&](auto gm_tag) -> DiagOutput {
+    constexpr GapModel GMv = decltype(gm_tag)::value;
+    switch (mode) {
+      case KMode::Gather:
+        return tb ? diag_align_impl<E, GMv, KMode::Gather, true>(rq)
+                  : diag_align_impl<E, GMv, KMode::Gather, false>(rq);
+      case KMode::Fill:
+        return tb ? diag_align_impl<E, GMv, KMode::Fill, true>(rq)
+                  : diag_align_impl<E, GMv, KMode::Fill, false>(rq);
+      case KMode::Shuffle:
+        if constexpr (E::has_shuffle_scores)
+          return tb ? diag_align_impl<E, GMv, KMode::Shuffle, true>(rq)
+                    : diag_align_impl<E, GMv, KMode::Shuffle, false>(rq);
+        else
+          return tb ? diag_align_impl<E, GMv, KMode::Fill, true>(rq)
+                    : diag_align_impl<E, GMv, KMode::Fill, false>(rq);
+      default:
+        return tb ? diag_align_impl<E, GMv, KMode::Fixed, true>(rq)
+                  : diag_align_impl<E, GMv, KMode::Fixed, false>(rq);
+    }
+  };
+  if (c.gap_model == GapModel::Affine)
+    return with_mode(std::integral_constant<GapModel, GapModel::Affine>{});
+  return with_mode(std::integral_constant<GapModel, GapModel::Linear>{});
+}
+
+}  // namespace swve::core

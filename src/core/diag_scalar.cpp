@@ -1,0 +1,19 @@
+// Portable instantiations of the diagonal kernel (emulated engines).
+#include "core/diag_kernel.hpp"
+#include "core/dispatch.hpp"
+#include "simd/engines_emu.hpp"
+
+namespace swve::core {
+
+DiagOutput diag_scalar(const DiagRequest& rq, Width width) {
+  switch (width) {
+    case Width::W8:
+      return diag_run<simd::EmuU8>(rq);
+    case Width::W16:
+      return diag_run<simd::EmuU16>(rq);
+    default:
+      return diag_run<simd::EmuI32>(rq);
+  }
+}
+
+}  // namespace swve::core

@@ -1,0 +1,19 @@
+// SSE4.1 instantiations of the diagonal kernel (compiled with -msse4.1).
+#include "core/diag_kernel.hpp"
+#include "core/dispatch.hpp"
+#include "simd/engines_sse41.hpp"
+
+namespace swve::core {
+
+DiagOutput diag_sse41(const DiagRequest& rq, Width width) {
+  switch (width) {
+    case Width::W8:
+      return diag_run<simd::Sse41U8>(rq);
+    case Width::W16:
+      return diag_run<simd::Sse41U16>(rq);
+    default:
+      return diag_run<simd::Sse41I32>(rq);
+  }
+}
+
+}  // namespace swve::core

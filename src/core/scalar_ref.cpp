@@ -1,0 +1,181 @@
+#include "core/scalar_ref.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/traceback.hpp"
+
+namespace swve::core {
+
+namespace {
+
+inline int clamp0(int x) { return x < 0 ? 0 : x; }
+
+struct Scorer {
+  const AlignConfig* cfg;
+  int operator()(uint8_t a, uint8_t b) const {
+    return cfg->scheme == ScoreScheme::Matrix ? cfg->matrix->score(a, b)
+                                              : (a == b ? cfg->match : cfg->mismatch);
+  }
+};
+
+}  // namespace
+
+Alignment ref_align(seq::SeqView q, seq::SeqView r, const AlignConfig& cfg) {
+  cfg.validate();
+  const int m = static_cast<int>(q.length);
+  const int n = static_cast<int>(r.length);
+  Alignment out;
+  out.width_used = Width::W32;
+  out.isa_used = simd::Isa::Scalar;
+  if (m == 0 || n == 0) return out;
+
+  const Scorer score{&cfg};
+  const bool affine = cfg.gap_model == GapModel::Affine;
+  const int open = affine ? cfg.gap_open : cfg.gap_extend;
+  const int ext = cfg.gap_extend;
+
+  const bool tb = cfg.traceback;
+  std::vector<uint8_t> dirs;
+  if (tb) {
+    uint64_t cells = static_cast<uint64_t>(m) * static_cast<uint64_t>(n);
+    if (cells > cfg.max_traceback_cells)
+      throw std::length_error("ref_align: traceback matrix exceeds cell cap");
+    dirs.assign(cells, 0);
+  }
+
+  // One row of H and E (E = vertical-gap matrix, consumes query residues);
+  // F carries along the row.
+  std::vector<int> hrow(static_cast<size_t>(n) + 1, 0);
+  std::vector<int> erow(static_cast<size_t>(n) + 1, 0);
+
+  const int band = cfg.band;
+  int best = 0, bi = -1, bj = -1;
+  for (int i = 0; i < m; ++i) {
+    const int jb = band >= 0 ? std::max(0, i - band) : 0;
+    const int je = band >= 0 ? std::min(n - 1, i + band) : n - 1;
+    if (je < jb) continue;  // row entirely outside the band
+    if (band >= 0 && i + band <= n - 1) {
+      // The slot at the band's upper edge was last written by an older row;
+      // out-of-band cells must read as 0 when the edge re-enters below.
+      hrow[static_cast<size_t>(i + band) + 1] = 0;  // H(i-1, i+band) slot
+      erow[static_cast<size_t>(i + band) + 1] = 0;
+    }
+    // H(i-1, jb-1): in band when jb > 0 (distance exactly `band`).
+    int hdiag = jb > 0 ? hrow[static_cast<size_t>(jb)] : 0;
+    // H(i, j-1) from this row; the (i, jb-1) neighbor is out of band/ref.
+    int hleft = 0;
+    int f = 0;
+    for (int j = jb; j <= je; ++j) {
+      const size_t jj = static_cast<size_t>(j);
+      const int hup = hrow[jj + 1];  // H(i-1, j)
+      int e, f_open, f_ext, e_open, e_ext;
+      if (affine) {
+        e_open = clamp0(hup - open);
+        e_ext = clamp0(erow[jj + 1] - ext);
+        e = std::max(e_open, e_ext);
+        f_open = clamp0(hleft - open);
+        f_ext = clamp0(f - ext);
+        f = std::max(f_open, f_ext);
+      } else {
+        e_open = e_ext = e = clamp0(hup - ext);
+        f_open = f_ext = f = clamp0(hleft - ext);
+      }
+      const int hs = clamp0(hdiag + score(q[static_cast<size_t>(i)], r[jj]));
+      int h = std::max({0, hs, e, f});
+
+      if (tb) {
+        uint8_t flags;
+        if (h == 0)
+          flags = kTbStop;
+        else if (h == hs)
+          flags = kTbDiag;
+        else if (h == e)
+          flags = kTbE;
+        else
+          flags = kTbF;
+        if (affine) {
+          if (e != e_open) flags |= kTbEExt;  // prefer "open" on ties
+          if (f != f_open) flags |= kTbFExt;
+        }
+        dirs[static_cast<size_t>(i) * static_cast<size_t>(n) + jj] = flags;
+      }
+
+      if (h > best) {
+        best = h;
+        bi = i;
+        bj = j;
+      }
+
+      hdiag = hup;
+      hleft = h;
+      hrow[jj + 1] = h;
+      erow[jj + 1] = e;
+    }
+  }
+
+  out.score = best;
+  out.end_query = bi;
+  out.end_ref = bj;
+  out.stats.cells = static_cast<uint64_t>(m) * static_cast<uint64_t>(n);
+  out.stats.scalar_cells = out.stats.cells;
+
+  if (tb && best > 0) {
+    auto at = [&](int i, int j) {
+      return dirs[static_cast<size_t>(i) * static_cast<size_t>(n) +
+                  static_cast<size_t>(j)];
+    };
+    TracebackResult t = walk_traceback(at, bi, bj);
+    out.begin_query = t.begin_query;
+    out.begin_ref = t.begin_ref;
+    out.cigar = std::move(t.cigar);
+  }
+  return out;
+}
+
+std::vector<int> ref_matrix(seq::SeqView q, seq::SeqView r, const AlignConfig& cfg) {
+  cfg.validate();
+  const int m = static_cast<int>(q.length);
+  const int n = static_cast<int>(r.length);
+  const Scorer score{&cfg};
+  const bool affine = cfg.gap_model == GapModel::Affine;
+  const int open = affine ? cfg.gap_open : cfg.gap_extend;
+  const int ext = cfg.gap_extend;
+
+  const int band = cfg.band;
+  std::vector<int> H(static_cast<size_t>(m) * static_cast<size_t>(n), 0);
+  std::vector<int> hrow(static_cast<size_t>(n) + 1, 0);
+  std::vector<int> erow(static_cast<size_t>(n) + 1, 0);
+  for (int i = 0; i < m; ++i) {
+    const int jb = band >= 0 ? std::max(0, i - band) : 0;
+    const int je = band >= 0 ? std::min(n - 1, i + band) : n - 1;
+    if (je < jb) continue;
+    if (band >= 0 && i + band <= n - 1) {
+      hrow[static_cast<size_t>(i + band) + 1] = 0;
+      erow[static_cast<size_t>(i + band) + 1] = 0;
+    }
+    int hdiag = jb > 0 ? hrow[static_cast<size_t>(jb)] : 0;
+    int hleft = 0, f = 0;
+    for (int j = jb; j <= je; ++j) {
+      const size_t jj = static_cast<size_t>(j);
+      const int hup = hrow[jj + 1];
+      int e;
+      if (affine) {
+        e = std::max(clamp0(hup - open), clamp0(erow[jj + 1] - ext));
+        f = std::max(clamp0(hleft - open), clamp0(f - ext));
+      } else {
+        e = clamp0(hup - ext);
+        f = clamp0(hleft - ext);
+      }
+      int h = std::max({0, clamp0(hdiag + score(q[static_cast<size_t>(i)], r[jj])), e, f});
+      H[static_cast<size_t>(i) * static_cast<size_t>(n) + jj] = h;
+      hdiag = hup;
+      hleft = h;
+      hrow[jj + 1] = h;
+      erow[jj + 1] = e;
+    }
+  }
+  return H;
+}
+
+}  // namespace swve::core

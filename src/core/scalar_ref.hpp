@@ -1,0 +1,32 @@
+// Golden scalar Smith-Waterman (Gotoh affine gaps / linear gaps).
+//
+// Straightforward row-major dynamic programming in 32-bit arithmetic. This
+// is the correctness oracle every vector kernel and baseline is
+// differentially tested against, and the "standard CPU instructions" code
+// path the paper falls back to for tiny inputs. Conventions (shared by all
+// kernels):
+//   * local alignment, H floor at 0; E/F clamped at 0 (provably score
+//     preserving for local alignment);
+//   * gap of length k costs open + (k-1)*extend (Affine) or k*extend
+//     (Linear);
+//   * best cell = lexicographically smallest (i, j) among maximal cells;
+//   * traceback tie priority: stop > diagonal > E (query gap run) > F, and
+//     gap runs prefer "open" over "extend" on equal score.
+#pragma once
+
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/result.hpp"
+#include "seq/sequence.hpp"
+
+namespace swve::core {
+
+/// Align `q` against `r` with the golden scalar DP. Honors cfg.traceback;
+/// ignores cfg.width/cfg.isa (always exact 32-bit).
+Alignment ref_align(seq::SeqView q, seq::SeqView r, const AlignConfig& cfg);
+
+/// Full H matrix, row-major (m rows, n columns), for white-box tests.
+std::vector<int> ref_matrix(seq::SeqView q, seq::SeqView r, const AlignConfig& cfg);
+
+}  // namespace swve::core

@@ -1,0 +1,56 @@
+#include "matrix/query_profile.hpp"
+
+#include <stdexcept>
+
+namespace swve::matrix {
+
+using seq::kMatrixStride;
+
+template <typename T>
+StripedProfile<T>::StripedProfile(seq::SeqView query, const ScoreMatrix& m, int lanes,
+                                  T pad_value, int bias)
+    : lanes_(lanes), query_length_(static_cast<int>(query.length)), bias_(bias) {
+  if (lanes <= 0) throw std::invalid_argument("StripedProfile: lanes must be positive");
+  seg_len_ = (query_length_ + lanes_ - 1) / lanes_;
+  if (seg_len_ == 0) seg_len_ = 1;  // keep rows non-empty for empty queries
+  row_size_ = static_cast<size_t>(seg_len_) * static_cast<size_t>(lanes_);
+  data_.assign(row_size_ * kMatrixStride, pad_value);
+  for (int c = 0; c < kMatrixStride; ++c) {
+    T* row = data_.data() + static_cast<size_t>(c) * row_size_;
+    for (int v = 0; v < seg_len_; ++v) {
+      for (int k = 0; k < lanes_; ++k) {
+        int i = k * seg_len_ + v;
+        if (i < query_length_)
+          row[static_cast<size_t>(v) * lanes_ + k] =
+              static_cast<T>(m.score(query[static_cast<size_t>(i)],
+                                     static_cast<uint8_t>(c)) +
+                             bias);
+      }
+    }
+  }
+}
+
+template <typename T>
+SequentialProfile<T>::SequentialProfile(seq::SeqView query, const ScoreMatrix& m,
+                                        int padding, T pad_value, int bias)
+    : query_length_(static_cast<int>(query.length)), bias_(bias) {
+  if (padding < 0) throw std::invalid_argument("SequentialProfile: negative padding");
+  row_size_ = static_cast<size_t>(query_length_) + static_cast<size_t>(padding);
+  if (row_size_ == 0) row_size_ = 1;
+  data_.assign(row_size_ * kMatrixStride, pad_value);
+  for (int c = 0; c < kMatrixStride; ++c) {
+    T* row = data_.data() + static_cast<size_t>(c) * row_size_;
+    for (int i = 0; i < query_length_; ++i)
+      row[i] = static_cast<T>(
+          m.score(query[static_cast<size_t>(i)], static_cast<uint8_t>(c)) + bias);
+  }
+}
+
+template class StripedProfile<uint8_t>;
+template class StripedProfile<int16_t>;
+template class StripedProfile<int32_t>;
+template class SequentialProfile<uint8_t>;
+template class SequentialProfile<int16_t>;
+template class SequentialProfile<int32_t>;
+
+}  // namespace swve::matrix

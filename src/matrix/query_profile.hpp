@@ -1,0 +1,75 @@
+// Query profiles: per-query-residue score tables precomputed once per
+// alignment (Rognes 2000 / Farrar 2007 technique, §III-C of the paper).
+//
+// A profile row for database letter c holds S[q[i], c] for every query
+// position i, laid out to match how a kernel walks the query:
+//   * StripedProfile  — Farrar's striped order (the striped baseline);
+//   * SequentialProfile — plain query order (the scan baseline).
+// Values may be biased into an unsigned domain for saturating kernels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/score_matrix.hpp"
+#include "seq/sequence.hpp"
+
+namespace swve::matrix {
+
+/// Striped layout: entry (v * lanes + k) of a row is the score for query
+/// position i = k * segLen + v; positions >= query length get `pad_value`.
+template <typename T>
+class StripedProfile {
+ public:
+  StripedProfile(seq::SeqView query, const ScoreMatrix& m, int lanes, T pad_value,
+                 int bias);
+
+  int seg_len() const noexcept { return seg_len_; }
+  int lanes() const noexcept { return lanes_; }
+  int query_length() const noexcept { return query_length_; }
+  int bias() const noexcept { return bias_; }
+
+  /// Row for database letter `c`: seg_len()*lanes() entries.
+  const T* row(uint8_t c) const noexcept {
+    return data_.data() + static_cast<size_t>(c) * row_size_;
+  }
+
+ private:
+  int lanes_;
+  int seg_len_;
+  int query_length_;
+  int bias_;
+  size_t row_size_;
+  std::vector<T> data_;  // kMatrixStride rows
+};
+
+/// Sequential layout: entry i of a row is the (biased) score for query
+/// position i; `padding` extra entries of `pad_value` follow each row so
+/// vector loads may run past the end.
+template <typename T>
+class SequentialProfile {
+ public:
+  SequentialProfile(seq::SeqView query, const ScoreMatrix& m, int padding, T pad_value,
+                    int bias);
+
+  int query_length() const noexcept { return query_length_; }
+  int bias() const noexcept { return bias_; }
+  const T* row(uint8_t c) const noexcept {
+    return data_.data() + static_cast<size_t>(c) * row_size_;
+  }
+
+ private:
+  int query_length_;
+  int bias_;
+  size_t row_size_;
+  std::vector<T> data_;
+};
+
+extern template class StripedProfile<uint8_t>;
+extern template class StripedProfile<int16_t>;
+extern template class StripedProfile<int32_t>;
+extern template class SequentialProfile<uint8_t>;
+extern template class SequentialProfile<int16_t>;
+extern template class SequentialProfile<int32_t>;
+
+}  // namespace swve::matrix

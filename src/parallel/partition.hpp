@@ -1,0 +1,41 @@
+// Residue-balanced static partitioning of a sequence database.
+//
+// SW cost per target sequence is proportional to its length, so splitting
+// by sequence *count* leaves threads imbalanced (Swiss-Prot lengths span two
+// orders of magnitude). These helpers split a database into contiguous
+// index ranges of approximately equal total residues.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "seq/database.hpp"
+
+namespace swve::parallel {
+
+/// Contiguous [begin, end) index ranges over db (in database order), one per
+/// part, each covering roughly total_residues/parts residues. Some trailing
+/// ranges may be empty when parts > db.size().
+inline std::vector<std::pair<size_t, size_t>> partition_by_residues(
+    const seq::SequenceDatabase& db, unsigned parts) {
+  std::vector<std::pair<size_t, size_t>> out(parts, {0, 0});
+  if (parts == 0 || db.empty()) return out;
+  const uint64_t total = db.total_residues();
+  size_t i = 0;
+  uint64_t consumed = 0;
+  for (unsigned p = 0; p < parts; ++p) {
+    const size_t begin = i;
+    // Target cumulative residues at the end of part p.
+    const uint64_t target = total * (p + 1) / parts;
+    while (i < db.size() && consumed < target) {
+      consumed += db[i].length();
+      ++i;
+    }
+    out[p] = {begin, i};
+  }
+  out[parts - 1].second = db.size();  // absorb rounding leftovers
+  return out;
+}
+
+}  // namespace swve::parallel

@@ -1,0 +1,85 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace swve::parallel {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (unsigned w = 0; w < threads; ++w)
+    workers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop(unsigned id) {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !jobs_.empty(); });
+      if (stop_ && jobs_.empty()) return;
+      job = std::move(jobs_.front());
+      jobs_.pop();
+    }
+    job.fn(id);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--outstanding_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(size_t n,
+                              const std::function<void(size_t, size_t, unsigned)>& fn) {
+  if (n == 0) return;
+  const unsigned workers = size();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (unsigned w = 0; w < workers; ++w) {
+      jobs_.push(Job{[n, w, workers, &fn](unsigned id) {
+        auto [b, e] = block_range(n, w, workers);
+        if (b < e) fn(b, e, id);
+      }});
+    }
+    outstanding_ += workers;
+  }
+  cv_.notify_all();
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [this] { return outstanding_ == 0; });
+}
+
+void ThreadPool::parallel_chunks(size_t chunks,
+                                 const std::function<void(size_t, unsigned)>& fn) {
+  if (chunks == 0) return;
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  const unsigned workers = size();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (unsigned w = 0; w < workers; ++w) {
+      jobs_.push(Job{[chunks, next, &fn](unsigned id) {
+        for (;;) {
+          size_t c = next->fetch_add(1, std::memory_order_relaxed);
+          if (c >= chunks) return;
+          fn(c, id);
+        }
+      }});
+    }
+    outstanding_ += workers;
+  }
+  cv_.notify_all();
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [this] { return outstanding_ == 0; });
+}
+
+}  // namespace swve::parallel

@@ -1,0 +1,62 @@
+// Fixed-size thread pool with deterministic static partitioning.
+//
+// The paper's scenario drivers split work statically (contiguous index
+// ranges) and merge results in index order, so results are bit-identical
+// for any thread count — part of the library's determinism guarantee.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace swve::parallel {
+
+class ThreadPool {
+ public:
+  /// `threads` == 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Run fn(begin, end, worker) over [0, n) split into size() contiguous
+  /// blocks; blocks before returning. Worker ids are stable in [0, size()).
+  /// The calling thread does not execute work (workers own their scratch).
+  void parallel_for(size_t n,
+                    const std::function<void(size_t, size_t, unsigned)>& fn);
+
+  /// Run fn(chunk_index, worker) for every chunk in [0, chunks); chunks are
+  /// handed out dynamically but results should be written by chunk_index so
+  /// output stays deterministic.
+  void parallel_chunks(size_t chunks,
+                       const std::function<void(size_t, unsigned)>& fn);
+
+ private:
+  struct Job {
+    std::function<void(unsigned)> fn;  // receives worker id
+  };
+  void worker_loop(unsigned id);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::queue<Job> jobs_;
+  size_t outstanding_ = 0;
+  bool stop_ = false;
+};
+
+/// Contiguous block [begin, end) of [0, n) for worker `w` of `workers`.
+inline std::pair<size_t, size_t> block_range(size_t n, unsigned w, unsigned workers) {
+  const size_t base = n / workers, rem = n % workers;
+  const size_t begin = static_cast<size_t>(w) * base + std::min<size_t>(w, rem);
+  return {begin, begin + base + (w < rem ? 1 : 0)};
+}
+
+}  // namespace swve::parallel

@@ -1,0 +1,40 @@
+// CPU-frequency microbenchmark (§IV-E of the paper).
+//
+// The paper found that per-core throughput degrades with thread count not
+// because of memory contention but because the operating frequency drops in
+// multi-core operation, and recalibrated its scaling figures accordingly.
+// This monitor estimates effective frequency by timing a dependent-add spin
+// kernel whose retired-ops-per-cycle is 1 by construction (a serial integer
+// dependency chain), optionally while other threads run the same kernel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace swve::perf {
+
+struct FreqSample {
+  double ghz = 0;       ///< effective frequency of the measured thread
+  double tsc_ghz = 0;   ///< invariant-TSC rate observed (0 if no rdtsc)
+};
+
+/// Measure effective frequency on the calling thread for ~`millis` ms.
+FreqSample measure_frequency(double millis = 50);
+
+struct FreqScalingReport {
+  /// One entry per tested concurrency level (1..max_threads).
+  std::vector<int> threads;
+  std::vector<double> ghz_mean;  ///< mean effective GHz across busy threads
+  std::vector<double> ghz_min;
+};
+
+/// Run the spin kernel on 1..max_threads concurrent threads and record the
+/// effective per-thread frequency at each level — the recalibration input
+/// for Fig 11.
+FreqScalingReport frequency_scaling(int max_threads, double millis_per_level = 60);
+
+/// Serial dependent-add chain: returns the number of adds executed; the
+/// value accumulates so the optimizer cannot elide the chain.
+uint64_t spin_chain(uint64_t iters, uint64_t* sink);
+
+}  // namespace swve::perf

@@ -1,0 +1,19 @@
+// GCUPS (giga cell updates per second) accounting — the unit every figure
+// of the paper reports.
+#pragma once
+
+#include <cstdint>
+
+namespace swve::perf {
+
+/// cells / seconds, in units of 1e9 cell updates per second.
+inline double gcups(uint64_t cells, double seconds) {
+  return seconds > 0 ? static_cast<double>(cells) / seconds / 1e9 : 0.0;
+}
+
+/// DP matrix cells for a query of length m against total_residues of target.
+inline uint64_t alignment_cells(uint64_t m, uint64_t total_residues) {
+  return m * total_residues;
+}
+
+}  // namespace swve::perf

@@ -1,0 +1,54 @@
+#include "perf/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace swve::perf {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::integer(uint64_t v) { return std::to_string(v); }
+
+std::string Table::percent(double frac, int precision) {
+  return num(frac * 100.0, precision) + "%";
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<size_t> w(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) w[c] = headers_[c].size();
+  for (const auto& r : rows_)
+    for (size_t c = 0; c < r.size(); ++c) w[c] = std::max(w[c], r[c].size());
+
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c)
+      os << (c ? "  " : "") << std::setw(static_cast<int>(w[c])) << cells[c];
+    os << '\n';
+  };
+  line(headers_);
+  std::string rule;
+  for (size_t c = 0; c < headers_.size(); ++c)
+    rule += std::string(w[c], '-') + (c + 1 < headers_.size() ? "  " : "");
+  os << rule << '\n';
+  for (const auto& r : rows_) line(r);
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << "\n== " << title << " ==\n";
+}
+
+}  // namespace swve::perf

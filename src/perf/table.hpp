@@ -1,0 +1,31 @@
+// Fixed-width table printer: every bench prints the rows/series the paper's
+// figures report through this, so bench output is uniform and parseable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace swve::perf {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& row(std::vector<std::string> cells);
+  /// Convenience: format doubles with `precision` decimals.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(uint64_t v);
+  static std::string percent(double frac, int precision = 1);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "== title ==" section banner used between figure panels.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace swve::perf

@@ -1,0 +1,22 @@
+// Wall-clock stopwatch used by the scenario drivers and benches.
+#pragma once
+
+#include <chrono>
+
+namespace swve::perf {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace swve::perf

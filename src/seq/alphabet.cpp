@@ -1,0 +1,48 @@
+#include "seq/alphabet.hpp"
+
+#include <cctype>
+
+namespace swve::seq {
+
+namespace {
+// Standard NCBI/Parasail residue order; matrices in src/matrix use the same.
+constexpr std::string_view kProteinLetters = "ARNDCQEGHILKMFPSTWYVBZX*";
+// Nucleotides + IUPAC ambiguity codes, N as wildcard.
+constexpr std::string_view kDnaLetters = "ACGTUSWRYKMBVHDN";
+}  // namespace
+
+Alphabet::Alphabet(AlphabetKind kind, std::string_view letters, char wildcard_char)
+    : kind_(kind), size_(static_cast<int>(letters.size())), letters_(letters) {
+  wildcard_ = 0;
+  for (int i = 0; i < size_; ++i)
+    if (letters_[static_cast<size_t>(i)] == wildcard_char)
+      wildcard_ = static_cast<uint8_t>(i);
+  to_code_.fill(wildcard_);
+  for (int i = 0; i < size_; ++i) {
+    auto c = static_cast<unsigned char>(letters_[static_cast<size_t>(i)]);
+    to_code_[c] = static_cast<uint8_t>(i);
+    to_code_[static_cast<unsigned char>(std::tolower(c))] = static_cast<uint8_t>(i);
+  }
+}
+
+const Alphabet& Alphabet::protein() noexcept {
+  static const Alphabet a(AlphabetKind::Protein, kProteinLetters, 'X');
+  return a;
+}
+
+const Alphabet& Alphabet::dna() noexcept {
+  static const Alphabet a(AlphabetKind::Dna, kDnaLetters, 'N');
+  return a;
+}
+
+const Alphabet& Alphabet::get(AlphabetKind kind) noexcept {
+  return kind == AlphabetKind::Protein ? protein() : dna();
+}
+
+std::string decode_string(const Alphabet& a, const uint8_t* codes, size_t n) {
+  std::string s(n, '?');
+  for (size_t i = 0; i < n; ++i) s[i] = a.decode(codes[i]);
+  return s;
+}
+
+}  // namespace swve::seq

@@ -1,0 +1,31 @@
+#include "seq/database.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "seq/fasta.hpp"
+
+namespace swve::seq {
+
+SequenceDatabase::SequenceDatabase(std::vector<Sequence> seqs) : seqs_(std::move(seqs)) {
+  for (const Sequence& s : seqs_) {
+    total_residues_ += s.length();
+    max_length_ = std::max(max_length_, s.length());
+  }
+  by_length_.resize(seqs_.size());
+  std::iota(by_length_.begin(), by_length_.end(), 0u);
+  std::stable_sort(by_length_.begin(), by_length_.end(), [&](uint32_t a, uint32_t b) {
+    return seqs_[a].length() < seqs_[b].length();
+  });
+}
+
+SequenceDatabase SequenceDatabase::from_fasta_file(const std::string& path,
+                                                   const Alphabet& alphabet) {
+  return SequenceDatabase(read_fasta_file(path, alphabet));
+}
+
+SequenceDatabase SequenceDatabase::synthetic(const SyntheticConfig& cfg) {
+  return SequenceDatabase(generate_database(cfg));
+}
+
+}  // namespace swve::seq

@@ -1,0 +1,44 @@
+// Sequence database container used by the search drivers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "seq/sequence.hpp"
+#include "seq/synthetic.hpp"
+
+namespace swve::seq {
+
+/// An immutable collection of target sequences plus the aggregate statistics
+/// the benchmarks and the partitioner need (total residues for GCUPS math,
+/// max length for workspace pre-sizing).
+class SequenceDatabase {
+ public:
+  SequenceDatabase() = default;
+  explicit SequenceDatabase(std::vector<Sequence> seqs);
+
+  static SequenceDatabase from_fasta_file(const std::string& path,
+                                          const Alphabet& alphabet);
+  static SequenceDatabase synthetic(const SyntheticConfig& cfg);
+
+  size_t size() const noexcept { return seqs_.size(); }
+  bool empty() const noexcept { return seqs_.empty(); }
+  const Sequence& operator[](size_t i) const noexcept { return seqs_[i]; }
+  const std::vector<Sequence>& sequences() const noexcept { return seqs_; }
+
+  uint64_t total_residues() const noexcept { return total_residues_; }
+  size_t max_length() const noexcept { return max_length_; }
+
+  /// Indices of sequences ordered by ascending length (batch32 packing and
+  /// deterministic scheduling both want this).
+  const std::vector<uint32_t>& by_length() const noexcept { return by_length_; }
+
+ private:
+  std::vector<Sequence> seqs_;
+  std::vector<uint32_t> by_length_;
+  uint64_t total_residues_ = 0;
+  size_t max_length_ = 0;
+};
+
+}  // namespace swve::seq

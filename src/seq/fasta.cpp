@@ -1,0 +1,65 @@
+#include "seq/fasta.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace swve::seq {
+
+std::vector<Sequence> read_fasta(std::istream& in, const Alphabet& alphabet) {
+  std::vector<Sequence> out;
+  std::string line, id, residues;
+  bool have_record = false;
+
+  auto flush = [&] {
+    if (have_record) out.emplace_back(id, residues, alphabet);
+    id.clear();
+    residues.clear();
+  };
+
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      flush();
+      have_record = true;
+      size_t end = line.find_first_of(" \t", 1);
+      id = line.substr(1, end == std::string::npos ? std::string::npos : end - 1);
+    } else if (line[0] == ';') {
+      continue;  // old-style comment
+    } else {
+      if (!have_record) throw std::runtime_error("FASTA: residues before first header");
+      for (char c : line)
+        if (!std::isspace(static_cast<unsigned char>(c))) residues.push_back(c);
+    }
+  }
+  flush();
+  return out;
+}
+
+std::vector<Sequence> read_fasta_file(const std::string& path, const Alphabet& alphabet) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("FASTA: cannot open " + path);
+  return read_fasta(in, alphabet);
+}
+
+void write_fasta(std::ostream& out, const std::vector<Sequence>& seqs, int width) {
+  if (width <= 0) width = 60;
+  for (const Sequence& s : seqs) {
+    out << '>' << s.id() << '\n';
+    std::string txt = s.to_string();
+    for (size_t pos = 0; pos < txt.size(); pos += static_cast<size_t>(width))
+      out << txt.substr(pos, static_cast<size_t>(width)) << '\n';
+    if (txt.empty()) out << '\n';
+  }
+}
+
+void write_fasta_file(const std::string& path, const std::vector<Sequence>& seqs,
+                      int width) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("FASTA: cannot open " + path + " for writing");
+  write_fasta(out, seqs, width);
+}
+
+}  // namespace swve::seq

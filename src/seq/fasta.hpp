@@ -1,0 +1,27 @@
+// Minimal, tolerant FASTA reader/writer.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "seq/sequence.hpp"
+
+namespace swve::seq {
+
+/// Parse FASTA records from a stream. Header is the text after '>' up to the
+/// first whitespace; residue lines may wrap; blank lines are skipped; unknown
+/// residues map to the alphabet wildcard. Throws std::runtime_error on
+/// residues before any header.
+std::vector<Sequence> read_fasta(std::istream& in, const Alphabet& alphabet);
+
+/// Parse a FASTA file from disk. Throws std::runtime_error if unreadable.
+std::vector<Sequence> read_fasta_file(const std::string& path, const Alphabet& alphabet);
+
+/// Write records wrapped at `width` residues per line.
+void write_fasta(std::ostream& out, const std::vector<Sequence>& seqs, int width = 60);
+
+void write_fasta_file(const std::string& path, const std::vector<Sequence>& seqs,
+                      int width = 60);
+
+}  // namespace swve::seq

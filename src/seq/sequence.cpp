@@ -1,0 +1,34 @@
+#include "seq/sequence.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace swve::seq {
+
+Sequence::Sequence(std::string id, std::string_view residues, const Alphabet& alphabet)
+    : id_(std::move(id)), alphabet_(&alphabet) {
+  codes_.reserve(residues.size());
+  for (char c : residues) codes_.push_back(alphabet.encode(c));
+}
+
+Sequence::Sequence(std::string id, std::vector<uint8_t> codes, const Alphabet& alphabet)
+    : id_(std::move(id)), codes_(std::move(codes)), alphabet_(&alphabet) {
+  for (uint8_t c : codes_)
+    if (c >= alphabet.size())
+      throw std::invalid_argument("sequence code out of alphabet range");
+}
+
+std::string Sequence::to_string() const {
+  return decode_string(*alphabet_, codes_.data(), codes_.size());
+}
+
+Sequence Sequence::subsequence(size_t pos, size_t len) const {
+  pos = std::min(pos, codes_.size());
+  len = std::min(len, codes_.size() - pos);
+  std::vector<uint8_t> sub(codes_.begin() + static_cast<ptrdiff_t>(pos),
+                           codes_.begin() + static_cast<ptrdiff_t>(pos + len));
+  return Sequence(id_ + ":" + std::to_string(pos) + "+" + std::to_string(len),
+                  std::move(sub), *alphabet_);
+}
+
+}  // namespace swve::seq

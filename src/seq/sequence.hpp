@@ -1,0 +1,61 @@
+// Encoded biological sequences.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "seq/alphabet.hpp"
+
+namespace swve::seq {
+
+/// A named, alphabet-encoded sequence. Residues are stored as small integer
+/// codes (see Alphabet); kernels consume `codes()` directly.
+class Sequence {
+ public:
+  Sequence() = default;
+  /// Encode `residues` with `alphabet`; unknown characters become wildcard.
+  Sequence(std::string id, std::string_view residues, const Alphabet& alphabet);
+  /// Adopt pre-encoded codes (must be < alphabet.size()).
+  Sequence(std::string id, std::vector<uint8_t> codes, const Alphabet& alphabet);
+
+  const std::string& id() const noexcept { return id_; }
+  size_t length() const noexcept { return codes_.size(); }
+  bool empty() const noexcept { return codes_.empty(); }
+  std::span<const uint8_t> codes() const noexcept { return codes_; }
+  const uint8_t* data() const noexcept { return codes_.data(); }
+  const Alphabet& alphabet() const noexcept { return *alphabet_; }
+
+  /// Decode back to a residue string.
+  std::string to_string() const;
+
+  /// Encoded subsequence [pos, pos+len), clamped to the sequence end.
+  Sequence subsequence(size_t pos, size_t len) const;
+
+  bool operator==(const Sequence& o) const noexcept {
+    return codes_ == o.codes_ && alphabet_ == o.alphabet_;
+  }
+
+ private:
+  std::string id_;
+  std::vector<uint8_t> codes_;
+  const Alphabet* alphabet_ = &Alphabet::protein();
+};
+
+/// Lightweight non-owning view used by the alignment API.
+struct SeqView {
+  const uint8_t* data = nullptr;
+  size_t length = 0;
+
+  SeqView() = default;
+  SeqView(const uint8_t* d, size_t n) : data(d), length(n) {}
+  SeqView(const Sequence& s) : data(s.data()), length(s.length()) {}  // NOLINT
+  SeqView(std::span<const uint8_t> s) : data(s.data()), length(s.size()) {}  // NOLINT
+
+  bool empty() const noexcept { return length == 0; }
+  uint8_t operator[](size_t i) const noexcept { return data[i]; }
+};
+
+}  // namespace swve::seq

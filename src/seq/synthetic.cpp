@@ -1,0 +1,161 @@
+#include "seq/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace swve::seq {
+
+namespace {
+
+// Robinson & Robinson (1991) amino-acid frequencies, reordered to the
+// library's "ARNDCQEGHILKMFPSTWYV" code order.
+constexpr double kRR20[20] = {
+    0.07805,  // A
+    0.05129,  // R
+    0.04487,  // N
+    0.05364,  // D
+    0.01925,  // C
+    0.04264,  // Q
+    0.06295,  // E
+    0.07377,  // G
+    0.02199,  // H
+    0.05142,  // I
+    0.09019,  // L
+    0.05744,  // K
+    0.02243,  // M
+    0.03856,  // F
+    0.05203,  // P
+    0.07120,  // S
+    0.05841,  // T
+    0.01330,  // W
+    0.03216,  // Y
+    0.06441,  // V
+};
+
+std::discrete_distribution<int> residue_distribution(AlphabetKind kind) {
+  if (kind == AlphabetKind::Protein) {
+    const auto& bg = protein_background();
+    return std::discrete_distribution<int>(bg.begin(), bg.end());
+  }
+  // DNA: uniform over A, C, G, T (codes 0..3 of the DNA alphabet).
+  std::vector<double> w(static_cast<size_t>(Alphabet::dna().size()), 0.0);
+  for (int i = 0; i < 4; ++i) w[static_cast<size_t>(i)] = 0.25;
+  return std::discrete_distribution<int>(w.begin(), w.end());
+}
+
+std::vector<uint8_t> random_codes(std::mt19937_64& rng, uint32_t length,
+                                  std::discrete_distribution<int>& dist) {
+  std::vector<uint8_t> codes(length);
+  for (auto& c : codes) c = static_cast<uint8_t>(dist(rng));
+  return codes;
+}
+
+}  // namespace
+
+const std::vector<double>& protein_background() {
+  static const std::vector<double> bg = [] {
+    std::vector<double> v(kRR20, kRR20 + 20);
+    // B, Z, X, * : rare pseudo-frequencies so wildcards occur but dominate
+    // nothing (Swiss-Prot has a small rate of ambiguity codes).
+    v.push_back(2e-4);  // B
+    v.push_back(2e-4);  // Z
+    v.push_back(4e-4);  // X
+    v.push_back(0.0);   // * never generated
+    double sum = std::accumulate(v.begin(), v.end(), 0.0);
+    for (double& x : v) x /= sum;
+    return v;
+  }();
+  return bg;
+}
+
+Sequence generate_sequence(uint64_t seed, uint32_t length, AlphabetKind kind) {
+  std::mt19937_64 rng(seed);
+  auto dist = residue_distribution(kind);
+  return Sequence("synth/" + std::to_string(seed) + "/" + std::to_string(length),
+                  random_codes(rng, length, dist), Alphabet::get(kind));
+}
+
+Sequence mutate(const Sequence& src, uint64_t seed, double rate) {
+  std::mt19937_64 rng(seed);
+  auto dist = residue_distribution(src.alphabet().kind());
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::vector<uint8_t> codes(src.codes().begin(), src.codes().end());
+  for (auto& c : codes)
+    if (u(rng) < rate) c = static_cast<uint8_t>(dist(rng));
+  return Sequence(src.id() + "/mut", std::move(codes), src.alphabet());
+}
+
+std::vector<Sequence> generate_database(const SyntheticConfig& cfg) {
+  if (cfg.min_length == 0 || cfg.max_length < cfg.min_length)
+    throw std::invalid_argument("SyntheticConfig: bad length bounds");
+  std::mt19937_64 rng(cfg.seed);
+  auto res_dist = residue_distribution(cfg.kind);
+  std::lognormal_distribution<double> len_dist(cfg.log_mean, cfg.log_sigma);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  const Alphabet& alpha = Alphabet::get(cfg.kind);
+
+  // Shared pool of "domain" segments used to plant homologies.
+  std::vector<std::vector<uint8_t>> domains;
+  for (int i = 0; i < 16; ++i) domains.push_back(random_codes(rng, 120, res_dist));
+
+  std::vector<Sequence> db;
+  uint64_t emitted = 0;
+  size_t index = 0;
+  while (emitted < cfg.target_residues) {
+    auto len = static_cast<uint32_t>(std::llround(len_dist(rng)));
+    len = std::clamp(len, cfg.min_length, cfg.max_length);
+    std::vector<uint8_t> codes = random_codes(rng, len, res_dist);
+    if (u(rng) < cfg.planted_fraction && len > 140) {
+      const auto& dom = domains[static_cast<size_t>(rng() % domains.size())];
+      size_t pos = rng() % (len - dom.size());
+      for (size_t k = 0; k < dom.size(); ++k) {
+        codes[pos + k] = u(rng) < cfg.planted_mutation_rate
+                             ? static_cast<uint8_t>(res_dist(rng))
+                             : dom[k];
+      }
+    }
+    db.emplace_back("sp|SYN" + std::to_string(index++), std::move(codes), alpha);
+    emitted += len;
+  }
+  return db;
+}
+
+std::vector<Sequence> pick_queries(const std::vector<Sequence>& db, int count) {
+  if (db.empty() || count <= 0) return {};
+  std::vector<size_t> order(db.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return db[a].length() < db[b].length();
+  });
+  std::vector<Sequence> queries;
+  queries.reserve(static_cast<size_t>(count));
+  for (int k = 0; k < count; ++k) {
+    // Evenly spaced percentiles, inclusive of both tails.
+    size_t pos = count == 1 ? order.size() / 2
+                            : (static_cast<size_t>(k) * (order.size() - 1)) /
+                                  static_cast<size_t>(count - 1);
+    queries.push_back(db[order[pos]]);
+  }
+  return queries;
+}
+
+std::vector<Sequence> make_query_ladder(uint64_t seed, int count, uint32_t min_len,
+                                        uint32_t max_len, AlphabetKind kind) {
+  if (count <= 0 || min_len == 0 || max_len < min_len)
+    throw std::invalid_argument("make_query_ladder: bad arguments");
+  std::vector<Sequence> out;
+  out.reserve(static_cast<size_t>(count));
+  const double lo = std::log(static_cast<double>(min_len));
+  const double hi = std::log(static_cast<double>(max_len));
+  for (int k = 0; k < count; ++k) {
+    double t = count == 1 ? 0.5 : static_cast<double>(k) / (count - 1);
+    auto len = static_cast<uint32_t>(std::llround(std::exp(lo + t * (hi - lo))));
+    out.push_back(generate_sequence(seed + static_cast<uint64_t>(k) * 7919u, len, kind));
+  }
+  return out;
+}
+
+}  // namespace swve::seq

@@ -1,0 +1,67 @@
+// Synthetic UniProtKB/Swiss-Prot substitute.
+//
+// The paper benchmarks against Swiss-Prot with 10 randomly chosen query
+// proteins spanning a range of lengths; it notes that "execution is
+// deterministic with respect to query size and only behaviors related to
+// size need to be measured." This generator therefore reproduces the two
+// statistics Smith-Waterman performance depends on — the sequence-length
+// distribution and the residue background frequencies — deterministically
+// from a seed (see DESIGN.md §4, substitution 1):
+//   * lengths: log-normal, median ~= 320 aa, clamped, like Swiss-Prot;
+//   * residues: Robinson & Robinson (1991) amino-acid background
+//     frequencies (protein) or uniform ACGT (DNA);
+//   * optionally, planted local similarities so alignments have non-trivial
+//     optima and 8-bit saturation behaviour matches real searches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/sequence.hpp"
+
+namespace swve::seq {
+
+struct SyntheticConfig {
+  uint64_t seed = 42;
+  AlphabetKind kind = AlphabetKind::Protein;
+  /// Stop generating when this many residues have been emitted.
+  uint64_t target_residues = 2'000'000;
+  /// Log-normal length distribution (of Swiss-Prot shape by default).
+  double log_mean = 5.77;   // exp(5.77) ~= 320 aa median
+  double log_sigma = 0.70;
+  uint32_t min_length = 40;
+  uint32_t max_length = 5000;
+  /// Fraction of sequences that receive a planted homologous segment copied
+  /// (with mutations) from a shared pool, so database searches have real
+  /// high-scoring hits rather than pure noise.
+  double planted_fraction = 0.10;
+  double planted_mutation_rate = 0.15;
+};
+
+/// Generate a deterministic synthetic database.
+std::vector<Sequence> generate_database(const SyntheticConfig& cfg);
+
+/// Generate one random sequence of exactly `length` residues.
+Sequence generate_sequence(uint64_t seed, uint32_t length,
+                           AlphabetKind kind = AlphabetKind::Protein);
+
+/// Pick `count` queries from `db` spread across its length distribution
+/// (evenly spaced length percentiles), mirroring the paper's "10 proteins
+/// with a range of lengths". Deterministic.
+std::vector<Sequence> pick_queries(const std::vector<Sequence>& db, int count);
+
+/// The paper's query set: `count` queries with lengths spread
+/// logarithmically across [min_len, max_len], generated directly.
+std::vector<Sequence> make_query_ladder(uint64_t seed, int count, uint32_t min_len,
+                                        uint32_t max_len,
+                                        AlphabetKind kind = AlphabetKind::Protein);
+
+/// Mutate a copy of `src`: point substitutions with `rate`, preserving
+/// length. Used for planting homologies and by tests.
+Sequence mutate(const Sequence& src, uint64_t seed, double rate);
+
+/// Robinson & Robinson amino-acid background frequencies in the 24-letter
+/// code order (B, Z, X, * get tiny pseudo-frequencies). Sums to 1.
+const std::vector<double>& protein_background();
+
+}  // namespace swve::seq

@@ -1,0 +1,92 @@
+#include "simd/cpu.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+#include <thread>
+
+namespace swve::simd {
+
+static CpuFeatures detect() noexcept {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  f.sse41 = __builtin_cpu_supports("sse4.1");
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.avx512bw_vl = __builtin_cpu_supports("avx512f") &&
+                  __builtin_cpu_supports("avx512bw") &&
+                  __builtin_cpu_supports("avx512vl");
+  f.avx512vbmi = f.avx512bw_vl && __builtin_cpu_supports("avx512vbmi");
+#endif
+  f.hardware_threads = std::max(1u, std::thread::hardware_concurrency());
+  return f;
+}
+
+const CpuFeatures& cpu_features() noexcept {
+  static const CpuFeatures f = detect();
+  return f;
+}
+
+bool isa_available(Isa isa) noexcept {
+  const CpuFeatures& f = cpu_features();
+  switch (isa) {
+    case Isa::Scalar:
+      return true;
+    case Isa::Sse41:
+#if defined(SWVE_HAVE_SSE41_BUILD)
+      return f.sse41;
+#else
+      return false;
+#endif
+    case Isa::Avx2:
+#if defined(SWVE_HAVE_AVX2_BUILD)
+      return f.avx2;
+#else
+      return false;
+#endif
+    case Isa::Avx512:
+#if defined(SWVE_HAVE_AVX512_BUILD)
+      return f.avx512bw_vl;
+#else
+      return false;
+#endif
+    case Isa::Auto:
+      return true;
+  }
+  return false;
+}
+
+Isa resolve_isa(Isa requested) noexcept {
+  if (requested == Isa::Auto) {
+    if (isa_available(Isa::Avx512)) return Isa::Avx512;
+    if (isa_available(Isa::Avx2)) return Isa::Avx2;
+    if (isa_available(Isa::Sse41)) return Isa::Sse41;
+    return Isa::Scalar;
+  }
+  return isa_available(requested) ? requested : Isa::Scalar;
+}
+
+const char* isa_name(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::Auto: return "auto";
+    case Isa::Scalar: return "scalar";
+    case Isa::Sse41: return "sse41";
+    case Isa::Avx2: return "avx2";
+    case Isa::Avx512: return "avx512";
+  }
+  return "?";
+}
+
+Isa isa_from_string(const std::string& s) {
+  std::string t;
+  t.reserve(s.size());
+  for (char c : s) t.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (t == "auto") return Isa::Auto;
+  if (t == "scalar") return Isa::Scalar;
+  if (t == "sse41" || t == "sse4.1" || t == "sse") return Isa::Sse41;
+  if (t == "avx2") return Isa::Avx2;
+  if (t == "avx512") return Isa::Avx512;
+  throw std::invalid_argument("unknown ISA name: " + s);
+}
+
+}  // namespace swve::simd

@@ -1,0 +1,262 @@
+// AVX-512 engines (512-bit). Include only from translation units compiled
+// with -mavx512f -mavx512bw -mavx512vl (-mavx512vbmi for batch32). Same
+// engine concept as engines_emu.hpp; comparisons use hardware mask registers
+// so to_bits() is free, and narrowing uses vpmovus* so no pack-order fixups
+// are needed.
+#pragma once
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace swve::simd {
+
+namespace detail_avx512 {
+
+/// The 32x32 biased byte table staged into registers for vpermi2b lookups:
+/// 8 segments of 4 rows (128 B = one register pair). Built once per
+/// alignment; lives in zmm registers across the hot loop.
+struct ShuffleTable {
+  __m512i seg[16];  // seg[2s], seg[2s+1] = rows 4s..4s+3
+};
+
+inline ShuffleTable load_shuffle_table(const uint8_t* mat8) {
+  ShuffleTable t;
+  for (int k = 0; k < 16; ++k) t.seg[k] = _mm512_loadu_si512(mat8 + 64 * k);
+  return t;
+}
+
+/// Per byte lane: mat8[q*32 + r], q and r in [0, 32). Eight vpermi2b
+/// lookups (one per 4-row segment) merged by the segment id q >> 2.
+/// Requires AVX-512-VBMI (this TU is compiled with it; runtime gating is
+/// the dispatcher's responsibility).
+inline __m512i lookup_q_r(const ShuffleTable& t, __m512i vq, __m512i vr) {
+  // idx7 = (q & 3) << 5 | r. Since q & 3 <= 3, the epi16 shift cannot
+  // bleed across byte lanes.
+  const __m512i idx = _mm512_or_si512(
+      _mm512_slli_epi16(_mm512_and_si512(vq, _mm512_set1_epi8(3)), 5), vr);
+  const __m512i seg = _mm512_srli_epi16(
+      _mm512_and_si512(vq, _mm512_set1_epi8(static_cast<char>(0xFC))), 2);
+  __m512i res = _mm512_permutex2var_epi8(t.seg[0], idx, t.seg[1]);
+  for (int s = 1; s < 8; ++s) {
+    const __m512i cand =
+        _mm512_permutex2var_epi8(t.seg[2 * s], idx, t.seg[2 * s + 1]);
+    res = _mm512_mask_mov_epi8(
+        res, _mm512_cmpeq_epi8_mask(seg, _mm512_set1_epi8(static_cast<char>(s))),
+        cand);
+  }
+  return res;
+}
+
+}  // namespace detail_avx512
+
+struct Avx512U8 {
+  using elem = uint8_t;
+  using vec = __m512i;
+  using mask = __mmask64;
+  static constexpr int lanes = 64;
+  static constexpr bool is_signed = false;
+  static constexpr int64_t cap = 255;
+  static constexpr bool has_shuffle_scores = true;
+  using shuffle_tab = detail_avx512::ShuffleTable;
+  static shuffle_tab load_shuffle_table(const uint8_t* mat8) {
+    return detail_avx512::load_shuffle_table(mat8);
+  }
+  static vec shuffle_scores(const shuffle_tab& t, const elem* qenc,
+                            const elem* dbr_rev) {
+    return detail_avx512::lookup_q_r(t, _mm512_loadu_si512(qenc),
+                                     _mm512_loadu_si512(dbr_rev));
+  }
+
+  static vec zero() { return _mm512_setzero_si512(); }
+  static vec set1(int64_t x) { return _mm512_set1_epi8(static_cast<char>(x)); }
+  static vec iota() {
+    alignas(64) static constexpr uint8_t k[64] = {
+        0,  1,  2,  3,  4,  5,  6,  7,  8,  9,  10, 11, 12, 13, 14, 15,
+        16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31,
+        32, 33, 34, 35, 36, 37, 38, 39, 40, 41, 42, 43, 44, 45, 46, 47,
+        48, 49, 50, 51, 52, 53, 54, 55, 56, 57, 58, 59, 60, 61, 62, 63};
+    return _mm512_load_si512(k);
+  }
+  static vec loadu(const elem* p) { return _mm512_loadu_si512(p); }
+  static void storeu(elem* p, vec a) { _mm512_storeu_si512(p, a); }
+  static vec add_score(vec h, vec sb, vec bias) {
+    return _mm512_subs_epu8(_mm512_adds_epu8(h, sb), bias);
+  }
+  static vec sub_floor(vec x, vec p) { return _mm512_subs_epu8(x, p); }
+  static vec max(vec a, vec b) { return _mm512_max_epu8(a, b); }
+  static mask cmpeq(vec a, vec b) { return _mm512_cmpeq_epu8_mask(a, b); }
+  static mask cmpgt(vec a, vec b) { return _mm512_cmpgt_epu8_mask(a, b); }
+  static vec blend(mask m, vec a, vec b) { return _mm512_mask_blend_epi8(m, a, b); }
+  static vec or_(vec a, vec b) { return _mm512_or_si512(a, b); }
+  static bool any(mask m) { return m != 0; }
+  static uint64_t to_bits(mask m) { return static_cast<uint64_t>(m); }
+
+  static vec gather_scores(const int32_t* qmul, const int32_t* dbr, const int32_t* mat,
+                           int bias) {
+    const __m512i vb = _mm512_set1_epi32(bias);
+    __m512i out = _mm512_setzero_si512();
+    for (int t = 0; t < 4; ++t) {
+      __m512i idx = _mm512_add_epi32(_mm512_loadu_si512(qmul + 16 * t),
+                                     _mm512_loadu_si512(dbr + 16 * t));
+      __m512i g = _mm512_add_epi32(_mm512_i32gather_epi32(idx, mat, 4), vb);
+      __m128i nb = _mm512_cvtusepi32_epi8(g);  // vpmovusdb: saturating narrow
+      switch (t) {
+        case 0: out = _mm512_inserti32x4(out, nb, 0); break;
+        case 1: out = _mm512_inserti32x4(out, nb, 1); break;
+        case 2: out = _mm512_inserti32x4(out, nb, 2); break;
+        case 3: out = _mm512_inserti32x4(out, nb, 3); break;
+      }
+    }
+    return out;
+  }
+
+  static void store_dir_u8(uint8_t* p, vec a) { storeu(p, a); }
+
+  static void store_bestd(int32_t* bd, mask m, int d) {
+    const __m512i vd = _mm512_set1_epi32(d);
+    for (int g = 0; g < 4; ++g)
+      _mm512_mask_storeu_epi32(bd + 16 * g,
+                               static_cast<__mmask16>(m >> (16 * g)), vd);
+  }
+
+  static elem reduce_max(vec a) {
+    __m256i x = _mm256_max_epu8(_mm512_castsi512_si256(a), _mm512_extracti64x4_epi64(a, 1));
+    __m128i y = _mm_max_epu8(_mm256_castsi256_si128(x), _mm256_extracti128_si256(x, 1));
+    y = _mm_max_epu8(y, _mm_srli_si128(y, 8));
+    y = _mm_max_epu8(y, _mm_srli_si128(y, 4));
+    y = _mm_max_epu8(y, _mm_srli_si128(y, 2));
+    y = _mm_max_epu8(y, _mm_srli_si128(y, 1));
+    return static_cast<elem>(_mm_cvtsi128_si32(y) & 0xFF);
+  }
+};
+
+struct Avx512U16 {
+  using elem = uint16_t;
+  using vec = __m512i;
+  using mask = __mmask32;
+  static constexpr int lanes = 32;
+  static constexpr bool is_signed = false;
+  static constexpr int64_t cap = 65535;
+  static constexpr bool has_shuffle_scores = true;
+  using shuffle_tab = detail_avx512::ShuffleTable;
+  static shuffle_tab load_shuffle_table(const uint8_t* mat8) {
+    return detail_avx512::load_shuffle_table(mat8);
+  }
+  static vec shuffle_scores(const shuffle_tab& t, const elem* qenc,
+                            const elem* dbr_rev) {
+    // Narrow the u16 codes to bytes (< 32), run the byte lookup, widen.
+    const __m256i q8 = _mm512_cvtepi16_epi8(_mm512_loadu_si512(qenc));
+    const __m256i r8 = _mm512_cvtepi16_epi8(_mm512_loadu_si512(dbr_rev));
+    const __m512i res8 = detail_avx512::lookup_q_r(
+        t, _mm512_castsi256_si512(q8), _mm512_castsi256_si512(r8));
+    return _mm512_cvtepu8_epi16(_mm512_castsi512_si256(res8));
+  }
+
+  static vec zero() { return _mm512_setzero_si512(); }
+  static vec set1(int64_t x) { return _mm512_set1_epi16(static_cast<short>(x)); }
+  static vec iota() {
+    alignas(64) static constexpr uint16_t k[32] = {
+        0,  1,  2,  3,  4,  5,  6,  7,  8,  9,  10, 11, 12, 13, 14, 15,
+        16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31};
+    return _mm512_load_si512(k);
+  }
+  static vec loadu(const elem* p) { return _mm512_loadu_si512(p); }
+  static void storeu(elem* p, vec a) { _mm512_storeu_si512(p, a); }
+  static vec add_score(vec h, vec sb, vec bias) {
+    return _mm512_subs_epu16(_mm512_adds_epu16(h, sb), bias);
+  }
+  static vec sub_floor(vec x, vec p) { return _mm512_subs_epu16(x, p); }
+  static vec max(vec a, vec b) { return _mm512_max_epu16(a, b); }
+  static mask cmpeq(vec a, vec b) { return _mm512_cmpeq_epu16_mask(a, b); }
+  static mask cmpgt(vec a, vec b) { return _mm512_cmpgt_epu16_mask(a, b); }
+  static vec blend(mask m, vec a, vec b) { return _mm512_mask_blend_epi16(m, a, b); }
+  static vec or_(vec a, vec b) { return _mm512_or_si512(a, b); }
+  static bool any(mask m) { return m != 0; }
+  static uint64_t to_bits(mask m) { return static_cast<uint64_t>(m); }
+
+  static vec gather_scores(const int32_t* qmul, const int32_t* dbr, const int32_t* mat,
+                           int bias) {
+    const __m512i vb = _mm512_set1_epi32(bias);
+    __m512i idx0 =
+        _mm512_add_epi32(_mm512_loadu_si512(qmul), _mm512_loadu_si512(dbr));
+    __m512i idx1 =
+        _mm512_add_epi32(_mm512_loadu_si512(qmul + 16), _mm512_loadu_si512(dbr + 16));
+    __m512i g0 = _mm512_add_epi32(_mm512_i32gather_epi32(idx0, mat, 4), vb);
+    __m512i g1 = _mm512_add_epi32(_mm512_i32gather_epi32(idx1, mat, 4), vb);
+    __m256i n0 = _mm512_cvtusepi32_epi16(g0);  // vpmovusdw
+    __m256i n1 = _mm512_cvtusepi32_epi16(g1);
+    return _mm512_inserti64x4(_mm512_castsi256_si512(n0), n1, 1);
+  }
+
+  static void store_dir_u8(uint8_t* p, vec a) {
+    __m256i b = _mm512_cvtepi16_epi8(a);  // vpmovwb (truncating; dirs are small)
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), b);
+  }
+
+  static void store_bestd(int32_t* bd, mask m, int d) {
+    const __m512i vd = _mm512_set1_epi32(d);
+    _mm512_mask_storeu_epi32(bd, static_cast<__mmask16>(m), vd);
+    _mm512_mask_storeu_epi32(bd + 16, static_cast<__mmask16>(m >> 16), vd);
+  }
+
+  static elem reduce_max(vec a) {
+    __m256i x =
+        _mm256_max_epu16(_mm512_castsi512_si256(a), _mm512_extracti64x4_epi64(a, 1));
+    __m128i y = _mm_max_epu16(_mm256_castsi256_si128(x), _mm256_extracti128_si256(x, 1));
+    y = _mm_max_epu16(y, _mm_srli_si128(y, 8));
+    y = _mm_max_epu16(y, _mm_srli_si128(y, 4));
+    y = _mm_max_epu16(y, _mm_srli_si128(y, 2));
+    return static_cast<elem>(_mm_cvtsi128_si32(y) & 0xFFFF);
+  }
+};
+
+struct Avx512I32 {
+  using elem = int32_t;
+  using vec = __m512i;
+  using mask = __mmask16;
+  static constexpr int lanes = 16;
+  static constexpr bool is_signed = true;
+  static constexpr int64_t cap = INT32_MAX;
+  static constexpr bool has_shuffle_scores = false;
+
+  static vec zero() { return _mm512_setzero_si512(); }
+  static vec set1(int64_t x) { return _mm512_set1_epi32(static_cast<int>(x)); }
+  static vec iota() {
+    return _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+  }
+  static vec loadu(const elem* p) { return _mm512_loadu_si512(p); }
+  static void storeu(elem* p, vec a) { _mm512_storeu_si512(p, a); }
+  static vec add_score(vec h, vec s, vec /*bias = 0*/) {
+    return _mm512_max_epi32(_mm512_add_epi32(h, s), _mm512_setzero_si512());
+  }
+  static vec sub_floor(vec x, vec p) {
+    return _mm512_max_epi32(_mm512_sub_epi32(x, p), _mm512_setzero_si512());
+  }
+  static vec max(vec a, vec b) { return _mm512_max_epi32(a, b); }
+  static mask cmpeq(vec a, vec b) { return _mm512_cmpeq_epi32_mask(a, b); }
+  static mask cmpgt(vec a, vec b) { return _mm512_cmpgt_epi32_mask(a, b); }
+  static vec blend(mask m, vec a, vec b) { return _mm512_mask_blend_epi32(m, a, b); }
+  static vec or_(vec a, vec b) { return _mm512_or_si512(a, b); }
+  static bool any(mask m) { return m != 0; }
+  static uint64_t to_bits(mask m) { return static_cast<uint64_t>(m); }
+
+  static vec gather_scores(const int32_t* qmul, const int32_t* dbr, const int32_t* mat,
+                           int bias) {
+    __m512i idx = _mm512_add_epi32(_mm512_loadu_si512(qmul), _mm512_loadu_si512(dbr));
+    return _mm512_add_epi32(_mm512_i32gather_epi32(idx, mat, 4), _mm512_set1_epi32(bias));
+  }
+
+  static void store_dir_u8(uint8_t* p, vec a) {
+    __m128i b = _mm512_cvtepi32_epi8(a);  // vpmovdb
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), b);
+  }
+
+  static void store_bestd(int32_t* bd, mask m, int d) {
+    _mm512_mask_storeu_epi32(bd, m, _mm512_set1_epi32(d));
+  }
+
+  static elem reduce_max(vec a) { return _mm512_reduce_max_epi32(a); }
+};
+
+}  // namespace swve::simd

@@ -1,0 +1,40 @@
+// swve — Smith-Waterman with Vector Extensions.
+//
+// Umbrella header for the public API:
+//   swve::align::Aligner        pairwise alignment (scenario 3 friendly)
+//   swve::align::DatabaseSearch single query vs database (scenario 1)
+//   swve::align::BatchServer    many queries vs database (scenario 2)
+//   swve::seq::*                alphabets, sequences, FASTA, synthetic data
+//   swve::matrix::ScoreMatrix   BLOSUM/PAM tables, 32-column padded layout
+//   swve::baseline::*           Parasail-style diag/scan/striped kernels
+//   swve::tune::*               GA compiler-hyperparameter tuner
+//   swve::perf::*               GCUPS, frequency monitor, top-down analysis
+#pragma once
+
+#include "align/aligner.hpp"
+#include "align/batch_server.hpp"
+#include "align/db_search.hpp"
+#include "align/format.hpp"
+#include "align/global.hpp"
+#include "align/stats.hpp"
+#include "baseline/diag_basic.hpp"
+#include "baseline/scan.hpp"
+#include "baseline/striped.hpp"
+#include "core/batch32.hpp"
+#include "core/scalar_ref.hpp"
+#include "core/traceback.hpp"
+#include "matrix/query_profile.hpp"
+#include "matrix/score_matrix.hpp"
+#include "parallel/partition.hpp"
+#include "parallel/thread_pool.hpp"
+#include "perf/freq_monitor.hpp"
+#include "perf/gcups.hpp"
+#include "perf/table.hpp"
+#include "perf/timer.hpp"
+#include "perf/topdown.hpp"
+#include "seq/database.hpp"
+#include "seq/fasta.hpp"
+#include "seq/synthetic.hpp"
+#include "simd/cpu.hpp"
+#include "tune/evaluator.hpp"
+#include "tune/ga.hpp"

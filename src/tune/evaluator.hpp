@@ -1,0 +1,87 @@
+// Fitness evaluators for the GA tuner.
+//
+// Two implementations (DESIGN.md §4, substitution 4):
+//   * SimulatedEvaluator — a seeded response surface over the flag space
+//     (per-flag effects + pairwise interactions + query-size dependence),
+//     deterministic and instant; the default for tests and benches. Its
+//     structure reproduces the paper's findings: ~10% mean improvement,
+//     up to ~50% for favorable (architecture, query-size) combinations,
+//     and gains that vary with query size.
+//   * GccEvaluator — the real thing: compiles a self-contained SW kernel
+//     with the individual's flags into a shared object, dlopens it, and
+//     times it on a synthetic workload. Fitness is measured GCUPS.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tune/flag_space.hpp"
+
+namespace swve::tune {
+
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+  /// Higher is better. Must be deterministic per individual for the
+  /// simulated surface; the GCC evaluator is as stable as the machine.
+  virtual double evaluate(const Individual& ind) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Deterministic synthetic response surface.
+class SimulatedEvaluator final : public Evaluator {
+ public:
+  /// `query_size` shapes which flags matter (the paper found tuning gains
+  /// to be strongly query-size dependent); `arch_seed` plays the role of
+  /// the microarchitecture.
+  SimulatedEvaluator(const FlagSpace& space, uint64_t arch_seed, int query_size);
+
+  double evaluate(const Individual& ind) override;
+  std::string name() const override { return "simulated"; }
+
+  /// Fitness of plain -O3 (the normalization baseline).
+  double baseline() const { return baseline_; }
+  /// Best fitness over the whole space found by exhaustive per-flag ascent
+  /// (upper-bound estimate used by tests).
+  double approx_optimum() const { return approx_opt_; }
+
+ private:
+  const FlagSpace* space_;
+  std::vector<std::vector<double>> main_effects_;   // [flag][choice]
+  struct Interaction {
+    uint32_t f1, c1, f2, c2;
+    double effect;
+  };
+  std::vector<Interaction> interactions_;
+  double base_gcups_;
+  double baseline_ = 0;
+  double approx_opt_ = 0;
+};
+
+/// Real evaluator: gcc + dlopen + timing. Construction probes the
+/// environment; available() reports whether it can run here.
+class GccEvaluator final : public Evaluator {
+ public:
+  struct Options {
+    std::string gcc = "gcc";
+    std::string work_dir = "/tmp/swve_tune";
+    int query_size = 256;
+    int db_size = 1 << 15;      ///< reference residues per timing run
+    int repeats = 3;            ///< best-of timing repetitions
+  };
+  explicit GccEvaluator(const FlagSpace& space);
+  GccEvaluator(const FlagSpace& space, Options opt);
+
+  bool available() const { return available_; }
+  double evaluate(const Individual& ind) override;
+  std::string name() const override { return "gcc"; }
+
+ private:
+  Options opt_;
+  bool available_ = false;
+  const FlagSpace* space_ = nullptr;
+  std::string kernel_src_path_;
+  int counter_ = 0;
+};
+
+}  // namespace swve::tune

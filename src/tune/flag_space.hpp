@@ -1,0 +1,50 @@
+// GCC compiler-hyperparameter search space (§III-E of the paper).
+//
+// Each hyperparameter is a named flag with a finite set of settings: on/off
+// -f flags, valued --param options, and a few enumerated options. An
+// Individual is one choice per flag; the GA evolves populations of
+// Individuals.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace swve::tune {
+
+struct Flag {
+  std::string name;                  ///< for reports
+  std::vector<std::string> values;   ///< command-line text per setting
+};
+
+/// One choice index per flag of the space.
+using Individual = std::vector<uint8_t>;
+
+class FlagSpace {
+ public:
+  /// The default space: ~25 GCC flags/params that affect the SW kernel
+  /// (unrolling, vectorization cost model, scheduling, inlining limits...).
+  static FlagSpace gcc_default();
+
+  explicit FlagSpace(std::vector<Flag> flags) : flags_(std::move(flags)) {}
+
+  size_t size() const noexcept { return flags_.size(); }
+  const Flag& flag(size_t i) const noexcept { return flags_[i]; }
+
+  /// Number of distinct individuals (capped at 2^63).
+  double search_space_size() const;
+
+  Individual random_individual(std::mt19937_64& rng) const;
+  Individual baseline_individual() const;  ///< choice 0 everywhere (plain -O3)
+  bool valid(const Individual& ind) const;
+
+  /// Command-line arguments for an individual (empty strings skipped).
+  std::vector<std::string> to_arguments(const Individual& ind) const;
+  std::string to_string(const Individual& ind) const;
+
+ private:
+  std::vector<Flag> flags_;
+};
+
+}  // namespace swve::tune

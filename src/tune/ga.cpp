@@ -1,0 +1,84 @@
+#include "tune/ga.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace swve::tune {
+
+GaResult run_ga(const FlagSpace& space, Evaluator& eval, const GaParams& p) {
+  if (p.population < 2 || p.generations < 1 || p.tournament < 1)
+    throw std::invalid_argument("run_ga: bad parameters");
+  std::mt19937_64 rng(p.seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+
+  struct Scored {
+    Individual ind;
+    double fitness;
+  };
+  auto score = [&](Individual ind) {
+    double f = eval.evaluate(ind);
+    return Scored{std::move(ind), f};
+  };
+
+  GaResult out;
+  out.baseline_fitness = eval.evaluate(space.baseline_individual());
+  ++out.evaluations;
+
+  std::vector<Scored> pop;
+  pop.reserve(static_cast<size_t>(p.population));
+  if (p.include_baseline) {
+    pop.push_back(score(space.baseline_individual()));
+    ++out.evaluations;
+  }
+  while (pop.size() < static_cast<size_t>(p.population)) {
+    pop.push_back(score(space.random_individual(rng)));
+    ++out.evaluations;
+  }
+
+  auto by_fitness = [](const Scored& a, const Scored& b) {
+    return a.fitness > b.fitness;
+  };
+  std::sort(pop.begin(), pop.end(), by_fitness);
+
+  auto tournament_pick = [&]() -> const Scored& {
+    size_t best = rng() % pop.size();
+    for (int t = 1; t < p.tournament; ++t) {
+      size_t c = rng() % pop.size();
+      if (pop[c].fitness > pop[best].fitness) best = c;
+    }
+    return pop[best];
+  };
+
+  for (int g = 0; g < p.generations; ++g) {
+    std::vector<Scored> next;
+    next.reserve(pop.size());
+    // Elitism: the best individuals survive unchanged.
+    for (int e = 0; e < p.elites && e < static_cast<int>(pop.size()); ++e)
+      next.push_back(pop[static_cast<size_t>(e)]);
+
+    while (next.size() < pop.size()) {
+      Individual child = tournament_pick().ind;
+      if (u(rng) < p.crossover_rate) {
+        const Individual& other = tournament_pick().ind;
+        for (size_t i = 0; i < child.size(); ++i)
+          if (rng() & 1) child[i] = other[i];
+      }
+      for (size_t i = 0; i < child.size(); ++i)
+        if (u(rng) < p.mutation_rate)
+          child[i] = static_cast<uint8_t>(rng() % space.flag(i).values.size());
+      next.push_back(score(std::move(child)));
+      ++out.evaluations;
+    }
+    pop = std::move(next);
+    std::sort(pop.begin(), pop.end(), by_fitness);
+    out.generation_best.push_back(pop.front().fitness);
+  }
+
+  out.best = pop.front().ind;
+  out.best_fitness = pop.front().fitness;
+  return out;
+}
+
+}  // namespace swve::tune

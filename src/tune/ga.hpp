@@ -1,0 +1,46 @@
+// Evolutionary search over the compiler flag space (§III-E).
+//
+// Matches the paper's description: random initial population; each
+// hyperparameter evolves within its allowable set of values; every new
+// population is evaluated and the best retained. Standard machinery:
+// tournament selection, uniform crossover, per-gene mutation, elitism.
+// The search is stochastic ("not guaranteed to find the best solution"),
+// but fully reproducible from the seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tune/evaluator.hpp"
+#include "tune/flag_space.hpp"
+
+namespace swve::tune {
+
+struct GaParams {
+  uint64_t seed = 1;
+  int population = 24;
+  int generations = 12;
+  int tournament = 3;
+  double crossover_rate = 0.9;
+  double mutation_rate = 0.08;  ///< per gene
+  int elites = 2;
+  bool include_baseline = true;  ///< seed plain -O3 into generation 0
+};
+
+struct GaResult {
+  Individual best;
+  double best_fitness = 0;
+  double baseline_fitness = 0;
+  /// best-of-population trace, one entry per generation (monotone with
+  /// elitism) — Fig 10's "improvement after tuning" numerator.
+  std::vector<double> generation_best;
+  uint64_t evaluations = 0;
+
+  double improvement() const {
+    return baseline_fitness > 0 ? best_fitness / baseline_fitness - 1.0 : 0.0;
+  }
+};
+
+GaResult run_ga(const FlagSpace& space, Evaluator& eval, const GaParams& params);
+
+}  // namespace swve::tune

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "seq/alphabet.hpp"
+
+namespace swve::seq {
+namespace {
+
+TEST(Alphabet, ProteinOrderMatchesNcbiConvention) {
+  const Alphabet& a = Alphabet::protein();
+  EXPECT_EQ(a.letters(), "ARNDCQEGHILKMFPSTWYVBZX*");
+  EXPECT_EQ(a.size(), 24);
+  EXPECT_EQ(a.kind(), AlphabetKind::Protein);
+}
+
+TEST(Alphabet, ProteinEncodeDecodeRoundTrip) {
+  const Alphabet& a = Alphabet::protein();
+  for (int c = 0; c < a.size(); ++c)
+    EXPECT_EQ(a.encode(a.decode(static_cast<uint8_t>(c))), c);
+}
+
+TEST(Alphabet, EncodeIsCaseInsensitive) {
+  const Alphabet& a = Alphabet::protein();
+  EXPECT_EQ(a.encode('a'), a.encode('A'));
+  EXPECT_EQ(a.encode('w'), a.encode('W'));
+  EXPECT_EQ(Alphabet::dna().encode('t'), Alphabet::dna().encode('T'));
+}
+
+TEST(Alphabet, UnknownCharactersMapToWildcard) {
+  const Alphabet& a = Alphabet::protein();
+  EXPECT_EQ(a.encode('J'), a.wildcard());
+  EXPECT_EQ(a.encode('@'), a.wildcard());
+  EXPECT_EQ(a.encode('\n'), a.wildcard());
+  EXPECT_EQ(a.encode('1'), a.wildcard());
+  EXPECT_EQ(a.decode(a.wildcard()), 'X');
+}
+
+TEST(Alphabet, ProteinWildcardIsX) {
+  const Alphabet& a = Alphabet::protein();
+  EXPECT_EQ(a.encode('X'), a.wildcard());
+  EXPECT_EQ(a.wildcard(), 22);  // position of X in the 24-letter order
+}
+
+TEST(Alphabet, DnaWildcardIsN) {
+  const Alphabet& a = Alphabet::dna();
+  EXPECT_EQ(a.decode(a.wildcard()), 'N');
+  EXPECT_EQ(a.encode('Q'), a.wildcard());
+}
+
+TEST(Alphabet, DnaCoreBasesHaveLowCodes) {
+  const Alphabet& a = Alphabet::dna();
+  EXPECT_EQ(a.encode('A'), 0);
+  EXPECT_EQ(a.encode('C'), 1);
+  EXPECT_EQ(a.encode('G'), 2);
+  EXPECT_EQ(a.encode('T'), 3);
+}
+
+TEST(Alphabet, AllCodesFitMatrixStride) {
+  EXPECT_LE(Alphabet::protein().size(), kMatrixStride);
+  EXPECT_LE(Alphabet::dna().size(), kMatrixStride);
+}
+
+TEST(Alphabet, GetByKind) {
+  EXPECT_EQ(&Alphabet::get(AlphabetKind::Protein), &Alphabet::protein());
+  EXPECT_EQ(&Alphabet::get(AlphabetKind::Dna), &Alphabet::dna());
+}
+
+TEST(Alphabet, DecodeOutOfRange) {
+  EXPECT_EQ(Alphabet::protein().decode(200), '?');
+}
+
+TEST(Alphabet, DecodeString) {
+  const Alphabet& a = Alphabet::protein();
+  uint8_t codes[] = {0, 1, 2, 3};
+  EXPECT_EQ(decode_string(a, codes, 4), "ARND");
+  EXPECT_EQ(decode_string(a, codes, 0), "");
+}
+
+}  // namespace
+}  // namespace swve::seq

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/batch32.hpp"
+#include "core/scalar_ref.hpp"
+#include "seq/synthetic.hpp"
+#include "simd/cpu.hpp"
+
+namespace swve::core {
+namespace {
+
+seq::SequenceDatabase small_db(uint64_t seed, uint64_t residues, uint32_t min_len = 5,
+                               uint32_t max_len = 300) {
+  seq::SyntheticConfig cfg;
+  cfg.seed = seed;
+  cfg.target_residues = residues;
+  cfg.min_length = min_len;
+  cfg.max_length = max_len;
+  return seq::SequenceDatabase::synthetic(cfg);
+}
+
+TEST(Batch32Db, RejectsBadLaneCounts) {
+  auto db = small_db(1, 1000);
+  EXPECT_THROW(Batch32Db(db, 16), std::invalid_argument);
+  EXPECT_THROW(Batch32Db(db, 48), std::invalid_argument);
+}
+
+TEST(Batch32Db, PacksEverySequenceExactlyOnce) {
+  auto db = small_db(2, 30'000);
+  for (int lanes : {32, 64}) {
+    Batch32Db bdb(db, lanes);
+    std::vector<int> seen(db.size(), 0);
+    for (size_t b = 0; b < bdb.batch_count(); ++b) {
+      auto batch = bdb.batch(b);
+      EXPECT_LE(batch.count, static_cast<uint32_t>(lanes));
+      for (uint32_t k = 0; k < batch.count; ++k) ++seen[batch.seq_index[k]];
+    }
+    for (size_t s = 0; s < db.size(); ++s) EXPECT_EQ(seen[s], 1) << s;
+  }
+}
+
+TEST(Batch32Db, TransposedColumnsHoldTheRightResidues) {
+  auto db = small_db(3, 8'000);
+  Batch32Db bdb(db, 32);
+  for (size_t b = 0; b < bdb.batch_count(); ++b) {
+    auto batch = bdb.batch(b);
+    for (uint32_t k = 0; k < batch.count; ++k) {
+      const seq::Sequence& s = db[batch.seq_index[k]];
+      EXPECT_EQ(batch.seq_len[k], s.length());
+      for (uint32_t j = 0; j < batch.max_len; ++j) {
+        uint8_t got = batch.columns[static_cast<size_t>(j) * 32 + k];
+        if (j < s.length())
+          EXPECT_EQ(got, s.codes()[j]);
+        else
+          EXPECT_EQ(got, kBatchPadCode);
+      }
+      // Padding lanes beyond count:
+      for (uint32_t k2 = batch.count; k2 < 32; ++k2)
+        EXPECT_EQ(batch.columns[k2], kBatchPadCode);
+    }
+  }
+}
+
+TEST(Batch32Db, LengthSortedBatchesBoundPadding) {
+  auto db = small_db(4, 60'000, 10, 500);
+  Batch32Db bdb(db, 32);
+  // Sorting by length keeps padding modest even with a wide distribution.
+  EXPECT_LT(bdb.padding_overhead(), 1.0);
+  for (size_t b = 0; b < bdb.batch_count(); ++b) {
+    auto batch = bdb.batch(b);
+    uint32_t mx = 0;
+    for (uint32_t k = 0; k < batch.count; ++k) mx = std::max(mx, batch.seq_len[k]);
+    EXPECT_EQ(batch.max_len, mx);
+  }
+}
+
+class BatchScoreTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchScoreTest, ScoresMatchGoldenForWholeDatabase) {
+  const int lanes = GetParam();
+  auto db = small_db(5, 25'000);
+  Batch32Db bdb(db, lanes);
+  Workspace ws;
+  AlignConfig cfg;
+  auto q = seq::generate_sequence(50, 100);
+  auto scores = batch_scores(q, bdb, db, cfg, ws);
+  ASSERT_EQ(scores.size(), db.size());
+  for (size_t s = 0; s < db.size(); ++s)
+    EXPECT_EQ(scores[s], ref_align(q, db[s], cfg).score) << "seq " << s;
+}
+
+TEST_P(BatchScoreTest, SaturatedLanesAreRescoredExactly) {
+  const int lanes = GetParam();
+  // Build a db containing a near-copy of the query: its 8-bit lane must
+  // saturate and the rescoring ladder must recover the exact score.
+  auto q = seq::generate_sequence(60, 500);
+  std::vector<seq::Sequence> seqs;
+  for (int i = 0; i < 40; ++i)
+    seqs.push_back(seq::generate_sequence(61 + static_cast<uint64_t>(i), 80));
+  seqs.push_back(seq::mutate(q, 62, 0.03));
+  seq::SequenceDatabase db(std::move(seqs));
+  Batch32Db bdb(db, lanes);
+  Workspace ws;
+  AlignConfig cfg;
+  BatchSearchStats stats;
+  auto scores = batch_scores(q, bdb, db, cfg, ws, &stats);
+  EXPECT_GE(stats.rescored, 1u);
+  for (size_t s = 0; s < db.size(); ++s)
+    EXPECT_EQ(scores[s], ref_align(q, db[s], cfg).score) << "seq " << s;
+}
+
+TEST_P(BatchScoreTest, FixedSchemeAndLinearGaps) {
+  const int lanes = GetParam();
+  auto db = small_db(7, 12'000);
+  Batch32Db bdb(db, lanes);
+  Workspace ws;
+  AlignConfig cfg;
+  cfg.scheme = ScoreScheme::Fixed;
+  cfg.match = 3;
+  cfg.mismatch = -2;
+  cfg.gap_model = GapModel::Linear;
+  cfg.gap_extend = 2;
+  auto q = seq::generate_sequence(70, 60);
+  auto scores = batch_scores(q, bdb, db, cfg, ws);
+  for (size_t s = 0; s < db.size(); ++s)
+    EXPECT_EQ(scores[s], ref_align(q, db[s], cfg).score) << "seq " << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lanes, BatchScoreTest, ::testing::Values(32, 64),
+                         [](const auto& info) {
+                           return "lanes" + std::to_string(info.param);
+                         });
+
+TEST(BatchScores, EmptyQueryScoresAllZero) {
+  auto db = small_db(8, 5'000);
+  Batch32Db bdb(db, 32);
+  Workspace ws;
+  AlignConfig cfg;
+  seq::Sequence e("e", "", seq::Alphabet::protein());
+  auto scores = batch_scores(e, bdb, db, cfg, ws);
+  for (int s : scores) EXPECT_EQ(s, 0);
+}
+
+TEST(BatchScores, TracebackRequestRejected) {
+  auto db = small_db(9, 5'000);
+  Batch32Db bdb(db, 32);
+  Workspace ws;
+  AlignConfig cfg;
+  cfg.traceback = true;
+  auto q = seq::generate_sequence(71, 50);
+  EXPECT_THROW(batch_scores(q, bdb, db, cfg, ws), std::invalid_argument);
+}
+
+TEST(BatchKernel, ScalarEngineMatchesSimdEngines) {
+  auto db = small_db(10, 10'000);
+  AlignConfig cfg;
+  auto q = seq::generate_sequence(72, 90);
+  Workspace ws;
+  for (int lanes : {32, 64}) {
+    Batch32Db bdb(db, lanes);
+    for (size_t b = 0; b < bdb.batch_count(); ++b) {
+      auto batch = bdb.batch(b);
+      Batch8Result ref =
+          batch32_u8_scalar(q, batch.columns, batch.max_len, lanes, cfg, ws);
+      Batch8Result got =
+          batch32_align_u8(q, batch, lanes, cfg, ws, simd::resolve_isa(simd::Isa::Auto));
+      for (int k = 0; k < lanes; ++k)
+        EXPECT_EQ(got.max_score[k], ref.max_score[k]) << "batch " << b << " lane " << k;
+      EXPECT_EQ(got.saturated_mask, ref.saturated_mask);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swve::core

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "align/batch_server.hpp"
+#include "core/scalar_ref.hpp"
+#include "core/traceback.hpp"
+#include "seq/synthetic.hpp"
+
+namespace swve::align {
+namespace {
+
+seq::SequenceDatabase make_db(uint64_t residues, uint64_t seed = 25) {
+  seq::SyntheticConfig cfg;
+  cfg.seed = seed;
+  cfg.target_residues = residues;
+  cfg.min_length = 20;
+  cfg.max_length = 300;
+  return seq::SequenceDatabase::synthetic(cfg);
+}
+
+TEST(BatchServer, ScoresAgreeWithDatabaseSearch) {
+  auto db = make_db(50'000);
+  AlignConfig cfg;
+  BatchServer server(db, cfg);
+  DatabaseSearch search(db, cfg);
+  auto queries = seq::make_query_ladder(30, 4, 40, 300);
+  auto results = server.run(queries, 8);
+  ASSERT_EQ(results.size(), queries.size());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    SearchResult direct = search.search(queries[qi], 8);
+    const auto& batch = results[qi].result;
+    ASSERT_EQ(batch.hits.size(), direct.hits.size()) << "query " << qi;
+    for (size_t k = 0; k < direct.hits.size(); ++k) {
+      EXPECT_EQ(batch.hits[k].seq_index, direct.hits[k].seq_index);
+      EXPECT_EQ(batch.hits[k].score, direct.hits[k].score);
+    }
+  }
+}
+
+TEST(BatchServer, DeterministicAcrossThreadCounts) {
+  auto db = make_db(40'000);
+  BatchServer server(db, AlignConfig{});
+  auto queries = seq::make_query_ladder(31, 6, 50, 400);
+  auto serial = server.run(queries, 5);
+  for (unsigned threads : {2u, 4u}) {
+    parallel::ThreadPool pool(threads);
+    auto par = server.run(queries, 5, &pool);
+    ASSERT_EQ(par.size(), serial.size());
+    for (size_t qi = 0; qi < serial.size(); ++qi) {
+      ASSERT_EQ(par[qi].result.hits.size(), serial[qi].result.hits.size());
+      for (size_t k = 0; k < serial[qi].result.hits.size(); ++k) {
+        EXPECT_EQ(par[qi].result.hits[k].seq_index,
+                  serial[qi].result.hits[k].seq_index);
+        EXPECT_EQ(par[qi].result.hits[k].score, serial[qi].result.hits[k].score);
+      }
+    }
+  }
+}
+
+TEST(BatchServer, RealignProducesValidTraceback) {
+  auto q = seq::generate_sequence(32, 200);
+  std::vector<seq::Sequence> seqs;
+  for (int i = 0; i < 40; ++i)
+    seqs.push_back(seq::generate_sequence(33 + static_cast<uint64_t>(i), 150));
+  seqs.push_back(seq::mutate(q, 34, 0.15));
+  seq::SequenceDatabase db(std::move(seqs));
+  AlignConfig cfg;
+  BatchServer server(db, cfg);
+  auto results = server.run({q}, 3);
+  ASSERT_FALSE(results[0].result.hits.empty());
+  const Hit& top = results[0].result.hits[0];
+  EXPECT_EQ(top.seq_index, 40u);
+  core::Alignment a = server.realign(q, top);
+  EXPECT_EQ(a.score, top.score);
+  ASSERT_FALSE(a.cigar.empty());
+  AlignConfig replay_cfg = cfg;
+  replay_cfg.traceback = true;
+  EXPECT_EQ(core::replay_score(q, db[top.seq_index], replay_cfg, a), a.score);
+}
+
+TEST(BatchServer, LanesMatchCpuCapability) {
+  auto db = make_db(5'000);
+  BatchServer server(db, AlignConfig{});
+  EXPECT_TRUE(server.lanes() == 32 || server.lanes() == 64);
+  EXPECT_EQ(server.packed_db().lanes(), server.lanes());
+}
+
+TEST(BatchServer, EmptyQueryListAndStats) {
+  auto db = make_db(5'000);
+  BatchServer server(db, AlignConfig{});
+  EXPECT_TRUE(server.run({}, 5).empty());
+  auto q = seq::generate_sequence(35, 80);
+  auto results = server.run({q}, 5);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GT(results[0].batch_stats.cells8, 0u);
+}
+
+}  // namespace
+}  // namespace swve::align

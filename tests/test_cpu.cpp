@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "simd/cpu.hpp"
+
+namespace swve::simd {
+namespace {
+
+TEST(Cpu, FeaturesAreCachedAndConsistent) {
+  const CpuFeatures& a = cpu_features();
+  const CpuFeatures& b = cpu_features();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.hardware_threads, 1u);
+  if (a.avx512vbmi) EXPECT_TRUE(a.avx512bw_vl);
+}
+
+TEST(Cpu, ScalarAlwaysAvailable) {
+  EXPECT_TRUE(isa_available(Isa::Scalar));
+  EXPECT_TRUE(isa_available(Isa::Auto));
+}
+
+TEST(Cpu, ResolveAutoPicksWidestAvailable) {
+  Isa resolved = resolve_isa(Isa::Auto);
+  EXPECT_NE(resolved, Isa::Auto);
+  EXPECT_TRUE(isa_available(resolved));
+  if (isa_available(Isa::Avx512)) EXPECT_EQ(resolved, Isa::Avx512);
+  else if (isa_available(Isa::Avx2)) EXPECT_EQ(resolved, Isa::Avx2);
+  else if (isa_available(Isa::Sse41)) EXPECT_EQ(resolved, Isa::Sse41);
+  else EXPECT_EQ(resolved, Isa::Scalar);
+}
+
+TEST(Cpu, ResolveConcreteIsIdentityWhenAvailable) {
+  for (Isa isa : {Isa::Scalar, Isa::Sse41, Isa::Avx2, Isa::Avx512})
+    if (isa_available(isa)) EXPECT_EQ(resolve_isa(isa), isa);
+}
+
+TEST(Cpu, AvxImpliesSse41) {
+  if (isa_available(Isa::Avx2)) EXPECT_TRUE(isa_available(Isa::Sse41));
+}
+
+TEST(Cpu, Names) {
+  EXPECT_STREQ(isa_name(Isa::Sse41), "sse41");
+  EXPECT_STREQ(isa_name(Isa::Scalar), "scalar");
+  EXPECT_STREQ(isa_name(Isa::Avx2), "avx2");
+  EXPECT_STREQ(isa_name(Isa::Avx512), "avx512");
+  EXPECT_STREQ(isa_name(Isa::Auto), "auto");
+}
+
+TEST(Cpu, ParseNames) {
+  EXPECT_EQ(isa_from_string("avx2"), Isa::Avx2);
+  EXPECT_EQ(isa_from_string("SSE4.1"), Isa::Sse41);
+  EXPECT_EQ(isa_from_string("AVX512"), Isa::Avx512);
+  EXPECT_EQ(isa_from_string("Scalar"), Isa::Scalar);
+  EXPECT_EQ(isa_from_string("auto"), Isa::Auto);
+  EXPECT_THROW(isa_from_string("sse9"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swve::simd

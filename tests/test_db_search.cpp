@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "align/db_search.hpp"
+#include "core/scalar_ref.hpp"
+#include "seq/synthetic.hpp"
+
+namespace swve::align {
+namespace {
+
+seq::SequenceDatabase make_db(uint64_t residues, uint64_t seed = 15) {
+  seq::SyntheticConfig cfg;
+  cfg.seed = seed;
+  cfg.target_residues = residues;
+  cfg.min_length = 20;
+  cfg.max_length = 400;
+  return seq::SequenceDatabase::synthetic(cfg);
+}
+
+TEST(DatabaseSearch, TopKMatchesBruteForce) {
+  auto db = make_db(60'000);
+  AlignConfig cfg;
+  DatabaseSearch search(db, cfg);
+  auto q = seq::generate_sequence(90, 120);
+  SearchResult res = search.search(q, 10);
+  ASSERT_LE(res.hits.size(), 10u);
+
+  // Brute force with the golden model.
+  std::vector<Hit> all;
+  for (size_t s = 0; s < db.size(); ++s) {
+    core::Alignment a = core::ref_align(q, db[s], cfg);
+    if (a.score > 0)
+      all.push_back(Hit{static_cast<uint32_t>(s), a.score, a.end_query, a.end_ref});
+  }
+  std::sort(all.begin(), all.end());
+  all.resize(std::min<size_t>(all.size(), 10));
+  ASSERT_EQ(res.hits.size(), all.size());
+  for (size_t k = 0; k < all.size(); ++k) {
+    EXPECT_EQ(res.hits[k].seq_index, all[k].seq_index) << k;
+    EXPECT_EQ(res.hits[k].score, all[k].score) << k;
+    EXPECT_EQ(res.hits[k].end_query, all[k].end_query) << k;
+    EXPECT_EQ(res.hits[k].end_ref, all[k].end_ref) << k;
+  }
+}
+
+TEST(DatabaseSearch, HitsAreSortedBestFirst) {
+  auto db = make_db(40'000);
+  DatabaseSearch search(db, AlignConfig{});
+  auto q = seq::generate_sequence(91, 100);
+  SearchResult res = search.search(q, 20);
+  for (size_t k = 1; k < res.hits.size(); ++k) {
+    EXPECT_GE(res.hits[k - 1].score, res.hits[k].score);
+    if (res.hits[k - 1].score == res.hits[k].score)
+      EXPECT_LT(res.hits[k - 1].seq_index, res.hits[k].seq_index);
+  }
+}
+
+TEST(DatabaseSearch, IdenticalResultsForAnyThreadCount) {
+  auto db = make_db(80'000);
+  DatabaseSearch search(db, AlignConfig{});
+  auto q = seq::generate_sequence(92, 150);
+  SearchResult serial = search.search(q, 15);
+  for (unsigned threads : {1u, 2u, 3u, 5u}) {
+    parallel::ThreadPool pool(threads);
+    SearchResult par = search.search(q, 15, &pool);
+    ASSERT_EQ(par.hits.size(), serial.hits.size()) << threads << " threads";
+    for (size_t k = 0; k < serial.hits.size(); ++k) {
+      EXPECT_EQ(par.hits[k].seq_index, serial.hits[k].seq_index);
+      EXPECT_EQ(par.hits[k].score, serial.hits[k].score);
+    }
+    EXPECT_EQ(par.stats.cells, serial.stats.cells);
+  }
+}
+
+TEST(DatabaseSearch, StatsCountEveryCell) {
+  auto db = make_db(30'000);
+  DatabaseSearch search(db, AlignConfig{});
+  auto q = seq::generate_sequence(93, 64);
+  SearchResult res = search.search(q, 5);
+  // Adaptive width may re-run saturated pairs, so cells >= m * residues.
+  EXPECT_GE(res.stats.cells, 64u * db.total_residues());
+  EXPECT_EQ(res.db_residues, db.total_residues());
+  EXPECT_EQ(res.query_length, 64u);
+  EXPECT_GT(res.seconds, 0.0);
+  EXPECT_GT(res.gcups(), 0.0);
+}
+
+TEST(DatabaseSearch, PlantedHomologIsTopHit) {
+  auto q = seq::generate_sequence(94, 300);
+  std::vector<seq::Sequence> seqs;
+  for (int i = 0; i < 60; ++i)
+    seqs.push_back(seq::generate_sequence(95 + static_cast<uint64_t>(i), 250));
+  seqs.push_back(seq::mutate(q, 96, 0.2));  // index 60
+  seq::SequenceDatabase db(std::move(seqs));
+  DatabaseSearch search(db, AlignConfig{});
+  SearchResult res = search.search(q, 3);
+  ASSERT_FALSE(res.hits.empty());
+  EXPECT_EQ(res.hits[0].seq_index, 60u);
+}
+
+TEST(DatabaseSearch, EmptyQueryAndEmptyDb) {
+  auto db = make_db(10'000);
+  DatabaseSearch search(db, AlignConfig{});
+  seq::Sequence e("e", "", seq::Alphabet::protein());
+  EXPECT_TRUE(search.search(e, 10).hits.empty());
+  seq::SequenceDatabase empty;
+  DatabaseSearch s2(empty, AlignConfig{});
+  auto q = seq::generate_sequence(97, 50);
+  EXPECT_TRUE(s2.search(q, 10).hits.empty());
+}
+
+TEST(DatabaseSearch, BatchModeMatchesDiagonalMode) {
+  auto db = make_db(50'000);
+  AlignConfig cfg;
+  DatabaseSearch diag(db, cfg, SearchMode::Diagonal);
+  DatabaseSearch batch(db, cfg, SearchMode::Batch);
+  EXPECT_EQ(batch.mode(), SearchMode::Batch);
+  for (uint64_t seed : {400u, 401u, 402u}) {
+    auto q = seq::generate_sequence(seed, 80 + seed % 200);
+    SearchResult a = diag.search(q, 12);
+    SearchResult b = batch.search(q, 12);
+    ASSERT_EQ(a.hits.size(), b.hits.size()) << "seed " << seed;
+    for (size_t k = 0; k < a.hits.size(); ++k) {
+      EXPECT_EQ(a.hits[k].seq_index, b.hits[k].seq_index) << k;
+      EXPECT_EQ(a.hits[k].score, b.hits[k].score) << k;
+      EXPECT_EQ(a.hits[k].end_query, b.hits[k].end_query) << k;
+      EXPECT_EQ(a.hits[k].end_ref, b.hits[k].end_ref) << k;
+    }
+  }
+}
+
+TEST(DatabaseSearch, BatchModeDeterministicAcrossThreads) {
+  auto db = make_db(40'000);
+  DatabaseSearch batch(db, AlignConfig{}, SearchMode::Batch);
+  auto q = seq::generate_sequence(410, 150);
+  SearchResult serial = batch.search(q, 10);
+  for (unsigned threads : {2u, 4u}) {
+    parallel::ThreadPool pool(threads);
+    SearchResult par = batch.search(q, 10, &pool);
+    ASSERT_EQ(par.hits.size(), serial.hits.size());
+    for (size_t k = 0; k < serial.hits.size(); ++k) {
+      EXPECT_EQ(par.hits[k].seq_index, serial.hits[k].seq_index);
+      EXPECT_EQ(par.hits[k].score, serial.hits[k].score);
+    }
+  }
+}
+
+TEST(DatabaseSearch, BatchModeHandlesSaturatingHomolog) {
+  auto q = seq::generate_sequence(420, 500);
+  std::vector<seq::Sequence> seqs;
+  for (int i = 0; i < 50; ++i)
+    seqs.push_back(seq::generate_sequence(421 + static_cast<uint64_t>(i), 150));
+  seqs.push_back(seq::mutate(q, 422, 0.05));  // saturates the 8-bit kernel
+  seq::SequenceDatabase db(std::move(seqs));
+  AlignConfig cfg;
+  DatabaseSearch batch(db, cfg, SearchMode::Batch);
+  SearchResult res = batch.search(q, 3);
+  ASSERT_FALSE(res.hits.empty());
+  EXPECT_EQ(res.hits[0].seq_index, 50u);
+  EXPECT_EQ(res.hits[0].score, core::ref_align(q, db[50], cfg).score);
+}
+
+TEST(DatabaseSearch, BatchModeRejectsBand) {
+  auto db = make_db(5'000);
+  AlignConfig cfg;
+  cfg.band = 8;
+  EXPECT_THROW(DatabaseSearch(db, cfg, SearchMode::Batch), std::invalid_argument);
+}
+
+TEST(DatabaseSearch, TopKZero) {
+  auto db = make_db(10'000);
+  DatabaseSearch search(db, AlignConfig{});
+  auto q = seq::generate_sequence(98, 50);
+  EXPECT_TRUE(search.search(q, 0).hits.empty());
+}
+
+}  // namespace
+}  // namespace swve::align

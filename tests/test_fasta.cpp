@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "seq/fasta.hpp"
+
+namespace swve::seq {
+namespace {
+
+TEST(Fasta, ParsesSimpleRecords) {
+  std::istringstream in(">q1 description here\nARND\n>q2\nCQEG\nHILK\n");
+  auto seqs = read_fasta(in, Alphabet::protein());
+  ASSERT_EQ(seqs.size(), 2u);
+  EXPECT_EQ(seqs[0].id(), "q1");  // id stops at first whitespace
+  EXPECT_EQ(seqs[0].to_string(), "ARND");
+  EXPECT_EQ(seqs[1].id(), "q2");
+  EXPECT_EQ(seqs[1].to_string(), "CQEGHILK");  // wrapped lines concatenated
+}
+
+TEST(Fasta, HandlesCrLfAndBlankLines) {
+  std::istringstream in(">a\r\nAR\r\n\r\nND\r\n");
+  auto seqs = read_fasta(in, Alphabet::protein());
+  ASSERT_EQ(seqs.size(), 1u);
+  EXPECT_EQ(seqs[0].to_string(), "ARND");
+}
+
+TEST(Fasta, SkipsOldStyleComments) {
+  std::istringstream in(">a\n;comment line\nAR\n");
+  auto seqs = read_fasta(in, Alphabet::protein());
+  ASSERT_EQ(seqs.size(), 1u);
+  EXPECT_EQ(seqs[0].to_string(), "AR");
+}
+
+TEST(Fasta, ResiduesBeforeHeaderThrow) {
+  std::istringstream in("ARND\n>late\nAR\n");
+  EXPECT_THROW(read_fasta(in, Alphabet::protein()), std::runtime_error);
+}
+
+TEST(Fasta, EmptyInputYieldsNoRecords) {
+  std::istringstream in("");
+  EXPECT_TRUE(read_fasta(in, Alphabet::protein()).empty());
+}
+
+TEST(Fasta, EmptyRecordAllowed) {
+  std::istringstream in(">empty\n>after\nAR\n");
+  auto seqs = read_fasta(in, Alphabet::protein());
+  ASSERT_EQ(seqs.size(), 2u);
+  EXPECT_EQ(seqs[0].length(), 0u);
+  EXPECT_EQ(seqs[1].to_string(), "AR");
+}
+
+TEST(Fasta, WriteReadRoundTrip) {
+  std::vector<Sequence> seqs;
+  seqs.emplace_back("alpha", "ARNDCQEGHILKMFPSTWYV", Alphabet::protein());
+  seqs.emplace_back("beta", std::string(150, 'W'), Alphabet::protein());
+  std::ostringstream out;
+  write_fasta(out, seqs, 60);
+  std::istringstream in(out.str());
+  auto back = read_fasta(in, Alphabet::protein());
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0], seqs[0]);
+  EXPECT_EQ(back[1], seqs[1]);
+  EXPECT_EQ(back[1].id(), "beta");
+}
+
+TEST(Fasta, WriterWrapsLines) {
+  std::vector<Sequence> seqs;
+  seqs.emplace_back("x", std::string(130, 'A'), Alphabet::protein());
+  std::ostringstream out;
+  write_fasta(out, seqs, 60);
+  std::string text = out.str();
+  // 130 residues at width 60 -> lines of 60, 60, 10.
+  EXPECT_NE(text.find("\n" + std::string(60, 'A') + "\n"), std::string::npos);
+  EXPECT_NE(text.find("\n" + std::string(10, 'A') + "\n"), std::string::npos);
+}
+
+TEST(Fasta, MissingFileThrows) {
+  EXPECT_THROW(read_fasta_file("/nonexistent/swve.fasta", Alphabet::protein()),
+               std::runtime_error);
+}
+
+TEST(Fasta, DnaAlphabetParsing) {
+  std::istringstream in(">d\nACGTN\n");
+  auto seqs = read_fasta(in, Alphabet::dna());
+  ASSERT_EQ(seqs.size(), 1u);
+  EXPECT_EQ(seqs[0].to_string(), "ACGTN");
+}
+
+}  // namespace
+}  // namespace swve::seq

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "align/aligner.hpp"
+#include "align/format.hpp"
+#include "seq/synthetic.hpp"
+
+namespace swve::align {
+namespace {
+
+using seq::Alphabet;
+using seq::Sequence;
+
+core::Alignment tb_align(const Sequence& q, const Sequence& t,
+                         AlignConfig cfg = {}) {
+  cfg.traceback = true;
+  Aligner a(cfg);
+  return a.align(q, t);
+}
+
+TEST(Format, StatsForPerfectMatch) {
+  Sequence q("q", "ARNDCQEG", Alphabet::protein());
+  core::Alignment a = tb_align(q, q);
+  AlignmentStats s = alignment_stats(q, q, a);
+  EXPECT_EQ(s.columns, 8u);
+  EXPECT_EQ(s.matches, 8u);
+  EXPECT_EQ(s.mismatches, 0u);
+  EXPECT_EQ(s.gaps, 0u);
+  EXPECT_EQ(s.gap_openings, 0u);
+  EXPECT_DOUBLE_EQ(s.identity(), 1.0);
+}
+
+TEST(Format, StatsCountGapsAndMismatches) {
+  AlignConfig cfg;
+  cfg.scheme = core::ScoreScheme::Fixed;
+  cfg.match = 5;
+  cfg.mismatch = -4;
+  cfg.gap_open = 3;
+  cfg.gap_extend = 1;
+  Sequence q("q", "AATTT", Alphabet::dna());
+  Sequence t("t", "AAGGGTTT", Alphabet::dna());
+  core::Alignment a = tb_align(q, t, cfg);  // 2M3D3M
+  AlignmentStats s = alignment_stats(q, t, a);
+  EXPECT_EQ(s.columns, 8u);
+  EXPECT_EQ(s.matches, 5u);
+  EXPECT_EQ(s.mismatches, 0u);
+  EXPECT_EQ(s.gaps, 3u);
+  EXPECT_EQ(s.gap_openings, 1u);
+  EXPECT_NEAR(s.identity(), 5.0 / 8.0, 1e-12);
+}
+
+TEST(Format, StatsRejectScoreWithoutCigar) {
+  Sequence q("q", "ARND", Alphabet::protein());
+  core::Alignment a;
+  a.score = 10;  // positive score, no traceback
+  EXPECT_THROW(alignment_stats(q, q, a), std::invalid_argument);
+  a.score = 0;
+  EXPECT_EQ(alignment_stats(q, q, a).columns, 0u);
+}
+
+TEST(Format, RenderedBlockShowsMatchMarkers) {
+  Sequence q("q", "MKTAYIAKQR", Alphabet::protein());
+  Sequence t("t", "MKTAYIGKQR", Alphabet::protein());
+  core::Alignment a = tb_align(q, t);
+  std::string s = format_alignment(q, t, a);
+  EXPECT_NE(s.find("Query  1"), std::string::npos);
+  EXPECT_NE(s.find("Sbjct  1"), std::string::npos);
+  EXPECT_NE(s.find("MKTAYIAKQR"), std::string::npos);
+  EXPECT_NE(s.find("||||||.|||"), std::string::npos);  // one mismatch dot
+}
+
+TEST(Format, RenderedBlockShowsGapDashes) {
+  AlignConfig cfg;
+  cfg.scheme = core::ScoreScheme::Fixed;
+  cfg.match = 5;
+  cfg.mismatch = -4;
+  cfg.gap_open = 3;
+  cfg.gap_extend = 1;
+  Sequence q("q", "AATTT", Alphabet::dna());
+  Sequence t("t", "AAGTTT", Alphabet::dna());
+  std::string s = format_alignment(q, t, tb_align(q, t, cfg));
+  EXPECT_NE(s.find("AA-TTT"), std::string::npos);
+  EXPECT_NE(s.find("AAGTTT"), std::string::npos);
+}
+
+TEST(Format, WrapsAtWidthWithRunningCoordinates) {
+  auto q = seq::generate_sequence(61, 150);
+  core::Alignment a = tb_align(q, q);
+  std::string s = format_alignment(q, q, a, 50);
+  // 150 identical columns at width 50 => three blocks; the second block
+  // starts at residue 51.
+  EXPECT_NE(s.find("Query  51"), std::string::npos);
+  EXPECT_NE(s.find("Query  101"), std::string::npos);
+  EXPECT_NE(s.find("\t150\n"), std::string::npos);
+}
+
+TEST(Format, EmptyAlignmentRendersEmpty) {
+  Sequence q("q", "AAAA", Alphabet::dna());
+  Sequence t("t", "TTTT", Alphabet::dna());
+  AlignConfig cfg;
+  cfg.scheme = core::ScoreScheme::Fixed;
+  cfg.match = 2;
+  cfg.mismatch = -3;
+  core::Alignment a = tb_align(q, t, cfg);
+  EXPECT_EQ(a.score, 0);
+  EXPECT_EQ(format_alignment(q, t, a), "");
+}
+
+TEST(DnaIupacMatrix, UnambiguousBasesScorePlus5Minus4) {
+  const auto& m = matrix::ScoreMatrix::dna_iupac();
+  const auto& a = Alphabet::dna();
+  auto s = [&](char x, char y) { return m.score(a.encode(x), a.encode(y)); };
+  for (char x : {'A', 'C', 'G', 'T'})
+    for (char y : {'A', 'C', 'G', 'T'})
+      EXPECT_EQ(s(x, y), x == y ? 5 : -4);
+}
+
+TEST(DnaIupacMatrix, AmbiguityCodesFollowOverlapFormula) {
+  const auto& m = matrix::ScoreMatrix::dna_iupac();
+  const auto& a = Alphabet::dna();
+  auto s = [&](char x, char y) { return m.score(a.encode(x), a.encode(y)); };
+  EXPECT_EQ(s('N', 'N'), -2);  // p = 1/4 -> -1.75 -> -2 (EDNAFULL's value)
+  EXPECT_EQ(s('A', 'N'), -2);  // p = 1/4
+  EXPECT_EQ(s('A', 'R'), 1);   // p = 1/2 -> 0.5 -> 1
+  EXPECT_EQ(s('R', 'Y'), -4);  // disjoint sets
+  EXPECT_EQ(s('U', 'T'), 5);   // U == T
+  // Symmetry over the whole table.
+  for (int x = 0; x < m.dim(); ++x)
+    for (int y = 0; y < m.dim(); ++y)
+      EXPECT_EQ(m.score(static_cast<uint8_t>(x), static_cast<uint8_t>(y)),
+                m.score(static_cast<uint8_t>(y), static_cast<uint8_t>(x)));
+}
+
+TEST(DnaIupacMatrix, UsableByKernels) {
+  auto q = seq::generate_sequence(62, 80, seq::AlphabetKind::Dna);
+  auto t = seq::generate_sequence(63, 90, seq::AlphabetKind::Dna);
+  AlignConfig cfg;
+  cfg.matrix = &matrix::ScoreMatrix::dna_iupac();
+  cfg.gap_open = 5;
+  cfg.gap_extend = 2;
+  Aligner aligner(cfg);
+  core::Alignment got = aligner.align(q, t);
+  EXPECT_EQ(got.score, core::ref_align(q, t, cfg).score);
+  EXPECT_EQ(matrix::ScoreMatrix::find("DNA"), &matrix::ScoreMatrix::dna_iupac());
+}
+
+}  // namespace
+}  // namespace swve::align

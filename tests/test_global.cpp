@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "align/global.hpp"
+#include "core/scalar_ref.hpp"
+#include "core/traceback.hpp"
+#include "seq/synthetic.hpp"
+
+namespace swve::align {
+namespace {
+
+using core::AlignConfig;
+using core::Alignment;
+using seq::Alphabet;
+using seq::Sequence;
+
+AlignConfig dna_fixed(int match, int mismatch, int open, int ext) {
+  AlignConfig cfg;
+  cfg.scheme = core::ScoreScheme::Fixed;
+  cfg.match = match;
+  cfg.mismatch = mismatch;
+  cfg.gap_open = open;
+  cfg.gap_extend = ext;
+  cfg.traceback = true;
+  return cfg;
+}
+
+Sequence dna(const char* s) { return Sequence("d", s, Alphabet::dna()); }
+
+// Independent O(3mn) reference for Needleman-Wunsch (affine, full matrices).
+int nw_ref(seq::SeqView q, seq::SeqView r, const AlignConfig& cfg) {
+  const int m = static_cast<int>(q.length), n = static_cast<int>(r.length);
+  const int NEG = INT32_MIN / 4;
+  const int open = cfg.gap_model == core::GapModel::Affine ? cfg.gap_open
+                                                           : cfg.gap_extend;
+  const int ext = cfg.gap_extend;
+  auto sc = [&](int i, int j) {
+    return cfg.scheme == core::ScoreScheme::Matrix
+               ? cfg.matrix->score(q[static_cast<size_t>(i)], r[static_cast<size_t>(j)])
+               : (q[static_cast<size_t>(i)] == r[static_cast<size_t>(j)] ? cfg.match
+                                                                         : cfg.mismatch);
+  };
+  std::vector<std::vector<int>> H(m + 1, std::vector<int>(n + 1, NEG)), E = H, F = H;
+  H[0][0] = 0;
+  for (int i = 1; i <= m; ++i) E[i][0] = H[i][0] = -(open + (i - 1) * ext);
+  for (int j = 1; j <= n; ++j) F[0][j] = H[0][j] = -(open + (j - 1) * ext);
+  for (int i = 1; i <= m; ++i)
+    for (int j = 1; j <= n; ++j) {
+      E[i][j] = std::max(H[i - 1][j] - open, E[i - 1][j] - ext);
+      F[i][j] = std::max(H[i][j - 1] - open, F[i][j - 1] - ext);
+      H[i][j] = std::max({H[i - 1][j - 1] + sc(i - 1, j - 1), E[i][j], F[i][j]});
+    }
+  return H[m][n];
+}
+
+TEST(GlobalAlign, IdenticalSequences) {
+  Sequence q("q", "ARNDCQEG", Alphabet::protein());
+  AlignConfig cfg;
+  cfg.traceback = true;
+  Alignment a = global_align(q, q, cfg, GlobalMode::Global);
+  int diag = 0;
+  for (uint8_t c : q.codes()) diag += cfg.matrix->score(c, c);
+  EXPECT_EQ(a.score, diag);
+  EXPECT_EQ(a.cigar.to_string(), "8M");
+  EXPECT_EQ(a.begin_query, 0);
+  EXPECT_EQ(a.end_query, 7);
+}
+
+TEST(GlobalAlign, EndGapsPayInGlobalMode) {
+  AlignConfig cfg = dna_fixed(5, -4, 3, 1);
+  Alignment a = global_align(dna("AATTT"), dna("AAGTTT"), cfg, GlobalMode::Global);
+  EXPECT_EQ(a.score, 25 - 3);
+  EXPECT_EQ(a.cigar.to_string(), "2M1D3M");
+  // Prefix-only overlap: trailing gap must be paid.
+  Alignment b = global_align(dna("AAA"), dna("AAATTTT"), cfg, GlobalMode::Global);
+  EXPECT_EQ(b.score, 15 - (3 + 3 * 1));
+  EXPECT_EQ(b.cigar.to_string(), "3M4D");
+}
+
+TEST(GlobalAlign, MatchesIndependentNwReference) {
+  std::mt19937_64 rng(501);
+  for (int it = 0; it < 40; ++it) {
+    auto q = seq::generate_sequence(rng(), 1 + rng() % 90);
+    auto r = seq::generate_sequence(rng(), 1 + rng() % 90);
+    AlignConfig cfg;
+    cfg.gap_open = 4 + static_cast<int>(rng() % 10);
+    cfg.gap_extend = 1 + static_cast<int>(rng() % 3);
+    cfg.traceback = (it & 1) != 0;
+    Alignment a = global_align(q, r, cfg, GlobalMode::Global);
+    EXPECT_EQ(a.score, nw_ref(q, r, cfg)) << "it=" << it;
+    if (cfg.traceback) {
+      EXPECT_EQ(a.cigar.query_consumed(), q.length());
+      EXPECT_EQ(a.cigar.ref_consumed(), r.length());
+      EXPECT_EQ(core::replay_score(q, r, cfg, a), a.score);
+    }
+  }
+}
+
+TEST(GlobalAlign, SemiGlobalMapsReadIntoWindow) {
+  // The whole read must align; reference overhangs are free.
+  AlignConfig cfg = dna_fixed(2, -3, 5, 2);
+  auto ref = seq::generate_sequence(502, 400, seq::AlphabetKind::Dna);
+  auto read = ref.subsequence(120, 60);
+  Alignment a = global_align(read, ref, cfg, GlobalMode::SemiGlobal);
+  EXPECT_EQ(a.score, 2 * 60);  // perfect read, free overhangs
+  EXPECT_EQ(a.begin_ref, 120);
+  EXPECT_EQ(a.end_ref, 179);
+  EXPECT_EQ(a.begin_query, 0);
+  EXPECT_EQ(a.end_query, 59);
+  EXPECT_EQ(a.cigar.to_string(), "60M");
+}
+
+TEST(GlobalAlign, SemiGlobalChargesQueryGapsOnly) {
+  AlignConfig cfg = dna_fixed(5, -4, 3, 1);
+  // Read has one extra base relative to its window: one I, overhangs free.
+  Alignment a =
+      global_align(dna("AACTTT"), dna("GGAATTTGG"), cfg, GlobalMode::SemiGlobal);
+  EXPECT_EQ(a.score, 25 - 3);
+  EXPECT_EQ(a.cigar.to_string(), "2M1I3M");
+}
+
+TEST(GlobalAlign, OverlapDetectsDovetail) {
+  // Suffix of q overlaps prefix of r; both overhangs free.
+  AlignConfig cfg = dna_fixed(5, -4, 3, 1);
+  Alignment a =
+      global_align(dna("CCCCAATTT"), dna("AATTTGGGG"), cfg, GlobalMode::Overlap);
+  EXPECT_EQ(a.score, 25);
+  EXPECT_EQ(a.cigar.to_string(), "5M");
+  EXPECT_EQ(a.begin_query, 4);
+  EXPECT_EQ(a.end_query, 8);
+  EXPECT_EQ(a.begin_ref, 0);
+  EXPECT_EQ(a.end_ref, 4);
+}
+
+TEST(GlobalAlign, ModeScoresAreOrdered) {
+  // Relaxing end-gap charges can only help:
+  // Global <= SemiGlobal <= Overlap, and all <= local SW.
+  std::mt19937_64 rng(503);
+  for (int it = 0; it < 25; ++it) {
+    auto q = seq::generate_sequence(rng(), 1 + rng() % 120);
+    auto r = seq::generate_sequence(rng(), 1 + rng() % 120);
+    AlignConfig cfg;
+    cfg.gap_open = 6;
+    cfg.gap_extend = 1;
+    int g = global_align(q, r, cfg, GlobalMode::Global).score;
+    int s = global_align(q, r, cfg, GlobalMode::SemiGlobal).score;
+    int o = global_align(q, r, cfg, GlobalMode::Overlap).score;
+    int local = core::ref_align(q, r, cfg).score;
+    EXPECT_LE(g, s) << it;
+    EXPECT_LE(s, o) << it;
+    EXPECT_LE(o, local) << it;
+  }
+}
+
+TEST(GlobalAlign, LinearGapModel) {
+  AlignConfig cfg = dna_fixed(5, -4, 0, 2);
+  cfg.gap_model = core::GapModel::Linear;
+  Alignment a = global_align(dna("AATTT"), dna("AAGGGTTT"), cfg, GlobalMode::Global);
+  EXPECT_EQ(a.score, 25 - 3 * 2);
+  EXPECT_EQ(a.cigar.to_string(), "2M3D3M");
+}
+
+TEST(GlobalAlign, BandedMatchesFullWhenBandCovers) {
+  std::mt19937_64 rng(504);
+  for (int it = 0; it < 15; ++it) {
+    uint32_t len = 30 + static_cast<uint32_t>(rng() % 60);
+    auto q = seq::generate_sequence(rng(), len);
+    auto hom = seq::mutate(q, rng(), 0.2);
+    AlignConfig cfg;
+    Alignment full = global_align(q, hom, cfg, GlobalMode::Global);
+    cfg.band = static_cast<int>(len);  // covers everything
+    Alignment banded = global_align(q, hom, cfg, GlobalMode::Global);
+    EXPECT_EQ(banded.score, full.score) << it;
+  }
+}
+
+TEST(GlobalAlign, BandedRejectsImpossibleGlobalPath) {
+  AlignConfig cfg;
+  cfg.band = 2;
+  auto q = seq::generate_sequence(1, 10);
+  auto r = seq::generate_sequence(2, 30);
+  EXPECT_THROW(global_align(q, r, cfg, GlobalMode::Global), std::invalid_argument);
+}
+
+TEST(GlobalAlign, EmptyInputs) {
+  AlignConfig cfg = dna_fixed(5, -4, 3, 1);
+  Sequence e("e", "", Alphabet::dna());
+  Sequence t = dna("ACGT");
+  EXPECT_EQ(global_align(e, t, cfg, GlobalMode::Global).score, -(3 + 3));
+  EXPECT_EQ(global_align(e, t, cfg, GlobalMode::SemiGlobal).score, 0);
+  EXPECT_EQ(global_align(t, e, cfg, GlobalMode::Global).score, -(3 + 3));
+  EXPECT_EQ(global_align(t, e, cfg, GlobalMode::SemiGlobal).score, -(3 + 3));
+  EXPECT_EQ(global_align(t, e, cfg, GlobalMode::Overlap).score, 0);
+  EXPECT_EQ(global_align(e, e, cfg, GlobalMode::Global).score, 0);
+}
+
+TEST(GlobalAlign, TracebackCellCapThrows) {
+  AlignConfig cfg;
+  cfg.traceback = true;
+  cfg.max_traceback_cells = 10;
+  auto q = seq::generate_sequence(1, 30);
+  EXPECT_THROW(global_align(q, q, cfg, GlobalMode::Global), std::length_error);
+}
+
+}  // namespace
+}  // namespace swve::align

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "parallel/partition.hpp"
+#include "seq/synthetic.hpp"
+
+namespace swve::parallel {
+namespace {
+
+seq::SequenceDatabase make_db(uint64_t residues) {
+  seq::SyntheticConfig cfg;
+  cfg.seed = 5;
+  cfg.target_residues = residues;
+  return seq::SequenceDatabase::synthetic(cfg);
+}
+
+TEST(Partition, CoversDatabaseContiguously) {
+  auto db = make_db(100'000);
+  for (unsigned parts : {1u, 2u, 3u, 8u}) {
+    auto ranges = partition_by_residues(db, parts);
+    ASSERT_EQ(ranges.size(), parts);
+    size_t prev = 0;
+    for (auto [b, e] : ranges) {
+      EXPECT_EQ(b, prev);
+      EXPECT_LE(b, e);
+      prev = e;
+    }
+    EXPECT_EQ(prev, db.size());
+  }
+}
+
+TEST(Partition, ResidueBalanceWithinOneSequence) {
+  auto db = make_db(500'000);
+  const unsigned parts = 4;
+  auto ranges = partition_by_residues(db, parts);
+  const uint64_t ideal = db.total_residues() / parts;
+  for (auto [b, e] : ranges) {
+    uint64_t sum = 0;
+    for (size_t i = b; i < e; ++i) sum += db[i].length();
+    // Each part within ideal +- max sequence length.
+    EXPECT_NEAR(static_cast<double>(sum), static_cast<double>(ideal),
+                static_cast<double>(db.max_length()) + 1);
+  }
+}
+
+TEST(Partition, EmptyDatabase) {
+  seq::SequenceDatabase db;
+  auto ranges = partition_by_residues(db, 4);
+  for (auto [b, e] : ranges) EXPECT_EQ(b, e);
+}
+
+TEST(Partition, MorePartsThanSequences) {
+  seq::SyntheticConfig cfg;
+  cfg.seed = 6;
+  cfg.target_residues = 300;
+  cfg.min_length = 100;
+  cfg.max_length = 200;
+  seq::SequenceDatabase db = seq::SequenceDatabase::synthetic(cfg);
+  ASSERT_LE(db.size(), 4u);
+  auto ranges = partition_by_residues(db, 16);
+  size_t covered = 0;
+  for (auto [b, e] : ranges) covered += e - b;
+  EXPECT_EQ(covered, db.size());
+}
+
+TEST(Partition, ZeroParts) {
+  auto db = make_db(1000);
+  EXPECT_TRUE(partition_by_residues(db, 0).empty());
+}
+
+TEST(Database, StatsAndByLength) {
+  auto db = make_db(50'000);
+  uint64_t total = 0;
+  size_t mx = 0;
+  for (size_t i = 0; i < db.size(); ++i) {
+    total += db[i].length();
+    mx = std::max(mx, db[i].length());
+  }
+  EXPECT_EQ(db.total_residues(), total);
+  EXPECT_EQ(db.max_length(), mx);
+  const auto& order = db.by_length();
+  ASSERT_EQ(order.size(), db.size());
+  for (size_t k = 1; k < order.size(); ++k)
+    EXPECT_LE(db[order[k - 1]].length(), db[order[k]].length());
+}
+
+}  // namespace
+}  // namespace swve::parallel

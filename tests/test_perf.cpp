@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "perf/freq_monitor.hpp"
+#include "perf/gcups.hpp"
+#include "perf/table.hpp"
+#include "perf/timer.hpp"
+#include "perf/topdown.hpp"
+
+namespace swve::perf {
+namespace {
+
+TEST(Gcups, Math) {
+  EXPECT_DOUBLE_EQ(gcups(2'000'000'000ull, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(gcups(1'000'000'000ull, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(gcups(100, 0.0), 0.0);
+  EXPECT_EQ(alignment_cells(100, 1000), 100'000u);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  double s = sw.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 2.0);
+  sw.reset();
+  EXPECT_LT(sw.seconds(), 0.015);
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"name", "gcups"});
+  t.row({"query1", Table::num(1.234, 2)});
+  t.row({"a-much-longer-name", Table::num(10.5, 2)});
+  std::ostringstream os;
+  t.print(os);
+  std::string text = os.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("1.23"), std::string::npos);
+  EXPECT_NE(text.find("10.50"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  // Every line has the same length (fixed-width columns).
+  std::istringstream in(text);
+  std::string line;
+  size_t len = 0;
+  while (std::getline(in, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len);
+  }
+}
+
+TEST(Table, Helpers) {
+  EXPECT_EQ(Table::num(3.14159, 3), "3.142");
+  EXPECT_EQ(Table::integer(42), "42");
+  EXPECT_EQ(Table::percent(0.123, 1), "12.3%");
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.row({"only-one"});
+  std::ostringstream os;
+  EXPECT_NO_THROW(t.print(os));
+}
+
+TEST(FreqMonitor, SpinChainCountsAdds) {
+  uint64_t sink = 1;
+  EXPECT_EQ(spin_chain(1000, &sink), 8000u);
+  EXPECT_NE(sink, 1u);
+}
+
+TEST(FreqMonitor, MeasuresPlausibleFrequency) {
+  FreqSample s = measure_frequency(30);
+  // Anything from a throttled VM to a boosted desktop core.
+  EXPECT_GT(s.ghz, 0.2);
+  EXPECT_LT(s.ghz, 10.0);
+}
+
+TEST(FreqMonitor, ScalingReportShape) {
+  FreqScalingReport rep = frequency_scaling(2, 20);
+  ASSERT_EQ(rep.threads.size(), 2u);
+  EXPECT_EQ(rep.threads[0], 1);
+  EXPECT_EQ(rep.threads[1], 2);
+  for (double g : rep.ghz_mean) EXPECT_GT(g, 0.1);
+  for (size_t i = 0; i < rep.ghz_min.size(); ++i)
+    EXPECT_LE(rep.ghz_min[i], rep.ghz_mean[i] + 1e-9);
+}
+
+TEST(TopDown, FractionsAreSane) {
+  ModelInputs model;
+  model.instructions = 50'000'000;
+  model.mem_bytes = 10'000'000;
+  TopDownResult r = topdown_analyze(
+      [] {
+        volatile uint64_t x = 0;
+        for (int i = 0; i < 50'000'000; ++i) x = x + 1;
+      },
+      model);
+  EXPECT_GE(r.retiring, 0.0);
+  EXPECT_LE(r.retiring, 1.0);
+  EXPECT_GE(r.backend_bound, 0.0);
+  EXPECT_LE(r.retiring + r.frontend_bound + r.bad_speculation + r.backend_bound,
+            1.0 + 1e-6);
+  EXPECT_NEAR(r.memory_bound + r.core_bound, r.backend_bound, 1e-9);
+  EXPECT_FALSE(r.source.empty());
+  EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(TopDown, StreamingBandwidthPositive) {
+  double bw = streaming_bandwidth_gbps();
+  EXPECT_GT(bw, 0.5);
+  EXPECT_LT(bw, 1000.0);
+  EXPECT_DOUBLE_EQ(bw, streaming_bandwidth_gbps());  // cached
+}
+
+}  // namespace
+}  // namespace swve::perf

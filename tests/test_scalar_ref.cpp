@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/scalar_ref.hpp"
+#include "core/traceback.hpp"
+#include "seq/synthetic.hpp"
+
+namespace swve::core {
+namespace {
+
+using seq::Alphabet;
+using seq::Sequence;
+
+AlignConfig dna_fixed(int match, int mismatch, int open, int ext,
+                      GapModel gm = GapModel::Affine) {
+  AlignConfig cfg;
+  cfg.scheme = ScoreScheme::Fixed;
+  cfg.match = match;
+  cfg.mismatch = mismatch;
+  cfg.gap_model = gm;
+  cfg.gap_open = open;
+  cfg.gap_extend = ext;
+  return cfg;
+}
+
+Sequence dna(const char* s) { return Sequence("d", s, Alphabet::dna()); }
+Sequence prot(const char* s) { return Sequence("p", s, Alphabet::protein()); }
+
+TEST(ScalarRef, IdenticalProteinsScoreDiagonalSum) {
+  AlignConfig cfg;  // BLOSUM62 affine 11/1
+  cfg.traceback = true;
+  Sequence q = prot("ARND");
+  Alignment a = ref_align(q, q, cfg);
+  EXPECT_EQ(a.score, 4 + 5 + 6 + 6);
+  EXPECT_EQ(a.end_query, 3);
+  EXPECT_EQ(a.end_ref, 3);
+  EXPECT_EQ(a.begin_query, 0);
+  EXPECT_EQ(a.begin_ref, 0);
+  EXPECT_EQ(a.cigar.to_string(), "4M");
+}
+
+TEST(ScalarRef, MismatchInsideLocalAlignment) {
+  AlignConfig cfg = dna_fixed(2, -1, 3, 1);
+  Alignment a = ref_align(dna("AAAA"), dna("AATA"), cfg);
+  // Full-length alignment with one mismatch: 2+2-1+2 = 5 beats any subset.
+  EXPECT_EQ(a.score, 5);
+}
+
+TEST(ScalarRef, SingleDeletionAffine) {
+  AlignConfig cfg = dna_fixed(5, -4, 3, 1);
+  cfg.traceback = true;
+  Alignment a = ref_align(dna("AATTT"), dna("AAGTTT"), cfg);
+  EXPECT_EQ(a.score, 25 - 3);  // 5 matches minus one gap open
+  EXPECT_EQ(a.cigar.to_string(), "2M1D3M");
+  EXPECT_EQ(a.begin_query, 0);
+  EXPECT_EQ(a.begin_ref, 0);
+  EXPECT_EQ(a.end_query, 4);
+  EXPECT_EQ(a.end_ref, 5);
+  EXPECT_EQ(replay_score(dna("AATTT"), dna("AAGTTT"), cfg, a), a.score);
+}
+
+TEST(ScalarRef, SingleInsertionAffine) {
+  AlignConfig cfg = dna_fixed(5, -4, 3, 1);
+  cfg.traceback = true;
+  Alignment a = ref_align(dna("AAGTTT"), dna("AATTT"), cfg);
+  EXPECT_EQ(a.score, 22);
+  EXPECT_EQ(a.cigar.to_string(), "2M1I3M");
+}
+
+TEST(ScalarRef, LongGapAffineCosting) {
+  AlignConfig cfg = dna_fixed(5, -4, 3, 1);
+  cfg.traceback = true;
+  Alignment a = ref_align(dna("AATTT"), dna("AAGGGTTT"), cfg);
+  EXPECT_EQ(a.score, 25 - (3 + 2 * 1));  // open + 2 extends
+  EXPECT_EQ(a.cigar.to_string(), "2M3D3M");
+}
+
+TEST(ScalarRef, LongGapLinearCosting) {
+  AlignConfig cfg = dna_fixed(5, -4, 0, 2, GapModel::Linear);
+  cfg.traceback = true;
+  Alignment a = ref_align(dna("AATTT"), dna("AAGGGTTT"), cfg);
+  EXPECT_EQ(a.score, 25 - 3 * 2);  // k * extend
+  EXPECT_EQ(a.cigar.to_string(), "2M3D3M");
+}
+
+TEST(ScalarRef, AllMismatchScoresZero) {
+  AlignConfig cfg = dna_fixed(2, -3, 3, 1);
+  cfg.traceback = true;
+  Alignment a = ref_align(dna("AAAA"), dna("TTTT"), cfg);
+  EXPECT_EQ(a.score, 0);
+  EXPECT_EQ(a.end_query, -1);
+  EXPECT_EQ(a.end_ref, -1);
+  EXPECT_TRUE(a.cigar.empty());
+}
+
+TEST(ScalarRef, EmptyInputs) {
+  AlignConfig cfg;
+  Sequence e = prot("");
+  Sequence q = prot("ARND");
+  EXPECT_EQ(ref_align(e, q, cfg).score, 0);
+  EXPECT_EQ(ref_align(q, e, cfg).score, 0);
+  EXPECT_EQ(ref_align(e, e, cfg).score, 0);
+}
+
+TEST(ScalarRef, ScoreIsSymmetricUnderSwap) {
+  std::mt19937_64 rng(21);
+  AlignConfig cfg;
+  for (int it = 0; it < 30; ++it) {
+    auto q = seq::generate_sequence(rng(), 1 + rng() % 80);
+    auto r = seq::generate_sequence(rng(), 1 + rng() % 80);
+    EXPECT_EQ(ref_align(q, r, cfg).score, ref_align(r, q, cfg).score);
+  }
+}
+
+TEST(ScalarRef, ExtendingReferenceNeverLowersScore) {
+  std::mt19937_64 rng(22);
+  AlignConfig cfg;
+  auto q = seq::generate_sequence(rng(), 60);
+  auto r = seq::generate_sequence(rng(), 120);
+  int prev = 0;
+  for (size_t len = 10; len <= 120; len += 10) {
+    int s = ref_align(q, r.subsequence(0, len), cfg).score;
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+}
+
+TEST(ScalarRef, MatrixMaxEqualsScore) {
+  std::mt19937_64 rng(23);
+  AlignConfig cfg;
+  for (int it = 0; it < 20; ++it) {
+    auto q = seq::generate_sequence(rng(), 1 + rng() % 50);
+    auto r = seq::generate_sequence(rng(), 1 + rng() % 50);
+    Alignment a = ref_align(q, r, cfg);
+    auto H = ref_matrix(q, r, cfg);
+    int mx = 0;
+    for (int h : H) mx = std::max(mx, h);
+    EXPECT_EQ(mx, a.score);
+    if (a.score > 0) {
+      EXPECT_EQ(H[static_cast<size_t>(a.end_query) * r.length() +
+                  static_cast<size_t>(a.end_ref)],
+                a.score);
+    }
+  }
+}
+
+TEST(ScalarRef, EndCellIsLexicographicallySmallest) {
+  std::mt19937_64 rng(24);
+  AlignConfig cfg;
+  for (int it = 0; it < 20; ++it) {
+    auto q = seq::generate_sequence(rng(), 1 + rng() % 40);
+    auto r = seq::generate_sequence(rng(), 1 + rng() % 40);
+    Alignment a = ref_align(q, r, cfg);
+    if (a.score == 0) continue;
+    auto H = ref_matrix(q, r, cfg);
+    for (int i = 0; i < static_cast<int>(q.length()); ++i)
+      for (int j = 0; j < static_cast<int>(r.length()); ++j) {
+        if (H[static_cast<size_t>(i) * r.length() + static_cast<size_t>(j)] ==
+            a.score) {
+          // No max cell may precede the reported one.
+          EXPECT_TRUE(i > a.end_query || (i == a.end_query && j >= a.end_ref));
+          return;  // first max cell found is the reported one
+        }
+      }
+  }
+}
+
+TEST(ScalarRef, TracebackReplayMatchesScore) {
+  std::mt19937_64 rng(25);
+  for (int it = 0; it < 60; ++it) {
+    AlignConfig cfg;
+    cfg.traceback = true;
+    cfg.gap_model = (it & 1) ? GapModel::Linear : GapModel::Affine;
+    cfg.gap_open = 5 + static_cast<int>(rng() % 10);
+    cfg.gap_extend = 1 + static_cast<int>(rng() % 4);
+    auto q = seq::generate_sequence(rng(), 1 + rng() % 100);
+    auto r = seq::generate_sequence(rng(), 1 + rng() % 100);
+    Alignment a = ref_align(q, r, cfg);
+    if (a.score > 0) {
+      EXPECT_EQ(replay_score(q, r, cfg, a), a.score);
+      EXPECT_EQ(a.cigar.query_consumed(),
+                static_cast<uint64_t>(a.end_query - a.begin_query + 1));
+      EXPECT_EQ(a.cigar.ref_consumed(),
+                static_cast<uint64_t>(a.end_ref - a.begin_ref + 1));
+    }
+  }
+}
+
+TEST(ScalarRef, HomologousPairScoresHigherThanRandom) {
+  auto q = seq::generate_sequence(77, 200);
+  auto hom = seq::mutate(q, 5, 0.15);
+  auto rnd = seq::generate_sequence(78, 200);
+  AlignConfig cfg;
+  EXPECT_GT(ref_align(q, hom, cfg).score, 2 * ref_align(q, rnd, cfg).score);
+}
+
+TEST(ScalarRef, TracebackCellCapThrows) {
+  AlignConfig cfg;
+  cfg.traceback = true;
+  cfg.max_traceback_cells = 100;
+  auto q = seq::generate_sequence(1, 50);
+  auto r = seq::generate_sequence(2, 50);
+  EXPECT_THROW(ref_align(q, r, cfg), std::length_error);
+}
+
+TEST(ScalarRef, ConfigValidation) {
+  AlignConfig cfg;
+  cfg.gap_open = -1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = AlignConfig{};
+  cfg.gap_open = 1;
+  cfg.gap_extend = 2;  // affine requires open >= extend
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = AlignConfig{};
+  cfg.scheme = ScoreScheme::Matrix;
+  cfg.matrix = nullptr;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ScalarRef, WildcardsAlignViaMatrix) {
+  AlignConfig cfg;  // BLOSUM62: X vs X = -1 -> all-X sequences score 0
+  Alignment a = ref_align(prot("XXXX"), prot("XXXX"), cfg);
+  EXPECT_EQ(a.score, 0);
+}
+
+}  // namespace
+}  // namespace swve::core

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "seq/sequence.hpp"
+
+namespace swve::seq {
+namespace {
+
+TEST(Sequence, EncodeFromString) {
+  Sequence s("q1", "ARND", Alphabet::protein());
+  EXPECT_EQ(s.id(), "q1");
+  ASSERT_EQ(s.length(), 4u);
+  EXPECT_EQ(s.codes()[0], 0);
+  EXPECT_EQ(s.codes()[1], 1);
+  EXPECT_EQ(s.codes()[2], 2);
+  EXPECT_EQ(s.codes()[3], 3);
+  EXPECT_EQ(s.to_string(), "ARND");
+}
+
+TEST(Sequence, LowercaseAndUnknownResidues) {
+  Sequence s("q", "arJd", Alphabet::protein());
+  EXPECT_EQ(s.to_string(), "ARXD");  // J is not an amino-acid letter
+}
+
+TEST(Sequence, EmptySequence) {
+  Sequence s("e", "", Alphabet::protein());
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.length(), 0u);
+  EXPECT_EQ(s.to_string(), "");
+}
+
+TEST(Sequence, AdoptCodes) {
+  std::vector<uint8_t> codes = {0, 5, 10};
+  Sequence s("c", codes, Alphabet::protein());
+  EXPECT_EQ(s.to_string(), "AQL");
+}
+
+TEST(Sequence, AdoptCodesRejectsOutOfRange) {
+  std::vector<uint8_t> codes = {0, 200};
+  EXPECT_THROW(Sequence("bad", codes, Alphabet::protein()), std::invalid_argument);
+}
+
+TEST(Sequence, Subsequence) {
+  Sequence s("s", "ARNDCQEG", Alphabet::protein());
+  EXPECT_EQ(s.subsequence(2, 3).to_string(), "NDC");
+  EXPECT_EQ(s.subsequence(6, 100).to_string(), "EG");  // clamped
+  EXPECT_EQ(s.subsequence(100, 5).to_string(), "");
+}
+
+TEST(Sequence, EqualityIgnoresId) {
+  Sequence a("a", "ARND", Alphabet::protein());
+  Sequence b("b", "ARND", Alphabet::protein());
+  Sequence c("c", "ARNE", Alphabet::protein());
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SeqView, FromSequenceAndSpan) {
+  Sequence s("s", "ARND", Alphabet::protein());
+  SeqView v = s;
+  EXPECT_EQ(v.length, 4u);
+  EXPECT_EQ(v[0], 0);
+  SeqView empty;
+  EXPECT_TRUE(empty.empty());
+}
+
+}  // namespace
+}  // namespace swve::seq

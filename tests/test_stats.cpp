@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "align/db_search.hpp"
+#include "align/stats.hpp"
+#include "seq/synthetic.hpp"
+
+namespace swve::align {
+namespace {
+
+std::span<const double> protein_bg20() {
+  // First 20 entries (real amino acids) of the Robinson-Robinson background,
+  // renormalized.
+  static const std::vector<double> bg = [] {
+    auto v = seq::protein_background();
+    v.resize(20);
+    double s = 0;
+    for (double x : v) s += x;
+    for (double& x : v) x /= s;
+    return v;
+  }();
+  return bg;
+}
+
+TEST(Stats, UngappedLambdaMatchesPublishedBlosum62) {
+  KarlinParams p = karlin_ungapped(matrix::ScoreMatrix::blosum62(), protein_bg20());
+  // Published ungapped lambda for BLOSUM62 with standard composition: 0.318.
+  EXPECT_NEAR(p.lambda, 0.318, 0.02);
+  EXPECT_GT(p.H, 0.2);
+  EXPECT_LT(p.H, 0.6);
+  EXPECT_FALSE(p.gapped);
+}
+
+TEST(Stats, UngappedLambdaOrdersWithMatrixStringency) {
+  // Stricter matrices (higher-identity targets) have larger lambda.
+  double l45 = karlin_ungapped(matrix::ScoreMatrix::blosum45(), protein_bg20()).lambda;
+  double l62 = karlin_ungapped(matrix::ScoreMatrix::blosum62(), protein_bg20()).lambda;
+  double l90 = karlin_ungapped(matrix::ScoreMatrix::blosum90(), protein_bg20()).lambda;
+  EXPECT_LT(l45, l62);
+  EXPECT_LT(l62, l90);
+}
+
+TEST(Stats, UngappedRejectsPositiveExpectedScore) {
+  matrix::ScoreMatrix all_match =
+      matrix::ScoreMatrix::match_mismatch(2, 1, seq::Alphabet::dna());
+  std::vector<double> bg(4, 0.25);
+  EXPECT_THROW(karlin_ungapped(all_match, bg), std::invalid_argument);
+}
+
+TEST(Stats, PublishedGappedTable) {
+  auto p = published_gapped("blosum62", 11, 1);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(p->lambda, 0.267, 1e-9);
+  EXPECT_NEAR(p->K, 0.041, 1e-9);
+  EXPECT_TRUE(p->gapped);
+  EXPECT_FALSE(published_gapped("blosum62", 99, 9).has_value());
+  EXPECT_FALSE(published_gapped("nosuch", 11, 1).has_value());
+}
+
+TEST(Stats, EvalueAndBitscoreMath) {
+  KarlinParams p;
+  p.lambda = 0.267;
+  p.K = 0.041;
+  // E halves-ish per +2.6 score; sanity ranges for a typical search.
+  double e_low = evalue(p, 300, 200, 1'000'000);
+  double e_high = evalue(p, 40, 200, 1'000'000);
+  EXPECT_LT(e_low, 1e-20);
+  EXPECT_GT(e_high, 1.0);
+  EXPECT_GT(bitscore(p, 100), bitscore(p, 50));
+  EXPECT_NEAR(bitscore(p, 100), (0.267 * 100 - std::log(0.041)) / std::log(2.0),
+              1e-12);
+  // E-value is monotone in all arguments.
+  EXPECT_LT(evalue(p, 100, 200, 1000), evalue(p, 100, 200, 2000));
+  EXPECT_LT(evalue(p, 101, 200, 1000), evalue(p, 100, 200, 1000));
+}
+
+TEST(Stats, CalibrationIsDeterministicAndPlausible) {
+  core::AlignConfig cfg;  // BLOSUM62 11/1
+  KarlinParams a = calibrate_gapped(cfg, 120, 150, 7);
+  KarlinParams b = calibrate_gapped(cfg, 120, 150, 7);
+  EXPECT_DOUBLE_EQ(a.lambda, b.lambda);
+  EXPECT_DOUBLE_EQ(a.K, b.K);
+  // Gapped lambda must sit below the ungapped bound and in a sane window
+  // around the published 0.267.
+  EXPECT_GT(a.lambda, 0.10);
+  EXPECT_LT(a.lambda, 0.45);
+  EXPECT_GT(a.K, 0.0);
+}
+
+TEST(Stats, CalibratedEvaluesSeparateHomologsFromNoise) {
+  seq::SyntheticConfig sc;
+  sc.seed = 81;
+  sc.target_residues = 60'000;
+  sc.planted_fraction = 0;
+  auto db = seq::SequenceDatabase::synthetic(sc);
+  auto query = seq::mutate(db[5], 82, 0.2);  // homolog of entry 5
+
+  core::AlignConfig cfg;
+  KarlinParams p = calibrate_gapped(cfg, 120, 150, 11);
+  DatabaseSearch search(db, cfg);
+  auto res = search.search(query, 5);
+  ASSERT_GE(res.hits.size(), 2u);
+  ASSERT_EQ(res.hits[0].seq_index, 5u);
+  double e_hom = evalue(p, res.hits[0].score, query.length(), db.total_residues());
+  double e_noise = evalue(p, res.hits[1].score, query.length(), db.total_residues());
+  EXPECT_LT(e_hom, 1e-6);   // real homolog: essentially impossible by chance
+  EXPECT_GT(e_noise, 1e-4); // next best is plausible noise
+  EXPECT_LT(e_hom, e_noise / 100);
+}
+
+TEST(Stats, CalibrationSupportsFixedSchemeAndBands) {
+  core::AlignConfig cfg;
+  cfg.scheme = core::ScoreScheme::Fixed;
+  cfg.match = 2;
+  cfg.mismatch = -3;
+  cfg.gap_open = 5;
+  cfg.gap_extend = 2;
+  KarlinParams p = calibrate_gapped(cfg, 100, 120, 3);
+  EXPECT_GT(p.lambda, 0.0);
+  cfg.band = 20;
+  KarlinParams pb = calibrate_gapped(cfg, 100, 120, 3);
+  EXPECT_GT(pb.lambda, 0.0);
+  EXPECT_THROW(calibrate_gapped(cfg, 5, 120, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swve::align

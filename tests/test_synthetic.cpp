@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "seq/synthetic.hpp"
+
+namespace swve::seq {
+namespace {
+
+TEST(Synthetic, DeterministicFromSeed) {
+  SyntheticConfig cfg;
+  cfg.seed = 9;
+  cfg.target_residues = 50'000;
+  auto a = generate_database(cfg);
+  auto b = generate_database(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  SyntheticConfig cfg;
+  cfg.target_residues = 20'000;
+  cfg.seed = 1;
+  auto a = generate_database(cfg);
+  cfg.seed = 2;
+  auto b = generate_database(cfg);
+  bool any_diff = a.size() != b.size();
+  for (size_t i = 0; !any_diff && i < a.size(); ++i) any_diff = !(a[i] == b[i]);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Synthetic, RespectsLengthBounds) {
+  SyntheticConfig cfg;
+  cfg.target_residues = 100'000;
+  cfg.min_length = 60;
+  cfg.max_length = 500;
+  for (const auto& s : generate_database(cfg)) {
+    EXPECT_GE(s.length(), 60u);
+    EXPECT_LE(s.length(), 500u);
+  }
+}
+
+TEST(Synthetic, ReachesTargetResidues) {
+  SyntheticConfig cfg;
+  cfg.target_residues = 30'000;
+  uint64_t total = 0;
+  for (const auto& s : generate_database(cfg)) total += s.length();
+  EXPECT_GE(total, cfg.target_residues);
+  EXPECT_LT(total, cfg.target_residues + cfg.max_length);
+}
+
+TEST(Synthetic, BadBoundsThrow) {
+  SyntheticConfig cfg;
+  cfg.min_length = 100;
+  cfg.max_length = 50;
+  EXPECT_THROW(generate_database(cfg), std::invalid_argument);
+}
+
+TEST(Synthetic, CompositionTracksBackground) {
+  // Residue frequencies of a large sample should be close to the
+  // Robinson-Robinson background (within a few percent absolute).
+  SyntheticConfig cfg;
+  cfg.target_residues = 400'000;
+  cfg.planted_fraction = 0;  // pure background
+  auto db = generate_database(cfg);
+  std::vector<uint64_t> counts(24, 0);
+  uint64_t total = 0;
+  for (const auto& s : db)
+    for (uint8_t c : s.codes()) {
+      ++counts[c];
+      ++total;
+    }
+  const auto& bg = protein_background();
+  for (int c = 0; c < 20; ++c) {
+    double observed = static_cast<double>(counts[c]) / static_cast<double>(total);
+    EXPECT_NEAR(observed, bg[static_cast<size_t>(c)], 0.01) << "residue code " << c;
+  }
+  EXPECT_EQ(counts[23], 0u);  // '*' never generated
+}
+
+TEST(Synthetic, BackgroundSumsToOne) {
+  double sum = 0;
+  for (double p : protein_background()) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Synthetic, GenerateSequenceExactLength) {
+  auto s = generate_sequence(3, 137);
+  EXPECT_EQ(s.length(), 137u);
+  auto d = generate_sequence(3, 64, AlphabetKind::Dna);
+  EXPECT_EQ(d.length(), 64u);
+  for (uint8_t c : d.codes()) EXPECT_LT(c, 4);  // uniform ACGT only
+}
+
+TEST(Synthetic, MutatePreservesLengthAndRate) {
+  auto s = generate_sequence(5, 2000);
+  auto m0 = mutate(s, 7, 0.0);
+  EXPECT_EQ(m0, s);
+  auto m = mutate(s, 7, 0.3);
+  ASSERT_EQ(m.length(), s.length());
+  size_t diff = 0;
+  for (size_t i = 0; i < s.length(); ++i)
+    if (s.codes()[i] != m.codes()[i]) ++diff;
+  double rate = static_cast<double>(diff) / static_cast<double>(s.length());
+  // 0.3 mutation attempts, some re-draw the same residue.
+  EXPECT_GT(rate, 0.15);
+  EXPECT_LT(rate, 0.35);
+}
+
+TEST(Synthetic, PickQueriesSpansLengths) {
+  SyntheticConfig cfg;
+  cfg.target_residues = 200'000;
+  auto db = generate_database(cfg);
+  auto qs = pick_queries(db, 10);
+  ASSERT_EQ(qs.size(), 10u);
+  // First pick is the shortest db entry, last is the longest.
+  size_t mn = SIZE_MAX, mx = 0;
+  for (const auto& s : db) {
+    mn = std::min(mn, s.length());
+    mx = std::max(mx, s.length());
+  }
+  EXPECT_EQ(qs.front().length(), mn);
+  EXPECT_EQ(qs.back().length(), mx);
+  for (size_t i = 1; i < qs.size(); ++i)
+    EXPECT_GE(qs[i].length(), qs[i - 1].length());
+}
+
+TEST(Synthetic, PickQueriesEdgeCases) {
+  EXPECT_TRUE(pick_queries({}, 5).empty());
+  SyntheticConfig cfg;
+  cfg.target_residues = 1000;
+  auto db = generate_database(cfg);
+  EXPECT_TRUE(pick_queries(db, 0).empty());
+  EXPECT_EQ(pick_queries(db, 1).size(), 1u);
+}
+
+TEST(Synthetic, QueryLadderLogSpacing) {
+  auto qs = make_query_ladder(1, 10, 64, 2048);
+  ASSERT_EQ(qs.size(), 10u);
+  EXPECT_EQ(qs.front().length(), 64u);
+  EXPECT_EQ(qs.back().length(), 2048u);
+  // Log-spaced: consecutive ratios roughly constant.
+  double ratio = std::pow(2048.0 / 64.0, 1.0 / 9.0);
+  for (size_t i = 1; i < qs.size(); ++i) {
+    double r = static_cast<double>(qs[i].length()) /
+               static_cast<double>(qs[i - 1].length());
+    EXPECT_NEAR(r, ratio, 0.2 * ratio);
+  }
+}
+
+TEST(Synthetic, QueryLadderBadArgsThrow) {
+  EXPECT_THROW(make_query_ladder(1, 0, 64, 128), std::invalid_argument);
+  EXPECT_THROW(make_query_ladder(1, 3, 128, 64), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swve::seq

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "core/traceback.hpp"
+#include "seq/sequence.hpp"
+
+namespace swve::core {
+namespace {
+
+TEST(Cigar, PushMergesAdjacentSameOps) {
+  Cigar c;
+  c.push(CigarOp::Match, 3);
+  c.push(CigarOp::Match, 2);
+  c.push(CigarOp::Ins, 1);
+  c.push(CigarOp::Match, 4);
+  EXPECT_EQ(c.to_string(), "5M1I4M");
+  EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(Cigar, ZeroLengthIgnored) {
+  Cigar c;
+  c.push(CigarOp::Del, 0);
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(Cigar, ConsumedCounts) {
+  Cigar c;
+  c.push(CigarOp::Match, 5);
+  c.push(CigarOp::Ins, 2);
+  c.push(CigarOp::Del, 3);
+  EXPECT_EQ(c.query_consumed(), 7u);  // M + I
+  EXPECT_EQ(c.ref_consumed(), 8u);    // M + D
+}
+
+TEST(Cigar, Reverse) {
+  Cigar c;
+  c.push(CigarOp::Match, 1);
+  c.push(CigarOp::Del, 2);
+  c.reverse();
+  EXPECT_EQ(c.to_string(), "2D1M");
+}
+
+TEST(Cigar, LargeRunLengths) {
+  Cigar c;
+  c.push(CigarOp::Match, 1'000'000);
+  c.push(CigarOp::Match, 1);
+  EXPECT_EQ(c.len(0), 1'000'001u);
+}
+
+// Hand-built 2x2 flag matrix:
+//   (0,0) diag-start, (1,1) diag from (0,0).
+TEST(WalkTraceback, PureDiagonal) {
+  uint8_t flags[4] = {kTbDiag, kTbStop, kTbStop, kTbDiag};
+  auto at = [&](int i, int j) { return flags[i * 2 + j]; };
+  TracebackResult t = walk_traceback(at, 1, 1);
+  EXPECT_EQ(t.cigar.to_string(), "2M");
+  EXPECT_EQ(t.begin_query, 0);
+  EXPECT_EQ(t.begin_ref, 0);
+}
+
+// H at (1,2) came from F (horizontal run of 2 via extension), which opened
+// from H at (1,0)... flags encode: (1,2): src F with Fext; (1,1): Fext clear
+// means open from H(1,0); (1,0) diag from (0,-1)-boundary.
+TEST(WalkTraceback, GapRunWithExplicitOpen) {
+  // 2 rows x 3 cols.
+  uint8_t flags[6] = {};
+  flags[1 * 3 + 2] = kTbF | kTbFExt;  // extend: keep consuming ref
+  flags[1 * 3 + 1] = kTbF;            // (state F here) open: next is H
+  flags[1 * 3 + 0] = kTbDiag;
+  auto at = [&](int i, int j) { return flags[i * 3 + j]; };
+  TracebackResult t = walk_traceback(at, 1, 2);
+  EXPECT_EQ(t.cigar.to_string(), "1M2D");
+  EXPECT_EQ(t.begin_query, 1);
+  EXPECT_EQ(t.begin_ref, 0);
+}
+
+TEST(WalkTraceback, VerticalGap) {
+  // 3 rows x 1 col: (2,0) from E opening at H(1,0)... E without ext bit.
+  uint8_t flags[3] = {};
+  flags[2] = kTbE;  // consume query residue 2, then H at (1,0)
+  flags[1] = kTbDiag;
+  auto at = [&](int i, int j) { return flags[i * 1 + j]; };
+  TracebackResult t = walk_traceback(at, 2, 0);
+  EXPECT_EQ(t.cigar.to_string(), "1M1I");
+  EXPECT_EQ(t.begin_query, 1);
+  EXPECT_EQ(t.begin_ref, 0);
+}
+
+TEST(WalkTraceback, StopsAtMatrixEdge) {
+  uint8_t flags[1] = {kTbDiag};
+  auto at = [&](int i, int j) { return flags[i + j]; };
+  TracebackResult t = walk_traceback(at, 0, 0);
+  EXPECT_EQ(t.cigar.to_string(), "1M");
+  EXPECT_EQ(t.begin_query, 0);
+  EXPECT_EQ(t.begin_ref, 0);
+}
+
+TEST(DiagTracebackView, IndexesDiagonalMajorLayout) {
+  // m=2, n=3: diagonals d=0..3 with lengths 1,2,2,1.
+  // Cells in diag-major order: (0,0) | (0,1),(1,0) | (0,2),(1,1) | (1,2).
+  uint8_t dirs[6] = {10, 11, 12, 13, 14, 15};
+  uint64_t offsets[5] = {0, 1, 3, 5, 0};
+  DiagTracebackView v{dirs, offsets, 3};
+  EXPECT_EQ(v(0, 0), 10);
+  EXPECT_EQ(v(0, 1), 11);
+  EXPECT_EQ(v(1, 0), 12);
+  EXPECT_EQ(v(0, 2), 13);
+  EXPECT_EQ(v(1, 1), 14);
+  EXPECT_EQ(v(1, 2), 15);
+}
+
+TEST(ReplayScore, ThrowsOnBrokenCigar) {
+  seq::Sequence q("q", "ARND", seq::Alphabet::protein());
+  seq::Sequence r("r", "ARND", seq::Alphabet::protein());
+  AlignConfig cfg;
+  Alignment a;
+  a.score = 10;
+  a.begin_query = 0;
+  a.begin_ref = 0;
+  a.end_query = 3;
+  a.end_ref = 3;
+  a.cigar.push(CigarOp::Match, 10);  // runs past the end
+  EXPECT_THROW(replay_score(q, r, cfg, a), std::out_of_range);
+  a.cigar.clear();
+  a.cigar.push(CigarOp::Match, 2);  // stops short of the end cell
+  EXPECT_THROW(replay_score(q, r, cfg, a), std::out_of_range);
+}
+
+TEST(ReplayScore, EmptyCigarScoresZero) {
+  seq::Sequence q("q", "AR", seq::Alphabet::protein());
+  AlignConfig cfg;
+  Alignment a;
+  EXPECT_EQ(replay_score(q, q, cfg, a), 0);
+}
+
+}  // namespace
+}  // namespace swve::core

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "core/workspace.hpp"
+
+namespace swve::core {
+namespace {
+
+TEST(AlignedBuf, StartsEmpty) {
+  AlignedBuf b;
+  EXPECT_EQ(b.data(), nullptr);
+  EXPECT_EQ(b.capacity(), 0u);
+}
+
+TEST(AlignedBuf, EnsureAllocates64Aligned) {
+  AlignedBuf b;
+  void* p = b.ensure(100);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 64, 0u);
+  EXPECT_GE(b.capacity(), 100u);
+}
+
+TEST(AlignedBuf, GrowOnlyKeepsCapacity) {
+  AlignedBuf b;
+  b.ensure(1000);
+  size_t cap = b.capacity();
+  b.ensure(10);  // no shrink
+  EXPECT_EQ(b.capacity(), cap);
+  b.ensure(5000);
+  EXPECT_GE(b.capacity(), 5000u);
+}
+
+TEST(AlignedBuf, EnsureZeroedClears) {
+  AlignedBuf b;
+  auto* p = static_cast<uint8_t*>(b.ensure(256));
+  std::memset(p, 0xAB, 256);
+  p = static_cast<uint8_t*>(b.ensure_zeroed(256));
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(p[i], 0) << i;
+}
+
+TEST(AlignedBuf, MoveTransfersOwnership) {
+  AlignedBuf a;
+  void* p = a.ensure(128);
+  AlignedBuf b = std::move(a);
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(a.data(), nullptr);  // NOLINT(bugprone-use-after-move)
+  AlignedBuf c;
+  c.ensure(64);
+  c = std::move(b);
+  EXPECT_EQ(c.data(), p);
+}
+
+TEST(AlignedBuf, CapacityRoundsToCacheLines) {
+  AlignedBuf b;
+  b.ensure(1);
+  EXPECT_EQ(b.capacity() % 64, 0u);
+}
+
+TEST(Workspace, PadCoversWidestEngine) {
+  // AVX-512 u8 engine uses 64 lanes; kPad must cover an i-1 unaligned load.
+  EXPECT_GE(kPad, 64);
+}
+
+}  // namespace
+}  // namespace swve::core

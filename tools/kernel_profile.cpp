@@ -1,0 +1,56 @@
+// Component-cost probe for the diag kernel: long square pair (no ragged
+// cost) vs database streaming; widths; schemes; ISAs.
+#include <cstdio>
+
+#include "core/dispatch.hpp"
+#include "perf/gcups.hpp"
+#include "perf/timer.hpp"
+#include "seq/synthetic.hpp"
+
+using namespace swve;
+
+static double run(const seq::Sequence& q, const seq::Sequence& t, core::AlignConfig cfg,
+                  core::Workspace& ws, int reps) {
+  core::diag_align(q, t, cfg, ws);
+  perf::Stopwatch sw;
+  for (int k = 0; k < reps; ++k) core::diag_align(q, t, cfg, ws);
+  return perf::gcups(static_cast<uint64_t>(q.length()) * t.length() * reps,
+                     sw.seconds());
+}
+
+int main() {
+  core::Workspace ws;
+  auto q = seq::generate_sequence(1, 2048);
+  auto t = seq::generate_sequence(2, 2048);
+  auto t_small = seq::generate_sequence(3, 300);
+
+  struct Cfg {
+    const char* name;
+    simd::Isa isa;
+    core::Width w;
+    core::ScoreScheme s;
+  };
+  const Cfg cfgs[] = {
+      {"avx2 w16 matrix", simd::Isa::Avx2, core::Width::W16, core::ScoreScheme::Matrix},
+      {"avx2 w16 fixed ", simd::Isa::Avx2, core::Width::W16, core::ScoreScheme::Fixed},
+      {"avx2 w8  matrix", simd::Isa::Avx2, core::Width::W8, core::ScoreScheme::Matrix},
+      {"avx2 w8  fixed ", simd::Isa::Avx2, core::Width::W8, core::ScoreScheme::Fixed},
+      {"avx2 w32 matrix", simd::Isa::Avx2, core::Width::W32, core::ScoreScheme::Matrix},
+      {"a512 w16 matrix", simd::Isa::Avx512, core::Width::W16, core::ScoreScheme::Matrix},
+      {"a512 w8  matrix", simd::Isa::Avx512, core::Width::W8, core::ScoreScheme::Matrix},
+      {"a512 w8  fixed ", simd::Isa::Avx512, core::Width::W8, core::ScoreScheme::Fixed},
+  };
+  std::printf("%-18s %10s %10s\n", "config", "2048x2048", "2048x300");
+  for (const Cfg& c : cfgs) {
+    core::AlignConfig cfg;
+    cfg.isa = c.isa;
+    cfg.width = c.w;
+    cfg.scheme = c.s;
+    cfg.match = 5;
+    cfg.mismatch = -2;
+    double big = run(q, t, cfg, ws, 3);
+    double small = run(q, t_small, cfg, ws, 20);
+    std::printf("%-18s %10.2f %10.2f\n", c.name, big, small);
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Find and shrink a striped16-vs-golden mismatch on low-complexity inputs.
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "baseline/striped.hpp"
+#include "core/scalar_ref.hpp"
+
+using namespace swve;
+
+static seq::Sequence runny(std::mt19937_64& rng, uint32_t len, int alpha = 3) {
+  std::vector<uint8_t> codes;
+  while (codes.size() < len) {
+    uint8_t c = static_cast<uint8_t>(rng() % alpha);
+    size_t run = 1 + rng() % 17;
+    for (size_t k = 0; k < run && codes.size() < len; ++k) codes.push_back(c);
+  }
+  return seq::Sequence("runny", std::move(codes), seq::Alphabet::protein());
+}
+
+int main() {
+  core::Workspace ws;
+  std::mt19937_64 rng(34);
+  for (int it = 0; it < 2000; ++it) {
+    auto q = runny(rng, 4 + rng() % 120);
+    auto r = runny(rng, 4 + rng() % 120);
+    core::AlignConfig cfg;
+    cfg.gap_open = 1 + static_cast<int>(rng() % 2);
+    cfg.gap_extend = 1;
+    int ref = core::ref_align(q, r, cfg).score;
+    baseline::StripedAligner sa(q, cfg);
+    int got = sa.align16(r, ws).score;
+    if (got != ref) {
+      std::printf("MISMATCH it=%d m=%zu n=%zu open=%d ext=%d got=%d ref=%d\n", it,
+                  q.length(), r.length(), cfg.gap_open, cfg.gap_extend, got, ref);
+      // Shrink: trim from both ends while the mismatch persists.
+      auto qc = std::vector<uint8_t>(q.codes().begin(), q.codes().end());
+      auto rc = std::vector<uint8_t>(r.codes().begin(), r.codes().end());
+      bool shrunk = true;
+      while (shrunk) {
+        shrunk = false;
+        for (int side = 0; side < 4; ++side) {
+          auto q2 = qc;
+          auto r2 = rc;
+          if (side == 0 && q2.size() > 1) q2.erase(q2.begin());
+          else if (side == 1 && q2.size() > 1) q2.pop_back();
+          else if (side == 2 && r2.size() > 1) r2.erase(r2.begin());
+          else if (side == 3 && r2.size() > 1) r2.pop_back();
+          else continue;
+          seq::Sequence qs("q", q2, seq::Alphabet::protein());
+          seq::Sequence rs("r", r2, seq::Alphabet::protein());
+          int ref2 = core::ref_align(qs, rs, cfg).score;
+          baseline::StripedAligner sa2(qs, cfg);
+          int got2 = sa2.align16(rs, ws).score;
+          if (got2 != ref2) {
+            qc = q2;
+            rc = r2;
+            shrunk = true;
+            break;
+          }
+        }
+      }
+      seq::Sequence qs("q", qc, seq::Alphabet::protein());
+      seq::Sequence rs("r", rc, seq::Alphabet::protein());
+      std::printf("shrunk: m=%zu n=%zu\nq=%s\nr=%s\n", qc.size(), rc.size(),
+                  qs.to_string().c_str(), rs.to_string().c_str());
+      baseline::StripedAligner sa2(qs, cfg);
+      std::printf("golden=%d striped=%d\n", core::ref_align(qs, rs, cfg).score,
+                  sa2.align16(rs, ws).score);
+      return 1;
+    }
+  }
+  std::printf("no mismatch found\n");
+  return 0;
+}
