@@ -5,6 +5,10 @@
 //   swve batch  [options] QUERIES.fa DB.fa       scenario-2 batched server
 //   swve info                                    CPU/ISA/build report
 //
+// All three alignment commands go through service::AlignService — the same
+// async, instrumented front door a server embedding would use — so
+// `--metrics` and `--deadline-ms` work uniformly.
+//
 // Common options:
 //   --matrix NAME        blosum45/50/62/80/90, pam120/250, dna_iupac
 //   --match N --mismatch N   fixed scoring instead of a matrix
@@ -15,7 +19,10 @@
 //   --width 8|16|32|auto DP integer width
 //   --top K              hits per query (search/batch; default 10)
 //   --threads N          worker threads (default: hardware)
+//   --deadline-ms N      fail the request if not done within N ms
+//   --metrics            dump the service metrics snapshot to stderr
 //   --dna                parse sequences with the DNA alphabet
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -33,6 +40,8 @@ struct CliOptions {
   size_t top_k = 10;
   unsigned threads = 0;
   bool dna = false;
+  bool metrics = false;
+  int deadline_ms = 0;  // 0 = none
   std::vector<std::string> positional;
 };
 
@@ -46,7 +55,7 @@ struct CliOptions {
       "  swve info                        CPU / ISA / calibration report\n"
       "options: --matrix NAME | --match N --mismatch N | --open N --extend N\n"
       "         --linear N | --band N | --isa NAME | --width 8|16|32|auto\n"
-      "         --top K | --threads N | --dna\n",
+      "         --top K | --threads N | --deadline-ms N | --metrics | --dna\n",
       stderr);
   std::exit(2);
 }
@@ -78,6 +87,8 @@ CliOptions parse(int argc, char** argv) {
                                 : core::Width::Adaptive;
     } else if (s == "--top") o.top_k = std::strtoul(next(), nullptr, 10);
     else if (s == "--threads") o.threads = static_cast<unsigned>(std::atoi(next()));
+    else if (s == "--deadline-ms") o.deadline_ms = std::atoi(next());
+    else if (s == "--metrics") o.metrics = true;
     else if (s == "--dna") o.dna = true;
     else if (s == "--help") usage();
     else if (s.rfind("--", 0) == 0) usage(("unknown option " + s).c_str());
@@ -99,6 +110,23 @@ const seq::Alphabet& alpha(const CliOptions& o) {
   return o.dna ? seq::Alphabet::dna() : seq::Alphabet::protein();
 }
 
+service::ServiceOptions service_options(const CliOptions& o) {
+  service::ServiceOptions so;
+  so.pool_threads = o.threads;
+  so.config = o.cfg;
+  so.default_top_k = o.top_k;
+  return so;
+}
+
+void apply_deadline(service::RequestOptions& ro, const CliOptions& o) {
+  if (o.deadline_ms > 0)
+    ro.deadline = std::chrono::milliseconds(o.deadline_ms);
+}
+
+void maybe_dump_metrics(const CliOptions& o, const service::AlignService& svc) {
+  if (o.metrics) std::fputs(svc.metrics().to_string().c_str(), stderr);
+}
+
 int cmd_info() {
   const auto& f = simd::cpu_features();
   std::printf("swve %s\n", "1.0.0");
@@ -118,11 +146,19 @@ int cmd_align(const CliOptions& o) {
   auto qs = seq::read_fasta_file(o.positional[0], alpha(o));
   auto ts = seq::read_fasta_file(o.positional[1], alpha(o));
   if (qs.empty() || ts.empty()) usage("empty FASTA input");
-  align::AlignConfig cfg = o.cfg;
-  cfg.traceback = true;
-  cfg.max_traceback_cells = uint64_t{1} << 34;
-  align::Aligner aligner(cfg);
-  core::Alignment a = aligner.align(qs[0], ts[0]);
+
+  service::ServiceOptions so = service_options(o);
+  so.config.traceback = true;
+  so.config.max_traceback_cells = uint64_t{1} << 34;
+  service::AlignService svc(so);
+
+  service::AlignRequest rq;
+  rq.query = qs[0];
+  rq.reference = ts[0];
+  apply_deadline(rq.options, o);
+  service::AlignResponse resp = svc.submit(std::move(rq)).get();
+  const core::Alignment& a = resp.alignment;
+
   align::AlignmentStats st = align::alignment_stats(qs[0], ts[0], a);
   std::printf("%s x %s: score %d, identity %.1f%%, cigar %s\n", qs[0].id().c_str(),
               ts[0].id().c_str(), a.score, 100 * st.identity(),
@@ -133,6 +169,7 @@ int cmd_align(const CliOptions& o) {
               : a.width_used == core::Width::W16 ? 16 : 32,
               a.saturated_8 ? ", 8-bit saturated" : "");
   std::fputs(align::format_alignment(qs[0], ts[0], a).c_str(), stdout);
+  maybe_dump_metrics(o, svc);
   return 0;
 }
 
@@ -142,9 +179,14 @@ int cmd_search(const CliOptions& o) {
   if (qs.empty()) usage("empty query FASTA");
   seq::SequenceDatabase db =
       seq::SequenceDatabase::from_fasta_file(o.positional[1], alpha(o));
-  parallel::ThreadPool pool(o.threads);
-  align::DatabaseSearch search(db, o.cfg);
-  align::SearchResult res = search.search(qs[0], o.top_k, &pool);
+
+  service::AlignService svc(db, service_options(o));
+  service::SearchRequest rq;
+  rq.query = qs[0];
+  apply_deadline(rq.options, o);
+  service::SearchResponse resp = svc.submit_search(std::move(rq)).get();
+  const align::SearchResult& res = resp.result;
+
   std::fprintf(stderr, "searched %zu sequences (%llu residues) in %.3f s, %.2f GCUPS\n",
                db.size(), static_cast<unsigned long long>(db.total_residues()),
                res.seconds, res.gcups());
@@ -152,6 +194,7 @@ int cmd_search(const CliOptions& o) {
   for (const auto& h : res.hits)
     std::printf("%s\t%s\t%d\t%d\t%d\n", qs[0].id().c_str(),
                 db[h.seq_index].id().c_str(), h.score, h.end_query, h.end_ref);
+  maybe_dump_metrics(o, svc);
   return 0;
 }
 
@@ -161,20 +204,25 @@ int cmd_batch(const CliOptions& o) {
   if (qs.empty()) usage("empty queries FASTA");
   seq::SequenceDatabase db =
       seq::SequenceDatabase::from_fasta_file(o.positional[1], alpha(o));
-  parallel::ThreadPool pool(o.threads);
-  align::BatchServer server(db, o.cfg);
+
+  service::AlignService svc(db, service_options(o));
+  service::BatchRequest rq;
+  rq.queries = qs;
+  apply_deadline(rq.options, o);
   perf::Stopwatch sw;
-  auto results = server.run(qs, o.top_k, &pool);
+  service::BatchResponse resp = svc.submit_batch(std::move(rq)).get();
+
   uint64_t cells = 0;
   for (const auto& q : qs) cells += q.length() * db.total_residues();
   std::fprintf(stderr, "%zu queries x %zu sequences in %.3f s, %.2f GCUPS (%d lanes)\n",
                qs.size(), db.size(), sw.seconds(), perf::gcups(cells, sw.seconds()),
-               server.lanes());
+               svc.batch_lanes());
   std::printf("query\ttarget\tscore\n");
   for (size_t qi = 0; qi < qs.size(); ++qi)
-    for (const auto& h : results[qi].result.hits)
+    for (const auto& h : resp.results[qi].result.hits)
       std::printf("%s\t%s\t%d\n", qs[qi].id().c_str(), db[h.seq_index].id().c_str(),
                   h.score);
+  maybe_dump_metrics(o, svc);
   return 0;
 }
 
@@ -190,6 +238,10 @@ int main(int argc, char** argv) {
     if (cmd == "search") return cmd_search(o);
     if (cmd == "batch") return cmd_batch(o);
     usage(("unknown command " + cmd).c_str());
+  } catch (const service::ServiceError& e) {
+    std::fprintf(stderr, "swve: request failed (%s): %s\n",
+                 core::ConfigError::code_name(e.code()), e.what());
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "swve: %s\n", e.what());
     return 1;

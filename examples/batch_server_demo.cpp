@@ -1,11 +1,18 @@
 // Scenario 2: a centralized alignment server. Clients submit queries; the
-// server accumulates them and scores whole batches against the shared
+// service accumulates them and scores whole batches against the shared
 // database with the inter-sequence batch32 kernel, then re-aligns the top
 // hit of each query exactly (with traceback) for the response.
+//
+// This demo drives service::AlignService — the async request/future front
+// door — exactly as a network server embedding the library would: the batch
+// goes through submit_batch(), each exact re-alignment through submit()
+// with a per-request traceback override, and the run ends with the
+// service's own metrics snapshot.
 //
 //   ./example_batch_server_demo [--clients N] [--db-residues N]
 #include <cstdio>
 #include <cstring>
+#include <future>
 #include <iostream>
 
 #include "swve.hpp"
@@ -27,13 +34,11 @@ int main(int argc, char** argv) {
   sc.target_residues = db_residues;
   seq::SequenceDatabase db = seq::SequenceDatabase::synthetic(sc);
 
-  align::AlignConfig cfg;
   perf::Stopwatch boot;
-  align::BatchServer server(db, cfg);
-  std::printf("server up: %zu sequences packed into %d-lane batches in %.3f s "
-              "(padding overhead %.1f%%)\n",
-              db.size(), server.lanes(), boot.seconds(),
-              100.0 * server.packed_db().padding_overhead());
+  service::ServiceOptions so;  // hardware pool threads, default config
+  service::AlignService server(db, so);
+  std::printf("server up: %zu sequences packed into %d-lane batches in %.3f s\n",
+              db.size(), server.batch_lanes(), boot.seconds());
 
   // "Clients": a mix of query lengths, a few of them homologous to database
   // entries so the demo returns biologically-meaningful hits.
@@ -43,9 +48,11 @@ int main(int argc, char** argv) {
     queries[static_cast<size_t>(k)] =
         seq::mutate(db[static_cast<size_t>(k * 37) % db.size()], 44, 0.2);
 
-  parallel::ThreadPool pool;
   perf::Stopwatch sw;
-  auto results = server.run(queries, 3, &pool);
+  service::BatchRequest batch;
+  batch.queries = queries;
+  batch.options.top_k = 3;
+  service::BatchResponse resp = server.submit_batch(std::move(batch)).get();
   double secs = sw.seconds();
 
   uint64_t cells = 0;
@@ -53,17 +60,29 @@ int main(int argc, char** argv) {
   std::printf("batch of %d queries served in %.3f s  (%.2f GCUPS aggregate)\n\n",
               clients, secs, perf::gcups(cells, secs));
 
+  // Exact re-alignment of each winner, again through the service (pairwise
+  // path, traceback override), futures collected before rendering.
+  std::vector<std::future<service::AlignResponse>> realigns(queries.size());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    if (resp.results[qi].result.hits.empty()) continue;
+    service::AlignRequest rq;
+    rq.query = queries[qi];
+    rq.reference = db[resp.results[qi].result.hits[0].seq_index];
+    rq.options.traceback = true;
+    realigns[qi] = server.submit(std::move(rq));
+  }
+
   perf::Table t({"query", "len", "best target", "score", "cigar (exact realign)",
                  "8-bit rescored"});
   for (size_t qi = 0; qi < queries.size(); ++qi) {
-    const auto& r = results[qi];
+    const auto& r = resp.results[qi];
     if (r.result.hits.empty()) {
       t.row({queries[qi].id(), std::to_string(queries[qi].length()), "-", "0", "-",
              std::to_string(r.batch_stats.rescored)});
       continue;
     }
     const align::Hit& top = r.result.hits[0];
-    core::Alignment exact = server.realign(queries[qi], top);
+    core::Alignment exact = realigns[qi].get().alignment;
     std::string cig = exact.cigar.to_string();
     if (cig.size() > 26) cig = cig.substr(0, 23) + "...";
     t.row({queries[qi].id(), std::to_string(queries[qi].length()),
@@ -73,5 +92,7 @@ int main(int argc, char** argv) {
   t.print(std::cout);
   std::puts("\n('8-bit rescored' = lanes that saturated the 8-bit batch kernel and");
   std::puts(" were re-scored exactly by the 16/32-bit diagonal ladder)");
+
+  std::fputs(server.metrics().to_string().c_str(), stdout);
   return 0;
 }

@@ -7,8 +7,9 @@
 
 namespace swve::align {
 
-namespace {
-int pick_lanes() {
+namespace engine {
+
+int batch_server_lanes() {
 #if defined(SWVE_HAVE_AVX512_BUILD)
   if (simd::resolve_isa(simd::Isa::Auto) == simd::Isa::Avx512 &&
       simd::cpu_features().avx512vbmi)
@@ -16,28 +17,27 @@ int pick_lanes() {
 #endif
   return 32;
 }
-}  // namespace
 
-BatchServer::BatchServer(const seq::SequenceDatabase& db, AlignConfig cfg)
-    : db_(&db), cfg_(cfg), bdb_(db, pick_lanes()) {
-  cfg_.validate();
-  cfg_.traceback = false;
-}
-
-std::vector<BatchQueryResult> BatchServer::run(const std::vector<seq::Sequence>& queries,
-                                               size_t top_k,
-                                               parallel::ThreadPool* pool) const {
+std::vector<BatchQueryResult> batch_run(const seq::SequenceDatabase& db,
+                                        const core::Batch32Db& bdb,
+                                        const core::AlignConfig& cfg,
+                                        const std::vector<seq::Sequence>& queries,
+                                        size_t top_k, const ExecContext& ctx) {
   std::vector<BatchQueryResult> out(queries.size());
 
   auto run_query = [&](size_t qi) {
     perf::Stopwatch sw;
-    core::Workspace ws;
     BatchQueryResult& r = out[qi];
     const seq::Sequence& q = queries[qi];
     r.result.query_length = q.length();
-    r.result.db_residues = db_->total_residues();
+    r.result.db_residues = db.total_residues();
+    if (ctx.should_stop()) {  // per-query cancellation/deadline check
+      r.result.truncated = true;
+      return;
+    }
+    core::Workspace ws;
     std::vector<int> scores =
-        core::batch_scores(q, bdb_, *db_, cfg_, ws, &r.batch_stats);
+        core::batch_scores(q, bdb, db, cfg, ws, &r.batch_stats);
     // Top-k over the score vector (index order => deterministic ties).
     std::vector<Hit> hits;
     for (size_t s = 0; s < scores.size(); ++s)
@@ -51,13 +51,35 @@ std::vector<BatchQueryResult> BatchServer::run(const std::vector<seq::Sequence>&
     r.result.seconds = sw.seconds();
   };
 
-  if (pool) {
-    pool->parallel_chunks(queries.size(),
-                          [&](size_t qi, unsigned) { run_query(qi); });
+  if (ctx.pool) {
+    ctx.pool->parallel_chunks(queries.size(),
+                              [&](size_t qi, unsigned) { run_query(qi); });
   } else {
     for (size_t qi = 0; qi < queries.size(); ++qi) run_query(qi);
   }
   return out;
+}
+
+}  // namespace engine
+
+BatchServer::BatchServer(const seq::SequenceDatabase& db, AlignConfig cfg)
+    : db_(&db), cfg_(cfg), bdb_(db, engine::batch_server_lanes()) {
+  cfg_.validate();
+  cfg_.traceback = false;
+}
+
+std::vector<BatchQueryResult> BatchServer::run(
+    const std::vector<seq::Sequence>& queries, size_t top_k,
+    parallel::ThreadPool* pool) const {
+  ExecContext ctx;
+  ctx.pool = pool;
+  return engine::batch_run(*db_, bdb_, cfg_, queries, top_k, ctx);
+}
+
+std::vector<BatchQueryResult> BatchServer::run(
+    const std::vector<seq::Sequence>& queries, size_t top_k,
+    const ExecContext& ctx) const {
+  return engine::batch_run(*db_, bdb_, cfg_, queries, top_k, ctx);
 }
 
 core::Alignment BatchServer::realign(const seq::Sequence& query, const Hit& hit) const {

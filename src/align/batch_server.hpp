@@ -4,6 +4,10 @@
 // inter-sequence 8-bit kernel with exact 16/32-bit re-scoring of saturated
 // lanes; queries fan out across threads. The paper found this batching
 // "enhances computational efficiency by a factor of two in some cases".
+//
+// Like scenario 1, the scoring loop lives in the stateless `engine`
+// namespace so the synchronous BatchServer facade and the async
+// service::AlignService run identical code.
 #pragma once
 
 #include <vector>
@@ -18,6 +22,24 @@ struct BatchQueryResult {
   core::BatchSearchStats batch_stats;
 };
 
+namespace engine {
+
+/// Stateless scenario-2 engine: score every query against the packed
+/// database; one top-k result per query, in query order (deterministic for
+/// any pool size). Cancellation/deadline is honored at per-query
+/// granularity: remaining queries come back with `result.truncated` set.
+std::vector<BatchQueryResult> batch_run(const seq::SequenceDatabase& db,
+                                        const core::Batch32Db& bdb,
+                                        const core::AlignConfig& cfg,
+                                        const std::vector<seq::Sequence>& queries,
+                                        size_t top_k, const ExecContext& ctx);
+
+/// Widest batch-kernel lane count this CPU supports (64 with
+/// AVX-512-VBMI, else 32).
+int batch_server_lanes();
+
+}  // namespace engine
+
 class BatchServer {
  public:
   /// Packs the database for the widest batch kernel this CPU supports
@@ -29,6 +51,10 @@ class BatchServer {
   std::vector<BatchQueryResult> run(const std::vector<seq::Sequence>& queries,
                                     size_t top_k,
                                     parallel::ThreadPool* pool = nullptr) const;
+
+  /// Run with an explicit execution context (pool + cancel + deadline).
+  std::vector<BatchQueryResult> run(const std::vector<seq::Sequence>& queries,
+                                    size_t top_k, const ExecContext& ctx) const;
 
   /// Re-align one hit exactly, with traceback, using the diagonal kernel.
   core::Alignment realign(const seq::Sequence& query, const Hit& hit) const;

@@ -1,6 +1,7 @@
 #include "align/db_search.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <mutex>
 #include <stdexcept>
 
@@ -34,16 +35,157 @@ class TopK {
   std::vector<Hit> hits_;
 };
 
-}  // namespace
-
-namespace {
 int batch_lanes() {
   return simd::resolve_isa(simd::Isa::Auto) == simd::Isa::Avx512 &&
                  simd::cpu_features().avx512vbmi
              ? 64
              : 32;
 }
+
 }  // namespace
+
+namespace engine {
+
+SearchResult search_batch(const seq::SequenceDatabase& db,
+                          const core::Batch32Db& bdb,
+                          const core::AlignConfig& cfg, seq::SeqView query,
+                          size_t top_k, const ExecContext& ctx) {
+  perf::Stopwatch sw;
+  SearchResult out;
+  out.query_length = query.length;
+  out.db_residues = db.total_residues();
+  if (db.empty() || query.empty()) return out;
+
+  // Phase 1: score every sequence through the batch kernel, batches fanned
+  // out across threads (disjoint writes by original sequence index).
+  std::vector<int> scores(db.size(), 0);
+  core::BatchSearchStats agg{};
+  std::mutex agg_mu;
+  std::atomic<bool> truncated{false};
+  auto score_batches = [&](size_t b_begin, size_t b_end) {
+    core::Workspace ws;
+    core::BatchSearchStats local{};
+    core::AlignConfig wide = cfg;
+    wide.width = core::Width::W16;
+    for (size_t b = b_begin; b < b_end; ++b) {
+      if (ctx.should_stop()) {  // per-batch cancellation/deadline check
+        truncated.store(true, std::memory_order_relaxed);
+        break;
+      }
+      core::Batch32Db::Batch batch = bdb.batch(b);
+      core::Batch8Result r8 = core::batch32_align_u8(
+          query, batch, bdb.lanes(), cfg, ws, simd::resolve_isa(cfg.isa));
+      local.cells8 += static_cast<uint64_t>(batch.max_len) * query.length *
+                      static_cast<uint64_t>(bdb.lanes());
+      for (uint32_t k = 0; k < batch.count; ++k) {
+        const uint32_t seq_idx = batch.seq_index[k];
+        if (r8.saturated_mask & (uint64_t{1} << k)) {
+          core::Alignment a = core::diag_align(query, db[seq_idx], wide, ws);
+          if (a.saturated) {
+            core::AlignConfig w32 = wide;
+            w32.width = core::Width::W32;
+            a = core::diag_align(query, db[seq_idx], w32, ws);
+          }
+          scores[seq_idx] = a.score;
+          ++local.rescored;
+          local.rescored_cells += a.stats.cells;
+        } else {
+          scores[seq_idx] = r8.max_score[k];
+        }
+      }
+    }
+    std::lock_guard<std::mutex> lk(agg_mu);
+    agg.cells8 += local.cells8;
+    agg.rescored += local.rescored;
+    agg.rescored_cells += local.rescored_cells;
+  };
+  if (ctx.pool) {
+    ctx.pool->parallel_for(
+        bdb.batch_count(),
+        [&](size_t b, size_t e, unsigned) { score_batches(b, e); });
+  } else {
+    score_batches(0, bdb.batch_count());
+  }
+  out.truncated = truncated.load(std::memory_order_relaxed);
+  if (out.truncated) {  // partial answer; skip the exact re-alignment pass
+    out.seconds = sw.seconds();
+    return out;
+  }
+
+  // Phase 2: top-k over the score vector (index order => deterministic),
+  // then exact re-alignment of just the winners for end positions.
+  TopK top(top_k);
+  for (size_t s = 0; s < scores.size(); ++s)
+    top.offer(Hit{static_cast<uint32_t>(s), scores[s], -1, -1});
+  out.hits = std::move(top).sorted();
+  core::Workspace ws;
+  for (Hit& h : out.hits) {
+    core::Alignment a = core::diag_align(query, db[h.seq_index], cfg, ws);
+    h.end_query = a.end_query;
+    h.end_ref = a.end_ref;
+    out.stats += a.stats;
+  }
+  out.stats.cells += agg.cells8 + agg.rescored_cells;
+  out.stats.vector_cells += agg.cells8;
+  out.seconds = sw.seconds();
+  return out;
+}
+
+SearchResult search_diagonal(const seq::SequenceDatabase& db,
+                             const core::AlignConfig& cfg, seq::SeqView query,
+                             size_t top_k, const ExecContext& ctx) {
+  perf::Stopwatch sw;
+  SearchResult out;
+  out.query_length = query.length;
+  out.db_residues = db.total_residues();
+  if (db.empty() || query.empty()) return out;
+
+  const unsigned parts = ctx.pool ? ctx.pool->size() : 1u;
+  auto ranges = parallel::partition_by_residues(db, parts);
+  std::vector<std::vector<Hit>> part_hits(parts);
+  std::vector<core::KernelStats> part_stats(parts);
+  std::atomic<bool> truncated{false};
+
+  auto run_part = [&](unsigned p) {
+    auto [begin, end] = ranges[p];
+    if (begin >= end) return;
+    core::Workspace ws;
+    TopK top(top_k);
+    core::KernelStats stats;
+    for (size_t s = begin; s < end; ++s) {
+      if (ctx.should_stop()) {  // per-sequence cancellation/deadline check
+        truncated.store(true, std::memory_order_relaxed);
+        break;
+      }
+      core::Alignment a = core::diag_align(query, db[s], cfg, ws);
+      stats += a.stats;
+      top.offer(Hit{static_cast<uint32_t>(s), a.score, a.end_query, a.end_ref});
+    }
+    part_hits[p] = std::move(top).sorted();
+    part_stats[p] = stats;
+  };
+
+  if (ctx.pool) {
+    ctx.pool->parallel_for(parts, [&](size_t b, size_t e, unsigned) {
+      for (size_t p = b; p < e; ++p) run_part(static_cast<unsigned>(p));
+    });
+  } else {
+    run_part(0);
+  }
+
+  // Deterministic merge in partition order, then global top-k.
+  TopK merged(top_k);
+  for (unsigned p = 0; p < parts; ++p) {
+    out.stats += part_stats[p];
+    for (const Hit& h : part_hits[p]) merged.offer(h);
+  }
+  out.hits = std::move(merged).sorted();
+  out.truncated = truncated.load(std::memory_order_relaxed);
+  out.seconds = sw.seconds();
+  return out;
+}
+
+}  // namespace engine
 
 DatabaseSearch::DatabaseSearch(const seq::SequenceDatabase& db, AlignConfig cfg,
                                SearchMode mode)
@@ -59,128 +201,16 @@ DatabaseSearch::DatabaseSearch(const seq::SequenceDatabase& db, AlignConfig cfg,
 
 SearchResult DatabaseSearch::search(seq::SeqView query, size_t top_k,
                                     parallel::ThreadPool* pool) const {
-  return mode_ == SearchMode::Batch ? search_batch(query, top_k, pool)
-                                    : search_diagonal(query, top_k, pool);
+  ExecContext ctx;
+  ctx.pool = pool;
+  return search(query, top_k, ctx);
 }
 
-SearchResult DatabaseSearch::search_batch(seq::SeqView query, size_t top_k,
-                                          parallel::ThreadPool* pool) const {
-  perf::Stopwatch sw;
-  SearchResult out;
-  out.query_length = query.length;
-  out.db_residues = db_->total_residues();
-  if (db_->empty() || query.empty()) return out;
-
-  // Phase 1: score every sequence through the batch kernel, batches fanned
-  // out across threads (disjoint writes by original sequence index).
-  std::vector<int> scores(db_->size(), 0);
-  core::BatchSearchStats agg{};
-  std::mutex agg_mu;
-  auto score_batches = [&](size_t b_begin, size_t b_end) {
-    core::Workspace ws;
-    core::BatchSearchStats local{};
-    core::AlignConfig wide = cfg_;
-    wide.width = core::Width::W16;
-    for (size_t b = b_begin; b < b_end; ++b) {
-      core::Batch32Db::Batch batch = bdb_->batch(b);
-      core::Batch8Result r8 = core::batch32_align_u8(
-          query, batch, bdb_->lanes(), cfg_, ws,
-          simd::resolve_isa(cfg_.isa));
-      local.cells8 += static_cast<uint64_t>(batch.max_len) * query.length *
-                      static_cast<uint64_t>(bdb_->lanes());
-      for (uint32_t k = 0; k < batch.count; ++k) {
-        const uint32_t seq_idx = batch.seq_index[k];
-        if (r8.saturated_mask & (uint64_t{1} << k)) {
-          core::Alignment a = core::diag_align(query, (*db_)[seq_idx], wide, ws);
-          if (a.saturated) {
-            core::AlignConfig w32 = wide;
-            w32.width = core::Width::W32;
-            a = core::diag_align(query, (*db_)[seq_idx], w32, ws);
-          }
-          scores[seq_idx] = a.score;
-          ++local.rescored;
-          local.rescored_cells += a.stats.cells;
-        } else {
-          scores[seq_idx] = r8.max_score[k];
-        }
-      }
-    }
-    std::lock_guard<std::mutex> lk(agg_mu);
-    agg.cells8 += local.cells8;
-    agg.rescored += local.rescored;
-    agg.rescored_cells += local.rescored_cells;
-  };
-  if (pool) {
-    pool->parallel_for(bdb_->batch_count(),
-                       [&](size_t b, size_t e, unsigned) { score_batches(b, e); });
-  } else {
-    score_batches(0, bdb_->batch_count());
-  }
-
-  // Phase 2: top-k over the score vector (index order => deterministic),
-  // then exact re-alignment of just the winners for end positions.
-  TopK top(top_k);
-  for (size_t s = 0; s < scores.size(); ++s)
-    top.offer(Hit{static_cast<uint32_t>(s), scores[s], -1, -1});
-  out.hits = std::move(top).sorted();
-  core::Workspace ws;
-  for (Hit& h : out.hits) {
-    core::Alignment a = core::diag_align(query, (*db_)[h.seq_index], cfg_, ws);
-    h.end_query = a.end_query;
-    h.end_ref = a.end_ref;
-    out.stats += a.stats;
-  }
-  out.stats.cells += agg.cells8 + agg.rescored_cells;
-  out.stats.vector_cells += agg.cells8;
-  out.seconds = sw.seconds();
-  return out;
-}
-
-SearchResult DatabaseSearch::search_diagonal(seq::SeqView query, size_t top_k,
-                                             parallel::ThreadPool* pool) const {
-  perf::Stopwatch sw;
-  SearchResult out;
-  out.query_length = query.length;
-  out.db_residues = db_->total_residues();
-  if (db_->empty() || query.empty()) return out;
-
-  const unsigned parts = pool ? pool->size() : 1u;
-  auto ranges = parallel::partition_by_residues(*db_, parts);
-  std::vector<std::vector<Hit>> part_hits(parts);
-  std::vector<core::KernelStats> part_stats(parts);
-
-  auto run_part = [&](unsigned p) {
-    auto [begin, end] = ranges[p];
-    if (begin >= end) return;
-    core::Workspace ws;
-    TopK top(top_k);
-    core::KernelStats stats;
-    for (size_t s = begin; s < end; ++s) {
-      core::Alignment a = core::diag_align(query, (*db_)[s], cfg_, ws);
-      stats += a.stats;
-      top.offer(Hit{static_cast<uint32_t>(s), a.score, a.end_query, a.end_ref});
-    }
-    part_hits[p] = std::move(top).sorted();
-    part_stats[p] = stats;
-  };
-
-  if (pool) {
-    pool->parallel_for(parts, [&](size_t b, size_t e, unsigned) {
-      for (size_t p = b; p < e; ++p) run_part(static_cast<unsigned>(p));
-    });
-  } else {
-    run_part(0);
-  }
-
-  // Deterministic merge in partition order, then global top-k.
-  TopK merged(top_k);
-  for (unsigned p = 0; p < parts; ++p) {
-    out.stats += part_stats[p];
-    for (const Hit& h : part_hits[p]) merged.offer(h);
-  }
-  out.hits = std::move(merged).sorted();
-  out.seconds = sw.seconds();
-  return out;
+SearchResult DatabaseSearch::search(seq::SeqView query, size_t top_k,
+                                    const ExecContext& ctx) const {
+  return mode_ == SearchMode::Batch
+             ? engine::search_batch(*db_, *bdb_, cfg_, query, top_k, ctx)
+             : engine::search_diagonal(*db_, cfg_, query, top_k, ctx);
 }
 
 }  // namespace swve::align

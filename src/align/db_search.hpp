@@ -1,5 +1,11 @@
 // Scenario 1: one query streamed against a sequence database, partitioned
 // across threads by residue count, with deterministic top-k merging.
+//
+// The actual search loops live in the stateless `engine` namespace: they
+// take the database, config, and an ExecContext (pool / cancellation /
+// deadline) explicitly, so both the synchronous DatabaseSearch facade and
+// the async service::AlignService drive the exact same code and get
+// bit-identical results.
 #pragma once
 
 #include <cstdint>
@@ -7,6 +13,7 @@
 #include <vector>
 
 #include "align/aligner.hpp"
+#include "align/exec_context.hpp"
 #include "core/batch32.hpp"
 #include "parallel/thread_pool.hpp"
 #include "seq/database.hpp"
@@ -33,6 +40,10 @@ struct SearchResult {
   double seconds = 0;
   uint64_t query_length = 0;
   uint64_t db_residues = 0;
+  /// True when the engine stopped early (cancellation or deadline); hits
+  /// then cover only the sequences scanned before the stop and must not be
+  /// treated as a complete answer.
+  bool truncated = false;
   double gcups() const {
     return seconds > 0
                ? static_cast<double>(query_length) *
@@ -53,6 +64,28 @@ enum class SearchMode {
   Batch,
 };
 
+namespace engine {
+
+/// Stateless scenario-1 engine, diagonal-kernel path. `cfg` must already be
+/// validated with traceback off. Deterministic for any pool size; honors
+/// ctx cancellation/deadline at per-sequence granularity.
+SearchResult search_diagonal(const seq::SequenceDatabase& db,
+                             const core::AlignConfig& cfg, seq::SeqView query,
+                             size_t top_k, const ExecContext& ctx);
+
+/// Stateless scenario-1 engine, batch32-kernel path. `bdb` is the database
+/// packed for the batch kernel (see core::Batch32Db); cancellation/deadline
+/// is honored at per-batch granularity.
+SearchResult search_batch(const seq::SequenceDatabase& db,
+                          const core::Batch32Db& bdb,
+                          const core::AlignConfig& cfg, seq::SeqView query,
+                          size_t top_k, const ExecContext& ctx);
+
+}  // namespace engine
+
+/// Synchronous facade over the engines (owns the packed database in Batch
+/// mode). service::AlignService is the asynchronous, instrumented front
+/// door over the same engines.
 class DatabaseSearch {
  public:
   DatabaseSearch(const seq::SequenceDatabase& db, AlignConfig cfg,
@@ -63,14 +96,13 @@ class DatabaseSearch {
   SearchResult search(seq::SeqView query, size_t top_k,
                       parallel::ThreadPool* pool = nullptr) const;
 
+  /// Search with an explicit execution context (pool + cancel + deadline).
+  SearchResult search(seq::SeqView query, size_t top_k,
+                      const ExecContext& ctx) const;
+
   SearchMode mode() const noexcept { return mode_; }
 
  private:
-  SearchResult search_diagonal(seq::SeqView query, size_t top_k,
-                               parallel::ThreadPool* pool) const;
-  SearchResult search_batch(seq::SeqView query, size_t top_k,
-                            parallel::ThreadPool* pool) const;
-
   const seq::SequenceDatabase* db_;
   AlignConfig cfg_;
   SearchMode mode_;

@@ -1,5 +1,6 @@
 #include "core/dispatch.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <mutex>
 #include <stdexcept>
@@ -59,18 +60,35 @@ ScoreDelivery calibrate_delivery(simd::Isa isa) {
   return best;
 }
 
+int delivery_slot(simd::Isa isa) {
+  return isa == simd::Isa::Avx512  ? 3
+         : isa == simd::Isa::Avx2  ? 2
+         : isa == simd::Isa::Sse41 ? 1
+                                   : 0;
+}
+
+// Per-ISA pins (Auto == not pinned). Checked before the calibration cache
+// so tests/services can force a path without re-running calibration.
+std::atomic<ScoreDelivery> g_delivery_override[4] = {
+    ScoreDelivery::Auto, ScoreDelivery::Auto, ScoreDelivery::Auto,
+    ScoreDelivery::Auto};
+
+}  // namespace
+
 ScoreDelivery resolved_delivery(simd::Isa isa) {
+  const int idx = delivery_slot(isa);
+  ScoreDelivery pinned = g_delivery_override[idx].load(std::memory_order_acquire);
+  if (pinned != ScoreDelivery::Auto) return pinned;
   static std::once_flag once[4];
   static ScoreDelivery cache[4];
-  int idx = isa == simd::Isa::Avx512  ? 3
-            : isa == simd::Isa::Avx2  ? 2
-            : isa == simd::Isa::Sse41 ? 1
-                                      : 0;
   std::call_once(once[idx], [&] { cache[idx] = calibrate_delivery(isa); });
   return cache[idx];
 }
 
-}  // namespace
+void set_delivery_override(simd::Isa isa, ScoreDelivery delivery) {
+  g_delivery_override[delivery_slot(isa)].store(delivery,
+                                                std::memory_order_release);
+}
 
 DiagOutput run_diag_kernel(const DiagRequest& rq, simd::Isa isa, Width width) {
   if (width == Width::Adaptive)

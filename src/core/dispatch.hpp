@@ -28,6 +28,17 @@ DiagOutput diag_avx512(const DiagRequest& rq, Width width);
 /// resolved (not Auto) and available on this CPU.
 DiagOutput run_diag_kernel(const DiagRequest& rq, simd::Isa isa, Width width);
 
+/// The concrete ScoreDelivery that ScoreDelivery::Auto resolves to for a
+/// resolved `isa`: the per-ISA override if one is pinned, else the cached
+/// one-time micro-calibration result for this machine.
+ScoreDelivery resolved_delivery(simd::Isa isa);
+
+/// Pin what Auto resolves to for `isa` (tests and the service use this to
+/// fix a delivery path deterministically instead of depending on hidden
+/// calibration state). Passing ScoreDelivery::Auto clears the pin and
+/// re-enables calibration. Thread-safe; takes effect for subsequent calls.
+void set_delivery_override(simd::Isa isa, ScoreDelivery delivery);
+
 /// Full alignment through the diagonal kernel family: resolves the ISA,
 /// runs the adaptive width ladder, and (if requested) walks the traceback.
 /// This is the paper's aligner; align::Aligner wraps it for public use.

@@ -1,0 +1,97 @@
+// Non-throwing error propagation for configuration and request validation.
+//
+// The async service executes requests on worker threads, where a thrown
+// std::invalid_argument would either kill the thread or need ad-hoc
+// try/catch at every call site. Instead, validation has a non-throwing
+// variant (`AlignConfig::try_validate()`) returning an ErrorOr<void> —
+// a C++20-compatible stand-in for std::expected<T, ConfigError> — so a bad
+// request can fail its future with a machine-readable code.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace swve::core {
+
+/// Machine-readable failure description for configuration and service
+/// request validation.
+struct ConfigError {
+  enum class Code {
+    Ok = 0,
+    MissingMatrix,        ///< Matrix scheme with a null matrix pointer
+    NegativeGapPenalty,   ///< gap_open or gap_extend < 0
+    OpenLessThanExtend,   ///< affine gap_open < gap_extend
+    MatchLessThanMismatch,///< Fixed scheme with match < mismatch
+    EmptyRequest,         ///< request carries no sequences / queries
+    NoDatabase,           ///< search/batch submitted to a db-less service
+    QueueFull,            ///< submission queue at capacity (backpressure)
+    DeadlineExceeded,     ///< request deadline passed (queued or mid-run)
+    ShuttingDown,         ///< service is stopping; request not accepted
+    Unsupported,          ///< valid config, unsupported combination
+    Internal,             ///< unexpected failure (see message)
+  };
+
+  Code code = Code::Internal;
+  std::string message;
+
+  /// Short stable identifier for logs/metrics ("queue_full", ...).
+  static const char* code_name(Code c) noexcept {
+    switch (c) {
+      case Code::Ok: return "ok";
+      case Code::MissingMatrix: return "missing_matrix";
+      case Code::NegativeGapPenalty: return "negative_gap_penalty";
+      case Code::OpenLessThanExtend: return "open_less_than_extend";
+      case Code::MatchLessThanMismatch: return "match_less_than_mismatch";
+      case Code::EmptyRequest: return "empty_request";
+      case Code::NoDatabase: return "no_database";
+      case Code::QueueFull: return "queue_full";
+      case Code::DeadlineExceeded: return "deadline_exceeded";
+      case Code::ShuttingDown: return "shutting_down";
+      case Code::Unsupported: return "unsupported";
+      case Code::Internal: return "internal";
+    }
+    return "unknown";
+  }
+};
+
+/// std::expected<T, ConfigError>-style result type (C++20-compatible).
+/// Either holds a T or a ConfigError; contextually convertible to bool.
+template <typename T>
+class ErrorOr {
+ public:
+  ErrorOr(T value) : v_(std::move(value)) {}           // NOLINT(implicit)
+  ErrorOr(ConfigError err) : v_(std::move(err)) {}     // NOLINT(implicit)
+
+  bool ok() const noexcept { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  T& value() & { return std::get<T>(v_); }
+  const T& value() const& { return std::get<T>(v_); }
+  T&& value() && { return std::get<T>(std::move(v_)); }
+  const ConfigError& error() const { return std::get<ConfigError>(v_); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  std::variant<T, ConfigError> v_;
+};
+
+/// ErrorOr<void>: success carries nothing; default-constructed == success.
+template <>
+class ErrorOr<void> {
+ public:
+  ErrorOr() = default;                                  // success
+  ErrorOr(ConfigError err) : err_(std::move(err)), ok_(false) {}  // NOLINT
+
+  bool ok() const noexcept { return ok_; }
+  explicit operator bool() const noexcept { return ok_; }
+  const ConfigError& error() const { return err_; }
+
+ private:
+  ConfigError err_;
+  bool ok_ = true;
+};
+
+}  // namespace swve::core

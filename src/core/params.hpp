@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "core/error.hpp"
 #include "matrix/score_matrix.hpp"
 #include "simd/cpu.hpp"
 
@@ -77,16 +78,31 @@ struct AlignConfig {
     return mn < 0 ? -mn : 0;
   }
 
-  void validate() const {
+  /// Non-throwing validation: returns the first problem found as a
+  /// machine-readable ConfigError. The async service uses this so a bad
+  /// request fails its future instead of throwing on a worker thread.
+  ErrorOr<void> try_validate() const {
+    using Code = ConfigError::Code;
     if (scheme == ScoreScheme::Matrix && matrix == nullptr)
-      throw std::invalid_argument("AlignConfig: Matrix scheme needs a matrix");
+      return ConfigError{Code::MissingMatrix,
+                         "AlignConfig: Matrix scheme needs a matrix"};
     if (gap_open < 0 || gap_extend < 0)
-      throw std::invalid_argument("AlignConfig: gap penalties must be >= 0");
+      return ConfigError{Code::NegativeGapPenalty,
+                         "AlignConfig: gap penalties must be >= 0"};
     if (gap_model == GapModel::Affine && gap_open < gap_extend)
-      throw std::invalid_argument(
-          "AlignConfig: affine gap_open must be >= gap_extend");
+      return ConfigError{Code::OpenLessThanExtend,
+                         "AlignConfig: affine gap_open must be >= gap_extend"};
     if (scheme == ScoreScheme::Fixed && match < mismatch)
-      throw std::invalid_argument("AlignConfig: match < mismatch");
+      return ConfigError{Code::MatchLessThanMismatch,
+                         "AlignConfig: match < mismatch"};
+    return {};
+  }
+
+  /// Throwing validation (synchronous API). Prefer try_validate() on
+  /// threads that must not unwind.
+  void validate() const {
+    if (auto st = try_validate(); !st)
+      throw std::invalid_argument(st.error().message);
   }
 };
 

@@ -1,0 +1,131 @@
+#include "perf/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace swve::perf {
+
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+// Bucket index for a microsecond sample: 0 for <1us, else 1+floor(log2(us)),
+// clamped to the last bucket.
+int bucket_of(uint64_t us) noexcept {
+  if (us == 0) return 0;
+  int b = std::bit_width(us);  // us in [2^(b-1), 2^b)
+  return std::min(b, LatencyHistogram::kBuckets - 1);
+}
+
+// Upper bound of bucket i, in seconds (used as the percentile estimate).
+double bucket_upper_s(int i) noexcept {
+  return static_cast<double>(uint64_t{1} << i) * 1e-6;
+}
+
+std::string format_seconds(double s) {
+  char buf[32];
+  if (s < 1e-3)
+    std::snprintf(buf, sizeof buf, "%.0fus", s * 1e6);
+  else if (s < 1.0)
+    std::snprintf(buf, sizeof buf, "%.2fms", s * 1e3);
+  else
+    std::snprintf(buf, sizeof buf, "%.3fs", s);
+  return buf;
+}
+
+std::string format_hist(const char* name, const LatencyHistogram::Snapshot& h) {
+  std::string out = name;
+  out += ": n=" + std::to_string(h.count);
+  if (h.count > 0) {
+    out += " mean=" + format_seconds(h.mean_s);
+    out += " p50<" + format_seconds(h.p50_s);
+    out += " p90<" + format_seconds(h.p90_s);
+    out += " p99<" + format_seconds(h.p99_s);
+    out += " max=" + format_seconds(h.max_s);
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace
+
+void LatencyHistogram::record(double seconds) noexcept {
+  if (seconds < 0) seconds = 0;
+  const uint64_t us = static_cast<uint64_t>(seconds * 1e6);
+  buckets_[bucket_of(us)].fetch_add(1, kRelaxed);
+  count_.fetch_add(1, kRelaxed);
+  sum_us_.fetch_add(us, kRelaxed);
+  uint64_t prev = max_us_.load(kRelaxed);
+  while (us > prev && !max_us_.compare_exchange_weak(prev, us, kRelaxed)) {
+  }
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const noexcept {
+  Snapshot s;
+  for (int i = 0; i < kBuckets; ++i) s.buckets[i] = buckets_[i].load(kRelaxed);
+  s.count = count_.load(kRelaxed);
+  s.max_s = static_cast<double>(max_us_.load(kRelaxed)) * 1e-6;
+  if (s.count == 0) return s;
+  s.mean_s = static_cast<double>(sum_us_.load(kRelaxed)) * 1e-6 /
+             static_cast<double>(s.count);
+
+  // Percentiles from the bucket boundaries (upper bound of the bucket the
+  // rank falls into, so "p99 < X").
+  auto percentile = [&](double q) {
+    const uint64_t rank =
+        std::max<uint64_t>(1, static_cast<uint64_t>(q * static_cast<double>(s.count) + 0.5));
+    uint64_t cum = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      cum += s.buckets[i];
+      if (cum >= rank) return bucket_upper_s(i);
+    }
+    return s.max_s;
+  };
+  s.p50_s = percentile(0.50);
+  s.p90_s = percentile(0.90);
+  s.p99_s = percentile(0.99);
+  return s;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const noexcept {
+  MetricsSnapshot s;
+  s.submitted = submitted_.load(kRelaxed);
+  s.completed = completed_.load(kRelaxed);
+  s.rejected_queue_full = rejected_queue_full_.load(kRelaxed);
+  s.deadline_expired = deadline_expired_.load(kRelaxed);
+  s.invalid_request = invalid_request_.load(kRelaxed);
+  s.aborted = aborted_.load(kRelaxed);
+  s.pairwise = by_scenario_[0].load(kRelaxed);
+  s.search = by_scenario_[1].load(kRelaxed);
+  s.batch = by_scenario_[2].load(kRelaxed);
+  s.cells = cells_.load(kRelaxed);
+  s.kernel_seconds = static_cast<double>(kernel_ns_.load(kRelaxed)) * 1e-9;
+  s.queue_wait = queue_wait_.snapshot();
+  s.kernel_time = kernel_time_.snapshot();
+  return s;
+}
+
+std::string MetricsSnapshot::to_string() const {
+  std::string out;
+  out += "== swve service metrics ==\n";
+  out += "requests: submitted " + std::to_string(submitted) + ", completed " +
+         std::to_string(completed) + ", rejected(queue-full) " +
+         std::to_string(rejected_queue_full) + ", deadline-expired " +
+         std::to_string(deadline_expired) + ", invalid " +
+         std::to_string(invalid_request) + ", aborted " +
+         std::to_string(aborted) + "\n";
+  out += "scenarios: pairwise " + std::to_string(pairwise) + ", search " +
+         std::to_string(search) + ", batch " + std::to_string(batch) + "\n";
+  char line[128];
+  std::snprintf(line, sizeof line,
+                "kernel: %llu cells in %.3f s, aggregate %.2f GCUPS\n",
+                static_cast<unsigned long long>(cells), kernel_seconds,
+                aggregate_gcups());
+  out += line;
+  out += format_hist("queue-wait", queue_wait);
+  out += format_hist("kernel-time", kernel_time);
+  return out;
+}
+
+}  // namespace swve::perf

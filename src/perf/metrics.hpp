@@ -1,0 +1,123 @@
+// Service observability: lock-free counters and latency/GCUPS histograms.
+//
+// A MetricsRegistry is owned by service::AlignService and updated from its
+// executor threads with relaxed atomics — recording a sample is a handful
+// of fetch_adds, cheap enough to sit on the per-request path. snapshot()
+// gives a consistent-enough point-in-time copy for dashboards/CLI dumps
+// (counters are read individually; exactness across counters is not
+// required for monitoring).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace swve::perf {
+
+/// Lock-free log2-scale latency histogram. Bucket 0 holds samples < 1 us;
+/// bucket i (i >= 1) holds samples in [2^(i-1), 2^i) microseconds; the last
+/// bucket absorbs everything beyond ~35 minutes.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 32;
+
+  void record(double seconds) noexcept;
+
+  struct Snapshot {
+    uint64_t count = 0;
+    double mean_s = 0;
+    double max_s = 0;
+    double p50_s = 0;
+    double p90_s = 0;
+    double p99_s = 0;
+    std::array<uint64_t, kBuckets> buckets{};
+  };
+  Snapshot snapshot() const noexcept;
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_us_{0};
+  std::atomic<uint64_t> max_us_{0};
+};
+
+/// Point-in-time copy of a MetricsRegistry.
+struct MetricsSnapshot {
+  // Request lifecycle counters.
+  uint64_t submitted = 0;           ///< accepted into the queue
+  uint64_t completed = 0;           ///< future fulfilled with a result
+  uint64_t rejected_queue_full = 0; ///< backpressure rejections at submit
+  uint64_t deadline_expired = 0;    ///< expired in queue or mid-run
+  uint64_t invalid_request = 0;     ///< failed validation (bad config/empty)
+  uint64_t aborted = 0;             ///< failed at shutdown before running
+
+  // Completed requests by scenario.
+  uint64_t pairwise = 0;
+  uint64_t search = 0;
+  uint64_t batch = 0;
+
+  // Aggregate kernel work (completed requests only).
+  uint64_t cells = 0;               ///< DP cells computed
+  double kernel_seconds = 0;        ///< summed kernel (execution) time
+
+  LatencyHistogram::Snapshot queue_wait;
+  LatencyHistogram::Snapshot kernel_time;
+
+  /// Aggregate throughput over every completed request.
+  double aggregate_gcups() const noexcept {
+    return kernel_seconds > 0
+               ? static_cast<double>(cells) / kernel_seconds / 1e9
+               : 0.0;
+  }
+
+  /// Human-readable multi-line dump (the `swve --metrics` format).
+  std::string to_string() const;
+};
+
+/// Atomic counters + histograms; one per AlignService. All members are
+/// individually thread-safe; see MetricsSnapshot for the read side.
+class MetricsRegistry {
+ public:
+  enum class Scenario : int { Pairwise = 0, Search = 1, Batch = 2 };
+
+  void on_submitted() noexcept { submitted_.fetch_add(1, kRelaxed); }
+  void on_rejected_queue_full() noexcept {
+    rejected_queue_full_.fetch_add(1, kRelaxed);
+  }
+  void on_deadline_expired() noexcept {
+    deadline_expired_.fetch_add(1, kRelaxed);
+  }
+  void on_invalid_request() noexcept { invalid_request_.fetch_add(1, kRelaxed); }
+  void on_aborted() noexcept { aborted_.fetch_add(1, kRelaxed); }
+
+  void on_queue_wait(double seconds) noexcept { queue_wait_.record(seconds); }
+
+  void on_completed(Scenario s, double kernel_seconds,
+                    uint64_t cells) noexcept {
+    completed_.fetch_add(1, kRelaxed);
+    by_scenario_[static_cast<int>(s)].fetch_add(1, kRelaxed);
+    cells_.fetch_add(cells, kRelaxed);
+    kernel_ns_.fetch_add(static_cast<uint64_t>(kernel_seconds * 1e9), kRelaxed);
+    kernel_time_.record(kernel_seconds);
+  }
+
+  MetricsSnapshot snapshot() const noexcept;
+
+ private:
+  static constexpr auto kRelaxed = std::memory_order_relaxed;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> rejected_queue_full_{0};
+  std::atomic<uint64_t> deadline_expired_{0};
+  std::atomic<uint64_t> invalid_request_{0};
+  std::atomic<uint64_t> aborted_{0};
+  std::array<std::atomic<uint64_t>, 3> by_scenario_{};
+  std::atomic<uint64_t> cells_{0};
+  std::atomic<uint64_t> kernel_ns_{0};
+  LatencyHistogram queue_wait_;
+  LatencyHistogram kernel_time_;
+};
+
+}  // namespace swve::perf

@@ -1,0 +1,379 @@
+#include "service/align_service.hpp"
+
+#include <utility>
+
+#include "core/dispatch.hpp"
+#include "perf/timer.hpp"
+
+namespace swve::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using Code = core::ConfigError::Code;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+template <typename R>
+void fail_promise(const std::shared_ptr<std::promise<R>>& prom,
+                  ServiceError err) {
+  prom->set_exception(std::make_exception_ptr(std::move(err)));
+}
+
+/// Delivery path the kernel will actually use under `cfg` at `isa`.
+core::ScoreDelivery effective_delivery(const core::AlignConfig& cfg,
+                                       simd::Isa isa) {
+  if (cfg.scheme != core::ScoreScheme::Matrix) return cfg.delivery;
+  return cfg.delivery == core::ScoreDelivery::Auto
+             ? core::resolved_delivery(isa)
+             : cfg.delivery;
+}
+
+}  // namespace
+
+AlignService::AlignService(ServiceOptions options)
+    : opt_(options), pool_(options.pool_threads), paused_(options.start_paused) {
+  opt_.config.validate();
+  if (opt_.executors == 0) opt_.executors = 1;
+  if (opt_.queue_capacity == 0) opt_.queue_capacity = 1;
+  executors_.reserve(opt_.executors);
+  for (unsigned e = 0; e < opt_.executors; ++e)
+    executors_.emplace_back([this] { executor_loop(); });
+}
+
+AlignService::AlignService(const seq::SequenceDatabase& db,
+                           ServiceOptions options)
+    : AlignService(std::move(options)) {
+  db_ = &db;
+  // Pack once, up front, before any request can arrive (executors are
+  // already running but the queue is still empty while we're here only if
+  // the caller hasn't submitted yet — which it can't: it has no handle).
+  bdb_ = std::make_unique<core::Batch32Db>(db, align::engine::batch_server_lanes());
+}
+
+AlignService::~AlignService() {
+  std::deque<Task> leftover;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+    leftover.swap(queue_);
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  for (auto& t : executors_) t.join();
+  for (auto& t : leftover) t.run(/*aborted=*/true);
+}
+
+size_t AlignService::queue_depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+void AlignService::pause() {
+  std::lock_guard<std::mutex> lk(mu_);
+  paused_ = true;
+}
+
+void AlignService::resume() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+void AlignService::executor_loop() {
+  for (;;) {
+    Task t;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || (!paused_ && !queue_.empty()); });
+      if (stop_) return;
+      t = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    space_cv_.notify_one();
+    t.run(/*aborted=*/false);
+  }
+}
+
+bool AlignService::enqueue(Task task,
+                           const std::function<void(ServiceError)>& reject) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (opt_.overflow == ServiceOptions::Overflow::Block) {
+    space_cv_.wait(lk, [&] {
+      return stop_ || queue_.size() < opt_.queue_capacity;
+    });
+  }
+  if (stop_) {
+    lk.unlock();
+    metrics_.on_aborted();
+    reject(ServiceError(Code::ShuttingDown, "AlignService: shutting down"));
+    return false;
+  }
+  if (queue_.size() >= opt_.queue_capacity) {
+    lk.unlock();
+    metrics_.on_rejected_queue_full();
+    reject(ServiceError(Code::QueueFull,
+                        "AlignService: submission queue at capacity (" +
+                            std::to_string(opt_.queue_capacity) + ")"));
+    return false;
+  }
+  queue_.push_back(std::move(task));
+  metrics_.on_submitted();
+  lk.unlock();
+  work_cv_.notify_one();
+  return true;
+}
+
+core::ErrorOr<core::AlignConfig> AlignService::effective_config(
+    const RequestOptions& options) const {
+  core::AlignConfig cfg = options.config ? *options.config : opt_.config;
+  if (auto st = cfg.try_validate(); !st) return st.error();
+  return cfg;
+}
+
+RequestTrace AlignService::make_trace(Scenario scenario,
+                                      const core::AlignConfig& cfg,
+                                      double queue_wait_s, double kernel_s,
+                                      uint64_t cells, uint64_t retries) const {
+  RequestTrace tr;
+  tr.scenario = scenario;
+  tr.queue_wait_s = queue_wait_s;
+  tr.kernel_s = kernel_s;
+  tr.cells = cells;
+  tr.saturation_retries = retries;
+  tr.isa = simd::resolve_isa(cfg.isa);
+  tr.delivery = effective_delivery(cfg, tr.isa);
+  return tr;
+}
+
+std::future<AlignResponse> AlignService::submit(AlignRequest request) {
+  auto prom = std::make_shared<std::promise<AlignResponse>>();
+  std::future<AlignResponse> fut = prom->get_future();
+  auto rq = std::make_shared<AlignRequest>(std::move(request));
+  const Clock::time_point submitted = Clock::now();
+  const Clock::time_point deadline =
+      rq->options.deadline ? submitted + *rq->options.deadline
+                           : Clock::time_point{};
+
+  Task task;
+  task.run = [this, prom, rq, submitted, deadline](bool aborted) {
+    if (aborted) {
+      fail_promise(prom, ServiceError(Code::ShuttingDown,
+                                      "AlignService: shut down before run"));
+      return;
+    }
+    const double qwait = seconds_since(submitted);
+    metrics_.on_queue_wait(qwait);
+    if (deadline.time_since_epoch().count() != 0 && Clock::now() >= deadline) {
+      metrics_.on_deadline_expired();
+      fail_promise(prom, ServiceError(Code::DeadlineExceeded,
+                                      "AlignService: deadline expired in queue"));
+      return;
+    }
+    auto cfg_or = effective_config(rq->options);
+    if (!cfg_or) {
+      metrics_.on_invalid_request();
+      fail_promise(prom, ServiceError(cfg_or.error()));
+      return;
+    }
+    core::AlignConfig cfg = *cfg_or;
+    if (rq->options.traceback) cfg.traceback = *rq->options.traceback;
+
+    perf::Stopwatch sw;
+    core::Alignment a;
+    try {
+      thread_local core::Workspace ws;  // one per executor thread
+      a = core::diag_align(rq->query, rq->reference, cfg, ws);
+    } catch (const std::exception& e) {
+      metrics_.on_invalid_request();
+      fail_promise(prom, ServiceError(Code::Internal, e.what()));
+      return;
+    }
+    const double kernel_s = sw.seconds();
+    const uint64_t retries =
+        static_cast<uint64_t>(a.saturated_8) + static_cast<uint64_t>(a.saturated_16);
+    RequestTrace tr = make_trace(Scenario::Pairwise, cfg, qwait, kernel_s,
+                                 a.stats.cells, retries);
+    tr.exec_sequence = exec_sequence_.fetch_add(1, std::memory_order_relaxed);
+    tr.isa = a.isa_used;
+    tr.width_used = a.width_used;
+    metrics_.on_completed(perf::MetricsRegistry::Scenario::Pairwise, kernel_s,
+                          a.stats.cells);
+    prom->set_value(AlignResponse{std::move(a), tr});
+  };
+  enqueue(std::move(task),
+          [&prom](ServiceError e) { fail_promise(prom, std::move(e)); });
+  return fut;
+}
+
+std::future<SearchResponse> AlignService::submit_search(SearchRequest request) {
+  auto prom = std::make_shared<std::promise<SearchResponse>>();
+  std::future<SearchResponse> fut = prom->get_future();
+  auto rq = std::make_shared<SearchRequest>(std::move(request));
+  const Clock::time_point submitted = Clock::now();
+  const Clock::time_point deadline =
+      rq->options.deadline ? submitted + *rq->options.deadline
+                           : Clock::time_point{};
+
+  Task task;
+  task.run = [this, prom, rq, submitted, deadline](bool aborted) {
+    if (aborted) {
+      fail_promise(prom, ServiceError(Code::ShuttingDown,
+                                      "AlignService: shut down before run"));
+      return;
+    }
+    const double qwait = seconds_since(submitted);
+    metrics_.on_queue_wait(qwait);
+    if (deadline.time_since_epoch().count() != 0 && Clock::now() >= deadline) {
+      metrics_.on_deadline_expired();
+      fail_promise(prom, ServiceError(Code::DeadlineExceeded,
+                                      "AlignService: deadline expired in queue"));
+      return;
+    }
+    if (!db_) {
+      metrics_.on_invalid_request();
+      fail_promise(prom, ServiceError(Code::NoDatabase,
+                                      "AlignService: no database attached"));
+      return;
+    }
+    auto cfg_or = effective_config(rq->options);
+    if (!cfg_or) {
+      metrics_.on_invalid_request();
+      fail_promise(prom, ServiceError(cfg_or.error()));
+      return;
+    }
+    core::AlignConfig cfg = *cfg_or;
+    cfg.traceback = false;  // scoring pass, like DatabaseSearch
+    if (rq->mode == align::SearchMode::Batch && cfg.band >= 0) {
+      metrics_.on_invalid_request();
+      fail_promise(prom, ServiceError(Code::Unsupported,
+                                      "AlignService: Batch search cannot band"));
+      return;
+    }
+    const size_t top_k = rq->options.top_k.value_or(opt_.default_top_k);
+
+    align::ExecContext ctx;
+    ctx.pool = &pool_;
+    ctx.deadline = deadline;
+    align::SearchResult res;
+    {
+      std::lock_guard<std::mutex> pool_lk(pool_mu_);
+      res = rq->mode == align::SearchMode::Batch
+                ? align::engine::search_batch(*db_, *bdb_, cfg, rq->query,
+                                              top_k, ctx)
+                : align::engine::search_diagonal(*db_, cfg, rq->query, top_k,
+                                                 ctx);
+    }
+    if (res.truncated) {
+      metrics_.on_deadline_expired();
+      fail_promise(prom,
+                   ServiceError(Code::DeadlineExceeded,
+                                "AlignService: deadline expired mid-search"));
+      return;
+    }
+    RequestTrace tr = make_trace(Scenario::Search, cfg, qwait, res.seconds,
+                                 res.stats.cells, 0);
+    tr.exec_sequence = exec_sequence_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.on_completed(perf::MetricsRegistry::Scenario::Search, res.seconds,
+                          res.stats.cells);
+    prom->set_value(SearchResponse{std::move(res), tr});
+  };
+  enqueue(std::move(task),
+          [&prom](ServiceError e) { fail_promise(prom, std::move(e)); });
+  return fut;
+}
+
+std::future<BatchResponse> AlignService::submit_batch(BatchRequest request) {
+  auto prom = std::make_shared<std::promise<BatchResponse>>();
+  std::future<BatchResponse> fut = prom->get_future();
+  auto rq = std::make_shared<BatchRequest>(std::move(request));
+  const Clock::time_point submitted = Clock::now();
+  const Clock::time_point deadline =
+      rq->options.deadline ? submitted + *rq->options.deadline
+                           : Clock::time_point{};
+
+  Task task;
+  task.run = [this, prom, rq, submitted, deadline](bool aborted) {
+    if (aborted) {
+      fail_promise(prom, ServiceError(Code::ShuttingDown,
+                                      "AlignService: shut down before run"));
+      return;
+    }
+    const double qwait = seconds_since(submitted);
+    metrics_.on_queue_wait(qwait);
+    if (deadline.time_since_epoch().count() != 0 && Clock::now() >= deadline) {
+      metrics_.on_deadline_expired();
+      fail_promise(prom, ServiceError(Code::DeadlineExceeded,
+                                      "AlignService: deadline expired in queue"));
+      return;
+    }
+    if (!db_) {
+      metrics_.on_invalid_request();
+      fail_promise(prom, ServiceError(Code::NoDatabase,
+                                      "AlignService: no database attached"));
+      return;
+    }
+    if (rq->queries.empty()) {
+      metrics_.on_invalid_request();
+      fail_promise(prom, ServiceError(Code::EmptyRequest,
+                                      "AlignService: batch with no queries"));
+      return;
+    }
+    auto cfg_or = effective_config(rq->options);
+    if (!cfg_or) {
+      metrics_.on_invalid_request();
+      fail_promise(prom, ServiceError(cfg_or.error()));
+      return;
+    }
+    core::AlignConfig cfg = *cfg_or;
+    cfg.traceback = false;
+    if (cfg.band >= 0) {
+      metrics_.on_invalid_request();
+      fail_promise(prom, ServiceError(Code::Unsupported,
+                                      "AlignService: batch cannot band"));
+      return;
+    }
+    const size_t top_k = rq->options.top_k.value_or(opt_.default_top_k);
+
+    align::ExecContext ctx;
+    ctx.pool = &pool_;
+    ctx.deadline = deadline;
+    perf::Stopwatch sw;
+    std::vector<align::BatchQueryResult> results;
+    {
+      std::lock_guard<std::mutex> pool_lk(pool_mu_);
+      results = align::engine::batch_run(*db_, *bdb_, cfg, rq->queries, top_k,
+                                         ctx);
+    }
+    const double kernel_s = sw.seconds();
+    uint64_t cells = 0, retries = 0;
+    bool truncated = false;
+    for (const auto& r : results) {
+      cells += r.result.stats.cells;
+      retries += r.batch_stats.rescored;
+      truncated = truncated || r.result.truncated;
+    }
+    if (truncated) {
+      metrics_.on_deadline_expired();
+      fail_promise(prom,
+                   ServiceError(Code::DeadlineExceeded,
+                                "AlignService: deadline expired mid-batch"));
+      return;
+    }
+    RequestTrace tr = make_trace(Scenario::Batch, cfg, qwait, kernel_s, cells,
+                                 retries);
+    tr.exec_sequence = exec_sequence_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.on_completed(perf::MetricsRegistry::Scenario::Batch, kernel_s,
+                          cells);
+    prom->set_value(BatchResponse{std::move(results), tr});
+  };
+  enqueue(std::move(task),
+          [&prom](ServiceError e) { fail_promise(prom, std::move(e)); });
+  return fut;
+}
+
+}  // namespace swve::service

@@ -1,0 +1,147 @@
+// AlignService — the async, metrics-instrumented front door over all three
+// usage scenarios.
+//
+// One service owns:
+//   - a parallel::ThreadPool for intra-request fan-out (search/batch),
+//   - a bounded submission queue with backpressure (reject or block),
+//   - executor threads that drain the queue FIFO,
+//   - a perf::MetricsRegistry (request counters, queue-wait and kernel-time
+//     histograms, aggregate GCUPS).
+//
+// Every scenario goes through one request/future API:
+//   submit(AlignRequest)   -> std::future<AlignResponse>    (pairwise)
+//   submit_search(Search)  -> std::future<SearchResponse>   (scenario 1)
+//   submit_batch(Batch)    -> std::future<BatchResponse>    (scenario 2)
+//
+// Requests route to the same stateless engines the synchronous facades use
+// (engine::search_diagonal / search_batch / batch_run / core::diag_align),
+// so results are bit-identical to direct DatabaseSearch / BatchServer /
+// Aligner calls at the same pool size. Failures — invalid config, queue
+// full, deadline expiry, shutdown — fail the future with a ServiceError
+// instead of throwing on a worker thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "align/batch_server.hpp"
+#include "align/db_search.hpp"
+#include "core/batch32.hpp"
+#include "parallel/thread_pool.hpp"
+#include "perf/metrics.hpp"
+#include "seq/database.hpp"
+#include "service/request.hpp"
+
+namespace swve::service {
+
+struct ServiceOptions {
+  /// Threads in the owned pool used for intra-request fan-out (0 =
+  /// hardware concurrency). Determinism: results match direct driver calls
+  /// made with a pool of the same size.
+  unsigned pool_threads = 0;
+  /// Executor threads draining the submission queue. 1 gives strict FIFO
+  /// completion; more lets small pairwise requests overlap.
+  unsigned executors = 1;
+  /// Bounded submission queue capacity (pending, not yet executing).
+  size_t queue_capacity = 256;
+  /// What submit() does when the queue is full.
+  enum class Overflow {
+    Reject,  ///< fail the future immediately with Code::QueueFull
+    Block,   ///< block the submitter until space frees (backpressure)
+  };
+  Overflow overflow = Overflow::Reject;
+  /// Service-default alignment config (per-request override via
+  /// RequestOptions::config).
+  core::AlignConfig config;
+  /// Service-default hits per query for search/batch.
+  size_t default_top_k = 10;
+  /// Start with executors paused (tests use this to fill the queue
+  /// deterministically); call resume() to begin draining.
+  bool start_paused = false;
+};
+
+class AlignService {
+ public:
+  /// Pairwise-only service (no database; search/batch submissions fail
+  /// their future with Code::NoDatabase).
+  explicit AlignService(ServiceOptions options = {});
+
+  /// Full service over a shared database. The database is packed for the
+  /// batch32 kernel once, up front; it must outlive the service.
+  AlignService(const seq::SequenceDatabase& db, ServiceOptions options = {});
+
+  /// Fails every pending request with Code::ShuttingDown, then joins.
+  ~AlignService();
+  AlignService(const AlignService&) = delete;
+  AlignService& operator=(const AlignService&) = delete;
+
+  std::future<AlignResponse> submit(AlignRequest request);
+  std::future<SearchResponse> submit_search(SearchRequest request);
+  std::future<BatchResponse> submit_batch(BatchRequest request);
+
+  /// Point-in-time metrics (request counts, latency histograms, GCUPS).
+  perf::MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+
+  /// Pending (queued, not yet executing) requests.
+  size_t queue_depth() const;
+
+  /// Pause/resume the executors (in-flight requests finish; queued ones
+  /// wait). Used by tests and for drain-style maintenance.
+  void pause();
+  void resume();
+
+  unsigned pool_threads() const noexcept { return pool_.size(); }
+  const ServiceOptions& options() const noexcept { return opt_; }
+  bool has_database() const noexcept { return db_ != nullptr; }
+  /// Lanes of the packed batch database (0 without a database).
+  int batch_lanes() const noexcept { return bdb_ ? bdb_->lanes() : 0; }
+
+ private:
+  struct Task {
+    /// Runs the request (aborted=true: fail the promise without running).
+    std::function<void(bool aborted)> run;
+  };
+
+  /// Resolve per-request options against service defaults; returns the
+  /// effective validated config or a ConfigError.
+  core::ErrorOr<core::AlignConfig> effective_config(
+      const RequestOptions& options) const;
+
+  /// Enqueue under the capacity policy. On rejection, fulfils `reject`
+  /// (set the QueueFull/ShuttingDown exception) and returns false.
+  bool enqueue(Task task, const std::function<void(ServiceError)>& reject);
+
+  void executor_loop();
+
+  /// Fill the common trace fields once execution finished.
+  RequestTrace make_trace(Scenario scenario, const core::AlignConfig& cfg,
+                          double queue_wait_s, double kernel_s,
+                          uint64_t cells, uint64_t retries) const;
+
+  ServiceOptions opt_;
+  const seq::SequenceDatabase* db_ = nullptr;
+  std::unique_ptr<core::Batch32Db> bdb_;
+
+  parallel::ThreadPool pool_;
+  std::mutex pool_mu_;  ///< one fan-out request on the pool at a time
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< executors: queue non-empty/stop
+  std::condition_variable space_cv_;  ///< blocking submitters: space freed
+  std::deque<Task> queue_;
+  bool stop_ = false;
+  bool paused_ = false;
+
+  std::vector<std::thread> executors_;
+  perf::MetricsRegistry metrics_;
+  std::atomic<uint64_t> exec_sequence_{0};
+};
+
+}  // namespace swve::service

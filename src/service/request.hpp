@@ -1,0 +1,116 @@
+// Request/response vocabulary of the AlignService front door.
+//
+// Requests own their sequences (they outlive the submitting scope — the
+// service executes them asynchronously) and carry per-call overrides:
+// config, top-k, traceback, and a relative deadline. Responses carry the
+// scenario result plus a RequestTrace — the per-request observability
+// record (queue wait, kernel time, widths retried, delivery mode chosen,
+// saturation retries) fed from the existing KernelStats plumbing.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "align/batch_server.hpp"
+#include "align/db_search.hpp"
+#include "core/error.hpp"
+#include "core/params.hpp"
+#include "core/result.hpp"
+#include "seq/sequence.hpp"
+
+namespace swve::service {
+
+/// Error carried by a failed future. The code is a core::ConfigError::Code
+/// so validation failures, backpressure, and deadline expiry are all
+/// distinguishable programmatically.
+class ServiceError : public std::runtime_error {
+ public:
+  using Code = core::ConfigError::Code;
+  ServiceError(Code code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  explicit ServiceError(const core::ConfigError& err)
+      : ServiceError(err.code, err.message) {}
+  Code code() const noexcept { return code_; }
+
+ private:
+  Code code_;
+};
+
+/// Per-call overrides; unset fields fall back to the service defaults.
+struct RequestOptions {
+  /// Replace the service's AlignConfig wholesale for this request
+  /// (validated with try_validate(); a bad config fails the future).
+  std::optional<core::AlignConfig> config;
+  /// Hits to keep per query (search/batch; service default otherwise).
+  std::optional<size_t> top_k;
+  /// Request a traceback (pairwise only; search/batch score without it).
+  std::optional<bool> traceback;
+  /// Relative deadline, measured from submit. The request fails with
+  /// Code::DeadlineExceeded if it is still queued — or still running, at
+  /// sequence-chunk granularity — when the deadline passes.
+  std::optional<std::chrono::steady_clock::duration> deadline;
+};
+
+/// Scenario 3 (pairwise, SW-as-a-subroutine).
+struct AlignRequest {
+  seq::Sequence query;
+  seq::Sequence reference;
+  RequestOptions options;
+};
+
+/// Scenario 1 (one query vs the service database).
+struct SearchRequest {
+  seq::Sequence query;
+  align::SearchMode mode = align::SearchMode::Diagonal;
+  RequestOptions options;
+};
+
+/// Scenario 2 (query batch vs the service database).
+struct BatchRequest {
+  std::vector<seq::Sequence> queries;
+  RequestOptions options;
+};
+
+enum class Scenario : uint8_t { Pairwise = 0, Search = 1, Batch = 2 };
+
+/// Per-request observability record attached to every response.
+struct RequestTrace {
+  Scenario scenario = Scenario::Pairwise;
+  /// Monotone per-service sequence number stamped when execution starts
+  /// (exposes completion order for tests and tracing).
+  uint64_t exec_sequence = 0;
+  double queue_wait_s = 0;  ///< submit -> execution start
+  double kernel_s = 0;      ///< execution (kernel + merge) time
+  uint64_t cells = 0;       ///< DP cells computed (from KernelStats)
+
+  simd::Isa isa = simd::Isa::Scalar;          ///< resolved ISA
+  core::ScoreDelivery delivery = core::ScoreDelivery::Auto;  ///< path chosen
+  core::Width width_used = core::Width::W8;   ///< pairwise: final rung
+  /// Adaptive-ladder retries: pairwise counts 8->16/16->32 re-runs; the
+  /// batch paths count lanes re-scored after 8-bit saturation.
+  uint64_t saturation_retries = 0;
+
+  double gcups() const noexcept {
+    return kernel_s > 0 ? static_cast<double>(cells) / kernel_s / 1e9 : 0.0;
+  }
+};
+
+struct AlignResponse {
+  core::Alignment alignment;
+  RequestTrace trace;
+};
+
+struct SearchResponse {
+  align::SearchResult result;
+  RequestTrace trace;
+};
+
+struct BatchResponse {
+  std::vector<align::BatchQueryResult> results;
+  RequestTrace trace;
+};
+
+}  // namespace swve::service

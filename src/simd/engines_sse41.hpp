@@ -66,12 +66,19 @@ struct Sse41U8 {
   static void store_dir_u8(uint8_t* p, vec a) { storeu(p, a); }
 
   static void store_bestd(int32_t* bd, mask m, int d) {
+    // Unrolled by hand: _mm_srli_si128 needs a literal immediate, and a
+    // counted loop only provides one after full unrolling — which sanitizer
+    // instrumentation can defeat.
     const __m128i vd = _mm_set1_epi32(d);
-    for (int g = 0; g < 4; ++g) {
-      const __m128i mg = _mm_cvtepi8_epi32(_mm_srli_si128(m, 4 * g));
-      __m128i* p = reinterpret_cast<__m128i*>(bd + 4 * g);
-      _mm_storeu_si128(p, _mm_blendv_epi8(_mm_loadu_si128(p), vd, mg));
-    }
+    const auto group = [&](int32_t* p, __m128i mg) {
+      __m128i* q = reinterpret_cast<__m128i*>(p);
+      _mm_storeu_si128(q, _mm_blendv_epi8(_mm_loadu_si128(q), vd,
+                                          _mm_cvtepi8_epi32(mg)));
+    };
+    group(bd + 0, m);
+    group(bd + 4, _mm_srli_si128(m, 4));
+    group(bd + 8, _mm_srli_si128(m, 8));
+    group(bd + 12, _mm_srli_si128(m, 12));
   }
 
   static elem reduce_max(vec a) {

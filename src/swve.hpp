@@ -1,6 +1,8 @@
 // swve — Smith-Waterman with Vector Extensions.
 //
 // Umbrella header for the public API:
+//   swve::service::AlignService async request/future front door over all
+//                               three scenarios, with metrics
 //   swve::align::Aligner        pairwise alignment (scenario 3 friendly)
 //   swve::align::DatabaseSearch single query vs database (scenario 1)
 //   swve::align::BatchServer    many queries vs database (scenario 2)
@@ -29,12 +31,14 @@
 #include "parallel/thread_pool.hpp"
 #include "perf/freq_monitor.hpp"
 #include "perf/gcups.hpp"
+#include "perf/metrics.hpp"
 #include "perf/table.hpp"
 #include "perf/timer.hpp"
 #include "perf/topdown.hpp"
 #include "seq/database.hpp"
 #include "seq/fasta.hpp"
 #include "seq/synthetic.hpp"
+#include "service/align_service.hpp"
 #include "simd/cpu.hpp"
 #include "tune/evaluator.hpp"
 #include "tune/ga.hpp"

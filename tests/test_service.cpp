@@ -1,0 +1,331 @@
+// AlignService: the async request/future front door (ISSUE 1 tentpole).
+//
+// Covers: future completion order, deadline expiry (queued and mid-run),
+// queue-full backpressure, bit-identical results vs the direct drivers for
+// several thread counts and both search modes, per-request config
+// validation failing the future, the delivery override hook, and the
+// metrics snapshot.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <vector>
+
+#include "align/batch_server.hpp"
+#include "align/db_search.hpp"
+#include "core/dispatch.hpp"
+#include "seq/synthetic.hpp"
+#include "service/align_service.hpp"
+
+namespace swve::service {
+namespace {
+
+using Code = core::ConfigError::Code;
+using std::chrono::milliseconds;
+
+seq::SequenceDatabase make_db(uint64_t residues, uint64_t seed = 15) {
+  seq::SyntheticConfig cfg;
+  cfg.seed = seed;
+  cfg.target_residues = residues;
+  cfg.min_length = 20;
+  cfg.max_length = 400;
+  return seq::SequenceDatabase::synthetic(cfg);
+}
+
+AlignRequest pairwise_request(uint64_t seed, int qlen = 80, int rlen = 120) {
+  AlignRequest rq;
+  rq.query = seq::generate_sequence(seed, qlen);
+  rq.reference = seq::generate_sequence(seed + 1, rlen);
+  return rq;
+}
+
+template <typename Future>
+Code failure_code(Future& fut) {
+  try {
+    fut.get();
+  } catch (const ServiceError& e) {
+    return e.code();
+  }
+  return Code::Ok;
+}
+
+TEST(AlignService, PairwiseMatchesAligner) {
+  ServiceOptions opt;
+  opt.pool_threads = 2;
+  AlignService svc(opt);
+
+  AlignRequest rq = pairwise_request(71);
+  rq.options.traceback = true;
+  seq::Sequence q = rq.query, r = rq.reference;
+
+  AlignResponse resp = svc.submit(std::move(rq)).get();
+
+  align::AlignConfig cfg;
+  cfg.traceback = true;
+  align::Aligner direct(cfg);
+  core::Alignment want = direct.align(q, r);
+  EXPECT_EQ(resp.alignment.score, want.score);
+  EXPECT_EQ(resp.alignment.end_query, want.end_query);
+  EXPECT_EQ(resp.alignment.end_ref, want.end_ref);
+  EXPECT_EQ(resp.alignment.cigar, want.cigar);
+  EXPECT_EQ(resp.trace.scenario, Scenario::Pairwise);
+  EXPECT_GT(resp.trace.cells, 0u);
+  EXPECT_GE(resp.trace.queue_wait_s, 0.0);
+}
+
+TEST(AlignService, FifoCompletionOrderWithOneExecutor) {
+  ServiceOptions opt;
+  opt.pool_threads = 1;
+  opt.executors = 1;  // strict FIFO
+  opt.start_paused = true;
+  AlignService svc(opt);
+
+  std::vector<std::future<AlignResponse>> futs;
+  for (int i = 0; i < 8; ++i)
+    futs.push_back(svc.submit(pairwise_request(100 + i)));
+  svc.resume();
+
+  uint64_t prev = 0;
+  for (size_t i = 0; i < futs.size(); ++i) {
+    AlignResponse r = futs[i].get();
+    if (i > 0) EXPECT_EQ(r.trace.exec_sequence, prev + 1) << i;
+    prev = r.trace.exec_sequence;
+  }
+}
+
+TEST(AlignService, QueueFullRejectionWhilePaused) {
+  ServiceOptions opt;
+  opt.queue_capacity = 3;
+  opt.start_paused = true;
+  AlignService svc(opt);
+
+  std::vector<std::future<AlignResponse>> ok;
+  for (int i = 0; i < 3; ++i) ok.push_back(svc.submit(pairwise_request(10 + i)));
+  EXPECT_EQ(svc.queue_depth(), 3u);
+
+  auto rejected = svc.submit(pairwise_request(50));
+  EXPECT_EQ(failure_code(rejected), Code::QueueFull);
+
+  svc.resume();
+  for (auto& f : ok) EXPECT_NO_THROW(f.get());
+
+  perf::MetricsSnapshot m = svc.metrics();
+  EXPECT_EQ(m.rejected_queue_full, 1u);
+  EXPECT_EQ(m.submitted, 3u);
+  EXPECT_EQ(m.completed, 3u);
+}
+
+TEST(AlignService, DeadlineExpiresInQueue) {
+  ServiceOptions opt;
+  opt.start_paused = true;
+  AlignService svc(opt);
+
+  AlignRequest rq = pairwise_request(7);
+  rq.options.deadline = milliseconds(1);
+  auto fut = svc.submit(std::move(rq));
+  std::this_thread::sleep_for(milliseconds(20));
+  svc.resume();
+
+  EXPECT_EQ(failure_code(fut), Code::DeadlineExceeded);
+  EXPECT_EQ(svc.metrics().deadline_expired, 1u);
+}
+
+TEST(AlignService, DeadlineExpiresMidSearch) {
+  auto db = make_db(400'000);
+  ServiceOptions opt;
+  opt.pool_threads = 1;
+  AlignService svc(db, opt);
+
+  SearchRequest rq;
+  rq.query = seq::generate_sequence(90, 200);
+  // Long enough to enter execution, far too short to scan 400k residues:
+  // the engine notices between sequences and reports truncation.
+  rq.options.deadline = milliseconds(1);
+  auto fut = svc.submit_search(std::move(rq));
+  EXPECT_EQ(failure_code(fut), Code::DeadlineExceeded);
+  EXPECT_EQ(svc.metrics().deadline_expired, 1u);
+  EXPECT_EQ(svc.metrics().completed, 0u);
+}
+
+TEST(AlignService, SearchMatchesDatabaseSearchForEveryThreadCount) {
+  auto db = make_db(120'000);
+  auto q = seq::generate_sequence(90, 150);
+
+  for (unsigned threads : {1u, 2u, 3u}) {
+    for (align::SearchMode mode :
+         {align::SearchMode::Diagonal, align::SearchMode::Batch}) {
+      parallel::ThreadPool pool(threads);
+      align::DatabaseSearch direct(db, align::AlignConfig{}, mode);
+      align::SearchResult want = direct.search(q, 10, &pool);
+
+      ServiceOptions opt;
+      opt.pool_threads = threads;
+      AlignService svc(db, opt);
+      SearchRequest rq;
+      rq.query = q;
+      rq.mode = mode;
+      rq.options.top_k = 10;
+      SearchResponse got = svc.submit_search(std::move(rq)).get();
+
+      ASSERT_EQ(got.result.hits.size(), want.hits.size())
+          << threads << " threads, mode " << static_cast<int>(mode);
+      for (size_t k = 0; k < want.hits.size(); ++k) {
+        EXPECT_EQ(got.result.hits[k].seq_index, want.hits[k].seq_index) << k;
+        EXPECT_EQ(got.result.hits[k].score, want.hits[k].score) << k;
+        EXPECT_EQ(got.result.hits[k].end_query, want.hits[k].end_query) << k;
+        EXPECT_EQ(got.result.hits[k].end_ref, want.hits[k].end_ref) << k;
+      }
+      EXPECT_FALSE(got.result.truncated);
+      EXPECT_EQ(got.trace.scenario, Scenario::Search);
+    }
+  }
+}
+
+TEST(AlignService, BatchMatchesBatchServerForEveryThreadCount) {
+  auto db = make_db(100'000);
+  std::vector<seq::Sequence> queries = seq::make_query_ladder(33, 6, 60, 300);
+
+  for (unsigned threads : {1u, 3u}) {
+    parallel::ThreadPool pool(threads);
+    align::BatchServer direct(db, align::AlignConfig{});
+    auto want = direct.run(queries, 5, &pool);
+
+    ServiceOptions opt;
+    opt.pool_threads = threads;
+    AlignService svc(db, opt);
+    BatchRequest rq;
+    rq.queries = queries;
+    rq.options.top_k = 5;
+    BatchResponse got = svc.submit_batch(std::move(rq)).get();
+
+    ASSERT_EQ(got.results.size(), want.size());
+    for (size_t qi = 0; qi < want.size(); ++qi) {
+      ASSERT_EQ(got.results[qi].result.hits.size(),
+                want[qi].result.hits.size())
+          << qi;
+      for (size_t k = 0; k < want[qi].result.hits.size(); ++k) {
+        EXPECT_EQ(got.results[qi].result.hits[k].seq_index,
+                  want[qi].result.hits[k].seq_index);
+        EXPECT_EQ(got.results[qi].result.hits[k].score,
+                  want[qi].result.hits[k].score);
+      }
+    }
+    EXPECT_EQ(got.trace.scenario, Scenario::Batch);
+  }
+}
+
+TEST(AlignService, BadConfigFailsFutureNotThrow) {
+  AlignService svc;
+  AlignRequest rq = pairwise_request(3);
+  core::AlignConfig bad;
+  bad.gap_open = 1;
+  bad.gap_extend = 5;  // affine open < extend
+  rq.options.config = bad;
+  std::future<AlignResponse> fut;
+  EXPECT_NO_THROW(fut = svc.submit(std::move(rq)));
+  EXPECT_EQ(failure_code(fut), Code::OpenLessThanExtend);
+  EXPECT_EQ(svc.metrics().invalid_request, 1u);
+}
+
+TEST(AlignService, SearchWithoutDatabaseFails) {
+  AlignService svc;
+  SearchRequest rq;
+  rq.query = seq::generate_sequence(4, 50);
+  auto fut = svc.submit_search(std::move(rq));
+  EXPECT_EQ(failure_code(fut), Code::NoDatabase);
+}
+
+TEST(AlignService, ShutdownFailsQueuedRequests) {
+  std::future<AlignResponse> fut;
+  {
+    ServiceOptions opt;
+    opt.start_paused = true;
+    AlignService svc(opt);
+    fut = svc.submit(pairwise_request(8));
+  }  // destructor: queued request aborted
+  EXPECT_EQ(failure_code(fut), Code::ShuttingDown);
+}
+
+TEST(AlignService, MetricsSnapshotAndDump) {
+  auto db = make_db(60'000);
+  ServiceOptions opt;
+  opt.pool_threads = 2;
+  AlignService svc(db, opt);
+
+  for (int i = 0; i < 4; ++i) svc.submit(pairwise_request(200 + i)).get();
+  SearchRequest srq;
+  srq.query = seq::generate_sequence(90, 100);
+  svc.submit_search(std::move(srq)).get();
+
+  perf::MetricsSnapshot m = svc.metrics();
+  EXPECT_EQ(m.submitted, 5u);
+  EXPECT_EQ(m.completed, 5u);
+  EXPECT_EQ(m.pairwise, 4u);
+  EXPECT_EQ(m.search, 1u);
+  EXPECT_GT(m.cells, 0u);
+  EXPECT_GT(m.aggregate_gcups(), 0.0);
+  EXPECT_EQ(m.queue_wait.count, 5u);
+  EXPECT_EQ(m.kernel_time.count, 5u);
+  std::string dump = m.to_string();
+  EXPECT_NE(dump.find("completed 5"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("GCUPS"), std::string::npos) << dump;
+}
+
+TEST(AlignService, DeliveryOverridePinsTracePath) {
+  const simd::Isa isa = simd::resolve_isa(simd::Isa::Auto);
+  core::set_delivery_override(isa, core::ScoreDelivery::Fill);
+  EXPECT_EQ(core::resolved_delivery(isa), core::ScoreDelivery::Fill);
+
+  AlignService svc;
+  AlignRequest rq = pairwise_request(91);
+  seq::Sequence q = rq.query, r = rq.reference;
+  AlignResponse resp = svc.submit(std::move(rq)).get();
+  EXPECT_EQ(resp.trace.delivery, core::ScoreDelivery::Fill);
+
+  // Pinning must not change results: Fill and Gather are different roads to
+  // the same scores.
+  align::AlignConfig cfg;
+  cfg.delivery = core::ScoreDelivery::Gather;
+  align::Aligner gather(cfg);
+  EXPECT_EQ(resp.alignment.score, gather.align(q, r).score);
+
+  core::set_delivery_override(isa, core::ScoreDelivery::Auto);  // clear pin
+}
+
+TEST(AlignConfigTryValidate, ReturnsMachineReadableCodes) {
+  core::AlignConfig ok;
+  EXPECT_TRUE(ok.try_validate().ok());
+
+  core::AlignConfig bad = ok;
+  bad.matrix = nullptr;
+  EXPECT_EQ(bad.try_validate().error().code, Code::MissingMatrix);
+
+  bad = ok;
+  bad.gap_extend = -1;
+  EXPECT_EQ(bad.try_validate().error().code, Code::NegativeGapPenalty);
+
+  bad = ok;
+  bad.scheme = core::ScoreScheme::Fixed;
+  bad.match = -5;
+  bad.mismatch = 0;
+  EXPECT_EQ(bad.try_validate().error().code, Code::MatchLessThanMismatch);
+  EXPECT_STREQ(core::ConfigError::code_name(Code::QueueFull), "queue_full");
+}
+
+TEST(AlignService, BlockingOverflowEventuallyAccepts) {
+  ServiceOptions opt;
+  opt.queue_capacity = 1;
+  opt.overflow = ServiceOptions::Overflow::Block;
+  AlignService svc(opt);
+
+  // With Block, every submit succeeds (the submitter stalls instead of
+  // being rejected); all futures must complete.
+  std::vector<std::future<AlignResponse>> futs;
+  for (int i = 0; i < 6; ++i) futs.push_back(svc.submit(pairwise_request(i)));
+  for (auto& f : futs) EXPECT_NO_THROW(f.get());
+  EXPECT_EQ(svc.metrics().rejected_queue_full, 0u);
+  EXPECT_EQ(svc.metrics().completed, 6u);
+}
+
+}  // namespace
+}  // namespace swve::service
