@@ -21,11 +21,20 @@
 //   --threads N          worker threads (default: hardware)
 //   --deadline-ms N      fail the request if not done within N ms
 //   --metrics            dump the service metrics snapshot to stderr
+//   --metrics-format=F   metrics exposition format: text | prom | json
+//                        (implies --metrics)
+//   --trace-out FILE     write a Chrome trace-event JSON (Perfetto /
+//                        chrome://tracing) of the request's spans to FILE
+//   --sample-period-ms N run the live profiling sampler every N ms and dump
+//                        its frequency/GCUPS time series to stderr
+//   --topdown-every N    attach a top-down pipeline analysis to 1-in-N
+//                        requests and report it on stderr
 //   --dna                parse sequences with the DNA alphabet
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "swve.hpp"
@@ -41,6 +50,10 @@ struct CliOptions {
   unsigned threads = 0;
   bool dna = false;
   bool metrics = false;
+  obs::MetricsFormat metrics_format = obs::MetricsFormat::Text;
+  std::string trace_out;
+  int sample_period_ms = 0;  // 0 = sampler off
+  uint32_t topdown_every = 0;  // 0 = no top-down sampling
   int deadline_ms = 0;  // 0 = none
   std::vector<std::string> positional;
 };
@@ -55,7 +68,9 @@ struct CliOptions {
       "  swve info                        CPU / ISA / calibration report\n"
       "options: --matrix NAME | --match N --mismatch N | --open N --extend N\n"
       "         --linear N | --band N | --isa NAME | --width 8|16|32|auto\n"
-      "         --top K | --threads N | --deadline-ms N | --metrics | --dna\n",
+      "         --top K | --threads N | --deadline-ms N | --metrics | --dna\n"
+      "         --metrics-format=text|prom|json | --trace-out FILE\n"
+      "         --sample-period-ms N | --topdown-every N\n",
       stderr);
   std::exit(2);
 }
@@ -89,6 +104,17 @@ CliOptions parse(int argc, char** argv) {
     else if (s == "--threads") o.threads = static_cast<unsigned>(std::atoi(next()));
     else if (s == "--deadline-ms") o.deadline_ms = std::atoi(next());
     else if (s == "--metrics") o.metrics = true;
+    else if (s.rfind("--metrics-format", 0) == 0) {
+      const std::string v = s.size() > 16 && s[16] == '=' ? s.substr(17) : next();
+      auto fmt = obs::metrics_format_from_string(v);
+      if (!fmt) usage(("unknown metrics format " + v).c_str());
+      o.metrics_format = *fmt;
+      o.metrics = true;
+    }
+    else if (s == "--trace-out") o.trace_out = next();
+    else if (s == "--sample-period-ms") o.sample_period_ms = std::atoi(next());
+    else if (s == "--topdown-every")
+      o.topdown_every = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
     else if (s == "--dna") o.dna = true;
     else if (s == "--help") usage();
     else if (s.rfind("--", 0) == 0) usage(("unknown option " + s).c_str());
@@ -110,12 +136,22 @@ const seq::Alphabet& alpha(const CliOptions& o) {
   return o.dna ? seq::Alphabet::dna() : seq::Alphabet::protein();
 }
 
-service::ServiceOptions service_options(const CliOptions& o) {
+service::ServiceOptions service_options(const CliOptions& o,
+                                        obs::TraceSink* sink) {
   service::ServiceOptions so;
   so.pool_threads = o.threads;
   so.config = o.cfg;
   so.default_top_k = o.top_k;
+  so.trace_sink = sink;
+  so.sampler_period_s = o.sample_period_ms > 0 ? o.sample_period_ms * 1e-3 : 0;
+  so.topdown_every_n = o.topdown_every;
   return so;
+}
+
+/// Sink for the service to record into when --trace-out was given (must be
+/// constructed before — and so outlive — the AlignService).
+std::unique_ptr<obs::TraceSink> make_sink(const CliOptions& o) {
+  return o.trace_out.empty() ? nullptr : std::make_unique<obs::TraceSink>();
 }
 
 void apply_deadline(service::RequestOptions& ro, const CliOptions& o) {
@@ -123,8 +159,38 @@ void apply_deadline(service::RequestOptions& ro, const CliOptions& o) {
     ro.deadline = std::chrono::milliseconds(o.deadline_ms);
 }
 
-void maybe_dump_metrics(const CliOptions& o, const service::AlignService& svc) {
-  if (o.metrics) std::fputs(svc.metrics().to_string().c_str(), stderr);
+void report_topdown(const service::RequestTrace& tr) {
+  if (!tr.topdown) return;
+  const perf::TopDownResult& td = *tr.topdown;
+  std::fprintf(stderr,
+               "topdown (%s): retiring %.1f%%, frontend %.1f%%, "
+               "bad-spec %.1f%%, backend %.1f%% (memory %.1f%%, core %.1f%%), "
+               "ipc %.2f\n",
+               td.source.c_str(), 100 * td.retiring, 100 * td.frontend_bound,
+               100 * td.bad_speculation, 100 * td.backend_bound,
+               100 * td.memory_bound, 100 * td.core_bound, td.ipc);
+}
+
+/// End-of-command observability dump: metrics in the chosen format, the
+/// sampler time series, and the Chrome trace file.
+void dump_observability(const CliOptions& o, const service::AlignService& svc,
+                        const obs::TraceSink* sink) {
+  if (o.metrics)
+    std::fputs(svc.dump_metrics(o.metrics_format).c_str(), stderr);
+  if (svc.sampler())
+    std::fprintf(stderr, "sampler: %s", svc.sampler()->json().c_str());
+  if (sink) {
+    const std::string json = sink->chrome_trace_json();
+    std::FILE* f = std::fopen(o.trace_out.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "swve: cannot write %s\n", o.trace_out.c_str());
+      return;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "trace: wrote %zu events to %s\n",
+                 sink->snapshot_events().size(), o.trace_out.c_str());
+  }
 }
 
 int cmd_info() {
@@ -147,7 +213,8 @@ int cmd_align(const CliOptions& o) {
   auto ts = seq::read_fasta_file(o.positional[1], alpha(o));
   if (qs.empty() || ts.empty()) usage("empty FASTA input");
 
-  service::ServiceOptions so = service_options(o);
+  auto sink = make_sink(o);
+  service::ServiceOptions so = service_options(o, sink.get());
   so.config.traceback = true;
   so.config.max_traceback_cells = uint64_t{1} << 34;
   service::AlignService svc(so);
@@ -169,7 +236,8 @@ int cmd_align(const CliOptions& o) {
               : a.width_used == core::Width::W16 ? 16 : 32,
               a.saturated_8 ? ", 8-bit saturated" : "");
   std::fputs(align::format_alignment(qs[0], ts[0], a).c_str(), stdout);
-  maybe_dump_metrics(o, svc);
+  report_topdown(resp.trace);
+  dump_observability(o, svc, sink.get());
   return 0;
 }
 
@@ -180,7 +248,8 @@ int cmd_search(const CliOptions& o) {
   seq::SequenceDatabase db =
       seq::SequenceDatabase::from_fasta_file(o.positional[1], alpha(o));
 
-  service::AlignService svc(db, service_options(o));
+  auto sink = make_sink(o);
+  service::AlignService svc(db, service_options(o, sink.get()));
   service::SearchRequest rq;
   rq.query = qs[0];
   apply_deadline(rq.options, o);
@@ -194,7 +263,8 @@ int cmd_search(const CliOptions& o) {
   for (const auto& h : res.hits)
     std::printf("%s\t%s\t%d\t%d\t%d\n", qs[0].id().c_str(),
                 db[h.seq_index].id().c_str(), h.score, h.end_query, h.end_ref);
-  maybe_dump_metrics(o, svc);
+  report_topdown(resp.trace);
+  dump_observability(o, svc, sink.get());
   return 0;
 }
 
@@ -205,7 +275,8 @@ int cmd_batch(const CliOptions& o) {
   seq::SequenceDatabase db =
       seq::SequenceDatabase::from_fasta_file(o.positional[1], alpha(o));
 
-  service::AlignService svc(db, service_options(o));
+  auto sink = make_sink(o);
+  service::AlignService svc(db, service_options(o, sink.get()));
   service::BatchRequest rq;
   rq.queries = qs;
   apply_deadline(rq.options, o);
@@ -222,7 +293,8 @@ int cmd_batch(const CliOptions& o) {
     for (const auto& h : resp.results[qi].result.hits)
       std::printf("%s\t%s\t%d\n", qs[qi].id().c_str(), db[h.seq_index].id().c_str(),
                   h.score);
-  maybe_dump_metrics(o, svc);
+  report_topdown(resp.trace);
+  dump_observability(o, svc, sink.get());
   return 0;
 }
 

@@ -27,12 +27,19 @@ std::vector<BatchQueryResult> batch_run(const seq::SequenceDatabase& db,
 
   auto run_query = [&](size_t qi) {
     perf::Stopwatch sw;
+    obs::Span span(ctx.trace, "chunk.batch_query");
+    span.set_index(qi);
+    span.set_isa(simd::resolve_isa(cfg.isa));
+    span.set_width_bits(8);
+    span.set_lanes(static_cast<uint32_t>(bdb.lanes()));
     BatchQueryResult& r = out[qi];
     const seq::Sequence& q = queries[qi];
     r.result.query_length = q.length();
     r.result.db_residues = db.total_residues();
     if (ctx.should_stop()) {  // per-query cancellation/deadline check
       r.result.truncated = true;
+      span.set_trunc(ctx.cancelled() ? obs::TruncCause::Cancelled
+                                     : obs::TruncCause::Deadline);
       return;
     }
     core::Workspace ws;
@@ -48,6 +55,7 @@ std::vector<BatchQueryResult> batch_run(const seq::SequenceDatabase& db,
     r.result.hits = std::move(hits);
     r.result.stats.cells = r.batch_stats.cells8 + r.batch_stats.rescored_cells;
     r.result.stats.vector_cells = r.batch_stats.cells8;
+    span.add_cells(r.result.stats.cells);
     r.result.seconds = sw.seconds();
   };
 

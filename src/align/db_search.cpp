@@ -42,6 +42,21 @@ int batch_lanes() {
              : 32;
 }
 
+uint16_t width_bits(core::Width w) {
+  switch (w) {
+    case core::Width::W8: return 8;
+    case core::Width::W16: return 16;
+    case core::Width::W32: return 32;
+    case core::Width::Adaptive: return 0;
+  }
+  return 0;
+}
+
+obs::TruncCause trunc_cause(const ExecContext& ctx) {
+  return ctx.cancelled() ? obs::TruncCause::Cancelled
+                         : obs::TruncCause::Deadline;
+}
+
 }  // namespace
 
 namespace engine {
@@ -63,6 +78,11 @@ SearchResult search_batch(const seq::SequenceDatabase& db,
   std::mutex agg_mu;
   std::atomic<bool> truncated{false};
   auto score_batches = [&](size_t b_begin, size_t b_end) {
+    obs::Span span(ctx.trace, "chunk.search_batch");
+    span.set_index(b_begin);
+    span.set_isa(simd::resolve_isa(cfg.isa));
+    span.set_width_bits(8);
+    span.set_lanes(static_cast<uint32_t>(bdb.lanes()));
     core::Workspace ws;
     core::BatchSearchStats local{};
     core::AlignConfig wide = cfg;
@@ -70,6 +90,7 @@ SearchResult search_batch(const seq::SequenceDatabase& db,
     for (size_t b = b_begin; b < b_end; ++b) {
       if (ctx.should_stop()) {  // per-batch cancellation/deadline check
         truncated.store(true, std::memory_order_relaxed);
+        span.set_trunc(trunc_cause(ctx));
         break;
       }
       core::Batch32Db::Batch batch = bdb.batch(b);
@@ -94,6 +115,8 @@ SearchResult search_batch(const seq::SequenceDatabase& db,
         }
       }
     }
+    span.add_cells(local.cells8 + local.rescored_cells);
+    span.end();
     std::lock_guard<std::mutex> lk(agg_mu);
     agg.cells8 += local.cells8;
     agg.rescored += local.rescored;
@@ -149,18 +172,24 @@ SearchResult search_diagonal(const seq::SequenceDatabase& db,
   auto run_part = [&](unsigned p) {
     auto [begin, end] = ranges[p];
     if (begin >= end) return;
+    obs::Span span(ctx.trace, "chunk.search_diagonal");
+    span.set_index(p);
     core::Workspace ws;
     TopK top(top_k);
     core::KernelStats stats;
     for (size_t s = begin; s < end; ++s) {
       if (ctx.should_stop()) {  // per-sequence cancellation/deadline check
         truncated.store(true, std::memory_order_relaxed);
+        span.set_trunc(trunc_cause(ctx));
         break;
       }
       core::Alignment a = core::diag_align(query, db[s], cfg, ws);
+      span.set_isa(a.isa_used);
+      span.set_width_bits(width_bits(a.width_used));
       stats += a.stats;
       top.offer(Hit{static_cast<uint32_t>(s), a.score, a.end_query, a.end_ref});
     }
+    span.add_cells(stats.cells);
     part_hits[p] = std::move(top).sorted();
     part_stats[p] = stats;
   };

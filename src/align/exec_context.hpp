@@ -11,6 +11,7 @@
 #include <atomic>
 #include <chrono>
 
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace swve::align {
@@ -27,6 +28,10 @@ struct ExecContext {
 
   /// Optional deadline; time_point{} (epoch) means none.
   Clock::time_point deadline{};
+
+  /// Tracing: engines open obs::Span chunks against this. Inactive (no
+  /// sink) by default, in which case every span call is one null check.
+  obs::TraceContext trace{};
 
   bool has_deadline() const noexcept {
     return deadline.time_since_epoch().count() != 0;

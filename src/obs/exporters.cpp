@@ -1,0 +1,232 @@
+#include "obs/exporters.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace swve::obs {
+
+namespace {
+
+using perf::KernelVariant;
+using perf::LatencyHistogram;
+using perf::MetricsSnapshot;
+
+void appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+// ---------------------------------------------------------------- Prometheus
+
+void prom_header(std::string& out, const char* name, const char* help,
+                 const char* type) {
+  out += "# HELP ";
+  out += name;
+  out += " ";
+  out += help;
+  out += "\n# TYPE ";
+  out += name;
+  out += " ";
+  out += type;
+  out += "\n";
+}
+
+void prom_histogram(std::string& out, const char* name, const char* help,
+                    const LatencyHistogram::Snapshot& h) {
+  prom_header(out, name, help, "histogram");
+  uint64_t cum = 0;
+  for (int i = 0; i < LatencyHistogram::kBuckets - 1; ++i) {
+    cum += h.buckets[i];
+    appendf(out, "%s_bucket{le=\"%g\"} %" PRIu64 "\n", name,
+            LatencyHistogram::bucket_upper_seconds(i), cum);
+  }
+  appendf(out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", name, h.count);
+  appendf(out, "%s_sum %.9g\n", name,
+          h.mean_s * static_cast<double>(h.count));
+  appendf(out, "%s_count %" PRIu64 "\n", name, h.count);
+}
+
+}  // namespace
+
+std::optional<MetricsFormat> metrics_format_from_string(const std::string& s) {
+  if (s == "text") return MetricsFormat::Text;
+  if (s == "prom" || s == "prometheus") return MetricsFormat::Prometheus;
+  if (s == "json") return MetricsFormat::Json;
+  return std::nullopt;
+}
+
+std::string render_metrics(const MetricsSnapshot& snapshot,
+                           MetricsFormat format) {
+  switch (format) {
+    case MetricsFormat::Text: return snapshot.to_string();
+    case MetricsFormat::Prometheus: return to_prometheus(snapshot);
+    case MetricsFormat::Json: return to_json(snapshot);
+  }
+  return snapshot.to_string();
+}
+
+std::string to_prometheus(const MetricsSnapshot& s) {
+  std::string out;
+  out.reserve(4096);
+
+  prom_header(out, "swve_requests_submitted_total",
+              "Requests accepted into the submission queue", "counter");
+  appendf(out, "swve_requests_submitted_total %" PRIu64 "\n", s.submitted);
+
+  prom_header(out, "swve_requests_completed_total",
+              "Requests whose future was fulfilled with a result, by scenario",
+              "counter");
+  appendf(out, "swve_requests_completed_total{scenario=\"pairwise\"} %" PRIu64 "\n",
+          s.pairwise);
+  appendf(out, "swve_requests_completed_total{scenario=\"search\"} %" PRIu64 "\n",
+          s.search);
+  appendf(out, "swve_requests_completed_total{scenario=\"batch\"} %" PRIu64 "\n",
+          s.batch);
+
+  prom_header(out, "swve_requests_failed_total",
+              "Requests that failed their future, by reason", "counter");
+  appendf(out, "swve_requests_failed_total{reason=\"queue_full\"} %" PRIu64 "\n",
+          s.rejected_queue_full);
+  appendf(out, "swve_requests_failed_total{reason=\"deadline\"} %" PRIu64 "\n",
+          s.deadline_expired);
+  appendf(out, "swve_requests_failed_total{reason=\"invalid\"} %" PRIu64 "\n",
+          s.invalid_request);
+  appendf(out, "swve_requests_failed_total{reason=\"aborted\"} %" PRIu64 "\n",
+          s.aborted);
+
+  prom_header(out, "swve_kernel_cells_total",
+              "DP cells computed across completed requests", "counter");
+  appendf(out, "swve_kernel_cells_total %" PRIu64 "\n", s.cells);
+  prom_header(out, "swve_kernel_seconds_total",
+              "Summed kernel execution time", "counter");
+  appendf(out, "swve_kernel_seconds_total %.9g\n", s.kernel_seconds);
+
+  prom_header(out, "swve_gcups_aggregate",
+              "Lifetime throughput in giga cell updates per second", "gauge");
+  appendf(out, "swve_gcups_aggregate %.6g\n", s.aggregate_gcups());
+  prom_header(out, "swve_gcups_window",
+              "Throughput over the trailing window", "gauge");
+  appendf(out, "swve_gcups_window{window_s=\"%d\"} %.6g\n",
+          MetricsSnapshot::kWindowSeconds, s.window_gcups());
+
+  prom_header(out, "swve_kernel_target_requests_total",
+              "Completed requests by dispatch target", "counter");
+  for (int i = 0; i < MetricsSnapshot::kIsas; ++i)
+    for (int k = 0; k < MetricsSnapshot::kKernelVariants; ++k)
+      if (s.target_requests[i][k] != 0)
+        appendf(out,
+                "swve_kernel_target_requests_total{isa=\"%s\",kernel=\"%s\"} "
+                "%" PRIu64 "\n",
+                simd::isa_name(static_cast<simd::Isa>(i)),
+                perf::kernel_variant_name(static_cast<KernelVariant>(k)),
+                s.target_requests[i][k]);
+  prom_header(out, "swve_kernel_target_cells_total",
+              "DP cells computed by dispatch target", "counter");
+  for (int i = 0; i < MetricsSnapshot::kIsas; ++i)
+    for (int k = 0; k < MetricsSnapshot::kKernelVariants; ++k)
+      if (s.target_cells[i][k] != 0)
+        appendf(out,
+                "swve_kernel_target_cells_total{isa=\"%s\",kernel=\"%s\"} "
+                "%" PRIu64 "\n",
+                simd::isa_name(static_cast<simd::Isa>(i)),
+                perf::kernel_variant_name(static_cast<KernelVariant>(k)),
+                s.target_cells[i][k]);
+
+  prom_header(out, "swve_pool_threads", "Worker threads in the owned pool",
+              "gauge");
+  appendf(out, "swve_pool_threads %u\n", s.pool_threads);
+  prom_header(out, "swve_pool_jobs_total", "Jobs executed by the pool",
+              "counter");
+  appendf(out, "swve_pool_jobs_total %" PRIu64 "\n", s.pool_jobs);
+  prom_header(out, "swve_pool_busy_seconds_total",
+              "Summed busy time across pool workers", "counter");
+  appendf(out, "swve_pool_busy_seconds_total %.9g\n", s.pool_busy_seconds);
+  prom_header(out, "swve_pool_utilization",
+              "Busy fraction of the pool over the service lifetime", "gauge");
+  appendf(out, "swve_pool_utilization %.6g\n", s.pool_utilization());
+
+  prom_header(out, "swve_uptime_seconds", "Service lifetime", "gauge");
+  appendf(out, "swve_uptime_seconds %.6g\n", s.uptime_seconds);
+
+  prom_histogram(out, "swve_queue_wait_seconds",
+                 "Submit-to-execution-start wait", s.queue_wait);
+  prom_histogram(out, "swve_kernel_time_seconds",
+                 "Per-request execution time", s.kernel_time);
+  return out;
+}
+
+namespace {
+
+void json_histogram(std::string& out, const char* key,
+                    const LatencyHistogram::Snapshot& h) {
+  appendf(out,
+          "\"%s\":{\"count\":%" PRIu64
+          ",\"mean_s\":%.9g,\"max_s\":%.9g,\"p50_s\":%.9g,\"p90_s\":%.9g,"
+          "\"p99_s\":%.9g,\"buckets\":[",
+          key, h.count, h.mean_s, h.max_s, h.p50_s, h.p90_s, h.p99_s);
+  for (int i = 0; i < LatencyHistogram::kBuckets; ++i)
+    appendf(out, "%s%" PRIu64, i ? "," : "", h.buckets[i]);
+  out += "]}";
+}
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& s) {
+  std::string out;
+  out.reserve(2048);
+  out += "{";
+  appendf(out,
+          "\"requests\":{\"submitted\":%" PRIu64 ",\"completed\":%" PRIu64
+          ",\"rejected_queue_full\":%" PRIu64 ",\"deadline_expired\":%" PRIu64
+          ",\"invalid_request\":%" PRIu64 ",\"aborted\":%" PRIu64 "},",
+          s.submitted, s.completed, s.rejected_queue_full, s.deadline_expired,
+          s.invalid_request, s.aborted);
+  appendf(out,
+          "\"scenarios\":{\"pairwise\":%" PRIu64 ",\"search\":%" PRIu64
+          ",\"batch\":%" PRIu64 "},",
+          s.pairwise, s.search, s.batch);
+  appendf(out,
+          "\"kernel\":{\"cells\":%" PRIu64
+          ",\"seconds\":%.9g,\"aggregate_gcups\":%.6g},",
+          s.cells, s.kernel_seconds, s.aggregate_gcups());
+  appendf(out,
+          "\"window\":{\"span_s\":%d,\"cells\":%" PRIu64
+          ",\"kernel_seconds\":%.9g,\"gcups\":%.6g},",
+          MetricsSnapshot::kWindowSeconds, s.window_cells,
+          s.window_kernel_seconds, s.window_gcups());
+  out += "\"targets\":[";
+  bool first = true;
+  for (int i = 0; i < MetricsSnapshot::kIsas; ++i) {
+    for (int k = 0; k < MetricsSnapshot::kKernelVariants; ++k) {
+      if (s.target_requests[i][k] == 0 && s.target_cells[i][k] == 0) continue;
+      appendf(out,
+              "%s{\"isa\":\"%s\",\"kernel\":\"%s\",\"requests\":%" PRIu64
+              ",\"cells\":%" PRIu64 "}",
+              first ? "" : ",", simd::isa_name(static_cast<simd::Isa>(i)),
+              perf::kernel_variant_name(static_cast<KernelVariant>(k)),
+              s.target_requests[i][k], s.target_cells[i][k]);
+      first = false;
+    }
+  }
+  out += "],";
+  appendf(out,
+          "\"pool\":{\"threads\":%u,\"jobs\":%" PRIu64
+          ",\"busy_seconds\":%.9g,\"utilization\":%.6g},",
+          s.pool_threads, s.pool_jobs, s.pool_busy_seconds,
+          s.pool_utilization());
+  appendf(out, "\"uptime_seconds\":%.6g,", s.uptime_seconds);
+  json_histogram(out, "queue_wait", s.queue_wait);
+  out += ",";
+  json_histogram(out, "kernel_time", s.kernel_time);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace swve::obs

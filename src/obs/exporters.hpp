@@ -1,0 +1,35 @@
+// Machine-readable renderings of perf::MetricsSnapshot.
+//
+// The human text dump (MetricsSnapshot::to_string) is for eyeballs; these
+// exporters are for scrapers: Prometheus text exposition format 0.0.4
+// (`name{labels} value` lines with HELP/TYPE headers, cumulative `le`
+// histogram buckets) and a JSON object that round-trips every counter.
+// The metric schema is documented in docs/observability.md.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "perf/metrics.hpp"
+
+namespace swve::obs {
+
+enum class MetricsFormat { Text, Prometheus, Json };
+
+/// Parse "text" / "prom" / "prometheus" / "json" (case-sensitive, like the
+/// CLI); nullopt for anything else.
+std::optional<MetricsFormat> metrics_format_from_string(const std::string& s);
+
+/// Render `snapshot` in the requested format. Text delegates to
+/// MetricsSnapshot::to_string().
+std::string render_metrics(const perf::MetricsSnapshot& snapshot,
+                           MetricsFormat format);
+
+/// Prometheus text exposition (swve_* metric families).
+std::string to_prometheus(const perf::MetricsSnapshot& snapshot);
+
+/// JSON object mirroring the snapshot (requests / scenarios / kernel /
+/// window / targets / pool / histograms).
+std::string to_json(const perf::MetricsSnapshot& snapshot);
+
+}  // namespace swve::obs

@@ -1,0 +1,80 @@
+// Live profiling sampler: a background thread that periodically snapshots
+// the effective core frequency (perf::freq_monitor's dependent-add probe)
+// and the service metrics into a bounded time-series ring.
+//
+// This makes the paper's Fig 11 data — effective frequency vs. load — and
+// the throughput gauges collectable from a *running* service instead of
+// only from the offline bench binaries. The probe runs the spin kernel for
+// freq_probe_ms per sample on the sampler thread, so the steady-state
+// overhead is period-independent CPU time of roughly
+// freq_probe_ms / period_s (e.g. 5 ms probe at 1 s period = 0.5% of one
+// core); size the period accordingly.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "perf/metrics.hpp"
+
+namespace swve::obs {
+
+struct SamplerOptions {
+  double period_s = 1.0;      ///< time between samples
+  double freq_probe_ms = 5.0; ///< spin-kernel duration per frequency probe
+  size_t capacity = 600;      ///< ring length (oldest samples evicted)
+};
+
+/// One point of the time series (compact projection of a MetricsSnapshot
+/// plus the frequency probe).
+struct Sample {
+  double t_s = 0;               ///< seconds since the sampler started
+  double ghz = 0;               ///< effective frequency of the sampler core
+  uint64_t completed = 0;
+  uint64_t cells = 0;
+  double kernel_seconds = 0;
+  double window_gcups = 0;
+  double pool_utilization = 0;
+};
+
+class Sampler {
+ public:
+  using Source = std::function<perf::MetricsSnapshot()>;
+
+  /// Starts sampling immediately; `source` is called from the sampler
+  /// thread and must stay valid until stop()/destruction.
+  Sampler(SamplerOptions options, Source source);
+  ~Sampler();
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Stop the background thread (idempotent; the ring remains readable).
+  void stop();
+
+  /// Copy of the ring, oldest first.
+  std::vector<Sample> samples() const;
+
+  /// Time-series JSON: {"period_s":...,"samples":[{...},...]}.
+  std::string json() const;
+
+  const SamplerOptions& options() const noexcept { return opt_; }
+
+ private:
+  void loop();
+  Sample take_sample();
+
+  SamplerOptions opt_;
+  Source source_;
+  std::chrono::steady_clock::time_point start_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Sample> ring_;  ///< chronological; trimmed to capacity
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace swve::obs

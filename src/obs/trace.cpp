@@ -1,0 +1,216 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+
+namespace swve::obs {
+
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+std::atomic<uint64_t> g_sink_ids{0};
+
+uint64_t pack_meta(const TraceEvent& e) noexcept {
+  return static_cast<uint64_t>(static_cast<uint8_t>(e.isa)) |
+         static_cast<uint64_t>(static_cast<uint8_t>(e.trunc)) << 8 |
+         static_cast<uint64_t>(e.width_bits) << 16 |
+         static_cast<uint64_t>(e.lanes) << 32;
+}
+
+void unpack_meta(uint64_t m, TraceEvent& e) noexcept {
+  e.isa = static_cast<simd::Isa>(m & 0xff);
+  e.trunc = static_cast<TruncCause>((m >> 8) & 0xff);
+  e.width_bits = static_cast<uint16_t>((m >> 16) & 0xffff);
+  e.lanes = static_cast<uint32_t>(m >> 32);
+}
+
+}  // namespace
+
+const char* trunc_cause_name(TruncCause c) noexcept {
+  switch (c) {
+    case TruncCause::None: return "none";
+    case TruncCause::Cancelled: return "cancelled";
+    case TruncCause::Deadline: return "deadline";
+  }
+  return "?";
+}
+
+TraceSink::TraceSink(size_t events_per_thread, unsigned max_threads)
+    : capacity_(std::bit_ceil(std::max<size_t>(events_per_thread, 2))),
+      mask_(capacity_ - 1),
+      max_threads_(std::max(1u, max_threads)),
+      rings_(new Ring[max_threads_]),
+      epoch_(std::chrono::steady_clock::now()),
+      sink_id_(g_sink_ids.fetch_add(1, kRelaxed) + 1) {
+  for (unsigned r = 0; r < max_threads_; ++r)
+    rings_[r].slots.reset(new Slot[capacity_]);
+}
+
+uint64_t TraceSink::now_ns() const noexcept {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+int TraceSink::ring_index() noexcept {
+  // One cache entry per thread: a thread that alternates between two live
+  // sinks re-registers on each switch (acceptable — the expected shape is
+  // one sink per process).
+  struct Cache {
+    uint64_t sink_id = 0;
+    int idx = -1;
+  };
+  thread_local Cache cache;
+  if (cache.sink_id == sink_id_) return cache.idx;
+  const unsigned i = registered_.fetch_add(1, kRelaxed);
+  cache.sink_id = sink_id_;
+  cache.idx = i < max_threads_ ? static_cast<int>(i) : -1;
+  return cache.idx;
+}
+
+void TraceSink::record(const TraceEvent& event) noexcept {
+  const int r = ring_index();
+  if (r < 0) {
+    overflow_dropped_.fetch_add(1, kRelaxed);
+    return;
+  }
+  Ring& ring = rings_[r];
+  const uint64_t h = ring.head.load(kRelaxed);  // single producer: this thread
+  Slot& s = ring.slots[h & mask_];
+  const uint64_t v = s.version.load(kRelaxed);
+  s.version.store(v + 1, kRelaxed);  // odd: write in progress
+  std::atomic_thread_fence(std::memory_order_release);
+  s.name.store(event.name, kRelaxed);
+  s.trace_id.store(event.trace_id, kRelaxed);
+  s.ts_ns.store(event.ts_ns, kRelaxed);
+  s.dur_ns.store(event.dur_ns, kRelaxed);
+  s.meta.store(pack_meta(event), kRelaxed);
+  s.cells.store(event.cells, kRelaxed);
+  s.index.store(event.index, kRelaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  s.version.store(v + 2, kRelaxed);
+  ring.head.store(h + 1, std::memory_order_release);
+}
+
+void TraceSink::record_span(const char* name, uint64_t trace_id,
+                            uint64_t t0_ns, uint64_t t1_ns) noexcept {
+  TraceEvent e;
+  e.name = name;
+  e.trace_id = trace_id;
+  e.ts_ns = t0_ns;
+  e.dur_ns = t1_ns > t0_ns ? t1_ns - t0_ns : 0;
+  record(e);
+}
+
+uint64_t TraceSink::recorded() const noexcept {
+  uint64_t n = 0;
+  const unsigned live = std::min(registered_.load(kRelaxed), max_threads_);
+  for (unsigned r = 0; r < live; ++r) n += rings_[r].head.load(kRelaxed);
+  return n + overflow_dropped_.load(kRelaxed);
+}
+
+uint64_t TraceSink::dropped() const noexcept {
+  uint64_t n = overflow_dropped_.load(kRelaxed) + torn_skipped_.load(kRelaxed);
+  const unsigned live = std::min(registered_.load(kRelaxed), max_threads_);
+  for (unsigned r = 0; r < live; ++r) {
+    const uint64_t h = rings_[r].head.load(kRelaxed);
+    if (h > capacity_) n += h - capacity_;
+  }
+  return n;
+}
+
+std::vector<TraceEvent> TraceSink::snapshot_events() const {
+  std::vector<TraceEvent> out;
+  const unsigned live = std::min(registered_.load(kRelaxed), max_threads_);
+  for (unsigned r = 0; r < live; ++r) {
+    const Ring& ring = rings_[r];
+    const uint64_t h = ring.head.load(std::memory_order_acquire);
+    const uint64_t begin = h > capacity_ ? h - capacity_ : 0;
+    for (uint64_t i = begin; i < h; ++i) {
+      const Slot& s = ring.slots[i & mask_];
+      const uint64_t v1 = s.version.load(std::memory_order_acquire);
+      if (v1 & 1) {  // mid-write
+        torn_skipped_.fetch_add(1, kRelaxed);
+        continue;
+      }
+      TraceEvent e;
+      e.name = s.name.load(kRelaxed);
+      e.trace_id = s.trace_id.load(kRelaxed);
+      e.ts_ns = s.ts_ns.load(kRelaxed);
+      e.dur_ns = s.dur_ns.load(kRelaxed);
+      unpack_meta(s.meta.load(kRelaxed), e);
+      e.cells = s.cells.load(kRelaxed);
+      e.index = s.index.load(kRelaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (s.version.load(kRelaxed) != v1 || e.name == nullptr) {
+        torn_skipped_.fetch_add(1, kRelaxed);  // overwritten while reading
+        continue;
+      }
+      e.tid = r;
+      out.push_back(e);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_ns != b.ts_ns ? a.ts_ns < b.ts_ns : a.tid < b.tid;
+            });
+  return out;
+}
+
+std::string TraceSink::chrome_trace_json() const {
+  const std::vector<TraceEvent> events = snapshot_events();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof buf,
+                  "\n{\"name\":\"%s\",\"cat\":\"swve\",\"ph\":\"X\","
+                  "\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f,\"args\":{",
+                  e.name, e.tid, static_cast<double>(e.ts_ns) * 1e-3,
+                  static_cast<double>(e.dur_ns) * 1e-3);
+    out += buf;
+    std::snprintf(buf, sizeof buf, "\"trace_id\":%" PRIu64, e.trace_id);
+    out += buf;
+    if (e.isa != simd::Isa::Auto) {
+      out += ",\"isa\":\"";
+      out += simd::isa_name(e.isa);
+      out += "\"";
+    }
+    if (e.width_bits != 0) {
+      std::snprintf(buf, sizeof buf, ",\"width_bits\":%u", e.width_bits);
+      out += buf;
+    }
+    if (e.lanes != 0) {
+      std::snprintf(buf, sizeof buf, ",\"lanes\":%u", e.lanes);
+      out += buf;
+    }
+    if (e.cells != 0) {
+      std::snprintf(buf, sizeof buf, ",\"cells\":%" PRIu64, e.cells);
+      out += buf;
+    }
+    if (e.index != TraceEvent::kNoIndex) {
+      std::snprintf(buf, sizeof buf, ",\"index\":%" PRIu64, e.index);
+      out += buf;
+    }
+    if (e.trunc != TruncCause::None) {
+      out += ",\"trunc\":\"";
+      out += trunc_cause_name(e.trunc);
+      out += "\"";
+    }
+    out += "}}";
+  }
+  char tail[96];
+  std::snprintf(tail, sizeof tail,
+                "\n],\"otherData\":{\"dropped_events\":%" PRIu64 "}}\n",
+                dropped());
+  out += tail;
+  return out;
+}
+
+}  // namespace swve::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 
 namespace swve::parallel {
@@ -32,7 +33,14 @@ void ThreadPool::worker_loop(unsigned id) {
       job = std::move(jobs_.front());
       jobs_.pop();
     }
+    const auto t0 = std::chrono::steady_clock::now();
     job.fn(id);
+    const auto dur = std::chrono::steady_clock::now() - t0;
+    busy_ns_.fetch_add(
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(dur).count()),
+        std::memory_order_relaxed);
+    jobs_run_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lk(mu_);
       if (--outstanding_ == 0) done_cv_.notify_all();

@@ -5,6 +5,7 @@
 // for any thread count — part of the library's determinism guarantee.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -15,6 +16,13 @@
 
 namespace swve::parallel {
 
+/// Worker-utilization accounting for a ThreadPool (see ThreadPool::stats).
+struct PoolStats {
+  unsigned threads = 0;
+  uint64_t jobs = 0;         ///< jobs executed (one per worker per fan-out)
+  double busy_seconds = 0;   ///< summed wall time workers spent in jobs
+};
+
 class ThreadPool {
  public:
   /// `threads` == 0 picks std::thread::hardware_concurrency().
@@ -24,6 +32,16 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Lifetime utilization counters (lock-free reads; updated by workers
+  /// after each job). Busy fraction over a span T is
+  /// busy_seconds / (threads * T).
+  PoolStats stats() const noexcept {
+    return PoolStats{size(), jobs_run_.load(std::memory_order_relaxed),
+                     static_cast<double>(
+                         busy_ns_.load(std::memory_order_relaxed)) *
+                         1e-9};
+  }
 
   /// Run fn(begin, end, worker) over [0, n) split into size() contiguous
   /// blocks; blocks before returning. Worker ids are stable in [0, size()).
@@ -50,6 +68,8 @@ class ThreadPool {
   std::queue<Job> jobs_;
   size_t outstanding_ = 0;
   bool stop_ = false;
+  std::atomic<uint64_t> jobs_run_{0};
+  std::atomic<uint64_t> busy_ns_{0};
 };
 
 /// Contiguous block [begin, end) of [0, n) for worker `w` of `workers`.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdio>
 
 namespace swve::perf {
@@ -18,30 +19,14 @@ int bucket_of(uint64_t us) noexcept {
   return std::min(b, LatencyHistogram::kBuckets - 1);
 }
 
-// Upper bound of bucket i, in seconds (used as the percentile estimate).
-double bucket_upper_s(int i) noexcept {
-  return static_cast<double>(uint64_t{1} << i) * 1e-6;
-}
-
-std::string format_seconds(double s) {
-  char buf[32];
-  if (s < 1e-3)
-    std::snprintf(buf, sizeof buf, "%.0fus", s * 1e6);
-  else if (s < 1.0)
-    std::snprintf(buf, sizeof buf, "%.2fms", s * 1e3);
-  else
-    std::snprintf(buf, sizeof buf, "%.3fs", s);
-  return buf;
-}
-
 std::string format_hist(const char* name, const LatencyHistogram::Snapshot& h) {
   std::string out = name;
   out += ": n=" + std::to_string(h.count);
   if (h.count > 0) {
     out += " mean=" + format_seconds(h.mean_s);
-    out += " p50<" + format_seconds(h.p50_s);
-    out += " p90<" + format_seconds(h.p90_s);
-    out += " p99<" + format_seconds(h.p99_s);
+    out += " p50=" + format_seconds(h.p50_s);
+    out += " p90=" + format_seconds(h.p90_s);
+    out += " p99=" + format_seconds(h.p99_s);
     out += " max=" + format_seconds(h.max_s);
   }
   out += "\n";
@@ -49,6 +34,27 @@ std::string format_hist(const char* name, const LatencyHistogram::Snapshot& h) {
 }
 
 }  // namespace
+
+std::string format_seconds(double s) {
+  char buf[32];
+  // Promote at the rounding seam of each unit: "%.0f" of 999.5us would
+  // print "1000us" and "%.2f" of 999.995ms would print "1000.00ms".
+  if (s < 0.9995e-3)
+    std::snprintf(buf, sizeof buf, "%.0fus", s * 1e6);
+  else if (s < 0.999995)
+    std::snprintf(buf, sizeof buf, "%.2fms", s * 1e3);
+  else
+    std::snprintf(buf, sizeof buf, "%.3fs", s);
+  return buf;
+}
+
+const char* kernel_variant_name(KernelVariant v) noexcept {
+  switch (v) {
+    case KernelVariant::Diagonal: return "diagonal";
+    case KernelVariant::Batch32: return "batch32";
+  }
+  return "?";
+}
 
 void LatencyHistogram::record(double seconds) noexcept {
   if (seconds < 0) seconds = 0;
@@ -70,15 +76,26 @@ LatencyHistogram::Snapshot LatencyHistogram::snapshot() const noexcept {
   s.mean_s = static_cast<double>(sum_us_.load(kRelaxed)) * 1e-6 /
              static_cast<double>(s.count);
 
-  // Percentiles from the bucket boundaries (upper bound of the bucket the
-  // rank falls into, so "p99 < X").
+  // Percentile estimate: find the bucket the rank lands in, then
+  // interpolate log-linearly inside it (bucket 0, [0, 1us), interpolates
+  // linearly). The raw upper bound could overstate by up to 2x; the
+  // interpolated value is clamped to the observed max so a lone sample
+  // never reports above it.
   auto percentile = [&](double q) {
-    const uint64_t rank =
-        std::max<uint64_t>(1, static_cast<uint64_t>(q * static_cast<double>(s.count) + 0.5));
+    const uint64_t rank = std::max<uint64_t>(
+        1, static_cast<uint64_t>(q * static_cast<double>(s.count) + 0.5));
     uint64_t cum = 0;
     for (int i = 0; i < kBuckets; ++i) {
-      cum += s.buckets[i];
-      if (cum >= rank) return bucket_upper_s(i);
+      const uint64_t n = s.buckets[i];
+      if (n > 0 && cum + n >= rank) {
+        const double frac =
+            static_cast<double>(rank - cum) / static_cast<double>(n);
+        const double value =
+            i == 0 ? frac * 1e-6
+                   : bucket_upper_seconds(i - 1) * std::exp2(frac);
+        return std::min(value, s.max_s);
+      }
+      cum += n;
     }
     return s.max_s;
   };
@@ -101,6 +118,26 @@ MetricsSnapshot MetricsRegistry::snapshot() const noexcept {
   s.batch = by_scenario_[2].load(kRelaxed);
   s.cells = cells_.load(kRelaxed);
   s.kernel_seconds = static_cast<double>(kernel_ns_.load(kRelaxed)) * 1e-9;
+  for (int i = 0; i < MetricsSnapshot::kIsas; ++i) {
+    for (int k = 0; k < MetricsSnapshot::kKernelVariants; ++k) {
+      s.target_requests[i][k] = target_requests_[i][k].load(kRelaxed);
+      s.target_cells[i][k] = target_cells_[i][k].load(kRelaxed);
+    }
+  }
+  const uint64_t now_s = elapsed_s();
+  uint64_t wcells = 0, wns = 0;
+  for (const WindowBucket& b : window_) {
+    const uint64_t e = b.epoch_s.load(kRelaxed);
+    if (e != kNoEpoch && e <= now_s &&
+        now_s - e < static_cast<uint64_t>(MetricsSnapshot::kWindowSeconds)) {
+      wcells += b.cells.load(kRelaxed);
+      wns += b.kernel_ns.load(kRelaxed);
+    }
+  }
+  s.window_cells = wcells;
+  s.window_kernel_seconds = static_cast<double>(wns) * 1e-9;
+  s.uptime_seconds =
+      std::chrono::duration<double>(Clock::now() - start_).count();
   s.queue_wait = queue_wait_.snapshot();
   s.kernel_time = kernel_time_.snapshot();
   return s;
@@ -117,12 +154,35 @@ std::string MetricsSnapshot::to_string() const {
          std::to_string(aborted) + "\n";
   out += "scenarios: pairwise " + std::to_string(pairwise) + ", search " +
          std::to_string(search) + ", batch " + std::to_string(batch) + "\n";
-  char line[128];
+  char line[160];
   std::snprintf(line, sizeof line,
                 "kernel: %llu cells in %.3f s, aggregate %.2f GCUPS\n",
                 static_cast<unsigned long long>(cells), kernel_seconds,
                 aggregate_gcups());
   out += line;
+  std::snprintf(line, sizeof line,
+                "window(%ds): %llu cells in %.3f s, %.2f GCUPS\n",
+                kWindowSeconds, static_cast<unsigned long long>(window_cells),
+                window_kernel_seconds, window_gcups());
+  out += line;
+  for (int i = 0; i < kIsas; ++i) {
+    for (int k = 0; k < kKernelVariants; ++k) {
+      if (target_requests[i][k] == 0) continue;
+      std::snprintf(line, sizeof line, "target %s/%s: %llu requests, %llu cells\n",
+                    simd::isa_name(static_cast<simd::Isa>(i)),
+                    kernel_variant_name(static_cast<KernelVariant>(k)),
+                    static_cast<unsigned long long>(target_requests[i][k]),
+                    static_cast<unsigned long long>(target_cells[i][k]));
+      out += line;
+    }
+  }
+  if (pool_threads > 0) {
+    std::snprintf(line, sizeof line,
+                  "pool: %u threads, %llu jobs, busy %.3f s, utilization %.1f%%\n",
+                  pool_threads, static_cast<unsigned long long>(pool_jobs),
+                  pool_busy_seconds, 100.0 * pool_utilization());
+    out += line;
+  }
   out += format_hist("queue-wait", queue_wait);
   out += format_hist("kernel-time", kernel_time);
   return out;

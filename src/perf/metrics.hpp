@@ -6,23 +6,38 @@
 // gives a consistent-enough point-in-time copy for dashboards/CLI dumps
 // (counters are read individually; exactness across counters is not
 // required for monitoring).
+//
+// Machine-readable renderings of a MetricsSnapshot (Prometheus text
+// exposition, JSON) live in obs/exporters.hpp.
 #pragma once
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
+
+#include "simd/cpu.hpp"
 
 namespace swve::perf {
 
 /// Lock-free log2-scale latency histogram. Bucket 0 holds samples < 1 us;
 /// bucket i (i >= 1) holds samples in [2^(i-1), 2^i) microseconds; the last
-/// bucket absorbs everything beyond ~35 minutes.
+/// bucket absorbs everything beyond ~35 minutes. Percentiles interpolate
+/// log-linearly inside the hit bucket (clamped to the observed max), so a
+/// reported p99 is an estimate within the bucket rather than the raw
+/// power-of-two upper bound.
 class LatencyHistogram {
  public:
   static constexpr int kBuckets = 32;
 
   void record(double seconds) noexcept;
+
+  /// Upper bound of bucket i, in seconds (bucket 0 ends at 1 us). The
+  /// Prometheus exporter uses these as its `le` boundaries.
+  static double bucket_upper_seconds(int i) noexcept {
+    return static_cast<double>(uint64_t{1} << i) * 1e-6;
+  }
 
   struct Snapshot {
     uint64_t count = 0;
@@ -42,8 +57,22 @@ class LatencyHistogram {
   std::atomic<uint64_t> max_us_{0};
 };
 
+/// Human-friendly duration ("248us", "3.20ms", "1.500s"). Values that would
+/// round up to a whole next unit are promoted ("999.7us" prints "1.00ms",
+/// never "1000us").
+std::string format_seconds(double s);
+
+/// Kernel family that actually served a request (the dispatch target,
+/// together with the resolved ISA).
+enum class KernelVariant : int { Diagonal = 0, Batch32 = 1 };
+const char* kernel_variant_name(KernelVariant v) noexcept;
+
 /// Point-in-time copy of a MetricsRegistry.
 struct MetricsSnapshot {
+  static constexpr int kIsas = 5;            ///< simd::Isa enum size
+  static constexpr int kKernelVariants = 2;  ///< KernelVariant enum size
+  static constexpr int kWindowSeconds = 60;  ///< sliding-window span
+
   // Request lifecycle counters.
   uint64_t submitted = 0;           ///< accepted into the queue
   uint64_t completed = 0;           ///< future fulfilled with a result
@@ -61,8 +90,22 @@ struct MetricsSnapshot {
   uint64_t cells = 0;               ///< DP cells computed
   double kernel_seconds = 0;        ///< summed kernel (execution) time
 
-  LatencyHistogram::Snapshot queue_wait;
-  LatencyHistogram::Snapshot kernel_time;
+  // Which dispatch target served each completed request: completions and
+  // cells by [resolved ISA][kernel variant].
+  std::array<std::array<uint64_t, kKernelVariants>, kIsas> target_requests{};
+  std::array<std::array<uint64_t, kKernelVariants>, kIsas> target_cells{};
+
+  // Sliding window: kernel work recorded in the last kWindowSeconds.
+  uint64_t window_cells = 0;
+  double window_kernel_seconds = 0;
+
+  // Thread-pool utilization (filled by the owner of the pool; zero when no
+  // pool is attached).
+  unsigned pool_threads = 0;
+  uint64_t pool_jobs = 0;
+  double pool_busy_seconds = 0;
+
+  double uptime_seconds = 0;        ///< registry lifetime at snapshot time
 
   /// Aggregate throughput over every completed request.
   double aggregate_gcups() const noexcept {
@@ -71,7 +114,26 @@ struct MetricsSnapshot {
                : 0.0;
   }
 
-  /// Human-readable multi-line dump (the `swve --metrics` format).
+  /// Throughput over kernel work completed in the last kWindowSeconds —
+  /// the live-dashboard gauge next to the lifetime aggregate.
+  double window_gcups() const noexcept {
+    return window_kernel_seconds > 0
+               ? static_cast<double>(window_cells) / window_kernel_seconds / 1e9
+               : 0.0;
+  }
+
+  /// Busy fraction of the pool over the registry's lifetime [0, 1].
+  double pool_utilization() const noexcept {
+    return pool_threads > 0 && uptime_seconds > 0
+               ? pool_busy_seconds /
+                     (static_cast<double>(pool_threads) * uptime_seconds)
+               : 0.0;
+  }
+
+  LatencyHistogram::Snapshot queue_wait;
+  LatencyHistogram::Snapshot kernel_time;
+
+  /// Human-readable multi-line dump (the `swve --metrics` text format).
   std::string to_string() const;
 };
 
@@ -80,6 +142,8 @@ struct MetricsSnapshot {
 class MetricsRegistry {
  public:
   enum class Scenario : int { Pairwise = 0, Search = 1, Batch = 2 };
+
+  MetricsRegistry() : start_(Clock::now()) {}
 
   void on_submitted() noexcept { submitted_.fetch_add(1, kRelaxed); }
   void on_rejected_queue_full() noexcept {
@@ -98,14 +162,63 @@ class MetricsRegistry {
     completed_.fetch_add(1, kRelaxed);
     by_scenario_[static_cast<int>(s)].fetch_add(1, kRelaxed);
     cells_.fetch_add(cells, kRelaxed);
-    kernel_ns_.fetch_add(static_cast<uint64_t>(kernel_seconds * 1e9), kRelaxed);
+    const auto ns = static_cast<uint64_t>(kernel_seconds * 1e9);
+    kernel_ns_.fetch_add(ns, kRelaxed);
     kernel_time_.record(kernel_seconds);
+    window_record(cells, ns);
+  }
+
+  /// Attribute a completed request to the dispatch target that served it
+  /// (resolved ISA + kernel family). Pass the ISA the kernel reported, not
+  /// the requested one.
+  void on_kernel_completed(simd::Isa isa, KernelVariant variant,
+                           uint64_t cells) noexcept {
+    const auto i = static_cast<size_t>(isa);
+    const auto k = static_cast<size_t>(variant);
+    if (i >= static_cast<size_t>(MetricsSnapshot::kIsas) ||
+        k >= static_cast<size_t>(MetricsSnapshot::kKernelVariants))
+      return;
+    target_requests_[i][k].fetch_add(1, kRelaxed);
+    target_cells_[i][k].fetch_add(cells, kRelaxed);
   }
 
   MetricsSnapshot snapshot() const noexcept;
 
  private:
+  using Clock = std::chrono::steady_clock;
   static constexpr auto kRelaxed = std::memory_order_relaxed;
+  // One-second buckets; > kWindowSeconds of them so an expired bucket is
+  // reused before it could be confused with a live one.
+  static constexpr int kWindowBuckets = 64;
+  static constexpr uint64_t kNoEpoch = ~uint64_t{0};
+
+  struct WindowBucket {
+    std::atomic<uint64_t> epoch_s{kNoEpoch};  ///< second the bucket covers
+    std::atomic<uint64_t> cells{0};
+    std::atomic<uint64_t> kernel_ns{0};
+  };
+
+  uint64_t elapsed_s() const noexcept {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::seconds>(Clock::now() - start_)
+            .count());
+  }
+
+  void window_record(uint64_t cells, uint64_t ns) noexcept {
+    const uint64_t now_s = elapsed_s();
+    WindowBucket& b = window_[now_s % kWindowBuckets];
+    uint64_t e = b.epoch_s.load(kRelaxed);
+    if (e != now_s &&
+        b.epoch_s.compare_exchange_strong(e, now_s, kRelaxed, kRelaxed)) {
+      // This thread rolled the bucket over; reset it. A concurrent recorder
+      // that raced between the CAS and these stores can lose its sample —
+      // a once-per-second monitoring-grade race, not a data race.
+      b.cells.store(0, kRelaxed);
+      b.kernel_ns.store(0, kRelaxed);
+    }
+    b.cells.fetch_add(cells, kRelaxed);
+    b.kernel_ns.fetch_add(ns, kRelaxed);
+  }
 
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> completed_{0};
@@ -116,8 +229,16 @@ class MetricsRegistry {
   std::array<std::atomic<uint64_t>, 3> by_scenario_{};
   std::atomic<uint64_t> cells_{0};
   std::atomic<uint64_t> kernel_ns_{0};
+  std::array<std::array<std::atomic<uint64_t>, MetricsSnapshot::kKernelVariants>,
+             MetricsSnapshot::kIsas>
+      target_requests_{};
+  std::array<std::array<std::atomic<uint64_t>, MetricsSnapshot::kKernelVariants>,
+             MetricsSnapshot::kIsas>
+      target_cells_{};
+  std::array<WindowBucket, kWindowBuckets> window_{};
   LatencyHistogram queue_wait_;
   LatencyHistogram kernel_time_;
+  Clock::time_point start_;
 };
 
 }  // namespace swve::perf

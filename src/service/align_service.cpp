@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/dispatch.hpp"
+#include "perf/freq_monitor.hpp"
 #include "perf/timer.hpp"
 
 namespace swve::service {
@@ -31,6 +32,16 @@ core::ScoreDelivery effective_delivery(const core::AlignConfig& cfg,
              : cfg.delivery;
 }
 
+uint16_t dp_width_bits(core::Width w) {
+  switch (w) {
+    case core::Width::W8: return 8;
+    case core::Width::W16: return 16;
+    case core::Width::W32: return 32;
+    case core::Width::Adaptive: return 0;
+  }
+  return 0;
+}
+
 }  // namespace
 
 AlignService::AlignService(ServiceOptions options)
@@ -41,6 +52,12 @@ AlignService::AlignService(ServiceOptions options)
   executors_.reserve(opt_.executors);
   for (unsigned e = 0; e < opt_.executors; ++e)
     executors_.emplace_back([this] { executor_loop(); });
+  if (opt_.sampler_period_s > 0) {
+    obs::SamplerOptions so;
+    so.period_s = opt_.sampler_period_s;
+    so.freq_probe_ms = opt_.sampler_freq_probe_ms;
+    sampler_ = std::make_unique<obs::Sampler>(so, [this] { return metrics(); });
+  }
 }
 
 AlignService::AlignService(const seq::SequenceDatabase& db,
@@ -54,6 +71,7 @@ AlignService::AlignService(const seq::SequenceDatabase& db,
 }
 
 AlignService::~AlignService() {
+  sampler_.reset();  // stop the sampler before tearing down what it reads
   std::deque<Task> leftover;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -64,6 +82,51 @@ AlignService::~AlignService() {
   space_cv_.notify_all();
   for (auto& t : executors_) t.join();
   for (auto& t : leftover) t.run(/*aborted=*/true);
+}
+
+perf::MetricsSnapshot AlignService::metrics() const {
+  perf::MetricsSnapshot s = metrics_.snapshot();
+  const parallel::PoolStats ps = pool_.stats();
+  s.pool_threads = ps.threads;
+  s.pool_jobs = ps.jobs;
+  s.pool_busy_seconds = ps.busy_seconds;
+  return s;
+}
+
+std::string AlignService::dump_metrics(obs::MetricsFormat format) const {
+  return obs::render_metrics(metrics(), format);
+}
+
+std::vector<obs::Sample> AlignService::samples() const {
+  return sampler_ ? sampler_->samples() : std::vector<obs::Sample>{};
+}
+
+double AlignService::model_ghz() {
+  double g = model_ghz_.load(std::memory_order_relaxed);
+  if (g == 0) {
+    g = perf::measure_frequency(10.0).ghz;
+    model_ghz_.store(g, std::memory_order_relaxed);
+  }
+  return g;
+}
+
+std::optional<perf::TopDownResult> AlignService::maybe_topdown(
+    const std::function<void()>& work, uint64_t est_cells) {
+  if (opt_.topdown_every_n == 0 ||
+      topdown_seq_.fetch_add(1, std::memory_order_relaxed) %
+              opt_.topdown_every_n !=
+          0) {
+    work();
+    return std::nullopt;
+  }
+  perf::ModelInputs model;
+  // ~1 retired instruction per DP cell and one byte of DP state touched per
+  // 8 cells — order-of-magnitude estimates for the analytical fallback; the
+  // hardware-counter path ignores them.
+  model.instructions = est_cells > 0 ? est_cells : 1;
+  model.mem_bytes = est_cells / 8 + 1;
+  model.ghz = model_ghz();
+  return perf::topdown_analyze(work, model);
 }
 
 size_t AlignService::queue_depth() const {
@@ -158,14 +221,20 @@ std::future<AlignResponse> AlignService::submit(AlignRequest request) {
   const Clock::time_point deadline =
       rq->options.deadline ? submitted + *rq->options.deadline
                            : Clock::time_point{};
+  obs::TraceSink* const sink = opt_.trace_sink;
+  const uint64_t trace_id = sink ? sink->next_trace_id() : 0;
+  const uint64_t t_sub_ns = sink ? sink->now_ns() : 0;
 
   Task task;
-  task.run = [this, prom, rq, submitted, deadline](bool aborted) {
+  task.run = [this, prom, rq, submitted, deadline, sink, trace_id,
+              t_sub_ns](bool aborted) {
     if (aborted) {
       fail_promise(prom, ServiceError(Code::ShuttingDown,
                                       "AlignService: shut down before run"));
       return;
     }
+    const obs::TraceContext tctx{sink, trace_id};
+    if (sink) sink->record_span("queue_wait", trace_id, t_sub_ns, sink->now_ns());
     const double qwait = seconds_since(submitted);
     metrics_.on_queue_wait(qwait);
     if (deadline.time_since_epoch().count() != 0 && Clock::now() >= deadline) {
@@ -183,11 +252,23 @@ std::future<AlignResponse> AlignService::submit(AlignRequest request) {
     core::AlignConfig cfg = *cfg_or;
     if (rq->options.traceback) cfg.traceback = *rq->options.traceback;
 
+    obs::Span dispatch(tctx, "dispatch.pairwise");
+    const uint64_t est_cells = static_cast<uint64_t>(rq->query.length()) *
+                               rq->reference.length();
     perf::Stopwatch sw;
     core::Alignment a;
+    std::optional<perf::TopDownResult> td;
     try {
-      thread_local core::Workspace ws;  // one per executor thread
-      a = core::diag_align(rq->query, rq->reference, cfg, ws);
+      td = maybe_topdown(
+          [&] {
+            thread_local core::Workspace ws;  // one per executor thread
+            obs::Span chunk(tctx, "chunk.pairwise");
+            a = core::diag_align(rq->query, rq->reference, cfg, ws);
+            chunk.set_isa(a.isa_used);
+            chunk.set_width_bits(dp_width_bits(a.width_used));
+            chunk.add_cells(a.stats.cells);
+          },
+          est_cells);
     } catch (const std::exception& e) {
       metrics_.on_invalid_request();
       fail_promise(prom, ServiceError(Code::Internal, e.what()));
@@ -201,8 +282,13 @@ std::future<AlignResponse> AlignService::submit(AlignRequest request) {
     tr.exec_sequence = exec_sequence_.fetch_add(1, std::memory_order_relaxed);
     tr.isa = a.isa_used;
     tr.width_used = a.width_used;
+    tr.trace_id = trace_id;
+    tr.topdown = std::move(td);
     metrics_.on_completed(perf::MetricsRegistry::Scenario::Pairwise, kernel_s,
                           a.stats.cells);
+    metrics_.on_kernel_completed(a.isa_used, perf::KernelVariant::Diagonal,
+                                 a.stats.cells);
+    dispatch.end();
     prom->set_value(AlignResponse{std::move(a), tr});
   };
   enqueue(std::move(task),
@@ -218,14 +304,20 @@ std::future<SearchResponse> AlignService::submit_search(SearchRequest request) {
   const Clock::time_point deadline =
       rq->options.deadline ? submitted + *rq->options.deadline
                            : Clock::time_point{};
+  obs::TraceSink* const sink = opt_.trace_sink;
+  const uint64_t trace_id = sink ? sink->next_trace_id() : 0;
+  const uint64_t t_sub_ns = sink ? sink->now_ns() : 0;
 
   Task task;
-  task.run = [this, prom, rq, submitted, deadline](bool aborted) {
+  task.run = [this, prom, rq, submitted, deadline, sink, trace_id,
+              t_sub_ns](bool aborted) {
     if (aborted) {
       fail_promise(prom, ServiceError(Code::ShuttingDown,
                                       "AlignService: shut down before run"));
       return;
     }
+    const obs::TraceContext tctx{sink, trace_id};
+    if (sink) sink->record_span("queue_wait", trace_id, t_sub_ns, sink->now_ns());
     const double qwait = seconds_since(submitted);
     metrics_.on_queue_wait(qwait);
     if (deadline.time_since_epoch().count() != 0 && Clock::now() >= deadline) {
@@ -259,14 +351,23 @@ std::future<SearchResponse> AlignService::submit_search(SearchRequest request) {
     align::ExecContext ctx;
     ctx.pool = &pool_;
     ctx.deadline = deadline;
+    ctx.trace = tctx;
+    obs::Span dispatch(tctx, "dispatch.search");
+    const uint64_t est_cells =
+        static_cast<uint64_t>(rq->query.length()) * db_->total_residues();
     align::SearchResult res;
+    std::optional<perf::TopDownResult> td;
     {
       std::lock_guard<std::mutex> pool_lk(pool_mu_);
-      res = rq->mode == align::SearchMode::Batch
-                ? align::engine::search_batch(*db_, *bdb_, cfg, rq->query,
-                                              top_k, ctx)
-                : align::engine::search_diagonal(*db_, cfg, rq->query, top_k,
-                                                 ctx);
+      td = maybe_topdown(
+          [&] {
+            res = rq->mode == align::SearchMode::Batch
+                      ? align::engine::search_batch(*db_, *bdb_, cfg,
+                                                    rq->query, top_k, ctx)
+                      : align::engine::search_diagonal(*db_, cfg, rq->query,
+                                                       top_k, ctx);
+          },
+          est_cells);
     }
     if (res.truncated) {
       metrics_.on_deadline_expired();
@@ -278,8 +379,16 @@ std::future<SearchResponse> AlignService::submit_search(SearchRequest request) {
     RequestTrace tr = make_trace(Scenario::Search, cfg, qwait, res.seconds,
                                  res.stats.cells, 0);
     tr.exec_sequence = exec_sequence_.fetch_add(1, std::memory_order_relaxed);
+    tr.trace_id = trace_id;
+    tr.topdown = std::move(td);
     metrics_.on_completed(perf::MetricsRegistry::Scenario::Search, res.seconds,
                           res.stats.cells);
+    metrics_.on_kernel_completed(tr.isa,
+                                 rq->mode == align::SearchMode::Batch
+                                     ? perf::KernelVariant::Batch32
+                                     : perf::KernelVariant::Diagonal,
+                                 res.stats.cells);
+    dispatch.end();
     prom->set_value(SearchResponse{std::move(res), tr});
   };
   enqueue(std::move(task),
@@ -295,14 +404,20 @@ std::future<BatchResponse> AlignService::submit_batch(BatchRequest request) {
   const Clock::time_point deadline =
       rq->options.deadline ? submitted + *rq->options.deadline
                            : Clock::time_point{};
+  obs::TraceSink* const sink = opt_.trace_sink;
+  const uint64_t trace_id = sink ? sink->next_trace_id() : 0;
+  const uint64_t t_sub_ns = sink ? sink->now_ns() : 0;
 
   Task task;
-  task.run = [this, prom, rq, submitted, deadline](bool aborted) {
+  task.run = [this, prom, rq, submitted, deadline, sink, trace_id,
+              t_sub_ns](bool aborted) {
     if (aborted) {
       fail_promise(prom, ServiceError(Code::ShuttingDown,
                                       "AlignService: shut down before run"));
       return;
     }
+    const obs::TraceContext tctx{sink, trace_id};
+    if (sink) sink->record_span("queue_wait", trace_id, t_sub_ns, sink->now_ns());
     const double qwait = seconds_since(submitted);
     metrics_.on_queue_wait(qwait);
     if (deadline.time_since_epoch().count() != 0 && Clock::now() >= deadline) {
@@ -342,12 +457,22 @@ std::future<BatchResponse> AlignService::submit_batch(BatchRequest request) {
     align::ExecContext ctx;
     ctx.pool = &pool_;
     ctx.deadline = deadline;
+    ctx.trace = tctx;
+    obs::Span dispatch(tctx, "dispatch.batch");
+    uint64_t est_cells = 0;
+    for (const auto& q : rq->queries)
+      est_cells += static_cast<uint64_t>(q.length()) * db_->total_residues();
     perf::Stopwatch sw;
     std::vector<align::BatchQueryResult> results;
+    std::optional<perf::TopDownResult> td;
     {
       std::lock_guard<std::mutex> pool_lk(pool_mu_);
-      results = align::engine::batch_run(*db_, *bdb_, cfg, rq->queries, top_k,
-                                         ctx);
+      td = maybe_topdown(
+          [&] {
+            results = align::engine::batch_run(*db_, *bdb_, cfg, rq->queries,
+                                               top_k, ctx);
+          },
+          est_cells);
     }
     const double kernel_s = sw.seconds();
     uint64_t cells = 0, retries = 0;
@@ -367,8 +492,12 @@ std::future<BatchResponse> AlignService::submit_batch(BatchRequest request) {
     RequestTrace tr = make_trace(Scenario::Batch, cfg, qwait, kernel_s, cells,
                                  retries);
     tr.exec_sequence = exec_sequence_.fetch_add(1, std::memory_order_relaxed);
+    tr.trace_id = trace_id;
+    tr.topdown = std::move(td);
     metrics_.on_completed(perf::MetricsRegistry::Scenario::Batch, kernel_s,
                           cells);
+    metrics_.on_kernel_completed(tr.isa, perf::KernelVariant::Batch32, cells);
+    dispatch.end();
     prom->set_value(BatchResponse{std::move(results), tr});
   };
   enqueue(std::move(task),

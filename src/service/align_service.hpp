@@ -34,6 +34,9 @@
 #include "align/batch_server.hpp"
 #include "align/db_search.hpp"
 #include "core/batch32.hpp"
+#include "obs/exporters.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "perf/metrics.hpp"
 #include "seq/database.hpp"
@@ -65,6 +68,19 @@ struct ServiceOptions {
   /// Start with executors paused (tests use this to fill the queue
   /// deterministically); call resume() to begin draining.
   bool start_paused = false;
+  /// Optional trace sink: when set, every request records queue-wait,
+  /// dispatch, and kernel-chunk spans into it (Chrome trace JSON via
+  /// obs::TraceSink::chrome_trace_json). Not owned; must outlive the
+  /// service. Null = tracing compiled down to null checks.
+  obs::TraceSink* trace_sink = nullptr;
+  /// Period of the background live-profiling sampler (effective frequency +
+  /// metrics time series); 0 disables it.
+  double sampler_period_s = 0;
+  /// Spin-probe duration per frequency sample (see obs::SamplerOptions).
+  double sampler_freq_probe_ms = 5.0;
+  /// Attach a perf::topdown_analyze breakdown to one in N completed
+  /// requests (RequestTrace::topdown); 0 disables sampling.
+  uint32_t topdown_every_n = 0;
 };
 
 class AlignService {
@@ -86,8 +102,19 @@ class AlignService {
   std::future<SearchResponse> submit_search(SearchRequest request);
   std::future<BatchResponse> submit_batch(BatchRequest request);
 
-  /// Point-in-time metrics (request counts, latency histograms, GCUPS).
-  perf::MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+  /// Point-in-time metrics (request counts, latency histograms, GCUPS,
+  /// per-target counters, pool utilization).
+  perf::MetricsSnapshot metrics() const;
+
+  /// metrics() rendered in the given exposition format (human text,
+  /// Prometheus 0.0.4, or JSON).
+  std::string dump_metrics(obs::MetricsFormat format) const;
+
+  /// Time series collected by the background sampler, oldest first (empty
+  /// when sampler_period_s == 0).
+  std::vector<obs::Sample> samples() const;
+  /// The live sampler, or null when disabled.
+  const obs::Sampler* sampler() const noexcept { return sampler_.get(); }
 
   /// Pending (queued, not yet executing) requests.
   size_t queue_depth() const;
@@ -125,6 +152,16 @@ class AlignService {
                           double queue_wait_s, double kernel_s,
                           uint64_t cells, uint64_t retries) const;
 
+  /// Run `work`, wrapping it in perf::topdown_analyze for one in
+  /// topdown_every_n calls (est_cells feeds the analytical-model fallback).
+  /// The work runs exactly once either way.
+  std::optional<perf::TopDownResult> maybe_topdown(
+      const std::function<void()>& work, uint64_t est_cells);
+
+  /// Effective frequency for the top-down analytical model, measured once
+  /// (~10 ms) on first use and cached.
+  double model_ghz();
+
   ServiceOptions opt_;
   const seq::SequenceDatabase* db_ = nullptr;
   std::unique_ptr<core::Batch32Db> bdb_;
@@ -142,6 +179,10 @@ class AlignService {
   std::vector<std::thread> executors_;
   perf::MetricsRegistry metrics_;
   std::atomic<uint64_t> exec_sequence_{0};
+
+  std::unique_ptr<obs::Sampler> sampler_;  ///< live profiler (optional)
+  std::atomic<uint64_t> topdown_seq_{0};   ///< one-in-N request sampling
+  std::atomic<double> model_ghz_{0};       ///< cached frequency estimate
 };
 
 }  // namespace swve::service

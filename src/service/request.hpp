@@ -19,6 +19,7 @@
 #include "core/error.hpp"
 #include "core/params.hpp"
 #include "core/result.hpp"
+#include "perf/topdown.hpp"
 #include "seq/sequence.hpp"
 
 namespace swve::service {
@@ -92,6 +93,13 @@ struct RequestTrace {
   /// Adaptive-ladder retries: pairwise counts 8->16/16->32 re-runs; the
   /// batch paths count lanes re-scored after 8-bit saturation.
   uint64_t saturation_retries = 0;
+
+  /// Id keying this request's spans in the exported Chrome trace (0 when
+  /// the service has no TraceSink installed).
+  uint64_t trace_id = 0;
+  /// Top-down pipeline-slot breakdown; filled for one-in-N sampled requests
+  /// when ServiceOptions::topdown_every_n is enabled.
+  std::optional<perf::TopDownResult> topdown;
 
   double gcups() const noexcept {
     return kernel_s > 0 ? static_cast<double>(cells) / kernel_s / 1e9 : 0.0;

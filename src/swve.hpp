@@ -11,6 +11,7 @@
 //   swve::baseline::*           Parasail-style diag/scan/striped kernels
 //   swve::tune::*               GA compiler-hyperparameter tuner
 //   swve::perf::*               GCUPS, frequency monitor, top-down analysis
+//   swve::obs::*                tracing, metric exporters, live sampler
 #pragma once
 
 #include "align/aligner.hpp"
@@ -27,6 +28,9 @@
 #include "core/traceback.hpp"
 #include "matrix/query_profile.hpp"
 #include "matrix/score_matrix.hpp"
+#include "obs/exporters.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
 #include "parallel/partition.hpp"
 #include "parallel/thread_pool.hpp"
 #include "perf/freq_monitor.hpp"

@@ -1,13 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "perf/freq_monitor.hpp"
 #include "perf/gcups.hpp"
+#include "perf/metrics.hpp"
 #include "perf/table.hpp"
 #include "perf/timer.hpp"
 #include "perf/topdown.hpp"
+#include "seq/synthetic.hpp"
+#include "service/align_service.hpp"
 
 namespace swve::perf {
 namespace {
@@ -111,6 +116,104 @@ TEST(TopDown, StreamingBandwidthPositive) {
   EXPECT_GT(bw, 0.5);
   EXPECT_LT(bw, 1000.0);
   EXPECT_DOUBLE_EQ(bw, streaming_bandwidth_gbps());  // cached
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram bucket semantics: bucket 0 is [0, 1us); bucket i >= 1 is
+// [2^(i-1), 2^i) us; the last bucket saturates.
+
+TEST(LatencyHistogram, BucketBoundaries) {
+  LatencyHistogram h;
+  h.record(0.0);          // 0 us -> bucket 0
+  h.record(0.5e-6);       // 0.5 us -> bucket 0
+  h.record(1e-6);         // exactly 1 us -> bucket 1 ([1, 2) us)
+  h.record(2e-6);         // 2 us -> bucket 2 ([2, 4) us)
+  h.record(1024e-6);      // 2^10 us -> bucket 11
+  LatencyHistogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.buckets[0], 2u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[2], 1u);
+  EXPECT_EQ(s.buckets[11], 1u);
+  EXPECT_EQ(s.count, 5u);
+}
+
+TEST(LatencyHistogram, SaturatesAtLastBucket) {
+  LatencyHistogram h;
+  h.record(1e5);   // ~28 hours: far beyond 2^30 us
+  h.record(1e9);   // absurd, must still land in the last bucket
+  LatencyHistogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.buckets[LatencyHistogram::kBuckets - 1], 2u);
+  EXPECT_EQ(s.count, 2u);
+}
+
+TEST(LatencyHistogram, PercentilesInterpolateWithinBucket) {
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.record(3e-6);  // all in bucket 2: [2,4) us
+  LatencyHistogram::Snapshot s = h.snapshot();
+  // The raw bucket upper bound would report 4 us; log-linear interpolation
+  // keeps every percentile strictly inside the bucket.
+  EXPECT_GT(s.p50_s, 2e-6);
+  EXPECT_LT(s.p50_s, 4e-6);
+  EXPECT_NEAR(s.p50_s, 2e-6 * std::exp2(0.5), 0.1e-6);  // ~2.83 us
+  // p99 interpolates high in the bucket but is clamped to the observed max.
+  EXPECT_LE(s.p99_s, s.max_s + 1e-12);
+  EXPECT_GE(s.p99_s, s.p50_s);
+}
+
+TEST(LatencyHistogram, PercentileClampedToObservedMax) {
+  LatencyHistogram h;
+  h.record(5e-6);  // lone sample in bucket 3 ([4, 8) us)
+  LatencyHistogram::Snapshot s = h.snapshot();
+  EXPECT_LE(s.p99_s, 5e-6 + 1e-12);  // never above the max, despite 8us bound
+}
+
+TEST(FormatSeconds, UnitSeams) {
+  EXPECT_EQ(format_seconds(999.4e-6), "999us");
+  EXPECT_EQ(format_seconds(999.6e-6), "1.00ms");   // not "1000us"
+  EXPECT_EQ(format_seconds(0.9994), "999.40ms");
+  EXPECT_EQ(format_seconds(0.9999999), "1.000s");  // not "1000.00ms"
+  EXPECT_EQ(format_seconds(248e-6), "248us");
+  EXPECT_EQ(format_seconds(3.2e-3), "3.20ms");
+  EXPECT_EQ(format_seconds(1.5), "1.500s");
+}
+
+// ---------------------------------------------------------------------------
+// Pay-for-what-you-use tracing: a traced pairwise request returns a
+// bit-identical alignment to an untraced one.
+
+TEST(TracingOverhead, TracedPairwiseIsBitIdentical) {
+  seq::Sequence q = seq::generate_sequence(404, 150);
+  seq::Sequence r = seq::generate_sequence(405, 220);
+
+  auto run = [&](obs::TraceSink* sink) {
+    service::ServiceOptions opt;
+    opt.trace_sink = sink;
+    service::AlignService svc(opt);
+    service::AlignRequest rq;
+    rq.query = q;
+    rq.reference = r;
+    rq.options.traceback = true;
+    return svc.submit(std::move(rq)).get();
+  };
+
+  obs::TraceSink sink;
+  service::AlignResponse traced = run(&sink);
+  service::AlignResponse plain = run(nullptr);
+
+  EXPECT_EQ(traced.alignment.score, plain.alignment.score);
+  EXPECT_EQ(traced.alignment.end_query, plain.alignment.end_query);
+  EXPECT_EQ(traced.alignment.end_ref, plain.alignment.end_ref);
+  EXPECT_EQ(traced.alignment.begin_query, plain.alignment.begin_query);
+  EXPECT_EQ(traced.alignment.begin_ref, plain.alignment.begin_ref);
+  EXPECT_EQ(traced.alignment.cigar, plain.alignment.cigar);
+  EXPECT_EQ(traced.alignment.width_used, plain.alignment.width_used);
+  EXPECT_EQ(traced.alignment.isa_used, plain.alignment.isa_used);
+  EXPECT_EQ(traced.alignment.stats.cells, plain.alignment.stats.cells);
+  // The traced run actually recorded spans; the untraced one had no sink to
+  // record into and its trace_id stays 0.
+  EXPECT_GT(sink.recorded(), 0u);
+  EXPECT_GT(traced.trace.trace_id, 0u);
+  EXPECT_EQ(plain.trace.trace_id, 0u);
 }
 
 }  // namespace

@@ -312,6 +312,166 @@ TEST(AlignConfigTryValidate, ReturnsMachineReadableCodes) {
   EXPECT_STREQ(core::ConfigError::code_name(Code::QueueFull), "queue_full");
 }
 
+TEST(AlignService, TraceSinkCapturesRequestSpans) {
+  auto db = make_db(60'000);
+  obs::TraceSink sink;
+  ServiceOptions opt;
+  opt.pool_threads = 2;
+  opt.trace_sink = &sink;
+  AlignService svc(db, opt);
+
+  AlignResponse presp = svc.submit(pairwise_request(300)).get();
+  SearchRequest srq;
+  srq.query = seq::generate_sequence(90, 120);
+  SearchResponse sresp = svc.submit_search(std::move(srq)).get();
+  srq.query = seq::generate_sequence(91, 120);
+  srq.mode = align::SearchMode::Batch;
+  SearchResponse bresp = svc.submit_search(std::move(srq)).get();
+
+  EXPECT_NE(presp.trace.trace_id, sresp.trace.trace_id);
+  EXPECT_GT(presp.trace.trace_id, 0u);
+
+  auto events = sink.snapshot_events();
+  auto count = [&](const char* name, uint64_t trace_id) {
+    size_t n = 0;
+    for (const auto& e : events)
+      if (std::string(e.name) == name && e.trace_id == trace_id) ++n;
+    return n;
+  };
+  // Every request recorded exactly one queue-wait and one dispatch span.
+  EXPECT_EQ(count("queue_wait", presp.trace.trace_id), 1u);
+  EXPECT_EQ(count("dispatch.pairwise", presp.trace.trace_id), 1u);
+  EXPECT_EQ(count("chunk.pairwise", presp.trace.trace_id), 1u);
+  EXPECT_EQ(count("dispatch.search", sresp.trace.trace_id), 1u);
+  EXPECT_GE(count("chunk.search_diagonal", sresp.trace.trace_id), 1u);
+  EXPECT_GE(count("chunk.search_batch", bresp.trace.trace_id), 1u);
+
+  // Chunk spans carry kernel annotations: ISA and DP cells.
+  uint64_t chunk_cells = 0;
+  for (const auto& e : events) {
+    if (std::string(e.name) != "chunk.search_diagonal" ||
+        e.trace_id != sresp.trace.trace_id)
+      continue;
+    chunk_cells += e.cells;
+    EXPECT_NE(e.isa, simd::Isa::Auto);
+    EXPECT_EQ(e.trunc, obs::TruncCause::None);
+  }
+  EXPECT_EQ(chunk_cells, sresp.result.stats.cells);
+
+  // The exported Chrome trace is loadable JSON with those spans.
+  std::string json = sink.chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"chunk.search_diagonal\""), std::string::npos);
+  EXPECT_NE(json.find("\"isa\""), std::string::npos);
+  EXPECT_NE(json.find("\"cells\""), std::string::npos);
+}
+
+TEST(AlignService, TraceMarksDeadlineTruncation) {
+  auto db = make_db(400'000);
+  obs::TraceSink sink;
+  ServiceOptions opt;
+  opt.pool_threads = 1;
+  opt.trace_sink = &sink;
+  AlignService svc(db, opt);
+
+  SearchRequest rq;
+  rq.query = seq::generate_sequence(90, 200);
+  // Generous enough to reliably enter execution, far too short to scan 400k
+  // residues on one thread: truncation happens mid-engine.
+  rq.options.deadline = milliseconds(5);
+  auto fut = svc.submit_search(std::move(rq));
+  EXPECT_EQ(failure_code(fut), Code::DeadlineExceeded);
+
+  bool saw_deadline_trunc = false;
+  for (const auto& e : sink.snapshot_events())
+    if (e.trunc == obs::TruncCause::Deadline) saw_deadline_trunc = true;
+  EXPECT_TRUE(saw_deadline_trunc);
+}
+
+TEST(AlignService, DumpMetricsFormats) {
+  auto db = make_db(60'000);
+  ServiceOptions opt;
+  opt.pool_threads = 2;
+  AlignService svc(db, opt);
+  svc.submit(pairwise_request(310)).get();
+  SearchRequest srq;
+  srq.query = seq::generate_sequence(92, 100);
+  svc.submit_search(std::move(srq)).get();
+
+  std::string text = svc.dump_metrics(obs::MetricsFormat::Text);
+  EXPECT_NE(text.find("swve service metrics"), std::string::npos);
+  EXPECT_NE(text.find("window(60s)"), std::string::npos);
+  EXPECT_NE(text.find("pool:"), std::string::npos);
+  EXPECT_NE(text.find("target "), std::string::npos);
+
+  std::string prom = svc.dump_metrics(obs::MetricsFormat::Prometheus);
+  EXPECT_NE(prom.find("swve_requests_completed_total{scenario=\"pairwise\"} 1"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("swve_gcups_window{window_s=\"60\"}"), std::string::npos);
+  EXPECT_NE(prom.find("swve_kernel_target_requests_total{isa="),
+            std::string::npos);
+  EXPECT_NE(prom.find("swve_queue_wait_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+
+  std::string json = svc.dump_metrics(obs::MetricsFormat::Json);
+  EXPECT_NE(json.find("\"requests\""), std::string::npos);
+  EXPECT_NE(json.find("\"window\""), std::string::npos);
+  EXPECT_NE(json.find("\"targets\""), std::string::npos);
+
+  // Pool utilization accounting: the search fanned out over the pool.
+  perf::MetricsSnapshot m = svc.metrics();
+  EXPECT_EQ(m.pool_threads, 2u);
+  EXPECT_GT(m.pool_jobs, 0u);
+  EXPECT_GT(m.window_cells, 0u);
+  EXPECT_GT(m.window_gcups(), 0.0);
+  for (int i = 0; i < perf::MetricsSnapshot::kIsas; ++i) {
+    // The pairwise and search requests were attributed to exactly one
+    // diagonal-target ISA each (they resolve to the same ISA here).
+    if (m.target_requests[i][0] > 0)
+      EXPECT_GT(m.target_cells[i][0], 0u);
+  }
+}
+
+TEST(AlignService, SamplerCollectsTimeSeries) {
+  ServiceOptions opt;
+  opt.sampler_period_s = 0.02;
+  opt.sampler_freq_probe_ms = 1.0;
+  AlignService svc(opt);
+  svc.submit(pairwise_request(320)).get();
+  std::this_thread::sleep_for(milliseconds(120));
+
+  ASSERT_NE(svc.sampler(), nullptr);
+  std::vector<obs::Sample> samples = svc.samples();
+  ASSERT_GE(samples.size(), 2u);
+  for (size_t i = 1; i < samples.size(); ++i)
+    EXPECT_GE(samples[i].t_s, samples[i - 1].t_s);  // chronological
+  EXPECT_GT(samples.back().ghz, 0.1);
+  EXPECT_GE(samples.back().completed, 1u);
+  std::string json = svc.sampler()->json();
+  EXPECT_NE(json.find("\"samples\""), std::string::npos);
+  EXPECT_NE(json.find("\"ghz\""), std::string::npos);
+}
+
+TEST(AlignService, TopdownSamplingAttachesBreakdown) {
+  ServiceOptions opt;
+  opt.topdown_every_n = 1;  // every request
+  AlignService svc(opt);
+  AlignResponse resp = svc.submit(pairwise_request(330, 200, 300)).get();
+  ASSERT_TRUE(resp.trace.topdown.has_value());
+  const perf::TopDownResult& td = *resp.trace.topdown;
+  EXPECT_FALSE(td.source.empty());
+  EXPECT_GE(td.retiring, 0.0);
+  EXPECT_LE(td.retiring + td.frontend_bound + td.bad_speculation +
+                td.backend_bound,
+            1.0 + 1e-6);
+
+  // Disabled sampling attaches nothing.
+  AlignService plain;
+  EXPECT_FALSE(
+      plain.submit(pairwise_request(331)).get().trace.topdown.has_value());
+}
+
 TEST(AlignService, BlockingOverflowEventuallyAccepts) {
   ServiceOptions opt;
   opt.queue_capacity = 1;
