@@ -9,10 +9,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/dispatch.hpp"
@@ -33,6 +36,7 @@ struct BenchArgs {
   uint64_t seed = 42;
   bool quick = false;
   bool real_tuner = false;  // fig10: use the gcc evaluator
+  std::string json_out;     // --json <path>: machine-readable results
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs a;
@@ -48,9 +52,10 @@ struct BenchArgs {
       else if (s == "--seed") a.seed = std::strtoull(next(), nullptr, 10);
       else if (s == "--quick") a.quick = true;
       else if (s == "--real") a.real_tuner = true;
+      else if (s == "--json") a.json_out = next();
       else if (s == "--help") {
         std::cout << "options: --db-residues N --queries N --query-min N "
-                     "--query-max N --seed N --quick --real\n";
+                     "--query-max N --seed N --quick --real --json PATH\n";
         std::exit(0);
       }
     }
@@ -98,6 +103,47 @@ inline double geomean(const std::vector<double>& xs) {
   for (double x : xs) lg += std::log(x);
   return std::exp(lg / static_cast<double>(xs.size()));
 }
+
+/// Machine-readable results for --json: a flat name -> value map written as
+/// one JSON object. Keys are stable identifiers (e.g. "scenario2/batch32_gcups")
+/// that bench/check_regression.py compares against bench/baseline.json, so
+/// renaming one is a baseline-refresh event, not a cosmetic change.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  void add(const std::string& name, double value) {
+    entries_.emplace_back(name, value);
+  }
+
+  /// Writes the report; no-op when `path` is empty (no --json given).
+  void write(const std::string& path) const {
+    if (path.empty()) return;
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "warning: cannot write " << path << "\n";
+      return;
+    }
+    const auto& f = simd::cpu_features();
+    out << "{\n  \"bench\": \"" << bench_ << "\",\n"
+        << "  \"host\": {\"avx2\": " << (f.avx2 ? "true" : "false")
+        << ", \"avx512\": " << (f.avx512bw_vl ? "true" : "false")
+        << ", \"hw_threads\": " << f.hardware_threads << "},\n"
+        << "  \"metrics\": {\n";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      char num[64];
+      std::snprintf(num, sizeof num, "%.6g", entries_[i].second);
+      out << "    \"" << entries_[i].first << "\": " << num
+          << (i + 1 < entries_.size() ? ",\n" : "\n");
+    }
+    out << "  }\n}\n";
+    std::cout << "json report written to " << path << "\n";
+  }
+
+ private:
+  std::string bench_;
+  std::vector<std::pair<std::string, double>> entries_;
+};
 
 inline void print_environment() {
   const auto& f = simd::cpu_features();

@@ -4,9 +4,14 @@
 //      queries fan out across threads);
 //   3. many small query/reference pairs (SW as a subroutine, reusable
 //      aligner, working set in cache).
+// Plus a packing-policy comparison: the same batch search over a
+// length-skewed database under DbOrder / LengthSorted / LengthBinned,
+// verifying the top-k is bit-identical while GCUPS and padding differ.
 //
 // Paper findings: larger queries => higher GCUPS; accumulating queries and
 // batching (scenario 2) roughly doubles efficiency in some cases.
+//
+// --json PATH writes the headline numbers for bench/check_regression.py.
 #include <random>
 
 #include "align/batch_server.hpp"
@@ -24,6 +29,7 @@ int main(int argc, char** argv) {
   const unsigned hw = simd::cpu_features().hardware_threads;
   parallel::ThreadPool pool(hw);
   core::AlignConfig cfg;  // adaptive width: the production configuration
+  bench::JsonReport report("fig13");
 
   perf::print_banner(std::cout, "Fig 13 / scenario 1: single query vs database");
   {
@@ -31,13 +37,18 @@ int main(int argc, char** argv) {
     perf::Table t({"query", "len", "GCUPS (1 thread)", "GCUPS (" +
                                                            std::to_string(hw) +
                                                            " threads)"});
+    std::vector<double> g1, gn;
     for (const auto& q : w.queries) {
       align::SearchResult r1 = search.search(q, 10);
       align::SearchResult rn = search.search(q, 10, &pool);
+      g1.push_back(r1.gcups());
+      gn.push_back(rn.gcups());
       t.row({q.id(), std::to_string(q.length()), perf::Table::num(r1.gcups(), 2),
              perf::Table::num(rn.gcups(), 2)});
     }
     t.print(std::cout);
+    report.add("scenario1/diagonal_1thread_gcups_geomean", bench::geomean(g1));
+    report.add("scenario1/diagonal_threaded_gcups_geomean", bench::geomean(gn));
   }
 
   perf::print_banner(std::cout,
@@ -66,6 +77,8 @@ int main(int argc, char** argv) {
            perf::Table::num(batch_gcups / serial_gcups, 2)});
     t.print(std::cout);
     std::cout << "(paper: accumulating queries before computing can ~double efficiency)\n";
+    report.add("scenario2/one_at_a_time_gcups", serial_gcups);
+    report.add("scenario2/batch32_gcups", batch_gcups);
   }
 
   perf::print_banner(std::cout, "Fig 13 / scenario 3: SW as a subroutine (small pairs)");
@@ -94,6 +107,87 @@ int main(int argc, char** argv) {
     t.row({std::to_string(pairs), "~80x80", perf::Table::num(g, 2),
            perf::Table::num(per_call_us, 2)});
     t.print(std::cout);
+    report.add("scenario3/subroutine_gcups", g);
   }
+
+  perf::print_banner(std::cout,
+                     "Fig 13 / packing: batch search on a length-skewed database");
+  {
+    // Adversarial length mix for the batch32 kernel: mostly short proteins
+    // plus a handful of multi-thousand-residue outliers. Packed in database
+    // order, every batch containing an outlier pads all other lanes to its
+    // length; length-aware packing confines that cost to the outliers' own
+    // batches.
+    std::mt19937_64 rng(args.seed + 7);
+    std::vector<seq::Sequence> seqs;
+    const int n_short = args.quick ? 400 : 1200;
+    const int n_long = args.quick ? 3 : 6;
+    const uint32_t long_len = args.quick ? 4000 : 6000;
+    for (int i = 0; i < n_short; ++i)
+      seqs.push_back(seq::generate_sequence(rng(), 40 + static_cast<uint32_t>(rng() % 90)));
+    // Scatter the outliers through the database so DbOrder pays for them in
+    // several different batches.
+    for (int i = 0; i < n_long; ++i) {
+      auto pos = seqs.begin() +
+                 static_cast<std::ptrdiff_t>(rng() % (seqs.size() + 1));
+      seqs.insert(pos, seq::generate_sequence(rng(), long_len));
+    }
+    seq::SequenceDatabase skewed(std::move(seqs));
+    seq::Sequence query = seq::generate_sequence(args.seed + 8, 512);
+
+    struct PolicyRun {
+      core::PackingPolicy policy;
+      double gcups = 0;
+      double efficiency = 0;
+    };
+    std::vector<PolicyRun> runs = {{core::PackingPolicy::DbOrder},
+                                   {core::PackingPolicy::LengthSorted},
+                                   {core::PackingPolicy::LengthBinned}};
+    std::vector<align::Hit> reference;
+    bool identical = true;
+    const int reps = args.quick ? 3 : 5;
+    for (auto& run : runs) {
+      align::DatabaseSearch search(skewed, cfg, align::SearchMode::Batch,
+                                   run.policy);
+      run.efficiency = search.packed_db()->packing_efficiency();
+      align::SearchResult best = search.search(query, 10, &pool);  // warm-up
+      if (reference.empty()) {
+        reference = best.hits;
+      } else if (best.hits.size() != reference.size()) {
+        identical = false;
+      } else {
+        for (size_t i = 0; i < reference.size(); ++i)
+          if (best.hits[i].seq_index != reference[i].seq_index ||
+              best.hits[i].score != reference[i].score)
+            identical = false;
+      }
+      for (int r = 0; r < reps; ++r) {
+        align::SearchResult res = search.search(query, 10, &pool);
+        run.gcups = std::max(run.gcups, res.gcups());
+      }
+    }
+
+    perf::Table t({"packing policy", "efficiency", "GCUPS", "vs db-order"});
+    for (const auto& run : runs) {
+      t.row({core::packing_policy_name(run.policy),
+             perf::Table::num(100.0 * run.efficiency, 1) + "%",
+             perf::Table::num(run.gcups, 2),
+             perf::Table::num(run.gcups / runs[0].gcups, 2)});
+      std::string key = std::string("packing/") +
+                        core::packing_policy_name(run.policy);
+      report.add(key + "_gcups", run.gcups);
+      report.add(key + "_efficiency", run.efficiency);
+    }
+    t.print(std::cout);
+    std::cout << "top-k identical across policies: " << (identical ? "yes" : "NO")
+              << "\n";
+    report.add("packing/topk_identical", identical ? 1 : 0);
+    if (!identical) {
+      std::cerr << "FAIL: packing policies disagree on top-k\n";
+      return 1;
+    }
+  }
+
+  report.write(args.json_out);
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "align/query_cache.hpp"
 #include "perf/timer.hpp"
 #include "simd/cpu.hpp"
 
@@ -42,9 +43,12 @@ std::vector<BatchQueryResult> batch_run(const seq::SequenceDatabase& db,
                                      : obs::TruncCause::Deadline);
       return;
     }
-    core::Workspace ws;
+    std::shared_ptr<const core::PreparedQuery> prep;
+    if (ctx.query_cache != nullptr) prep = ctx.query_cache->prepared(q, cfg);
+    auto lease = QueryStateCache::lease(ctx.query_cache);
+    core::Workspace& ws = lease.ws();
     std::vector<int> scores =
-        core::batch_scores(q, bdb, db, cfg, ws, &r.batch_stats);
+        core::batch_scores(q, bdb, db, cfg, ws, &r.batch_stats, prep.get());
     // Top-k over the score vector (index order => deterministic ties).
     std::vector<Hit> hits;
     for (size_t s = 0; s < scores.size(); ++s)
@@ -56,6 +60,8 @@ std::vector<BatchQueryResult> batch_run(const seq::SequenceDatabase& db,
     r.result.stats.cells = r.batch_stats.cells8 + r.batch_stats.rescored_cells;
     r.result.stats.vector_cells = r.batch_stats.cells8;
     span.add_cells(r.result.stats.cells);
+    span.set_useful_cells(r.batch_stats.useful_cells8 +
+                          r.batch_stats.rescored_cells);
     r.result.seconds = sw.seconds();
   };
 

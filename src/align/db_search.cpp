@@ -5,6 +5,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "align/query_cache.hpp"
 #include "parallel/partition.hpp"
 #include "perf/timer.hpp"
 
@@ -71,6 +72,12 @@ SearchResult search_batch(const seq::SequenceDatabase& db,
   out.db_residues = db.total_residues();
   if (db.empty() || query.empty()) return out;
 
+  // Cached query state, when the caller provides a cache: the prepared
+  // feed arrays are shared read-only across worker threads, and workspaces
+  // come from the pool instead of cold allocation.
+  std::shared_ptr<const core::PreparedQuery> prep;
+  if (ctx.query_cache != nullptr) prep = ctx.query_cache->prepared(query, cfg);
+
   // Phase 1: score every sequence through the batch kernel, batches fanned
   // out across threads (disjoint writes by original sequence index).
   std::vector<int> scores(db.size(), 0);
@@ -83,7 +90,8 @@ SearchResult search_batch(const seq::SequenceDatabase& db,
     span.set_isa(simd::resolve_isa(cfg.isa));
     span.set_width_bits(8);
     span.set_lanes(static_cast<uint32_t>(bdb.lanes()));
-    core::Workspace ws;
+    auto lease = QueryStateCache::lease(ctx.query_cache);
+    core::Workspace& ws = lease.ws();
     core::BatchSearchStats local{};
     core::AlignConfig wide = cfg;
     wide.width = core::Width::W16;
@@ -98,14 +106,16 @@ SearchResult search_batch(const seq::SequenceDatabase& db,
           query, batch, bdb.lanes(), cfg, ws, simd::resolve_isa(cfg.isa));
       local.cells8 += static_cast<uint64_t>(batch.max_len) * query.length *
                       static_cast<uint64_t>(bdb.lanes());
+      local.useful_cells8 += batch.real_residues * query.length;
       for (uint32_t k = 0; k < batch.count; ++k) {
         const uint32_t seq_idx = batch.seq_index[k];
         if (r8.saturated_mask & (uint64_t{1} << k)) {
-          core::Alignment a = core::diag_align(query, db[seq_idx], wide, ws);
+          core::Alignment a =
+              core::diag_align(query, db[seq_idx], wide, ws, prep.get());
           if (a.saturated) {
             core::AlignConfig w32 = wide;
             w32.width = core::Width::W32;
-            a = core::diag_align(query, db[seq_idx], w32, ws);
+            a = core::diag_align(query, db[seq_idx], w32, ws, prep.get());
           }
           scores[seq_idx] = a.score;
           ++local.rescored;
@@ -116,11 +126,10 @@ SearchResult search_batch(const seq::SequenceDatabase& db,
       }
     }
     span.add_cells(local.cells8 + local.rescored_cells);
+    span.set_useful_cells(local.useful_cells8 + local.rescored_cells);
     span.end();
     std::lock_guard<std::mutex> lk(agg_mu);
-    agg.cells8 += local.cells8;
-    agg.rescored += local.rescored;
-    agg.rescored_cells += local.rescored_cells;
+    agg += local;
   };
   if (ctx.pool) {
     ctx.pool->parallel_for(
@@ -130,6 +139,7 @@ SearchResult search_batch(const seq::SequenceDatabase& db,
     score_batches(0, bdb.batch_count());
   }
   out.truncated = truncated.load(std::memory_order_relaxed);
+  out.batch_stats = agg;
   if (out.truncated) {  // partial answer; skip the exact re-alignment pass
     out.seconds = sw.seconds();
     return out;
@@ -141,9 +151,11 @@ SearchResult search_batch(const seq::SequenceDatabase& db,
   for (size_t s = 0; s < scores.size(); ++s)
     top.offer(Hit{static_cast<uint32_t>(s), scores[s], -1, -1});
   out.hits = std::move(top).sorted();
-  core::Workspace ws;
+  auto lease = QueryStateCache::lease(ctx.query_cache);
+  core::Workspace& ws = lease.ws();
   for (Hit& h : out.hits) {
-    core::Alignment a = core::diag_align(query, db[h.seq_index], cfg, ws);
+    core::Alignment a =
+        core::diag_align(query, db[h.seq_index], cfg, ws, prep.get());
     h.end_query = a.end_query;
     h.end_ref = a.end_ref;
     out.stats += a.stats;
@@ -163,6 +175,9 @@ SearchResult search_diagonal(const seq::SequenceDatabase& db,
   out.db_residues = db.total_residues();
   if (db.empty() || query.empty()) return out;
 
+  std::shared_ptr<const core::PreparedQuery> prep;
+  if (ctx.query_cache != nullptr) prep = ctx.query_cache->prepared(query, cfg);
+
   const unsigned parts = ctx.pool ? ctx.pool->size() : 1u;
   auto ranges = parallel::partition_by_residues(db, parts);
   std::vector<std::vector<Hit>> part_hits(parts);
@@ -174,7 +189,8 @@ SearchResult search_diagonal(const seq::SequenceDatabase& db,
     if (begin >= end) return;
     obs::Span span(ctx.trace, "chunk.search_diagonal");
     span.set_index(p);
-    core::Workspace ws;
+    auto lease = QueryStateCache::lease(ctx.query_cache);
+    core::Workspace& ws = lease.ws();
     TopK top(top_k);
     core::KernelStats stats;
     for (size_t s = begin; s < end; ++s) {
@@ -183,7 +199,7 @@ SearchResult search_diagonal(const seq::SequenceDatabase& db,
         span.set_trunc(trunc_cause(ctx));
         break;
       }
-      core::Alignment a = core::diag_align(query, db[s], cfg, ws);
+      core::Alignment a = core::diag_align(query, db[s], cfg, ws, prep.get());
       span.set_isa(a.isa_used);
       span.set_width_bits(width_bits(a.width_used));
       stats += a.stats;
@@ -217,14 +233,14 @@ SearchResult search_diagonal(const seq::SequenceDatabase& db,
 }  // namespace engine
 
 DatabaseSearch::DatabaseSearch(const seq::SequenceDatabase& db, AlignConfig cfg,
-                               SearchMode mode)
+                               SearchMode mode, core::PackingPolicy packing)
     : db_(&db), cfg_(cfg), mode_(mode) {
   cfg_.validate();
   cfg_.traceback = false;  // scoring pass; re-align hits for traceback
   if (mode_ == SearchMode::Batch) {
     if (cfg_.band >= 0)
       throw std::invalid_argument("DatabaseSearch: Batch mode cannot band");
-    bdb_ = std::make_unique<core::Batch32Db>(db, batch_lanes());
+    bdb_ = std::make_unique<core::Batch32Db>(db, batch_lanes(), packing);
   }
 }
 

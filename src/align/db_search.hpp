@@ -37,6 +37,10 @@ struct Hit {
 struct SearchResult {
   std::vector<Hit> hits;  ///< top-k, best first
   core::KernelStats stats;
+  /// Batch-path accounting (zero for the diagonal path): 8-bit kernel cells
+  /// split into useful vs padding, and the rescore ladder's work. The ratio
+  /// useful_cells8 / cells8 is the packing efficiency of this search.
+  core::BatchSearchStats batch_stats;
   double seconds = 0;
   uint64_t query_length = 0;
   uint64_t db_residues = 0;
@@ -88,8 +92,12 @@ SearchResult search_batch(const seq::SequenceDatabase& db,
 /// door over the same engines.
 class DatabaseSearch {
  public:
+  /// `packing` selects how Batch mode packs the database (ignored in
+  /// Diagonal mode); every policy returns identical hits and scores — see
+  /// core::PackingPolicy.
   DatabaseSearch(const seq::SequenceDatabase& db, AlignConfig cfg,
-                 SearchMode mode = SearchMode::Diagonal);
+                 SearchMode mode = SearchMode::Diagonal,
+                 core::PackingPolicy packing = core::PackingPolicy::LengthSorted);
 
   /// Search with `pool` (or single-threaded when null). Results are
   /// identical for every thread count and for both search modes.
@@ -101,6 +109,9 @@ class DatabaseSearch {
                       const ExecContext& ctx) const;
 
   SearchMode mode() const noexcept { return mode_; }
+  /// Batch mode's packed database (null in Diagonal mode); exposes packing
+  /// efficiency and policy for metrics/benchmarks.
+  const core::Batch32Db* packed_db() const noexcept { return bdb_.get(); }
 
  private:
   const seq::SequenceDatabase* db_;

@@ -16,11 +16,18 @@
 
 namespace swve::align {
 
+class QueryStateCache;
+
 struct ExecContext {
   using Clock = std::chrono::steady_clock;
 
   /// Pool for intra-request parallelism; null runs single-threaded.
   parallel::ThreadPool* pool = nullptr;
+
+  /// Optional query-state cache (prepared query feeds + pooled workspaces,
+  /// see align::QueryStateCache). Null means build everything per request —
+  /// bit-identical results, just more per-request setup.
+  QueryStateCache* query_cache = nullptr;
 
   /// Optional external cancellation: when *cancel becomes true the engine
   /// stops at the next chunk boundary.

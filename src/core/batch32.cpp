@@ -9,11 +9,63 @@
 
 namespace swve::core {
 
-Batch32Db::Batch32Db(const seq::SequenceDatabase& db, int lanes) : lanes_(lanes) {
+const char* packing_policy_name(PackingPolicy p) noexcept {
+  switch (p) {
+    case PackingPolicy::DbOrder: return "db-order";
+    case PackingPolicy::LengthSorted: return "length-sorted";
+    case PackingPolicy::LengthBinned: return "length-binned";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Sequence order the batches are cut from, per policy.
+std::vector<uint32_t> packing_order(const seq::SequenceDatabase& db,
+                                    PackingPolicy policy) {
+  switch (policy) {
+    case PackingPolicy::LengthSorted:
+      return db.by_length();  // ascending length: minimal padding
+    case PackingPolicy::DbOrder: {
+      std::vector<uint32_t> order(db.size());
+      for (size_t s = 0; s < db.size(); ++s)
+        order[s] = static_cast<uint32_t>(s);
+      return order;
+    }
+    case PackingPolicy::LengthBinned: {
+      // Geometric bins: bin b holds lengths in [2^b, 2^(b+1)), so every
+      // batch mixes lengths within at most 2x. A counting pass sizes the
+      // bins, then a stable scatter preserves database order inside each.
+      auto bin_of = [](size_t len) {
+        return len == 0 ? 0 : static_cast<int>(std::bit_width(len)) - 1;
+      };
+      int max_bin = 0;
+      for (size_t s = 0; s < db.size(); ++s)
+        max_bin = std::max(max_bin, bin_of(db[s].length()));
+      std::vector<size_t> bin_start(static_cast<size_t>(max_bin) + 2, 0);
+      for (size_t s = 0; s < db.size(); ++s)
+        ++bin_start[static_cast<size_t>(bin_of(db[s].length())) + 1];
+      for (size_t b = 1; b < bin_start.size(); ++b)
+        bin_start[b] += bin_start[b - 1];
+      std::vector<uint32_t> order(db.size());
+      for (size_t s = 0; s < db.size(); ++s)
+        order[bin_start[static_cast<size_t>(bin_of(db[s].length()))]++] =
+            static_cast<uint32_t>(s);
+      return order;
+    }
+  }
+  return db.by_length();
+}
+
+}  // namespace
+
+Batch32Db::Batch32Db(const seq::SequenceDatabase& db, int lanes,
+                     PackingPolicy policy)
+    : lanes_(lanes), policy_(policy) {
   if (lanes != 32 && lanes != 64)
     throw std::invalid_argument("Batch32Db: lanes must be 32 or 64");
   total_seqs_ = db.size();
-  const auto& order = db.by_length();  // ascending length: minimal padding
+  const std::vector<uint32_t> order = packing_order(db, policy);
 
   for (size_t start = 0; start < order.size(); start += static_cast<size_t>(lanes)) {
     const size_t count = std::min(static_cast<size_t>(lanes), order.size() - start);
@@ -28,7 +80,7 @@ Batch32Db::Batch32Db(const seq::SequenceDatabase& db, int lanes) : lanes_(lanes)
     meta.index_offset = seq_index_.size();
     meta.max_len = max_len;
     meta.count = static_cast<uint32_t>(count);
-    batches_.push_back(meta);
+    meta.real_residues = 0;
 
     for (size_t k = 0; k < count; ++k) {
       seq_index_.push_back(order[start + k]);
@@ -44,10 +96,12 @@ Batch32Db::Batch32Db(const seq::SequenceDatabase& db, int lanes) : lanes_(lanes)
       const uint8_t* codes = s.data();
       for (size_t j = 0; j < s.length(); ++j)
         columns_[base + j * static_cast<size_t>(lanes) + k] = codes[j];
-      real_residues_ += s.length();
+      meta.real_residues += s.length();
     }
+    real_residues_ += meta.real_residues;
     padded_residues_ +=
         static_cast<uint64_t>(max_len) * static_cast<uint64_t>(lanes);
+    batches_.push_back(meta);
   }
 }
 
@@ -55,7 +109,14 @@ Batch32Db::Batch Batch32Db::batch(size_t b) const noexcept {
   const BatchMeta& meta = batches_[b];
   return Batch{columns_.data() + meta.column_offset, meta.max_len, meta.count,
                seq_index_.data() + meta.index_offset,
-               seq_len_.data() + meta.index_offset};
+               seq_len_.data() + meta.index_offset, meta.real_residues};
+}
+
+double Batch32Db::packing_efficiency() const noexcept {
+  return padded_residues_ == 0
+             ? 0.0
+             : static_cast<double>(real_residues_) /
+                   static_cast<double>(padded_residues_);
 }
 
 double Batch32Db::padding_overhead() const noexcept {
@@ -95,7 +156,8 @@ static int batch_lanes_for(simd::Isa isa) {
 
 std::vector<int> batch_scores(seq::SeqView q, const Batch32Db& bdb,
                               const seq::SequenceDatabase& db, const AlignConfig& cfg,
-                              Workspace& ws, BatchSearchStats* stats) {
+                              Workspace& ws, BatchSearchStats* stats,
+                              const PreparedQuery* prep) {
   cfg.validate();
   if (cfg.traceback)
     throw std::invalid_argument("batch_scores: traceback is not supported; "
@@ -121,16 +183,17 @@ std::vector<int> batch_scores(seq::SeqView q, const Batch32Db& bdb,
     Batch8Result r8 = batch32_align_u8(q, batch, lanes, cfg, ws, isa);
     local.cells8 += static_cast<uint64_t>(batch.max_len) * q.length *
                     static_cast<uint64_t>(lanes);
+    local.useful_cells8 += batch.real_residues * q.length;
     for (uint32_t k = 0; k < batch.count; ++k) {
       const uint32_t seq_idx = batch.seq_index[k];
       if (r8.saturated_mask & (uint64_t{1} << k)) {
         // Exact re-score at 16 bits, escalating to 32 if needed.
         const seq::Sequence& s = db[seq_idx];
-        Alignment a = diag_align(q, s, wide, ws);
+        Alignment a = diag_align(q, s, wide, ws, prep);
         if (a.saturated) {
           AlignConfig wide32 = wide;
           wide32.width = Width::W32;
-          a = diag_align(q, s, wide32, ws);
+          a = diag_align(q, s, wide32, ws, prep);
         }
         scores[seq_idx] = a.score;
         local.rescored++;

@@ -24,13 +24,39 @@
 
 namespace swve::core {
 
-/// Database packed for the batch kernel. Sequences are length-sorted before
-/// batching so per-batch padding (to the batch max length) stays small.
+class PreparedQuery;  // core/prepared_query.hpp
+
+/// How Batch32Db orders sequences across batches. Every policy keeps the
+/// seq_index indirection, so scores always land at original database
+/// indices and results are bit-identical across policies — only the DP work
+/// spent on padding differs.
+enum class PackingPolicy : uint8_t {
+  /// Database order. Every batch pays max_len over a mixed-length group, so
+  /// most of the 8-bit kernel's work can land on padding (the layout the
+  /// batch kernel naively inherits from the input). Kept for comparison
+  /// benchmarks and for callers that require packed order == input order.
+  DbOrder,
+  /// Ascending length order: for a fixed lane count this minimizes the sum
+  /// of per-batch max_len, i.e. it is the padding-optimal packing (the
+  /// SWAPHI / SSW approach). The default.
+  LengthSorted,
+  /// Geometric length bins (each bin spans lengths within 2x), database
+  /// order preserved inside a bin. Padding within ~2x of optimal while
+  /// keeping batch members close in database order — friendlier to callers
+  /// that correlate nearby indices (rescore locality, sharding).
+  LengthBinned,
+};
+const char* packing_policy_name(PackingPolicy p) noexcept;
+
+/// Database packed for the batch kernel. Sequences are length-sorted (or
+/// binned, per PackingPolicy) before batching so per-batch padding (to the
+/// batch max length) stays small.
 class Batch32Db {
  public:
   /// `lanes` is the kernel width in sequences: 32 (AVX2 / scalar) or 64
   /// (AVX-512 VBMI). The final ragged batch is padded with empty lanes.
-  Batch32Db(const seq::SequenceDatabase& db, int lanes);
+  Batch32Db(const seq::SequenceDatabase& db, int lanes,
+            PackingPolicy policy = PackingPolicy::LengthSorted);
 
   struct Batch {
     const uint8_t* columns;  ///< max_len columns of `lanes` bytes each
@@ -38,12 +64,22 @@ class Batch32Db {
     uint32_t count;          ///< valid lanes (rest are padding)
     const uint32_t* seq_index;  ///< count entries: original database indices
     const uint32_t* seq_len;    ///< count entries
+    uint64_t real_residues;  ///< sum of seq_len (useful-cell accounting)
   };
 
   int lanes() const noexcept { return lanes_; }
+  PackingPolicy policy() const noexcept { return policy_; }
   size_t batch_count() const noexcept { return batches_.size(); }
   Batch batch(size_t b) const noexcept;
   size_t sequence_count() const noexcept { return total_seqs_; }
+  /// Residues of actual sequence data packed into the columns.
+  uint64_t real_residues() const noexcept { return real_residues_; }
+  /// Residues the kernel will actually walk: sum over batches of
+  /// max_len * lanes (padding included).
+  uint64_t padded_residues() const noexcept { return padded_residues_; }
+  /// Packing efficiency: real residues / padded residues, in (0, 1].
+  /// Multiplying by a query length turns it into useful cells / DP cells.
+  double packing_efficiency() const noexcept;
   /// Padding overhead: padded cells / real cells - 1.
   double padding_overhead() const noexcept;
 
@@ -53,8 +89,10 @@ class Batch32Db {
     size_t index_offset;   // into seq_index_/seq_len_
     uint32_t max_len;
     uint32_t count;
+    uint64_t real_residues;
   };
   int lanes_;
+  PackingPolicy policy_;
   size_t total_seqs_ = 0;
   uint64_t real_residues_ = 0;
   uint64_t padded_residues_ = 0;
@@ -88,12 +126,32 @@ Batch8Result batch32_align_u8(seq::SeqView q, const Batch32Db::Batch& batch, int
 /// sequence index, plus statistics.
 struct BatchSearchStats {
   uint64_t cells8 = 0;        ///< DP cells done by the 8-bit batch kernel
+                              ///< (padding included: max_len * lanes * m)
+  uint64_t useful_cells8 = 0; ///< cells8 that landed on real residues
   uint64_t rescored = 0;      ///< sequences re-scored at 16/32 bits
   uint64_t rescored_cells = 0;
+
+  /// Useful fraction of the 8-bit kernel's work, in (0, 1]; 0 if none ran.
+  double packing_efficiency() const noexcept {
+    return cells8 > 0
+               ? static_cast<double>(useful_cells8) / static_cast<double>(cells8)
+               : 0.0;
+  }
+
+  BatchSearchStats& operator+=(const BatchSearchStats& o) noexcept {
+    cells8 += o.cells8;
+    useful_cells8 += o.useful_cells8;
+    rescored += o.rescored;
+    rescored_cells += o.rescored_cells;
+    return *this;
+  }
 };
+/// `prep`, when non-null, must be a PreparedQuery built from exactly `q`;
+/// the 16/32-bit rescore ladder then skips rebuilding its query feeds.
 std::vector<int> batch_scores(seq::SeqView q, const Batch32Db& bdb,
                               const seq::SequenceDatabase& db, const AlignConfig& cfg,
-                              Workspace& ws, BatchSearchStats* stats = nullptr);
+                              Workspace& ws, BatchSearchStats* stats = nullptr,
+                              const PreparedQuery* prep = nullptr);
 
 // Per-ISA kernel entry points (internal; exposed for tests/benches).
 Batch8Result batch32_u8_scalar(seq::SeqView q, const uint8_t* columns, uint32_t cols,

@@ -34,6 +34,7 @@
 #include <utility>
 
 #include "core/params.hpp"
+#include "core/prepared_query.hpp"
 #include "core/result.hpp"
 #include "core/traceback.hpp"
 #include "core/workspace.hpp"
@@ -47,6 +48,10 @@ struct DiagRequest {
   int n = 0;
   const AlignConfig* cfg = nullptr;
   Workspace* ws = nullptr;
+  /// Optional cached query feeds (must be built from exactly `q`/`m`);
+  /// when set the kernel reads qmul32/qenc from here instead of rebuilding
+  /// them into the workspace. Results are bit-identical either way.
+  const PreparedQuery* prep = nullptr;
 };
 
 struct DiagOutput {
@@ -134,20 +139,30 @@ DiagOutput diag_align_impl(const DiagRequest& rq) {
   for (int i = 0; i < m; ++i) bestd[i] = -1;
 
   const int32_t* mat32 = nullptr;
-  int32_t* qmul = nullptr;
+  const int32_t* qmul = nullptr;
   int32_t* dbrev = nullptr;
-  elem* qencE = nullptr;
+  const elem* qencE = nullptr;
   elem* dbrevE = nullptr;
   [[maybe_unused]] elem* sbuf = nullptr;
+  // Cached query feeds, if the caller supplied matching ones. The per-call
+  // build below produces exactly these bytes (padding included), so using
+  // them is a pure skip of O(m) work.
+  [[maybe_unused]] const PreparedQuery* prep =
+      rq.prep != nullptr && rq.prep->query_length() == m ? rq.prep : nullptr;
   if constexpr (SM != KMode::Fixed) mat32 = cfg.matrix->data32();
   if constexpr (SM == KMode::Gather || SM == KMode::Fill) {
-    // Pads are zeroed: masked-tail gathers then index row 0 / column 0,
-    // which is always inside the table.
-    qmul = static_cast<int32_t*>(
-        ws.qmul32.ensure((static_cast<size_t>(m) + kPad) * 4));
-    for (int i = 0; i < m; ++i)
-      qmul[i] = static_cast<int32_t>(q[i]) * seq::kMatrixStride;
-    std::memset(qmul + m, 0, kPad * 4);
+    if (prep != nullptr) {
+      qmul = prep->qmul32();
+    } else {
+      // Pads are zeroed: masked-tail gathers then index row 0 / column 0,
+      // which is always inside the table.
+      int32_t* qm = static_cast<int32_t*>(
+          ws.qmul32.ensure((static_cast<size_t>(m) + kPad) * 4));
+      for (int i = 0; i < m; ++i)
+        qm[i] = static_cast<int32_t>(q[i]) * seq::kMatrixStride;
+      std::memset(qm + m, 0, kPad * 4);
+      qmul = qm;
+    }
     dbrev = static_cast<int32_t*>(
         ws.dbrev32.ensure((static_cast<size_t>(n) + kPad) * 4));
     for (int t = 0; t < n; ++t) dbrev[t] = r[n - 1 - t];
@@ -156,11 +171,17 @@ DiagOutput diag_align_impl(const DiagRequest& rq) {
       sbuf = static_cast<elem*>(ws.diag_scores.ensure_zeroed(stride)) + kPad;
   }
   if constexpr (SM == KMode::Fixed || SM == KMode::Shuffle) {
-    // Encoded residues widened to the element type (compare feed for Fixed,
-    // lookup indices for Shuffle). Pads zeroed: code 0 is a valid index.
-    qencE = static_cast<elem*>(
-        ws.qenc.ensure_zeroed((static_cast<size_t>(m) + kPad) * sizeof(elem)));
-    for (int i = 0; i < m; ++i) qencE[i] = q[i];
+    if (prep != nullptr) {
+      qencE = prep->template qenc<elem>();
+    } else {
+      // Encoded residues widened to the element type (compare feed for
+      // Fixed, lookup indices for Shuffle). Pads zeroed: code 0 is a valid
+      // index.
+      elem* qe = static_cast<elem*>(
+          ws.qenc.ensure_zeroed((static_cast<size_t>(m) + kPad) * sizeof(elem)));
+      for (int i = 0; i < m; ++i) qe[i] = q[i];
+      qencE = qe;
+    }
     dbrevE = static_cast<elem*>(
         ws.dbrev_enc.ensure_zeroed((static_cast<size_t>(n) + kPad) * sizeof(elem)));
     for (int t = 0; t < n; ++t) dbrevE[t] = r[n - 1 - t];

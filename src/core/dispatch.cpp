@@ -114,7 +114,7 @@ DiagOutput run_diag_kernel(const DiagRequest& rq, simd::Isa isa, Width width) {
 }
 
 Alignment diag_align(seq::SeqView q, seq::SeqView r, const AlignConfig& cfg,
-                     Workspace& ws) {
+                     Workspace& ws, const PreparedQuery* prep) {
   cfg.validate();
   const simd::Isa isa = simd::resolve_isa(cfg.isa);
   AlignConfig resolved = cfg;
@@ -128,6 +128,7 @@ Alignment diag_align(seq::SeqView q, seq::SeqView r, const AlignConfig& cfg,
   rq.n = static_cast<int>(r.length);
   rq.cfg = &resolved;
   rq.ws = &ws;
+  rq.prep = prep;
 
   Width ladder[3];
   int steps = 0;

@@ -42,7 +42,10 @@ void set_delivery_override(simd::Isa isa, ScoreDelivery delivery);
 /// Full alignment through the diagonal kernel family: resolves the ISA,
 /// runs the adaptive width ladder, and (if requested) walks the traceback.
 /// This is the paper's aligner; align::Aligner wraps it for public use.
+/// `prep`, when non-null, must be a PreparedQuery built from exactly `q`;
+/// the kernels then skip rebuilding the per-query feed arrays (bit-identical
+/// results, less per-call setup — see core::PreparedQuery).
 Alignment diag_align(seq::SeqView q, seq::SeqView r, const AlignConfig& cfg,
-                     Workspace& ws);
+                     Workspace& ws, const PreparedQuery* prep = nullptr);
 
 }  // namespace swve::core

@@ -139,6 +139,40 @@ std::string to_prometheus(const MetricsSnapshot& s) {
                 perf::kernel_variant_name(static_cast<KernelVariant>(k)),
                 s.target_cells[i][k]);
 
+  prom_header(out, "swve_batch_cells8_total",
+              "8-bit batch-kernel DP cells, padding included", "counter");
+  appendf(out, "swve_batch_cells8_total %" PRIu64 "\n", s.batch_cells8);
+  prom_header(out, "swve_batch_useful_cells8_total",
+              "8-bit batch-kernel DP cells on real residues", "counter");
+  appendf(out, "swve_batch_useful_cells8_total %" PRIu64 "\n",
+          s.batch_useful_cells8);
+  prom_header(out, "swve_batch_packing_efficiency",
+              "Useful fraction of batch-kernel work (useful/padded cells)",
+              "gauge");
+  appendf(out, "swve_batch_packing_efficiency %.6g\n",
+          s.batch_packing_efficiency());
+
+  prom_header(out, "swve_query_cache_lookups_total",
+              "Prepared-query cache lookups, by result", "counter");
+  appendf(out, "swve_query_cache_lookups_total{result=\"hit\"} %" PRIu64 "\n",
+          s.query_cache_hits);
+  appendf(out, "swve_query_cache_lookups_total{result=\"miss\"} %" PRIu64 "\n",
+          s.query_cache_misses);
+  prom_header(out, "swve_query_cache_evictions_total",
+              "Prepared-query LRU entries displaced at capacity", "counter");
+  appendf(out, "swve_query_cache_evictions_total %" PRIu64 "\n",
+          s.query_cache_evictions);
+  prom_header(out, "swve_query_cache_entries",
+              "Prepared-query LRU entries currently cached", "gauge");
+  appendf(out, "swve_query_cache_entries %" PRIu64 "\n",
+          s.query_cache_entries);
+  prom_header(out, "swve_workspace_leases_total",
+              "Workspace-pool checkouts, by source", "counter");
+  appendf(out, "swve_workspace_leases_total{source=\"pool\"} %" PRIu64 "\n",
+          s.workspace_reuses);
+  appendf(out, "swve_workspace_leases_total{source=\"alloc\"} %" PRIu64 "\n",
+          s.workspace_creates);
+
   prom_header(out, "swve_pool_threads", "Worker threads in the owned pool",
               "gauge");
   appendf(out, "swve_pool_threads %u\n", s.pool_threads);
@@ -216,6 +250,17 @@ std::string to_json(const MetricsSnapshot& s) {
     }
   }
   out += "],";
+  appendf(out,
+          "\"batch_packing\":{\"cells8\":%" PRIu64 ",\"useful_cells8\":%" PRIu64
+          ",\"efficiency\":%.6g},",
+          s.batch_cells8, s.batch_useful_cells8, s.batch_packing_efficiency());
+  appendf(out,
+          "\"query_cache\":{\"hits\":%" PRIu64 ",\"misses\":%" PRIu64
+          ",\"hit_rate\":%.6g,\"evictions\":%" PRIu64 ",\"entries\":%" PRIu64
+          ",\"ws_reuses\":%" PRIu64 ",\"ws_creates\":%" PRIu64 "},",
+          s.query_cache_hits, s.query_cache_misses, s.query_cache_hit_rate(),
+          s.query_cache_evictions, s.query_cache_entries, s.workspace_reuses,
+          s.workspace_creates);
   appendf(out,
           "\"pool\":{\"threads\":%u,\"jobs\":%" PRIu64
           ",\"busy_seconds\":%.9g,\"utilization\":%.6g},",

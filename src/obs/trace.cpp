@@ -90,6 +90,7 @@ void TraceSink::record(const TraceEvent& event) noexcept {
   s.dur_ns.store(event.dur_ns, kRelaxed);
   s.meta.store(pack_meta(event), kRelaxed);
   s.cells.store(event.cells, kRelaxed);
+  s.useful_cells.store(event.useful_cells, kRelaxed);
   s.index.store(event.index, kRelaxed);
   std::atomic_thread_fence(std::memory_order_release);
   s.version.store(v + 2, kRelaxed);
@@ -144,6 +145,7 @@ std::vector<TraceEvent> TraceSink::snapshot_events() const {
       e.dur_ns = s.dur_ns.load(kRelaxed);
       unpack_meta(s.meta.load(kRelaxed), e);
       e.cells = s.cells.load(kRelaxed);
+      e.useful_cells = s.useful_cells.load(kRelaxed);
       e.index = s.index.load(kRelaxed);
       std::atomic_thread_fence(std::memory_order_acquire);
       if (s.version.load(kRelaxed) != v1 || e.name == nullptr) {
@@ -192,6 +194,11 @@ std::string TraceSink::chrome_trace_json() const {
     }
     if (e.cells != 0) {
       std::snprintf(buf, sizeof buf, ",\"cells\":%" PRIu64, e.cells);
+      out += buf;
+    }
+    if (e.useful_cells != 0) {
+      std::snprintf(buf, sizeof buf, ",\"useful_cells\":%" PRIu64,
+                    e.useful_cells);
       out += buf;
     }
     if (e.index != TraceEvent::kNoIndex) {

@@ -49,6 +49,8 @@ struct TraceEvent {
   uint16_t width_bits = 0;     ///< DP integer width (8/16/32)
   uint32_t lanes = 0;          ///< batch-kernel lane count
   uint64_t cells = 0;          ///< DP cells computed in the span
+  uint64_t useful_cells = 0;   ///< cells on real residues (batch path:
+                               ///< cells minus padding — packing efficiency)
   uint64_t index = kNoIndex;   ///< chunk/batch/query index
   TruncCause trunc = TruncCause::None;
 
@@ -113,6 +115,7 @@ class TraceSink {
     std::atomic<uint64_t> dur_ns{0};
     std::atomic<uint64_t> meta{0};  ///< isa | trunc | width_bits | lanes
     std::atomic<uint64_t> cells{0};
+    std::atomic<uint64_t> useful_cells{0};
     std::atomic<uint64_t> index{0};
   };
   struct Ring {
@@ -173,6 +176,9 @@ class Span {
   }
   void add_cells(uint64_t cells) noexcept {
     if (sink_) ev_.cells += cells;
+  }
+  void set_useful_cells(uint64_t cells) noexcept {
+    if (sink_) ev_.useful_cells = cells;
   }
   void set_index(uint64_t index) noexcept {
     if (sink_) ev_.index = index;

@@ -118,6 +118,8 @@ MetricsSnapshot MetricsRegistry::snapshot() const noexcept {
   s.batch = by_scenario_[2].load(kRelaxed);
   s.cells = cells_.load(kRelaxed);
   s.kernel_seconds = static_cast<double>(kernel_ns_.load(kRelaxed)) * 1e-9;
+  s.batch_cells8 = batch_cells8_.load(kRelaxed);
+  s.batch_useful_cells8 = batch_useful_cells8_.load(kRelaxed);
   for (int i = 0; i < MetricsSnapshot::kIsas; ++i) {
     for (int k = 0; k < MetricsSnapshot::kKernelVariants; ++k) {
       s.target_requests[i][k] = target_requests_[i][k].load(kRelaxed);
@@ -175,6 +177,28 @@ std::string MetricsSnapshot::to_string() const {
                     static_cast<unsigned long long>(target_cells[i][k]));
       out += line;
     }
+  }
+  if (batch_cells8 > 0) {
+    std::snprintf(line, sizeof line,
+                  "batch packing: %llu cells8, %llu useful, efficiency %.1f%%\n",
+                  static_cast<unsigned long long>(batch_cells8),
+                  static_cast<unsigned long long>(batch_useful_cells8),
+                  100.0 * batch_packing_efficiency());
+    out += line;
+  }
+  if (query_cache_hits + query_cache_misses + workspace_creates > 0) {
+    std::snprintf(line, sizeof line,
+                  "query-cache: %llu hits, %llu misses (%.1f%% hit), "
+                  "%llu evictions, %llu entries, ws reuse %llu/%llu\n",
+                  static_cast<unsigned long long>(query_cache_hits),
+                  static_cast<unsigned long long>(query_cache_misses),
+                  100.0 * query_cache_hit_rate(),
+                  static_cast<unsigned long long>(query_cache_evictions),
+                  static_cast<unsigned long long>(query_cache_entries),
+                  static_cast<unsigned long long>(workspace_reuses),
+                  static_cast<unsigned long long>(workspace_reuses +
+                                                  workspace_creates));
+    out += line;
   }
   if (pool_threads > 0) {
     std::snprintf(line, sizeof line,

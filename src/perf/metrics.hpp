@@ -95,6 +95,20 @@ struct MetricsSnapshot {
   std::array<std::array<uint64_t, kKernelVariants>, kIsas> target_requests{};
   std::array<std::array<uint64_t, kKernelVariants>, kIsas> target_cells{};
 
+  // Batch32-kernel packing (batch-path completions only): 8-bit kernel
+  // cells as padded (max_len * lanes * m) vs landing on real residues.
+  uint64_t batch_cells8 = 0;
+  uint64_t batch_useful_cells8 = 0;
+
+  // Query-state cache (filled by the owner from align::QueryStateCache;
+  // zero when no cache is attached).
+  uint64_t query_cache_hits = 0;
+  uint64_t query_cache_misses = 0;
+  uint64_t query_cache_evictions = 0;
+  uint64_t workspace_reuses = 0;
+  uint64_t workspace_creates = 0;
+  uint64_t query_cache_entries = 0;
+
   // Sliding window: kernel work recorded in the last kWindowSeconds.
   uint64_t window_cells = 0;
   double window_kernel_seconds = 0;
@@ -120,6 +134,23 @@ struct MetricsSnapshot {
     return window_kernel_seconds > 0
                ? static_cast<double>(window_cells) / window_kernel_seconds / 1e9
                : 0.0;
+  }
+
+  /// Useful fraction of the batch kernel's DP work, in (0, 1]; 0 before the
+  /// first batch-path request. 1 - this is the padding overhead the packing
+  /// policy left on the table.
+  double batch_packing_efficiency() const noexcept {
+    return batch_cells8 > 0 ? static_cast<double>(batch_useful_cells8) /
+                                  static_cast<double>(batch_cells8)
+                            : 0.0;
+  }
+
+  /// Prepared-query LRU hit rate, in [0, 1]; 0 before the first lookup.
+  double query_cache_hit_rate() const noexcept {
+    const uint64_t total = query_cache_hits + query_cache_misses;
+    return total > 0 ? static_cast<double>(query_cache_hits) /
+                           static_cast<double>(total)
+                     : 0.0;
   }
 
   /// Busy fraction of the pool over the registry's lifetime [0, 1].
@@ -166,6 +197,13 @@ class MetricsRegistry {
     kernel_ns_.fetch_add(ns, kRelaxed);
     kernel_time_.record(kernel_seconds);
     window_record(cells, ns);
+  }
+
+  /// Record the batch kernel's padded vs useful 8-bit cell counts for one
+  /// completed batch-path request (see core::BatchSearchStats).
+  void on_batch_packing(uint64_t cells8, uint64_t useful_cells8) noexcept {
+    batch_cells8_.fetch_add(cells8, kRelaxed);
+    batch_useful_cells8_.fetch_add(useful_cells8, kRelaxed);
   }
 
   /// Attribute a completed request to the dispatch target that served it
@@ -229,6 +267,8 @@ class MetricsRegistry {
   std::array<std::atomic<uint64_t>, 3> by_scenario_{};
   std::atomic<uint64_t> cells_{0};
   std::atomic<uint64_t> kernel_ns_{0};
+  std::atomic<uint64_t> batch_cells8_{0};
+  std::atomic<uint64_t> batch_useful_cells8_{0};
   std::array<std::array<std::atomic<uint64_t>, MetricsSnapshot::kKernelVariants>,
              MetricsSnapshot::kIsas>
       target_requests_{};

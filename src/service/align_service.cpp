@@ -49,6 +49,9 @@ AlignService::AlignService(ServiceOptions options)
   opt_.config.validate();
   if (opt_.executors == 0) opt_.executors = 1;
   if (opt_.queue_capacity == 0) opt_.queue_capacity = 1;
+  if (!opt_.query_cache_bypass && opt_.query_cache_capacity > 0)
+    query_cache_ =
+        std::make_unique<align::QueryStateCache>(opt_.query_cache_capacity);
   executors_.reserve(opt_.executors);
   for (unsigned e = 0; e < opt_.executors; ++e)
     executors_.emplace_back([this] { executor_loop(); });
@@ -67,7 +70,8 @@ AlignService::AlignService(const seq::SequenceDatabase& db,
   // Pack once, up front, before any request can arrive (executors are
   // already running but the queue is still empty while we're here only if
   // the caller hasn't submitted yet — which it can't: it has no handle).
-  bdb_ = std::make_unique<core::Batch32Db>(db, align::engine::batch_server_lanes());
+  bdb_ = std::make_unique<core::Batch32Db>(
+      db, align::engine::batch_server_lanes(), opt_.batch_packing);
 }
 
 AlignService::~AlignService() {
@@ -90,6 +94,15 @@ perf::MetricsSnapshot AlignService::metrics() const {
   s.pool_threads = ps.threads;
   s.pool_jobs = ps.jobs;
   s.pool_busy_seconds = ps.busy_seconds;
+  if (query_cache_) {
+    const align::QueryCacheStats qs = query_cache_->stats();
+    s.query_cache_hits = qs.hits;
+    s.query_cache_misses = qs.misses;
+    s.query_cache_evictions = qs.evictions;
+    s.workspace_reuses = qs.ws_reuses;
+    s.workspace_creates = qs.ws_creates;
+    s.query_cache_entries = qs.entries;
+  }
   return s;
 }
 
@@ -262,8 +275,11 @@ std::future<AlignResponse> AlignService::submit(AlignRequest request) {
       td = maybe_topdown(
           [&] {
             thread_local core::Workspace ws;  // one per executor thread
+            std::shared_ptr<const core::PreparedQuery> prep;
+            if (query_cache_) prep = query_cache_->prepared(rq->query, cfg);
             obs::Span chunk(tctx, "chunk.pairwise");
-            a = core::diag_align(rq->query, rq->reference, cfg, ws);
+            a = core::diag_align(rq->query, rq->reference, cfg, ws,
+                                 prep.get());
             chunk.set_isa(a.isa_used);
             chunk.set_width_bits(dp_width_bits(a.width_used));
             chunk.add_cells(a.stats.cells);
@@ -350,6 +366,7 @@ std::future<SearchResponse> AlignService::submit_search(SearchRequest request) {
 
     align::ExecContext ctx;
     ctx.pool = &pool_;
+    ctx.query_cache = query_cache_.get();
     ctx.deadline = deadline;
     ctx.trace = tctx;
     obs::Span dispatch(tctx, "dispatch.search");
@@ -383,6 +400,9 @@ std::future<SearchResponse> AlignService::submit_search(SearchRequest request) {
     tr.topdown = std::move(td);
     metrics_.on_completed(perf::MetricsRegistry::Scenario::Search, res.seconds,
                           res.stats.cells);
+    if (res.batch_stats.cells8 > 0)
+      metrics_.on_batch_packing(res.batch_stats.cells8,
+                                res.batch_stats.useful_cells8);
     metrics_.on_kernel_completed(tr.isa,
                                  rq->mode == align::SearchMode::Batch
                                      ? perf::KernelVariant::Batch32
@@ -456,6 +476,7 @@ std::future<BatchResponse> AlignService::submit_batch(BatchRequest request) {
 
     align::ExecContext ctx;
     ctx.pool = &pool_;
+    ctx.query_cache = query_cache_.get();
     ctx.deadline = deadline;
     ctx.trace = tctx;
     obs::Span dispatch(tctx, "dispatch.batch");
@@ -476,10 +497,13 @@ std::future<BatchResponse> AlignService::submit_batch(BatchRequest request) {
     }
     const double kernel_s = sw.seconds();
     uint64_t cells = 0, retries = 0;
+    uint64_t cells8 = 0, useful8 = 0;
     bool truncated = false;
     for (const auto& r : results) {
       cells += r.result.stats.cells;
       retries += r.batch_stats.rescored;
+      cells8 += r.batch_stats.cells8;
+      useful8 += r.batch_stats.useful_cells8;
       truncated = truncated || r.result.truncated;
     }
     if (truncated) {
@@ -496,6 +520,7 @@ std::future<BatchResponse> AlignService::submit_batch(BatchRequest request) {
     tr.topdown = std::move(td);
     metrics_.on_completed(perf::MetricsRegistry::Scenario::Batch, kernel_s,
                           cells);
+    if (cells8 > 0) metrics_.on_batch_packing(cells8, useful8);
     metrics_.on_kernel_completed(tr.isa, perf::KernelVariant::Batch32, cells);
     dispatch.end();
     prom->set_value(BatchResponse{std::move(results), tr});

@@ -33,6 +33,7 @@
 
 #include "align/batch_server.hpp"
 #include "align/db_search.hpp"
+#include "align/query_cache.hpp"
 #include "core/batch32.hpp"
 #include "obs/exporters.hpp"
 #include "obs/sampler.hpp"
@@ -81,6 +82,17 @@ struct ServiceOptions {
   /// Attach a perf::topdown_analyze breakdown to one in N completed
   /// requests (RequestTrace::topdown); 0 disables sampling.
   uint32_t topdown_every_n = 0;
+  /// How the shared database is packed for the batch32 kernel. Every policy
+  /// returns identical hits/scores; LengthSorted (default) minimizes the
+  /// padding the 8-bit kernel burns on mixed-length batches.
+  core::PackingPolicy batch_packing = core::PackingPolicy::LengthSorted;
+  /// Distinct (query, config, ISA) entries the query-state cache holds;
+  /// back-to-back requests for a cached query skip rebuilding its kernel
+  /// feed arrays, and engine workspaces come from a reusable pool.
+  size_t query_cache_capacity = 32;
+  /// Disable the query-state cache entirely (every request builds its own
+  /// state, the pre-cache behavior). For A/B measurement and debugging.
+  bool query_cache_bypass = false;
 };
 
 class AlignService {
@@ -129,6 +141,13 @@ class AlignService {
   bool has_database() const noexcept { return db_ != nullptr; }
   /// Lanes of the packed batch database (0 without a database).
   int batch_lanes() const noexcept { return bdb_ ? bdb_->lanes() : 0; }
+  /// The packed batch database (null without one); exposes packing policy
+  /// and efficiency.
+  const core::Batch32Db* packed_db() const noexcept { return bdb_.get(); }
+  /// The query-state cache (null when bypassed).
+  const align::QueryStateCache* query_cache() const noexcept {
+    return query_cache_.get();
+  }
 
  private:
   struct Task {
@@ -165,6 +184,7 @@ class AlignService {
   ServiceOptions opt_;
   const seq::SequenceDatabase* db_ = nullptr;
   std::unique_ptr<core::Batch32Db> bdb_;
+  std::unique_ptr<align::QueryStateCache> query_cache_;
 
   parallel::ThreadPool pool_;
   std::mutex pool_mu_;  ///< one fan-out request on the pool at a time

@@ -132,6 +132,134 @@ INSTANTIATE_TEST_SUITE_P(Lanes, BatchScoreTest, ::testing::Values(32, 64),
                            return "lanes" + std::to_string(info.param);
                          });
 
+// A length-skewed database: mostly short sequences with a few huge outliers
+// scattered through it, the worst case for db-order packing.
+seq::SequenceDatabase skewed_db(uint64_t seed, int n_short, int n_long,
+                                uint32_t long_len) {
+  std::mt19937_64 rng(seed);
+  std::vector<seq::Sequence> seqs;
+  for (int i = 0; i < n_short; ++i)
+    seqs.push_back(seq::generate_sequence(rng(), 30 + static_cast<uint32_t>(rng() % 70)));
+  for (int i = 0; i < n_long; ++i) {
+    auto pos = seqs.begin() + static_cast<std::ptrdiff_t>(rng() % (seqs.size() + 1));
+    seqs.insert(pos, seq::generate_sequence(rng(), long_len));
+  }
+  return seq::SequenceDatabase(std::move(seqs));
+}
+
+TEST(Batch32Db, EveryPolicyPacksEverySequenceExactlyOnce) {
+  auto db = skewed_db(11, 150, 2, 2000);
+  for (PackingPolicy policy : {PackingPolicy::DbOrder, PackingPolicy::LengthSorted,
+                               PackingPolicy::LengthBinned}) {
+    Batch32Db bdb(db, 32, policy);
+    EXPECT_EQ(bdb.policy(), policy);
+    std::vector<int> seen(db.size(), 0);
+    uint64_t real = 0, padded = 0;
+    for (size_t b = 0; b < bdb.batch_count(); ++b) {
+      auto batch = bdb.batch(b);
+      uint64_t batch_real = 0;
+      for (uint32_t k = 0; k < batch.count; ++k) {
+        ++seen[batch.seq_index[k]];
+        batch_real += batch.seq_len[k];
+      }
+      EXPECT_EQ(batch.real_residues, batch_real);
+      real += batch.real_residues;
+      padded += static_cast<uint64_t>(batch.max_len) * 32;
+    }
+    for (size_t s = 0; s < db.size(); ++s)
+      EXPECT_EQ(seen[s], 1) << packing_policy_name(policy) << " seq " << s;
+    EXPECT_EQ(bdb.real_residues(), db.total_residues());
+    EXPECT_EQ(real, db.total_residues());
+    EXPECT_EQ(bdb.padded_residues(), padded);
+  }
+}
+
+TEST(Batch32Db, LengthAwarePoliciesBeatDbOrderOnSkewedDb) {
+  auto db = skewed_db(12, 300, 3, 3000);
+  Batch32Db naive(db, 32, PackingPolicy::DbOrder);
+  Batch32Db sorted(db, 32, PackingPolicy::LengthSorted);
+  Batch32Db binned(db, 32, PackingPolicy::LengthBinned);
+  // Length-sorted packing is padding-optimal; binning approximates it while
+  // keeping db order inside each bin. Both must clearly beat naive order,
+  // where every batch holding an outlier pads 31 lanes to its length.
+  // (Even optimal packing pays for the outliers' own batch — a batch of 3
+  // long lanes still pads the other 29 — so assert the relative ordering
+  // and a clear margin over naive, not an absolute figure.)
+  EXPECT_GT(sorted.packing_efficiency(), 2 * naive.packing_efficiency());
+  EXPECT_GT(binned.packing_efficiency(), 2 * naive.packing_efficiency());
+  EXPECT_GE(sorted.packing_efficiency(), binned.packing_efficiency());
+  EXPECT_LT(naive.packing_efficiency(), 0.5);
+}
+
+TEST_P(BatchScoreTest, ScoresIdenticalAcrossPackingPolicies) {
+  const int lanes = GetParam();
+  auto db = skewed_db(13, 120, 2, 1500);
+  Workspace ws;
+  AlignConfig cfg;
+  auto q = seq::generate_sequence(80, 120);
+  std::vector<int> ref_scores;
+  for (PackingPolicy policy : {PackingPolicy::DbOrder, PackingPolicy::LengthSorted,
+                               PackingPolicy::LengthBinned}) {
+    Batch32Db bdb(db, lanes, policy);
+    auto scores = batch_scores(q, bdb, db, cfg, ws);
+    ASSERT_EQ(scores.size(), db.size());
+    if (ref_scores.empty()) {
+      ref_scores = scores;
+      for (size_t s = 0; s < db.size(); ++s)
+        ASSERT_EQ(scores[s], ref_align(q, db[s], cfg).score) << "seq " << s;
+    } else {
+      EXPECT_EQ(scores, ref_scores) << packing_policy_name(policy);
+    }
+  }
+}
+
+TEST(BatchScores, RescoreLadderClimbsTo16AndThen32Bits) {
+  // Fixed match=30 makes saturation cheap to provoke: an identical pair of
+  // length L scores 30*L, so L=400 (12000) needs the 16-bit rung and
+  // L=1200 (36000) exceeds int16 and needs the 32-bit rung. Both must come
+  // back exact, alongside short sequences that never left the 8-bit kernel.
+  auto q = seq::generate_sequence(90, 1200);
+  std::vector<uint8_t> prefix(q.codes().begin(), q.codes().begin() + 400);
+  std::vector<seq::Sequence> seqs;
+  for (int i = 0; i < 40; ++i)
+    seqs.push_back(seq::generate_sequence(91 + static_cast<uint64_t>(i), 60));
+  seqs.emplace_back("w16", prefix, seq::Alphabet::protein());    // index 40
+  seqs.push_back(seq::mutate(q, 92, 0.0));                       // index 41
+  seq::SequenceDatabase db(std::move(seqs));
+  AlignConfig cfg;
+  cfg.scheme = ScoreScheme::Fixed;
+  cfg.match = 30;
+  cfg.mismatch = -3;
+  Workspace ws;
+  for (int lanes : {32, 64}) {
+    Batch32Db bdb(db, lanes);
+    BatchSearchStats stats;
+    auto scores = batch_scores(q, bdb, db, cfg, ws, &stats);
+    EXPECT_GE(stats.rescored, 2u) << lanes;      // both planted sequences
+    EXPECT_GT(stats.rescored_cells, 0u);
+    EXPECT_EQ(scores[40], 30 * 400) << lanes;    // exact prefix match
+    EXPECT_EQ(scores[41], 30 * 1200) << lanes;   // exact full-length match
+    EXPECT_GT(scores[41], 32767) << "must have used the 32-bit rung";
+    for (size_t s = 0; s < db.size(); ++s)
+      EXPECT_EQ(scores[s], ref_align(q, db[s], cfg).score) << lanes << "/" << s;
+  }
+}
+
+TEST(BatchScores, StatsAccountUsefulVersusPaddedCells) {
+  auto db = skewed_db(14, 100, 2, 1000);
+  Workspace ws;
+  AlignConfig cfg;
+  auto q = seq::generate_sequence(81, 100);
+  for (PackingPolicy policy : {PackingPolicy::DbOrder, PackingPolicy::LengthSorted}) {
+    Batch32Db bdb(db, 32, policy);
+    BatchSearchStats stats;
+    batch_scores(q, bdb, db, cfg, ws, &stats);
+    EXPECT_EQ(stats.useful_cells8, db.total_residues() * q.length());
+    EXPECT_EQ(stats.cells8, bdb.padded_residues() * q.length());
+    EXPECT_NEAR(stats.packing_efficiency(), bdb.packing_efficiency(), 1e-12);
+  }
+}
+
 TEST(BatchScores, EmptyQueryScoresAllZero) {
   auto db = small_db(8, 5'000);
   Batch32Db bdb(db, 32);

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <random>
 
 #include "align/db_search.hpp"
 #include "core/scalar_ref.hpp"
@@ -159,6 +160,81 @@ TEST(DatabaseSearch, BatchModeHandlesSaturatingHomolog) {
   ASSERT_FALSE(res.hits.empty());
   EXPECT_EQ(res.hits[0].seq_index, 50u);
   EXPECT_EQ(res.hits[0].score, core::ref_align(q, db[50], cfg).score);
+}
+
+TEST(DatabaseSearch, PackedTopKIdenticalOnAdversarialLengthMix) {
+  // Worst case for batch packing: one 10k-residue sequence buried among
+  // hundreds of short ones. Every packing policy must return the same top-k
+  // (indices, scores, end positions) as the unpacked diagonal path.
+  std::mt19937_64 rng(500);
+  std::vector<seq::Sequence> seqs;
+  for (int i = 0; i < 300; ++i)
+    seqs.push_back(seq::generate_sequence(rng(), 25 + static_cast<uint32_t>(rng() % 80)));
+  auto mid = seqs.begin() + static_cast<std::ptrdiff_t>(seqs.size() / 2);
+  seqs.insert(mid, seq::generate_sequence(rng(), 10'000));
+  seq::SequenceDatabase db(std::move(seqs));
+
+  AlignConfig cfg;
+  DatabaseSearch diag(db, cfg, SearchMode::Diagonal);
+  auto q = seq::generate_sequence(501, 180);
+  SearchResult ref = diag.search(q, 15);
+  ASSERT_FALSE(ref.hits.empty());
+
+  for (core::PackingPolicy policy :
+       {core::PackingPolicy::DbOrder, core::PackingPolicy::LengthSorted,
+        core::PackingPolicy::LengthBinned}) {
+    DatabaseSearch batch(db, cfg, SearchMode::Batch, policy);
+    ASSERT_NE(batch.packed_db(), nullptr);
+    EXPECT_EQ(batch.packed_db()->policy(), policy);
+    SearchResult res = batch.search(q, 15);
+    ASSERT_EQ(res.hits.size(), ref.hits.size())
+        << core::packing_policy_name(policy);
+    for (size_t k = 0; k < ref.hits.size(); ++k) {
+      EXPECT_EQ(res.hits[k].seq_index, ref.hits[k].seq_index) << k;
+      EXPECT_EQ(res.hits[k].score, ref.hits[k].score) << k;
+      EXPECT_EQ(res.hits[k].end_query, ref.hits[k].end_query) << k;
+      EXPECT_EQ(res.hits[k].end_ref, ref.hits[k].end_ref) << k;
+    }
+    // The batch accounting must agree with the packed database layout.
+    EXPECT_EQ(res.batch_stats.useful_cells8, db.total_residues() * q.length());
+    EXPECT_GT(res.batch_stats.cells8, 0u);
+  }
+
+  // And the length-aware layouts must waste strictly fewer 8-bit cells.
+  DatabaseSearch naive(db, cfg, SearchMode::Batch, core::PackingPolicy::DbOrder);
+  DatabaseSearch sorted(db, cfg, SearchMode::Batch,
+                        core::PackingPolicy::LengthSorted);
+  EXPECT_GT(sorted.packed_db()->packing_efficiency(),
+            naive.packed_db()->packing_efficiency());
+}
+
+TEST(DatabaseSearch, BatchModeSaturationLadderReachesWide32) {
+  // Fixed match=30 against a planted identical 1200-mer scores 36000 —
+  // past int16 — so the batch path's rescore ladder must climb u8 -> W16
+  // -> W32 and still agree with the diagonal path bit for bit.
+  auto q = seq::generate_sequence(510, 1200);
+  std::vector<seq::Sequence> seqs;
+  for (int i = 0; i < 70; ++i)
+    seqs.push_back(seq::generate_sequence(511 + static_cast<uint64_t>(i), 90));
+  seqs.push_back(seq::mutate(q, 512, 0.0));  // index 70
+  seq::SequenceDatabase db(std::move(seqs));
+  AlignConfig cfg;
+  cfg.scheme = core::ScoreScheme::Fixed;
+  cfg.match = 30;
+  cfg.mismatch = -3;
+  DatabaseSearch diag(db, cfg, SearchMode::Diagonal);
+  DatabaseSearch batch(db, cfg, SearchMode::Batch);
+  SearchResult a = diag.search(q, 5);
+  SearchResult b = batch.search(q, 5);
+  ASSERT_FALSE(b.hits.empty());
+  EXPECT_EQ(b.hits[0].seq_index, 70u);
+  EXPECT_EQ(b.hits[0].score, 30 * 1200);
+  EXPECT_GE(b.batch_stats.rescored, 1u);
+  ASSERT_EQ(a.hits.size(), b.hits.size());
+  for (size_t k = 0; k < a.hits.size(); ++k) {
+    EXPECT_EQ(a.hits[k].seq_index, b.hits[k].seq_index) << k;
+    EXPECT_EQ(a.hits[k].score, b.hits[k].score) << k;
+  }
 }
 
 TEST(DatabaseSearch, BatchModeRejectsBand) {
