@@ -29,6 +29,14 @@
 //                        its frequency/GCUPS time series to stderr
 //   --topdown-every N    attach a top-down pipeline analysis to 1-in-N
 //                        requests and report it on stderr
+//   --flight-out FILE    install the flight recorder: on SIGSEGV/SIGABRT or
+//                        SIGTERM/SIGINT, dump trace ring + metrics snapshot +
+//                        in-flight request table to FILE (also flushes
+//                        --trace-out), then exit/re-raise
+//   --slo-ms N           latency SLO: the watchdog emits a structured
+//                        slow-request record for any request executing
+//                        longer than N ms
+//   --no-pmu             disable span-scoped hardware-counter attribution
 //   --dna                parse sequences with the DNA alphabet
 #include <chrono>
 #include <cstdio>
@@ -55,6 +63,9 @@ struct CliOptions {
   int sample_period_ms = 0;  // 0 = sampler off
   uint32_t topdown_every = 0;  // 0 = no top-down sampling
   int deadline_ms = 0;  // 0 = none
+  std::string flight_out;    // flight-recorder dump path ("" = not installed)
+  int slo_ms = 0;            // 0 = watchdog off
+  bool no_pmu = false;
   std::vector<std::string> positional;
 };
 
@@ -70,7 +81,8 @@ struct CliOptions {
       "         --linear N | --band N | --isa NAME | --width 8|16|32|auto\n"
       "         --top K | --threads N | --deadline-ms N | --metrics | --dna\n"
       "         --metrics-format=text|prom|json | --trace-out FILE\n"
-      "         --sample-period-ms N | --topdown-every N\n",
+      "         --sample-period-ms N | --topdown-every N\n"
+      "         --flight-out FILE | --slo-ms N | --no-pmu\n",
       stderr);
   std::exit(2);
 }
@@ -112,6 +124,9 @@ CliOptions parse(int argc, char** argv) {
       o.metrics = true;
     }
     else if (s == "--trace-out") o.trace_out = next();
+    else if (s == "--flight-out") o.flight_out = next();
+    else if (s == "--slo-ms") o.slo_ms = std::atoi(next());
+    else if (s == "--no-pmu") o.no_pmu = true;
     else if (s == "--sample-period-ms") o.sample_period_ms = std::atoi(next());
     else if (s == "--topdown-every")
       o.topdown_every = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
@@ -145,13 +160,35 @@ service::ServiceOptions service_options(const CliOptions& o,
   so.trace_sink = sink;
   so.sampler_period_s = o.sample_period_ms > 0 ? o.sample_period_ms * 1e-3 : 0;
   so.topdown_every_n = o.topdown_every;
+  so.pmu_attribution = !o.no_pmu;
+  so.slow_request_slo_s = o.slo_ms > 0 ? o.slo_ms * 1e-3 : 0;
   return so;
 }
 
-/// Sink for the service to record into when --trace-out was given (must be
-/// constructed before — and so outlive — the AlignService).
+/// Sink for the service to record into when --trace-out or --flight-out was
+/// given (must be constructed before — and so outlive — the AlignService).
 std::unique_ptr<obs::TraceSink> make_sink(const CliOptions& o) {
-  return o.trace_out.empty() ? nullptr : std::make_unique<obs::TraceSink>();
+  return o.trace_out.empty() && o.flight_out.empty()
+             ? nullptr
+             : std::make_unique<obs::TraceSink>();
+}
+
+/// Install the flight recorder over the service's observability state, so
+/// SIGTERM/SIGINT (and crashes) flush --trace-out and dump the black box
+/// instead of losing everything. No-op when neither --flight-out nor
+/// --trace-out was given. The recorder must be declared after the service:
+/// its destructor uninstalls the handlers before the service (whose
+/// registry/in-flight table they read) is torn down.
+void install_recorder(obs::FlightRecorder& rec, const CliOptions& o,
+                      service::AlignService& svc, obs::TraceSink* sink) {
+  if (o.flight_out.empty() && o.trace_out.empty()) return;
+  obs::FlightRecorderOptions fo;
+  fo.path = o.flight_out;
+  fo.trace_out = o.trace_out;
+  fo.sink = sink;
+  fo.registry = svc.registry();
+  fo.inflight = svc.inflight();
+  rec.install(fo);
 }
 
 void apply_deadline(service::RequestOptions& ro, const CliOptions& o) {
@@ -179,7 +216,7 @@ void dump_observability(const CliOptions& o, const service::AlignService& svc,
     std::fputs(svc.dump_metrics(o.metrics_format).c_str(), stderr);
   if (svc.sampler())
     std::fprintf(stderr, "sampler: %s", svc.sampler()->json().c_str());
-  if (sink) {
+  if (sink && !o.trace_out.empty()) {
     const std::string json = sink->chrome_trace_json();
     std::FILE* f = std::fopen(o.trace_out.c_str(), "w");
     if (!f) {
@@ -218,6 +255,8 @@ int cmd_align(const CliOptions& o) {
   so.config.traceback = true;
   so.config.max_traceback_cells = uint64_t{1} << 34;
   service::AlignService svc(so);
+  obs::FlightRecorder rec;
+  install_recorder(rec, o, svc, sink.get());
 
   service::AlignRequest rq;
   rq.query = qs[0];
@@ -250,6 +289,8 @@ int cmd_search(const CliOptions& o) {
 
   auto sink = make_sink(o);
   service::AlignService svc(db, service_options(o, sink.get()));
+  obs::FlightRecorder rec;
+  install_recorder(rec, o, svc, sink.get());
   service::SearchRequest rq;
   rq.query = qs[0];
   apply_deadline(rq.options, o);
@@ -277,6 +318,8 @@ int cmd_batch(const CliOptions& o) {
 
   auto sink = make_sink(o);
   service::AlignService svc(db, service_options(o, sink.get()));
+  obs::FlightRecorder rec;
+  install_recorder(rec, o, svc, sink.get());
   service::BatchRequest rq;
   rq.queries = qs;
   apply_deadline(rq.options, o);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "align/query_cache.hpp"
+#include "perf/metrics.hpp"
 #include "perf/timer.hpp"
 #include "simd/cpu.hpp"
 
@@ -29,6 +30,7 @@ std::vector<BatchQueryResult> batch_run(const seq::SequenceDatabase& db,
   auto run_query = [&](size_t qi) {
     perf::Stopwatch sw;
     obs::Span span(ctx.trace, "chunk.batch_query");
+    span.set_kernel(perf::KernelVariant::Batch32);
     span.set_index(qi);
     span.set_isa(simd::resolve_isa(cfg.isa));
     span.set_width_bits(8);

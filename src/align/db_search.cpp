@@ -7,6 +7,7 @@
 
 #include "align/query_cache.hpp"
 #include "parallel/partition.hpp"
+#include "perf/metrics.hpp"
 #include "perf/timer.hpp"
 
 namespace swve::align {
@@ -86,6 +87,7 @@ SearchResult search_batch(const seq::SequenceDatabase& db,
   std::atomic<bool> truncated{false};
   auto score_batches = [&](size_t b_begin, size_t b_end) {
     obs::Span span(ctx.trace, "chunk.search_batch");
+    span.set_kernel(perf::KernelVariant::Batch32);
     span.set_index(b_begin);
     span.set_isa(simd::resolve_isa(cfg.isa));
     span.set_width_bits(8);
@@ -188,6 +190,7 @@ SearchResult search_diagonal(const seq::SequenceDatabase& db,
     auto [begin, end] = ranges[p];
     if (begin >= end) return;
     obs::Span span(ctx.trace, "chunk.search_diagonal");
+    span.set_kernel(perf::KernelVariant::Diagonal);
     span.set_index(p);
     auto lease = QueryStateCache::lease(ctx.query_cache);
     core::Workspace& ws = lease.ws();

@@ -15,7 +15,7 @@ using perf::MetricsSnapshot;
 void appendf(std::string& out, const char* fmt, ...)
     __attribute__((format(printf, 2, 3)));
 void appendf(std::string& out, const char* fmt, ...) {
-  char buf[256];
+  char buf[512];
   va_list ap;
   va_start(ap, fmt);
   std::vsnprintf(buf, sizeof buf, fmt, ap);
@@ -55,6 +55,33 @@ void prom_histogram(std::string& out, const char* name, const char* help,
 
 }  // namespace
 
+BuildInfo build_info() noexcept {
+  BuildInfo b;
+#ifdef SWVE_VERSION
+  b.version = SWVE_VERSION;
+#else
+  b.version = "1.0.0";
+#endif
+#ifdef __VERSION__
+  b.compiler = __VERSION__;
+#else
+  b.compiler = "unknown";
+#endif
+  b.isas =
+      "scalar"
+#ifdef SWVE_HAVE_SSE41_BUILD
+      "+sse41"
+#endif
+#ifdef SWVE_HAVE_AVX2_BUILD
+      "+avx2"
+#endif
+#ifdef SWVE_HAVE_AVX512_BUILD
+      "+avx512"
+#endif
+      ;
+  return b;
+}
+
 std::optional<MetricsFormat> metrics_format_from_string(const std::string& s) {
   if (s == "text") return MetricsFormat::Text;
   if (s == "prom" || s == "prometheus") return MetricsFormat::Prometheus;
@@ -75,6 +102,13 @@ std::string render_metrics(const MetricsSnapshot& snapshot,
 std::string to_prometheus(const MetricsSnapshot& s) {
   std::string out;
   out.reserve(4096);
+
+  const BuildInfo b = build_info();
+  prom_header(out, "swve_build_info",
+              "Build identity; value is always 1, facts are labels", "gauge");
+  appendf(out,
+          "swve_build_info{version=\"%s\",compiler=\"%s\",isas=\"%s\"} 1\n",
+          b.version, b.compiler, b.isas);
 
   prom_header(out, "swve_requests_submitted_total",
               "Requests accepted into the submission queue", "counter");
@@ -186,6 +220,136 @@ std::string to_prometheus(const MetricsSnapshot& s) {
               "Busy fraction of the pool over the service lifetime", "gauge");
   appendf(out, "swve_pool_utilization %.6g\n", s.pool_utilization());
 
+  prom_header(out, "swve_trace_events_total",
+              "Trace events recorded into the sink rings", "counter");
+  appendf(out, "swve_trace_events_total %" PRIu64 "\n", s.trace_recorded);
+  prom_header(out, "swve_trace_dropped_total",
+              "Trace events lost, by cause", "counter");
+  appendf(out, "swve_trace_dropped_total{cause=\"wrap\"} %" PRIu64 "\n",
+          s.trace_dropped_wrap);
+  appendf(out, "swve_trace_dropped_total{cause=\"torn\"} %" PRIu64 "\n",
+          s.trace_dropped_torn);
+  appendf(out, "swve_trace_dropped_total{cause=\"overflow\"} %" PRIu64 "\n",
+          s.trace_dropped_overflow);
+
+  prom_header(out, "swve_pmu_unavailable",
+              "1 when hardware counters were requested but denied/absent "
+              "(software-clock fallback active)",
+              "gauge");
+  appendf(out, "swve_pmu_unavailable %" PRIu64 "\n", s.pmu_unavailable);
+
+  // One family per counter, ISA×kernel×width in labels; derived ratios
+  // (IPC, backend-stall fraction, effective GHz) exported as gauges so
+  // dashboards need no PromQL arithmetic.
+  bool any_pmu = false;
+  for (int i = 0; i < MetricsSnapshot::kIsas && !any_pmu; ++i)
+    for (int k = 0; k < MetricsSnapshot::kKernelVariants && !any_pmu; ++k)
+      for (int w = 0; w < MetricsSnapshot::kWidths; ++w)
+        if (s.pmu[i][k][w].samples != 0) {
+          any_pmu = true;
+          break;
+        }
+  if (any_pmu) {
+    struct Family {
+      const char* name;
+      const char* help;
+      uint64_t perf::PmuSample::*field;
+    };
+    static constexpr Family kCounters[] = {
+        {"swve_pmu_spans_total", "Kernel spans aggregated per cell",
+         &perf::PmuSample::samples},
+        {"swve_pmu_wall_ns_total", "Summed kernel-span wall time",
+         &perf::PmuSample::wall_ns},
+        {"swve_pmu_cycles_total", "CPU cycles in kernel spans",
+         &perf::PmuSample::cycles},
+        {"swve_pmu_instructions_total", "Instructions retired in kernel spans",
+         &perf::PmuSample::instructions},
+        {"swve_pmu_llc_misses_total", "Last-level-cache misses in kernel spans",
+         &perf::PmuSample::llc_misses},
+        {"swve_pmu_branch_misses_total", "Branch mispredicts in kernel spans",
+         &perf::PmuSample::branch_misses},
+    };
+    const auto cell_labels = [&](char* buf, size_t cap, int i, int k, int w) {
+      std::snprintf(buf, cap, "{isa=\"%s\",kernel=\"%s\",width=\"%u\"}",
+                    simd::isa_name(static_cast<simd::Isa>(i)),
+                    perf::kernel_variant_name(static_cast<KernelVariant>(k)),
+                    MetricsSnapshot::width_bits_at(w));
+    };
+    char labels[96];
+    for (const Family& f : kCounters) {
+      prom_header(out, f.name, f.help, "counter");
+      for (int i = 0; i < MetricsSnapshot::kIsas; ++i)
+        for (int k = 0; k < MetricsSnapshot::kKernelVariants; ++k)
+          for (int w = 0; w < MetricsSnapshot::kWidths; ++w) {
+            const perf::PmuSample& c = s.pmu[i][k][w];
+            if (c.samples == 0) continue;
+            cell_labels(labels, sizeof labels, i, k, w);
+            appendf(out, "%s%s %" PRIu64 "\n", f.name, labels, c.*(f.field));
+          }
+    }
+    prom_header(out, "swve_pmu_stall_cycles_total",
+                "Pipeline-stalled cycles in kernel spans, by stall side",
+                "counter");
+    for (int i = 0; i < MetricsSnapshot::kIsas; ++i)
+      for (int k = 0; k < MetricsSnapshot::kKernelVariants; ++k)
+        for (int w = 0; w < MetricsSnapshot::kWidths; ++w) {
+          const perf::PmuSample& c = s.pmu[i][k][w];
+          if (c.samples == 0) continue;
+          appendf(out,
+                  "swve_pmu_stall_cycles_total{isa=\"%s\",kernel=\"%s\","
+                  "width=\"%u\",side=\"frontend\"} %" PRIu64 "\n",
+                  simd::isa_name(static_cast<simd::Isa>(i)),
+                  perf::kernel_variant_name(static_cast<KernelVariant>(k)),
+                  MetricsSnapshot::width_bits_at(w), c.stall_frontend);
+          appendf(out,
+                  "swve_pmu_stall_cycles_total{isa=\"%s\",kernel=\"%s\","
+                  "width=\"%u\",side=\"backend\"} %" PRIu64 "\n",
+                  simd::isa_name(static_cast<simd::Isa>(i)),
+                  perf::kernel_variant_name(static_cast<KernelVariant>(k)),
+                  MetricsSnapshot::width_bits_at(w), c.stall_backend);
+        }
+    struct Derived {
+      const char* name;
+      const char* help;
+      double (perf::PmuSample::*fn)() const noexcept;
+    };
+    static constexpr Derived kDerived[] = {
+        {"swve_pmu_ipc", "Instructions per cycle", &perf::PmuSample::ipc},
+        {"swve_pmu_backend_stall_fraction",
+         "Backend-stalled fraction of cycles",
+         &perf::PmuSample::backend_stall_fraction},
+        {"swve_pmu_frontend_stall_fraction",
+         "Frontend-stalled fraction of cycles",
+         &perf::PmuSample::frontend_stall_fraction},
+        {"swve_pmu_effective_ghz", "Cycles per wall nanosecond; a depressed "
+                                   "AVX-512 value flags license throttling",
+         &perf::PmuSample::effective_ghz},
+    };
+    for (const Derived& d : kDerived) {
+      prom_header(out, d.name, d.help, "gauge");
+      for (int i = 0; i < MetricsSnapshot::kIsas; ++i)
+        for (int k = 0; k < MetricsSnapshot::kKernelVariants; ++k)
+          for (int w = 0; w < MetricsSnapshot::kWidths; ++w) {
+            const perf::PmuSample& c = s.pmu[i][k][w];
+            if (c.samples == 0 || c.cycles == 0) continue;
+            cell_labels(labels, sizeof labels, i, k, w);
+            appendf(out, "%s%s %.6g\n", d.name, labels, (c.*(d.fn))());
+          }
+    }
+    if (const double ratio = s.avx512_frequency_ratio(); ratio > 0) {
+      prom_header(out, "swve_pmu_avx512_frequency_ratio",
+                  "AVX-512 effective GHz over the fastest non-AVX-512 cell; "
+                  "< 1 suggests license throttling",
+                  "gauge");
+      appendf(out, "swve_pmu_avx512_frequency_ratio %.6g\n", ratio);
+    }
+  }
+
+  prom_header(out, "swve_slow_requests_total",
+              "Requests the watchdog caught running past the latency SLO",
+              "counter");
+  appendf(out, "swve_slow_requests_total %" PRIu64 "\n", s.slow_requests);
+
   prom_header(out, "swve_uptime_seconds", "Service lifetime", "gauge");
   appendf(out, "swve_uptime_seconds %.6g\n", s.uptime_seconds);
 
@@ -216,6 +380,11 @@ std::string to_json(const MetricsSnapshot& s) {
   std::string out;
   out.reserve(2048);
   out += "{";
+  const BuildInfo b = build_info();
+  appendf(out,
+          "\"build\":{\"version\":\"%s\",\"compiler\":\"%s\","
+          "\"isas\":\"%s\"},",
+          b.version, b.compiler, b.isas);
   appendf(out,
           "\"requests\":{\"submitted\":%" PRIu64 ",\"completed\":%" PRIu64
           ",\"rejected_queue_full\":%" PRIu64 ",\"deadline_expired\":%" PRIu64
@@ -266,6 +435,41 @@ std::string to_json(const MetricsSnapshot& s) {
           ",\"busy_seconds\":%.9g,\"utilization\":%.6g},",
           s.pool_threads, s.pool_jobs, s.pool_busy_seconds,
           s.pool_utilization());
+  appendf(out,
+          "\"trace\":{\"recorded\":%" PRIu64 ",\"dropped_wrap\":%" PRIu64
+          ",\"dropped_torn\":%" PRIu64 ",\"dropped_overflow\":%" PRIu64 "},",
+          s.trace_recorded, s.trace_dropped_wrap, s.trace_dropped_torn,
+          s.trace_dropped_overflow);
+  appendf(out, "\"pmu\":{\"unavailable\":%" PRIu64 ",\"cells\":[",
+          s.pmu_unavailable);
+  {
+    bool first_cell = true;
+    for (int i = 0; i < MetricsSnapshot::kIsas; ++i)
+      for (int k = 0; k < MetricsSnapshot::kKernelVariants; ++k)
+        for (int w = 0; w < MetricsSnapshot::kWidths; ++w) {
+          const perf::PmuSample& c = s.pmu[i][k][w];
+          if (c.samples == 0) continue;
+          appendf(out,
+                  "%s{\"isa\":\"%s\",\"kernel\":\"%s\",\"width\":%u,"
+                  "\"spans\":%" PRIu64 ",\"wall_ns\":%" PRIu64
+                  ",\"cycles\":%" PRIu64 ",\"instructions\":%" PRIu64
+                  ",\"stall_frontend\":%" PRIu64 ",\"stall_backend\":%" PRIu64
+                  ",\"llc_misses\":%" PRIu64 ",\"branch_misses\":%" PRIu64
+                  ",\"ipc\":%.6g,\"backend_stall_fraction\":%.6g,"
+                  "\"effective_ghz\":%.6g}",
+                  first_cell ? "" : ",",
+                  simd::isa_name(static_cast<simd::Isa>(i)),
+                  perf::kernel_variant_name(static_cast<KernelVariant>(k)),
+                  MetricsSnapshot::width_bits_at(w), c.samples, c.wall_ns,
+                  c.cycles, c.instructions, c.stall_frontend, c.stall_backend,
+                  c.llc_misses, c.branch_misses, c.ipc(),
+                  c.backend_stall_fraction(), c.effective_ghz());
+          first_cell = false;
+        }
+  }
+  appendf(out, "],\"avx512_frequency_ratio\":%.6g},",
+          s.avx512_frequency_ratio());
+  appendf(out, "\"slow_requests\":%" PRIu64 ",", s.slow_requests);
   appendf(out, "\"uptime_seconds\":%.6g,", s.uptime_seconds);
   json_histogram(out, "queue_wait", s.queue_wait);
   out += ",";

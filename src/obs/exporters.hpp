@@ -16,6 +16,16 @@ namespace swve::obs {
 
 enum class MetricsFormat { Text, Prometheus, Json };
 
+/// Identity of this build, exported as the swve_build_info gauge (the
+/// Prometheus idiom for version metadata: value 1, facts in labels) and
+/// the JSON "build" section.
+struct BuildInfo {
+  const char* version;   ///< project version (CMake PROJECT_VERSION)
+  const char* compiler;  ///< compiler identification (__VERSION__)
+  const char* isas;      ///< ISA tiers compiled into this binary, "+"-joined
+};
+BuildInfo build_info() noexcept;
+
 /// Parse "text" / "prom" / "prometheus" / "json" (case-sensitive, like the
 /// CLI); nullopt for anything else.
 std::optional<MetricsFormat> metrics_format_from_string(const std::string& s);

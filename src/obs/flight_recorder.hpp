@@ -1,0 +1,61 @@
+// Black-box flight recorder: when the process dies — SIGSEGV/SIGABRT
+// crash or SIGTERM/SIGINT shutdown — dump the evidence an operator needs
+// to reconstruct what the service was doing: the trace ring (as a Chrome
+// trace), a metrics snapshot, and the in-flight request table, all written
+// from the signal handler with async-signal-safe primitives only
+// (snprintf into stack buffers + open/write/close; the trace sink and
+// in-flight table are plain atomics by design, see obs/trace.hpp).
+//
+// Exactly one recorder can be installed at a time (signal handlers are
+// process-global). Fatal signals re-raise with the default disposition
+// after dumping, so exit status / core dumps are unchanged; termination
+// signals _exit(128+sig) like an unhandled signal would.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/inflight.hpp"
+#include "obs/trace.hpp"
+
+namespace swve::perf {
+class MetricsRegistry;
+}
+
+namespace swve::obs {
+
+struct FlightRecorderOptions {
+  std::string path;       ///< dump file ("" disables file output)
+  std::string trace_out;  ///< also flush a Chrome trace here ("" = none)
+  TraceSink* sink = nullptr;
+  perf::MetricsRegistry* registry = nullptr;
+  const InFlightTable* inflight = nullptr;
+  bool handle_fatal = true;  ///< SIGSEGV, SIGABRT, SIGBUS
+  bool handle_term = true;   ///< SIGTERM, SIGINT
+};
+
+/// Installs signal handlers on install(), restores them on uninstall() /
+/// destruction. All pointed-to objects must outlive the installation.
+class FlightRecorder {
+ public:
+  FlightRecorder() = default;
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Returns false if another recorder is already installed (or no
+  /// platform support).
+  bool install(const FlightRecorderOptions& options);
+  void uninstall();
+  bool installed() const noexcept { return installed_; }
+
+  /// Write a dump right now (no signal involved) — the same format the
+  /// handlers produce, with `reason` in place of the signal name.
+  /// Returns false when the dump file could not be written.
+  bool dump_now(const char* reason) const;
+
+ private:
+  bool installed_ = false;
+};
+
+}  // namespace swve::obs

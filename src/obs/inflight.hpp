@@ -1,0 +1,130 @@
+// In-flight request table: one atomic slot per executor thread, recording
+// which request that executor is running right now and since when.
+//
+// Two consumers, both of which forbid locks:
+//   * the watchdog thread (obs/watchdog.hpp) scans it every period looking
+//     for requests running past their latency SLO;
+//   * the flight recorder (obs/flight_recorder.hpp) snapshots it from a
+//     fatal-signal handler — the "what was the service doing when it died"
+//     table of the crash dump.
+//
+// Every field is a relaxed atomic; a slot is occupied while `id != 0`. A
+// reader can observe a torn entry only across a request boundary (id from
+// the new request with start_ns from the old); the id-recheck in
+// snapshot() drops entries that were released mid-read, which is the worst
+// staleness a diagnostic table needs to care about.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "obs/pmu.hpp"
+
+namespace swve::obs {
+
+/// Request scenario codes for the table (keep in sync with the service's
+/// submit paths).
+enum class Scenario : uint32_t { Pairwise = 0, Search = 1, Batch = 2 };
+inline const char* scenario_label(uint32_t s) noexcept {
+  switch (static_cast<Scenario>(s)) {
+    case Scenario::Pairwise: return "pairwise";
+    case Scenario::Search: return "search";
+    case Scenario::Batch: return "batch";
+  }
+  return "?";
+}
+
+class InFlightTable {
+ public:
+  /// A snapshot row (plain values, safe to format from a signal handler).
+  struct Entry {
+    uint32_t slot = 0;         ///< executor index
+    uint64_t id = 0;           ///< request trace id
+    uint32_t scenario = 0;     ///< Scenario code
+    uint64_t start_ns = 0;     ///< steady_now_ns() at execution start
+    uint64_t deadline_ns = 0;  ///< absolute deadline on the same clock, 0=none
+  };
+
+  explicit InFlightTable(unsigned slots)
+      : slots_(std::max(1u, slots)), table_(new Slot[slots_]) {}
+  InFlightTable(const InFlightTable&) = delete;
+  InFlightTable& operator=(const InFlightTable&) = delete;
+
+  unsigned slots() const noexcept { return slots_; }
+
+  /// RAII occupancy of one executor slot for one request.
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(InFlightTable& table, unsigned slot, uint64_t id, Scenario scenario,
+          uint64_t deadline_ns) noexcept
+        : table_(&table), slot_(slot % table.slots_) {
+      table_->begin(slot_, id, scenario, deadline_ns);
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() {
+      if (table_ != nullptr) table_->end(slot_);
+    }
+
+   private:
+    InFlightTable* table_ = nullptr;
+    unsigned slot_ = 0;
+  };
+
+  /// Copy occupied slots into `out` (signal-safe, no allocation). Returns
+  /// rows written.
+  size_t snapshot(Entry* out, size_t max) const noexcept {
+    size_t n = 0;
+    for (unsigned i = 0; i < slots_ && n < max; ++i) {
+      const Slot& s = table_[i];
+      const uint64_t id = s.id.load(std::memory_order_acquire);
+      if (id == 0) continue;
+      Entry e;
+      e.slot = i;
+      e.id = id;
+      e.scenario = s.scenario.load(std::memory_order_relaxed);
+      e.start_ns = s.start_ns.load(std::memory_order_relaxed);
+      e.deadline_ns = s.deadline_ns.load(std::memory_order_relaxed);
+      if (s.id.load(std::memory_order_acquire) != id) continue;  // released
+      out[n++] = e;
+    }
+    return n;
+  }
+
+  /// Occupied-slot count (approximate under concurrency).
+  size_t active() const noexcept {
+    size_t n = 0;
+    for (unsigned i = 0; i < slots_; ++i)
+      if (table_[i].id.load(std::memory_order_relaxed) != 0) ++n;
+    return n;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> id{0};
+    std::atomic<uint32_t> scenario{0};
+    std::atomic<uint64_t> start_ns{0};
+    std::atomic<uint64_t> deadline_ns{0};
+  };
+
+  void begin(unsigned slot, uint64_t id, Scenario scenario,
+             uint64_t deadline_ns) noexcept {
+    Slot& s = table_[slot];
+    s.scenario.store(static_cast<uint32_t>(scenario),
+                     std::memory_order_relaxed);
+    s.start_ns.store(steady_now_ns(), std::memory_order_relaxed);
+    s.deadline_ns.store(deadline_ns, std::memory_order_relaxed);
+    s.id.store(id != 0 ? id : 1, std::memory_order_release);
+  }
+  void end(unsigned slot) noexcept {
+    table_[slot].id.store(0, std::memory_order_release);
+  }
+
+  unsigned slots_;
+  std::unique_ptr<Slot[]> table_;
+};
+
+}  // namespace swve::obs

@@ -22,13 +22,18 @@ Sampler::Sampler(SamplerOptions options, Source source)
 Sampler::~Sampler() { stop(); }
 
 void Sampler::stop() {
+  // Claim the thread handle under the lock, join outside it. Exactly one
+  // of any number of concurrent stop() callers (the destructor included)
+  // gets the live handle; the rest swap an empty thread and return without
+  // ever touching thread_ unsynchronized.
+  std::thread t;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    if (stop_) return;
     stop_ = true;
+    t.swap(thread_);
   }
   cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
+  if (t.joinable()) t.join();
 }
 
 Sample Sampler::take_sample() {
@@ -37,6 +42,12 @@ Sample Sampler::take_sample() {
                                         start_)
               .count();
   s.ghz = perf::measure_frequency(opt_.freq_probe_ms).ghz;
+  // Kernel-reported clock, averaged over whichever CPUs expose cpufreq;
+  // stays 0 (and costs a handful of failed opens) where the sysfs tree is
+  // absent or partial — never aborts the sampler loop.
+  const perf::CpufreqSummary cf = perf::cpufreq_summary(
+      static_cast<int>(std::thread::hardware_concurrency()));
+  s.cpufreq_ghz = cf.mean_khz * 1e-6;
   const perf::MetricsSnapshot m = source_();
   s.completed = m.completed;
   s.cells = m.cells;
@@ -78,12 +89,13 @@ std::string Sampler::json() const {
   for (size_t i = 0; i < snap.size(); ++i) {
     const Sample& s = snap[i];
     std::snprintf(buf, sizeof buf,
-                  "%s\n{\"t_s\":%.3f,\"ghz\":%.3f,\"completed\":%" PRIu64
-                  ",\"cells\":%" PRIu64
+                  "%s\n{\"t_s\":%.3f,\"ghz\":%.3f,\"cpufreq_ghz\":%.3f,"
+                  "\"completed\":%" PRIu64 ",\"cells\":%" PRIu64
                   ",\"kernel_seconds\":%.6g,\"window_gcups\":%.6g,"
                   "\"pool_utilization\":%.6g}",
-                  i ? "," : "", s.t_s, s.ghz, s.completed, s.cells,
-                  s.kernel_seconds, s.window_gcups, s.pool_utilization);
+                  i ? "," : "", s.t_s, s.ghz, s.cpufreq_ghz, s.completed,
+                  s.cells, s.kernel_seconds, s.window_gcups,
+                  s.pool_utilization);
     out += buf;
   }
   out += "\n]}\n";

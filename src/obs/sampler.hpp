@@ -34,6 +34,8 @@ struct SamplerOptions {
 struct Sample {
   double t_s = 0;               ///< seconds since the sampler started
   double ghz = 0;               ///< effective frequency of the sampler core
+  double cpufreq_ghz = 0;       ///< mean kernel-reported clock across CPUs
+                                ///< (0 where cpufreq sysfs is absent)
   uint64_t completed = 0;
   uint64_t cells = 0;
   double kernel_seconds = 0;
@@ -52,7 +54,9 @@ class Sampler {
   Sampler(const Sampler&) = delete;
   Sampler& operator=(const Sampler&) = delete;
 
-  /// Stop the background thread (idempotent; the ring remains readable).
+  /// Stop the background thread (idempotent and safe to call from multiple
+  /// threads concurrently, including concurrently with the destructor's
+  /// implicit stop; the ring remains readable).
   void stop();
 
   /// Copy of the ring, oldest first.

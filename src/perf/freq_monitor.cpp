@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <thread>
 
 #if defined(__x86_64__)
@@ -90,6 +91,41 @@ FreqScalingReport frequency_scaling(int max_threads, double millis_per_level) {
     rep.ghz_min.push_back(mn);
   }
   return rep;
+}
+
+uint64_t cpufreq_khz(int cpu) noexcept {
+  if (cpu < 0 || cpu > 4095) return 0;
+  char path[96];
+  std::snprintf(path, sizeof path,
+                "/sys/devices/system/cpu/cpu%d/cpufreq/scaling_cur_freq", cpu);
+  // fopen + fscanf only: a missing node (offline CPU, heterogeneous part
+  // with partial cpufreq coverage, container without the sysfs tree) is a
+  // plain nullptr/short-read, never an exception or abort.
+  std::FILE* f = std::fopen(path, "re");
+  if (f == nullptr) return 0;
+  unsigned long long khz = 0;
+  const int got = std::fscanf(f, "%llu", &khz);
+  std::fclose(f);
+  return got == 1 ? static_cast<uint64_t>(khz) : 0;
+}
+
+CpufreqSummary cpufreq_summary(int max_cpus) noexcept {
+  CpufreqSummary s;
+  if (max_cpus <= 0) return s;
+  if (max_cpus > 4096) max_cpus = 4096;
+  double sum = 0;
+  for (int c = 0; c < max_cpus; ++c) {
+    ++s.cpus_scanned;
+    const uint64_t khz = cpufreq_khz(c);
+    if (khz == 0) continue;  // offline / no node: skip, don't fail the scan
+    if (s.cpus_read == 0 || khz < s.min_khz) s.min_khz = khz;
+    if (khz > s.max_khz) s.max_khz = khz;
+    sum += static_cast<double>(khz);
+    ++s.cpus_read;
+  }
+  if (s.cpus_read > 0) sum /= s.cpus_read;
+  s.mean_khz = sum;
+  return s;
 }
 
 }  // namespace swve::perf

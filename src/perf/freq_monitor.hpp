@@ -37,4 +37,24 @@ FreqScalingReport frequency_scaling(int max_threads, double millis_per_level = 6
 /// value accumulates so the optimizer cannot elide the chain.
 uint64_t spin_chain(uint64_t iters, uint64_t* sink);
 
+/// The kernel's own view of cpu N's current clock, read from
+/// /sys/devices/system/cpu/cpuN/cpufreq/scaling_cur_freq. Returns 0 — and
+/// never throws or aborts — when the node is missing: offline CPUs,
+/// heterogeneous parts with partial cpufreq coverage, VMs and containers
+/// without the sysfs tree at all.
+uint64_t cpufreq_khz(int cpu) noexcept;
+
+/// Scan of cpus [0, max_cpus): min/max/mean of the nodes that answered.
+/// CPUs without a readable cpufreq node are skipped, not errors — a
+/// summary with cpus_read == 0 means "no cpufreq here", which callers
+/// (obs::Sampler) report as a 0 gauge rather than dying.
+struct CpufreqSummary {
+  int cpus_scanned = 0;  ///< how many CPU indices were probed
+  int cpus_read = 0;     ///< how many had a readable scaling_cur_freq
+  uint64_t min_khz = 0;
+  uint64_t max_khz = 0;
+  double mean_khz = 0;
+};
+CpufreqSummary cpufreq_summary(int max_cpus) noexcept;
+
 }  // namespace swve::perf

@@ -124,8 +124,21 @@ MetricsSnapshot MetricsRegistry::snapshot() const noexcept {
     for (int k = 0; k < MetricsSnapshot::kKernelVariants; ++k) {
       s.target_requests[i][k] = target_requests_[i][k].load(kRelaxed);
       s.target_cells[i][k] = target_cells_[i][k].load(kRelaxed);
+      for (int w = 0; w < MetricsSnapshot::kWidths; ++w) {
+        const PmuCell& c = pmu_[i][k][w];
+        PmuSample& o = s.pmu[i][k][w];
+        o.samples = c.samples.load(kRelaxed);
+        o.wall_ns = c.wall_ns.load(kRelaxed);
+        o.cycles = c.cycles.load(kRelaxed);
+        o.instructions = c.instructions.load(kRelaxed);
+        o.stall_frontend = c.stall_frontend.load(kRelaxed);
+        o.stall_backend = c.stall_backend.load(kRelaxed);
+        o.llc_misses = c.llc_misses.load(kRelaxed);
+        o.branch_misses = c.branch_misses.load(kRelaxed);
+      }
     }
   }
+  s.slow_requests = slow_requests_.load(kRelaxed);
   const uint64_t now_s = elapsed_s();
   uint64_t wcells = 0, wns = 0;
   for (const WindowBucket& b : window_) {
@@ -177,6 +190,47 @@ std::string MetricsSnapshot::to_string() const {
                     static_cast<unsigned long long>(target_cells[i][k]));
       out += line;
     }
+  }
+  if (pmu_unavailable) {
+    out += "pmu: unavailable (software-clock fallback)\n";
+  }
+  for (int i = 0; i < kIsas; ++i) {
+    for (int k = 0; k < kKernelVariants; ++k) {
+      for (int w = 0; w < kWidths; ++w) {
+        const PmuSample& c = pmu[i][k][w];
+        if (c.samples == 0 || c.cycles == 0) continue;
+        std::snprintf(line, sizeof line,
+                      "pmu %s/%s/w%u: %llu spans, ipc %.2f, stalls fe %.1f%% "
+                      "be %.1f%%, %.2f GHz\n",
+                      simd::isa_name(static_cast<simd::Isa>(i)),
+                      kernel_variant_name(static_cast<KernelVariant>(k)),
+                      width_bits_at(w),
+                      static_cast<unsigned long long>(c.samples), c.ipc(),
+                      100.0 * c.frontend_stall_fraction(),
+                      100.0 * c.backend_stall_fraction(), c.effective_ghz());
+        out += line;
+      }
+    }
+  }
+  if (const double ratio = avx512_frequency_ratio(); ratio > 0) {
+    std::snprintf(line, sizeof line,
+                  "pmu avx512 frequency ratio: %.2f%s\n", ratio,
+                  ratio < 0.9 ? " (license throttling suspected)" : "");
+    out += line;
+  }
+  if (slow_requests > 0) {
+    out += "slow requests (SLO breaches): " + std::to_string(slow_requests) +
+           "\n";
+  }
+  if (trace_recorded > 0) {
+    std::snprintf(line, sizeof line,
+                  "trace: %llu events recorded, dropped wrap %llu, torn %llu, "
+                  "overflow %llu\n",
+                  static_cast<unsigned long long>(trace_recorded),
+                  static_cast<unsigned long long>(trace_dropped_wrap),
+                  static_cast<unsigned long long>(trace_dropped_torn),
+                  static_cast<unsigned long long>(trace_dropped_overflow));
+    out += line;
   }
   if (batch_cells8 > 0) {
     std::snprintf(line, sizeof line,

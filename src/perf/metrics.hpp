@@ -67,11 +67,66 @@ std::string format_seconds(double s);
 enum class KernelVariant : int { Diagonal = 0, Batch32 = 1 };
 const char* kernel_variant_name(KernelVariant v) noexcept;
 
+/// Aggregated hardware-counter deltas for one ISA×kernel×width attribution
+/// cell (filled by obs::PmuSession via span-scoped start/stop reads). All
+/// fields are totals over `samples` spans; the derived ratios reproduce the
+/// paper's per-kernel microarchitecture analysis from a live service.
+struct PmuSample {
+  uint64_t samples = 0;         ///< spans aggregated into this cell
+  uint64_t wall_ns = 0;         ///< summed span wall time
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t stall_frontend = 0;  ///< frontend-stalled cycles
+  uint64_t stall_backend = 0;   ///< backend-stalled cycles
+  uint64_t llc_misses = 0;
+  uint64_t branch_misses = 0;
+
+  double ipc() const noexcept {
+    return cycles > 0 ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+  }
+  double frontend_stall_fraction() const noexcept {
+    return cycles > 0 ? static_cast<double>(stall_frontend) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+  }
+  double backend_stall_fraction() const noexcept {
+    return cycles > 0 ? static_cast<double>(stall_backend) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+  }
+  /// Cycles per wall ns == effective GHz while this cell's spans ran; an
+  /// AVX-512 cell clocking well below its AVX2 neighbour is the license
+  /// throttling the paper recalibrates for.
+  double effective_ghz() const noexcept {
+    return wall_ns > 0
+               ? static_cast<double>(cycles) / static_cast<double>(wall_ns)
+               : 0.0;
+  }
+};
+
 /// Point-in-time copy of a MetricsRegistry.
 struct MetricsSnapshot {
   static constexpr int kIsas = 5;            ///< simd::Isa enum size
   static constexpr int kKernelVariants = 2;  ///< KernelVariant enum size
+  static constexpr int kWidths = 4;          ///< DP width: unknown/8/16/32
   static constexpr int kWindowSeconds = 60;  ///< sliding-window span
+
+  /// Index of a DP width in the pmu attribution array.
+  static int width_index(uint16_t bits) noexcept {
+    switch (bits) {
+      case 8: return 1;
+      case 16: return 2;
+      case 32: return 3;
+      default: return 0;
+    }
+  }
+  /// Inverse of width_index (0 = width unknown/mixed).
+  static uint16_t width_bits_at(int idx) noexcept {
+    static constexpr uint16_t kBits[kWidths] = {0, 8, 16, 32};
+    return idx >= 0 && idx < kWidths ? kBits[idx] : 0;
+  }
 
   // Request lifecycle counters.
   uint64_t submitted = 0;           ///< accepted into the queue
@@ -119,6 +174,26 @@ struct MetricsSnapshot {
   uint64_t pool_jobs = 0;
   double pool_busy_seconds = 0;
 
+  // Span-scoped hardware-counter attribution by [ISA][kernel][width index]
+  // (see width_index). Cells stay zero on PMU-denied hosts.
+  std::array<std::array<std::array<PmuSample, kWidths>, kKernelVariants>,
+             kIsas>
+      pmu{};
+  /// 1 when the owner wanted PMU attribution but perf_event was denied or
+  /// absent (EPERM/ENOENT/disabled) — the software-clock fallback is live.
+  /// 0 when counters work or attribution was never requested.
+  uint64_t pmu_unavailable = 0;
+
+  /// Requests the watchdog flagged as exceeding the latency SLO.
+  uint64_t slow_requests = 0;
+
+  // TraceSink accounting (filled by the owner from obs::TraceSink; zero
+  // when no sink is attached).
+  uint64_t trace_recorded = 0;          ///< events ever recorded
+  uint64_t trace_dropped_wrap = 0;      ///< overwritten by ring wrap
+  uint64_t trace_dropped_torn = 0;      ///< skipped by racing exports
+  uint64_t trace_dropped_overflow = 0;  ///< threads beyond ring capacity
+
   double uptime_seconds = 0;        ///< registry lifetime at snapshot time
 
   /// Aggregate throughput over every completed request.
@@ -159,6 +234,47 @@ struct MetricsSnapshot {
                ? pool_busy_seconds /
                      (static_cast<double>(pool_threads) * uptime_seconds)
                : 0.0;
+  }
+
+  /// Sum of every PMU attribution cell (all ISAs, kernels, widths).
+  PmuSample pmu_total() const noexcept {
+    PmuSample t;
+    for (const auto& ik : pmu)
+      for (const auto& kw : ik)
+        for (const PmuSample& c : kw) {
+          t.samples += c.samples;
+          t.wall_ns += c.wall_ns;
+          t.cycles += c.cycles;
+          t.instructions += c.instructions;
+          t.stall_frontend += c.stall_frontend;
+          t.stall_backend += c.stall_backend;
+          t.llc_misses += c.llc_misses;
+          t.branch_misses += c.branch_misses;
+        }
+    return t;
+  }
+
+  /// AVX-512 effective GHz divided by the fastest non-AVX-512 cell's GHz —
+  /// < 1 flags license throttling (paper §IV-E). 0 until both sides have
+  /// samples.
+  double avx512_frequency_ratio() const noexcept {
+    double avx512_ghz = 0, other_ghz = 0;
+    uint64_t a_cycles = 0, a_ns = 0;
+    for (int i = 0; i < kIsas; ++i)
+      for (int k = 0; k < kKernelVariants; ++k)
+        for (int w = 0; w < kWidths; ++w) {
+          const PmuSample& c = pmu[i][k][w];
+          if (c.cycles == 0) continue;
+          if (static_cast<simd::Isa>(i) == simd::Isa::Avx512) {
+            a_cycles += c.cycles;
+            a_ns += c.wall_ns;
+          } else if (c.effective_ghz() > other_ghz) {
+            other_ghz = c.effective_ghz();
+          }
+        }
+    if (a_ns > 0)
+      avx512_ghz = static_cast<double>(a_cycles) / static_cast<double>(a_ns);
+    return (avx512_ghz > 0 && other_ghz > 0) ? avx512_ghz / other_ghz : 0.0;
   }
 
   LatencyHistogram::Snapshot queue_wait;
@@ -206,6 +322,30 @@ class MetricsRegistry {
     batch_useful_cells8_.fetch_add(useful_cells8, kRelaxed);
   }
 
+  /// Fold one span's hardware-counter deltas into the ISA×kernel×width
+  /// attribution cell. `d.samples` should be 1 for a single span. Relaxed
+  /// fetch_adds — cheap enough for chunk-granularity recording.
+  void on_pmu_sample(simd::Isa isa, KernelVariant variant, uint16_t width_bits,
+                     const PmuSample& d) noexcept {
+    const auto i = static_cast<size_t>(isa);
+    const auto k = static_cast<size_t>(variant);
+    if (i >= static_cast<size_t>(MetricsSnapshot::kIsas) ||
+        k >= static_cast<size_t>(MetricsSnapshot::kKernelVariants))
+      return;
+    PmuCell& c = pmu_[i][k][MetricsSnapshot::width_index(width_bits)];
+    c.samples.fetch_add(d.samples, kRelaxed);
+    c.wall_ns.fetch_add(d.wall_ns, kRelaxed);
+    c.cycles.fetch_add(d.cycles, kRelaxed);
+    c.instructions.fetch_add(d.instructions, kRelaxed);
+    c.stall_frontend.fetch_add(d.stall_frontend, kRelaxed);
+    c.stall_backend.fetch_add(d.stall_backend, kRelaxed);
+    c.llc_misses.fetch_add(d.llc_misses, kRelaxed);
+    c.branch_misses.fetch_add(d.branch_misses, kRelaxed);
+  }
+
+  /// The watchdog flagged a request as exceeding the latency SLO.
+  void on_slow_request() noexcept { slow_requests_.fetch_add(1, kRelaxed); }
+
   /// Attribute a completed request to the dispatch target that served it
   /// (resolved ISA + kernel family). Pass the ISA the kernel reported, not
   /// the requested one.
@@ -234,6 +374,17 @@ class MetricsRegistry {
     std::atomic<uint64_t> epoch_s{kNoEpoch};  ///< second the bucket covers
     std::atomic<uint64_t> cells{0};
     std::atomic<uint64_t> kernel_ns{0};
+  };
+
+  struct PmuCell {
+    std::atomic<uint64_t> samples{0};
+    std::atomic<uint64_t> wall_ns{0};
+    std::atomic<uint64_t> cycles{0};
+    std::atomic<uint64_t> instructions{0};
+    std::atomic<uint64_t> stall_frontend{0};
+    std::atomic<uint64_t> stall_backend{0};
+    std::atomic<uint64_t> llc_misses{0};
+    std::atomic<uint64_t> branch_misses{0};
   };
 
   uint64_t elapsed_s() const noexcept {
@@ -275,6 +426,11 @@ class MetricsRegistry {
   std::array<std::array<std::atomic<uint64_t>, MetricsSnapshot::kKernelVariants>,
              MetricsSnapshot::kIsas>
       target_cells_{};
+  std::array<std::array<std::array<PmuCell, MetricsSnapshot::kWidths>,
+                        MetricsSnapshot::kKernelVariants>,
+             MetricsSnapshot::kIsas>
+      pmu_{};
+  std::atomic<uint64_t> slow_requests_{0};
   std::array<WindowBucket, kWindowBuckets> window_{};
   LatencyHistogram queue_wait_;
   LatencyHistogram kernel_time_;

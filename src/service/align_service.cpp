@@ -17,6 +17,15 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+/// A steady_clock time_point on the obs::steady_now_ns() scale (both are
+/// steady_clock nanoseconds since the same epoch); 0 for the null deadline.
+uint64_t deadline_to_ns(Clock::time_point deadline) {
+  const auto since = deadline.time_since_epoch();
+  if (since.count() == 0) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(since).count());
+}
+
 template <typename R>
 void fail_promise(const std::shared_ptr<std::promise<R>>& prom,
                   ServiceError err) {
@@ -52,9 +61,18 @@ AlignService::AlignService(ServiceOptions options)
   if (!opt_.query_cache_bypass && opt_.query_cache_capacity > 0)
     query_cache_ =
         std::make_unique<align::QueryStateCache>(opt_.query_cache_capacity);
+  inflight_ = std::make_unique<obs::InFlightTable>(opt_.executors);
+  if (opt_.slow_request_slo_s > 0) {
+    obs::WatchdogOptions wo;
+    wo.slo_s = opt_.slow_request_slo_s;
+    wo.period_s = opt_.watchdog_period_s;
+    watchdog_ = std::make_unique<obs::Watchdog>(
+        *inflight_, wo, opt_.trace_sink, &metrics_,
+        [this] { return queue_depth(); });
+  }
   executors_.reserve(opt_.executors);
   for (unsigned e = 0; e < opt_.executors; ++e)
-    executors_.emplace_back([this] { executor_loop(); });
+    executors_.emplace_back([this, e] { executor_loop(e); });
   if (opt_.sampler_period_s > 0) {
     obs::SamplerOptions so;
     so.period_s = opt_.sampler_period_s;
@@ -75,7 +93,8 @@ AlignService::AlignService(const seq::SequenceDatabase& db,
 }
 
 AlignService::~AlignService() {
-  sampler_.reset();  // stop the sampler before tearing down what it reads
+  sampler_.reset();   // stop the sampler before tearing down what it reads
+  watchdog_.reset();  // likewise the watchdog (it scans the in-flight table)
   std::deque<Task> leftover;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -90,6 +109,14 @@ AlignService::~AlignService() {
 
 perf::MetricsSnapshot AlignService::metrics() const {
   perf::MetricsSnapshot s = metrics_.snapshot();
+  if (opt_.pmu_attribution)
+    s.pmu_unavailable = obs::PmuSession::instance().available() ? 0 : 1;
+  if (opt_.trace_sink != nullptr) {
+    s.trace_recorded = opt_.trace_sink->recorded();
+    s.trace_dropped_wrap = opt_.trace_sink->wrap_dropped();
+    s.trace_dropped_torn = opt_.trace_sink->torn_skipped();
+    s.trace_dropped_overflow = opt_.trace_sink->overflow_dropped();
+  }
   const parallel::PoolStats ps = pool_.stats();
   s.pool_threads = ps.threads;
   s.pool_jobs = ps.jobs;
@@ -160,7 +187,7 @@ void AlignService::resume() {
   work_cv_.notify_all();
 }
 
-void AlignService::executor_loop() {
+void AlignService::executor_loop(unsigned index) {
   for (;;) {
     Task t;
     {
@@ -171,8 +198,30 @@ void AlignService::executor_loop() {
       queue_.pop_front();
     }
     space_cv_.notify_one();
+    // Occupy this executor's in-flight slot for the run — the watchdog's
+    // and flight recorder's view of "what is executing right now".
+    obs::InFlightTable::Guard guard(*inflight_, index, t.id, t.scenario,
+                                    t.deadline_ns);
+    if (opt_.before_execute_hook) opt_.before_execute_hook();
     t.run(/*aborted=*/false);
   }
+}
+
+obs::TraceContext AlignService::trace_context(uint64_t trace_id) noexcept {
+  obs::TraceContext t;
+  t.sink = opt_.trace_sink;
+  t.trace_id = trace_id;
+  if (opt_.pmu_attribution) {
+    t.pmu = &obs::PmuSession::instance();
+    t.registry = &metrics_;
+  }
+  return t;
+}
+
+uint64_t AlignService::next_request_id() noexcept {
+  return opt_.trace_sink != nullptr
+             ? opt_.trace_sink->next_trace_id()
+             : request_ids_.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 bool AlignService::enqueue(Task task,
@@ -235,7 +284,7 @@ std::future<AlignResponse> AlignService::submit(AlignRequest request) {
       rq->options.deadline ? submitted + *rq->options.deadline
                            : Clock::time_point{};
   obs::TraceSink* const sink = opt_.trace_sink;
-  const uint64_t trace_id = sink ? sink->next_trace_id() : 0;
+  const uint64_t trace_id = next_request_id();
   const uint64_t t_sub_ns = sink ? sink->now_ns() : 0;
 
   Task task;
@@ -246,7 +295,7 @@ std::future<AlignResponse> AlignService::submit(AlignRequest request) {
                                       "AlignService: shut down before run"));
       return;
     }
-    const obs::TraceContext tctx{sink, trace_id};
+    const obs::TraceContext tctx = trace_context(trace_id);
     if (sink) sink->record_span("queue_wait", trace_id, t_sub_ns, sink->now_ns());
     const double qwait = seconds_since(submitted);
     metrics_.on_queue_wait(qwait);
@@ -278,6 +327,7 @@ std::future<AlignResponse> AlignService::submit(AlignRequest request) {
             std::shared_ptr<const core::PreparedQuery> prep;
             if (query_cache_) prep = query_cache_->prepared(rq->query, cfg);
             obs::Span chunk(tctx, "chunk.pairwise");
+            chunk.set_kernel(perf::KernelVariant::Diagonal);
             a = core::diag_align(rq->query, rq->reference, cfg, ws,
                                  prep.get());
             chunk.set_isa(a.isa_used);
@@ -298,7 +348,7 @@ std::future<AlignResponse> AlignService::submit(AlignRequest request) {
     tr.exec_sequence = exec_sequence_.fetch_add(1, std::memory_order_relaxed);
     tr.isa = a.isa_used;
     tr.width_used = a.width_used;
-    tr.trace_id = trace_id;
+    tr.trace_id = sink != nullptr ? trace_id : 0;
     tr.topdown = std::move(td);
     metrics_.on_completed(perf::MetricsRegistry::Scenario::Pairwise, kernel_s,
                           a.stats.cells);
@@ -307,6 +357,9 @@ std::future<AlignResponse> AlignService::submit(AlignRequest request) {
     dispatch.end();
     prom->set_value(AlignResponse{std::move(a), tr});
   };
+  task.id = trace_id;
+  task.scenario = obs::Scenario::Pairwise;
+  task.deadline_ns = deadline_to_ns(deadline);
   enqueue(std::move(task),
           [&prom](ServiceError e) { fail_promise(prom, std::move(e)); });
   return fut;
@@ -321,7 +374,7 @@ std::future<SearchResponse> AlignService::submit_search(SearchRequest request) {
       rq->options.deadline ? submitted + *rq->options.deadline
                            : Clock::time_point{};
   obs::TraceSink* const sink = opt_.trace_sink;
-  const uint64_t trace_id = sink ? sink->next_trace_id() : 0;
+  const uint64_t trace_id = next_request_id();
   const uint64_t t_sub_ns = sink ? sink->now_ns() : 0;
 
   Task task;
@@ -332,7 +385,7 @@ std::future<SearchResponse> AlignService::submit_search(SearchRequest request) {
                                       "AlignService: shut down before run"));
       return;
     }
-    const obs::TraceContext tctx{sink, trace_id};
+    const obs::TraceContext tctx = trace_context(trace_id);
     if (sink) sink->record_span("queue_wait", trace_id, t_sub_ns, sink->now_ns());
     const double qwait = seconds_since(submitted);
     metrics_.on_queue_wait(qwait);
@@ -396,7 +449,7 @@ std::future<SearchResponse> AlignService::submit_search(SearchRequest request) {
     RequestTrace tr = make_trace(Scenario::Search, cfg, qwait, res.seconds,
                                  res.stats.cells, 0);
     tr.exec_sequence = exec_sequence_.fetch_add(1, std::memory_order_relaxed);
-    tr.trace_id = trace_id;
+    tr.trace_id = sink != nullptr ? trace_id : 0;
     tr.topdown = std::move(td);
     metrics_.on_completed(perf::MetricsRegistry::Scenario::Search, res.seconds,
                           res.stats.cells);
@@ -411,6 +464,9 @@ std::future<SearchResponse> AlignService::submit_search(SearchRequest request) {
     dispatch.end();
     prom->set_value(SearchResponse{std::move(res), tr});
   };
+  task.id = trace_id;
+  task.scenario = obs::Scenario::Search;
+  task.deadline_ns = deadline_to_ns(deadline);
   enqueue(std::move(task),
           [&prom](ServiceError e) { fail_promise(prom, std::move(e)); });
   return fut;
@@ -425,7 +481,7 @@ std::future<BatchResponse> AlignService::submit_batch(BatchRequest request) {
       rq->options.deadline ? submitted + *rq->options.deadline
                            : Clock::time_point{};
   obs::TraceSink* const sink = opt_.trace_sink;
-  const uint64_t trace_id = sink ? sink->next_trace_id() : 0;
+  const uint64_t trace_id = next_request_id();
   const uint64_t t_sub_ns = sink ? sink->now_ns() : 0;
 
   Task task;
@@ -436,7 +492,7 @@ std::future<BatchResponse> AlignService::submit_batch(BatchRequest request) {
                                       "AlignService: shut down before run"));
       return;
     }
-    const obs::TraceContext tctx{sink, trace_id};
+    const obs::TraceContext tctx = trace_context(trace_id);
     if (sink) sink->record_span("queue_wait", trace_id, t_sub_ns, sink->now_ns());
     const double qwait = seconds_since(submitted);
     metrics_.on_queue_wait(qwait);
@@ -516,7 +572,7 @@ std::future<BatchResponse> AlignService::submit_batch(BatchRequest request) {
     RequestTrace tr = make_trace(Scenario::Batch, cfg, qwait, kernel_s, cells,
                                  retries);
     tr.exec_sequence = exec_sequence_.fetch_add(1, std::memory_order_relaxed);
-    tr.trace_id = trace_id;
+    tr.trace_id = sink != nullptr ? trace_id : 0;
     tr.topdown = std::move(td);
     metrics_.on_completed(perf::MetricsRegistry::Scenario::Batch, kernel_s,
                           cells);
@@ -525,6 +581,9 @@ std::future<BatchResponse> AlignService::submit_batch(BatchRequest request) {
     dispatch.end();
     prom->set_value(BatchResponse{std::move(results), tr});
   };
+  task.id = trace_id;
+  task.scenario = obs::Scenario::Batch;
+  task.deadline_ns = deadline_to_ns(deadline);
   enqueue(std::move(task),
           [&prom](ServiceError e) { fail_promise(prom, std::move(e)); });
   return fut;

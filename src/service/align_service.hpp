@@ -36,8 +36,11 @@
 #include "align/query_cache.hpp"
 #include "core/batch32.hpp"
 #include "obs/exporters.hpp"
+#include "obs/inflight.hpp"
+#include "obs/pmu.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "parallel/thread_pool.hpp"
 #include "perf/metrics.hpp"
 #include "seq/database.hpp"
@@ -93,6 +96,22 @@ struct ServiceOptions {
   /// Disable the query-state cache entirely (every request builds its own
   /// state, the pre-cache behavior). For A/B measurement and debugging.
   bool query_cache_bypass = false;
+  /// Span-scoped hardware-counter attribution: kernel-chunk spans carry
+  /// perf_event deltas (cycles/IPC/stalls/misses, effective GHz) and
+  /// aggregate per ISA×kernel×width into the metrics. Degrades to a
+  /// wall-clock-only fallback (pmu_unavailable gauge = 1) where perf_event
+  /// is denied or absent; results are bit-identical either way.
+  bool pmu_attribution = true;
+  /// Latency SLO for the watchdog: a request executing longer than this
+  /// produces one structured slow-request record (span tree + queue state)
+  /// while it is still running. 0 disables the watchdog thread.
+  double slow_request_slo_s = 0;
+  /// Watchdog scan period.
+  double watchdog_period_s = 0.05;
+  /// Test hook: runs on the executor thread right before each request
+  /// executes (its in-flight slot already occupied). Lets tests stall an
+  /// engine deterministically to exercise the watchdog.
+  std::function<void()> before_execute_hook;
 };
 
 class AlignService {
@@ -149,10 +168,27 @@ class AlignService {
     return query_cache_.get();
   }
 
+  /// The service's metrics registry — wiring point for the flight recorder
+  /// and anything else that wants raw counters rather than snapshots.
+  perf::MetricsRegistry* registry() noexcept { return &metrics_; }
+  /// Per-executor in-flight request table (always present).
+  const obs::InFlightTable* inflight() const noexcept {
+    return inflight_.get();
+  }
+  /// The SLO watchdog, or null when slow_request_slo_s == 0.
+  const obs::Watchdog* watchdog() const noexcept { return watchdog_.get(); }
+  /// SLO breaches detected so far (0 without a watchdog).
+  uint64_t slow_requests() const noexcept {
+    return watchdog_ ? watchdog_->detected() : 0;
+  }
+
  private:
   struct Task {
     /// Runs the request (aborted=true: fail the promise without running).
     std::function<void(bool aborted)> run;
+    uint64_t id = 0;                               ///< request trace id
+    obs::Scenario scenario = obs::Scenario::Pairwise;
+    uint64_t deadline_ns = 0;  ///< absolute, steady_now_ns() scale; 0=none
   };
 
   /// Resolve per-request options against service defaults; returns the
@@ -164,7 +200,16 @@ class AlignService {
   /// (set the QueueFull/ShuttingDown exception) and returns false.
   bool enqueue(Task task, const std::function<void(ServiceError)>& reject);
 
-  void executor_loop();
+  void executor_loop(unsigned index);
+
+  /// The TraceContext requests thread through the engines: sink + trace id,
+  /// plus the PMU session and registry when attribution is on.
+  obs::TraceContext trace_context(uint64_t trace_id) noexcept;
+
+  /// Allocate a request id: from the sink when tracing (so spans correlate)
+  /// or from the service's own counter (so the watchdog and in-flight table
+  /// still get unique ids).
+  uint64_t next_request_id() noexcept;
 
   /// Fill the common trace fields once execution finished.
   RequestTrace make_trace(Scenario scenario, const core::AlignConfig& cfg,
@@ -203,6 +248,10 @@ class AlignService {
   std::unique_ptr<obs::Sampler> sampler_;  ///< live profiler (optional)
   std::atomic<uint64_t> topdown_seq_{0};   ///< one-in-N request sampling
   std::atomic<double> model_ghz_{0};       ///< cached frequency estimate
+
+  std::unique_ptr<obs::InFlightTable> inflight_;  ///< slot per executor
+  std::unique_ptr<obs::Watchdog> watchdog_;       ///< SLO scanner (optional)
+  std::atomic<uint64_t> request_ids_{0};  ///< id source when not tracing
 };
 
 }  // namespace swve::service

@@ -29,8 +29,12 @@
 #include "matrix/query_profile.hpp"
 #include "matrix/score_matrix.hpp"
 #include "obs/exporters.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/inflight.hpp"
+#include "obs/pmu.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "parallel/partition.hpp"
 #include "parallel/thread_pool.hpp"
 #include "perf/freq_monitor.hpp"

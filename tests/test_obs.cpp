@@ -291,6 +291,85 @@ TEST(Exporters, JsonRoundTripsCounters) {
             std::count(json.begin(), json.end(), ']'));
 }
 
+TEST(Exporters, BuildInfoAndTraceAccounting) {
+  perf::MetricsSnapshot s = sample_snapshot();
+  s.trace_recorded = 10;
+  s.trace_dropped_wrap = 3;
+  s.trace_dropped_torn = 1;
+  s.trace_dropped_overflow = 2;
+  s.pmu_unavailable = 1;
+  s.slow_requests = 4;
+
+  BuildInfo info = build_info();
+  EXPECT_NE(info.version[0], '\0');
+  EXPECT_NE(info.isas[0], '\0');
+
+  std::string prom = to_prometheus(s);
+  EXPECT_NE(prom.find("swve_build_info{version=\""), std::string::npos);
+  EXPECT_NE(prom.find("swve_trace_events_total 10"), std::string::npos);
+  EXPECT_NE(prom.find("swve_trace_dropped_total{cause=\"wrap\"} 3"),
+            std::string::npos);
+  EXPECT_NE(prom.find("swve_trace_dropped_total{cause=\"torn\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("swve_trace_dropped_total{cause=\"overflow\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("swve_pmu_unavailable 1"), std::string::npos);
+  EXPECT_NE(prom.find("swve_slow_requests_total 4"), std::string::npos);
+
+  std::string json = to_json(s);
+  EXPECT_NE(json.find("\"build\":{\"version\":\""), std::string::npos);
+  EXPECT_EQ(json_u64(json, "recorded"), 10u);
+  EXPECT_EQ(json_u64(json, "dropped_wrap"), 3u);
+  EXPECT_EQ(json_u64(json, "dropped_torn"), 1u);
+  EXPECT_EQ(json_u64(json, "dropped_overflow"), 2u);
+  EXPECT_EQ(json_u64(json, "unavailable"), 1u);
+  EXPECT_EQ(json_u64(json, "slow_requests"), 4u);
+}
+
+TEST(Exporters, PmuAttributionCellsInBothFormats) {
+  perf::MetricsRegistry reg;
+  perf::PmuSample span;
+  span.samples = 1;
+  span.wall_ns = 1'000'000;
+  span.cycles = 3'000'000;
+  span.instructions = 6'000'000;
+  span.stall_backend = 750'000;
+  span.llc_misses = 42;
+  reg.on_pmu_sample(simd::Isa::Avx2, perf::KernelVariant::Diagonal, 16, span);
+  reg.on_pmu_sample(simd::Isa::Avx2, perf::KernelVariant::Diagonal, 16, span);
+  // Out-of-range targets must be dropped, not smeared into a cell.
+  reg.on_pmu_sample(static_cast<simd::Isa>(99), perf::KernelVariant::Diagonal,
+                    16, span);
+  perf::MetricsSnapshot s = reg.snapshot();
+
+  const perf::PmuSample& cell =
+      s.pmu[static_cast<int>(simd::Isa::Avx2)][0]
+           [perf::MetricsSnapshot::width_index(16)];
+  EXPECT_EQ(cell.samples, 2u);
+  EXPECT_DOUBLE_EQ(cell.ipc(), 2.0);
+  EXPECT_DOUBLE_EQ(cell.backend_stall_fraction(), 0.25);
+  EXPECT_EQ(s.pmu_total().samples, 2u);
+
+  std::string prom = to_prometheus(s);
+  EXPECT_NE(prom.find("swve_pmu_spans_total{isa=\"avx2\",kernel=\"diagonal\","
+                      "width=\"16\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("swve_pmu_stall_cycles_total{isa=\"avx2\","
+                      "kernel=\"diagonal\",width=\"16\",side=\"backend\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("swve_pmu_ipc{isa=\"avx2\",kernel=\"diagonal\","
+                      "width=\"16\"} 2"),
+            std::string::npos);
+
+  std::string json = to_json(s);
+  EXPECT_NE(json.find("\"pmu\":{\"unavailable\":0,\"cells\":[{\"isa\":\"avx2\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"width\":16"), std::string::npos);
+  EXPECT_NE(json.find("\"ipc\":2"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
 TEST(Exporters, FormatSelection) {
   EXPECT_EQ(metrics_format_from_string("text"), MetricsFormat::Text);
   EXPECT_EQ(metrics_format_from_string("prom"), MetricsFormat::Prometheus);

@@ -1,0 +1,479 @@
+// Span-scoped hardware-counter attribution and the black-box recorder
+// (ISSUE 4 tentpole): PmuSession degradation paths and delta math, the
+// in-flight request table, the SLO watchdog, the flight recorder (manual
+// dump and SIGTERM death test), sampler stop races, and cpufreq-sysfs
+// hardening.
+//
+// Nothing here requires working hardware counters — CI and most VMs run
+// with perf_event denied or absent, which is exactly the degraded path
+// these tests pin down. The concurrency tests are TSan CI targets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/inflight.hpp"
+#include "obs/pmu.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
+#include "perf/freq_monitor.hpp"
+#include "perf/metrics.hpp"
+#include "seq/synthetic.hpp"
+#include "service/align_service.hpp"
+
+namespace swve::obs {
+namespace {
+
+/// Forces a PmuSession availability state for one test, restoring the
+/// real probe on scope exit.
+struct SimulatedPmu {
+  explicit SimulatedPmu(const char* mode) {
+    PmuSession::instance().simulate_for_test(mode);
+  }
+  ~SimulatedPmu() { PmuSession::instance().simulate_for_test(nullptr); }
+};
+
+uint64_t json_u64(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) return ~uint64_t{0};
+  return std::strtoull(json.c_str() + at + needle.size(), nullptr, 10);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// ---------------------------------------------------------------- delta math
+
+PmuReading hw_reading(uint64_t ns, uint64_t te, uint64_t tr, uint64_t cycles,
+                      uint64_t instructions) {
+  PmuReading r;
+  r.hw = true;
+  r.ns = ns;
+  r.time_enabled = te;
+  r.time_running = tr;
+  r.cycles = cycles;
+  r.instructions = instructions;
+  r.stall_frontend = cycles / 10;
+  r.stall_backend = cycles / 4;
+  r.llc_misses = 100;
+  r.branch_misses = 50;
+  return r;
+}
+
+TEST(PmuDelta, UnmultiplexedCountsPassThrough) {
+  PmuReading a = hw_reading(1000, 500, 500, 1'000'000, 2'000'000);
+  PmuReading b = hw_reading(2000, 1500, 1500, 3'000'000, 6'000'000);
+  PmuDelta d = PmuSession::delta(a, b);
+  EXPECT_TRUE(d.hw);
+  EXPECT_EQ(d.wall_ns, 1000u);
+  EXPECT_DOUBLE_EQ(d.scale, 1.0);
+  EXPECT_EQ(d.cycles, 2'000'000u);
+  EXPECT_EQ(d.instructions, 4'000'000u);
+  EXPECT_DOUBLE_EQ(d.ipc(), 2.0);
+  EXPECT_DOUBLE_EQ(d.effective_ghz(), 2000.0);  // 2e6 cycles / 1e3 ns
+}
+
+TEST(PmuDelta, MultiplexScalingCorrectsCounts) {
+  // Group on the PMU for half its enabled time: counts scale by 2, the
+  // ratios (which the group keeps consistent) are unchanged.
+  PmuReading a = hw_reading(0, 0, 0, 0, 0);
+  PmuReading b = hw_reading(1000, 1000, 500, 1'000'000, 2'000'000);
+  PmuDelta d = PmuSession::delta(a, b);
+  EXPECT_DOUBLE_EQ(d.scale, 2.0);
+  EXPECT_EQ(d.cycles, 2'000'000u);
+  EXPECT_EQ(d.instructions, 4'000'000u);
+  EXPECT_DOUBLE_EQ(d.ipc(), 2.0);
+  EXPECT_DOUBLE_EQ(d.backend_stall_fraction(), 0.25);
+  EXPECT_DOUBLE_EQ(d.frontend_stall_fraction(), 0.1);
+}
+
+TEST(PmuDelta, SoftwareFallbackKeepsWallClockOnly) {
+  PmuReading a;
+  a.ns = 100;
+  PmuReading b;
+  b.ns = 350;
+  PmuDelta d = PmuSession::delta(a, b);
+  EXPECT_FALSE(d.hw);
+  EXPECT_EQ(d.wall_ns, 250u);
+  EXPECT_EQ(d.cycles, 0u);
+  EXPECT_DOUBLE_EQ(d.ipc(), 0.0);
+  EXPECT_DOUBLE_EQ(d.effective_ghz(), 0.0);
+}
+
+// ----------------------------------------------------------------- PmuSession
+
+TEST(PmuSession, SimulatedEpermDegradesToSoftwareClock) {
+  SimulatedPmu sim("eperm");
+  PmuSession& pmu = PmuSession::instance();
+  EXPECT_FALSE(pmu.available());
+  EXPECT_EQ(pmu.state(), PmuSession::State::Eperm);
+  EXPECT_STREQ(pmu.unavailable_reason(), "eperm");
+  PmuReading r = pmu.read();
+  EXPECT_FALSE(r.hw);
+  EXPECT_GT(r.ns, 0u);  // the wall clock always works
+}
+
+TEST(PmuSession, SimulatedOffReportsDisabled) {
+  SimulatedPmu sim("off");
+  EXPECT_EQ(PmuSession::instance().state(), PmuSession::State::Disabled);
+  EXPECT_STREQ(PmuSession::instance().unavailable_reason(), "disabled");
+}
+
+TEST(PmuSession, DegradedSpansStillAggregateWallTime) {
+  // PMU denied: kernel spans must still land in the attribution cells with
+  // wall time (samples > 0, cycles == 0) so the fallback stays observable.
+  SimulatedPmu sim("eperm");
+  TraceSink sink;
+  perf::MetricsRegistry reg;
+  TraceContext ctx{&sink, 1, &PmuSession::instance(), &reg};
+  {
+    Span span(ctx, "chunk.test");
+    span.set_kernel(perf::KernelVariant::Diagonal);
+    span.set_isa(simd::Isa::Avx2);
+    span.set_width_bits(16);
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  perf::PmuSample total = reg.snapshot().pmu_total();
+  EXPECT_EQ(total.samples, 1u);
+  EXPECT_GT(total.wall_ns, 0u);
+  EXPECT_EQ(total.cycles, 0u);
+}
+
+TEST(PmuSession, PmuOnlyContextIsActiveWithoutSink) {
+  SimulatedPmu sim("eperm");
+  TraceContext ctx{nullptr, 0, &PmuSession::instance(), nullptr};
+  EXPECT_TRUE(ctx.active());
+  Span span(ctx, "no-sink");  // must not crash recording nowhere
+  span.set_kernel(perf::KernelVariant::Batch32);
+}
+
+// ------------------------------------------------------- service degradation
+
+seq::SequenceDatabase pmu_test_db() {
+  seq::SyntheticConfig cfg;
+  cfg.seed = 99;
+  cfg.target_residues = 20'000;
+  cfg.min_length = 20;
+  cfg.max_length = 200;
+  return seq::SequenceDatabase::synthetic(cfg);
+}
+
+TEST(AlignServicePmu, DegradedAttributionIsBitIdentical) {
+  SimulatedPmu sim("eperm");
+  seq::SequenceDatabase db = pmu_test_db();
+  seq::Sequence query = seq::generate_sequence(7, 120);
+
+  auto run = [&](bool attribution) {
+    service::ServiceOptions opt;
+    opt.pool_threads = 2;
+    opt.pmu_attribution = attribution;
+    service::AlignService svc(db, opt);
+    service::SearchRequest rq;
+    rq.query = query;
+    return svc.submit_search(std::move(rq)).get();
+  };
+  service::SearchResponse with = run(true);
+  service::SearchResponse without = run(false);
+
+  ASSERT_EQ(with.result.hits.size(), without.result.hits.size());
+  for (size_t i = 0; i < with.result.hits.size(); ++i) {
+    EXPECT_EQ(with.result.hits[i].seq_index, without.result.hits[i].seq_index);
+    EXPECT_EQ(with.result.hits[i].score, without.result.hits[i].score);
+  }
+}
+
+TEST(AlignServicePmu, UnavailableGaugeReflectsDegradation) {
+  SimulatedPmu sim("eperm");
+  seq::SequenceDatabase db = pmu_test_db();
+  service::ServiceOptions opt;
+  opt.pool_threads = 1;
+  service::AlignService svc(db, opt);
+  service::SearchRequest rq;
+  rq.query = seq::generate_sequence(8, 100);
+  svc.submit_search(std::move(rq)).get();
+
+  perf::MetricsSnapshot s = svc.metrics();
+  EXPECT_EQ(s.pmu_unavailable, 1u);
+  EXPECT_GT(s.pmu_total().samples, 0u);  // wall-only aggregation still on
+
+  service::ServiceOptions off = opt;
+  off.pmu_attribution = false;
+  service::AlignService svc_off(db, off);
+  EXPECT_EQ(svc_off.metrics().pmu_unavailable, 0u);
+}
+
+// -------------------------------------------------------------- InFlightTable
+
+TEST(InFlightTable, GuardOccupiesAndReleasesSlot) {
+  InFlightTable table(2);
+  EXPECT_EQ(table.active(), 0u);
+  {
+    InFlightTable::Guard g(table, 1, 42, Scenario::Search, 777);
+    EXPECT_EQ(table.active(), 1u);
+    InFlightTable::Entry rows[4];
+    ASSERT_EQ(table.snapshot(rows, 4), 1u);
+    EXPECT_EQ(rows[0].slot, 1u);
+    EXPECT_EQ(rows[0].id, 42u);
+    EXPECT_EQ(rows[0].scenario, static_cast<uint32_t>(Scenario::Search));
+    EXPECT_EQ(rows[0].deadline_ns, 777u);
+    EXPECT_GT(rows[0].start_ns, 0u);
+  }
+  EXPECT_EQ(table.active(), 0u);
+}
+
+TEST(InFlightTable, ZeroIdStillReadsAsOccupied) {
+  InFlightTable table(1);
+  InFlightTable::Guard g(table, 0, 0, Scenario::Pairwise, 0);
+  InFlightTable::Entry row;
+  ASSERT_EQ(table.snapshot(&row, 1), 1u);
+  EXPECT_EQ(row.id, 1u);  // id 0 means "free"; the table remaps it
+}
+
+TEST(InFlightTable, ConcurrentGuardsAndSnapshotsAreRaceFree) {
+  // TSan target: executors churn their slots while a reader snapshots.
+  InFlightTable table(4);
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    InFlightTable::Entry rows[4];
+    while (!stop.load(std::memory_order_relaxed)) {
+      const size_t n = table.snapshot(rows, 4);
+      ASSERT_LE(n, 4u);
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_NE(rows[i].id, 0u);
+        ASSERT_LT(rows[i].slot, 4u);
+      }
+    }
+  });
+  std::vector<std::thread> workers;
+  for (unsigned w = 0; w < 4; ++w) {
+    workers.emplace_back([&, w] {
+      for (uint64_t i = 1; i <= 20'000; ++i)
+        InFlightTable::Guard g(table, w, i, Scenario::Batch, 0);
+    });
+  }
+  for (auto& t : workers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(table.active(), 0u);
+}
+
+// ------------------------------------------------------------------ watchdog
+
+TEST(Watchdog, DetectsSlowOccupancyOnceAndRedetectsNewRequest) {
+  InFlightTable table(2);
+  WatchdogOptions wo;
+  wo.slo_s = 1e-9;    // everything running is "slow"
+  wo.period_s = 60;   // the scan thread stays out of the way
+  Watchdog dog(table, wo, nullptr, nullptr, [] { return size_t{3}; });
+
+  {
+    InFlightTable::Guard g(table, 0, 11, Scenario::Search, 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    dog.scan_once();
+    dog.scan_once();  // same occupancy: deduplicated
+    EXPECT_EQ(dog.detected(), 1u);
+  }
+  {
+    InFlightTable::Guard g(table, 0, 12, Scenario::Batch, 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    dog.scan_once();  // same slot, new request id: a new record
+  }
+  EXPECT_EQ(dog.detected(), 2u);
+
+  std::vector<SlowRequestRecord> records = dog.records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].trace_id, 11u);
+  EXPECT_EQ(records[0].scenario, static_cast<uint32_t>(Scenario::Search));
+  EXPECT_EQ(records[0].queue_depth, 3u);
+  EXPECT_GT(records[0].running_s, 0.0);
+  EXPECT_EQ(records[1].trace_id, 12u);
+
+  std::string json = dog.json();
+  EXPECT_NE(json.find("\"trace_id\":11"), std::string::npos);
+  EXPECT_NE(json.find("\"scenario\":\"batch\""), std::string::npos);
+}
+
+TEST(Watchdog, ServiceDetectsStalledEngine) {
+  // A request stalled (deterministically, via the test hook) past a 10 ms
+  // SLO must produce exactly one slow-request record while still running.
+  TraceSink sink;
+  service::ServiceOptions opt;
+  opt.pool_threads = 1;
+  opt.trace_sink = &sink;
+  opt.slow_request_slo_s = 0.01;
+  opt.watchdog_period_s = 0.002;
+  opt.before_execute_hook = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  };
+  service::AlignService svc(opt);
+
+  service::AlignRequest rq;
+  rq.query = seq::generate_sequence(1, 60);
+  rq.reference = seq::generate_sequence(2, 90);
+  svc.submit(std::move(rq)).get();
+
+  ASSERT_NE(svc.watchdog(), nullptr);
+  EXPECT_EQ(svc.slow_requests(), 1u);
+  EXPECT_EQ(svc.metrics().slow_requests, 1u);
+  std::vector<SlowRequestRecord> records = svc.watchdog()->records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].scenario, static_cast<uint32_t>(Scenario::Pairwise));
+  EXPECT_DOUBLE_EQ(records[0].slo_s, 0.01);
+  EXPECT_GE(records[0].running_s, 0.01);
+  EXPECT_NE(records[0].to_json().find("\"trace_id\""), std::string::npos);
+}
+
+// ------------------------------------------------------------ flight recorder
+
+TEST(FlightRecorder, DumpNowRoundTripsThroughJson) {
+  const std::string path = testing::TempDir() + "swve_flight_manual.json";
+  std::remove(path.c_str());
+
+  TraceSink sink;
+  TraceContext ctx{&sink, 5};
+  {
+    Span span(ctx, "chunk.dump");
+    span.set_isa(simd::Isa::Avx2);
+    span.add_cells(123);
+  }
+  perf::MetricsRegistry reg;
+  reg.on_submitted();
+  reg.on_completed(perf::MetricsRegistry::Scenario::Search, 0.1, 1000);
+  InFlightTable table(1);
+  InFlightTable::Guard guard(table, 0, 42, Scenario::Search, 0);
+
+  FlightRecorder rec;
+  FlightRecorderOptions fo;
+  fo.path = path;
+  fo.sink = &sink;
+  fo.registry = &reg;
+  fo.inflight = &table;
+  fo.handle_fatal = false;  // no signal dispositions touched in this test
+  fo.handle_term = false;
+  ASSERT_TRUE(rec.install(fo));
+
+  FlightRecorder second;
+  EXPECT_FALSE(second.install(fo));  // handlers are process-global
+
+  ASSERT_TRUE(rec.dump_now("test"));
+  rec.uninstall();
+  EXPECT_FALSE(rec.dump_now("after-uninstall"));
+
+  std::string dump = read_file(path);
+  ASSERT_FALSE(dump.empty());
+  EXPECT_NE(dump.find("\"reason\":\"test\""), std::string::npos);
+  EXPECT_EQ(json_u64(dump, "submitted"), 1u);
+  EXPECT_EQ(json_u64(dump, "completed"), 1u);
+  EXPECT_EQ(json_u64(dump, "recorded"), 1u);
+  EXPECT_NE(dump.find("\"id\":42"), std::string::npos);
+  EXPECT_NE(dump.find("\"scenario\":\"search\""), std::string::npos);
+  EXPECT_NE(dump.find("\"name\":\"chunk.dump\""), std::string::npos);
+  EXPECT_NE(dump.find("traceEvents"), std::string::npos);
+  EXPECT_EQ(std::count(dump.begin(), dump.end(), '{'),
+            std::count(dump.begin(), dump.end(), '}'));
+  EXPECT_EQ(std::count(dump.begin(), dump.end(), '['),
+            std::count(dump.begin(), dump.end(), ']'));
+  std::remove(path.c_str());
+}
+
+#if defined(__unix__)
+// The death-test child: record a span, occupy an in-flight slot, install
+// the recorder, and SIGTERM ourselves — the handler must dump and
+// _exit(143).
+[[noreturn]] void sigterm_with_recorder(const std::string& path) {
+  TraceSink sink;
+  TraceContext ctx{&sink, 9};
+  {
+    Span span(ctx, "chunk.term");
+    span.add_cells(7);
+  }
+  InFlightTable table(1);
+  InFlightTable::Guard guard(table, 0, 77, Scenario::Batch, 0);
+  FlightRecorder rec;
+  FlightRecorderOptions fo;
+  fo.path = path;
+  fo.sink = &sink;
+  fo.inflight = &table;
+  fo.handle_fatal = false;
+  fo.handle_term = true;
+  if (!rec.install(fo)) _exit(99);
+  raise(SIGTERM);
+  _exit(98);  // unreachable: the handler _exit(128+15)s
+}
+
+TEST(FlightRecorderDeathTest, SigTermDumpsAndExits143) {
+  const std::string path = testing::TempDir() + "swve_flight_sigterm.json";
+  std::remove(path.c_str());
+
+  EXPECT_EXIT(sigterm_with_recorder(path), testing::ExitedWithCode(143),
+              "flight recorder dump written");
+
+  std::string dump = read_file(path);
+  ASSERT_FALSE(dump.empty());
+  EXPECT_NE(dump.find("\"reason\":\"SIGTERM\""), std::string::npos);
+  EXPECT_EQ(json_u64(dump, "signal"), 15u);
+  EXPECT_NE(dump.find("\"id\":77"), std::string::npos);
+  EXPECT_NE(dump.find("\"scenario\":\"batch\""), std::string::npos);
+  EXPECT_NE(dump.find("\"name\":\"chunk.term\""), std::string::npos);
+  std::remove(path.c_str());
+}
+#endif
+
+// ------------------------------------------------------------- sampler races
+
+TEST(Sampler, ConcurrentStopIsIdempotentAndRaceFree) {
+  // TSan target: stop() from several threads while the sample thread runs.
+  for (int round = 0; round < 8; ++round) {
+    SamplerOptions so;
+    so.period_s = 0.001;
+    so.freq_probe_ms = 0.1;
+    Sampler sampler(so, [] { return perf::MetricsSnapshot{}; });
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    std::vector<std::thread> stoppers;
+    for (int t = 0; t < 3; ++t)
+      stoppers.emplace_back([&] { sampler.stop(); });
+    for (auto& t : stoppers) t.join();
+  }
+}
+
+// ------------------------------------------------------------------- cpufreq
+
+TEST(Cpufreq, OutOfRangeAndMissingNodesReadZero) {
+  EXPECT_EQ(perf::cpufreq_khz(-1), 0u);
+  EXPECT_EQ(perf::cpufreq_khz(4096), 0u);
+  EXPECT_EQ(perf::cpufreq_khz(100'000), 0u);  // never builds a bogus path
+}
+
+TEST(Cpufreq, SummarySkipsUnreadableCpus) {
+  perf::CpufreqSummary s = perf::cpufreq_summary(8);
+  EXPECT_LE(s.cpus_read, s.cpus_scanned);
+  if (s.cpus_read > 0) {
+    EXPECT_GE(s.mean_khz, static_cast<double>(s.min_khz));
+    EXPECT_LE(s.mean_khz, static_cast<double>(s.max_khz));
+    EXPECT_GT(s.min_khz, 0u);
+  } else {
+    // No cpufreq here (VM/container): all-zero summary, no crash.
+    EXPECT_EQ(s.mean_khz, 0.0);
+  }
+  perf::CpufreqSummary none = perf::cpufreq_summary(0);
+  EXPECT_EQ(none.cpus_scanned, 0);
+  EXPECT_EQ(none.cpus_read, 0);
+}
+
+}  // namespace
+}  // namespace swve::obs

@@ -1,21 +1,36 @@
 // Component-cost probe for the diag kernel: long square pair (no ragged
-// cost) vs database streaming; widths; schemes; ISAs.
+// cost) vs database streaming; widths; schemes; ISAs. When perf_event is
+// usable, each config also reports hardware-counter attribution for the
+// 2048x2048 run (IPC, backend-stall fraction, effective GHz); otherwise
+// those columns print "-".
 #include <cstdio>
 
 #include "core/dispatch.hpp"
+#include "obs/pmu.hpp"
 #include "perf/gcups.hpp"
 #include "perf/timer.hpp"
 #include "seq/synthetic.hpp"
 
 using namespace swve;
 
-static double run(const seq::Sequence& q, const seq::Sequence& t, core::AlignConfig cfg,
-                  core::Workspace& ws, int reps) {
+struct RunResult {
+  double gcups = 0;
+  obs::PmuDelta pmu{};
+};
+
+static RunResult run(const seq::Sequence& q, const seq::Sequence& t,
+                     core::AlignConfig cfg, core::Workspace& ws, int reps) {
   core::diag_align(q, t, cfg, ws);
+  obs::PmuSession& pmu = obs::PmuSession::instance();
+  obs::PmuReading start = pmu.read();
   perf::Stopwatch sw;
   for (int k = 0; k < reps; ++k) core::diag_align(q, t, cfg, ws);
-  return perf::gcups(static_cast<uint64_t>(q.length()) * t.length() * reps,
-                     sw.seconds());
+  double seconds = sw.seconds();
+  RunResult r;
+  r.pmu = obs::PmuSession::delta(start, pmu.read());
+  r.gcups = perf::gcups(
+      static_cast<uint64_t>(q.length()) * t.length() * reps, seconds);
+  return r;
 }
 
 int main() {
@@ -40,7 +55,12 @@ int main() {
       {"a512 w8  matrix", simd::Isa::Avx512, core::Width::W8, core::ScoreScheme::Matrix},
       {"a512 w8  fixed ", simd::Isa::Avx512, core::Width::W8, core::ScoreScheme::Fixed},
   };
-  std::printf("%-18s %10s %10s\n", "config", "2048x2048", "2048x300");
+  obs::PmuSession& pmu = obs::PmuSession::instance();
+  if (!pmu.available())
+    std::printf("pmu: unavailable (%s); counter columns print \"-\"\n",
+                pmu.unavailable_reason());
+  std::printf("%-18s %10s %10s %6s %8s %7s\n", "config", "2048x2048",
+              "2048x300", "ipc", "be-stall", "GHz");
   for (const Cfg& c : cfgs) {
     core::AlignConfig cfg;
     cfg.isa = c.isa;
@@ -48,9 +68,17 @@ int main() {
     cfg.scheme = c.s;
     cfg.match = 5;
     cfg.mismatch = -2;
-    double big = run(q, t, cfg, ws, 3);
-    double small = run(q, t_small, cfg, ws, 20);
-    std::printf("%-18s %10.2f %10.2f\n", c.name, big, small);
+    RunResult big = run(q, t, cfg, ws, 3);
+    RunResult small = run(q, t_small, cfg, ws, 20);
+    if (big.pmu.hw && big.pmu.cycles > 0) {
+      std::printf("%-18s %10.2f %10.2f %6.2f %7.1f%% %7.2f\n", c.name,
+                  big.gcups, small.gcups, big.pmu.ipc(),
+                  100.0 * big.pmu.backend_stall_fraction(),
+                  big.pmu.effective_ghz());
+    } else {
+      std::printf("%-18s %10.2f %10.2f %6s %8s %7s\n", c.name, big.gcups,
+                  small.gcups, "-", "-", "-");
+    }
   }
   return 0;
 }
