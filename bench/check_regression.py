@@ -5,10 +5,10 @@ Compares a fresh ``fig13_scenarios --json`` report against the committed
 ``bench/baseline.json`` and *warns* (exit 0) when a GCUPS metric dropped by
 more than the threshold. CI runners are noisy shared machines, so this lane
 never fails the build on a slowdown -- it annotates the run so a human looks
-at the artifact. Structural problems (missing file, malformed JSON, the
-correctness sentinel ``packing/topk_identical`` flipping to 0, or a baseline
-metric missing from the new report) DO fail, because those are bugs, not
-noise.
+at the artifact. Structural problems (missing file, malformed JSON, a
+correctness sentinel -- ``packing/topk_identical`` or
+``ilp/topk_identical`` -- flipping to 0, or a baseline metric missing from
+the new report) DO fail, because those are bugs, not noise.
 
 Usage:
     check_regression.py CURRENT.json [--baseline bench/baseline.json]
@@ -49,10 +49,13 @@ def main():
               file=sys.stderr)
         return 2
 
-    # Correctness sentinel: packing policies must agree on the top-k.
-    if cur.get("packing/topk_identical", 1) != 1:
-        print("FAIL: packing/topk_identical == 0 (policies disagree on top-k)")
-        return 1
+    # Correctness sentinels: packing policies and interleave depths must
+    # each agree on the top-k.
+    for sentinel, what in (("packing/topk_identical", "policies"),
+                           ("ilp/topk_identical", "interleave depths")):
+        if cur.get(sentinel, 1) != 1:
+            print(f"FAIL: {sentinel} == 0 ({what} disagree on top-k)")
+            return 1
 
     regressions = []
     rows = []

@@ -19,7 +19,7 @@ using bench::BenchArgs;
 int main(int argc, char** argv) {
   BenchArgs args = BenchArgs::parse(argc, argv);
   bench::print_environment();
-  tune::FlagSpace space = tune::FlagSpace::gcc_default();
+  tune::FlagSpace space = tune::FlagSpace::gcc_with_runtime();
 
   if (args.real_tuner) {
     perf::print_banner(std::cout, "Fig 10 (REAL gcc evaluator): GA over GCC flags");

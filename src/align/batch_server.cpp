@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "align/query_cache.hpp"
+#include "core/dispatch.hpp"
 #include "perf/metrics.hpp"
 #include "perf/timer.hpp"
 #include "simd/cpu.hpp"
@@ -30,9 +31,14 @@ std::vector<BatchQueryResult> batch_run(const seq::SequenceDatabase& db,
   auto run_query = [&](size_t qi) {
     perf::Stopwatch sw;
     obs::Span span(ctx.trace, "chunk.batch_query");
-    span.set_kernel(perf::KernelVariant::Batch32);
+    const simd::Isa isa = simd::resolve_isa(cfg.isa);
+    // batch_scores groups batches at the resolved interleave depth; key the
+    // span (and its PMU attribution cell) to that per-K kernel variant.
+    const int k_ilp = core::resolved_ilp(isa);
+    span.set_kernel(perf::batch_kernel_variant(k_ilp));
+    span.set_ilp(static_cast<uint8_t>(k_ilp));
     span.set_index(qi);
-    span.set_isa(simd::resolve_isa(cfg.isa));
+    span.set_isa(isa);
     span.set_width_bits(8);
     span.set_lanes(static_cast<uint32_t>(bdb.lanes()));
     BatchQueryResult& r = out[qi];

@@ -85,11 +85,17 @@ SearchResult search_batch(const seq::SequenceDatabase& db,
   core::BatchSearchStats agg{};
   std::mutex agg_mu;
   std::atomic<bool> truncated{false};
+  const simd::Isa isa = simd::resolve_isa(cfg.isa);
+  const int k_ilp = core::resolved_ilp(isa);
   auto score_batches = [&](size_t b_begin, size_t b_end) {
     obs::Span span(ctx.trace, "chunk.search_batch");
-    span.set_kernel(perf::KernelVariant::Batch32);
+    // Per-K kernel variant: the PMU attribution cell (and the exported
+    // swve_pmu_* family) separates interleave depths, so IPC/backend-stall
+    // deltas across K stay visible in a live service.
+    span.set_kernel(perf::batch_kernel_variant(k_ilp));
+    span.set_ilp(static_cast<uint8_t>(k_ilp));
     span.set_index(b_begin);
-    span.set_isa(simd::resolve_isa(cfg.isa));
+    span.set_isa(isa);
     span.set_width_bits(8);
     span.set_lanes(static_cast<uint32_t>(bdb.lanes()));
     auto lease = QueryStateCache::lease(ctx.query_cache);
@@ -97,35 +103,48 @@ SearchResult search_batch(const seq::SequenceDatabase& db,
     core::BatchSearchStats local{};
     core::AlignConfig wide = cfg;
     wide.width = core::Width::W16;
-    for (size_t b = b_begin; b < b_end; ++b) {
-      if (ctx.should_stop()) {  // per-batch cancellation/deadline check
+    for (size_t b = b_begin; b < b_end;) {
+      if (ctx.should_stop()) {  // per-group cancellation/deadline check
         truncated.store(true, std::memory_order_relaxed);
         span.set_trunc(trunc_cause(ctx));
         break;
       }
-      core::Batch32Db::Batch batch = bdb.batch(b);
-      core::Batch8Result r8 = core::batch32_align_u8(
-          query, batch, bdb.lanes(), cfg, ws, simd::resolve_isa(cfg.isa));
-      local.cells8 += static_cast<uint64_t>(batch.max_len) * query.length *
-                      static_cast<uint64_t>(bdb.lanes());
-      local.useful_cells8 += batch.real_residues * query.length;
-      for (uint32_t k = 0; k < batch.count; ++k) {
-        const uint32_t seq_idx = batch.seq_index[k];
-        if (r8.saturated_mask & (uint64_t{1} << k)) {
-          core::Alignment a =
-              core::diag_align(query, db[seq_idx], wide, ws, prep.get());
-          if (a.saturated) {
-            core::AlignConfig w32 = wide;
-            w32.width = core::Width::W32;
-            a = core::diag_align(query, db[seq_idx], w32, ws, prep.get());
+      // Feed up to k_ilp batches fused; the interleaved kernel keeps one
+      // dependency chain per batch in flight (bit-identical to K = 1).
+      const int group = static_cast<int>(
+          std::min<size_t>(static_cast<size_t>(k_ilp), b_end - b));
+      core::Batch32Db::Batch batch[core::kMaxBatchInterleave];
+      core::BatchCols cols[core::kMaxBatchInterleave];
+      core::Batch8Result r8[core::kMaxBatchInterleave];
+      for (int g = 0; g < group; ++g) {
+        batch[g] = bdb.batch(b + static_cast<size_t>(g));
+        cols[g] = core::BatchCols{batch[g].columns, batch[g].max_len};
+      }
+      core::batch32_align_u8_group(query, cols, group, bdb.lanes(), cfg, ws,
+                                   isa, k_ilp, r8);
+      for (int g = 0; g < group; ++g) {
+        local.cells8 += static_cast<uint64_t>(batch[g].max_len) *
+                        query.length * static_cast<uint64_t>(bdb.lanes());
+        local.useful_cells8 += batch[g].real_residues * query.length;
+        for (uint32_t k = 0; k < batch[g].count; ++k) {
+          const uint32_t seq_idx = batch[g].seq_index[k];
+          if (r8[g].saturated_mask & (uint64_t{1} << k)) {
+            core::Alignment a =
+                core::diag_align(query, db[seq_idx], wide, ws, prep.get());
+            if (a.saturated) {
+              core::AlignConfig w32 = wide;
+              w32.width = core::Width::W32;
+              a = core::diag_align(query, db[seq_idx], w32, ws, prep.get());
+            }
+            scores[seq_idx] = a.score;
+            ++local.rescored;
+            local.rescored_cells += a.stats.cells;
+          } else {
+            scores[seq_idx] = r8[g].max_score[k];
           }
-          scores[seq_idx] = a.score;
-          ++local.rescored;
-          local.rescored_cells += a.stats.cells;
-        } else {
-          scores[seq_idx] = r8.max_score[k];
         }
       }
+      b += static_cast<size_t>(group);
     }
     span.add_cells(local.cells8 + local.rescored_cells);
     span.set_useful_cells(local.useful_cells8 + local.rescored_cells);

@@ -39,6 +39,9 @@ struct BatchAvx2 {
     const __m256i is_hi = _mm256_cmpgt_epi8(idx, _mm256_set1_epi8(15));
     return _mm256_blendv_epi8(lo, hi, is_hi);
   }
+  static void prefetch(const void* p) {
+    _mm_prefetch(static_cast<const char*>(p), _MM_HINT_T0);
+  }
 };
 
 }  // namespace
@@ -46,6 +49,14 @@ struct BatchAvx2 {
 Batch8Result batch32_u8_avx2(seq::SeqView q, const uint8_t* columns, uint32_t cols,
                              const AlignConfig& cfg, Workspace& ws) {
   return batch32_kernel<BatchAvx2>(q, columns, cols, cfg, ws);
+}
+
+void batch32_u8_avx2_ilp(seq::SeqView q, const BatchCols* batches, int k,
+                         const AlignConfig& cfg, Workspace& ws, Batch8Result* out) {
+  if (k == 4)
+    batch32_kernel_ilp<BatchAvx2, 4>(q, batches, cfg, ws, out);
+  else
+    batch32_kernel_ilp<BatchAvx2, 2>(q, batches, cfg, ws, out);
 }
 
 }  // namespace swve::core

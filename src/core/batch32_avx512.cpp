@@ -30,6 +30,9 @@ struct BatchAvx512 {
         _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row32)));
     return _mm512_permutexvar_epi8(idx, table);
   }
+  static void prefetch(const void* p) {
+    _mm_prefetch(static_cast<const char*>(p), _MM_HINT_T0);
+  }
 };
 
 }  // namespace
@@ -37,6 +40,15 @@ struct BatchAvx512 {
 Batch8Result batch32_u8_avx512(seq::SeqView q, const uint8_t* columns, uint32_t cols,
                                const AlignConfig& cfg, Workspace& ws) {
   return batch32_kernel<BatchAvx512>(q, columns, cols, cfg, ws);
+}
+
+void batch32_u8_avx512_ilp(seq::SeqView q, const BatchCols* batches, int k,
+                           const AlignConfig& cfg, Workspace& ws,
+                           Batch8Result* out) {
+  if (k == 4)
+    batch32_kernel_ilp<BatchAvx512, 4>(q, batches, cfg, ws, out);
+  else
+    batch32_kernel_ilp<BatchAvx512, 2>(q, batches, cfg, ws, out);
 }
 
 }  // namespace swve::core

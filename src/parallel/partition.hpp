@@ -17,6 +17,14 @@ namespace swve::parallel {
 /// Contiguous [begin, end) index ranges over db (in database order), one per
 /// part, each covering roughly total_residues/parts residues. Some trailing
 /// ranges may be empty when parts > db.size().
+///
+/// Per-part targets are recomputed from what is actually left, not from the
+/// fixed grid total*(p+1)/parts: a sequence far above the per-part average
+/// (one mega-protein in a short-read database) overshoots its part's share,
+/// and with fixed cumulative targets every following part whose grid point
+/// the overshoot already passed came out empty — the rest of the database
+/// piled onto the final part and one thread ran it serially. Rebalancing
+/// spreads the post-outlier remainder evenly over the remaining parts.
 inline std::vector<std::pair<size_t, size_t>> partition_by_residues(
     const seq::SequenceDatabase& db, unsigned parts) {
   std::vector<std::pair<size_t, size_t>> out(parts, {0, 0});
@@ -26,12 +34,16 @@ inline std::vector<std::pair<size_t, size_t>> partition_by_residues(
   uint64_t consumed = 0;
   for (unsigned p = 0; p < parts; ++p) {
     const size_t begin = i;
-    // Target cumulative residues at the end of part p.
-    const uint64_t target = total * (p + 1) / parts;
-    while (i < db.size() && consumed < target) {
-      consumed += db[i].length();
+    // Even share of the residues still unassigned (ceil, so the last part
+    // is the short one when it doesn't divide evenly).
+    const unsigned parts_left = parts - p;
+    const uint64_t target = (total - consumed + parts_left - 1) / parts_left;
+    uint64_t part_sum = 0;
+    while (i < db.size() && part_sum < target) {
+      part_sum += db[i].length();
       ++i;
     }
+    consumed += part_sum;
     out[p] = {begin, i};
   }
   out[parts - 1].second = db.size();  // absorb rounding leftovers

@@ -12,7 +12,11 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/batch32.hpp"
+#include "core/dispatch.hpp"
 #include "perf/timer.hpp"
+#include "seq/synthetic.hpp"
+#include "simd/cpu.hpp"
 
 namespace swve::tune {
 
@@ -137,6 +141,53 @@ extern "C" int swve_tuned_kernel(const uint8_t* q, int m, const uint8_t* r,
 using KernelFn = int (*)(const uint8_t*, int, const uint8_t*, int, const int32_t*,
                          int, int);
 
+/// GCUPS of one in-process batch-kernel pass under the currently applied
+/// runtime settings (interleave depth, prefetch distance) — the term of the
+/// fitness the runtime hyperparameters move. Fixed synthetic workload.
+double time_batch_pass() {
+  struct Fixture {
+    seq::SequenceDatabase db;
+    core::Batch32Db bdb;
+    std::vector<core::BatchCols> cols;
+    seq::Sequence q;
+    Fixture()
+        : db([] {
+            seq::SyntheticConfig cfg;
+            cfg.seed = 33;
+            cfg.target_residues = 60'000;
+            cfg.min_length = 100;
+            cfg.max_length = 400;
+            return seq::SequenceDatabase::synthetic(cfg);
+          }()),
+          bdb(db, 32),
+          q(seq::generate_sequence(34, 128)) {
+      cols.resize(bdb.batch_count());
+      for (size_t b = 0; b < bdb.batch_count(); ++b)
+        cols[b] = core::BatchCols{bdb.batch(b).columns, bdb.batch(b).max_len};
+    }
+  };
+  static Fixture fx;
+  static thread_local core::Workspace ws;
+  core::AlignConfig cfg;
+  const simd::Isa isa = simd::resolve_isa(cfg.isa);
+  const int k = core::resolved_ilp(isa);
+  std::vector<core::Batch8Result> out(fx.cols.size());
+  auto pass = [&] {
+    core::batch32_align_u8_group(fx.q, fx.cols.data(),
+                                 static_cast<int>(fx.cols.size()), 32, cfg, ws,
+                                 isa, k, out.data());
+  };
+  pass();  // warm-up
+  const uint64_t cells = fx.bdb.padded_residues() * fx.q.length();
+  double best = 0;
+  for (int rep = 0; rep < 2; ++rep) {
+    perf::Stopwatch sw;
+    pass();
+    best = std::max(best, static_cast<double>(cells) / sw.seconds() / 1e9);
+  }
+  return best;
+}
+
 }  // namespace
 
 GccEvaluator::GccEvaluator(const FlagSpace& space)
@@ -163,6 +214,18 @@ GccEvaluator::GccEvaluator(const FlagSpace& space, Options opt)
 
 double GccEvaluator::evaluate(const Individual& ind) {
   if (!available_) throw std::runtime_error("GccEvaluator: unavailable here");
+  // Runtime hyperparameters (batch interleave depth, prefetch distance) are
+  // applied to the live process and scored with a real batch-kernel pass;
+  // the fitness is compiled-kernel GCUPS + batch-kernel GCUPS, so one
+  // genome co-tunes compiler flags and runtime knobs. Measured whenever the
+  // space carries runtime flags (choice 0 included) to keep individuals
+  // comparable against the baseline.
+  double batch_gcups = 0;
+  if (space_->has_runtime()) {
+    apply_runtime_settings(space_->runtime_settings(ind));
+    batch_gcups = time_batch_pass();
+    apply_runtime_settings({});  // restore process defaults
+  }
   const std::string so =
       opt_.work_dir + "/tuned_" + std::to_string(counter_++) + ".so";
   std::string cmd = opt_.gcc + " -O3 -march=native -shared -fPIC";
@@ -204,7 +267,7 @@ double GccEvaluator::evaluate(const Individual& ind) {
   }
   (void)sink;
   dlclose(h);
-  return best_gcups;
+  return best_gcups + batch_gcups;
 }
 
 }  // namespace swve::tune

@@ -1,6 +1,11 @@
 #include "tune/flag_space.hpp"
 
+#include <cstdlib>
 #include <stdexcept>
+
+#include "core/batch32.hpp"
+#include "core/dispatch.hpp"
+#include "simd/cpu.hpp"
 
 namespace swve::tune {
 
@@ -49,6 +54,19 @@ FlagSpace FlagSpace::gcc_default() {
   return FlagSpace(std::move(f));
 }
 
+FlagSpace FlagSpace::gcc_with_runtime() {
+  FlagSpace space = gcc_default();
+  // Choice 0 stays "leave as is" so the baseline individual keeps the
+  // process defaults (Auto interleave, default prefetch distance).
+  space.flags_.push_back(
+      {"batch-ilp", {"", "ilp=1", "ilp=2", "ilp=4"}, /*runtime=*/true});
+  space.flags_.push_back({"batch-prefetch",
+                          {"", "prefetch=0", "prefetch=2", "prefetch=4",
+                           "prefetch=8"},
+                          /*runtime=*/true});
+  return space;
+}
+
 double FlagSpace::search_space_size() const {
   double s = 1;
   for (const Flag& f : flags_) s *= static_cast<double>(f.values.size());
@@ -77,10 +95,28 @@ std::vector<std::string> FlagSpace::to_arguments(const Individual& ind) const {
   if (!valid(ind)) throw std::invalid_argument("FlagSpace: invalid individual");
   std::vector<std::string> args;
   for (size_t i = 0; i < flags_.size(); ++i) {
+    if (flags_[i].runtime) continue;
     const std::string& v = flags_[i].values[ind[i]];
     if (!v.empty()) args.push_back(v);
   }
   return args;
+}
+
+std::vector<std::string> FlagSpace::runtime_settings(const Individual& ind) const {
+  if (!valid(ind)) throw std::invalid_argument("FlagSpace: invalid individual");
+  std::vector<std::string> settings;
+  for (size_t i = 0; i < flags_.size(); ++i) {
+    if (!flags_[i].runtime) continue;
+    const std::string& v = flags_[i].values[ind[i]];
+    if (!v.empty()) settings.push_back(v);
+  }
+  return settings;
+}
+
+bool FlagSpace::has_runtime() const noexcept {
+  for (const Flag& f : flags_)
+    if (f.runtime) return true;
+  return false;
 }
 
 std::string FlagSpace::to_string(const Individual& ind) const {
@@ -89,7 +125,34 @@ std::string FlagSpace::to_string(const Individual& ind) const {
     if (!s.empty()) s += ' ';
     s += a;
   }
+  for (const std::string& a : runtime_settings(ind)) {
+    if (!s.empty()) s += ' ';
+    s += "[runtime]";
+    s += a;
+  }
   return s.empty() ? "(plain -O3)" : s;
+}
+
+void apply_runtime_settings(const std::vector<std::string>& settings) {
+  const simd::Isa isas[] = {simd::Isa::Scalar, simd::Isa::Sse41,
+                            simd::Isa::Avx2, simd::Isa::Avx512};
+  // Reset to defaults first so an individual that leaves a knob at choice 0
+  // doesn't inherit the previous individual's setting.
+  for (simd::Isa isa : isas)
+    core::set_ilp_override(isa, core::IlpPolicy::auto_policy());
+  core::set_batch_prefetch_distance(core::kDefaultBatchPrefetchCols);
+  for (const std::string& s : settings) {
+    if (s.rfind("ilp=", 0) == 0) {
+      const int k = std::atoi(s.c_str() + 4);
+      for (simd::Isa isa : isas)
+        core::set_ilp_override(isa, core::IlpPolicy::fixed(k));
+    } else if (s.rfind("prefetch=", 0) == 0) {
+      core::set_batch_prefetch_distance(
+          static_cast<uint32_t>(std::atoi(s.c_str() + 9)));
+    } else {
+      throw std::invalid_argument("apply_runtime_settings: unknown key " + s);
+    }
+  }
 }
 
 }  // namespace swve::tune

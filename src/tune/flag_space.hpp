@@ -16,6 +16,10 @@ namespace swve::tune {
 struct Flag {
   std::string name;                  ///< for reports
   std::vector<std::string> values;   ///< command-line text per setting
+  /// Runtime hyperparameter instead of a compiler flag: values are
+  /// "key=value" settings applied to the live process (see
+  /// apply_runtime_settings), never passed to the compiler.
+  bool runtime = false;
 };
 
 /// One choice index per flag of the space.
@@ -26,6 +30,13 @@ class FlagSpace {
   /// The default space: ~25 GCC flags/params that affect the SW kernel
   /// (unrolling, vectorization cost model, scheduling, inlining limits...).
   static FlagSpace gcc_default();
+
+  /// gcc_default() plus runtime hyperparameters of the batch kernel —
+  /// interleave depth ("ilp=K") and software-prefetch distance
+  /// ("prefetch=D") — so fig10 co-tunes them with the compiler flags. The
+  /// runtime flags contribute nothing to to_arguments(); evaluators apply
+  /// them with apply_runtime_settings() before timing.
+  static FlagSpace gcc_with_runtime();
 
   explicit FlagSpace(std::vector<Flag> flags) : flags_(std::move(flags)) {}
 
@@ -39,12 +50,24 @@ class FlagSpace {
   Individual baseline_individual() const;  ///< choice 0 everywhere (plain -O3)
   bool valid(const Individual& ind) const;
 
-  /// Command-line arguments for an individual (empty strings skipped).
+  /// Command-line arguments for an individual (empty strings and runtime
+  /// flags skipped — those never reach the compiler).
   std::vector<std::string> to_arguments(const Individual& ind) const;
   std::string to_string(const Individual& ind) const;
+
+  /// The individual's non-empty runtime "key=value" settings.
+  std::vector<std::string> runtime_settings(const Individual& ind) const;
+  /// Whether the space contains any runtime hyperparameter at all.
+  bool has_runtime() const noexcept;
 
  private:
   std::vector<Flag> flags_;
 };
+
+/// Apply runtime settings to this process: "ilp=K" pins the batch-kernel
+/// interleave depth (every ISA), "prefetch=D" sets the software-prefetch
+/// distance in columns. Unknown keys throw. An empty list resets both to
+/// their defaults (Auto interleave, default prefetch distance).
+void apply_runtime_settings(const std::vector<std::string>& settings);
 
 }  // namespace swve::tune

@@ -42,6 +42,44 @@ TEST(Partition, ResidueBalanceWithinOneSequence) {
   }
 }
 
+// A sequence far above the per-part residue share must not starve the parts
+// after it: with fixed cumulative targets, a 100k outlier at the front
+// consumed several parts' grid points at once and everything behind it
+// landed on the last part (one thread running ~all the remaining work).
+TEST(Partition, MegaSequenceDoesNotStarveLaterParts) {
+  std::vector<seq::Sequence> seqs;
+  seqs.push_back(seq::generate_sequence(1, 100'000));
+  for (uint64_t s = 0; s < 64; ++s)
+    seqs.push_back(seq::generate_sequence(s + 2, 200));
+  seq::SequenceDatabase db(std::move(seqs));
+
+  const unsigned parts = 8;
+  auto ranges = partition_by_residues(db, parts);
+  ASSERT_EQ(ranges.size(), parts);
+
+  // Contiguous full cover, as always.
+  size_t prev = 0;
+  for (auto [b, e] : ranges) {
+    EXPECT_EQ(b, prev);
+    prev = e;
+  }
+  EXPECT_EQ(prev, db.size());
+
+  // The outlier fills part 0 alone; the 64 x 200-residue tail must spread
+  // over the remaining 7 parts instead of piling onto the last one.
+  EXPECT_EQ(ranges[0], (std::pair<size_t, size_t>{0, 1}));
+  const uint64_t tail_ideal = (64 * 200) / (parts - 1);
+  for (unsigned p = 1; p < parts; ++p) {
+    EXPECT_GT(ranges[p].second, ranges[p].first) << "part " << p << " empty";
+    uint64_t sum = 0;
+    for (size_t i = ranges[p].first; i < ranges[p].second; ++i)
+      sum += db[i].length();
+    EXPECT_NEAR(static_cast<double>(sum), static_cast<double>(tail_ideal),
+                201.0)
+        << "part " << p;
+  }
+}
+
 TEST(Partition, EmptyDatabase) {
   seq::SequenceDatabase db;
   auto ranges = partition_by_residues(db, 4);

@@ -2,6 +2,9 @@
 
 #include <random>
 
+#include "core/batch32.hpp"
+#include "core/dispatch.hpp"
+#include "simd/cpu.hpp"
 #include "tune/evaluator.hpp"
 #include "tune/flag_space.hpp"
 #include "tune/ga.hpp"
@@ -49,6 +52,44 @@ TEST(FlagSpace, ArgumentsComeFromChosenValues) {
   auto args = space.to_arguments(ind);
   ASSERT_EQ(args.size(), 1u);
   EXPECT_EQ(args[0], "-funroll-loops");
+}
+
+TEST(FlagSpace, RuntimeSpaceExtendsDefaultWithoutTouchingCompilerArgs) {
+  FlagSpace base = FlagSpace::gcc_default();
+  FlagSpace space = FlagSpace::gcc_with_runtime();
+  EXPECT_EQ(space.size(), base.size() + 2);
+  EXPECT_TRUE(space.has_runtime());
+  EXPECT_FALSE(base.has_runtime());
+
+  // The runtime flags sit at the end; picking them must not change the
+  // compiler command line, only runtime_settings().
+  Individual ind = space.baseline_individual();
+  EXPECT_TRUE(space.runtime_settings(ind).empty());
+  ind[space.size() - 2] = 3;  // ilp=4
+  ind[space.size() - 1] = 1;  // prefetch=0
+  EXPECT_TRUE(space.to_arguments(ind).empty());
+  auto settings = space.runtime_settings(ind);
+  ASSERT_EQ(settings.size(), 2u);
+  EXPECT_EQ(settings[0], "ilp=4");
+  EXPECT_EQ(settings[1], "prefetch=0");
+  EXPECT_EQ(space.to_string(ind), "[runtime]ilp=4 [runtime]prefetch=0");
+}
+
+TEST(FlagSpace, ApplyRuntimeSettingsTakesEffectAndResets) {
+  const uint32_t saved = core::batch_prefetch_distance();
+  apply_runtime_settings({"ilp=4", "prefetch=8"});
+  EXPECT_EQ(core::batch_prefetch_distance(), 8u);
+  const simd::Isa isa = simd::resolve_isa(simd::Isa::Auto);
+  EXPECT_EQ(core::resolved_ilp(isa), 4);
+
+  // Empty list restores the defaults (Auto depth, default distance).
+  apply_runtime_settings({});
+  EXPECT_EQ(core::batch_prefetch_distance(), core::kDefaultBatchPrefetchCols);
+  const int k = core::resolved_ilp(isa);
+  EXPECT_TRUE(k == 1 || k == 2 || k == 4);
+
+  EXPECT_THROW(apply_runtime_settings({"turbo=9"}), std::invalid_argument);
+  core::set_batch_prefetch_distance(saved);
 }
 
 TEST(SimulatedEvaluator, DeterministicPerSeedAndIndividual) {
