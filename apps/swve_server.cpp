@@ -1,0 +1,169 @@
+// swve_server — the standalone protocol v1 serving daemon.
+//
+//   swve_server [options]
+//
+// Loads (or synthesizes) a sequence database, builds an AlignService, and
+// serves it over TCP via net::Server: binary protocol v1 with singleflight
+// coalescing and an LRU result cache, plus "GET /metrics" and "/healthz"
+// HTTP on the same port. SIGTERM/SIGINT trigger a graceful drain through
+// the flight recorder (in-flight requests finish, then the process exits).
+//
+// Database options:
+//   --db FILE.fa             serve this FASTA database
+//   --synthetic-residues N   serve a deterministic synthetic database
+//                            (default: 2,000,000 residues, seed 42)
+//   --seed N                 synthetic generator seed
+//   --dna                    DNA alphabet (default: protein)
+//
+// Serving options:
+//   --port N                 TCP port (default 7731; 0 = ephemeral)
+//   --bind ADDR              bind address (default 127.0.0.1)
+//   --max-conns N            concurrent connection cap (default 1024)
+//   --max-frame-mb N         per-frame payload cap in MiB (default 16)
+//   --cache-entries N        result-cache capacity (default 512; 0 = off)
+//   --no-singleflight        disable in-flight request coalescing
+//   --no-http                disable the HTTP /metrics endpoint
+//   --drain-timeout S        graceful-drain budget in seconds (default 10)
+//
+// Service options:
+//   --matrix NAME            scoring matrix (default blosum62)
+//   --top K                  default hits per query (default 10)
+//   --threads N              pool threads for intra-request fan-out
+//   --executors N            executor threads draining the queue
+//   --queue-cap N            submission queue capacity (default 256)
+//   --slo-ms N               watchdog SLO for slow-request records
+//   --flight-out FILE        flight-recorder dump path on signals
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "swve.hpp"
+
+using namespace swve;
+
+namespace {
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fputs(
+      "usage: swve_server [options]\n"
+      "  --db FILE.fa | --synthetic-residues N [--seed N] [--dna]\n"
+      "  --port N | --bind ADDR | --max-conns N | --max-frame-mb N\n"
+      "  --cache-entries N | --no-singleflight | --no-http\n"
+      "  --drain-timeout S | --matrix NAME | --top K | --threads N\n"
+      "  --executors N | --queue-cap N | --slo-ms N | --flight-out FILE\n",
+      stderr);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string db_path;
+  uint64_t synthetic_residues = 2'000'000;
+  uint64_t seed = 42;
+  bool dna = false;
+  std::string matrix_name = "blosum62";
+  std::string flight_out;
+  int slo_ms = 0;
+
+  service::ServiceOptions opt;
+  opt.serve.port = 7731;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string s = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(("missing value for " + s).c_str());
+      return argv[++i];
+    };
+    if (s == "--db") db_path = next();
+    else if (s == "--synthetic-residues")
+      synthetic_residues = std::strtoull(next(), nullptr, 10);
+    else if (s == "--seed") seed = std::strtoull(next(), nullptr, 10);
+    else if (s == "--dna") dna = true;
+    else if (s == "--port")
+      opt.serve.port = static_cast<uint16_t>(std::atoi(next()));
+    else if (s == "--bind") opt.serve.bind = next();
+    else if (s == "--max-conns")
+      opt.serve.max_connections = std::strtoul(next(), nullptr, 10);
+    else if (s == "--max-frame-mb")
+      opt.serve.max_frame_bytes = std::strtoul(next(), nullptr, 10) << 20;
+    else if (s == "--cache-entries")
+      opt.serve.result_cache_capacity = std::strtoul(next(), nullptr, 10);
+    else if (s == "--no-singleflight") opt.serve.singleflight = false;
+    else if (s == "--no-http") opt.serve.http_metrics = false;
+    else if (s == "--drain-timeout")
+      opt.serve.drain_timeout_s = std::atof(next());
+    else if (s == "--matrix") matrix_name = next();
+    else if (s == "--top") opt.default_top_k = std::strtoul(next(), nullptr, 10);
+    else if (s == "--threads")
+      opt.pool_threads = static_cast<unsigned>(std::atoi(next()));
+    else if (s == "--executors")
+      opt.queue.executors = static_cast<unsigned>(std::atoi(next()));
+    else if (s == "--queue-cap")
+      opt.queue.capacity = std::strtoul(next(), nullptr, 10);
+    else if (s == "--slo-ms") slo_ms = std::atoi(next());
+    else if (s == "--flight-out") flight_out = next();
+    else if (s == "--help" || s == "-h") usage();
+    else usage(("unknown option " + s).c_str());
+  }
+
+  const seq::Alphabet& alphabet =
+      dna ? seq::Alphabet::dna() : seq::Alphabet::protein();
+  const matrix::ScoreMatrix* matrix = matrix::ScoreMatrix::find(matrix_name);
+  if (matrix == nullptr) usage(("unknown matrix " + matrix_name).c_str());
+  opt.config.matrix = matrix;
+  opt.obs.slow_request_slo_s = slo_ms / 1000.0;
+
+  seq::SequenceDatabase db;
+  if (!db_path.empty()) {
+    db = seq::SequenceDatabase::from_fasta_file(db_path, alphabet);
+  } else {
+    seq::SyntheticConfig scfg;
+    scfg.seed = seed;
+    scfg.kind = dna ? seq::AlphabetKind::Dna : seq::AlphabetKind::Protein;
+    scfg.target_residues = synthetic_residues;
+    db = seq::SequenceDatabase::synthetic(scfg);
+  }
+
+  service::AlignService svc(db, opt);
+  auto started = net::Server::start(svc);
+  if (!started) {
+    std::fprintf(stderr, "swve_server: %s\n", started.error().message.c_str());
+    return 1;
+  }
+  std::unique_ptr<net::Server> server = std::move(started.value());
+
+  // SIGTERM/SIGINT: the flight recorder dumps (when --flight-out is set),
+  // pokes the server's term eventfd, and returns — the drain below owns
+  // process exit.
+  obs::FlightRecorder recorder;
+  obs::FlightRecorderOptions fr;
+  fr.path = flight_out;
+  fr.registry = svc.registry();
+  fr.inflight = svc.inflight();
+  fr.notify_fd = server->term_fd();
+  fr.exit_on_term = false;
+  recorder.install(fr);
+
+  std::fprintf(stderr,
+               "swve_server: listening on %s:%u (%zu sequences, %llu "
+               "residues, matrix %s, cache %zu, singleflight %s)\n",
+               svc.options().serve.bind.c_str(), server->port(),
+               db.sequences().size(),
+               static_cast<unsigned long long>(db.total_residues()),
+               matrix_name.c_str(), opt.serve.result_cache_capacity,
+               opt.serve.singleflight ? "on" : "off");
+
+  server->join();  // runs until SIGTERM/SIGINT starts (and finishes) a drain
+
+  const perf::MetricsSnapshot snap = server->metrics();
+  std::fprintf(stderr,
+               "swve_server: drained; %llu requests, cache hit rate %.2f, "
+               "dedup ratio %.2f\n",
+               static_cast<unsigned long long>(snap.completed),
+               snap.result_cache_hit_rate(), snap.dedup_ratio());
+  return 0;
+}

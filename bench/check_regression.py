@@ -2,13 +2,14 @@
 """Soft benchmark-regression gate for the bench-smoke CI lane.
 
 Compares a fresh ``fig13_scenarios --json`` report against the committed
-``bench/baseline.json`` and *warns* (exit 0) when a GCUPS metric dropped by
-more than the threshold. CI runners are noisy shared machines, so this lane
-never fails the build on a slowdown -- it annotates the run so a human looks
-at the artifact. Structural problems (missing file, malformed JSON, a
-correctness sentinel -- ``packing/topk_identical`` or
-``ilp/topk_identical`` -- flipping to 0, or a baseline metric missing from
-the new report) DO fail, because those are bugs, not noise.
+``bench/baseline.json`` and *warns* (exit 0) when a throughput metric
+(GCUPS, serving QPS, dedup ratio) dropped by more than the threshold. CI
+runners are noisy shared machines, so this lane never fails the build on a
+slowdown -- it annotates the run so a human looks at the artifact.
+Structural problems (missing file, malformed JSON, a correctness sentinel
+-- ``packing/topk_identical``, ``ilp/topk_identical``, or
+``serve/topk_identical`` -- flipping to 0, or a baseline metric missing
+from the new report) DO fail, because those are bugs, not noise.
 
 Usage:
     check_regression.py CURRENT.json [--baseline bench/baseline.json]
@@ -50,9 +51,11 @@ def main():
         return 2
 
     # Correctness sentinels: packing policies and interleave depths must
-    # each agree on the top-k.
+    # each agree on the top-k, and responses decoded off the serving wire
+    # must match in-process submissions.
     for sentinel, what in (("packing/topk_identical", "policies"),
-                           ("ilp/topk_identical", "interleave depths")):
+                           ("ilp/topk_identical", "interleave depths"),
+                           ("serve/topk_identical", "wire vs in-process")):
         if cur.get(sentinel, 1) != 1:
             print(f"FAIL: {sentinel} == 0 ({what} disagree on top-k)")
             return 1
@@ -60,8 +63,10 @@ def main():
     regressions = []
     rows = []
     for key, old in sorted(base.items()):
-        if "gcups" not in key:
-            continue  # efficiencies and sentinels are informational
+        # Higher-is-better throughput metrics get the warn gate; p99
+        # latencies, efficiencies, and sentinels are informational.
+        if not any(tag in key for tag in ("gcups", "qps", "dedup_ratio")):
+            continue
         if key not in cur:
             print(f"FAIL: metric '{key}' present in baseline but missing from "
                   f"{args.current} (renamed key? refresh the baseline)")

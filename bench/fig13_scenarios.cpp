@@ -11,13 +11,24 @@
 // Paper findings: larger queries => higher GCUPS; accumulating queries and
 // batching (scenario 2) roughly doubles efficiency in some cases.
 //
+// A serving section runs the network front door on a loopback socket:
+// closed-loop QPS and p99 with a cold vs hot result cache, a singleflight
+// dedup burst, and the serve/topk_identical sentinel (wire responses must
+// be bit-identical to in-process submissions).
+//
 // --json PATH writes the headline numbers for bench/check_regression.py.
+#include <atomic>
+#include <chrono>
 #include <random>
+#include <thread>
 
 #include "align/batch_server.hpp"
 #include "align/db_search.hpp"
 #include "bench_common.hpp"
 #include "core/dispatch.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "service/align_service.hpp"
 
 using namespace swve;
 using bench::BenchArgs;
@@ -246,6 +257,155 @@ int main(int argc, char** argv) {
     report.add("ilp/topk_identical", identical ? 1 : 0);
     if (!identical) {
       std::cerr << "FAIL: interleave depths disagree on top-k\n";
+      return 1;
+    }
+  }
+
+  perf::print_banner(std::cout,
+                     "Fig 13 / serving: protocol v1 front door on loopback");
+  {
+    service::ServiceOptions sopt;
+    sopt.config = cfg;
+    sopt.queue.executors = 2;
+    sopt.queue.capacity = 1024;
+    sopt.serve.port = 0;  // ephemeral
+    service::AlignService svc(w.db, sopt);
+    auto started = net::Server::start(svc);
+    if (!started.ok()) {
+      std::cerr << "FAIL: server start: " << started.error().message << "\n";
+      return 1;
+    }
+    net::Server& server = *started.value();
+
+    auto connect = [&server] {
+      auto c = net::Client::connect("127.0.0.1", server.port());
+      if (!c.ok()) {
+        std::cerr << "FAIL: connect: " << c.error().message << "\n";
+        std::exit(1);
+      }
+      return std::move(c.value());
+    };
+    auto client = connect();
+
+    // Sentinel: each wire response must match the in-process submission it
+    // proxies, hit for hit.
+    bool identical = true;
+    for (const auto& q : w.queries) {
+      service::SearchRequest rq;
+      rq.query = q;
+      rq.options.top_k = 10;
+      const auto wire = client->search(rq, net::kFlagNoCache);
+      const auto local = svc.submit_search(rq).get();
+      if (!wire.ok() ||
+          wire.response->result.hits.size() != local.result.hits.size()) {
+        identical = false;
+        continue;
+      }
+      for (size_t i = 0; i < local.result.hits.size(); ++i)
+        if (wire.response->result.hits[i].seq_index !=
+                local.result.hits[i].seq_index ||
+            wire.response->result.hits[i].score != local.result.hits[i].score)
+          identical = false;
+    }
+
+    // Closed-loop QPS/latency over one connection: cold cycles distinct
+    // queries (every request misses the LRU and runs a search), hot repeats
+    // one query (every request after the first is a cache hit).
+    struct LoopStats {
+      double qps = 0;
+      double p99_ms = 0;
+    };
+    auto run_loop = [&client](int n, auto&& query_for) -> LoopStats {
+      std::vector<double> lat_ms;
+      lat_ms.reserve(static_cast<size_t>(n));
+      perf::Stopwatch wall;
+      for (int i = 0; i < n; ++i) {
+        service::SearchRequest rq;
+        rq.query = query_for(i);
+        rq.options.top_k = 10;
+        perf::Stopwatch one;
+        const auto r = client->search(rq);
+        if (!r.ok()) {
+          std::cerr << "FAIL: serve loop: " << r.error << "\n";
+          std::exit(1);
+        }
+        lat_ms.push_back(one.seconds() * 1e3);
+      }
+      LoopStats s;
+      s.qps = n / wall.seconds();
+      std::sort(lat_ms.begin(), lat_ms.end());
+      s.p99_ms = lat_ms[static_cast<size_t>(0.99 * (lat_ms.size() - 1))];
+      return s;
+    };
+
+    const int cold_n = args.quick ? 32 : 128;
+    const int hot_n = args.quick ? 200 : 1000;
+    std::vector<seq::Sequence> cold_queries;
+    for (int i = 0; i < cold_n; ++i)
+      cold_queries.push_back(
+          seq::generate_sequence(args.seed + 500 + static_cast<uint64_t>(i), 256));
+    const seq::Sequence hot_query =
+        seq::generate_sequence(args.seed + 499, 256);
+
+    const LoopStats cold = run_loop(
+        cold_n, [&](int i) { return cold_queries[static_cast<size_t>(i)]; });
+    const LoopStats hot = run_loop(hot_n, [&](int) { return hot_query; });
+
+    // Dedup burst: pause the executors, fire `burst` identical requests from
+    // separate connections, and release — singleflight should run one
+    // execution and coalesce the rest.
+    const int burst = 8;
+    const perf::MetricsSnapshot before = server.metrics();
+    svc.pause();
+    const seq::Sequence burst_query =
+        seq::generate_sequence(args.seed + 900, 256);
+    std::vector<std::thread> senders;
+    std::atomic<int> burst_ok{0};
+    for (int i = 0; i < burst; ++i)
+      senders.emplace_back([&] {
+        auto c = net::Client::connect("127.0.0.1", server.port());
+        if (!c.ok()) return;
+        service::SearchRequest rq;
+        rq.query = burst_query;
+        rq.options.top_k = 10;
+        if (c.value()->search(rq).ok()) burst_ok.fetch_add(1);
+      });
+    const auto wait_until =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (svc.metrics().coalesced - before.coalesced <
+               static_cast<uint64_t>(burst - 1) &&
+           std::chrono::steady_clock::now() < wait_until)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    svc.resume();
+    for (auto& t : senders) t.join();
+    const perf::MetricsSnapshot after = server.metrics();
+    const double dedup_ratio =
+        static_cast<double>(after.coalesced - before.coalesced) / burst;
+
+    perf::Table t({"mode", "requests", "QPS", "p99 ms"});
+    t.row({"cold cache (distinct queries)", std::to_string(cold_n),
+           perf::Table::num(cold.qps, 0), perf::Table::num(cold.p99_ms, 3)});
+    t.row({"hot cache (repeated query)", std::to_string(hot_n),
+           perf::Table::num(hot.qps, 0), perf::Table::num(hot.p99_ms, 3)});
+    t.print(std::cout);
+    std::cout << "wire results identical to in-process: "
+              << (identical ? "yes" : "NO") << "\n"
+              << "dedup burst: " << burst << " identical requests, "
+              << burst_ok.load() << " ok, "
+              << (after.coalesced - before.coalesced) << " coalesced "
+              << "(ratio " << perf::Table::num(dedup_ratio, 2) << ")\n"
+              << "result cache hit rate: "
+              << perf::Table::num(after.result_cache_hit_rate(), 2) << "\n";
+
+    report.add("serve/cold_qps", cold.qps);
+    report.add("serve/hot_qps", hot.qps);
+    report.add("serve/p99_cold_ms", cold.p99_ms);
+    report.add("serve/p99_hot_ms", hot.p99_ms);
+    report.add("serve/dedup_ratio", dedup_ratio);
+    report.add("serve/topk_identical", identical ? 1 : 0);
+    if (!identical || burst_ok.load() != burst) {
+      std::cerr << "FAIL: serving front door disagrees with in-process "
+                   "results or dropped burst requests\n";
       return 1;
     }
   }

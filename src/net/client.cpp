@@ -1,0 +1,313 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+namespace swve::net {
+namespace {
+
+using Code = core::ConfigError::Code;
+using service::ServiceStatus;
+
+core::ConfigError sys_error(const char* what) {
+  return core::ConfigError{
+      Code::Internal,
+      std::string("net: ") + what + " failed: " + std::strerror(errno)};
+}
+
+/// A connected blocking IPv4 socket with send/recv timeouts, or -1.
+int dial(const std::string& host, uint16_t port, double timeout_s,
+         core::ConfigError* err) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    *err = sys_error("socket");
+    return -1;
+  }
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_s);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (timeout_s - std::floor(timeout_s)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    *err = core::ConfigError{Code::Unsupported,
+                             "net: not an IPv4 address: " + host};
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    *err = sys_error("connect");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Per-scenario wire glue, mirror of the server-side traits.
+template <typename Request>
+struct WireTraits;
+
+template <>
+struct WireTraits<service::AlignRequest> {
+  using Response = service::AlignResponse;
+  static constexpr MsgType kResponse = MsgType::AlignResponse;
+  static void encode(std::string& out, const service::AlignRequest& rq) {
+    encode_align_request(out, rq);
+  }
+  static std::optional<Response> decode(std::string_view payload) {
+    return decode_align_response(payload);
+  }
+};
+
+template <>
+struct WireTraits<service::SearchRequest> {
+  using Response = service::SearchResponse;
+  static constexpr MsgType kResponse = MsgType::SearchResponse;
+  static void encode(std::string& out, const service::SearchRequest& rq) {
+    encode_search_request(out, rq);
+  }
+  static std::optional<Response> decode(std::string_view payload) {
+    return decode_search_response(payload);
+  }
+};
+
+template <>
+struct WireTraits<service::BatchRequest> {
+  using Response = service::BatchResponse;
+  static constexpr MsgType kResponse = MsgType::BatchResponse;
+  static void encode(std::string& out, const service::BatchRequest& rq) {
+    encode_batch_request(out, rq);
+  }
+  static std::optional<Response> decode(std::string_view payload) {
+    return decode_batch_response(payload);
+  }
+};
+
+}  // namespace
+
+core::ErrorOr<std::unique_ptr<Client>> Client::connect(const std::string& host,
+                                                       uint16_t port,
+                                                       double timeout_s) {
+  core::ConfigError err;
+  const int fd = dial(host, port, timeout_s, &err);
+  if (fd < 0) return err;
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool Client::send_all(const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd_, data + off, len - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // timeout or hard error
+  }
+  return true;
+}
+
+bool Client::read_exact(char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::read(fd_, data + off, len - off);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EOF, timeout, or hard error
+  }
+  return true;
+}
+
+bool Client::send_raw(std::string_view bytes) {
+  return send_all(bytes.data(), bytes.size());
+}
+
+std::optional<std::pair<FrameHeader, std::string>> Client::read_frame() {
+  uint8_t head[kHeaderSize];
+  if (!read_exact(reinterpret_cast<char*>(head), kHeaderSize))
+    return std::nullopt;
+  const auto h = decode_header(head);
+  if (!h) return std::nullopt;
+  std::string payload(h->payload_len, '\0');
+  if (h->payload_len > 0 && !read_exact(payload.data(), payload.size()))
+    return std::nullopt;
+  return std::make_pair(*h, std::move(payload));
+}
+
+std::optional<std::pair<FrameHeader, std::string>> Client::roundtrip_raw(
+    std::string_view bytes) {
+  if (!send_raw(bytes)) return std::nullopt;
+  return read_frame();
+}
+
+template <typename Request>
+auto Client::call(MsgType type, const Request& rq, uint8_t extra_flags) {
+  using Traits = WireTraits<Request>;
+  RpcResult<typename Traits::Response> out;
+
+  FrameHeader h;
+  h.type = type;
+  h.flags = extra_flags & static_cast<uint8_t>(~kFlagJson);  // binary only
+  h.tier = static_cast<uint8_t>(rq.options.tier);
+  h.request_id = next_id_++;
+  std::string payload;
+  Traits::encode(payload, rq);
+  const std::string frame = encode_frame(h, payload);
+  if (!send_all(frame.data(), frame.size())) {
+    out.error = "net: send failed (connection lost or timeout)";
+    return out;
+  }
+
+  const auto reply = read_frame();
+  if (!reply) {
+    out.error = "net: no response (connection lost or timeout)";
+    return out;
+  }
+  const FrameHeader& rh = reply->first;
+  out.flags = rh.flags;
+  if (rh.request_id != h.request_id) {
+    out.error = "net: response id mismatch";
+    return out;
+  }
+  out.status = service::status_from_wire(rh.status);
+  if (rh.type == MsgType::ErrorResponse || !out.ok()) {
+    out.error = reply->second;  // binary error payload = message bytes
+    return out;
+  }
+  if (rh.type != Traits::kResponse) {
+    out.status = ServiceStatus::Internal;
+    out.error = "net: unexpected response type";
+    return out;
+  }
+  auto decoded = Traits::decode(reply->second);
+  if (!decoded) {
+    out.status = ServiceStatus::BadFrame;
+    out.error = "net: undecodable response payload";
+    return out;
+  }
+  out.response = std::move(*decoded);
+  return out;
+}
+
+RpcResult<service::AlignResponse> Client::align(
+    const service::AlignRequest& rq, uint8_t extra_flags) {
+  return call(MsgType::AlignRequest, rq, extra_flags);
+}
+
+RpcResult<service::SearchResponse> Client::search(
+    const service::SearchRequest& rq, uint8_t extra_flags) {
+  return call(MsgType::SearchRequest, rq, extra_flags);
+}
+
+RpcResult<service::BatchResponse> Client::batch(
+    const service::BatchRequest& rq, uint8_t extra_flags) {
+  return call(MsgType::BatchRequest, rq, extra_flags);
+}
+
+RpcResult<std::monostate> Client::ping() {
+  RpcResult<std::monostate> out;
+  FrameHeader h;
+  h.type = MsgType::Ping;
+  h.request_id = next_id_++;
+  const std::string frame = encode_frame(h, "");
+  if (!send_all(frame.data(), frame.size())) {
+    out.error = "net: send failed";
+    return out;
+  }
+  const auto reply = read_frame();
+  if (!reply || reply->first.type != MsgType::Pong) {
+    out.error = "net: no pong";
+    return out;
+  }
+  out.status = ServiceStatus::Ok;
+  out.response = std::monostate{};
+  return out;
+}
+
+RpcResult<std::string> Client::metrics(bool json) {
+  RpcResult<std::string> out;
+  FrameHeader h;
+  h.type = MsgType::MetricsRequest;
+  h.flags = json ? kFlagJson : 0;
+  h.request_id = next_id_++;
+  const std::string frame = encode_frame(h, "");
+  if (!send_all(frame.data(), frame.size())) {
+    out.error = "net: send failed";
+    return out;
+  }
+  const auto reply = read_frame();
+  if (!reply || reply->first.type != MsgType::MetricsResponse) {
+    out.error = "net: no metrics response";
+    return out;
+  }
+  out.status = ServiceStatus::Ok;
+  out.response = std::move(reply->second);
+  return out;
+}
+
+core::ErrorOr<std::string> http_get(const std::string& host, uint16_t port,
+                                    const std::string& path, double timeout_s,
+                                    std::string* head) {
+  core::ConfigError err;
+  const int fd = dial(host, port, timeout_s, &err);
+  if (fd < 0) return err;
+
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: " + host + "\r\n\r\n";
+  size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + off, request.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    ::close(fd);
+    return sys_error("send");
+  }
+
+  // The server closes after responding; read to EOF.
+  std::string reply;
+  char buf[16 * 1024];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n > 0) {
+      reply.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;
+  }
+  ::close(fd);
+
+  const size_t body = reply.find("\r\n\r\n");
+  if (body == std::string::npos)
+    return core::ConfigError{Code::Internal, "net: malformed HTTP response"};
+  if (head != nullptr) head->assign(reply, 0, body);
+  return reply.substr(body + 4);
+}
+
+}  // namespace swve::net

@@ -1,0 +1,101 @@
+// Blocking protocol v1 client — the counterpart of net::Server used by the
+// swve_client tool, the end-to-end tests, and the serving benchmarks.
+//
+// One connection, one outstanding request at a time (callers wanting
+// pipelining open more clients — connections are cheap, the server is
+// epoll-based). Requests are sent in binary mode, so a decoded response is
+// bit-identical to an in-process AlignService call; JSON debug mode is
+// reachable through roundtrip_raw() for tests and `nc`-style exploration.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "core/error.hpp"
+#include "net/protocol.hpp"
+#include "service/request.hpp"
+#include "service/status.hpp"
+
+namespace swve::net {
+
+/// Outcome of one RPC as observed on the wire: the status byte, the error
+/// message (when not Ok), the response frame flags (cache/coalescing
+/// provenance), and the decoded response.
+template <typename R>
+struct RpcResult {
+  service::ServiceStatus status = service::ServiceStatus::Internal;
+  std::string error;  ///< message when !ok() (server- or transport-side)
+  uint8_t flags = 0;  ///< response flags (kFlagFromCache / kFlagCoalesced)
+  std::optional<R> response;
+
+  bool ok() const noexcept { return status == service::ServiceStatus::Ok; }
+  bool from_cache() const noexcept { return (flags & kFlagFromCache) != 0; }
+  bool coalesced() const noexcept { return (flags & kFlagCoalesced) != 0; }
+};
+
+class Client {
+ public:
+  /// Connect to host:port (IPv4 dotted quad) with send/recv timeouts.
+  static core::ErrorOr<std::unique_ptr<Client>> connect(
+      const std::string& host, uint16_t port, double timeout_s = 10.0);
+
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// The three scenarios. `extra_flags` is OR-ed into the request frame
+  /// (e.g. kFlagNoCache to bypass the server's result cache); the QoS tier
+  /// byte comes from rq.options.tier.
+  RpcResult<service::AlignResponse> align(const service::AlignRequest& rq,
+                                          uint8_t extra_flags = 0);
+  RpcResult<service::SearchResponse> search(const service::SearchRequest& rq,
+                                            uint8_t extra_flags = 0);
+  RpcResult<service::BatchResponse> batch(const service::BatchRequest& rq,
+                                          uint8_t extra_flags = 0);
+
+  /// Round-trip liveness probe (Ping -> Pong).
+  RpcResult<std::monostate> ping();
+
+  /// The server's metrics rendition: Prometheus text, or the JSON exporter
+  /// with json = true.
+  RpcResult<std::string> metrics(bool json = false);
+
+  /// Protocol-test escape hatch: send raw bytes verbatim, then read one
+  /// response frame. nullopt on transport failure or an undecodable
+  /// response header.
+  std::optional<std::pair<FrameHeader, std::string>> roundtrip_raw(
+      std::string_view bytes);
+
+  /// Send raw bytes without reading a response (half-frame tests).
+  bool send_raw(std::string_view bytes);
+  /// Read one frame off the socket (pairs with send_raw).
+  std::optional<std::pair<FrameHeader, std::string>> read_frame();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  template <typename Request>
+  auto call(MsgType type, const Request& rq, uint8_t extra_flags);
+
+  bool send_all(const char* data, size_t len);
+  bool read_exact(char* data, size_t len);
+
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+};
+
+/// One-shot HTTP GET against the server's scrape endpoint ("/metrics",
+/// "/healthz"); returns the response body (status line checked for 200/503
+/// is the caller's business — the full head is returned when `head` is
+/// non-null).
+core::ErrorOr<std::string> http_get(const std::string& host, uint16_t port,
+                                    const std::string& path,
+                                    double timeout_s = 10.0,
+                                    std::string* head = nullptr);
+
+}  // namespace swve::net

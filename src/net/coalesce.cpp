@@ -1,0 +1,54 @@
+#include "net/coalesce.hpp"
+
+#include <utility>
+
+namespace swve::net {
+
+const CachedResponse* ResultCache::get(uint64_t key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return &it->second->response;
+}
+
+size_t ResultCache::put(uint64_t key, CachedResponse response) {
+  if (capacity_ == 0) return 0;
+  if (const auto it = map_.find(key); it != map_.end()) {
+    it->second->response = std::move(response);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return 0;
+  }
+  size_t evicted = 0;
+  if (map_.size() >= capacity_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+    evicted = 1;
+  }
+  lru_.push_front(Entry{key, std::move(response)});
+  map_[key] = lru_.begin();
+  return evicted;
+}
+
+bool Singleflight::join(uint64_t key, FlightWaiter waiter) {
+  auto [it, started] = flights_.try_emplace(key);
+  waiter.initiator = started;
+  it->second.push_back(waiter);
+  return started;
+}
+
+std::vector<FlightWaiter> Singleflight::complete(uint64_t key) {
+  const auto it = flights_.find(key);
+  if (it == flights_.end()) return {};
+  std::vector<FlightWaiter> waiters = std::move(it->second);
+  flights_.erase(it);
+  return waiters;
+}
+
+void Singleflight::drop_connection(uint64_t conn_id) {
+  for (auto& [key, waiters] : flights_) {
+    std::erase_if(waiters,
+                  [conn_id](const FlightWaiter& w) { return w.conn_id == conn_id; });
+  }
+}
+
+}  // namespace swve::net

@@ -1,0 +1,92 @@
+// Request deduplication above AlignService: an LRU of serialized response
+// payloads (hits for repeated requests after the first completes) and a
+// singleflight table (joins for identical requests while the first is
+// still in flight). Both key on net::cache_key — (scenario, residue codes,
+// effective config, top-k, db epoch) — so "identical" means identical
+// response bytes, never merely similar requests.
+//
+// The classes are event-loop-local by design (the epoll server is single
+// threaded), so neither locks. ResultCache mirrors the mutex-free core of
+// align::QueryStateCache's LRU (std::list + unordered_map of iterators).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace swve::net {
+
+/// One serialized response, ready to send to any waiter: the payload bytes
+/// plus everything needed to stamp a per-waiter frame header.
+struct CachedResponse {
+  MsgType type = MsgType::ErrorResponse;
+  uint8_t status = 0;  ///< ServiceStatus wire byte
+  uint8_t tier = 1;    ///< tier of the execution that produced it
+  std::string payload;
+};
+
+/// LRU of serialized responses keyed by cache_key. Only Ok responses are
+/// inserted (callers enforce it) — errors are often transient (queue full,
+/// deadline) and must not be replayed.
+class ResultCache {
+ public:
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Look up and refresh LRU position; null when absent (or capacity 0).
+  const CachedResponse* get(uint64_t key);
+
+  /// Insert (or refresh) an entry, evicting the least-recent at capacity.
+  /// Returns the number of evictions performed (0 or 1).
+  size_t put(uint64_t key, CachedResponse response);
+
+  size_t entries() const noexcept { return map_.size(); }
+  size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct Entry {
+    uint64_t key;
+    CachedResponse response;
+  };
+  size_t capacity_;
+  std::list<Entry> lru_;  ///< front = most recent
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> map_;
+};
+
+/// One client waiting on an in-flight execution: enough to address its
+/// response frame. `initiator` is the request that started the execution;
+/// joiners get kFlagCoalesced.
+struct FlightWaiter {
+  uint64_t conn_id = 0;
+  uint64_t request_id = 0;
+  bool json = false;
+  bool initiator = false;
+};
+
+/// In-flight executions by cache key. The first submitter for a key starts
+/// a flight and reaches the service; identical requests arriving before it
+/// completes join the waiter list instead of executing again.
+class Singleflight {
+ public:
+  /// Returns true if this call STARTED a flight (caller must submit to the
+  /// service); false if it joined an existing one.
+  bool join(uint64_t key, FlightWaiter waiter);
+
+  /// Complete a flight, returning its waiters (empty if unknown — e.g. the
+  /// flight was taken over by drain).
+  std::vector<FlightWaiter> complete(uint64_t key);
+
+  /// Drop one connection's waiters from every flight (connection closed
+  /// before its response). Flights stay live — the execution is shared.
+  void drop_connection(uint64_t conn_id);
+
+  size_t inflight() const noexcept { return flights_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, std::vector<FlightWaiter>> flights_;
+};
+
+}  // namespace swve::net

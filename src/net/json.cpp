@@ -1,0 +1,277 @@
+#include "net/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace swve::net {
+
+namespace {
+
+const std::string kEmptyString;
+const JsonArray kEmptyArray;
+const JsonObject kEmptyObject;
+const Json kNullJson;
+
+constexpr int kMaxDepth = 32;
+constexpr size_t kMaxInput = 64u << 20;
+
+struct Parser {
+  const char* p;
+  const char* end;
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r'))
+      ++p;
+  }
+
+  bool consume(char c) {
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* s) {
+    const char* q = p;
+    while (*s != '\0') {
+      if (q >= end || *q != *s) return false;
+      ++q;
+      ++s;
+    }
+    p = q;
+    return true;
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (p < end) {
+      const char c = *p++;
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) return std::nullopt;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (p >= end) return std::nullopt;
+      const char e = *p++;
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (end - p < 4) return std::nullopt;
+          unsigned v = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = *p++;
+            v <<= 4;
+            if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
+            else return std::nullopt;
+          }
+          // UTF-8 encode the BMP code point; surrogates pass through as
+          // replacement-free raw bytes (debug mode, not a data plane).
+          if (v < 0x80) {
+            out += static_cast<char>(v);
+          } else if (v < 0x800) {
+            out += static_cast<char>(0xC0 | (v >> 6));
+            out += static_cast<char>(0x80 | (v & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (v >> 12));
+            out += static_cast<char>(0x80 | ((v >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (v & 0x3F));
+          }
+          break;
+        }
+        default: return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Json> parse_value(int depth) {
+    if (depth > kMaxDepth) return std::nullopt;
+    skip_ws();
+    if (p >= end) return std::nullopt;
+    switch (*p) {
+      case 'n': return literal("null") ? std::optional<Json>(Json()) : std::nullopt;
+      case 't': return literal("true") ? std::optional<Json>(Json(true)) : std::nullopt;
+      case 'f': return literal("false") ? std::optional<Json>(Json(false)) : std::nullopt;
+      case '"': {
+        auto s = parse_string();
+        if (!s) return std::nullopt;
+        return Json(std::move(*s));
+      }
+      case '[': {
+        ++p;
+        JsonArray arr;
+        skip_ws();
+        if (consume(']')) return Json(std::move(arr));
+        for (;;) {
+          auto v = parse_value(depth + 1);
+          if (!v) return std::nullopt;
+          arr.push_back(std::move(*v));
+          skip_ws();
+          if (consume(']')) return Json(std::move(arr));
+          if (!consume(',')) return std::nullopt;
+        }
+      }
+      case '{': {
+        ++p;
+        JsonObject obj;
+        skip_ws();
+        if (consume('}')) return Json(std::move(obj));
+        for (;;) {
+          skip_ws();
+          auto key = parse_string();
+          if (!key) return std::nullopt;
+          skip_ws();
+          if (!consume(':')) return std::nullopt;
+          auto v = parse_value(depth + 1);
+          if (!v) return std::nullopt;
+          obj[std::move(*key)] = std::move(*v);
+          skip_ws();
+          if (consume('}')) return Json(std::move(obj));
+          if (!consume(',')) return std::nullopt;
+        }
+      }
+      default: {
+        // Number: strtod on a bounded copy so we control what it consumes.
+        const char* start = p;
+        if (*p == '-') ++p;
+        while (p < end && (std::isdigit(static_cast<unsigned char>(*p)) ||
+                           *p == '.' || *p == 'e' || *p == 'E' || *p == '+' ||
+                           *p == '-'))
+          ++p;
+        if (p == start) return std::nullopt;
+        std::string num(start, static_cast<size_t>(p - start));
+        char* parsed_end = nullptr;
+        const double d = std::strtod(num.c_str(), &parsed_end);
+        if (parsed_end != num.c_str() + num.size() || !std::isfinite(d))
+          return std::nullopt;
+        return Json(d);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Json::Json(std::string s)
+    : type_(Type::String),
+      str_(std::make_shared<const std::string>(std::move(s))) {}
+Json::Json(JsonArray a)
+    : type_(Type::Array), arr_(std::make_shared<const JsonArray>(std::move(a))) {}
+Json::Json(JsonObject o)
+    : type_(Type::Object),
+      obj_(std::make_shared<const JsonObject>(std::move(o))) {}
+
+const std::string& Json::as_string() const noexcept {
+  return str_ ? *str_ : kEmptyString;
+}
+const JsonArray& Json::as_array() const noexcept {
+  return arr_ ? *arr_ : kEmptyArray;
+}
+const JsonObject& Json::as_object() const noexcept {
+  return obj_ ? *obj_ : kEmptyObject;
+}
+
+const Json& Json::operator[](const std::string& key) const noexcept {
+  if (!is_object()) return kNullJson;
+  const auto it = obj_->find(key);
+  return it != obj_->end() ? it->second : kNullJson;
+}
+
+void json_escape(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void Json::dump_to(std::string& out) const {
+  switch (type_) {
+    case Type::Null: out += "null"; return;
+    case Type::Bool: out += bool_ ? "true" : "false"; return;
+    case Type::Number: {
+      char buf[32];
+      if (num_ == static_cast<double>(static_cast<int64_t>(num_)))
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(num_));
+      else
+        std::snprintf(buf, sizeof buf, "%.17g", num_);
+      out += buf;
+      return;
+    }
+    case Type::String: json_escape(out, as_string()); return;
+    case Type::Array: {
+      out += '[';
+      bool first = true;
+      for (const Json& v : as_array()) {
+        if (!first) out += ',';
+        first = false;
+        v.dump_to(out);
+      }
+      out += ']';
+      return;
+    }
+    case Type::Object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : as_object()) {
+        if (!first) out += ',';
+        first = false;
+        json_escape(out, k);
+        out += ':';
+        v.dump_to(out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+std::optional<Json> Json::parse(std::string_view text) {
+  if (text.size() > kMaxInput) return std::nullopt;
+  Parser parser{text.data(), text.data() + text.size()};
+  auto v = parser.parse_value(0);
+  if (!v) return std::nullopt;
+  parser.skip_ws();
+  if (parser.p != parser.end) return std::nullopt;  // trailing garbage
+  return v;
+}
+
+}  // namespace swve::net

@@ -1,0 +1,82 @@
+// Minimal JSON for the protocol's debug mode (net/protocol.hpp).
+//
+// One value type, a strict recursive-descent parser, and an escaping
+// writer — just enough to accept hand-typed requests over `nc` and emit
+// readable responses. Numbers are doubles (JSON has no integer type);
+// depth and size are bounded so a hostile payload cannot recurse or
+// allocate unboundedly. This is intentionally not a general JSON library:
+// no comments, no trailing commas, no \u surrogate pairs (kept verbatim).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace swve::net {
+
+class Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json>;  // sorted: stable output
+
+class Json {
+ public:
+  enum class Type : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Json() = default;
+  Json(std::nullptr_t) {}  // NOLINT
+  Json(bool b) : type_(Type::Bool), bool_(b) {}  // NOLINT
+  Json(double d) : type_(Type::Number), num_(d) {}  // NOLINT
+  Json(int i) : Json(static_cast<double>(i)) {}  // NOLINT
+  Json(uint64_t u) : Json(static_cast<double>(u)) {}  // NOLINT
+  Json(std::string s);  // NOLINT
+  Json(const char* s) : Json(std::string(s)) {}  // NOLINT
+  Json(JsonArray a);  // NOLINT
+  Json(JsonObject o);  // NOLINT
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::Null; }
+  bool is_bool() const noexcept { return type_ == Type::Bool; }
+  bool is_number() const noexcept { return type_ == Type::Number; }
+  bool is_string() const noexcept { return type_ == Type::String; }
+  bool is_array() const noexcept { return type_ == Type::Array; }
+  bool is_object() const noexcept { return type_ == Type::Object; }
+
+  bool as_bool(bool fallback = false) const noexcept {
+    return is_bool() ? bool_ : fallback;
+  }
+  double as_number(double fallback = 0) const noexcept {
+    return is_number() ? num_ : fallback;
+  }
+  const std::string& as_string() const noexcept;
+  const JsonArray& as_array() const noexcept;
+  const JsonObject& as_object() const noexcept;
+
+  /// Object member lookup; null Json for missing keys / non-objects.
+  const Json& operator[](const std::string& key) const noexcept;
+
+  /// Serialize (compact, keys in map order, doubles via %.17g with integral
+  /// values printed without a fraction).
+  std::string dump() const;
+  void dump_to(std::string& out) const;
+
+  /// Strict parse of a complete JSON document (trailing garbage is an
+  /// error). nullopt on any syntax error, depth > 32, or input > 64 MiB.
+  static std::optional<Json> parse(std::string_view text);
+
+ private:
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double num_ = 0;
+  // Indirect so Json stays movable/copyable with an incomplete element type.
+  std::shared_ptr<const std::string> str_;
+  std::shared_ptr<const JsonArray> arr_;
+  std::shared_ptr<const JsonObject> obj_;
+};
+
+/// Append `s` JSON-escaped (quotes included) to `out`.
+void json_escape(std::string& out, std::string_view s);
+
+}  // namespace swve::net

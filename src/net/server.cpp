@@ -1,0 +1,677 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "obs/exporters.hpp"
+
+namespace swve::net {
+namespace {
+
+using Code = core::ConfigError::Code;
+using service::ServiceStatus;
+
+// epoll user-data sentinels; connection ids start at 16.
+constexpr uint64_t kListenId = 1;
+constexpr uint64_t kWakeId = 2;
+constexpr uint64_t kTermId = 3;
+
+constexpr int kMaxEvents = 64;
+constexpr size_t kReadChunk = 64 * 1024;
+
+double steady_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+core::ConfigError sys_error(const char* what) {
+  return core::ConfigError{
+      Code::Internal,
+      std::string("net: ") + what + " failed: " + std::strerror(errno)};
+}
+
+/// Drain an eventfd so level-triggered epoll stops reporting it readable.
+void drain_eventfd(int fd) {
+  uint64_t n = 0;
+  while (::read(fd, &n, sizeof n) == static_cast<ssize_t>(sizeof n)) {
+  }
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// Scenario-specific glue the request template dispatches on: the response
+/// codecs and the response MsgType.
+template <typename Request>
+struct WireTraits;
+
+template <>
+struct WireTraits<service::AlignRequest> {
+  using Response = service::AlignResponse;
+  static constexpr MsgType kResponse = MsgType::AlignResponse;
+  static void encode(std::string& out, const Response& r) {
+    encode_align_response(out, r);
+  }
+  static std::string json(const Response& r) { return align_response_json(r); }
+};
+
+template <>
+struct WireTraits<service::SearchRequest> {
+  using Response = service::SearchResponse;
+  static constexpr MsgType kResponse = MsgType::SearchResponse;
+  static void encode(std::string& out, const Response& r) {
+    encode_search_response(out, r);
+  }
+  static std::string json(const Response& r) { return search_response_json(r); }
+};
+
+template <>
+struct WireTraits<service::BatchRequest> {
+  using Response = service::BatchResponse;
+  static constexpr MsgType kResponse = MsgType::BatchResponse;
+  static void encode(std::string& out, const Response& r) {
+    encode_batch_response(out, r);
+  }
+  static std::string json(const Response& r) { return batch_response_json(r); }
+};
+
+/// Minimal HTTP response; the server always closes after writing one.
+std::string http_response(int code, const char* reason,
+                          const char* content_type, std::string_view body) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out.append(body);
+  return out;
+}
+
+}  // namespace
+
+core::ErrorOr<std::unique_ptr<Server>> Server::start(
+    service::AlignService& service) {
+  if (auto st = service.options().try_validate(); !st) return st.error();
+  const service::ServeOptions& opts = service.options().serve;
+
+  const uint64_t epoch =
+      service.database() ? database_epoch(*service.database()) : 0;
+  std::unique_ptr<Server> s(new Server(service, epoch));
+
+  s->listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (s->listen_fd_ < 0) return sys_error("socket");
+  const int one = 1;
+  ::setsockopt(s->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts.port);
+  if (::inet_pton(AF_INET, opts.bind.c_str(), &addr.sin_addr) != 1)
+    return core::ConfigError{
+        Code::Unsupported,
+        "net: serve.bind is not an IPv4 address: " + opts.bind};
+  if (::bind(s->listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0)
+    return sys_error("bind");
+  if (::listen(s->listen_fd_, opts.backlog) != 0) return sys_error("listen");
+
+  sockaddr_in bound{};
+  socklen_t blen = sizeof bound;
+  if (::getsockname(s->listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &blen) != 0)
+    return sys_error("getsockname");
+  s->port_ = ntohs(bound.sin_port);
+
+  s->epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (s->epoll_fd_ < 0) return sys_error("epoll_create1");
+  s->wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  s->term_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (s->wake_fd_ < 0 || s->term_fd_ < 0) return sys_error("eventfd");
+
+  const auto add = [&s](int fd, uint64_t id) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    return ::epoll_ctl(s->epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  };
+  if (add(s->listen_fd_, kListenId) != 0 || add(s->wake_fd_, kWakeId) != 0 ||
+      add(s->term_fd_, kTermId) != 0)
+    return sys_error("epoll_ctl");
+
+  s->thread_ = std::thread([srv = s.get()] { srv->loop(); });
+  return s;
+}
+
+Server::Server(service::AlignService& service, uint64_t db_epoch)
+    : service_(service),
+      opts_(service.options().serve),
+      db_epoch_(db_epoch),
+      cache_(opts_.result_cache_capacity) {}
+
+Server::~Server() {
+  shutdown();
+  join();
+  close_fd(epoll_fd_);
+  close_fd(listen_fd_);
+  close_fd(wake_fd_);
+  close_fd(term_fd_);
+}
+
+void Server::shutdown() {
+  if (term_fd_ >= 0) {
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(term_fd_, &one, sizeof one);
+  }
+}
+
+void Server::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+perf::MetricsSnapshot Server::metrics() const {
+  perf::MetricsSnapshot snap = service_.metrics();
+  snap.server_active_connections =
+      active_connections_.load(std::memory_order_relaxed);
+  snap.result_cache_entries = cache_entries_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+// ------------------------------------------------------------------ the loop
+
+void Server::loop() {
+  epoll_event events[kMaxEvents];
+  while (true) {
+    // Drain-exit: every submitted execution delivered and every response
+    // byte flushed, or the drain budget is spent.
+    if (draining_) {
+      bool flushed = outstanding_ == 0;
+      if (flushed)
+        for (const auto& [id, c] : conns_)
+          if (c.out.size() > c.out_off) {
+            flushed = false;
+            break;
+          }
+      if (flushed || steady_s() >= drain_deadline_s_) break;
+    }
+
+    int timeout_ms = -1;
+    if (draining_) {
+      const double left = drain_deadline_s_ - steady_s();
+      timeout_ms = left > 0 ? static_cast<int>(left * 1000) + 1 : 0;
+    }
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd gone; nothing sane left to do
+    }
+
+    for (int i = 0; i < n; ++i) {
+      const uint64_t id = events[i].data.u64;
+      if (id == kListenId) {
+        accept_connections();
+      } else if (id == kWakeId) {
+        drain_eventfd(wake_fd_);
+        drain_completions();
+      } else if (id == kTermId) {
+        drain_eventfd(term_fd_);
+        if (!draining_) {
+          draining_ = true;
+          drain_deadline_s_ = steady_s() + opts_.drain_timeout_s;
+          // Close the listener outright (not just EPOLL_CTL_DEL): an open
+          // listening socket still completes handshakes into the backlog,
+          // so new clients would connect and hang instead of being refused.
+          ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+          close_fd(listen_fd_);
+        }
+      } else {
+        Connection* c = find_connection(id);
+        if (c == nullptr) continue;  // closed earlier in this batch
+        if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+          close_connection(id);
+          continue;
+        }
+        if ((events[i].events & EPOLLIN) != 0) handle_readable(id);
+        c = find_connection(id);  // may have closed while reading
+        if (c != nullptr && (events[i].events & EPOLLOUT) != 0) flush(*c);
+      }
+    }
+  }
+
+  // Loop exit (drain complete, drain timeout, or epoll failure): drop
+  // whatever is left.
+  for (auto& [id, c] : conns_) close_fd(c.fd);
+  conns_.clear();
+  active_connections_.store(0, std::memory_order_relaxed);
+  loop_done_.store(true, std::memory_order_release);
+}
+
+void Server::accept_connections() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error; epoll will re-arm
+    if (conns_.size() >= opts_.max_connections || draining_) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    const uint64_t id = next_conn_id_++;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    Connection c;
+    c.fd = fd;
+    c.id = id;
+    conns_.emplace(id, std::move(c));
+    active_connections_.store(conns_.size(), std::memory_order_relaxed);
+    service_.registry()->on_connection_accepted();
+  }
+}
+
+void Server::handle_readable(uint64_t conn_id) {
+  Connection* c = find_connection(conn_id);
+  if (c == nullptr) return;
+  char buf[kReadChunk];
+  while (true) {
+    const ssize_t n = ::read(c->fd, buf, sizeof buf);
+    if (n > 0) {
+      c->in.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    close_connection(conn_id);  // EOF or hard error
+    return;
+  }
+  process_buffer(conn_id);
+}
+
+void Server::process_buffer(uint64_t conn_id) {
+  // Sending a response can close the connection (hard send error), which
+  // invalidates any Connection reference — so each iteration re-resolves
+  // the id and copies the frame out of the buffer before acting on it.
+  while (true) {
+    Connection* c = find_connection(conn_id);
+    if (c == nullptr) return;
+
+    // Protocol selection on the connection's first bytes: protocol v1
+    // frames start with the "SWV1" magic, an HTTP scrape with "GET ".
+    if (!c->http && c->in.size() >= 4 && c->in.compare(0, 4, "GET ") == 0)
+      c->http = true;
+    if (c->http) {
+      process_http(*c);
+      return;
+    }
+
+    if (c->in.size() < kHeaderSize) return;
+    const auto h =
+        decode_header(reinterpret_cast<const uint8_t*>(c->in.data()));
+    if (!h) {
+      service_.registry()->on_protocol_error();
+      c->in.clear();
+      c->close_after_write = true;  // cannot resync a corrupt stream
+      send_error(*c, FrameHeader{}, ServiceStatus::BadVersion,
+                 "bad magic; expected protocol v1 (SWV1)");
+      return;
+    }
+    if (h->payload_len > opts_.max_frame_bytes) {
+      service_.registry()->on_protocol_error();
+      const std::string msg =
+          "payload length " + std::to_string(h->payload_len) +
+          " exceeds serve.max_frame_bytes " +
+          std::to_string(opts_.max_frame_bytes);
+      c->in.clear();
+      c->close_after_write = true;  // would have to read it to skip it
+      send_error(*c, *h, ServiceStatus::FrameTooLarge, msg);
+      return;
+    }
+    if (c->in.size() < kHeaderSize + h->payload_len) return;  // partial
+
+    const std::string payload =
+        c->in.substr(kHeaderSize, h->payload_len);
+    c->in.erase(0, kHeaderSize + h->payload_len);
+    service_.registry()->on_frame_rx(kHeaderSize + payload.size());
+    process_frame(*c, *h, payload);
+  }
+}
+
+void Server::process_frame(Connection& c, const FrameHeader& h,
+                           std::string_view payload) {
+  if (!known_request_type(static_cast<uint8_t>(h.type))) {
+    service_.registry()->on_protocol_error();
+    send_error(c, h, ServiceStatus::UnknownType,
+               "unknown message type " +
+                   std::to_string(static_cast<unsigned>(h.type)));
+    return;
+  }
+
+  const bool json = (h.flags & kFlagJson) != 0;
+  switch (h.type) {
+    case MsgType::Ping: {
+      FrameHeader r;
+      r.type = MsgType::Pong;
+      r.flags = h.flags & kFlagJson;
+      r.tier = h.tier;
+      r.request_id = h.request_id;
+      send_frame(c, r, json ? "{}" : "");
+      return;
+    }
+    case MsgType::MetricsRequest: {
+      const std::string body = obs::render_metrics(
+          metrics(),
+          json ? obs::MetricsFormat::Json : obs::MetricsFormat::Prometheus);
+      FrameHeader r;
+      r.type = MsgType::MetricsResponse;
+      r.flags = h.flags & kFlagJson;
+      r.tier = h.tier;
+      r.request_id = h.request_id;
+      send_frame(c, r, body);
+      return;
+    }
+    case MsgType::AlignRequest:
+      handle_request(c, h,
+                     json ? decode_align_request_json(payload)
+                          : decode_align_request(payload));
+      return;
+    case MsgType::SearchRequest:
+      handle_request(c, h,
+                     json ? decode_search_request_json(payload)
+                          : decode_search_request(payload));
+      return;
+    case MsgType::BatchRequest:
+      handle_request(c, h,
+                     json ? decode_batch_request_json(payload)
+                          : decode_batch_request(payload));
+      return;
+    default:
+      return;  // unreachable; known_request_type gated above
+  }
+}
+
+template <typename Request>
+void Server::handle_request(Connection& c, const FrameHeader& h,
+                            std::optional<Request> decoded) {
+  if (!decoded) {
+    service_.registry()->on_protocol_error();
+    send_error(c, h, ServiceStatus::BadFrame, "undecodable request payload");
+    return;
+  }
+  if (draining_) {
+    send_error(c, h, ServiceStatus::ShuttingDown, "server is draining");
+    return;
+  }
+  decoded->options.tier = service::qos_tier_from_wire(h.tier);
+
+  const bool json = (h.flags & kFlagJson) != 0;
+  if (json) {
+    // JSON debug mode bypasses the cache and singleflight: its payloads
+    // are a different (non-canonical) serialization of the same result.
+    submit_request(c, h, std::move(*decoded));
+    return;
+  }
+
+  const uint64_t key = cache_key(*decoded, db_epoch_);
+  if (cache_.capacity() > 0 && (h.flags & kFlagNoCache) == 0) {
+    if (const CachedResponse* hit = cache_.get(key)) {
+      service_.registry()->on_result_cache_hit();
+      FrameHeader r;
+      r.type = hit->type;
+      r.flags = kFlagFromCache;
+      r.tier = h.tier;
+      r.status = hit->status;
+      r.request_id = h.request_id;
+      send_frame(c, r, hit->payload);
+      return;
+    }
+    service_.registry()->on_result_cache_miss();
+  }
+  if (opts_.singleflight) {
+    const bool started = flights_.join(
+        key,
+        FlightWaiter{c.id, h.request_id, /*json=*/false, /*initiator=*/false});
+    if (!started) {
+      service_.registry()->on_coalesced();
+      return;  // the in-flight twin's completion answers this waiter too
+    }
+  }
+  submit_request(c, h, std::move(*decoded));
+}
+
+template <typename Request>
+void Server::submit_request(const Connection& c, const FrameHeader& h,
+                            Request rq) {
+  using Traits = WireTraits<Request>;
+  const bool json = (h.flags & kFlagJson) != 0;
+  Completion done;
+  done.flight = !json && opts_.singleflight;
+  done.cacheable = !json;
+  done.key = json ? 0 : cache_key(rq, db_epoch_);
+  done.conn_id = c.id;
+  done.request_id = h.request_id;
+  done.req_flags = h.flags;
+  done.req_tier = h.tier;
+  ++outstanding_;
+
+  // The completion runs on an executor thread (or inline for immediate
+  // rejections): serialize there, deliver on the loop thread.
+  service_.submit_async(
+      std::move(rq),
+      [this, done](core::ErrorOr<typename Traits::Response> out) mutable {
+        const bool as_json = (done.req_flags & kFlagJson) != 0;
+        done.response.tier = done.req_tier;
+        if (out.ok()) {
+          done.response.type = Traits::kResponse;
+          done.response.status = service::wire_status(ServiceStatus::Ok);
+          if (as_json)
+            done.response.payload = Traits::json(out.value());
+          else
+            Traits::encode(done.response.payload, out.value());
+        } else {
+          const ServiceStatus st = service::to_status(out.error().code);
+          done.response.type = MsgType::ErrorResponse;
+          done.response.status = service::wire_status(st);
+          done.response.payload =
+              error_payload(st, out.error().message, as_json);
+        }
+        push_completion(std::move(done));
+      });
+}
+
+void Server::push_completion(Completion done) {
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    done_.push_back(std::move(done));
+  }
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+void Server::drain_completions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    batch.swap(done_);
+  }
+  for (const Completion& done : batch) {
+    deliver(done);
+    --outstanding_;
+  }
+}
+
+void Server::deliver(const Completion& done) {
+  const bool ok = done.response.status == service::wire_status(ServiceStatus::Ok);
+  if (done.cacheable && ok) publish(done.key, done);
+
+  if (!done.flight) {
+    // Direct delivery (JSON mode, or singleflight disabled).
+    if (Connection* c = find_connection(done.conn_id)) {
+      FrameHeader r;
+      r.type = done.response.type;
+      r.flags = done.req_flags & kFlagJson;
+      r.tier = done.response.tier;
+      r.status = done.response.status;
+      r.request_id = done.request_id;
+      send_frame(*c, r, done.response.payload);
+    }
+    return;
+  }
+
+  // Flight delivery: fan the one serialized response out to every waiter.
+  // Joiners are flagged kFlagCoalesced; the payload bytes are identical.
+  const std::vector<FlightWaiter> waiters = flights_.complete(done.key);
+  for (const FlightWaiter& w : waiters) {
+    Connection* c = find_connection(w.conn_id);
+    if (c == nullptr) continue;  // waiter disconnected mid-flight
+    FrameHeader r;
+    r.type = done.response.type;
+    r.flags = w.initiator ? 0 : kFlagCoalesced;
+    r.tier = done.response.tier;
+    r.status = done.response.status;
+    r.request_id = w.request_id;
+    send_frame(*c, r, done.response.payload);
+  }
+}
+
+void Server::publish(uint64_t key, const Completion& done) {
+  if (cache_.capacity() == 0) return;
+  const size_t evicted = cache_.put(key, done.response);
+  for (size_t i = 0; i < evicted; ++i)
+    service_.registry()->on_result_cache_eviction();
+  cache_entries_.store(cache_.entries(), std::memory_order_relaxed);
+}
+
+// --------------------------------------------------------------------- HTTP
+
+void Server::process_http(Connection& c) {
+  const size_t end = c.in.find("\r\n\r\n");
+  if (end == std::string::npos) {
+    if (c.in.size() > 8192) close_connection(c.id);  // absurd request line
+    return;
+  }
+  const std::string_view head(c.in.data(), end);
+  const size_t path_begin = 4;  // past "GET "
+  const size_t path_end = head.find(' ', path_begin);
+  const std::string_view target =
+      path_end == std::string_view::npos
+          ? head.substr(path_begin)
+          : head.substr(path_begin, path_end - path_begin);
+  std::string_view path = target;
+  std::string_view query;
+  if (const size_t q = target.find('?'); q != std::string_view::npos) {
+    path = target.substr(0, q);
+    query = target.substr(q + 1);
+  }
+
+  std::string reply;
+  if (path == "/metrics" && opts_.http_metrics) {
+    service_.registry()->on_http_scrape();
+    const bool json = query.find("format=json") != std::string_view::npos;
+    const std::string body = obs::render_metrics(
+        metrics(),
+        json ? obs::MetricsFormat::Json : obs::MetricsFormat::Prometheus);
+    reply = http_response(200, "OK",
+                          json ? "application/json"
+                               : "text/plain; version=0.0.4",
+                          body);
+  } else if (path == "/healthz") {
+    reply = draining_ ? http_response(503, "Service Unavailable",
+                                      "text/plain", "draining\n")
+                      : http_response(200, "OK", "text/plain", "ok\n");
+  } else {
+    reply = http_response(404, "Not Found", "text/plain", "not found\n");
+  }
+  c.in.erase(0, end + 4);
+  c.out.append(reply);
+  c.close_after_write = true;
+  flush(c);
+}
+
+// ------------------------------------------------------------------ plumbing
+
+void Server::send_frame(Connection& c, const FrameHeader& h,
+                        std::string_view payload) {
+  FrameHeader out = h;
+  out.payload_len = static_cast<uint32_t>(payload.size());
+  encode_header(c.out, out);
+  c.out.append(payload);
+  service_.registry()->on_frame_tx(kHeaderSize + payload.size());
+  flush(c);
+}
+
+void Server::send_error(Connection& c, const FrameHeader& req,
+                        ServiceStatus status, std::string_view message) {
+  const bool json = (req.flags & kFlagJson) != 0;
+  FrameHeader r;
+  r.type = MsgType::ErrorResponse;
+  r.flags = req.flags & kFlagJson;
+  r.tier = req.tier;
+  r.status = service::wire_status(status);
+  r.request_id = req.request_id;
+  send_frame(c, r, error_payload(status, message, json));
+}
+
+void Server::flush(Connection& c) {
+  while (c.out_off < c.out.size()) {
+    const ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
+                             c.out.size() - c.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLOUT;
+      ev.data.u64 = c.id;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev);
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    close_connection(c.id);  // peer gone
+    return;
+  }
+  // Fully flushed: compact and drop EPOLLOUT interest.
+  c.out.clear();
+  c.out_off = 0;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = c.id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev);
+  if (c.close_after_write) close_connection(c.id);
+}
+
+void Server::close_connection(uint64_t conn_id) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  flights_.drop_connection(conn_id);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second.fd, nullptr);
+  close_fd(it->second.fd);
+  conns_.erase(it);
+  active_connections_.store(conns_.size(), std::memory_order_relaxed);
+}
+
+Server::Connection* Server::find_connection(uint64_t conn_id) {
+  const auto it = conns_.find(conn_id);
+  return it == conns_.end() ? nullptr : &it->second;
+}
+
+}  // namespace swve::net

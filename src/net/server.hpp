@@ -1,0 +1,172 @@
+// The network front door: a single-threaded epoll TCP server speaking
+// protocol v1 (net/protocol.hpp) over an AlignService.
+//
+// Architecture — one event-loop thread, zero locks on the hot path except
+// the completion queue:
+//
+//   client ──frame──▶ epoll loop ──decode──▶ result cache ──hit──▶ reply
+//                        │                        │miss
+//                        │                   singleflight ──joined──▶ wait
+//                        │                        │started
+//                        │              AlignService::submit_async
+//                        │                        │ (executor thread)
+//                        ▼                        ▼
+//                   wake eventfd ◀── completion queue ◀── serialize
+//
+// Executor threads never touch sockets: a completion serializes the
+// response, pushes it onto a mutex-guarded queue, and writes the wake
+// eventfd; the loop drains the queue, inserts Ok responses into the LRU,
+// and fans the bytes out to every singleflight waiter. Requests with the
+// JSON debug flag bypass the cache and singleflight (their payloads are
+// not byte-stable) and are answered directly.
+//
+// The same port also answers plain HTTP GETs ("/metrics", "/healthz") —
+// the first bytes of a connection pick the protocol — so a Prometheus
+// scrape needs no sidecar.
+//
+// Graceful drain: shutdown() (or a SIGTERM routed through
+// obs::FlightRecorderOptions::notify_fd = term_fd()) stops accepting,
+// fails new requests with ShuttingDown, lets in-flight executions finish
+// and flush for up to ServeOptions::drain_timeout_s, then closes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/error.hpp"
+#include "net/coalesce.hpp"
+#include "net/protocol.hpp"
+#include "service/align_service.hpp"
+
+namespace swve::net {
+
+class Server {
+ public:
+  /// Bind + listen per `service.options().serve` and start the event-loop
+  /// thread. The service (and its database) must outlive the server.
+  /// Fails (never throws) on socket/bind/listen errors.
+  static core::ErrorOr<std::unique_ptr<Server>> start(
+      service::AlignService& service);
+
+  /// Drains and joins (bounded by drain_timeout_s).
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (resolves ephemeral port 0 to the real one).
+  uint16_t port() const noexcept { return port_; }
+  /// Database identity stamped into every cache key.
+  uint64_t db_epoch() const noexcept { return db_epoch_; }
+
+  /// Begin a graceful drain (idempotent, non-blocking): stop accepting,
+  /// reject new work with ShuttingDown, finish in-flight requests.
+  void shutdown();
+  /// Block until the event loop has exited.
+  void join();
+  bool running() const noexcept {
+    return loop_done_.load(std::memory_order_acquire) == false;
+  }
+
+  /// Eventfd that triggers the same drain as shutdown() when written —
+  /// hand this to obs::FlightRecorderOptions::notify_fd (with
+  /// exit_on_term = false there) so SIGTERM drains instead of _exit()ing.
+  int term_fd() const noexcept { return term_fd_; }
+
+  /// Service metrics with the server-side gauges (active connections,
+  /// result-cache entries) filled in — what /metrics serves.
+  perf::MetricsSnapshot metrics() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    uint64_t id = 0;
+    std::string in;      ///< unparsed received bytes
+    std::string out;     ///< unsent response bytes
+    size_t out_off = 0;  ///< sent prefix of `out`
+    bool http = false;   ///< first bytes chose HTTP, not protocol v1
+    bool close_after_write = false;
+  };
+
+  /// A serialized response ready for delivery, produced on an executor
+  /// thread (or inline for rejections) and consumed by the event loop.
+  struct Completion {
+    bool flight = false;    ///< deliver via singleflight waiters
+    bool cacheable = false; ///< binary payload; publish Ok into the LRU
+    uint64_t key = 0;       ///< cache key (0 for JSON-mode requests)
+    uint64_t conn_id = 0;   ///< direct delivery: the one addressee
+    uint64_t request_id = 0;
+    uint8_t req_flags = 0;  ///< request flags to echo (json bit)
+    uint8_t req_tier = 1;   ///< request tier byte to echo
+    CachedResponse response;
+  };
+
+  Server(service::AlignService& service, uint64_t db_epoch);
+
+  void loop();
+  void accept_connections();
+  void handle_readable(uint64_t conn_id);
+  void process_buffer(uint64_t conn_id);
+  void process_frame(Connection& c, const FrameHeader& h,
+                     std::string_view payload);
+  void process_http(Connection& c);
+  void drain_completions();
+  void deliver(const Completion& done);
+  void publish(uint64_t key, const Completion& done);
+  void send_frame(Connection& c, const FrameHeader& h,
+                  std::string_view payload);
+  void send_error(Connection& c, const FrameHeader& req,
+                  service::ServiceStatus status, std::string_view message);
+  void flush(Connection& c);
+  void close_connection(uint64_t conn_id);
+  void push_completion(Completion done);
+  Connection* find_connection(uint64_t conn_id);
+
+  /// Decode result -> cache lookup -> singleflight join -> submit; one
+  /// shape for all three scenarios (instantiated in the .cpp only).
+  template <typename Request>
+  void handle_request(Connection& c, const FrameHeader& h,
+                      std::optional<Request> decoded);
+  template <typename Request>
+  void submit_request(const Connection& c, const FrameHeader& h, Request rq);
+
+  service::AlignService& service_;
+  service::ServeOptions opts_;
+  uint64_t db_epoch_ = 0;
+  uint16_t port_ = 0;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< completion queue signal
+  int term_fd_ = -1;  ///< drain signal (shutdown() / flight recorder)
+
+  std::unordered_map<uint64_t, Connection> conns_;
+  uint64_t next_conn_id_ = 16;  ///< ids below are epoll sentinels
+
+  ResultCache cache_;
+  Singleflight flights_;
+  size_t outstanding_ = 0;  ///< submitted executions not yet delivered
+
+  std::mutex done_mu_;
+  std::vector<Completion> done_;  ///< guarded by done_mu_
+
+  bool draining_ = false;
+  double drain_deadline_s_ = 0;  ///< steady-clock seconds; 0 = unset
+
+  // Gauges mirrored out of loop-thread state so metrics() is callable from
+  // any thread.
+  std::atomic<size_t> active_connections_{0};
+  std::atomic<size_t> cache_entries_{0};
+
+  std::thread thread_;
+  std::atomic<bool> loop_done_{false};
+};
+
+}  // namespace swve::net

@@ -350,6 +350,65 @@ std::string to_prometheus(const MetricsSnapshot& s) {
               "counter");
   appendf(out, "swve_slow_requests_total %" PRIu64 "\n", s.slow_requests);
 
+  prom_header(out, "swve_result_cache_lookups_total",
+              "Serialized-response cache lookups at the serving front door, "
+              "by result",
+              "counter");
+  appendf(out, "swve_result_cache_lookups_total{result=\"hit\"} %" PRIu64 "\n",
+          s.result_cache_hits);
+  appendf(out, "swve_result_cache_lookups_total{result=\"miss\"} %" PRIu64 "\n",
+          s.result_cache_misses);
+  prom_header(out, "swve_result_cache_evictions_total",
+              "Serialized-response LRU entries displaced at capacity",
+              "counter");
+  appendf(out, "swve_result_cache_evictions_total %" PRIu64 "\n",
+          s.result_cache_evictions);
+  prom_header(out, "swve_result_cache_entries",
+              "Serialized-response LRU entries currently cached", "gauge");
+  appendf(out, "swve_result_cache_entries %" PRIu64 "\n",
+          s.result_cache_entries);
+  prom_header(out, "swve_coalesced_requests_total",
+              "Requests joined onto an identical in-flight execution "
+              "(singleflight)",
+              "counter");
+  appendf(out, "swve_coalesced_requests_total %" PRIu64 "\n", s.coalesced);
+  prom_header(out, "swve_dedup_ratio",
+              "Fraction of served requests answered without a fresh "
+              "execution (cache hit or coalesced)",
+              "gauge");
+  appendf(out, "swve_dedup_ratio %.6g\n", s.dedup_ratio());
+
+  prom_header(out, "swve_server_connections_total",
+              "TCP connections accepted by the serving front door", "counter");
+  appendf(out, "swve_server_connections_total %" PRIu64 "\n",
+          s.server_connections);
+  prom_header(out, "swve_server_active_connections",
+              "TCP connections currently open", "gauge");
+  appendf(out, "swve_server_active_connections %" PRIu64 "\n",
+          s.server_active_connections);
+  prom_header(out, "swve_server_frames_total",
+              "Protocol frames moved, by direction", "counter");
+  appendf(out, "swve_server_frames_total{direction=\"rx\"} %" PRIu64 "\n",
+          s.server_frames_rx);
+  appendf(out, "swve_server_frames_total{direction=\"tx\"} %" PRIu64 "\n",
+          s.server_frames_tx);
+  prom_header(out, "swve_server_bytes_total",
+              "Protocol payload bytes moved, by direction", "counter");
+  appendf(out, "swve_server_bytes_total{direction=\"rx\"} %" PRIu64 "\n",
+          s.server_bytes_rx);
+  appendf(out, "swve_server_bytes_total{direction=\"tx\"} %" PRIu64 "\n",
+          s.server_bytes_tx);
+  prom_header(out, "swve_server_protocol_errors_total",
+              "Frames rejected before reaching the service (bad magic, "
+              "oversized, unknown type, undecodable payload)",
+              "counter");
+  appendf(out, "swve_server_protocol_errors_total %" PRIu64 "\n",
+          s.server_protocol_errors);
+  prom_header(out, "swve_server_http_scrapes_total",
+              "HTTP GET /metrics requests answered", "counter");
+  appendf(out, "swve_server_http_scrapes_total %" PRIu64 "\n",
+          s.server_http_scrapes);
+
   prom_header(out, "swve_uptime_seconds", "Service lifetime", "gauge");
   appendf(out, "swve_uptime_seconds %.6g\n", s.uptime_seconds);
 
@@ -470,6 +529,22 @@ std::string to_json(const MetricsSnapshot& s) {
   appendf(out, "],\"avx512_frequency_ratio\":%.6g},",
           s.avx512_frequency_ratio());
   appendf(out, "\"slow_requests\":%" PRIu64 ",", s.slow_requests);
+  appendf(out,
+          "\"result_cache\":{\"hits\":%" PRIu64 ",\"misses\":%" PRIu64
+          ",\"hit_rate\":%.6g,\"evictions\":%" PRIu64 ",\"entries\":%" PRIu64
+          ",\"coalesced\":%" PRIu64 ",\"dedup_ratio\":%.6g},",
+          s.result_cache_hits, s.result_cache_misses,
+          s.result_cache_hit_rate(), s.result_cache_evictions,
+          s.result_cache_entries, s.coalesced, s.dedup_ratio());
+  appendf(out,
+          "\"server\":{\"connections\":%" PRIu64
+          ",\"active_connections\":%" PRIu64 ",\"frames_rx\":%" PRIu64
+          ",\"frames_tx\":%" PRIu64 ",\"bytes_rx\":%" PRIu64
+          ",\"bytes_tx\":%" PRIu64 ",\"protocol_errors\":%" PRIu64
+          ",\"http_scrapes\":%" PRIu64 "},",
+          s.server_connections, s.server_active_connections,
+          s.server_frames_rx, s.server_frames_tx, s.server_bytes_rx,
+          s.server_bytes_tx, s.server_protocol_errors, s.server_http_scrapes);
   appendf(out, "\"uptime_seconds\":%.6g,", s.uptime_seconds);
   json_histogram(out, "queue_wait", s.queue_wait);
   out += ",";

@@ -33,6 +33,8 @@ struct Global {
   TraceSink* sink;
   perf::MetricsRegistry* registry;
   const InFlightTable* inflight;
+  int notify_fd;
+  bool exit_on_term;
   static constexpr int kMaxSigs = 8;
   int sigs[kMaxSigs];
   struct sigaction old_act[kMaxSigs];
@@ -161,7 +163,14 @@ void handler(int sig) {
           signal_name(sig), g_rec.path[0] != '\0' ? g_rec.path : "(nowhere)");
   }
   if (sig == SIGTERM || sig == SIGINT) {
-    ::_exit(128 + sig);
+    if (g_rec.notify_fd >= 0) {
+      // Wake the owner's event loop (eventfd/pipe write is signal-safe).
+      const uint64_t one = 1;
+      write_all(g_rec.notify_fd, reinterpret_cast<const char*>(&one),
+                sizeof one);
+    }
+    if (g_rec.exit_on_term) ::_exit(128 + sig);
+    return;  // owner-controlled drain; keep running
   }
   // Fatal signal: restore the previous disposition and re-raise so the
   // exit status and any core dump are exactly what they would have been.
@@ -195,6 +204,8 @@ bool FlightRecorder::install(const FlightRecorderOptions& options) {
   g_rec.sink = options.sink;
   g_rec.registry = options.registry;
   g_rec.inflight = options.inflight;
+  g_rec.notify_fd = options.notify_fd;
+  g_rec.exit_on_term = options.exit_on_term;
   g_rec.dumping.store(0);
   g_rec.nsigs = 0;
 
@@ -228,6 +239,8 @@ void FlightRecorder::uninstall() {
   g_rec.sink = nullptr;
   g_rec.registry = nullptr;
   g_rec.inflight = nullptr;
+  g_rec.notify_fd = -1;
+  g_rec.exit_on_term = true;
   installed_ = false;
   g_rec.installed.store(false);
 }

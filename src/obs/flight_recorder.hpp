@@ -32,6 +32,14 @@ struct FlightRecorderOptions {
   const InFlightTable* inflight = nullptr;
   bool handle_fatal = true;  ///< SIGSEGV, SIGABRT, SIGBUS
   bool handle_term = true;   ///< SIGTERM, SIGINT
+  /// On SIGTERM/SIGINT, write one 8-byte count to this fd (an eventfd or
+  /// pipe write end) after dumping — the async-signal-safe hook a server's
+  /// event loop uses to start a graceful drain. -1 disables.
+  int notify_fd = -1;
+  /// When false, SIGTERM/SIGINT do NOT _exit(128+sig) after dumping and
+  /// notifying; the process keeps running so the owner (the server drain
+  /// path) controls shutdown. Fatal signals still re-raise regardless.
+  bool exit_on_term = true;
 };
 
 /// Installs signal handlers on install(), restores them on uninstall() /

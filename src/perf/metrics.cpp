@@ -141,6 +141,17 @@ MetricsSnapshot MetricsRegistry::snapshot() const noexcept {
     }
   }
   s.slow_requests = slow_requests_.load(kRelaxed);
+  s.result_cache_hits = result_cache_hits_.load(kRelaxed);
+  s.result_cache_misses = result_cache_misses_.load(kRelaxed);
+  s.result_cache_evictions = result_cache_evictions_.load(kRelaxed);
+  s.coalesced = coalesced_.load(kRelaxed);
+  s.server_connections = server_connections_.load(kRelaxed);
+  s.server_frames_rx = server_frames_rx_.load(kRelaxed);
+  s.server_frames_tx = server_frames_tx_.load(kRelaxed);
+  s.server_bytes_rx = server_bytes_rx_.load(kRelaxed);
+  s.server_bytes_tx = server_bytes_tx_.load(kRelaxed);
+  s.server_protocol_errors = server_protocol_errors_.load(kRelaxed);
+  s.server_http_scrapes = server_http_scrapes_.load(kRelaxed);
   const uint64_t now_s = elapsed_s();
   uint64_t wcells = 0, wns = 0;
   for (const WindowBucket& b : window_) {
@@ -261,6 +272,34 @@ std::string MetricsSnapshot::to_string() const {
                   "pool: %u threads, %llu jobs, busy %.3f s, utilization %.1f%%\n",
                   pool_threads, static_cast<unsigned long long>(pool_jobs),
                   pool_busy_seconds, 100.0 * pool_utilization());
+    out += line;
+  }
+  if (server_connections > 0 || server_frames_rx > 0) {
+    std::snprintf(line, sizeof line,
+                  "server: %llu conns (%llu active), frames rx/tx %llu/%llu, "
+                  "bytes rx/tx %llu/%llu, protocol errors %llu, scrapes %llu\n",
+                  static_cast<unsigned long long>(server_connections),
+                  static_cast<unsigned long long>(server_active_connections),
+                  static_cast<unsigned long long>(server_frames_rx),
+                  static_cast<unsigned long long>(server_frames_tx),
+                  static_cast<unsigned long long>(server_bytes_rx),
+                  static_cast<unsigned long long>(server_bytes_tx),
+                  static_cast<unsigned long long>(server_protocol_errors),
+                  static_cast<unsigned long long>(server_http_scrapes));
+    out += line;
+  }
+  if (result_cache_hits + result_cache_misses + coalesced > 0) {
+    std::snprintf(line, sizeof line,
+                  "result-cache: %llu hits, %llu misses (%.1f%% hit), "
+                  "%llu evictions, %llu entries; coalesced %llu "
+                  "(dedup %.1f%%)\n",
+                  static_cast<unsigned long long>(result_cache_hits),
+                  static_cast<unsigned long long>(result_cache_misses),
+                  100.0 * result_cache_hit_rate(),
+                  static_cast<unsigned long long>(result_cache_evictions),
+                  static_cast<unsigned long long>(result_cache_entries),
+                  static_cast<unsigned long long>(coalesced),
+                  100.0 * dedup_ratio());
     out += line;
   }
   out += format_hist("queue-wait", queue_wait);

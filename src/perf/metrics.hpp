@@ -177,6 +177,23 @@ struct MetricsSnapshot {
   uint64_t workspace_creates = 0;
   uint64_t query_cache_entries = 0;
 
+  // Serving front door (filled by net::Server; zero without one). The
+  // result cache sits above the query-state cache and holds serialized
+  // responses keyed by (scenario, request bytes, config, db epoch).
+  uint64_t result_cache_hits = 0;
+  uint64_t result_cache_misses = 0;
+  uint64_t result_cache_evictions = 0;
+  uint64_t result_cache_entries = 0;   ///< gauge, filled at snapshot time
+  uint64_t coalesced = 0;              ///< requests joined onto an in-flight twin
+  uint64_t server_connections = 0;     ///< accepted over the server lifetime
+  uint64_t server_active_connections = 0;  ///< gauge, filled at snapshot time
+  uint64_t server_frames_rx = 0;
+  uint64_t server_frames_tx = 0;
+  uint64_t server_bytes_rx = 0;
+  uint64_t server_bytes_tx = 0;
+  uint64_t server_protocol_errors = 0;  ///< bad frame/version/type/too-large
+  uint64_t server_http_scrapes = 0;     ///< GET /metrics answered
+
   // Sliding window: kernel work recorded in the last kWindowSeconds.
   uint64_t window_cells = 0;
   double window_kernel_seconds = 0;
@@ -231,6 +248,24 @@ struct MetricsSnapshot {
     return batch_cells8 > 0 ? static_cast<double>(batch_useful_cells8) /
                                   static_cast<double>(batch_cells8)
                             : 0.0;
+  }
+
+  /// Serialized-response LRU hit rate, in [0, 1]; 0 before the first lookup.
+  double result_cache_hit_rate() const noexcept {
+    const uint64_t total = result_cache_hits + result_cache_misses;
+    return total > 0 ? static_cast<double>(result_cache_hits) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+
+  /// Fraction of frame-carried requests answered without a fresh service
+  /// execution (result-cache hit or singleflight join), in [0, 1].
+  double dedup_ratio() const noexcept {
+    const uint64_t saved = result_cache_hits + coalesced;
+    const uint64_t total = saved + result_cache_misses;
+    return total > 0
+               ? static_cast<double>(saved) / static_cast<double>(total)
+               : 0.0;
   }
 
   /// Prepared-query LRU hit rate, in [0, 1]; 0 before the first lookup.
@@ -359,6 +394,35 @@ class MetricsRegistry {
   /// The watchdog flagged a request as exceeding the latency SLO.
   void on_slow_request() noexcept { slow_requests_.fetch_add(1, kRelaxed); }
 
+  // Serving front-door events (recorded by net::Server).
+  void on_result_cache_hit() noexcept {
+    result_cache_hits_.fetch_add(1, kRelaxed);
+  }
+  void on_result_cache_miss() noexcept {
+    result_cache_misses_.fetch_add(1, kRelaxed);
+  }
+  void on_result_cache_eviction() noexcept {
+    result_cache_evictions_.fetch_add(1, kRelaxed);
+  }
+  void on_coalesced() noexcept { coalesced_.fetch_add(1, kRelaxed); }
+  void on_connection_accepted() noexcept {
+    server_connections_.fetch_add(1, kRelaxed);
+  }
+  void on_frame_rx(uint64_t bytes) noexcept {
+    server_frames_rx_.fetch_add(1, kRelaxed);
+    server_bytes_rx_.fetch_add(bytes, kRelaxed);
+  }
+  void on_frame_tx(uint64_t bytes) noexcept {
+    server_frames_tx_.fetch_add(1, kRelaxed);
+    server_bytes_tx_.fetch_add(bytes, kRelaxed);
+  }
+  void on_protocol_error() noexcept {
+    server_protocol_errors_.fetch_add(1, kRelaxed);
+  }
+  void on_http_scrape() noexcept {
+    server_http_scrapes_.fetch_add(1, kRelaxed);
+  }
+
   /// Attribute a completed request to the dispatch target that served it
   /// (resolved ISA + kernel family). Pass the ISA the kernel reported, not
   /// the requested one.
@@ -444,6 +508,17 @@ class MetricsRegistry {
              MetricsSnapshot::kIsas>
       pmu_{};
   std::atomic<uint64_t> slow_requests_{0};
+  std::atomic<uint64_t> result_cache_hits_{0};
+  std::atomic<uint64_t> result_cache_misses_{0};
+  std::atomic<uint64_t> result_cache_evictions_{0};
+  std::atomic<uint64_t> coalesced_{0};
+  std::atomic<uint64_t> server_connections_{0};
+  std::atomic<uint64_t> server_frames_rx_{0};
+  std::atomic<uint64_t> server_frames_tx_{0};
+  std::atomic<uint64_t> server_bytes_rx_{0};
+  std::atomic<uint64_t> server_bytes_tx_{0};
+  std::atomic<uint64_t> server_protocol_errors_{0};
+  std::atomic<uint64_t> server_http_scrapes_{0};
   std::array<WindowBucket, kWindowBuckets> window_{};
   LatencyHistogram queue_wait_;
   LatencyHistogram kernel_time_;

@@ -26,10 +26,16 @@ uint64_t deadline_to_ns(Clock::time_point deadline) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(since).count());
 }
 
+/// Future shim plumbing: turn a Completion failure back into the legacy
+/// ServiceError-throwing future.
 template <typename R>
-void fail_promise(const std::shared_ptr<std::promise<R>>& prom,
-                  ServiceError err) {
-  prom->set_exception(std::make_exception_ptr(std::move(err)));
+void fulfil_promise(const std::shared_ptr<std::promise<R>>& prom,
+                    core::ErrorOr<R> out) {
+  if (out.ok())
+    prom->set_value(std::move(out).value());
+  else
+    prom->set_exception(
+        std::make_exception_ptr(ServiceError(out.error())));
 }
 
 /// Delivery path the kernel will actually use under `cfg` at `isa`.
@@ -54,29 +60,33 @@ uint16_t dp_width_bits(core::Width w) {
 }  // namespace
 
 AlignService::AlignService(ServiceOptions options)
-    : opt_(options), pool_(options.pool_threads), paused_(options.start_paused) {
-  opt_.config.validate();
-  if (opt_.executors == 0) opt_.executors = 1;
-  if (opt_.queue_capacity == 0) opt_.queue_capacity = 1;
-  if (!opt_.query_cache_bypass && opt_.query_cache_capacity > 0)
-    query_cache_ =
-        std::make_unique<align::QueryStateCache>(opt_.query_cache_capacity);
-  inflight_ = std::make_unique<obs::InFlightTable>(opt_.executors);
-  if (opt_.slow_request_slo_s > 0) {
+    : opt_(options), pool_(options.pool_threads),
+      paused_(options.queue.start_paused) {
+  // Pre-group behavior: zero executors/capacity were clamped, not
+  // rejected, so keep clamping before the structural validation.
+  if (opt_.queue.executors == 0) opt_.queue.executors = 1;
+  if (opt_.queue.capacity == 0) opt_.queue.capacity = 1;
+  if (auto st = opt_.try_validate(); !st)
+    throw std::invalid_argument(st.error().message);
+  if (!opt_.cache.query_cache_bypass && opt_.cache.query_cache_capacity > 0)
+    query_cache_ = std::make_unique<align::QueryStateCache>(
+        opt_.cache.query_cache_capacity);
+  inflight_ = std::make_unique<obs::InFlightTable>(opt_.queue.executors);
+  if (opt_.obs.slow_request_slo_s > 0) {
     obs::WatchdogOptions wo;
-    wo.slo_s = opt_.slow_request_slo_s;
-    wo.period_s = opt_.watchdog_period_s;
+    wo.slo_s = opt_.obs.slow_request_slo_s;
+    wo.period_s = opt_.obs.watchdog_period_s;
     watchdog_ = std::make_unique<obs::Watchdog>(
-        *inflight_, wo, opt_.trace_sink, &metrics_,
+        *inflight_, wo, opt_.obs.trace_sink, &metrics_,
         [this] { return queue_depth(); });
   }
-  executors_.reserve(opt_.executors);
-  for (unsigned e = 0; e < opt_.executors; ++e)
+  executors_.reserve(opt_.queue.executors);
+  for (unsigned e = 0; e < opt_.queue.executors; ++e)
     executors_.emplace_back([this, e] { executor_loop(e); });
-  if (opt_.sampler_period_s > 0) {
+  if (opt_.obs.sampler_period_s > 0) {
     obs::SamplerOptions so;
-    so.period_s = opt_.sampler_period_s;
-    so.freq_probe_ms = opt_.sampler_freq_probe_ms;
+    so.period_s = opt_.obs.sampler_period_s;
+    so.freq_probe_ms = opt_.obs.sampler_freq_probe_ms;
     sampler_ = std::make_unique<obs::Sampler>(so, [this] { return metrics(); });
   }
 }
@@ -89,33 +99,34 @@ AlignService::AlignService(const seq::SequenceDatabase& db,
   // already running but the queue is still empty while we're here only if
   // the caller hasn't submitted yet — which it can't: it has no handle).
   bdb_ = std::make_unique<core::Batch32Db>(
-      db, align::engine::batch_server_lanes(), opt_.batch_packing);
+      db, align::engine::batch_server_lanes(), opt_.cache.batch_packing);
 }
 
 AlignService::~AlignService() {
   sampler_.reset();   // stop the sampler before tearing down what it reads
   watchdog_.reset();  // likewise the watchdog (it scans the in-flight table)
-  std::deque<Task> leftover;
+  std::array<std::deque<Task>, kQosTiers> leftover;
   {
     std::lock_guard<std::mutex> lk(mu_);
     stop_ = true;
-    leftover.swap(queue_);
+    for (int t = 0; t < kQosTiers; ++t) leftover[t].swap(queues_[t]);
   }
   work_cv_.notify_all();
   space_cv_.notify_all();
   for (auto& t : executors_) t.join();
-  for (auto& t : leftover) t.run(/*aborted=*/true);
+  for (auto& tier : leftover)
+    for (auto& t : tier) t.run(/*aborted=*/true);
 }
 
 perf::MetricsSnapshot AlignService::metrics() const {
   perf::MetricsSnapshot s = metrics_.snapshot();
-  if (opt_.pmu_attribution)
+  if (opt_.obs.pmu_attribution)
     s.pmu_unavailable = obs::PmuSession::instance().available() ? 0 : 1;
-  if (opt_.trace_sink != nullptr) {
-    s.trace_recorded = opt_.trace_sink->recorded();
-    s.trace_dropped_wrap = opt_.trace_sink->wrap_dropped();
-    s.trace_dropped_torn = opt_.trace_sink->torn_skipped();
-    s.trace_dropped_overflow = opt_.trace_sink->overflow_dropped();
+  if (obs::TraceSink* sink = opt_.obs.trace_sink; sink != nullptr) {
+    s.trace_recorded = sink->recorded();
+    s.trace_dropped_wrap = sink->wrap_dropped();
+    s.trace_dropped_torn = sink->torn_skipped();
+    s.trace_dropped_overflow = sink->overflow_dropped();
   }
   const parallel::PoolStats ps = pool_.stats();
   s.pool_threads = ps.threads;
@@ -152,9 +163,9 @@ double AlignService::model_ghz() {
 
 std::optional<perf::TopDownResult> AlignService::maybe_topdown(
     const std::function<void()>& work, uint64_t est_cells) {
-  if (opt_.topdown_every_n == 0 ||
+  if (opt_.obs.topdown_every_n == 0 ||
       topdown_seq_.fetch_add(1, std::memory_order_relaxed) %
-              opt_.topdown_every_n !=
+              opt_.obs.topdown_every_n !=
           0) {
     work();
     return std::nullopt;
@@ -169,9 +180,26 @@ std::optional<perf::TopDownResult> AlignService::maybe_topdown(
   return perf::topdown_analyze(work, model);
 }
 
+size_t AlignService::queued_locked() const {
+  size_t n = 0;
+  for (const auto& q : queues_) n += q.size();
+  return n;
+}
+
+AlignService::Task AlignService::pop_locked() {
+  for (auto& q : queues_) {
+    if (!q.empty()) {
+      Task t = std::move(q.front());
+      q.pop_front();
+      return t;
+    }
+  }
+  return {};  // unreachable under the documented precondition
+}
+
 size_t AlignService::queue_depth() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return queue_.size();
+  return queued_locked();
 }
 
 void AlignService::pause() {
@@ -192,10 +220,10 @@ void AlignService::executor_loop(unsigned index) {
     Task t;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      work_cv_.wait(lk, [&] { return stop_ || (!paused_ && !queue_.empty()); });
+      work_cv_.wait(
+          lk, [&] { return stop_ || (!paused_ && queued_locked() > 0); });
       if (stop_) return;
-      t = std::move(queue_.front());
-      queue_.pop_front();
+      t = pop_locked();
     }
     space_cv_.notify_one();
     // Occupy this executor's in-flight slot for the run — the watchdog's
@@ -209,9 +237,9 @@ void AlignService::executor_loop(unsigned index) {
 
 obs::TraceContext AlignService::trace_context(uint64_t trace_id) noexcept {
   obs::TraceContext t;
-  t.sink = opt_.trace_sink;
+  t.sink = opt_.obs.trace_sink;
   t.trace_id = trace_id;
-  if (opt_.pmu_attribution) {
+  if (opt_.obs.pmu_attribution) {
     t.pmu = &obs::PmuSession::instance();
     t.registry = &metrics_;
   }
@@ -219,34 +247,35 @@ obs::TraceContext AlignService::trace_context(uint64_t trace_id) noexcept {
 }
 
 uint64_t AlignService::next_request_id() noexcept {
-  return opt_.trace_sink != nullptr
-             ? opt_.trace_sink->next_trace_id()
+  return opt_.obs.trace_sink != nullptr
+             ? opt_.obs.trace_sink->next_trace_id()
              : request_ids_.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
-bool AlignService::enqueue(Task task,
-                           const std::function<void(ServiceError)>& reject) {
+bool AlignService::enqueue(
+    Task task, const std::function<void(core::ConfigError)>& reject) {
   std::unique_lock<std::mutex> lk(mu_);
-  if (opt_.overflow == ServiceOptions::Overflow::Block) {
+  if (opt_.queue.overflow == QueueOptions::Overflow::Block) {
     space_cv_.wait(lk, [&] {
-      return stop_ || queue_.size() < opt_.queue_capacity;
+      return stop_ || queued_locked() < opt_.queue.capacity;
     });
   }
   if (stop_) {
     lk.unlock();
     metrics_.on_aborted();
-    reject(ServiceError(Code::ShuttingDown, "AlignService: shutting down"));
+    reject(core::ConfigError{Code::ShuttingDown,
+                             "AlignService: shutting down"});
     return false;
   }
-  if (queue_.size() >= opt_.queue_capacity) {
+  if (queued_locked() >= opt_.queue.capacity) {
     lk.unlock();
     metrics_.on_rejected_queue_full();
-    reject(ServiceError(Code::QueueFull,
-                        "AlignService: submission queue at capacity (" +
-                            std::to_string(opt_.queue_capacity) + ")"));
+    reject(core::ConfigError{
+        Code::QueueFull, "AlignService: submission queue at capacity (" +
+                             std::to_string(opt_.queue.capacity) + ")"});
     return false;
   }
-  queue_.push_back(std::move(task));
+  queues_[static_cast<size_t>(task.tier)].push_back(std::move(task));
   metrics_.on_submitted();
   lk.unlock();
   work_cv_.notify_one();
@@ -275,24 +304,23 @@ RequestTrace AlignService::make_trace(Scenario scenario,
   return tr;
 }
 
-std::future<AlignResponse> AlignService::submit(AlignRequest request) {
-  auto prom = std::make_shared<std::promise<AlignResponse>>();
-  std::future<AlignResponse> fut = prom->get_future();
+void AlignService::submit_async(AlignRequest request, AlignCompletion done) {
+  auto cb = std::make_shared<AlignCompletion>(std::move(done));
   auto rq = std::make_shared<AlignRequest>(std::move(request));
   const Clock::time_point submitted = Clock::now();
   const Clock::time_point deadline =
       rq->options.deadline ? submitted + *rq->options.deadline
                            : Clock::time_point{};
-  obs::TraceSink* const sink = opt_.trace_sink;
+  obs::TraceSink* const sink = opt_.obs.trace_sink;
   const uint64_t trace_id = next_request_id();
   const uint64_t t_sub_ns = sink ? sink->now_ns() : 0;
 
   Task task;
-  task.run = [this, prom, rq, submitted, deadline, sink, trace_id,
+  task.run = [this, cb, rq, submitted, deadline, sink, trace_id,
               t_sub_ns](bool aborted) {
     if (aborted) {
-      fail_promise(prom, ServiceError(Code::ShuttingDown,
-                                      "AlignService: shut down before run"));
+      (*cb)(core::ConfigError{Code::ShuttingDown,
+                              "AlignService: shut down before run"});
       return;
     }
     const obs::TraceContext tctx = trace_context(trace_id);
@@ -301,14 +329,14 @@ std::future<AlignResponse> AlignService::submit(AlignRequest request) {
     metrics_.on_queue_wait(qwait);
     if (deadline.time_since_epoch().count() != 0 && Clock::now() >= deadline) {
       metrics_.on_deadline_expired();
-      fail_promise(prom, ServiceError(Code::DeadlineExceeded,
-                                      "AlignService: deadline expired in queue"));
+      (*cb)(core::ConfigError{Code::DeadlineExceeded,
+                              "AlignService: deadline expired in queue"});
       return;
     }
     auto cfg_or = effective_config(rq->options);
     if (!cfg_or) {
       metrics_.on_invalid_request();
-      fail_promise(prom, ServiceError(cfg_or.error()));
+      (*cb)(cfg_or.error());
       return;
     }
     core::AlignConfig cfg = *cfg_or;
@@ -337,7 +365,7 @@ std::future<AlignResponse> AlignService::submit(AlignRequest request) {
           est_cells);
     } catch (const std::exception& e) {
       metrics_.on_invalid_request();
-      fail_promise(prom, ServiceError(Code::Internal, e.what()));
+      (*cb)(core::ConfigError{Code::Internal, e.what()});
       return;
     }
     const double kernel_s = sw.seconds();
@@ -355,34 +383,41 @@ std::future<AlignResponse> AlignService::submit(AlignRequest request) {
     metrics_.on_kernel_completed(a.isa_used, perf::KernelVariant::Diagonal,
                                  a.stats.cells);
     dispatch.end();
-    prom->set_value(AlignResponse{std::move(a), tr});
+    (*cb)(AlignResponse{std::move(a), tr});
   };
   task.id = trace_id;
   task.scenario = obs::Scenario::Pairwise;
   task.deadline_ns = deadline_to_ns(deadline);
-  enqueue(std::move(task),
-          [&prom](ServiceError e) { fail_promise(prom, std::move(e)); });
+  task.tier = rq->options.tier;
+  enqueue(std::move(task), [&cb](core::ConfigError e) { (*cb)(std::move(e)); });
+}
+
+std::future<AlignResponse> AlignService::submit(AlignRequest request) {
+  auto prom = std::make_shared<std::promise<AlignResponse>>();
+  std::future<AlignResponse> fut = prom->get_future();
+  submit_async(std::move(request), [prom](core::ErrorOr<AlignResponse> out) {
+    fulfil_promise(prom, std::move(out));
+  });
   return fut;
 }
 
-std::future<SearchResponse> AlignService::submit_search(SearchRequest request) {
-  auto prom = std::make_shared<std::promise<SearchResponse>>();
-  std::future<SearchResponse> fut = prom->get_future();
+void AlignService::submit_async(SearchRequest request, SearchCompletion done) {
+  auto cb = std::make_shared<SearchCompletion>(std::move(done));
   auto rq = std::make_shared<SearchRequest>(std::move(request));
   const Clock::time_point submitted = Clock::now();
   const Clock::time_point deadline =
       rq->options.deadline ? submitted + *rq->options.deadline
                            : Clock::time_point{};
-  obs::TraceSink* const sink = opt_.trace_sink;
+  obs::TraceSink* const sink = opt_.obs.trace_sink;
   const uint64_t trace_id = next_request_id();
   const uint64_t t_sub_ns = sink ? sink->now_ns() : 0;
 
   Task task;
-  task.run = [this, prom, rq, submitted, deadline, sink, trace_id,
+  task.run = [this, cb, rq, submitted, deadline, sink, trace_id,
               t_sub_ns](bool aborted) {
     if (aborted) {
-      fail_promise(prom, ServiceError(Code::ShuttingDown,
-                                      "AlignService: shut down before run"));
+      (*cb)(core::ConfigError{Code::ShuttingDown,
+                              "AlignService: shut down before run"});
       return;
     }
     const obs::TraceContext tctx = trace_context(trace_id);
@@ -391,28 +426,28 @@ std::future<SearchResponse> AlignService::submit_search(SearchRequest request) {
     metrics_.on_queue_wait(qwait);
     if (deadline.time_since_epoch().count() != 0 && Clock::now() >= deadline) {
       metrics_.on_deadline_expired();
-      fail_promise(prom, ServiceError(Code::DeadlineExceeded,
-                                      "AlignService: deadline expired in queue"));
+      (*cb)(core::ConfigError{Code::DeadlineExceeded,
+                              "AlignService: deadline expired in queue"});
       return;
     }
     if (!db_) {
       metrics_.on_invalid_request();
-      fail_promise(prom, ServiceError(Code::NoDatabase,
-                                      "AlignService: no database attached"));
+      (*cb)(core::ConfigError{Code::NoDatabase,
+                              "AlignService: no database attached"});
       return;
     }
     auto cfg_or = effective_config(rq->options);
     if (!cfg_or) {
       metrics_.on_invalid_request();
-      fail_promise(prom, ServiceError(cfg_or.error()));
+      (*cb)(cfg_or.error());
       return;
     }
     core::AlignConfig cfg = *cfg_or;
     cfg.traceback = false;  // scoring pass, like DatabaseSearch
     if (rq->mode == align::SearchMode::Batch && cfg.band >= 0) {
       metrics_.on_invalid_request();
-      fail_promise(prom, ServiceError(Code::Unsupported,
-                                      "AlignService: Batch search cannot band"));
+      (*cb)(core::ConfigError{Code::Unsupported,
+                              "AlignService: Batch search cannot band"});
       return;
     }
     const size_t top_k = rq->options.top_k.value_or(opt_.default_top_k);
@@ -441,9 +476,8 @@ std::future<SearchResponse> AlignService::submit_search(SearchRequest request) {
     }
     if (res.truncated) {
       metrics_.on_deadline_expired();
-      fail_promise(prom,
-                   ServiceError(Code::DeadlineExceeded,
-                                "AlignService: deadline expired mid-search"));
+      (*cb)(core::ConfigError{Code::DeadlineExceeded,
+                              "AlignService: deadline expired mid-search"});
       return;
     }
     RequestTrace tr = make_trace(Scenario::Search, cfg, qwait, res.seconds,
@@ -462,34 +496,41 @@ std::future<SearchResponse> AlignService::submit_search(SearchRequest request) {
                                      : perf::KernelVariant::Diagonal,
                                  res.stats.cells);
     dispatch.end();
-    prom->set_value(SearchResponse{std::move(res), tr});
+    (*cb)(SearchResponse{std::move(res), tr});
   };
   task.id = trace_id;
   task.scenario = obs::Scenario::Search;
   task.deadline_ns = deadline_to_ns(deadline);
-  enqueue(std::move(task),
-          [&prom](ServiceError e) { fail_promise(prom, std::move(e)); });
+  task.tier = rq->options.tier;
+  enqueue(std::move(task), [&cb](core::ConfigError e) { (*cb)(std::move(e)); });
+}
+
+std::future<SearchResponse> AlignService::submit_search(SearchRequest request) {
+  auto prom = std::make_shared<std::promise<SearchResponse>>();
+  std::future<SearchResponse> fut = prom->get_future();
+  submit_async(std::move(request), [prom](core::ErrorOr<SearchResponse> out) {
+    fulfil_promise(prom, std::move(out));
+  });
   return fut;
 }
 
-std::future<BatchResponse> AlignService::submit_batch(BatchRequest request) {
-  auto prom = std::make_shared<std::promise<BatchResponse>>();
-  std::future<BatchResponse> fut = prom->get_future();
+void AlignService::submit_async(BatchRequest request, BatchCompletion done) {
+  auto cb = std::make_shared<BatchCompletion>(std::move(done));
   auto rq = std::make_shared<BatchRequest>(std::move(request));
   const Clock::time_point submitted = Clock::now();
   const Clock::time_point deadline =
       rq->options.deadline ? submitted + *rq->options.deadline
                            : Clock::time_point{};
-  obs::TraceSink* const sink = opt_.trace_sink;
+  obs::TraceSink* const sink = opt_.obs.trace_sink;
   const uint64_t trace_id = next_request_id();
   const uint64_t t_sub_ns = sink ? sink->now_ns() : 0;
 
   Task task;
-  task.run = [this, prom, rq, submitted, deadline, sink, trace_id,
+  task.run = [this, cb, rq, submitted, deadline, sink, trace_id,
               t_sub_ns](bool aborted) {
     if (aborted) {
-      fail_promise(prom, ServiceError(Code::ShuttingDown,
-                                      "AlignService: shut down before run"));
+      (*cb)(core::ConfigError{Code::ShuttingDown,
+                              "AlignService: shut down before run"});
       return;
     }
     const obs::TraceContext tctx = trace_context(trace_id);
@@ -498,34 +539,34 @@ std::future<BatchResponse> AlignService::submit_batch(BatchRequest request) {
     metrics_.on_queue_wait(qwait);
     if (deadline.time_since_epoch().count() != 0 && Clock::now() >= deadline) {
       metrics_.on_deadline_expired();
-      fail_promise(prom, ServiceError(Code::DeadlineExceeded,
-                                      "AlignService: deadline expired in queue"));
+      (*cb)(core::ConfigError{Code::DeadlineExceeded,
+                              "AlignService: deadline expired in queue"});
       return;
     }
     if (!db_) {
       metrics_.on_invalid_request();
-      fail_promise(prom, ServiceError(Code::NoDatabase,
-                                      "AlignService: no database attached"));
+      (*cb)(core::ConfigError{Code::NoDatabase,
+                              "AlignService: no database attached"});
       return;
     }
     if (rq->queries.empty()) {
       metrics_.on_invalid_request();
-      fail_promise(prom, ServiceError(Code::EmptyRequest,
-                                      "AlignService: batch with no queries"));
+      (*cb)(core::ConfigError{Code::EmptyRequest,
+                              "AlignService: batch with no queries"});
       return;
     }
     auto cfg_or = effective_config(rq->options);
     if (!cfg_or) {
       metrics_.on_invalid_request();
-      fail_promise(prom, ServiceError(cfg_or.error()));
+      (*cb)(cfg_or.error());
       return;
     }
     core::AlignConfig cfg = *cfg_or;
     cfg.traceback = false;
     if (cfg.band >= 0) {
       metrics_.on_invalid_request();
-      fail_promise(prom, ServiceError(Code::Unsupported,
-                                      "AlignService: batch cannot band"));
+      (*cb)(core::ConfigError{Code::Unsupported,
+                              "AlignService: batch cannot band"});
       return;
     }
     const size_t top_k = rq->options.top_k.value_or(opt_.default_top_k);
@@ -564,9 +605,8 @@ std::future<BatchResponse> AlignService::submit_batch(BatchRequest request) {
     }
     if (truncated) {
       metrics_.on_deadline_expired();
-      fail_promise(prom,
-                   ServiceError(Code::DeadlineExceeded,
-                                "AlignService: deadline expired mid-batch"));
+      (*cb)(core::ConfigError{Code::DeadlineExceeded,
+                              "AlignService: deadline expired mid-batch"});
       return;
     }
     RequestTrace tr = make_trace(Scenario::Batch, cfg, qwait, kernel_s, cells,
@@ -579,13 +619,21 @@ std::future<BatchResponse> AlignService::submit_batch(BatchRequest request) {
     if (cells8 > 0) metrics_.on_batch_packing(cells8, useful8);
     metrics_.on_kernel_completed(tr.isa, perf::KernelVariant::Batch32, cells);
     dispatch.end();
-    prom->set_value(BatchResponse{std::move(results), tr});
+    (*cb)(BatchResponse{std::move(results), tr});
   };
   task.id = trace_id;
   task.scenario = obs::Scenario::Batch;
   task.deadline_ns = deadline_to_ns(deadline);
-  enqueue(std::move(task),
-          [&prom](ServiceError e) { fail_promise(prom, std::move(e)); });
+  task.tier = rq->options.tier;
+  enqueue(std::move(task), [&cb](core::ConfigError e) { (*cb)(std::move(e)); });
+}
+
+std::future<BatchResponse> AlignService::submit_batch(BatchRequest request) {
+  auto prom = std::make_shared<std::promise<BatchResponse>>();
+  std::future<BatchResponse> fut = prom->get_future();
+  submit_async(std::move(request), [prom](core::ErrorOr<BatchResponse> out) {
+    fulfil_promise(prom, std::move(out));
+  });
   return fut;
 }
 

@@ -21,6 +21,7 @@
 // instead of throwing on a worker thread.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <deque>
@@ -48,30 +49,42 @@
 
 namespace swve::service {
 
-struct ServiceOptions {
-  /// Threads in the owned pool used for intra-request fan-out (0 =
-  /// hardware concurrency). Determinism: results match direct driver calls
-  /// made with a pool of the same size.
-  unsigned pool_threads = 0;
+/// Submission-queue behavior (executors, capacity, backpressure).
+struct QueueOptions {
   /// Executor threads draining the submission queue. 1 gives strict FIFO
   /// completion; more lets small pairwise requests overlap.
   unsigned executors = 1;
-  /// Bounded submission queue capacity (pending, not yet executing).
-  size_t queue_capacity = 256;
+  /// Bounded submission queue capacity (pending, not yet executing),
+  /// summed across QoS tiers.
+  size_t capacity = 256;
   /// What submit() does when the queue is full.
   enum class Overflow {
-    Reject,  ///< fail the future immediately with Code::QueueFull
+    Reject,  ///< fail the request immediately with QueueFull
     Block,   ///< block the submitter until space frees (backpressure)
   };
   Overflow overflow = Overflow::Reject;
-  /// Service-default alignment config (per-request override via
-  /// RequestOptions::config).
-  core::AlignConfig config;
-  /// Service-default hits per query for search/batch.
-  size_t default_top_k = 10;
   /// Start with executors paused (tests use this to fill the queue
   /// deterministically); call resume() to begin draining.
   bool start_paused = false;
+};
+
+/// Caching layers under the service (batch packing, query-state LRU).
+struct CacheOptions {
+  /// How the shared database is packed for the batch32 kernel. Every policy
+  /// returns identical hits/scores; LengthSorted (default) minimizes the
+  /// padding the 8-bit kernel burns on mixed-length batches.
+  core::PackingPolicy batch_packing = core::PackingPolicy::LengthSorted;
+  /// Distinct (query, config, ISA) entries the query-state cache holds;
+  /// back-to-back requests for a cached query skip rebuilding its kernel
+  /// feed arrays, and engine workspaces come from a reusable pool.
+  size_t query_cache_capacity = 32;
+  /// Disable the query-state cache entirely (every request builds its own
+  /// state, the pre-cache behavior). For A/B measurement and debugging.
+  bool query_cache_bypass = false;
+};
+
+/// Observability attachments (tracing, sampler, PMU, watchdog, top-down).
+struct ObsOptions {
   /// Optional trace sink: when set, every request records queue-wait,
   /// dispatch, and kernel-chunk spans into it (Chrome trace JSON via
   /// obs::TraceSink::chrome_trace_json). Not owned; must outlive the
@@ -85,17 +98,6 @@ struct ServiceOptions {
   /// Attach a perf::topdown_analyze breakdown to one in N completed
   /// requests (RequestTrace::topdown); 0 disables sampling.
   uint32_t topdown_every_n = 0;
-  /// How the shared database is packed for the batch32 kernel. Every policy
-  /// returns identical hits/scores; LengthSorted (default) minimizes the
-  /// padding the 8-bit kernel burns on mixed-length batches.
-  core::PackingPolicy batch_packing = core::PackingPolicy::LengthSorted;
-  /// Distinct (query, config, ISA) entries the query-state cache holds;
-  /// back-to-back requests for a cached query skip rebuilding its kernel
-  /// feed arrays, and engine workspaces come from a reusable pool.
-  size_t query_cache_capacity = 32;
-  /// Disable the query-state cache entirely (every request builds its own
-  /// state, the pre-cache behavior). For A/B measurement and debugging.
-  bool query_cache_bypass = false;
   /// Span-scoped hardware-counter attribution: kernel-chunk spans carry
   /// perf_event deltas (cycles/IPC/stalls/misses, effective GHz) and
   /// aggregate per ISA×kernel×width into the metrics. Degrades to a
@@ -108,10 +110,135 @@ struct ServiceOptions {
   double slow_request_slo_s = 0;
   /// Watchdog scan period.
   double watchdog_period_s = 0.05;
+};
+
+/// Network front-door knobs, consumed by net::Server (the in-process
+/// service ignores this group). Grouped here so one validated ServiceOptions
+/// configures the whole serving stack.
+struct ServeOptions {
+  /// TCP port to listen on; 0 picks an ephemeral port (tests/benches read
+  /// it back via net::Server::port()).
+  uint16_t port = 0;
+  /// Bind address (default loopback; "0.0.0.0" to serve externally).
+  std::string bind = "127.0.0.1";
+  /// listen(2) backlog.
+  int backlog = 128;
+  /// Hard per-frame payload limit; a length prefix beyond this is answered
+  /// with FrameTooLarge and the connection is closed.
+  size_t max_frame_bytes = 16u << 20;
+  /// Concurrent connections beyond which accept() immediately closes.
+  size_t max_connections = 1024;
+  /// Entries in the serialized-response LRU keyed by (scenario, query
+  /// bytes, config, top-k, db epoch). 0 disables the result cache.
+  size_t result_cache_capacity = 512;
+  /// Coalesce identical in-flight requests onto one service execution
+  /// (singleflight); every waiter gets a bit-identical response.
+  bool singleflight = true;
+  /// Answer "GET /metrics" (plus /healthz) on the same port with the
+  /// Prometheus exposition — no separate scrape sidecar needed.
+  bool http_metrics = true;
+  /// Graceful-drain budget on stop/SIGTERM: in-flight and queued requests
+  /// get this long to finish and flush before connections are dropped.
+  double drain_timeout_s = 10.0;
+};
+
+struct ServiceOptions {
+  /// Threads in the owned pool used for intra-request fan-out (0 =
+  /// hardware concurrency). Determinism: results match direct driver calls
+  /// made with a pool of the same size.
+  unsigned pool_threads = 0;
+  /// Service-default alignment config (per-request override via
+  /// RequestOptions::config).
+  core::AlignConfig config;
+  /// Service-default hits per query for search/batch.
+  size_t default_top_k = 10;
+
+  // The option groups. New code addresses these directly
+  // (opt.queue.capacity = ...); the flat references below keep the
+  // pre-group spellings compiling unchanged.
+  QueueOptions queue;
+  CacheOptions cache;
+  ObsOptions obs;
+  ServeOptions serve;
+
   /// Test hook: runs on the executor thread right before each request
   /// executes (its in-flight slot already occupied). Lets tests stall an
   /// engine deterministically to exercise the watchdog.
   std::function<void()> before_execute_hook;
+
+  using Overflow = QueueOptions::Overflow;  // pre-group spelling
+
+  // Deprecated flat aliases (pre-group field names). Each is a reference
+  // into its group, so reads and writes through either spelling see the
+  // same storage. Prefer the grouped names in new code.
+  unsigned& executors = queue.executors;
+  size_t& queue_capacity = queue.capacity;
+  Overflow& overflow = queue.overflow;
+  bool& start_paused = queue.start_paused;
+  core::PackingPolicy& batch_packing = cache.batch_packing;
+  size_t& query_cache_capacity = cache.query_cache_capacity;
+  bool& query_cache_bypass = cache.query_cache_bypass;
+  // (swve::obs:: spelled out — the `obs` group member shadows the namespace
+  // inside this class scope.)
+  swve::obs::TraceSink*& trace_sink = obs.trace_sink;
+  double& sampler_period_s = obs.sampler_period_s;
+  double& sampler_freq_probe_ms = obs.sampler_freq_probe_ms;
+  uint32_t& topdown_every_n = obs.topdown_every_n;
+  bool& pmu_attribution = obs.pmu_attribution;
+  double& slow_request_slo_s = obs.slow_request_slo_s;
+  double& watchdog_period_s = obs.watchdog_period_s;
+
+  // The alias references must always bind to this object's own groups, so
+  // copies/moves copy the groups and let the references re-default (a
+  // compiler-generated copy would bind them into the source object).
+  ServiceOptions() = default;
+  ServiceOptions(const ServiceOptions& o) { assign(o); }
+  ServiceOptions(ServiceOptions&& o) noexcept { assign(o); }
+  ServiceOptions& operator=(const ServiceOptions& o) {
+    if (this != &o) assign(o);
+    return *this;
+  }
+  ServiceOptions& operator=(ServiceOptions&& o) noexcept {
+    if (this != &o) assign(o);
+    return *this;
+  }
+
+  /// One validation seam for the whole stack: the alignment config plus
+  /// structural sanity of every group (so a server refuses to start on a
+  /// config the first request would only have failed at runtime).
+  core::ErrorOr<void> try_validate() const {
+    if (auto st = config.try_validate(); !st) return st.error();
+    using Code = core::ConfigError::Code;
+    if (queue.executors == 0)
+      return core::ConfigError{Code::Unsupported,
+                               "ServiceOptions: queue.executors must be >= 1"};
+    if (queue.capacity == 0)
+      return core::ConfigError{Code::Unsupported,
+                               "ServiceOptions: queue.capacity must be >= 1"};
+    if (serve.max_frame_bytes < 64)
+      return core::ConfigError{
+          Code::Unsupported,
+          "ServiceOptions: serve.max_frame_bytes too small for any frame"};
+    if (serve.bind.empty())
+      return core::ConfigError{Code::Unsupported,
+                               "ServiceOptions: serve.bind must not be empty"};
+    if (serve.drain_timeout_s < 0)
+      return core::ConfigError{
+          Code::Unsupported, "ServiceOptions: serve.drain_timeout_s < 0"};
+    return {};
+  }
+
+ private:
+  void assign(const ServiceOptions& o) {
+    pool_threads = o.pool_threads;
+    config = o.config;
+    default_top_k = o.default_top_k;
+    queue = o.queue;
+    cache = o.cache;
+    obs = o.obs;
+    serve = o.serve;
+    before_execute_hook = o.before_execute_hook;
+  }
 };
 
 class AlignService {
@@ -129,6 +256,18 @@ class AlignService {
   AlignService(const AlignService&) = delete;
   AlignService& operator=(const AlignService&) = delete;
 
+  // Non-throwing submission: exactly one `done` invocation per call, with
+  // the response or a core::ConfigError (map to the wire with to_status()).
+  // Immediate rejections (queue full under Overflow::Reject, shutdown) run
+  // `done` inline on the submitting thread. This is the primary API — the
+  // network front door hangs its completion pump on it.
+  void submit_async(AlignRequest request, AlignCompletion done);
+  void submit_async(SearchRequest request, SearchCompletion done);
+  void submit_async(BatchRequest request, BatchCompletion done);
+
+  // Deprecated future-based shims over submit_async: failures surface as a
+  // ServiceError thrown from future::get() instead of an ErrorOr. Kept for
+  // existing embedders; no new functionality lands here.
   std::future<AlignResponse> submit(AlignRequest request);
   std::future<SearchResponse> submit_search(SearchRequest request);
   std::future<BatchResponse> submit_batch(BatchRequest request);
@@ -158,6 +297,9 @@ class AlignService {
   unsigned pool_threads() const noexcept { return pool_.size(); }
   const ServiceOptions& options() const noexcept { return opt_; }
   bool has_database() const noexcept { return db_ != nullptr; }
+  /// The shared database (null for a pairwise-only service); the network
+  /// layer fingerprints it into cache keys (net::database_epoch).
+  const seq::SequenceDatabase* database() const noexcept { return db_; }
   /// Lanes of the packed batch database (0 without a database).
   int batch_lanes() const noexcept { return bdb_ ? bdb_->lanes() : 0; }
   /// The packed batch database (null without one); exposes packing policy
@@ -184,11 +326,12 @@ class AlignService {
 
  private:
   struct Task {
-    /// Runs the request (aborted=true: fail the promise without running).
+    /// Runs the request (aborted=true: fail the completion without running).
     std::function<void(bool aborted)> run;
     uint64_t id = 0;                               ///< request trace id
     obs::Scenario scenario = obs::Scenario::Pairwise;
     uint64_t deadline_ns = 0;  ///< absolute, steady_now_ns() scale; 0=none
+    QosTier tier = QosTier::Standard;
   };
 
   /// Resolve per-request options against service defaults; returns the
@@ -196,9 +339,17 @@ class AlignService {
   core::ErrorOr<core::AlignConfig> effective_config(
       const RequestOptions& options) const;
 
-  /// Enqueue under the capacity policy. On rejection, fulfils `reject`
-  /// (set the QueueFull/ShuttingDown exception) and returns false.
-  bool enqueue(Task task, const std::function<void(ServiceError)>& reject);
+  /// Enqueue under the capacity policy (into the task's QoS tier). On
+  /// rejection, fulfils `reject` with the QueueFull/ShuttingDown error and
+  /// returns false.
+  bool enqueue(Task task,
+               const std::function<void(core::ConfigError)>& reject);
+
+  /// Pending tasks summed across tiers. Caller holds mu_.
+  size_t queued_locked() const;
+  /// Pop the highest-priority pending task. Caller holds mu_ and has
+  /// checked queued_locked() > 0.
+  Task pop_locked();
 
   void executor_loop(unsigned index);
 
@@ -237,7 +388,7 @@ class AlignService {
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   ///< executors: queue non-empty/stop
   std::condition_variable space_cv_;  ///< blocking submitters: space freed
-  std::deque<Task> queue_;
+  std::array<std::deque<Task>, kQosTiers> queues_;  ///< one FIFO per tier
   bool stop_ = false;
   bool paused_ = false;
 

@@ -21,12 +21,15 @@
 #include "core/result.hpp"
 #include "perf/topdown.hpp"
 #include "seq/sequence.hpp"
+#include "service/status.hpp"
 
 namespace swve::service {
 
-/// Error carried by a failed future. The code is a core::ConfigError::Code
-/// so validation failures, backpressure, and deadline expiry are all
-/// distinguishable programmatically.
+/// Error carried by a failed future on the legacy submit() path. The code
+/// is a core::ConfigError::Code so validation failures, backpressure, and
+/// deadline expiry are all distinguishable programmatically. New code
+/// should prefer the submit_async() overloads, which deliver the same
+/// information as a core::ErrorOr without exceptions (see status()).
 class ServiceError : public std::runtime_error {
  public:
   using Code = core::ConfigError::Code;
@@ -35,24 +38,55 @@ class ServiceError : public std::runtime_error {
   explicit ServiceError(const core::ConfigError& err)
       : ServiceError(err.code, err.message) {}
   Code code() const noexcept { return code_; }
+  /// The service-boundary status this failure crosses the wire as.
+  ServiceStatus status() const noexcept { return to_status(code_); }
 
  private:
   Code code_;
 };
 
+/// Priority tier of a request. Executors always drain Interactive before
+/// Standard before Bulk (FIFO within a tier), so latency-sensitive traffic
+/// overtakes throughput traffic at every dequeue — the QoS half of the
+/// existing deadline + backpressure support. Values are the protocol v1
+/// tier byte; append-only.
+enum class QosTier : uint8_t {
+  Interactive = 0,  ///< user-facing, latency-sensitive
+  Standard = 1,     ///< default
+  Bulk = 2,         ///< offline / best-effort (batch reprocessing)
+};
+inline constexpr int kQosTiers = 3;
+
+constexpr const char* qos_tier_name(QosTier t) noexcept {
+  switch (t) {
+    case QosTier::Interactive: return "interactive";
+    case QosTier::Standard: return "standard";
+    case QosTier::Bulk: return "bulk";
+  }
+  return "unknown";
+}
+
+/// Clamp a wire tier byte to a valid QosTier (unknown tiers serve as Bulk
+/// rather than being rejected — forward compatibility for new tiers).
+constexpr QosTier qos_tier_from_wire(uint8_t b) noexcept {
+  return b < kQosTiers ? static_cast<QosTier>(b) : QosTier::Bulk;
+}
+
 /// Per-call overrides; unset fields fall back to the service defaults.
 struct RequestOptions {
   /// Replace the service's AlignConfig wholesale for this request
-  /// (validated with try_validate(); a bad config fails the future).
+  /// (validated with try_validate(); a bad config fails the request).
   std::optional<core::AlignConfig> config;
   /// Hits to keep per query (search/batch; service default otherwise).
   std::optional<size_t> top_k;
   /// Request a traceback (pairwise only; search/batch score without it).
   std::optional<bool> traceback;
   /// Relative deadline, measured from submit. The request fails with
-  /// Code::DeadlineExceeded if it is still queued — or still running, at
+  /// DeadlineExceeded if it is still queued — or still running, at
   /// sequence-chunk granularity — when the deadline passes.
   std::optional<std::chrono::steady_clock::duration> deadline;
+  /// Priority tier; executors dequeue lower tiers first (FIFO within one).
+  QosTier tier = QosTier::Standard;
 };
 
 /// Scenario 3 (pairwise, SW-as-a-subroutine).
@@ -120,5 +154,16 @@ struct BatchResponse {
   std::vector<align::BatchQueryResult> results;
   RequestTrace trace;
 };
+
+/// Completion callbacks of the non-throwing submit_async() API: exactly one
+/// invocation per submission, with either the response or a ConfigError
+/// (convert with to_status() for the wire). Immediate rejections — queue
+/// full under Overflow::Reject, shutdown — run the callback inline on the
+/// submitting thread; everything else runs it on an executor thread.
+template <typename Response>
+using Completion = std::function<void(core::ErrorOr<Response>)>;
+using AlignCompletion = Completion<AlignResponse>;
+using SearchCompletion = Completion<SearchResponse>;
+using BatchCompletion = Completion<BatchResponse>;
 
 }  // namespace swve::service

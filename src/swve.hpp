@@ -3,6 +3,8 @@
 // Umbrella header for the public API:
 //   swve::service::AlignService async request/future front door over all
 //                               three scenarios, with metrics
+//   swve::net::Server/Client    protocol v1 TCP serving layer over the
+//                               service (singleflight, result cache, QoS)
 //   swve::align::Aligner        pairwise alignment (scenario 3 friendly)
 //   swve::align::DatabaseSearch single query vs database (scenario 1)
 //   swve::align::BatchServer    many queries vs database (scenario 2)
@@ -28,6 +30,9 @@
 #include "core/traceback.hpp"
 #include "matrix/query_profile.hpp"
 #include "matrix/score_matrix.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
 #include "obs/exporters.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/inflight.hpp"

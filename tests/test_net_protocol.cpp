@@ -1,0 +1,353 @@
+// Protocol v1 codecs (net/protocol.hpp) and the debug-mode JSON layer:
+// header and payload round-trips, deterministic re-encoding (the
+// result-cache contract), rejection of truncated / fuzzed / oversized
+// payloads, cache-key semantics, and the ResultCache/Singleflight
+// coalescing substrate.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "matrix/score_matrix.hpp"
+#include "net/coalesce.hpp"
+#include "net/json.hpp"
+#include "net/protocol.hpp"
+#include "seq/synthetic.hpp"
+
+namespace swve::net {
+namespace {
+
+using service::AlignRequest;
+using service::BatchRequest;
+using service::SearchRequest;
+
+seq::Sequence make_seq(uint64_t seed, uint32_t len) {
+  return seq::generate_sequence(seed, len);
+}
+
+std::vector<uint8_t> codes_of(const seq::Sequence& s) {
+  return {s.codes().begin(), s.codes().end()};
+}
+
+AlignRequest make_align_request() {
+  AlignRequest rq;
+  rq.query = make_seq(1, 60);
+  rq.reference = make_seq(2, 90);
+  rq.options.traceback = true;
+  rq.options.top_k = 7;
+  rq.options.tier = service::QosTier::Interactive;
+  core::AlignConfig cfg;
+  cfg.matrix = matrix::ScoreMatrix::find("blosum50");
+  cfg.gap_open = 10;
+  cfg.gap_extend = 2;
+  rq.options.config = cfg;
+  return rq;
+}
+
+SearchRequest make_search_request() {
+  SearchRequest rq;
+  rq.query = make_seq(3, 120);
+  rq.mode = align::SearchMode::Batch;
+  rq.options.top_k = 5;
+  return rq;
+}
+
+BatchRequest make_batch_request() {
+  BatchRequest rq;
+  rq.queries = {make_seq(4, 40), make_seq(5, 80), make_seq(6, 120)};
+  rq.options.top_k = 3;
+  return rq;
+}
+
+// ------------------------------------------------------------------ header
+
+TEST(NetProtocol, HeaderRoundTrip) {
+  FrameHeader h;
+  h.type = MsgType::SearchRequest;
+  h.flags = kFlagNoCache | kFlagJson;
+  h.tier = 2;
+  h.status = 5;
+  h.request_id = 0x1122334455667788ull;
+  h.payload_len = 12345;
+
+  std::string bytes;
+  encode_header(bytes, h);
+  ASSERT_EQ(bytes.size(), kHeaderSize);
+
+  const auto back = decode_header(reinterpret_cast<const uint8_t*>(bytes.data()));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->type, h.type);
+  EXPECT_EQ(back->flags, h.flags);
+  EXPECT_EQ(back->tier, h.tier);
+  EXPECT_EQ(back->status, h.status);
+  EXPECT_EQ(back->request_id, h.request_id);
+  EXPECT_EQ(back->payload_len, h.payload_len);
+}
+
+TEST(NetProtocol, HeaderRejectsBadMagic) {
+  std::string bytes;
+  encode_header(bytes, FrameHeader{});
+  bytes[0] ^= 0x5a;
+  EXPECT_FALSE(
+      decode_header(reinterpret_cast<const uint8_t*>(bytes.data())));
+}
+
+// ---------------------------------------------------------- request codecs
+
+TEST(NetProtocol, AlignRequestRoundTrip) {
+  const AlignRequest rq = make_align_request();
+  std::string payload;
+  encode_align_request(payload, rq);
+  const auto back = decode_align_request(payload);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(codes_of(back->query), codes_of(rq.query));
+  EXPECT_EQ(codes_of(back->reference), codes_of(rq.reference));
+  EXPECT_EQ(back->options.top_k, rq.options.top_k);
+  EXPECT_EQ(back->options.traceback, rq.options.traceback);
+  ASSERT_TRUE(back->options.config.has_value());
+  EXPECT_EQ(back->options.config->matrix, rq.options.config->matrix);
+  EXPECT_EQ(back->options.config->gap_open, rq.options.config->gap_open);
+
+  // Re-encoding the decoded request reproduces the bytes exactly — the
+  // property cache keys rely on.
+  std::string again;
+  encode_align_request(again, *back);
+  EXPECT_EQ(again, payload);
+}
+
+TEST(NetProtocol, SearchRequestRoundTrip) {
+  const SearchRequest rq = make_search_request();
+  std::string payload;
+  encode_search_request(payload, rq);
+  const auto back = decode_search_request(payload);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(codes_of(back->query), codes_of(rq.query));
+  EXPECT_EQ(back->mode, rq.mode);
+  EXPECT_EQ(back->options.top_k, rq.options.top_k);
+}
+
+TEST(NetProtocol, BatchRequestRoundTrip) {
+  const BatchRequest rq = make_batch_request();
+  std::string payload;
+  encode_batch_request(payload, rq);
+  const auto back = decode_batch_request(payload);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->queries.size(), rq.queries.size());
+  for (size_t i = 0; i < rq.queries.size(); ++i)
+    EXPECT_EQ(codes_of(back->queries[i]), codes_of(rq.queries[i]));
+}
+
+TEST(NetProtocol, EveryTruncationIsRejected) {
+  std::string align_p, search_p, batch_p;
+  encode_align_request(align_p, make_align_request());
+  encode_search_request(search_p, make_search_request());
+  encode_batch_request(batch_p, make_batch_request());
+
+  for (size_t n = 0; n < align_p.size(); ++n)
+    EXPECT_FALSE(decode_align_request(std::string_view(align_p).substr(0, n)))
+        << "align prefix " << n;
+  for (size_t n = 0; n < search_p.size(); ++n)
+    EXPECT_FALSE(
+        decode_search_request(std::string_view(search_p).substr(0, n)))
+        << "search prefix " << n;
+  for (size_t n = 0; n < batch_p.size(); ++n)
+    EXPECT_FALSE(decode_batch_request(std::string_view(batch_p).substr(0, n)))
+        << "batch prefix " << n;
+}
+
+TEST(NetProtocol, FuzzedPayloadsNeverCrash) {
+  // Deterministic xorshift mutations of a valid payload plus pure-noise
+  // buffers: every decode must return cleanly (usually nullopt, never UB).
+  std::string base;
+  encode_batch_request(base, make_batch_request());
+
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto rnd = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string mutated = base;
+    const int flips = 1 + static_cast<int>(rnd() % 8);
+    for (int f = 0; f < flips; ++f)
+      mutated[rnd() % mutated.size()] ^= static_cast<char>(rnd() & 0xff);
+    (void)decode_batch_request(mutated);
+    (void)decode_search_request(mutated);
+    (void)decode_align_request(mutated);
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string noise(rnd() % 512, '\0');
+    for (auto& b : noise) b = static_cast<char>(rnd() & 0xff);
+    (void)decode_batch_request(noise);
+    (void)decode_search_request(noise);
+    (void)decode_align_request(noise);
+    (void)decode_align_response(noise);
+    (void)decode_search_response(noise);
+    (void)decode_batch_response(noise);
+  }
+}
+
+TEST(NetProtocol, HugeCountFieldIsRejectedWithoutAllocating) {
+  // A hostile batch payload claiming 2^32-1 queries in a tiny buffer must
+  // fail the count-vs-remaining sanity check, not try to reserve memory.
+  std::string payload;
+  payload.append("\xff\xff\xff\xff", 4);  // u32 query count
+  payload.append(16, '\0');
+  EXPECT_FALSE(decode_batch_request(payload));
+}
+
+// ----------------------------------------------------------------- JSON
+
+TEST(NetJson, ParseAndDump) {
+  const auto doc = Json::parse(R"({"b":true,"n":3.5,"s":"x\n","a":[1,2]})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_TRUE((*doc)["b"].as_bool());
+  EXPECT_DOUBLE_EQ((*doc)["n"].as_number(), 3.5);
+  EXPECT_EQ((*doc)["s"].as_string(), "x\n");
+  ASSERT_TRUE((*doc)["a"].is_array());
+  EXPECT_EQ((*doc)["a"].as_array().size(), 2u);
+
+  const auto again = Json::parse(doc->dump());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->dump(), doc->dump());
+}
+
+TEST(NetJson, RejectsTrailingGarbageAndDeepNesting) {
+  EXPECT_FALSE(Json::parse("{} trailing"));
+  EXPECT_FALSE(Json::parse("{\"a\":}"));
+  EXPECT_FALSE(Json::parse(""));
+  std::string deep(64, '[');
+  deep += std::string(64, ']');
+  EXPECT_FALSE(Json::parse(deep));  // depth limit 32
+}
+
+TEST(NetJson, AlignRequestFromJson) {
+  const auto rq = decode_align_request_json(
+      R"({"query":"MKVLA","ref":"MKVLAW","traceback":true,"top_k":4,)"
+      R"("config":{"matrix":"blosum62","gap_open":11,"gap_extend":1}})");
+  ASSERT_TRUE(rq.has_value());
+  EXPECT_EQ(rq->query.length(), 5u);
+  EXPECT_EQ(rq->reference.length(), 6u);
+  EXPECT_EQ(rq->options.top_k, 4u);
+  ASSERT_TRUE(rq->options.config.has_value());
+  EXPECT_EQ(rq->options.config->matrix, matrix::ScoreMatrix::find("blosum62"));
+  EXPECT_FALSE(decode_align_request_json("{\"query\":17}"));
+  EXPECT_FALSE(decode_align_request_json("not json"));
+}
+
+TEST(NetProtocol, ErrorPayloadFormats) {
+  const std::string bin =
+      error_payload(service::ServiceStatus::QueueFull, "try later", false);
+  EXPECT_EQ(bin, "try later");
+  const std::string js =
+      error_payload(service::ServiceStatus::QueueFull, "try later", true);
+  const auto doc = Json::parse(js);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ((*doc)["status"].as_string(), "queue_full");
+  EXPECT_EQ((*doc)["message"].as_string(), "try later");
+}
+
+// ------------------------------------------------------------- cache keys
+
+TEST(NetCacheKey, IdentityAndSensitivity) {
+  const SearchRequest rq = make_search_request();
+  const uint64_t epoch = 42;
+  const uint64_t key = cache_key(rq, epoch);
+  EXPECT_EQ(cache_key(rq, epoch), key);  // deterministic
+
+  // Result-affecting fields change the key...
+  SearchRequest other = rq;
+  other.query = make_seq(99, 120);
+  EXPECT_NE(cache_key(other, epoch), key);
+  other = rq;
+  other.options.top_k = 6;
+  EXPECT_NE(cache_key(other, epoch), key);
+  other = rq;
+  other.mode = align::SearchMode::Diagonal;
+  EXPECT_NE(cache_key(other, epoch), key);
+  EXPECT_NE(cache_key(rq, epoch + 1), key);  // different database
+
+  // ...scheduling-only fields do not: tier and deadline shape when a
+  // request runs, never what it returns.
+  other = rq;
+  other.options.tier = service::QosTier::Bulk;
+  other.options.deadline = std::chrono::seconds(1);
+  EXPECT_EQ(cache_key(other, epoch), key);
+}
+
+TEST(NetCacheKey, ScenariosNeverCollide) {
+  // An align and a search request over the same bytes must key apart.
+  AlignRequest a;
+  a.query = make_seq(7, 50);
+  a.reference = make_seq(8, 50);
+  SearchRequest s;
+  s.query = make_seq(7, 50);
+  EXPECT_NE(cache_key(a, 1), cache_key(s, 1));
+}
+
+TEST(NetCacheKey, DatabaseEpochTracksContent) {
+  seq::SyntheticConfig cfg;
+  cfg.target_residues = 20'000;
+  cfg.seed = 1;
+  const auto db1 = seq::SequenceDatabase::synthetic(cfg);
+  const auto db1b = seq::SequenceDatabase::synthetic(cfg);
+  cfg.seed = 2;
+  const auto db2 = seq::SequenceDatabase::synthetic(cfg);
+  EXPECT_EQ(database_epoch(db1), database_epoch(db1b));
+  EXPECT_NE(database_epoch(db1), database_epoch(db2));
+}
+
+// ------------------------------------------------------------- coalescing
+
+TEST(NetCoalesce, ResultCacheLruEviction) {
+  ResultCache cache(2);
+  const auto resp = [](const char* p) {
+    CachedResponse r;
+    r.payload = p;
+    return r;
+  };
+  EXPECT_EQ(cache.put(1, resp("one")), 0u);
+  EXPECT_EQ(cache.put(2, resp("two")), 0u);
+  ASSERT_NE(cache.get(1), nullptr);  // refreshes 1; 2 becomes LRU
+  EXPECT_EQ(cache.put(3, resp("three")), 1u);
+  EXPECT_EQ(cache.get(2), nullptr);  // evicted
+  ASSERT_NE(cache.get(1), nullptr);
+  EXPECT_EQ(cache.get(1)->payload, "one");
+  ASSERT_NE(cache.get(3), nullptr);
+  EXPECT_EQ(cache.entries(), 2u);
+}
+
+TEST(NetCoalesce, ZeroCapacityCacheIsDisabled) {
+  ResultCache cache(0);
+  CachedResponse r;
+  r.payload = "x";
+  EXPECT_EQ(cache.put(1, r), 0u);
+  EXPECT_EQ(cache.get(1), nullptr);
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(NetCoalesce, SingleflightJoinsAndCompletes) {
+  Singleflight sf;
+  EXPECT_TRUE(sf.join(10, FlightWaiter{1, 100, false, false}));   // starts
+  EXPECT_FALSE(sf.join(10, FlightWaiter{2, 200, false, false}));  // joins
+  EXPECT_FALSE(sf.join(10, FlightWaiter{3, 300, false, false}));
+  EXPECT_TRUE(sf.join(11, FlightWaiter{1, 101, false, false}));  // new key
+  EXPECT_EQ(sf.inflight(), 2u);
+
+  sf.drop_connection(2);  // disconnect one waiter; the flight stays live
+  const auto waiters = sf.complete(10);
+  ASSERT_EQ(waiters.size(), 2u);
+  EXPECT_TRUE(waiters[0].initiator);
+  EXPECT_EQ(waiters[0].request_id, 100u);
+  EXPECT_FALSE(waiters[1].initiator);
+  EXPECT_EQ(waiters[1].request_id, 300u);
+  EXPECT_EQ(sf.inflight(), 1u);
+  EXPECT_TRUE(sf.complete(999).empty());  // unknown key is harmless
+}
+
+}  // namespace
+}  // namespace swve::net

@@ -1,0 +1,400 @@
+// End-to-end tests of net::Server + net::Client over a real loopback
+// socket: wire results bit-identical to in-process AlignService calls,
+// result-cache hits (kFlagFromCache), singleflight coalescing under a
+// paused service (kFlagCoalesced), protocol-error statuses, partial-frame
+// reassembly, oversized-frame rejection, deadline mapping, the HTTP
+// /metrics endpoint, and graceful drain.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/json.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "seq/synthetic.hpp"
+#include "service/align_service.hpp"
+
+namespace swve::net {
+namespace {
+
+using service::AlignRequest;
+using service::SearchRequest;
+using service::ServiceStatus;
+using std::chrono::milliseconds;
+
+seq::SequenceDatabase make_db(uint64_t residues = 60'000, uint64_t seed = 15) {
+  seq::SyntheticConfig cfg;
+  cfg.seed = seed;
+  cfg.target_residues = residues;
+  cfg.min_length = 20;
+  cfg.max_length = 400;
+  return seq::SequenceDatabase::synthetic(cfg);
+}
+
+/// A service + server on an ephemeral loopback port, torn down in order.
+struct Loopback {
+  explicit Loopback(service::ServiceOptions opt = {}, uint64_t residues = 60'000)
+      : db(make_db(residues)) {
+    opt.serve.port = 0;  // ephemeral
+    svc = std::make_unique<service::AlignService>(db, opt);
+    auto started = Server::start(*svc);
+    if (!started.ok()) {
+      ADD_FAILURE() << started.error().message;
+      return;
+    }
+    server = std::move(started.value());
+  }
+
+  std::unique_ptr<Client> client(double timeout_s = 20.0) {
+    auto c = Client::connect("127.0.0.1", server->port(), timeout_s);
+    EXPECT_TRUE(c.ok());
+    return std::move(c.value());
+  }
+
+  seq::SequenceDatabase db;
+  std::unique_ptr<service::AlignService> svc;
+  std::unique_ptr<Server> server;
+};
+
+SearchRequest search_request(uint64_t seed = 31, uint32_t len = 150) {
+  SearchRequest rq;
+  rq.query = seq::generate_sequence(seed, len);
+  rq.options.top_k = 5;
+  return rq;
+}
+
+TEST(NetServer, SearchOverWireMatchesInProcess) {
+  Loopback lb;
+  const SearchRequest rq = search_request();
+
+  const auto wire = lb.client()->search(rq);
+  ASSERT_TRUE(wire.ok()) << wire.error;
+
+  auto fut = lb.svc->submit_search(rq);
+  const auto local = fut.get();
+
+  // The tentpole sentinel: hits decoded off the wire are bit-identical to
+  // the in-process response.
+  ASSERT_EQ(wire.response->result.hits.size(), local.result.hits.size());
+  for (size_t i = 0; i < local.result.hits.size(); ++i) {
+    EXPECT_EQ(wire.response->result.hits[i].seq_index,
+              local.result.hits[i].seq_index);
+    EXPECT_EQ(wire.response->result.hits[i].score, local.result.hits[i].score);
+    EXPECT_EQ(wire.response->result.hits[i].end_query,
+              local.result.hits[i].end_query);
+    EXPECT_EQ(wire.response->result.hits[i].end_ref,
+              local.result.hits[i].end_ref);
+  }
+}
+
+TEST(NetServer, AlignWithTracebackMatchesInProcess) {
+  Loopback lb;
+  AlignRequest rq;
+  rq.query = seq::generate_sequence(7, 90);
+  rq.reference = seq::generate_sequence(8, 130);
+  rq.options.traceback = true;
+
+  const auto wire = lb.client()->align(rq);
+  ASSERT_TRUE(wire.ok()) << wire.error;
+  auto fut = lb.svc->submit(rq);
+  const auto local = fut.get();
+
+  EXPECT_EQ(wire.response->alignment.score, local.alignment.score);
+  EXPECT_EQ(wire.response->alignment.end_query, local.alignment.end_query);
+  EXPECT_EQ(wire.response->alignment.end_ref, local.alignment.end_ref);
+  EXPECT_EQ(wire.response->alignment.begin_query, local.alignment.begin_query);
+  EXPECT_EQ(wire.response->alignment.begin_ref, local.alignment.begin_ref);
+  EXPECT_EQ(wire.response->alignment.cigar.to_string(),
+            local.alignment.cigar.to_string());
+}
+
+TEST(NetServer, RepeatedRequestServedFromCache) {
+  Loopback lb;
+  auto client = lb.client();
+  const SearchRequest rq = search_request();
+
+  const auto first = client->search(rq);
+  ASSERT_TRUE(first.ok()) << first.error;
+  EXPECT_FALSE(first.from_cache());
+
+  const auto second = client->search(rq);
+  ASSERT_TRUE(second.ok()) << second.error;
+  EXPECT_TRUE(second.from_cache());
+
+  // Identical decoded results either way.
+  ASSERT_EQ(first.response->result.hits.size(),
+            second.response->result.hits.size());
+  for (size_t i = 0; i < first.response->result.hits.size(); ++i)
+    EXPECT_EQ(first.response->result.hits[i].score,
+              second.response->result.hits[i].score);
+
+  // And kFlagNoCache forces a fresh execution.
+  const auto third = client->search(rq, kFlagNoCache);
+  ASSERT_TRUE(third.ok());
+  EXPECT_FALSE(third.from_cache());
+
+  const auto snap = lb.server->metrics();
+  EXPECT_GE(snap.result_cache_hits, 1u);
+  EXPECT_GE(snap.result_cache_misses, 1u);
+  EXPECT_GE(snap.result_cache_entries, 1u);
+  EXPECT_GT(snap.result_cache_hit_rate(), 0.0);
+}
+
+TEST(NetServer, IdenticalInflightRequestsCoalesce) {
+  service::ServiceOptions opt;
+  opt.queue.start_paused = true;  // hold execution so both requests queue
+  Loopback lb(opt);
+  const SearchRequest rq = search_request();
+
+  auto c1 = lb.client();
+  auto c2 = lb.client();
+  RpcResult<service::SearchResponse> r1, r2;
+  std::thread t1([&] { r1 = c1->search(rq); });
+  std::thread t2([&] { r2 = c2->search(rq); });
+
+  // Wait until the coalesced join is visible in the metrics, then release
+  // the executors: exactly one execution serves both clients.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (lb.svc->metrics().coalesced < 1 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(milliseconds(5));
+  lb.svc->resume();
+  t1.join();
+  t2.join();
+
+  ASSERT_TRUE(r1.ok()) << r1.error;
+  ASSERT_TRUE(r2.ok()) << r2.error;
+  EXPECT_EQ(r1.coalesced() + r2.coalesced(), 1)  // exactly one joiner
+      << "initiator and joiner flags: " << int(r1.flags) << " "
+      << int(r2.flags);
+  ASSERT_EQ(r1.response->result.hits.size(), r2.response->result.hits.size());
+  for (size_t i = 0; i < r1.response->result.hits.size(); ++i)
+    EXPECT_EQ(r1.response->result.hits[i].score,
+              r2.response->result.hits[i].score);
+
+  const auto snap = lb.server->metrics();
+  EXPECT_EQ(snap.coalesced, 1u);
+  EXPECT_GT(snap.dedup_ratio(), 0.0);
+}
+
+TEST(NetServer, ErrorStatusesCrossTheWire) {
+  // Pairwise-only service: search must come back NoDatabase, not a hang or
+  // a protocol error.
+  service::ServiceOptions opt;
+  auto svc = std::make_unique<service::AlignService>(opt);  // no database
+  auto started = Server::start(*svc);
+  ASSERT_TRUE(started.ok());
+  auto client = Client::connect("127.0.0.1", started.value()->port(), 20.0);
+  ASSERT_TRUE(client.ok());
+
+  const auto r = client.value()->search(search_request());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status, ServiceStatus::NoDatabase);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(NetServer, ProtocolErrorsAreTyped) {
+  Loopback lb;
+
+  {  // Undecodable payload under a valid header -> BadFrame.
+    auto c = lb.client();
+    FrameHeader h;
+    h.type = MsgType::SearchRequest;
+    h.request_id = 5;
+    const auto reply = c->roundtrip_raw(encode_frame(h, "garbage"));
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->first.type, MsgType::ErrorResponse);
+    EXPECT_EQ(service::status_from_wire(reply->first.status),
+              ServiceStatus::BadFrame);
+    EXPECT_EQ(reply->first.request_id, 5u);
+  }
+  {  // Unknown type byte -> UnknownType.
+    auto c = lb.client();
+    FrameHeader h;
+    h.type = static_cast<MsgType>(77);
+    const auto reply = c->roundtrip_raw(encode_frame(h, ""));
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(service::status_from_wire(reply->first.status),
+              ServiceStatus::UnknownType);
+  }
+  {  // Bad magic -> BadVersion, then the connection is dropped.
+    auto c = lb.client();
+    std::string frame = encode_frame(FrameHeader{}, "");
+    frame[0] = 'X';
+    const auto reply = c->roundtrip_raw(frame);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(service::status_from_wire(reply->first.status),
+              ServiceStatus::BadVersion);
+    EXPECT_FALSE(c->read_frame().has_value());  // server closed
+  }
+  const auto snap = lb.server->metrics();
+  EXPECT_GE(snap.server_protocol_errors, 3u);
+}
+
+TEST(NetServer, OversizedFrameRejected) {
+  service::ServiceOptions opt;
+  opt.serve.max_frame_bytes = 1024;
+  Loopback lb(opt);
+  auto c = lb.client();
+
+  FrameHeader h;
+  h.type = MsgType::SearchRequest;
+  h.payload_len = 1u << 20;  // claims 1 MiB
+  std::string bytes;
+  encode_header(bytes, h);
+  ASSERT_TRUE(c->send_raw(bytes));
+  const auto reply = c->read_frame();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(service::status_from_wire(reply->first.status),
+            ServiceStatus::FrameTooLarge);
+  EXPECT_FALSE(c->read_frame().has_value());  // connection closed
+}
+
+TEST(NetServer, PartialFramesReassemble) {
+  Loopback lb;
+  auto c = lb.client();
+  const SearchRequest rq = search_request();
+  std::string payload;
+  encode_search_request(payload, rq);
+  FrameHeader h;
+  h.type = MsgType::SearchRequest;
+  h.request_id = 9;
+  const std::string frame = encode_frame(h, payload);
+
+  // Dribble the frame across five writes with pauses; the server must
+  // buffer and answer exactly once it has the whole thing.
+  const size_t step = frame.size() / 5 + 1;
+  for (size_t off = 0; off < frame.size(); off += step) {
+    ASSERT_TRUE(c->send_raw(frame.substr(off, step)));
+    std::this_thread::sleep_for(milliseconds(20));
+  }
+  const auto reply = c->read_frame();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->first.type, MsgType::SearchResponse);
+  EXPECT_EQ(reply->first.request_id, 9u);
+  const auto decoded = decode_search_response(reply->second);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->result.hits.size(), 5u);
+}
+
+TEST(NetServer, JsonDebugMode) {
+  Loopback lb;
+  auto c = lb.client();
+  FrameHeader h;
+  h.type = MsgType::AlignRequest;
+  h.flags = kFlagJson;
+  h.request_id = 3;
+  const auto reply = c->roundtrip_raw(encode_frame(
+      h, R"({"query":"MKVLAEEQW","ref":"MKVLAEEQW","traceback":true})"));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->first.type, MsgType::AlignResponse);
+  EXPECT_NE(reply->first.flags & kFlagJson, 0);
+  const auto doc = Json::parse(reply->second);
+  ASSERT_TRUE(doc.has_value()) << reply->second;
+  EXPECT_GT((*doc)["score"].as_number(), 0.0);
+}
+
+TEST(NetServer, DeadlineExpiresInQueue) {
+  service::ServiceOptions opt;
+  opt.queue.start_paused = true;
+  Loopback lb(opt);
+  auto c = lb.client();
+
+  SearchRequest rq = search_request();
+  rq.options.deadline = milliseconds(1);
+  std::thread release([&] {
+    std::this_thread::sleep_for(milliseconds(300));
+    lb.svc->resume();
+  });
+  const auto r = c->search(rq);
+  release.join();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status, ServiceStatus::DeadlineExceeded);
+}
+
+TEST(NetServer, HttpMetricsAndHealth) {
+  Loopback lb;
+  // Generate one request so the counters are warm.
+  ASSERT_TRUE(lb.client()->search(search_request()).ok());
+
+  const auto prom =
+      http_get("127.0.0.1", lb.server->port(), "/metrics");
+  ASSERT_TRUE(prom.ok()) << prom.error().message;
+  EXPECT_NE(prom.value().find("swve_requests_submitted_total"),
+            std::string::npos);
+  EXPECT_NE(prom.value().find("swve_result_cache_lookups_total"),
+            std::string::npos);
+  EXPECT_NE(prom.value().find("swve_server_connections_total"),
+            std::string::npos);
+
+  const auto json =
+      http_get("127.0.0.1", lb.server->port(), "/metrics?format=json");
+  ASSERT_TRUE(json.ok());
+  const auto doc = Json::parse(json.value());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_TRUE((*doc)["server"].is_object());
+  EXPECT_TRUE((*doc)["result_cache"].is_object());
+
+  std::string head;
+  const auto health =
+      http_get("127.0.0.1", lb.server->port(), "/healthz", 10.0, &head);
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health.value(), "ok\n");
+  EXPECT_NE(head.find("200"), std::string::npos);
+
+  std::string head404;
+  const auto missing =
+      http_get("127.0.0.1", lb.server->port(), "/nope", 10.0, &head404);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_NE(head404.find("404"), std::string::npos);
+
+  const auto snap = lb.server->metrics();
+  EXPECT_GE(snap.server_http_scrapes, 2u);
+  EXPECT_GE(snap.server_connections, 1u);
+}
+
+TEST(NetServer, GracefulDrainFinishesInflightWork) {
+  service::ServiceOptions opt;
+  opt.queue.start_paused = true;
+  opt.serve.drain_timeout_s = 20;
+  Loopback lb(opt);
+  auto c = lb.client();
+
+  RpcResult<service::SearchResponse> r;
+  std::thread t([&] { r = c->search(search_request()); });
+  // Let the request reach the (paused) queue, then start draining while it
+  // is still pending.
+  std::this_thread::sleep_for(milliseconds(200));
+  lb.server->shutdown();
+  std::this_thread::sleep_for(milliseconds(100));
+  EXPECT_TRUE(lb.server->running());  // drain waits for the pending request
+  lb.svc->resume();
+  t.join();
+  lb.server->join();
+
+  ASSERT_TRUE(r.ok()) << r.error;  // the in-flight request completed
+  EXPECT_EQ(r.response->result.hits.size(), 5u);
+  EXPECT_FALSE(lb.server->running());
+
+  // The listener is gone: new connections are refused.
+  EXPECT_FALSE(Client::connect("127.0.0.1", lb.server->port(), 2.0).ok());
+}
+
+TEST(NetServer, PingAndBinaryMetrics) {
+  Loopback lb;
+  auto c = lb.client();
+  EXPECT_TRUE(c->ping().ok());
+  const auto prom = c->metrics(false);
+  ASSERT_TRUE(prom.ok());
+  EXPECT_NE(prom.response->find("swve_build_info"), std::string::npos);
+  const auto json = c->metrics(true);
+  ASSERT_TRUE(json.ok());
+  EXPECT_TRUE(Json::parse(*json.response).has_value());
+}
+
+}  // namespace
+}  // namespace swve::net
