@@ -150,6 +150,10 @@ std::optional<std::pair<FrameHeader, std::string>> Client::read_frame() {
     return std::nullopt;
   const auto h = decode_header(head);
   if (!h) return std::nullopt;
+  // The length prefix is untrusted until the bytes actually arrive: a
+  // malicious or corrupt server must not be able to force a 4 GiB
+  // allocation with a 20-byte header.
+  if (h->payload_len > kMaxResponseBytes) return std::nullopt;
   std::string payload(h->payload_len, '\0');
   if (h->payload_len > 0 && !read_exact(payload.data(), payload.size()))
     return std::nullopt;

@@ -23,6 +23,13 @@
 
 namespace swve::net {
 
+/// Largest response payload the client will accept. Responses are not
+/// bounded by the server's serve.max_frame_bytes (that limit is inbound
+/// only), but a length prefix beyond this is treated as a transport error
+/// rather than allocated on faith — a hostile server should not be able to
+/// drive the client to a multi-GiB allocation with a 20-byte header.
+inline constexpr uint32_t kMaxResponseBytes = 64u << 20;
+
 /// Outcome of one RPC as observed on the wire: the status byte, the error
 /// message (when not Ok), the response frame flags (cache/coalescing
 /// provenance), and the decoded response.

@@ -4,16 +4,20 @@
 
 namespace swve::net {
 
-const CachedResponse* ResultCache::get(uint64_t key) {
+const CachedResponse* ResultCache::get(uint64_t key,
+                                       std::string_view identity) {
   const auto it = map_.find(key);
   if (it == map_.end()) return nullptr;
+  if (it->second->identity != identity) return nullptr;  // hash collision
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
   return &it->second->response;
 }
 
-size_t ResultCache::put(uint64_t key, CachedResponse response) {
+size_t ResultCache::put(uint64_t key, std::string identity,
+                        CachedResponse response) {
   if (capacity_ == 0) return 0;
   if (const auto it = map_.find(key); it != map_.end()) {
+    it->second->identity = std::move(identity);
     it->second->response = std::move(response);
     lru_.splice(lru_.begin(), lru_, it->second);
     return 0;
@@ -24,30 +28,37 @@ size_t ResultCache::put(uint64_t key, CachedResponse response) {
     lru_.pop_back();
     evicted = 1;
   }
-  lru_.push_front(Entry{key, std::move(response)});
+  lru_.push_front(Entry{key, std::move(identity), std::move(response)});
   map_[key] = lru_.begin();
   return evicted;
 }
 
-bool Singleflight::join(uint64_t key, FlightWaiter waiter) {
+Singleflight::Join Singleflight::join(uint64_t key, std::string_view identity,
+                                      FlightWaiter waiter) {
   auto [it, started] = flights_.try_emplace(key);
+  if (started) {
+    it->second.identity = identity;
+  } else if (it->second.identity != identity) {
+    return Join::Mismatch;  // colliding key, different request
+  }
   waiter.initiator = started;
-  it->second.push_back(waiter);
-  return started;
+  it->second.waiters.push_back(waiter);
+  return started ? Join::Started : Join::Joined;
 }
 
 std::vector<FlightWaiter> Singleflight::complete(uint64_t key) {
   const auto it = flights_.find(key);
   if (it == flights_.end()) return {};
-  std::vector<FlightWaiter> waiters = std::move(it->second);
+  std::vector<FlightWaiter> waiters = std::move(it->second.waiters);
   flights_.erase(it);
   return waiters;
 }
 
 void Singleflight::drop_connection(uint64_t conn_id) {
-  for (auto& [key, waiters] : flights_) {
-    std::erase_if(waiters,
-                  [conn_id](const FlightWaiter& w) { return w.conn_id == conn_id; });
+  for (auto& [key, flight] : flights_) {
+    std::erase_if(flight.waiters, [conn_id](const FlightWaiter& w) {
+      return w.conn_id == conn_id;
+    });
   }
 }
 

@@ -1,9 +1,13 @@
 // Request deduplication above AlignService: an LRU of serialized response
 // payloads (hits for repeated requests after the first completes) and a
 // singleflight table (joins for identical requests while the first is
-// still in flight). Both key on net::cache_key — (scenario, residue codes,
-// effective config, top-k, db epoch) — so "identical" means identical
-// response bytes, never merely similar requests.
+// still in flight). Both index on net::cache_key — the 64-bit hash of the
+// canonical net::cache_identity bytes (scenario, residue codes, effective
+// config, top-k, db epoch) — and verify the full identity on every lookup,
+// so "identical" means identical response bytes, never merely similar
+// requests and never a hash collision (FNV collisions are constructible;
+// without the check a crafted request could be served another client's
+// cached result or coalesced onto their execution).
 //
 // The classes are event-loop-local by design (the epoll server is single
 // threaded), so neither locks. ResultCache mirrors the mutex-free core of
@@ -13,6 +17,7 @@
 #include <cstdint>
 #include <list>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -37,11 +42,14 @@ class ResultCache {
   explicit ResultCache(size_t capacity) : capacity_(capacity) {}
 
   /// Look up and refresh LRU position; null when absent (or capacity 0).
-  const CachedResponse* get(uint64_t key);
+  /// `identity` must match the stored entry's identity bytes exactly — a
+  /// key collision between distinct requests reads as a miss.
+  const CachedResponse* get(uint64_t key, std::string_view identity);
 
   /// Insert (or refresh) an entry, evicting the least-recent at capacity.
+  /// A colliding entry under the same key is replaced outright.
   /// Returns the number of evictions performed (0 or 1).
-  size_t put(uint64_t key, CachedResponse response);
+  size_t put(uint64_t key, std::string identity, CachedResponse response);
 
   size_t entries() const noexcept { return map_.size(); }
   size_t capacity() const noexcept { return capacity_; }
@@ -49,6 +57,7 @@ class ResultCache {
  private:
   struct Entry {
     uint64_t key;
+    std::string identity;  ///< canonical request bytes (net::cache_identity)
     CachedResponse response;
   };
   size_t capacity_;
@@ -71,9 +80,16 @@ struct FlightWaiter {
 /// completes join the waiter list instead of executing again.
 class Singleflight {
  public:
-  /// Returns true if this call STARTED a flight (caller must submit to the
-  /// service); false if it joined an existing one.
-  bool join(uint64_t key, FlightWaiter waiter);
+  enum class Join {
+    Started,   ///< this call opened the flight; caller must submit
+    Joined,    ///< identical request already in flight; waiter enqueued
+    Mismatch,  ///< key collision with a DIFFERENT in-flight request —
+               ///< caller must execute independently, outside the flight
+  };
+
+  /// Join or start the flight for `key`. `identity` must match the
+  /// in-flight request's identity bytes for a Joined result.
+  Join join(uint64_t key, std::string_view identity, FlightWaiter waiter);
 
   /// Complete a flight, returning its waiters (empty if unknown — e.g. the
   /// flight was taken over by drain).
@@ -86,7 +102,11 @@ class Singleflight {
   size_t inflight() const noexcept { return flights_.size(); }
 
  private:
-  std::unordered_map<uint64_t, std::vector<FlightWaiter>> flights_;
+  struct Flight {
+    std::string identity;  ///< canonical request bytes (net::cache_identity)
+    std::vector<FlightWaiter> waiters;
+  };
+  std::unordered_map<uint64_t, Flight> flights_;
 };
 
 }  // namespace swve::net

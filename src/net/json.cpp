@@ -222,7 +222,11 @@ void Json::dump_to(std::string& out) const {
     case Type::Bool: out += bool_ ? "true" : "false"; return;
     case Type::Number: {
       char buf[32];
-      if (num_ == static_cast<double>(static_cast<int64_t>(num_)))
+      // The int64 cast is UB for values outside its range (a huge cells
+      // counter, a client-echoed 1e300), so bound-check before probing
+      // integer-ness; out-of-range and NaN take the %g path.
+      if (num_ >= -9.2e18 && num_ <= 9.2e18 &&
+          num_ == static_cast<double>(static_cast<int64_t>(num_)))
         std::snprintf(buf, sizeof buf, "%lld",
                       static_cast<long long>(num_));
       else

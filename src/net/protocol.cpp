@@ -715,80 +715,114 @@ struct Fnv {
   void u8(uint8_t v) { bytes(&v, sizeof v); }
 };
 
-void hash_config(Fnv& f, const std::optional<core::AlignConfig>& c) {
+/// Length-prefixed string append, mirroring Fnv::str so the identity bytes
+/// are unambiguous under concatenation.
+void identity_str(std::string& out, std::string_view s) {
+  put_u64(out, s.size());
+  put_bytes(out, s.data(), s.size());
+}
+
+void identity_config(std::string& out,
+                     const std::optional<core::AlignConfig>& c) {
   if (!c) {
-    f.u8(0);
+    put_u8(out, 0);
     return;
   }
-  f.u8(1);
-  f.u8(static_cast<uint8_t>(c->scheme));
-  f.u8(static_cast<uint8_t>(c->delivery));
-  f.u8(static_cast<uint8_t>(c->gap_model));
-  f.u8(static_cast<uint8_t>(c->width));
-  f.u8(static_cast<uint8_t>(c->isa));
-  f.u8(c->traceback ? 1 : 0);
-  f.u64(static_cast<uint64_t>(c->match));
-  f.u64(static_cast<uint64_t>(c->mismatch));
-  f.u64(static_cast<uint64_t>(c->gap_open));
-  f.u64(static_cast<uint64_t>(c->gap_extend));
-  f.u64(static_cast<uint64_t>(c->band));
-  f.u64(c->max_traceback_cells);
-  f.str(c->scheme == core::ScoreScheme::Matrix && c->matrix != nullptr
-            ? c->matrix->name()
-            : std::string_view());
+  put_u8(out, 1);
+  put_u8(out, static_cast<uint8_t>(c->scheme));
+  put_u8(out, static_cast<uint8_t>(c->delivery));
+  put_u8(out, static_cast<uint8_t>(c->gap_model));
+  put_u8(out, static_cast<uint8_t>(c->width));
+  put_u8(out, static_cast<uint8_t>(c->isa));
+  put_u8(out, c->traceback ? 1 : 0);
+  put_u64(out, static_cast<uint64_t>(c->match));
+  put_u64(out, static_cast<uint64_t>(c->mismatch));
+  put_u64(out, static_cast<uint64_t>(c->gap_open));
+  put_u64(out, static_cast<uint64_t>(c->gap_extend));
+  put_u64(out, static_cast<uint64_t>(c->band));
+  put_u64(out, c->max_traceback_cells);
+  identity_str(out,
+               c->scheme == core::ScoreScheme::Matrix && c->matrix != nullptr
+                   ? c->matrix->name()
+                   : std::string_view());
 }
 
 /// Result-affecting options only — deadline and tier shape scheduling, not
 /// the response bytes, so they are excluded by design.
-void hash_options(Fnv& f, const RequestOptions& o) {
-  f.u8(o.top_k ? 1 : 0);
-  f.u64(o.top_k ? static_cast<uint64_t>(*o.top_k) : 0);
-  f.u8(o.traceback ? 1 : 0);
-  f.u8(o.traceback && *o.traceback ? 1 : 0);
-  hash_config(f, o.config);
+void identity_options(std::string& out, const RequestOptions& o) {
+  put_u8(out, o.top_k ? 1 : 0);
+  put_u64(out, o.top_k ? static_cast<uint64_t>(*o.top_k) : 0);
+  put_u8(out, o.traceback ? 1 : 0);
+  put_u8(out, o.traceback && *o.traceback ? 1 : 0);
+  identity_config(out, o.config);
 }
 
-void hash_sequence(Fnv& f, const seq::Sequence& s) {
-  f.u8(static_cast<uint8_t>(s.alphabet().kind()));
-  f.str(std::string_view(reinterpret_cast<const char*>(s.data()), s.length()));
+void identity_sequence(std::string& out, const seq::Sequence& s) {
+  put_u8(out, static_cast<uint8_t>(s.alphabet().kind()));
+  identity_str(out, std::string_view(reinterpret_cast<const char*>(s.data()),
+                                     s.length()));
 }
 
 }  // namespace
 
-uint64_t cache_key(const AlignRequest& rq, uint64_t db_epoch) {
+std::string cache_identity(const AlignRequest& rq, uint64_t db_epoch) {
+  std::string out;
+  out.reserve(64 + rq.query.length() + rq.reference.length());
+  put_u8(out, static_cast<uint8_t>(MsgType::AlignRequest));
+  put_u64(out, db_epoch);
+  identity_options(out, rq.options);
+  identity_sequence(out, rq.query);
+  identity_sequence(out, rq.reference);
+  return out;
+}
+
+std::string cache_identity(const SearchRequest& rq, uint64_t db_epoch) {
+  std::string out;
+  out.reserve(64 + rq.query.length());
+  put_u8(out, static_cast<uint8_t>(MsgType::SearchRequest));
+  put_u64(out, db_epoch);
+  identity_options(out, rq.options);
+  put_u8(out, rq.mode == align::SearchMode::Batch ? 1 : 0);
+  identity_sequence(out, rq.query);
+  return out;
+}
+
+std::string cache_identity(const BatchRequest& rq, uint64_t db_epoch) {
+  std::string out;
+  put_u8(out, static_cast<uint8_t>(MsgType::BatchRequest));
+  put_u64(out, db_epoch);
+  identity_options(out, rq.options);
+  put_u64(out, rq.queries.size());
+  for (const seq::Sequence& q : rq.queries) identity_sequence(out, q);
+  return out;
+}
+
+uint64_t cache_key(std::string_view identity) noexcept {
   Fnv f;
-  f.u8(static_cast<uint8_t>(MsgType::AlignRequest));
-  f.u64(db_epoch);
-  hash_options(f, rq.options);
-  hash_sequence(f, rq.query);
-  hash_sequence(f, rq.reference);
+  f.bytes(identity.data(), identity.size());
   return f.h;
+}
+
+uint64_t cache_key(const AlignRequest& rq, uint64_t db_epoch) {
+  return cache_key(cache_identity(rq, db_epoch));
 }
 
 uint64_t cache_key(const SearchRequest& rq, uint64_t db_epoch) {
-  Fnv f;
-  f.u8(static_cast<uint8_t>(MsgType::SearchRequest));
-  f.u64(db_epoch);
-  hash_options(f, rq.options);
-  f.u8(rq.mode == align::SearchMode::Batch ? 1 : 0);
-  hash_sequence(f, rq.query);
-  return f.h;
+  return cache_key(cache_identity(rq, db_epoch));
 }
 
 uint64_t cache_key(const BatchRequest& rq, uint64_t db_epoch) {
-  Fnv f;
-  f.u8(static_cast<uint8_t>(MsgType::BatchRequest));
-  f.u64(db_epoch);
-  hash_options(f, rq.options);
-  f.u64(rq.queries.size());
-  for (const seq::Sequence& q : rq.queries) hash_sequence(f, q);
-  return f.h;
+  return cache_key(cache_identity(rq, db_epoch));
 }
 
 uint64_t database_epoch(const seq::SequenceDatabase& db) {
   Fnv f;
   f.u64(db.size());
-  for (const seq::Sequence& s : db.sequences()) hash_sequence(f, s);
+  for (const seq::Sequence& s : db.sequences()) {
+    f.u8(static_cast<uint8_t>(s.alphabet().kind()));
+    f.str(std::string_view(reinterpret_cast<const char*>(s.data()),
+                           s.length()));
+  }
   return f.h;
 }
 

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/error.hpp"
@@ -135,11 +136,24 @@ std::string error_payload(service::ServiceStatus status,
 
 // ---------------------------------------------------------------- cache keys
 
-/// FNV-1a 64 identity of a request for the result cache and singleflight:
-/// scenario + query/reference residue codes + alphabet + effective config +
-/// top-k/traceback — everything that determines the response bytes — plus
-/// the server's db_epoch. Deadline and QoS tier are deliberately excluded:
-/// they shape scheduling, not results.
+/// Canonical identity bytes of a request for the result cache and
+/// singleflight: scenario + query/reference residue codes + alphabet +
+/// effective config + top-k/traceback — everything that determines the
+/// response bytes — plus the server's db_epoch. Deadline and QoS tier are
+/// deliberately excluded: they shape scheduling, not results.
+///
+/// The cache and singleflight index on cache_key(identity) — a 64-bit
+/// FNV-1a of these bytes — but always verify the full identity on lookup:
+/// FNV is not collision-resistant, and an attacker-constructed colliding
+/// request must not be served (or coalesced onto) another client's result.
+std::string cache_identity(const service::AlignRequest& rq, uint64_t db_epoch);
+std::string cache_identity(const service::SearchRequest& rq, uint64_t db_epoch);
+std::string cache_identity(const service::BatchRequest& rq, uint64_t db_epoch);
+
+/// The 64-bit index of an identity (FNV-1a over its bytes).
+uint64_t cache_key(std::string_view identity) noexcept;
+
+/// Convenience: cache_key(cache_identity(rq, db_epoch)).
 uint64_t cache_key(const service::AlignRequest& rq, uint64_t db_epoch);
 uint64_t cache_key(const service::SearchRequest& rq, uint64_t db_epoch);
 uint64_t cache_key(const service::BatchRequest& rq, uint64_t db_epoch);

@@ -106,6 +106,16 @@ std::string http_response(int code, const char* reason,
 core::ErrorOr<std::unique_ptr<Server>> Server::start(
     service::AlignService& service) {
   if (auto st = service.options().try_validate(); !st) return st.error();
+  // The event loop is the submitter: with Overflow::Block a full queue
+  // would park the loop thread on the queue's condition variable, stalling
+  // every connection, /healthz, and the SIGTERM drain path. Serving
+  // requires Reject semantics (clients see QueueFull and retry).
+  if (service.options().queue.overflow ==
+      service::QueueOptions::Overflow::Block)
+    return core::ConfigError{
+        Code::Unsupported,
+        "net: serving requires queue.overflow = Reject; Overflow::Block "
+        "would stall the event loop when the submission queue fills"};
   const service::ServeOptions& opts = service.options().serve;
 
   const uint64_t epoch =
@@ -142,6 +152,7 @@ core::ErrorOr<std::unique_ptr<Server>> Server::start(
   s->wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
   s->term_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
   if (s->wake_fd_ < 0 || s->term_fd_ < 0) return sys_error("eventfd");
+  s->sink_->wake_fd = s->wake_fd_;  // no completions can exist yet
 
   const auto add = [&s](int fd, uint64_t id) {
     epoll_event ev{};
@@ -166,6 +177,15 @@ Server::Server(service::AlignService& service, uint64_t db_epoch)
 Server::~Server() {
   shutdown();
   join();
+  {
+    // Close the sink BEFORE closing wake_fd_: executions still running
+    // past the drain deadline (and ~AlignService flushing leftovers later)
+    // hold the sink via shared_ptr and must see it closed rather than
+    // write a dead fd or touch this object.
+    std::lock_guard<std::mutex> lock(sink_->mu);
+    sink_->wake_fd = -1;
+    sink_->items.clear();
+  }
   close_fd(epoll_fd_);
   close_fd(listen_fd_);
   close_fd(wake_fd_);
@@ -426,13 +446,15 @@ void Server::handle_request(Connection& c, const FrameHeader& h,
   if (json) {
     // JSON debug mode bypasses the cache and singleflight: its payloads
     // are a different (non-canonical) serialization of the same result.
-    submit_request(c, h, std::move(*decoded));
+    submit_request(c, h, std::move(*decoded), /*flight=*/false,
+                   /*identity=*/std::string());
     return;
   }
 
-  const uint64_t key = cache_key(*decoded, db_epoch_);
+  std::string identity = cache_identity(*decoded, db_epoch_);
+  const uint64_t key = cache_key(identity);
   if (cache_.capacity() > 0 && (h.flags & kFlagNoCache) == 0) {
-    if (const CachedResponse* hit = cache_.get(key)) {
+    if (const CachedResponse* hit = cache_.get(key, identity)) {
       service_.registry()->on_result_cache_hit();
       FrameHeader r;
       r.type = hit->type;
@@ -445,27 +467,36 @@ void Server::handle_request(Connection& c, const FrameHeader& h,
     }
     service_.registry()->on_result_cache_miss();
   }
+  bool flight = false;
   if (opts_.singleflight) {
-    const bool started = flights_.join(
-        key,
-        FlightWaiter{c.id, h.request_id, /*json=*/false, /*initiator=*/false});
-    if (!started) {
-      service_.registry()->on_coalesced();
-      return;  // the in-flight twin's completion answers this waiter too
+    switch (flights_.join(key, identity,
+                          FlightWaiter{c.id, h.request_id, /*json=*/false,
+                                       /*initiator=*/false})) {
+      case Singleflight::Join::Joined:
+        service_.registry()->on_coalesced();
+        return;  // the in-flight twin's completion answers this waiter too
+      case Singleflight::Join::Started:
+        flight = true;
+        break;
+      case Singleflight::Join::Mismatch:
+        // Key collision with a different in-flight request: execute
+        // independently and deliver directly; never share its response.
+        break;
     }
   }
-  submit_request(c, h, std::move(*decoded));
+  submit_request(c, h, std::move(*decoded), flight, std::move(identity));
 }
 
 template <typename Request>
 void Server::submit_request(const Connection& c, const FrameHeader& h,
-                            Request rq) {
+                            Request rq, bool flight, std::string identity) {
   using Traits = WireTraits<Request>;
   const bool json = (h.flags & kFlagJson) != 0;
   Completion done;
-  done.flight = !json && opts_.singleflight;
+  done.flight = flight;
   done.cacheable = !json;
-  done.key = json ? 0 : cache_key(rq, db_epoch_);
+  done.key = json ? 0 : cache_key(identity);
+  done.identity = std::move(identity);
   done.conn_id = c.id;
   done.request_id = h.request_id;
   done.req_flags = h.flags;
@@ -473,10 +504,13 @@ void Server::submit_request(const Connection& c, const FrameHeader& h,
   ++outstanding_;
 
   // The completion runs on an executor thread (or inline for immediate
-  // rejections): serialize there, deliver on the loop thread.
+  // rejections): serialize there, deliver on the loop thread. The callback
+  // captures the completion sink, never `this` — it may fire after the
+  // drain deadline has passed and the Server is destroyed.
   service_.submit_async(
       std::move(rq),
-      [this, done](core::ErrorOr<typename Traits::Response> out) mutable {
+      [sink = sink_,
+       done](core::ErrorOr<typename Traits::Response> out) mutable {
         const bool as_json = (done.req_flags & kFlagJson) != 0;
         done.response.tier = done.req_tier;
         if (out.ok()) {
@@ -493,24 +527,26 @@ void Server::submit_request(const Connection& c, const FrameHeader& h,
           done.response.payload =
               error_payload(st, out.error().message, as_json);
         }
-        push_completion(std::move(done));
+        push_completion(sink, std::move(done));
       });
 }
 
-void Server::push_completion(Completion done) {
-  {
-    std::lock_guard<std::mutex> lock(done_mu_);
-    done_.push_back(std::move(done));
-  }
+void Server::push_completion(const std::shared_ptr<CompletionSink>& sink,
+                             Completion done) {
+  // The write stays under the lock so ~Server cannot close the eventfd
+  // between the open-check and the write.
+  std::lock_guard<std::mutex> lock(sink->mu);
+  if (sink->wake_fd < 0) return;  // server gone; drop the late completion
+  sink->items.push_back(std::move(done));
   const uint64_t one = 1;
-  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof one);
+  [[maybe_unused]] ssize_t n = ::write(sink->wake_fd, &one, sizeof one);
 }
 
 void Server::drain_completions() {
   std::vector<Completion> batch;
   {
-    std::lock_guard<std::mutex> lock(done_mu_);
-    batch.swap(done_);
+    std::lock_guard<std::mutex> lock(sink_->mu);
+    batch.swap(sink_->items);
   }
   for (const Completion& done : batch) {
     deliver(done);
@@ -554,7 +590,7 @@ void Server::deliver(const Completion& done) {
 
 void Server::publish(uint64_t key, const Completion& done) {
   if (cache_.capacity() == 0) return;
-  const size_t evicted = cache_.put(key, done.response);
+  const size_t evicted = cache_.put(key, done.identity, done.response);
   for (size_t i = 0; i < evicted; ++i)
     service_.registry()->on_result_cache_eviction();
   cache_entries_.store(cache_.entries(), std::memory_order_relaxed);

@@ -101,11 +101,24 @@ class Server {
     bool flight = false;    ///< deliver via singleflight waiters
     bool cacheable = false; ///< binary payload; publish Ok into the LRU
     uint64_t key = 0;       ///< cache key (0 for JSON-mode requests)
+    std::string identity;   ///< canonical request bytes (empty for JSON mode)
     uint64_t conn_id = 0;   ///< direct delivery: the one addressee
     uint64_t request_id = 0;
     uint8_t req_flags = 0;  ///< request flags to echo (json bit)
     uint8_t req_tier = 1;   ///< request tier byte to echo
     CachedResponse response;
+  };
+
+  /// The completion queue, shared (via shared_ptr) between the event loop
+  /// and the executor-side completion callbacks. Callbacks hold the sink,
+  /// NOT the Server: a completion that outlives the server — a request
+  /// still executing when the drain deadline passes and ~Server runs, or
+  /// ~AlignService flushing leftover tasks — lands on a closed sink
+  /// (wake_fd < 0) and is dropped, instead of touching freed memory.
+  struct CompletionSink {
+    std::mutex mu;
+    std::vector<Completion> items;  ///< guarded by mu
+    int wake_fd = -1;               ///< guarded by mu; -1 once closed
   };
 
   Server(service::AlignService& service, uint64_t db_epoch);
@@ -126,7 +139,11 @@ class Server {
                   service::ServiceStatus status, std::string_view message);
   void flush(Connection& c);
   void close_connection(uint64_t conn_id);
-  void push_completion(Completion done);
+  /// Push onto the sink and wake its event loop; drops the completion if
+  /// the sink is already closed. Static on purpose — runs on executor
+  /// threads, possibly after the Server is gone.
+  static void push_completion(const std::shared_ptr<CompletionSink>& sink,
+                              Completion done);
   Connection* find_connection(uint64_t conn_id);
 
   /// Decode result -> cache lookup -> singleflight join -> submit; one
@@ -134,8 +151,11 @@ class Server {
   template <typename Request>
   void handle_request(Connection& c, const FrameHeader& h,
                       std::optional<Request> decoded);
+  /// `flight` = deliver through the singleflight waiter list; `identity` =
+  /// canonical request bytes for cache publication (empty for JSON mode).
   template <typename Request>
-  void submit_request(const Connection& c, const FrameHeader& h, Request rq);
+  void submit_request(const Connection& c, const FrameHeader& h, Request rq,
+                      bool flight, std::string identity);
 
   service::AlignService& service_;
   service::ServeOptions opts_;
@@ -154,8 +174,7 @@ class Server {
   Singleflight flights_;
   size_t outstanding_ = 0;  ///< submitted executions not yet delivered
 
-  std::mutex done_mu_;
-  std::vector<Completion> done_;  ///< guarded by done_mu_
+  std::shared_ptr<CompletionSink> sink_ = std::make_shared<CompletionSink>();
 
   bool draining_ = false;
   double drain_deadline_s_ = 0;  ///< steady-clock seconds; 0 = unset

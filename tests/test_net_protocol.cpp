@@ -310,32 +310,56 @@ TEST(NetCoalesce, ResultCacheLruEviction) {
     r.payload = p;
     return r;
   };
-  EXPECT_EQ(cache.put(1, resp("one")), 0u);
-  EXPECT_EQ(cache.put(2, resp("two")), 0u);
-  ASSERT_NE(cache.get(1), nullptr);  // refreshes 1; 2 becomes LRU
-  EXPECT_EQ(cache.put(3, resp("three")), 1u);
-  EXPECT_EQ(cache.get(2), nullptr);  // evicted
-  ASSERT_NE(cache.get(1), nullptr);
-  EXPECT_EQ(cache.get(1)->payload, "one");
-  ASSERT_NE(cache.get(3), nullptr);
+  EXPECT_EQ(cache.put(1, "id1", resp("one")), 0u);
+  EXPECT_EQ(cache.put(2, "id2", resp("two")), 0u);
+  ASSERT_NE(cache.get(1, "id1"), nullptr);  // refreshes 1; 2 becomes LRU
+  EXPECT_EQ(cache.put(3, "id3", resp("three")), 1u);
+  EXPECT_EQ(cache.get(2, "id2"), nullptr);  // evicted
+  ASSERT_NE(cache.get(1, "id1"), nullptr);
+  EXPECT_EQ(cache.get(1, "id1")->payload, "one");
+  ASSERT_NE(cache.get(3, "id3"), nullptr);
   EXPECT_EQ(cache.entries(), 2u);
+}
+
+TEST(NetCoalesce, ResultCacheVerifiesIdentityNotJustKey) {
+  // A crafted request colliding on the 64-bit key must read as a miss, not
+  // be served another request's cached response.
+  ResultCache cache(4);
+  CachedResponse r;
+  r.payload = "victim";
+  EXPECT_EQ(cache.put(1, "victim-request", r), 0u);
+  EXPECT_EQ(cache.get(1, "attacker-request"), nullptr);
+  ASSERT_NE(cache.get(1, "victim-request"), nullptr);  // intact
+
+  // Publishing under a colliding key replaces the entry wholesale; the old
+  // identity no longer matches.
+  CachedResponse r2;
+  r2.payload = "other";
+  EXPECT_EQ(cache.put(1, "attacker-request", r2), 0u);
+  EXPECT_EQ(cache.get(1, "victim-request"), nullptr);
+  EXPECT_EQ(cache.get(1, "attacker-request")->payload, "other");
 }
 
 TEST(NetCoalesce, ZeroCapacityCacheIsDisabled) {
   ResultCache cache(0);
   CachedResponse r;
   r.payload = "x";
-  EXPECT_EQ(cache.put(1, r), 0u);
-  EXPECT_EQ(cache.get(1), nullptr);
+  EXPECT_EQ(cache.put(1, "id", r), 0u);
+  EXPECT_EQ(cache.get(1, "id"), nullptr);
   EXPECT_EQ(cache.entries(), 0u);
 }
 
 TEST(NetCoalesce, SingleflightJoinsAndCompletes) {
+  using Join = Singleflight::Join;
   Singleflight sf;
-  EXPECT_TRUE(sf.join(10, FlightWaiter{1, 100, false, false}));   // starts
-  EXPECT_FALSE(sf.join(10, FlightWaiter{2, 200, false, false}));  // joins
-  EXPECT_FALSE(sf.join(10, FlightWaiter{3, 300, false, false}));
-  EXPECT_TRUE(sf.join(11, FlightWaiter{1, 101, false, false}));  // new key
+  EXPECT_EQ(sf.join(10, "a", FlightWaiter{1, 100, false, false}),
+            Join::Started);
+  EXPECT_EQ(sf.join(10, "a", FlightWaiter{2, 200, false, false}),
+            Join::Joined);
+  EXPECT_EQ(sf.join(10, "a", FlightWaiter{3, 300, false, false}),
+            Join::Joined);
+  EXPECT_EQ(sf.join(11, "b", FlightWaiter{1, 101, false, false}),
+            Join::Started);
   EXPECT_EQ(sf.inflight(), 2u);
 
   sf.drop_connection(2);  // disconnect one waiter; the flight stays live
@@ -347,6 +371,33 @@ TEST(NetCoalesce, SingleflightJoinsAndCompletes) {
   EXPECT_EQ(waiters[1].request_id, 300u);
   EXPECT_EQ(sf.inflight(), 1u);
   EXPECT_TRUE(sf.complete(999).empty());  // unknown key is harmless
+}
+
+TEST(NetCoalesce, SingleflightRejectsCollidingJoin) {
+  using Join = Singleflight::Join;
+  Singleflight sf;
+  EXPECT_EQ(sf.join(10, "victim-request", FlightWaiter{1, 100, false, false}),
+            Join::Started);
+  // Same key, different identity bytes: must NOT be coalesced onto the
+  // victim's execution — and must not corrupt the victim's waiter list.
+  EXPECT_EQ(
+      sf.join(10, "attacker-request", FlightWaiter{2, 200, false, false}),
+      Join::Mismatch);
+  const auto waiters = sf.complete(10);
+  ASSERT_EQ(waiters.size(), 1u);
+  EXPECT_EQ(waiters[0].conn_id, 1u);
+}
+
+TEST(NetCacheKey, IdentityBytesMatchKey) {
+  const SearchRequest rq = make_search_request();
+  const std::string id = cache_identity(rq, 42);
+  EXPECT_FALSE(id.empty());
+  EXPECT_EQ(cache_key(std::string_view(id)), cache_key(rq, 42));
+  // Scheduling-only fields leave the identity bytes unchanged too.
+  SearchRequest other = rq;
+  other.options.tier = service::QosTier::Bulk;
+  other.options.deadline = std::chrono::seconds(1);
+  EXPECT_EQ(cache_identity(other, 42), id);
 }
 
 }  // namespace

@@ -384,6 +384,62 @@ TEST(NetServer, GracefulDrainFinishesInflightWork) {
   EXPECT_FALSE(Client::connect("127.0.0.1", lb.server->port(), 2.0).ok());
 }
 
+TEST(NetServer, ServingRejectsBlockingOverflow) {
+  // Overflow::Block would park the event-loop thread on the queue's
+  // condition variable when the queue fills, stalling every connection and
+  // the drain path — the server must refuse to start with it.
+  auto db = make_db(20'000);
+  service::ServiceOptions opt;
+  opt.queue.overflow = service::QueueOptions::Overflow::Block;
+  service::AlignService svc(db, opt);
+  const auto started = Server::start(svc);
+  ASSERT_FALSE(started.ok());
+  EXPECT_NE(started.error().message.find("overflow"), std::string::npos)
+      << started.error().message;
+}
+
+TEST(NetServer, LateCompletionAfterServerDestructionIsDropped) {
+  // Regression: a request still executing (here: still queued, executors
+  // paused) when the drain deadline passes used to leave a completion
+  // callback holding a raw Server pointer; ~Server freed the object and
+  // the late completion wrote a destroyed mutex and a closed eventfd. The
+  // callback now holds the shared completion sink, which ~Server closes,
+  // so the late completion is dropped on the floor.
+  auto db = make_db(20'000);
+  service::ServiceOptions opt;
+  opt.queue.start_paused = true;     // the request never starts executing
+  opt.serve.drain_timeout_s = 0.05;  // give up draining almost immediately
+  opt.serve.port = 0;
+  service::AlignService svc(db, opt);
+  auto started = Server::start(svc);
+  ASSERT_TRUE(started.ok());
+  auto server = std::move(started.value());
+
+  auto conn = Client::connect("127.0.0.1", server->port(), 5.0);
+  ASSERT_TRUE(conn.ok());
+  RpcResult<service::SearchResponse> r;
+  std::thread t([&] { r = conn.value()->search(search_request()); });
+
+  // Wait until the request has been submitted into the (paused) queue.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (svc.metrics().submitted < 1 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(milliseconds(5));
+  ASSERT_GE(svc.metrics().submitted, 1u);
+
+  server->shutdown();
+  server->join();  // drain deadline passes with the execution outstanding
+  server.reset();  // destroy the server while the completion is pending
+  t.join();        // the client sees its connection closed, no response
+  EXPECT_FALSE(r.ok());
+
+  // Release the executors: the completion fires into the closed sink and
+  // must be dropped without touching the destroyed server.
+  svc.resume();
+  std::this_thread::sleep_for(milliseconds(200));
+}
+
 TEST(NetServer, PingAndBinaryMetrics) {
   Loopback lb;
   auto c = lb.client();
