@@ -22,6 +22,9 @@
 //   --top K              hits per query (search/batch)
 //   --dna                DNA alphabet (default protein)
 //   --repeat N           send the request N times (cache/dedup demos)
+//   --trace              send requests wire-traced: each response's
+//                        server-side breakdown (queue/exec/serialize vs.
+//                        network) is printed; bench reports the split
 //
 // bench options (plus net options above):
 //   --requests N         closed-loop requests to send (default 200)
@@ -52,6 +55,7 @@ struct Options {
   bool dna = false;
   int repeat = 1;
   bool json = false;
+  bool trace = false;
   // bench
   int requests = 200;
   uint32_t length = 320;
@@ -65,6 +69,7 @@ struct Options {
       "usage: swve_client <ping|align|search|batch|metrics|bench> [options]\n"
       "  --host ADDR | --port N | --timeout S | --tier NAME\n"
       "  --deadline-ms N | --no-cache | --top K | --dna | --repeat N\n"
+      "  --trace (server timing breakdown)\n"
       "  --json (metrics) | --requests N --length N --distinct N (bench)\n",
       stderr);
   std::exit(2);
@@ -93,6 +98,7 @@ Options parse(int argc, char** argv) {
     else if (s == "--dna") o.dna = true;
     else if (s == "--repeat") o.repeat = std::atoi(next());
     else if (s == "--json") o.json = true;
+    else if (s == "--trace") o.trace = true;
     else if (s == "--requests") o.requests = std::atoi(next());
     else if (s == "--length")
       o.length = static_cast<uint32_t>(std::atoi(next()));
@@ -119,6 +125,26 @@ const char* provenance(uint8_t flags) {
   return "";
 }
 
+const char* timing_source(uint8_t source) {
+  return source == 1 ? "cache" : source == 2 ? "coalesced" : "executed";
+}
+
+/// --trace: decompose the measured RTT into the server's reported
+/// queue/exec/serialize time and the remainder (network + client).
+template <typename R>
+void print_timing(const net::RpcResult<R>& r, double rtt_ms) {
+  if (!r.timing) return;
+  const net::ServerTiming& t = *r.timing;
+  const double server_ms =
+      static_cast<double>(t.queue_us + t.exec_us + t.serialize_us) / 1000.0;
+  std::printf(
+      "  trace %llu [%s]: rtt %.3f ms = network %.3f + queue %.3f + "
+      "exec %.3f + serialize %.3f\n",
+      static_cast<unsigned long long>(t.trace_id), timing_source(t.source),
+      rtt_ms, std::max(0.0, rtt_ms - server_ms),
+      t.queue_us / 1000.0, t.exec_us / 1000.0, t.serialize_us / 1000.0);
+}
+
 seq::Sequence first_record(const std::string& path, const seq::Alphabet& a) {
   auto records = seq::read_fasta_file(path, a);
   if (records.empty()) usage(("no sequences in " + path).c_str());
@@ -136,6 +162,7 @@ int run_bench(net::Client& client, const Options& o) {
 
   std::vector<double> lat_ms;
   lat_ms.reserve(static_cast<size_t>(o.requests));
+  std::vector<double> net_ms, queue_ms, exec_ms;  // --trace decomposition
   uint64_t cache_hits = 0;
   uint64_t errors = 0;
   const auto bench_start = std::chrono::steady_clock::now();
@@ -152,8 +179,18 @@ int run_bench(net::Client& client, const Options& o) {
       continue;
     }
     if (r.from_cache()) ++cache_hits;
-    lat_ms.push_back(
-        std::chrono::duration<double, std::milli>(t1 - t0).count());
+    const double rtt =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    lat_ms.push_back(rtt);
+    if (r.timing) {
+      const net::ServerTiming& t = *r.timing;
+      const double server =
+          static_cast<double>(t.queue_us + t.exec_us + t.serialize_us) /
+          1000.0;
+      net_ms.push_back(std::max(0.0, rtt - server));
+      queue_ms.push_back(t.queue_us / 1000.0);
+      exec_ms.push_back(t.exec_us / 1000.0);
+    }
   }
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -176,6 +213,19 @@ int run_bench(net::Client& client, const Options& o) {
       lat_ms.size() / wall_s, pct(0.50), pct(0.99),
       static_cast<unsigned long long>(cache_hits),
       100.0 * cache_hits / lat_ms.size());
+  if (!net_ms.empty()) {
+    // Wire tracing was on: split the RTT percentiles into where the time
+    // actually went (server timing trailer vs. the network remainder).
+    const auto pctof = [](std::vector<double>& v, double p) {
+      std::sort(v.begin(), v.end());
+      return v[static_cast<size_t>(p * (v.size() - 1))];
+    };
+    std::printf(
+        "bench trace: network p50 %.3f / p99 %.3f ms | queue p50 %.3f / "
+        "p99 %.3f ms | exec p50 %.3f / p99 %.3f ms\n",
+        pctof(net_ms, 0.50), pctof(net_ms, 0.99), pctof(queue_ms, 0.50),
+        pctof(queue_ms, 0.99), pctof(exec_ms, 0.50), pctof(exec_ms, 0.99));
+  }
   return 0;
 }
 
@@ -195,6 +245,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   net::Client& client = *connected.value();
+  if (o.trace) client.enable_tracing(true);
   const uint8_t extra = o.no_cache ? net::kFlagNoCache : uint8_t{0};
 
   if (cmd == "ping") {
@@ -223,7 +274,11 @@ int main(int argc, char** argv) {
     rq.options = request_options(o);
     rq.options.traceback = true;
     for (int i = 0; i < o.repeat; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
       const auto r = client.align(rq, extra);
+      const double rtt = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
       if (!r.ok()) {
         std::fprintf(stderr, "swve_client: %s: %s\n",
                      service::status_name(r.status), r.error.c_str());
@@ -233,6 +288,7 @@ int main(int argc, char** argv) {
       std::printf("score %d  query %d-%d  ref %d-%d  cigar %s%s\n", a.score,
                   a.begin_query, a.end_query, a.begin_ref, a.end_ref,
                   a.cigar.to_string().c_str(), provenance(r.flags));
+      print_timing(r, rtt);
     }
     return 0;
   }
@@ -243,7 +299,11 @@ int main(int argc, char** argv) {
     rq.query = first_record(o.positional[0], alphabet);
     rq.options = request_options(o);
     for (int i = 0; i < o.repeat; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
       const auto r = client.search(rq, extra);
+      const double rtt = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
       if (!r.ok()) {
         std::fprintf(stderr, "swve_client: %s: %s\n",
                      service::status_name(r.status), r.error.c_str());
@@ -251,6 +311,7 @@ int main(int argc, char** argv) {
       }
       std::printf("query %s: %zu hits%s\n", rq.query.id().c_str(),
                   r.response->result.hits.size(), provenance(r.flags));
+      print_timing(r, rtt);
       for (const auto& h : r.response->result.hits)
         std::printf("  db[%u] score %d end (%d,%d)\n", h.seq_index, h.score,
                     h.end_query, h.end_ref);
@@ -264,7 +325,11 @@ int main(int argc, char** argv) {
     rq.queries = seq::read_fasta_file(o.positional[0], alphabet);
     rq.options = request_options(o);
     for (int i = 0; i < o.repeat; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
       const auto r = client.batch(rq, extra);
+      const double rtt = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
       if (!r.ok()) {
         std::fprintf(stderr, "swve_client: %s: %s\n",
                      service::status_name(r.status), r.error.c_str());
@@ -272,6 +337,7 @@ int main(int argc, char** argv) {
       }
       std::printf("%zu queries%s\n", r.response->results.size(),
                   provenance(r.flags));
+      print_timing(r, rtt);
       for (size_t q = 0; q < r.response->results.size(); ++q) {
         const auto& hits = r.response->results[q].result.hits;
         std::printf("  query %zu: %zu hits, best %d\n", q, hits.size(),

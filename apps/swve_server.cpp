@@ -33,6 +33,14 @@
 //   --queue-cap N            submission queue capacity (default 256)
 //   --slo-ms N               watchdog SLO for slow-request records
 //   --flight-out FILE        flight-recorder dump path on signals
+//
+// Observability options:
+//   --log-file FILE          structured JSON-lines log file (O_APPEND)
+//   --log-level LVL          debug | info | warn | error (default info)
+//   --log-rate N             per-event-site records/second cap (0 = off)
+//   --trace-events N         trace-sink ring capacity per thread
+//                            (default 8192; 0 disables the sink and the
+//                            span half of /tracez)
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -53,7 +61,9 @@ namespace {
       "  --port N | --bind ADDR | --max-conns N | --max-frame-mb N\n"
       "  --cache-entries N | --no-singleflight | --no-http\n"
       "  --drain-timeout S | --matrix NAME | --top K | --threads N\n"
-      "  --executors N | --queue-cap N | --slo-ms N | --flight-out FILE\n",
+      "  --executors N | --queue-cap N | --slo-ms N | --flight-out FILE\n"
+      "  --log-file FILE | --log-level LVL | --log-rate N\n"
+      "  --trace-events N\n",
       stderr);
   std::exit(2);
 }
@@ -68,6 +78,10 @@ int main(int argc, char** argv) {
   std::string matrix_name = "blosum62";
   std::string flight_out;
   int slo_ms = 0;
+  std::string log_file;
+  std::string log_level = "info";
+  uint64_t log_rate = 0;
+  size_t trace_events = 8192;
 
   service::ServiceOptions opt;
   opt.serve.port = 7731;
@@ -106,6 +120,11 @@ int main(int argc, char** argv) {
       opt.queue.capacity = std::strtoul(next(), nullptr, 10);
     else if (s == "--slo-ms") slo_ms = std::atoi(next());
     else if (s == "--flight-out") flight_out = next();
+    else if (s == "--log-file") log_file = next();
+    else if (s == "--log-level") log_level = next();
+    else if (s == "--log-rate") log_rate = std::strtoull(next(), nullptr, 10);
+    else if (s == "--trace-events")
+      trace_events = std::strtoul(next(), nullptr, 10);
     else if (s == "--help" || s == "-h") usage();
     else usage(("unknown option " + s).c_str());
   }
@@ -116,6 +135,25 @@ int main(int argc, char** argv) {
   if (matrix == nullptr) usage(("unknown matrix " + matrix_name).c_str());
   opt.config.matrix = matrix;
   opt.obs.slow_request_slo_s = slo_ms / 1000.0;
+
+  // The logger outlives everything that logs (service threads, server
+  // loop, flight recorder), so it is declared before them and destroyed
+  // last; the destructor drains the rings, losing nothing accepted.
+  obs::LoggerOptions logopt;
+  logopt.min_level = obs::log_level_from_string(log_level);
+  logopt.path = log_file;
+  logopt.rate_limit_per_sec = log_rate;
+  obs::Logger logger(logopt);
+  obs::Logger::install_global(&logger);
+
+  // Trace sink for wire tracing: propagated trace ids land here as
+  // queue/dispatch/kernel spans, surfaced through /tracez and the flight
+  // recorder's Chrome-trace dump.
+  std::unique_ptr<obs::TraceSink> trace_sink;
+  if (trace_events > 0) {
+    trace_sink = std::make_unique<obs::TraceSink>(trace_events);
+    opt.obs.trace_sink = trace_sink.get();
+  }
 
   seq::SequenceDatabase db;
   if (!db_path.empty()) {
@@ -142,6 +180,7 @@ int main(int argc, char** argv) {
   obs::FlightRecorder recorder;
   obs::FlightRecorderOptions fr;
   fr.path = flight_out;
+  fr.sink = trace_sink.get();
   fr.registry = svc.registry();
   fr.inflight = svc.inflight();
   fr.notify_fd = server->term_fd();
@@ -156,6 +195,12 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(db.total_residues()),
                matrix_name.c_str(), opt.serve.result_cache_capacity,
                opt.serve.singleflight ? "on" : "off");
+  obs::log_info("server.start",
+                {{"port", static_cast<unsigned>(server->port())},
+                 {"sequences", db.sequences().size()},
+                 {"residues", db.total_residues()},
+                 {"cache_entries", opt.serve.result_cache_capacity},
+                 {"singleflight", opt.serve.singleflight}});
 
   server->join();  // runs until SIGTERM/SIGINT starts (and finishes) a drain
 
@@ -165,5 +210,8 @@ int main(int argc, char** argv) {
                "dedup ratio %.2f\n",
                static_cast<unsigned long long>(snap.completed),
                snap.result_cache_hit_rate(), snap.dedup_ratio());
+  obs::log_info("server.exit", {{"completed", snap.completed},
+                                {"cache_hits", snap.result_cache_hits},
+                                {"coalesced", snap.coalesced}});
   return 0;
 }

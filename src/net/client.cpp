@@ -177,6 +177,15 @@ auto Client::call(MsgType type, const Request& rq, uint8_t extra_flags) {
   h.tier = static_cast<uint8_t>(rq.options.tier);
   h.request_id = next_id_++;
   std::string payload;
+  if (trace_) {
+    // The trace context travels as a payload prefix, stripped server-side
+    // before the request decoder sees the bytes.
+    h.flags |= kFlagTraced;
+    WireTraceContext ctx;
+    ctx.trace_id = trace_id_ != 0 ? trace_id_ : h.request_id;
+    ctx.sampled = trace_sampled_;
+    encode_trace_context(payload, ctx);
+  }
   Traits::encode(payload, rq);
   const std::string frame = encode_frame(h, payload);
   if (!send_all(frame.data(), frame.size())) {
@@ -191,13 +200,24 @@ auto Client::call(MsgType type, const Request& rq, uint8_t extra_flags) {
   }
   const FrameHeader& rh = reply->first;
   out.flags = rh.flags;
+  std::string_view reply_payload = reply->second;
+  if ((rh.flags & kFlagTraced) != 0) {
+    // Strip the ServerTiming trailer before the decoder: the remaining
+    // payload bytes are bit-identical to an untraced response's.
+    out.timing = decode_server_timing(reply_payload);
+    if (!out.timing) {
+      out.status = ServiceStatus::BadFrame;
+      out.error = "net: traced response without a valid timing trailer";
+      return out;
+    }
+  }
   if (rh.request_id != h.request_id) {
     out.error = "net: response id mismatch";
     return out;
   }
   out.status = service::status_from_wire(rh.status);
   if (rh.type == MsgType::ErrorResponse || !out.ok()) {
-    out.error = reply->second;  // binary error payload = message bytes
+    out.error = reply_payload;  // binary error payload = message bytes
     return out;
   }
   if (rh.type != Traits::kResponse) {
@@ -205,7 +225,7 @@ auto Client::call(MsgType type, const Request& rq, uint8_t extra_flags) {
     out.error = "net: unexpected response type";
     return out;
   }
-  auto decoded = Traits::decode(reply->second);
+  auto decoded = Traits::decode(reply_payload);
   if (!decoded) {
     out.status = ServiceStatus::BadFrame;
     out.error = "net: undecodable response payload";
@@ -273,13 +293,14 @@ RpcResult<std::string> Client::metrics(bool json) {
 
 core::ErrorOr<std::string> http_get(const std::string& host, uint16_t port,
                                     const std::string& path, double timeout_s,
-                                    std::string* head) {
+                                    std::string* head,
+                                    const std::string& method) {
   core::ConfigError err;
   const int fd = dial(host, port, timeout_s, &err);
   if (fd < 0) return err;
 
   const std::string request =
-      "GET " + path + " HTTP/1.1\r\nHost: " + host + "\r\n\r\n";
+      method + " " + path + " HTTP/1.1\r\nHost: " + host + "\r\n\r\n";
   size_t off = 0;
   while (off < request.size()) {
     const ssize_t n = ::send(fd, request.data() + off, request.size() - off,

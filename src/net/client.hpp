@@ -39,6 +39,11 @@ struct RpcResult {
   std::string error;  ///< message when !ok() (server- or transport-side)
   uint8_t flags = 0;  ///< response flags (kFlagFromCache / kFlagCoalesced)
   std::optional<R> response;
+  /// Server-side timing breakdown; present only when the request was sent
+  /// traced (enable_tracing) and the server echoed kFlagTraced. The
+  /// trailer is stripped before decoding, so `response` stays bit-identical
+  /// to an untraced call's.
+  std::optional<ServerTiming> timing;
 
   bool ok() const noexcept { return status == service::ServiceStatus::Ok; }
   bool from_cache() const noexcept { return (flags & kFlagFromCache) != 0; }
@@ -64,6 +69,17 @@ class Client {
                                             uint8_t extra_flags = 0);
   RpcResult<service::BatchResponse> batch(const service::BatchRequest& rq,
                                           uint8_t extra_flags = 0);
+
+  /// Wire tracing: when enabled, every align/search/batch request carries
+  /// a WireTraceContext (kFlagTraced) and the matching RpcResult::timing
+  /// is filled from the response trailer. The trace id is client-chosen:
+  /// set_trace_id(id) pins the next request's id (propagating an upstream
+  /// trace); 0 (the default) derives one from the request sequence.
+  void enable_tracing(bool on, bool sampled = true) noexcept {
+    trace_ = on;
+    trace_sampled_ = sampled;
+  }
+  void set_trace_id(uint64_t id) noexcept { trace_id_ = id; }
 
   /// Round-trip liveness probe (Ping -> Pong).
   RpcResult<std::monostate> ping();
@@ -94,15 +110,20 @@ class Client {
 
   int fd_ = -1;
   uint64_t next_id_ = 1;
+  bool trace_ = false;
+  bool trace_sampled_ = true;
+  uint64_t trace_id_ = 0;  ///< 0 = derive from the request sequence
 };
 
-/// One-shot HTTP GET against the server's scrape endpoint ("/metrics",
-/// "/healthz"); returns the response body (status line checked for 200/503
-/// is the caller's business — the full head is returned when `head` is
-/// non-null).
+/// One-shot HTTP request against the server's scrape endpoints
+/// ("/metrics", "/healthz", "/statusz", "/tracez", "/connz"); returns the
+/// response body (status line checked for 200/503 is the caller's business
+/// — the full head is returned when `head` is non-null). `method` is "GET"
+/// for every real caller; tests pass "POST" etc. to probe the 405 path.
 core::ErrorOr<std::string> http_get(const std::string& host, uint16_t port,
                                     const std::string& path,
                                     double timeout_s = 10.0,
-                                    std::string* head = nullptr);
+                                    std::string* head = nullptr,
+                                    const std::string& method = "GET");
 
 }  // namespace swve::net

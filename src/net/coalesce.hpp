@@ -73,6 +73,9 @@ struct FlightWaiter {
   uint64_t request_id = 0;
   bool json = false;
   bool initiator = false;
+  bool traced = false;     ///< request carried a WireTraceContext
+  bool sampled = false;    ///< its sampled bit (publication to /tracez)
+  uint64_t trace_id = 0;   ///< echoed in this waiter's timing trailer
 };
 
 /// In-flight executions by cache key. The first submitter for a key starts

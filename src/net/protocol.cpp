@@ -472,6 +472,45 @@ bool known_request_type(uint8_t type) noexcept {
          type <= static_cast<uint8_t>(MsgType::MetricsRequest);
 }
 
+// ----------------------------------------------------------- wire tracing
+
+void encode_trace_context(std::string& out, const WireTraceContext& ctx) {
+  put_u64(out, ctx.trace_id);
+  put_u8(out, ctx.sampled ? 1 : 0);
+}
+
+std::optional<WireTraceContext> decode_trace_context(
+    std::string_view& payload) {
+  if (payload.size() < kTraceContextSize) return std::nullopt;
+  Reader r(payload.substr(0, kTraceContextSize));
+  WireTraceContext ctx;
+  uint8_t sampled = 0;
+  if (!r.u64(ctx.trace_id) || !r.u8(sampled)) return std::nullopt;
+  if (ctx.trace_id == 0) return std::nullopt;
+  ctx.sampled = sampled != 0;
+  payload.remove_prefix(kTraceContextSize);
+  return ctx;
+}
+
+void encode_server_timing(std::string& out, const ServerTiming& t) {
+  put_u64(out, t.trace_id);
+  put_u32(out, t.queue_us);
+  put_u32(out, t.exec_us);
+  put_u32(out, t.serialize_us);
+  put_u8(out, t.source);
+}
+
+std::optional<ServerTiming> decode_server_timing(std::string_view& payload) {
+  if (payload.size() < kServerTimingSize) return std::nullopt;
+  Reader r(payload.substr(payload.size() - kServerTimingSize));
+  ServerTiming t;
+  if (!r.u64(t.trace_id) || !r.u32(t.queue_us) || !r.u32(t.exec_us) ||
+      !r.u32(t.serialize_us) || !r.u8(t.source))
+    return std::nullopt;
+  payload.remove_suffix(kServerTimingSize);
+  return t;
+}
+
 // --------------------------------------------------------------- requests
 
 void encode_align_request(std::string& out, const AlignRequest& rq) {

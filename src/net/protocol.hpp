@@ -62,6 +62,10 @@ inline constexpr uint8_t kFlagJson = 1u << 0;       ///< payload is JSON
 inline constexpr uint8_t kFlagNoCache = 1u << 1;    ///< bypass result cache
 inline constexpr uint8_t kFlagFromCache = 1u << 2;  ///< served from the LRU
 inline constexpr uint8_t kFlagCoalesced = 1u << 3;  ///< joined an in-flight twin
+/// Request: the payload begins with a kTraceContextSize-byte trace context
+/// the server adopts for its spans. Binary response: echoed to signal a
+/// trailing kServerTimingSize-byte ServerTiming block after the payload.
+inline constexpr uint8_t kFlagTraced = 1u << 4;
 
 struct FrameHeader {
   MsgType type = MsgType::Ping;
@@ -84,6 +88,51 @@ std::string encode_frame(const FrameHeader& h, std::string_view payload);
 
 /// True for type bytes this implementation understands (request side).
 bool known_request_type(uint8_t type) noexcept;
+
+// ------------------------------------------------------------- wire tracing
+
+/// Client-chosen trace context carried as a payload prefix when
+/// kFlagTraced is set on a request frame. The server strips it before the
+/// payload decoders run, so traced and untraced payload bytes (and hence
+/// results and cache identities) are identical.
+struct WireTraceContext {
+  uint64_t trace_id = 0;  ///< threads client and server spans (0 = invalid)
+  bool sampled = false;   ///< request publication to /tracez
+};
+
+inline constexpr size_t kTraceContextSize = 9;  // u64 trace_id + u8 sampled
+
+/// Append the 9-byte context to `out` (prefix position — call before the
+/// request payload encoder).
+void encode_trace_context(std::string& out, const WireTraceContext& ctx);
+
+/// Strip a trace context off the front of `payload` (advancing it) and
+/// return it; nullopt (payload untouched) when fewer than
+/// kTraceContextSize bytes remain or trace_id is 0.
+std::optional<WireTraceContext> decode_trace_context(
+    std::string_view& payload);
+
+/// Server-side timing breakdown appended after a traced binary response
+/// payload (kFlagTraced echoed on the response frame signals presence).
+/// The trailer travels outside the cached payload bytes, so cached and
+/// executed responses stay bit-identical; `source` carries provenance.
+struct ServerTiming {
+  uint64_t trace_id = 0;     ///< echo of the request's trace id
+  uint32_t queue_us = 0;     ///< submission -> executor pickup
+  uint32_t exec_us = 0;      ///< kernel wall time
+  uint32_t serialize_us = 0; ///< response payload encode time
+  uint8_t source = 0;        ///< 0 = executed, 1 = cache hit, 2 = coalesced
+};
+
+inline constexpr size_t kServerTimingSize = 21;
+
+/// Append the 21-byte timing trailer to `out`.
+void encode_server_timing(std::string& out, const ServerTiming& t);
+
+/// Strip a timing trailer off the back of `payload` (shrinking it) and
+/// return it; nullopt (payload untouched) when fewer than
+/// kServerTimingSize bytes remain.
+std::optional<ServerTiming> decode_server_timing(std::string_view& payload);
 
 // ------------------------------------------------------------------ requests
 
@@ -139,8 +188,10 @@ std::string error_payload(service::ServiceStatus status,
 /// Canonical identity bytes of a request for the result cache and
 /// singleflight: scenario + query/reference residue codes + alphabet +
 /// effective config + top-k/traceback — everything that determines the
-/// response bytes — plus the server's db_epoch. Deadline and QoS tier are
-/// deliberately excluded: they shape scheduling, not results.
+/// response bytes — plus the server's db_epoch. Deadline, QoS tier, and
+/// trace id are deliberately excluded: they shape scheduling and
+/// observability, not results — a traced request must hit the same cache
+/// entry as its untraced twin.
 ///
 /// The cache and singleflight index on cache_key(identity) — a 64-bit
 /// FNV-1a of these bytes — but always verify the full identity on lookup:

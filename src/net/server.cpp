@@ -8,12 +8,18 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
+#include "net/json.hpp"
 #include "obs/exporters.hpp"
+#include "obs/log.hpp"
+#include "perf/timer.hpp"
 
 namespace swve::net {
 namespace {
@@ -91,16 +97,36 @@ struct WireTraits<service::BatchRequest> {
 };
 
 /// Minimal HTTP response; the server always closes after writing one.
+/// `extra_headers` (e.g. "Allow: GET\r\n") is inserted verbatim.
 std::string http_response(int code, const char* reason,
-                          const char* content_type, std::string_view body) {
+                          const char* content_type, std::string_view body,
+                          std::string_view extra_headers = {}) {
   std::string out = "HTTP/1.1 " + std::to_string(code) + " " + reason +
                     "\r\nContent-Type: " + content_type +
                     "\r\nContent-Length: " + std::to_string(body.size()) +
-                    "\r\nConnection: close\r\n\r\n";
+                    "\r\n";
+  out.append(extra_headers);
+  out += "Connection: close\r\n\r\n";
   out.append(body);
   return out;
 }
 
+/// HTTP request-line method if the buffer starts with one we recognize
+/// (the token + the mandatory space), else nullptr. Used for protocol
+/// sniffing: any HTTP method selects the HTTP path, so a POST gets a
+/// clean 405 instead of falling into binary protocol-error handling.
+const char* sniff_http_method(std::string_view in) {
+  static constexpr const char* kMethods[] = {
+      "GET ", "POST ", "HEAD ", "PUT ", "DELETE ", "OPTIONS ", "PATCH "};
+  for (const char* m : kMethods) {
+    const size_t n = std::strlen(m);
+    if (in.size() >= n && in.compare(0, n, m) == 0) return m;
+    // An incomplete prefix of a method keeps the decision pending.
+    if (in.size() < n && std::memcmp(in.data(), m, in.size()) == 0)
+      return nullptr;
+  }
+  return nullptr;
+}
 }  // namespace
 
 core::ErrorOr<std::unique_ptr<Server>> Server::start(
@@ -171,7 +197,9 @@ core::ErrorOr<std::unique_ptr<Server>> Server::start(
 Server::Server(service::AlignService& service, uint64_t db_epoch)
     : service_(service),
       opts_(service.options().serve),
+      trace_sink_(service.options().obs.trace_sink),
       db_epoch_(db_epoch),
+      started_s_(steady_s()),
       cache_(opts_.result_cache_capacity) {}
 
 Server::~Server() {
@@ -252,6 +280,10 @@ void Server::loop() {
         if (!draining_) {
           draining_ = true;
           drain_deadline_s_ = steady_s() + opts_.drain_timeout_s;
+          obs::log_info("server.drain",
+                        {{"outstanding", static_cast<uint64_t>(outstanding_)},
+                         {"connections", static_cast<uint64_t>(conns_.size())},
+                         {"timeout_s", opts_.drain_timeout_s}});
           // Close the listener outright (not just EPOLL_CTL_DEL): an open
           // listening socket still completes handshakes into the backlog,
           // so new clients would connect and hang instead of being refused.
@@ -282,8 +314,10 @@ void Server::loop() {
 
 void Server::accept_connections() {
   while (true) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
-                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    sockaddr_in peer{};
+    socklen_t plen = sizeof peer;
+    const int fd = ::accept4(listen_fd_, reinterpret_cast<sockaddr*>(&peer),
+                             &plen, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) return;  // EAGAIN or transient error; epoll will re-arm
     if (conns_.size() >= opts_.max_connections || draining_) {
       ::close(fd);
@@ -302,6 +336,11 @@ void Server::accept_connections() {
     Connection c;
     c.fd = fd;
     c.id = id;
+    char ip[INET_ADDRSTRLEN] = "?";
+    ::inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof ip);
+    c.peer = std::string(ip) + ":" + std::to_string(ntohs(peer.sin_port));
+    c.opened_s = steady_s();
+    obs::log_info("server.accept", {{"conn", id}, {"peer", c.peer}});
     conns_.emplace(id, std::move(c));
     active_connections_.store(conns_.size(), std::memory_order_relaxed);
     service_.registry()->on_connection_accepted();
@@ -335,9 +374,12 @@ void Server::process_buffer(uint64_t conn_id) {
     if (c == nullptr) return;
 
     // Protocol selection on the connection's first bytes: protocol v1
-    // frames start with the "SWV1" magic, an HTTP scrape with "GET ".
-    if (!c->http && c->in.size() >= 4 && c->in.compare(0, 4, "GET ") == 0)
-      c->http = true;
+    // frames start with the "SWV1" magic, an HTTP request with a method
+    // token. Any recognized method — not just GET — routes to the HTTP
+    // path, so a POST gets a clean 405 rather than a binary BadVersion.
+    // A short buffer that is still a method prefix simply waits: the
+    // binary branch below needs kHeaderSize bytes before it decides.
+    if (!c->http && sniff_http_method(c->in) != nullptr) c->http = true;
     if (c->http) {
       process_http(*c);
       return;
@@ -348,6 +390,8 @@ void Server::process_buffer(uint64_t conn_id) {
         decode_header(reinterpret_cast<const uint8_t*>(c->in.data()));
     if (!h) {
       service_.registry()->on_protocol_error();
+      obs::log_warn("server.protocol_error",
+                    {{"conn", c->id}, {"reason", "bad_magic"}});
       c->in.clear();
       c->close_after_write = true;  // cannot resync a corrupt stream
       send_error(*c, FrameHeader{}, ServiceStatus::BadVersion,
@@ -356,6 +400,10 @@ void Server::process_buffer(uint64_t conn_id) {
     }
     if (h->payload_len > opts_.max_frame_bytes) {
       service_.registry()->on_protocol_error();
+      obs::log_warn("server.protocol_error",
+                    {{"conn", c->id},
+                     {"reason", "frame_too_large"},
+                     {"payload_len", h->payload_len}});
       const std::string msg =
           "payload length " + std::to_string(h->payload_len) +
           " exceeds serve.max_frame_bytes " +
@@ -371,6 +419,8 @@ void Server::process_buffer(uint64_t conn_id) {
         c->in.substr(kHeaderSize, h->payload_len);
     c->in.erase(0, kHeaderSize + h->payload_len);
     service_.registry()->on_frame_rx(kHeaderSize + payload.size());
+    c->frames_rx += 1;
+    c->bytes_rx += kHeaderSize + payload.size();
     process_frame(*c, *h, payload);
   }
 }
@@ -379,10 +429,32 @@ void Server::process_frame(Connection& c, const FrameHeader& h,
                            std::string_view payload) {
   if (!known_request_type(static_cast<uint8_t>(h.type))) {
     service_.registry()->on_protocol_error();
+    obs::log_warn("server.protocol_error",
+                  {{"conn", c.id},
+                   {"reason", "unknown_type"},
+                   {"type", static_cast<unsigned>(h.type)}});
     send_error(c, h, ServiceStatus::UnknownType,
                "unknown message type " +
                    std::to_string(static_cast<unsigned>(h.type)));
     return;
+  }
+  c.last_tier = h.tier;
+
+  // Frame receipt time on the sink clock: the start of the server.frame
+  // span recorded for traced requests.
+  const uint64_t t_rx_ns = trace_sink_ ? trace_sink_->now_ns() : 0;
+  WireTraceContext trace;
+  if ((h.flags & kFlagTraced) != 0) {
+    auto ctx = decode_trace_context(payload);  // strips the 9-byte prefix
+    if (!ctx) {
+      service_.registry()->on_protocol_error();
+      obs::log_warn("server.protocol_error",
+                    {{"conn", c.id}, {"reason", "bad_trace_context"}});
+      send_error(c, h, ServiceStatus::BadFrame,
+                 "traced flag without a valid trace context");
+      return;
+    }
+    trace = *ctx;
   }
 
   const bool json = (h.flags & kFlagJson) != 0;
@@ -411,17 +483,20 @@ void Server::process_frame(Connection& c, const FrameHeader& h,
     case MsgType::AlignRequest:
       handle_request(c, h,
                      json ? decode_align_request_json(payload)
-                          : decode_align_request(payload));
+                          : decode_align_request(payload),
+                     trace, t_rx_ns);
       return;
     case MsgType::SearchRequest:
       handle_request(c, h,
                      json ? decode_search_request_json(payload)
-                          : decode_search_request(payload));
+                          : decode_search_request(payload),
+                     trace, t_rx_ns);
       return;
     case MsgType::BatchRequest:
       handle_request(c, h,
                      json ? decode_batch_request_json(payload)
-                          : decode_batch_request(payload));
+                          : decode_batch_request(payload),
+                     trace, t_rx_ns);
       return;
     default:
       return;  // unreachable; known_request_type gated above
@@ -430,9 +505,12 @@ void Server::process_frame(Connection& c, const FrameHeader& h,
 
 template <typename Request>
 void Server::handle_request(Connection& c, const FrameHeader& h,
-                            std::optional<Request> decoded) {
+                            std::optional<Request> decoded,
+                            const WireTraceContext& trace, uint64_t t_rx_ns) {
   if (!decoded) {
     service_.registry()->on_protocol_error();
+    obs::log_warn("server.protocol_error",
+                  {{"conn", c.id}, {"reason", "bad_payload"}});
     send_error(c, h, ServiceStatus::BadFrame, "undecodable request payload");
     return;
   }
@@ -441,13 +519,17 @@ void Server::handle_request(Connection& c, const FrameHeader& h,
     return;
   }
   decoded->options.tier = service::qos_tier_from_wire(h.tier);
+  // The propagated trace id becomes the service-side span id: one id
+  // threads client -> frame -> queue_wait -> dispatch -> kernel spans.
+  decoded->options.trace_id = trace.trace_id;
+  const bool traced = trace.trace_id != 0;
 
   const bool json = (h.flags & kFlagJson) != 0;
   if (json) {
     // JSON debug mode bypasses the cache and singleflight: its payloads
     // are a different (non-canonical) serialization of the same result.
     submit_request(c, h, std::move(*decoded), /*flight=*/false,
-                   /*identity=*/std::string());
+                   /*identity=*/std::string(), trace, t_rx_ns);
     return;
   }
 
@@ -462,7 +544,21 @@ void Server::handle_request(Connection& c, const FrameHeader& h,
       r.tier = h.tier;
       r.status = hit->status;
       r.request_id = h.request_id;
-      send_frame(c, r, hit->payload);
+      std::string trailer;
+      if (traced) {
+        // A cache hit never executed: the timing breakdown is all zeros,
+        // provenance says "served from cache".
+        r.flags |= kFlagTraced;
+        encode_server_timing(
+            trailer, ServerTiming{trace.trace_id, 0, 0, 0, /*source=*/1});
+        if (trace_sink_)
+          trace_sink_->record_span("server.frame", trace.trace_id, t_rx_ns,
+                                   trace_sink_->now_ns());
+        if (trace.sampled)
+          record_tracez(TracezEntry{trace.trace_id, hit->type, h.tier,
+                                    hit->status, 0, 0, /*source=*/1});
+      }
+      send_frame(c, r, hit->payload, trailer);
       return;
     }
     service_.registry()->on_result_cache_miss();
@@ -471,9 +567,17 @@ void Server::handle_request(Connection& c, const FrameHeader& h,
   if (opts_.singleflight) {
     switch (flights_.join(key, identity,
                           FlightWaiter{c.id, h.request_id, /*json=*/false,
-                                       /*initiator=*/false})) {
+                                       /*initiator=*/false, traced,
+                                       trace.sampled, trace.trace_id})) {
       case Singleflight::Join::Joined:
         service_.registry()->on_coalesced();
+        ++c.inflight;
+        // The joiner's own server-side work ends here (receipt -> join);
+        // the execution spans live under the INITIATOR's trace id. Its
+        // timing trailer arrives with the shared completion.
+        if (traced && trace_sink_)
+          trace_sink_->record_span("server.frame", trace.trace_id, t_rx_ns,
+                                   trace_sink_->now_ns());
         return;  // the in-flight twin's completion answers this waiter too
       case Singleflight::Join::Started:
         flight = true;
@@ -484,12 +588,14 @@ void Server::handle_request(Connection& c, const FrameHeader& h,
         break;
     }
   }
-  submit_request(c, h, std::move(*decoded), flight, std::move(identity));
+  submit_request(c, h, std::move(*decoded), flight, std::move(identity),
+                 trace, t_rx_ns);
 }
 
 template <typename Request>
-void Server::submit_request(const Connection& c, const FrameHeader& h,
-                            Request rq, bool flight, std::string identity) {
+void Server::submit_request(Connection& c, const FrameHeader& h, Request rq,
+                            bool flight, std::string identity,
+                            const WireTraceContext& trace, uint64_t t_rx_ns) {
   using Traits = WireTraits<Request>;
   const bool json = (h.flags & kFlagJson) != 0;
   Completion done;
@@ -501,7 +607,14 @@ void Server::submit_request(const Connection& c, const FrameHeader& h,
   done.request_id = h.request_id;
   done.req_flags = h.flags;
   done.req_tier = h.tier;
+  done.traced = trace.trace_id != 0;
+  done.sampled = trace.sampled;
+  done.trace_id = trace.trace_id;
   ++outstanding_;
+  ++c.inflight;
+  if (done.traced && trace_sink_)
+    trace_sink_->record_span("server.frame", trace.trace_id, t_rx_ns,
+                             trace_sink_->now_ns());
 
   // The completion runs on an executor thread (or inline for immediate
   // rejections): serialize there, deliver on the loop thread. The callback
@@ -513,13 +626,21 @@ void Server::submit_request(const Connection& c, const FrameHeader& h,
        done](core::ErrorOr<typename Traits::Response> out) mutable {
         const bool as_json = (done.req_flags & kFlagJson) != 0;
         done.response.tier = done.req_tier;
+        const auto to_us = [](double s) {
+          return s <= 0 ? 0u
+                        : static_cast<uint32_t>(std::min(s * 1e6, 4.0e9));
+        };
         if (out.ok()) {
           done.response.type = Traits::kResponse;
           done.response.status = service::wire_status(ServiceStatus::Ok);
+          done.queue_us = to_us(out.value().trace.queue_wait_s);
+          done.exec_us = to_us(out.value().trace.kernel_s);
+          perf::Stopwatch sw;
           if (as_json)
             done.response.payload = Traits::json(out.value());
           else
             Traits::encode(done.response.payload, out.value());
+          done.serialize_us = to_us(sw.seconds());
         } else {
           const ServiceStatus st = service::to_status(out.error().code);
           done.response.type = MsgType::ErrorResponse;
@@ -557,34 +678,67 @@ void Server::drain_completions() {
 void Server::deliver(const Completion& done) {
   const bool ok = done.response.status == service::wire_status(ServiceStatus::Ok);
   if (done.cacheable && ok) publish(done.key, done);
+  const bool json = (done.req_flags & kFlagJson) != 0;
 
   if (!done.flight) {
-    // Direct delivery (JSON mode, or singleflight disabled).
+    // Direct delivery (JSON mode, singleflight disabled, or a key-collision
+    // Mismatch executed outside the flight).
     if (Connection* c = find_connection(done.conn_id)) {
+      if (c->inflight > 0) --c->inflight;
       FrameHeader r;
       r.type = done.response.type;
       r.flags = done.req_flags & kFlagJson;
       r.tier = done.response.tier;
       r.status = done.response.status;
       r.request_id = done.request_id;
-      send_frame(*c, r, done.response.payload);
+      std::string trailer;
+      if (done.traced && !json) {
+        r.flags |= kFlagTraced;
+        encode_server_timing(trailer,
+                             ServerTiming{done.trace_id, done.queue_us,
+                                          done.exec_us, done.serialize_us,
+                                          /*source=*/0});
+      }
+      if (done.traced && done.sampled)
+        record_tracez(TracezEntry{done.trace_id, done.response.type,
+                                  done.response.tier, done.response.status,
+                                  done.queue_us, done.exec_us, /*source=*/0});
+      send_frame(*c, r, done.response.payload, trailer);
     }
     return;
   }
 
   // Flight delivery: fan the one serialized response out to every waiter.
   // Joiners are flagged kFlagCoalesced; the payload bytes are identical.
+  // Traced waiters each get their own trailer — the initiator's timing
+  // breakdown with the waiter's own trace id echoed, and provenance 2
+  // ("coalesced") for joiners, whose execution spans live under the
+  // initiator's trace id.
   const std::vector<FlightWaiter> waiters = flights_.complete(done.key);
   for (const FlightWaiter& w : waiters) {
     Connection* c = find_connection(w.conn_id);
     if (c == nullptr) continue;  // waiter disconnected mid-flight
+    if (c->inflight > 0) --c->inflight;
     FrameHeader r;
     r.type = done.response.type;
     r.flags = w.initiator ? 0 : kFlagCoalesced;
     r.tier = done.response.tier;
     r.status = done.response.status;
     r.request_id = w.request_id;
-    send_frame(*c, r, done.response.payload);
+    std::string trailer;
+    if (w.traced) {
+      r.flags |= kFlagTraced;
+      encode_server_timing(
+          trailer, ServerTiming{w.trace_id, done.queue_us, done.exec_us,
+                                done.serialize_us,
+                                static_cast<uint8_t>(w.initiator ? 0 : 2)});
+    }
+    if (w.traced && w.sampled)
+      record_tracez(TracezEntry{w.trace_id, done.response.type,
+                                done.response.tier, done.response.status,
+                                done.queue_us, done.exec_us,
+                                static_cast<uint8_t>(w.initiator ? 0 : 2)});
+    send_frame(*c, r, done.response.payload, trailer);
   }
 }
 
@@ -605,7 +759,22 @@ void Server::process_http(Connection& c) {
     return;
   }
   const std::string_view head(c.in.data(), end);
-  const size_t path_begin = 4;  // past "GET "
+  const char* method = sniff_http_method(head);
+  if (method == nullptr) {  // cannot happen via sniffing, but be explicit
+    close_connection(c.id);
+    return;
+  }
+  if (std::string_view(method) != "GET ") {
+    // The endpoints are all read-only; anything else is a clean 405, not a
+    // fall-through into binary protocol-error handling.
+    c.in.erase(0, end + 4);
+    c.out.append(http_response(405, "Method Not Allowed", "text/plain",
+                               "method not allowed\n", "Allow: GET\r\n"));
+    c.close_after_write = true;
+    flush(c);
+    return;
+  }
+  const size_t path_begin = std::strlen(method);
   const size_t path_end = head.find(' ', path_begin);
   const std::string_view target =
       path_end == std::string_view::npos
@@ -633,6 +802,12 @@ void Server::process_http(Connection& c) {
     reply = draining_ ? http_response(503, "Service Unavailable",
                                       "text/plain", "draining\n")
                       : http_response(200, "OK", "text/plain", "ok\n");
+  } else if (path == "/statusz" && opts_.http_metrics) {
+    reply = http_response(200, "OK", "application/json", render_statusz());
+  } else if (path == "/tracez" && opts_.http_metrics) {
+    reply = http_response(200, "OK", "application/json", render_tracez());
+  } else if (path == "/connz" && opts_.http_metrics) {
+    reply = http_response(200, "OK", "application/json", render_connz());
   } else {
     reply = http_response(404, "Not Found", "text/plain", "not found\n");
   }
@@ -642,16 +817,151 @@ void Server::process_http(Connection& c) {
   flush(c);
 }
 
+// u64 identities (db epoch, trace ids) must survive the JSON round trip
+// bit-exactly; net::Json numbers are doubles, so they travel as decimal
+// strings.
+static std::string u64_string(uint64_t v) { return std::to_string(v); }
+
+std::string Server::render_statusz() const {
+  const obs::BuildInfo build = obs::build_info();
+  const perf::MetricsSnapshot snap = metrics();
+  const service::ServiceOptions& sopt = service_.options();
+  JsonObject out;
+  out["build"] = JsonObject{{"version", build.version},
+                            {"compiler", build.compiler},
+                            {"isas", build.isas}};
+  out["uptime_s"] = steady_s() - started_s_;
+  out["db_epoch"] = u64_string(db_epoch_);
+  out["port"] = static_cast<double>(port_);
+  out["draining"] = draining_;
+  out["options"] = JsonObject{
+      {"serve",
+       JsonObject{{"bind", opts_.bind},
+                  {"max_connections", static_cast<uint64_t>(opts_.max_connections)},
+                  {"max_frame_bytes", static_cast<uint64_t>(opts_.max_frame_bytes)},
+                  {"result_cache_capacity",
+                   static_cast<uint64_t>(opts_.result_cache_capacity)},
+                  {"singleflight", opts_.singleflight},
+                  {"http_metrics", opts_.http_metrics},
+                  {"drain_timeout_s", opts_.drain_timeout_s}}},
+      {"queue", JsonObject{{"executors", static_cast<uint64_t>(sopt.queue.executors)},
+                           {"capacity", static_cast<uint64_t>(sopt.queue.capacity)}}},
+      {"cache",
+       JsonObject{{"query_cache_capacity",
+                   static_cast<uint64_t>(sopt.cache.query_cache_capacity)}}}};
+  out["requests"] = JsonObject{{"submitted", snap.submitted},
+                               {"completed", snap.completed},
+                               {"rejected_queue_full", snap.rejected_queue_full},
+                               {"deadline_expired", snap.deadline_expired},
+                               {"invalid", snap.invalid_request}};
+  out["cache"] = JsonObject{{"hits", snap.result_cache_hits},
+                            {"misses", snap.result_cache_misses},
+                            {"evictions", snap.result_cache_evictions},
+                            {"entries", snap.result_cache_entries},
+                            {"capacity",
+                             static_cast<uint64_t>(cache_.capacity())}};
+  out["coalesce"] = JsonObject{{"joined", snap.coalesced},
+                               {"inflight",
+                                static_cast<uint64_t>(flights_.inflight())}};
+  JsonObject tiers;
+  for (int t = 0; t < perf::MetricsSnapshot::kQosTiers; ++t) {
+    uint64_t total = 0;
+    for (int s = 0; s < perf::MetricsSnapshot::kScenarios; ++s)
+      total += snap.tier_requests[static_cast<size_t>(t)][static_cast<size_t>(s)];
+    tiers[perf::qos_tier_label(t)] =
+        JsonObject{{"requests", total},
+                   {"p50_s", snap.tier_latency[static_cast<size_t>(t)].p50_s},
+                   {"p99_s", snap.tier_latency[static_cast<size_t>(t)].p99_s}};
+  }
+  out["tiers"] = std::move(tiers);
+  out["log"] = JsonObject{{"records", snap.log_records},
+                          {"dropped_overflow", snap.log_dropped_overflow},
+                          {"dropped_threads", snap.log_dropped_threads},
+                          {"suppressed", snap.log_suppressed}};
+  return Json(std::move(out)).dump();
+}
+
+std::string Server::render_tracez() const {
+  JsonObject out;
+  // Newest-first: the request you just made is the first entry you read.
+  JsonArray entries;
+  const std::vector<obs::TraceEvent> events =
+      trace_sink_ ? trace_sink_->snapshot_events()
+                  : std::vector<obs::TraceEvent>{};
+  for (auto it = tracez_.rbegin(); it != tracez_.rend(); ++it) {
+    JsonObject e;
+    e["trace_id"] = u64_string(it->trace_id);
+    e["type"] = static_cast<double>(static_cast<uint8_t>(it->type));
+    e["tier"] = perf::qos_tier_label(it->tier);
+    e["status"] = static_cast<double>(it->status);
+    e["queue_us"] = static_cast<uint64_t>(it->queue_us);
+    e["exec_us"] = static_cast<uint64_t>(it->exec_us);
+    e["source"] = it->source == 0   ? "executed"
+                  : it->source == 1 ? "cache"
+                                    : "coalesced";
+    JsonArray spans;
+    for (const obs::TraceEvent& ev : events) {
+      if (ev.trace_id != it->trace_id || ev.name == nullptr) continue;
+      spans.push_back(JsonObject{{"name", ev.name},
+                                 {"ts_ns", u64_string(ev.ts_ns)},
+                                 {"dur_ns", u64_string(ev.dur_ns)}});
+    }
+    e["spans"] = std::move(spans);
+    entries.push_back(std::move(e));
+  }
+  out["entries"] = std::move(entries);
+  out["capacity"] = static_cast<uint64_t>(kTracezCapacity);
+  // SLO breaches ride along: the watchdog's records are the "slow" half of
+  // the story /tracez tells (sampled half above).
+  if (const obs::Watchdog* wd = service_.watchdog()) {
+    if (auto slow = Json::parse(wd->json())) out["slow"] = *slow;
+    out["slow_detected"] = wd->detected();
+  }
+  return Json(std::move(out)).dump();
+}
+
+std::string Server::render_connz() const {
+  const double now_s = steady_s();
+  JsonArray conns;
+  for (const auto& [id, c] : conns_) {
+    conns.push_back(JsonObject{
+        {"id", u64_string(id)},
+        {"peer", c.peer},
+        {"protocol", c.http ? "http" : "swv1"},
+        {"tier", perf::qos_tier_label(c.last_tier)},
+        {"frames_rx", c.frames_rx},
+        {"frames_tx", c.frames_tx},
+        {"bytes_rx", c.bytes_rx},
+        {"bytes_tx", c.bytes_tx},
+        {"inflight", static_cast<uint64_t>(c.inflight)},
+        {"age_s", now_s - c.opened_s}});
+  }
+  JsonObject out;
+  out["connections"] = std::move(conns);
+  out["active"] = static_cast<uint64_t>(conns_.size());
+  out["draining"] = draining_;
+  return Json(std::move(out)).dump();
+}
+
 // ------------------------------------------------------------------ plumbing
 
 void Server::send_frame(Connection& c, const FrameHeader& h,
-                        std::string_view payload) {
+                        std::string_view payload, std::string_view trailer) {
   FrameHeader out = h;
-  out.payload_len = static_cast<uint32_t>(payload.size());
+  out.payload_len = static_cast<uint32_t>(payload.size() + trailer.size());
   encode_header(c.out, out);
   c.out.append(payload);
-  service_.registry()->on_frame_tx(kHeaderSize + payload.size());
+  c.out.append(trailer);
+  const size_t wire = kHeaderSize + payload.size() + trailer.size();
+  service_.registry()->on_frame_tx(wire);
+  c.frames_tx += 1;
+  c.bytes_tx += wire;
   flush(c);
+}
+
+void Server::record_tracez(const TracezEntry& entry) {
+  tracez_.push_back(entry);
+  while (tracez_.size() > kTracezCapacity) tracez_.pop_front();
 }
 
 void Server::send_error(Connection& c, const FrameHeader& req,
@@ -698,6 +1008,10 @@ void Server::flush(Connection& c) {
 void Server::close_connection(uint64_t conn_id) {
   const auto it = conns_.find(conn_id);
   if (it == conns_.end()) return;
+  obs::log_info("server.close", {{"conn", conn_id},
+                                 {"frames_rx", it->second.frames_rx},
+                                 {"bytes_rx", it->second.bytes_rx},
+                                 {"bytes_tx", it->second.bytes_tx}});
   flights_.drop_connection(conn_id);
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second.fd, nullptr);
   close_fd(it->second.fd);

@@ -32,6 +32,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -93,6 +94,15 @@ class Server {
     size_t out_off = 0;  ///< sent prefix of `out`
     bool http = false;   ///< first bytes chose HTTP, not protocol v1
     bool close_after_write = false;
+    // Per-connection introspection (served by /connz; loop-thread only).
+    std::string peer;       ///< "a.b.c.d:port" at accept time
+    uint64_t frames_rx = 0;
+    uint64_t frames_tx = 0;
+    uint64_t bytes_rx = 0;
+    uint64_t bytes_tx = 0;
+    uint8_t last_tier = 1;  ///< tier byte of the most recent request frame
+    size_t inflight = 0;    ///< requests submitted/joined, not yet answered
+    double opened_s = 0;    ///< steady-clock seconds at accept
   };
 
   /// A serialized response ready for delivery, produced on an executor
@@ -106,6 +116,15 @@ class Server {
     uint64_t request_id = 0;
     uint8_t req_flags = 0;  ///< request flags to echo (json bit)
     uint8_t req_tier = 1;   ///< request tier byte to echo
+    // Wire tracing: the request's trace context plus the server-side
+    // timing breakdown, filled in the completion callback and appended as
+    // a ServerTiming trailer at send time (never stored in the cache).
+    bool traced = false;
+    bool sampled = false;
+    uint64_t trace_id = 0;
+    uint32_t queue_us = 0;
+    uint32_t exec_us = 0;
+    uint32_t serialize_us = 0;
     CachedResponse response;
   };
 
@@ -133,8 +152,10 @@ class Server {
   void drain_completions();
   void deliver(const Completion& done);
   void publish(uint64_t key, const Completion& done);
+  /// `trailer` (a ServerTiming block for traced waiters) is sent after the
+  /// payload and included in payload_len, but never cached with it.
   void send_frame(Connection& c, const FrameHeader& h,
-                  std::string_view payload);
+                  std::string_view payload, std::string_view trailer = {});
   void send_error(Connection& c, const FrameHeader& req,
                   service::ServiceStatus status, std::string_view message);
   void flush(Connection& c);
@@ -148,19 +169,44 @@ class Server {
 
   /// Decode result -> cache lookup -> singleflight join -> submit; one
   /// shape for all three scenarios (instantiated in the .cpp only).
+  /// `trace` is the request's stripped WireTraceContext (trace_id 0 when
+  /// the frame was untraced); `t_rx_ns` is the sink-clock frame receipt
+  /// time for the server.frame span.
   template <typename Request>
   void handle_request(Connection& c, const FrameHeader& h,
-                      std::optional<Request> decoded);
+                      std::optional<Request> decoded,
+                      const WireTraceContext& trace, uint64_t t_rx_ns);
   /// `flight` = deliver through the singleflight waiter list; `identity` =
   /// canonical request bytes for cache publication (empty for JSON mode).
   template <typename Request>
-  void submit_request(const Connection& c, const FrameHeader& h, Request rq,
-                      bool flight, std::string identity);
+  void submit_request(Connection& c, const FrameHeader& h, Request rq,
+                      bool flight, std::string identity,
+                      const WireTraceContext& trace, uint64_t t_rx_ns);
+
+  // Introspection endpoint bodies (loop thread; see docs/serving.md).
+  std::string render_statusz() const;
+  std::string render_tracez() const;
+  std::string render_connz() const;
+
+  /// One finished traced+sampled request, kept in a bounded ring for
+  /// /tracez; its span tree is pulled from the trace sink at scrape time.
+  struct TracezEntry {
+    uint64_t trace_id = 0;
+    MsgType type = MsgType::ErrorResponse;
+    uint8_t tier = 1;
+    uint8_t status = 0;
+    uint32_t queue_us = 0;
+    uint32_t exec_us = 0;
+    uint8_t source = 0;  ///< 0 = executed, 1 = cache hit, 2 = coalesced
+  };
+  void record_tracez(const TracezEntry& entry);
 
   service::AlignService& service_;
   service::ServeOptions opts_;
+  obs::TraceSink* trace_sink_ = nullptr;  ///< = service obs.trace_sink
   uint64_t db_epoch_ = 0;
   uint16_t port_ = 0;
+  double started_s_ = 0;  ///< steady-clock seconds at construction
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
@@ -173,6 +219,9 @@ class Server {
   ResultCache cache_;
   Singleflight flights_;
   size_t outstanding_ = 0;  ///< submitted executions not yet delivered
+
+  static constexpr size_t kTracezCapacity = 32;
+  std::deque<TracezEntry> tracez_;  ///< newest at the back; loop thread only
 
   std::shared_ptr<CompletionSink> sink_ = std::make_shared<CompletionSink>();
 

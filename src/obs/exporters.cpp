@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
+#include <cstring>
 
 namespace swve::obs {
 
@@ -38,19 +39,39 @@ void prom_header(std::string& out, const char* name, const char* help,
   out += "\n";
 }
 
-void prom_histogram(std::string& out, const char* name, const char* help,
-                    const LatencyHistogram::Snapshot& h) {
-  prom_header(out, name, help, "histogram");
+/// One histogram series. `labels` is a prefix spliced before the `le`
+/// label (e.g. "tier=\"interactive\","), empty for an unlabeled family;
+/// the caller emits prom_header once per family, not per series.
+void prom_histogram_series(std::string& out, const char* name,
+                           const char* labels,
+                           const LatencyHistogram::Snapshot& h) {
   uint64_t cum = 0;
   for (int i = 0; i < LatencyHistogram::kBuckets - 1; ++i) {
     cum += h.buckets[i];
-    appendf(out, "%s_bucket{le=\"%g\"} %" PRIu64 "\n", name,
+    appendf(out, "%s_bucket{%sle=\"%g\"} %" PRIu64 "\n", name, labels,
             LatencyHistogram::bucket_upper_seconds(i), cum);
   }
-  appendf(out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", name, h.count);
-  appendf(out, "%s_sum %.9g\n", name,
-          h.mean_s * static_cast<double>(h.count));
-  appendf(out, "%s_count %" PRIu64 "\n", name, h.count);
+  appendf(out, "%s_bucket{%sle=\"+Inf\"} %" PRIu64 "\n", name, labels,
+          h.count);
+  if (labels[0] == '\0') {
+    appendf(out, "%s_sum %.9g\n", name,
+            h.mean_s * static_cast<double>(h.count));
+    appendf(out, "%s_count %" PRIu64 "\n", name, h.count);
+  } else {
+    char trimmed[64];  // the prefix without its trailing comma
+    std::snprintf(trimmed, sizeof trimmed, "%s", labels);
+    if (const size_t n = std::strlen(trimmed); n > 0 && trimmed[n - 1] == ',')
+      trimmed[n - 1] = '\0';
+    appendf(out, "%s_sum{%s} %.9g\n", name, trimmed,
+            h.mean_s * static_cast<double>(h.count));
+    appendf(out, "%s_count{%s} %" PRIu64 "\n", name, trimmed, h.count);
+  }
+}
+
+void prom_histogram(std::string& out, const char* name, const char* help,
+                    const LatencyHistogram::Snapshot& h) {
+  prom_header(out, name, help, "histogram");
+  prom_histogram_series(out, name, "", h);
 }
 
 }  // namespace
@@ -409,6 +430,52 @@ std::string to_prometheus(const MetricsSnapshot& s) {
   appendf(out, "swve_server_http_scrapes_total %" PRIu64 "\n",
           s.server_http_scrapes);
 
+  static constexpr const char* kScenarioLabels[] = {"pairwise", "search",
+                                                    "batch"};
+  bool any_tier = false;
+  for (int t = 0; t < MetricsSnapshot::kQosTiers && !any_tier; ++t)
+    for (int sc = 0; sc < MetricsSnapshot::kScenarios; ++sc)
+      if (s.tier_requests[t][sc] != 0) {
+        any_tier = true;
+        break;
+      }
+  if (any_tier) {
+    prom_header(out, "swve_tier_requests_total",
+                "Completed requests by QoS tier and scenario", "counter");
+    for (int t = 0; t < MetricsSnapshot::kQosTiers; ++t)
+      for (int sc = 0; sc < MetricsSnapshot::kScenarios; ++sc)
+        if (s.tier_requests[t][sc] != 0)
+          appendf(out,
+                  "swve_tier_requests_total{tier=\"%s\",scenario=\"%s\"} "
+                  "%" PRIu64 "\n",
+                  perf::qos_tier_label(t), kScenarioLabels[sc],
+                  s.tier_requests[t][sc]);
+    prom_header(out, "swve_tier_latency_seconds",
+                "End-to-end request latency (queue wait + execution) by "
+                "QoS tier",
+                "histogram");
+    char labels[48];
+    for (int t = 0; t < MetricsSnapshot::kQosTiers; ++t) {
+      if (s.tier_latency[t].count == 0) continue;
+      std::snprintf(labels, sizeof labels, "tier=\"%s\",",
+                    perf::qos_tier_label(t));
+      prom_histogram_series(out, "swve_tier_latency_seconds", labels,
+                            s.tier_latency[t]);
+    }
+  }
+
+  prom_header(out, "swve_log_records_total",
+              "Structured log lines written to the sinks", "counter");
+  appendf(out, "swve_log_records_total %" PRIu64 "\n", s.log_records);
+  prom_header(out, "swve_log_dropped_total",
+              "Structured log records lost, by cause", "counter");
+  appendf(out, "swve_log_dropped_total{cause=\"overflow\"} %" PRIu64 "\n",
+          s.log_dropped_overflow);
+  appendf(out, "swve_log_dropped_total{cause=\"threads\"} %" PRIu64 "\n",
+          s.log_dropped_threads);
+  appendf(out, "swve_log_dropped_total{cause=\"rate_limited\"} %" PRIu64 "\n",
+          s.log_suppressed);
+
   prom_header(out, "swve_uptime_seconds", "Service lifetime", "gauge");
   appendf(out, "swve_uptime_seconds %.6g\n", s.uptime_seconds);
 
@@ -545,6 +612,25 @@ std::string to_json(const MetricsSnapshot& s) {
           s.server_connections, s.server_active_connections,
           s.server_frames_rx, s.server_frames_tx, s.server_bytes_rx,
           s.server_bytes_tx, s.server_protocol_errors, s.server_http_scrapes);
+  out += "\"tiers\":{";
+  for (int t = 0; t < MetricsSnapshot::kQosTiers; ++t) {
+    uint64_t total = 0;
+    for (int sc = 0; sc < MetricsSnapshot::kScenarios; ++sc)
+      total += s.tier_requests[t][sc];
+    appendf(out,
+            "%s\"%s\":{\"requests\":%" PRIu64 ",\"pairwise\":%" PRIu64
+            ",\"search\":%" PRIu64 ",\"batch\":%" PRIu64
+            ",\"p50_s\":%.9g,\"p99_s\":%.9g}",
+            t ? "," : "", perf::qos_tier_label(t), total,
+            s.tier_requests[t][0], s.tier_requests[t][1], s.tier_requests[t][2],
+            s.tier_latency[t].p50_s, s.tier_latency[t].p99_s);
+  }
+  out += "},";
+  appendf(out,
+          "\"log\":{\"records\":%" PRIu64 ",\"dropped_overflow\":%" PRIu64
+          ",\"dropped_threads\":%" PRIu64 ",\"suppressed\":%" PRIu64 "},",
+          s.log_records, s.log_dropped_overflow, s.log_dropped_threads,
+          s.log_suppressed);
   appendf(out, "\"uptime_seconds\":%.6g,", s.uptime_seconds);
   json_histogram(out, "queue_wait", s.queue_wait);
   out += ",";

@@ -14,6 +14,7 @@
 #include <unistd.h>
 #endif
 
+#include "obs/log.hpp"
 #include "perf/metrics.hpp"
 
 namespace swve::obs {
@@ -159,6 +160,13 @@ void handler(int sig) {
   if (g_rec.dumping.compare_exchange_strong(expected, 1)) {
     write_dump(signal_name(sig), sig);
     flush_trace_out();
+    // Last-gasp structured line, bypassing the async logger's ring (its
+    // flusher thread may never run again); write_fatal_line is
+    // async-signal-safe by design. Termination signals are not last
+    // gasps — the drain path keeps logging normally.
+    if (sig != SIGTERM && sig != SIGINT)
+      if (Logger* log = Logger::global())
+        log->write_fatal_line("fatal.signal", signal_name(sig));
     emitf(STDERR_FILENO, "swve: %s — flight recorder dump written to %s\n",
           signal_name(sig), g_rec.path[0] != '\0' ? g_rec.path : "(nowhere)");
   }

@@ -5,6 +5,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "obs/log.hpp"
 #include "perf/metrics.hpp"
 
 namespace swve::obs {
@@ -127,6 +128,11 @@ void Watchdog::scan_once() {
     rec.spans_json = spans_json_for(sink_, e.id);
 
     if (registry_ != nullptr) registry_->on_slow_request();
+    log_warn("watchdog.slow_request", {{"trace_id", rec.trace_id},
+                                       {"running_s", rec.running_s},
+                                       {"slo_s", rec.slo_s},
+                                       {"past_deadline", rec.past_deadline},
+                                       {"queue_depth", rec.queue_depth}});
 
     std::lock_guard<std::mutex> lock(mu_);
     if (records_.size() >= options_.capacity)

@@ -152,6 +152,11 @@ MetricsSnapshot MetricsRegistry::snapshot() const noexcept {
   s.server_bytes_tx = server_bytes_tx_.load(kRelaxed);
   s.server_protocol_errors = server_protocol_errors_.load(kRelaxed);
   s.server_http_scrapes = server_http_scrapes_.load(kRelaxed);
+  for (int t = 0; t < MetricsSnapshot::kQosTiers; ++t) {
+    for (int sc = 0; sc < MetricsSnapshot::kScenarios; ++sc)
+      s.tier_requests[t][sc] = tier_requests_[t][sc].load(kRelaxed);
+    s.tier_latency[t] = tier_latency_[t].snapshot();
+  }
   const uint64_t now_s = elapsed_s();
   uint64_t wcells = 0, wns = 0;
   for (const WindowBucket& b : window_) {
@@ -286,6 +291,33 @@ std::string MetricsSnapshot::to_string() const {
                   static_cast<unsigned long long>(server_bytes_tx),
                   static_cast<unsigned long long>(server_protocol_errors),
                   static_cast<unsigned long long>(server_http_scrapes));
+    out += line;
+  }
+  for (int t = 0; t < kQosTiers; ++t) {
+    uint64_t total = 0;
+    for (int sc = 0; sc < kScenarios; ++sc) total += tier_requests[t][sc];
+    if (total == 0) continue;
+    std::snprintf(line, sizeof line,
+                  "tier %s: %llu requests (pairwise %llu, search %llu, "
+                  "batch %llu), p50 %s, p99 %s\n",
+                  qos_tier_label(t), static_cast<unsigned long long>(total),
+                  static_cast<unsigned long long>(tier_requests[t][0]),
+                  static_cast<unsigned long long>(tier_requests[t][1]),
+                  static_cast<unsigned long long>(tier_requests[t][2]),
+                  format_seconds(tier_latency[t].p50_s).c_str(),
+                  format_seconds(tier_latency[t].p99_s).c_str());
+    out += line;
+  }
+  if (log_records + log_dropped_overflow + log_dropped_threads +
+          log_suppressed >
+      0) {
+    std::snprintf(line, sizeof line,
+                  "log: %llu records, dropped overflow %llu, threads %llu, "
+                  "rate-limited %llu\n",
+                  static_cast<unsigned long long>(log_records),
+                  static_cast<unsigned long long>(log_dropped_overflow),
+                  static_cast<unsigned long long>(log_dropped_threads),
+                  static_cast<unsigned long long>(log_suppressed));
     out += line;
   }
   if (result_cache_hits + result_cache_misses + coalesced > 0) {

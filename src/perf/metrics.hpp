@@ -119,6 +119,15 @@ struct PmuSample {
   }
 };
 
+/// Wire-order QoS tier labels (mirrors service::QosTier without a
+/// dependency on the service layer — perf sits below it).
+constexpr const char* qos_tier_label(int tier) noexcept {
+  return tier == 0   ? "interactive"
+         : tier == 1 ? "standard"
+         : tier == 2 ? "bulk"
+                     : "unknown";
+}
+
 /// Point-in-time copy of a MetricsRegistry.
 struct MetricsSnapshot {
   static constexpr int kIsas = 5;            ///< simd::Isa enum size
@@ -193,6 +202,21 @@ struct MetricsSnapshot {
   uint64_t server_bytes_tx = 0;
   uint64_t server_protocol_errors = 0;  ///< bad frame/version/type/too-large
   uint64_t server_http_scrapes = 0;     ///< GET /metrics answered
+
+  // Per-QoS-tier accounting (first step toward per-tenant metrics):
+  // completions by [tier][scenario] and an end-to-end (queue + execution)
+  // latency histogram per tier.
+  static constexpr int kQosTiers = 3;   ///< service::QosTier enum size
+  static constexpr int kScenarios = 3;  ///< pairwise / search / batch
+  std::array<std::array<uint64_t, kScenarios>, kQosTiers> tier_requests{};
+  std::array<LatencyHistogram::Snapshot, kQosTiers> tier_latency{};
+
+  // Structured-log accounting (filled by the owner from obs::Logger; zero
+  // when no logger is installed).
+  uint64_t log_records = 0;           ///< lines written to the sinks
+  uint64_t log_dropped_overflow = 0;  ///< ring full at the call site
+  uint64_t log_dropped_threads = 0;   ///< producing threads beyond capacity
+  uint64_t log_suppressed = 0;        ///< per-site rate limit
 
   // Sliding window: kernel work recorded in the last kWindowSeconds.
   uint64_t window_cells = 0;
@@ -423,6 +447,19 @@ class MetricsRegistry {
     server_http_scrapes_.fetch_add(1, kRelaxed);
   }
 
+  /// One completed request attributed to its QoS tier: scenario count plus
+  /// end-to-end (queue wait + execution) latency. Out-of-range indices are
+  /// dropped, mirroring on_kernel_completed.
+  void on_tier_completed(unsigned tier, Scenario s, double total_s) noexcept {
+    const auto t = static_cast<size_t>(tier);
+    const auto sc = static_cast<size_t>(s);
+    if (t >= static_cast<size_t>(MetricsSnapshot::kQosTiers) ||
+        sc >= static_cast<size_t>(MetricsSnapshot::kScenarios))
+      return;
+    tier_requests_[t][sc].fetch_add(1, kRelaxed);
+    tier_latency_[t].record(total_s);
+  }
+
   /// Attribute a completed request to the dispatch target that served it
   /// (resolved ISA + kernel family). Pass the ISA the kernel reported, not
   /// the requested one.
@@ -519,6 +556,10 @@ class MetricsRegistry {
   std::atomic<uint64_t> server_bytes_tx_{0};
   std::atomic<uint64_t> server_protocol_errors_{0};
   std::atomic<uint64_t> server_http_scrapes_{0};
+  std::array<std::array<std::atomic<uint64_t>, MetricsSnapshot::kScenarios>,
+             MetricsSnapshot::kQosTiers>
+      tier_requests_{};
+  std::array<LatencyHistogram, MetricsSnapshot::kQosTiers> tier_latency_;
   std::array<WindowBucket, kWindowBuckets> window_{};
   LatencyHistogram queue_wait_;
   LatencyHistogram kernel_time_;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/dispatch.hpp"
+#include "obs/log.hpp"
 #include "perf/freq_monitor.hpp"
 #include "perf/timer.hpp"
 
@@ -127,6 +128,12 @@ perf::MetricsSnapshot AlignService::metrics() const {
     s.trace_dropped_wrap = sink->wrap_dropped();
     s.trace_dropped_torn = sink->torn_skipped();
     s.trace_dropped_overflow = sink->overflow_dropped();
+  }
+  if (obs::Logger* logger = obs::Logger::global(); logger != nullptr) {
+    s.log_records = logger->emitted();
+    s.log_dropped_overflow = logger->dropped_overflow();
+    s.log_dropped_threads = logger->dropped_threads();
+    s.log_suppressed = logger->suppressed();
   }
   const parallel::PoolStats ps = pool_.stats();
   s.pool_threads = ps.threads;
@@ -263,6 +270,8 @@ bool AlignService::enqueue(
   if (stop_) {
     lk.unlock();
     metrics_.on_aborted();
+    obs::log_warn("service.reject",
+                  {{"reason", "shutting_down"}, {"request_id", task.id}});
     reject(core::ConfigError{Code::ShuttingDown,
                              "AlignService: shutting down"});
     return false;
@@ -270,6 +279,10 @@ bool AlignService::enqueue(
   if (queued_locked() >= opt_.queue.capacity) {
     lk.unlock();
     metrics_.on_rejected_queue_full();
+    obs::log_warn("service.reject",
+                  {{"reason", "queue_full"},
+                   {"request_id", task.id},
+                   {"capacity", opt_.queue.capacity}});
     reject(core::ConfigError{
         Code::QueueFull, "AlignService: submission queue at capacity (" +
                              std::to_string(opt_.queue.capacity) + ")"});
@@ -312,7 +325,10 @@ void AlignService::submit_async(AlignRequest request, AlignCompletion done) {
       rq->options.deadline ? submitted + *rq->options.deadline
                            : Clock::time_point{};
   obs::TraceSink* const sink = opt_.obs.trace_sink;
-  const uint64_t trace_id = next_request_id();
+  // A caller-propagated trace id (wire tracing) wins over a local one so
+  // client and server spans share a single id end to end.
+  const uint64_t trace_id =
+      rq->options.trace_id != 0 ? rq->options.trace_id : next_request_id();
   const uint64_t t_sub_ns = sink ? sink->now_ns() : 0;
 
   Task task;
@@ -329,6 +345,10 @@ void AlignService::submit_async(AlignRequest request, AlignCompletion done) {
     metrics_.on_queue_wait(qwait);
     if (deadline.time_since_epoch().count() != 0 && Clock::now() >= deadline) {
       metrics_.on_deadline_expired();
+      obs::log_warn("service.deadline_expired",
+                    {{"trace_id", trace_id},
+                     {"where", "queue"},
+                     {"queue_wait_s", qwait}});
       (*cb)(core::ConfigError{Code::DeadlineExceeded,
                               "AlignService: deadline expired in queue"});
       return;
@@ -336,6 +356,9 @@ void AlignService::submit_async(AlignRequest request, AlignCompletion done) {
     auto cfg_or = effective_config(rq->options);
     if (!cfg_or) {
       metrics_.on_invalid_request();
+      obs::log_warn("service.invalid_request",
+                    {{"trace_id", trace_id},
+                     {"message", cfg_or.error().message}});
       (*cb)(cfg_or.error());
       return;
     }
@@ -380,6 +403,9 @@ void AlignService::submit_async(AlignRequest request, AlignCompletion done) {
     tr.topdown = std::move(td);
     metrics_.on_completed(perf::MetricsRegistry::Scenario::Pairwise, kernel_s,
                           a.stats.cells);
+    metrics_.on_tier_completed(static_cast<unsigned>(rq->options.tier),
+                               perf::MetricsRegistry::Scenario::Pairwise,
+                               qwait + kernel_s);
     metrics_.on_kernel_completed(a.isa_used, perf::KernelVariant::Diagonal,
                                  a.stats.cells);
     dispatch.end();
@@ -409,7 +435,10 @@ void AlignService::submit_async(SearchRequest request, SearchCompletion done) {
       rq->options.deadline ? submitted + *rq->options.deadline
                            : Clock::time_point{};
   obs::TraceSink* const sink = opt_.obs.trace_sink;
-  const uint64_t trace_id = next_request_id();
+  // A caller-propagated trace id (wire tracing) wins over a local one so
+  // client and server spans share a single id end to end.
+  const uint64_t trace_id =
+      rq->options.trace_id != 0 ? rq->options.trace_id : next_request_id();
   const uint64_t t_sub_ns = sink ? sink->now_ns() : 0;
 
   Task task;
@@ -426,6 +455,10 @@ void AlignService::submit_async(SearchRequest request, SearchCompletion done) {
     metrics_.on_queue_wait(qwait);
     if (deadline.time_since_epoch().count() != 0 && Clock::now() >= deadline) {
       metrics_.on_deadline_expired();
+      obs::log_warn("service.deadline_expired",
+                    {{"trace_id", trace_id},
+                     {"where", "queue"},
+                     {"queue_wait_s", qwait}});
       (*cb)(core::ConfigError{Code::DeadlineExceeded,
                               "AlignService: deadline expired in queue"});
       return;
@@ -439,6 +472,9 @@ void AlignService::submit_async(SearchRequest request, SearchCompletion done) {
     auto cfg_or = effective_config(rq->options);
     if (!cfg_or) {
       metrics_.on_invalid_request();
+      obs::log_warn("service.invalid_request",
+                    {{"trace_id", trace_id},
+                     {"message", cfg_or.error().message}});
       (*cb)(cfg_or.error());
       return;
     }
@@ -476,6 +512,8 @@ void AlignService::submit_async(SearchRequest request, SearchCompletion done) {
     }
     if (res.truncated) {
       metrics_.on_deadline_expired();
+      obs::log_warn("service.deadline_expired",
+                    {{"trace_id", trace_id}, {"where", "mid_search"}});
       (*cb)(core::ConfigError{Code::DeadlineExceeded,
                               "AlignService: deadline expired mid-search"});
       return;
@@ -487,6 +525,9 @@ void AlignService::submit_async(SearchRequest request, SearchCompletion done) {
     tr.topdown = std::move(td);
     metrics_.on_completed(perf::MetricsRegistry::Scenario::Search, res.seconds,
                           res.stats.cells);
+    metrics_.on_tier_completed(static_cast<unsigned>(rq->options.tier),
+                               perf::MetricsRegistry::Scenario::Search,
+                               qwait + res.seconds);
     if (res.batch_stats.cells8 > 0)
       metrics_.on_batch_packing(res.batch_stats.cells8,
                                 res.batch_stats.useful_cells8);
@@ -522,7 +563,10 @@ void AlignService::submit_async(BatchRequest request, BatchCompletion done) {
       rq->options.deadline ? submitted + *rq->options.deadline
                            : Clock::time_point{};
   obs::TraceSink* const sink = opt_.obs.trace_sink;
-  const uint64_t trace_id = next_request_id();
+  // A caller-propagated trace id (wire tracing) wins over a local one so
+  // client and server spans share a single id end to end.
+  const uint64_t trace_id =
+      rq->options.trace_id != 0 ? rq->options.trace_id : next_request_id();
   const uint64_t t_sub_ns = sink ? sink->now_ns() : 0;
 
   Task task;
@@ -539,6 +583,10 @@ void AlignService::submit_async(BatchRequest request, BatchCompletion done) {
     metrics_.on_queue_wait(qwait);
     if (deadline.time_since_epoch().count() != 0 && Clock::now() >= deadline) {
       metrics_.on_deadline_expired();
+      obs::log_warn("service.deadline_expired",
+                    {{"trace_id", trace_id},
+                     {"where", "queue"},
+                     {"queue_wait_s", qwait}});
       (*cb)(core::ConfigError{Code::DeadlineExceeded,
                               "AlignService: deadline expired in queue"});
       return;
@@ -558,6 +606,9 @@ void AlignService::submit_async(BatchRequest request, BatchCompletion done) {
     auto cfg_or = effective_config(rq->options);
     if (!cfg_or) {
       metrics_.on_invalid_request();
+      obs::log_warn("service.invalid_request",
+                    {{"trace_id", trace_id},
+                     {"message", cfg_or.error().message}});
       (*cb)(cfg_or.error());
       return;
     }
@@ -605,6 +656,8 @@ void AlignService::submit_async(BatchRequest request, BatchCompletion done) {
     }
     if (truncated) {
       metrics_.on_deadline_expired();
+      obs::log_warn("service.deadline_expired",
+                    {{"trace_id", trace_id}, {"where", "mid_batch"}});
       (*cb)(core::ConfigError{Code::DeadlineExceeded,
                               "AlignService: deadline expired mid-batch"});
       return;
@@ -616,6 +669,9 @@ void AlignService::submit_async(BatchRequest request, BatchCompletion done) {
     tr.topdown = std::move(td);
     metrics_.on_completed(perf::MetricsRegistry::Scenario::Batch, kernel_s,
                           cells);
+    metrics_.on_tier_completed(static_cast<unsigned>(rq->options.tier),
+                               perf::MetricsRegistry::Scenario::Batch,
+                               qwait + kernel_s);
     if (cells8 > 0) metrics_.on_batch_packing(cells8, useful8);
     metrics_.on_kernel_completed(tr.isa, perf::KernelVariant::Batch32, cells);
     dispatch.end();

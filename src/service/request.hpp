@@ -87,6 +87,11 @@ struct RequestOptions {
   std::optional<std::chrono::steady_clock::duration> deadline;
   /// Priority tier; executors dequeue lower tiers first (FIFO within one).
   QosTier tier = QosTier::Standard;
+  /// Caller-supplied trace id for span attribution (0 = let the service
+  /// allocate one). Propagated by net::Server from a kFlagTraced frame's
+  /// WireTraceContext. Like deadline and tier, this is excluded from the
+  /// result-cache identity: it shapes observability, not results.
+  uint64_t trace_id = 0;
 };
 
 /// Scenario 3 (pairwise, SW-as-a-subroutine).

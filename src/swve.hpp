@@ -36,6 +36,7 @@
 #include "obs/exporters.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/inflight.hpp"
+#include "obs/log.hpp"
 #include "obs/pmu.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"

@@ -388,6 +388,83 @@ TEST(NetCoalesce, SingleflightRejectsCollidingJoin) {
   EXPECT_EQ(waiters[0].conn_id, 1u);
 }
 
+TEST(NetProtocol, TraceContextRoundTrip) {
+  WireTraceContext ctx;
+  ctx.trace_id = 0xDEADBEEFCAFEF00Dull;
+  ctx.sampled = true;
+  std::string bytes;
+  encode_trace_context(bytes, ctx);
+  ASSERT_EQ(bytes.size(), kTraceContextSize);
+
+  // Prefix position: whatever follows the context must be left in place.
+  bytes += "request-bytes";
+  std::string_view view = bytes;
+  const auto back = decode_trace_context(view);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->trace_id, ctx.trace_id);
+  EXPECT_TRUE(back->sampled);
+  EXPECT_EQ(view, "request-bytes");
+
+  // The sampled bit survives off as well.
+  std::string off;
+  encode_trace_context(off, WireTraceContext{7, false});
+  std::string_view offv = off;
+  const auto back2 = decode_trace_context(offv);
+  ASSERT_TRUE(back2.has_value());
+  EXPECT_EQ(back2->trace_id, 7u);
+  EXPECT_FALSE(back2->sampled);
+  EXPECT_TRUE(offv.empty());
+}
+
+TEST(NetProtocol, TraceContextRejectsShortOrZeroId) {
+  std::string bytes;
+  encode_trace_context(bytes, WireTraceContext{42, true});
+  for (size_t n = 0; n < kTraceContextSize; ++n) {
+    std::string_view view(bytes.data(), n);
+    EXPECT_FALSE(decode_trace_context(view).has_value()) << n;
+    EXPECT_EQ(view.size(), n);  // untouched on failure
+  }
+  // trace_id 0 is the "no trace" sentinel and must not decode.
+  std::string zero;
+  encode_trace_context(zero, WireTraceContext{0, true});
+  std::string_view zv = zero;
+  EXPECT_FALSE(decode_trace_context(zv).has_value());
+  EXPECT_EQ(zv.size(), kTraceContextSize);
+}
+
+TEST(NetProtocol, ServerTimingRoundTrip) {
+  ServerTiming t;
+  t.trace_id = 0x1122334455667788ull;
+  t.queue_us = 1234;
+  t.exec_us = 567890;
+  t.serialize_us = 17;
+  t.source = 2;
+  // Trailer position: the response payload precedes it and must survive.
+  std::string bytes = "response-bytes";
+  encode_server_timing(bytes, t);
+  ASSERT_EQ(bytes.size(), 14 + kServerTimingSize);
+
+  std::string_view view = bytes;
+  const auto back = decode_server_timing(view);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->trace_id, t.trace_id);
+  EXPECT_EQ(back->queue_us, t.queue_us);
+  EXPECT_EQ(back->exec_us, t.exec_us);
+  EXPECT_EQ(back->serialize_us, t.serialize_us);
+  EXPECT_EQ(back->source, t.source);
+  EXPECT_EQ(view, "response-bytes");
+}
+
+TEST(NetProtocol, ServerTimingRejectsTruncation) {
+  std::string bytes;
+  encode_server_timing(bytes, ServerTiming{9, 1, 2, 3, 0});
+  for (size_t n = 0; n < kServerTimingSize; ++n) {
+    std::string_view view(bytes.data(), n);
+    EXPECT_FALSE(decode_server_timing(view).has_value()) << n;
+    EXPECT_EQ(view.size(), n);
+  }
+}
+
 TEST(NetCacheKey, IdentityBytesMatchKey) {
   const SearchRequest rq = make_search_request();
   const std::string id = cache_identity(rq, 42);

@@ -15,6 +15,7 @@
 #include "net/json.hpp"
 #include "net/protocol.hpp"
 #include "net/server.hpp"
+#include "obs/trace.hpp"
 #include "seq/synthetic.hpp"
 #include "service/align_service.hpp"
 
@@ -438,6 +439,293 @@ TEST(NetServer, LateCompletionAfterServerDestructionIsDropped) {
   // must be dropped without touching the destroyed server.
   svc.resume();
   std::this_thread::sleep_for(milliseconds(200));
+}
+
+TEST(NetServer, TracedResponseBitIdenticalWithTiming) {
+  // The wire-tracing sentinel, checked at the byte level: a traced
+  // response is exactly the untraced response bytes plus a ServerTiming
+  // trailer. Nothing about the result may depend on tracing.
+  Loopback lb;
+  auto c = lb.client();
+  const SearchRequest rq = search_request();
+  std::string payload;
+  encode_search_request(payload, rq);
+
+  FrameHeader h;
+  h.type = MsgType::SearchRequest;
+  h.request_id = 21;
+  const auto plain = c->roundtrip_raw(encode_frame(h, payload));
+  ASSERT_TRUE(plain.has_value());
+  ASSERT_EQ(plain->first.type, MsgType::SearchResponse);
+  EXPECT_EQ(plain->first.flags & kFlagTraced, 0);
+
+  // Same request traced: it replays the cache entry the untraced call
+  // stored, so after stripping the trailer the bytes must match exactly —
+  // the trailer rides outside the cached payload.
+  const uint64_t kTraceId = 0xDEADBEEFCAFEF00Dull;
+  FrameHeader ht;
+  ht.type = MsgType::SearchRequest;
+  ht.flags = kFlagTraced;
+  ht.request_id = 22;
+  std::string traced_payload;
+  encode_trace_context(traced_payload, WireTraceContext{kTraceId, true});
+  traced_payload += payload;
+  const auto traced = c->roundtrip_raw(encode_frame(ht, traced_payload));
+  ASSERT_TRUE(traced.has_value());
+  ASSERT_EQ(traced->first.type, MsgType::SearchResponse);
+  EXPECT_NE(traced->first.flags & kFlagTraced, 0);
+  EXPECT_NE(traced->first.flags & kFlagFromCache, 0);
+
+  std::string_view body = traced->second;
+  const auto timing = decode_server_timing(body);
+  ASSERT_TRUE(timing.has_value());
+  EXPECT_EQ(timing->trace_id, kTraceId);        // client id echoed verbatim
+  EXPECT_EQ(timing->source, 1);                 // cache provenance
+  EXPECT_EQ(std::string(body), plain->second);  // bit-identical payload
+
+  // A traced fresh execution (kFlagNoCache): the payload embeds wall-clock
+  // telemetry (RequestTrace), so two executions differ in those bytes —
+  // the decoded *results* must still be identical to the untraced run's.
+  FrameHeader hx;
+  hx.type = MsgType::SearchRequest;
+  hx.flags = kFlagTraced | kFlagNoCache;
+  hx.request_id = 24;
+  const auto fresh = c->roundtrip_raw(encode_frame(hx, traced_payload));
+  ASSERT_TRUE(fresh.has_value());
+  ASSERT_EQ(fresh->first.type, MsgType::SearchResponse);
+  std::string_view fresh_body = fresh->second;
+  const auto fresh_timing = decode_server_timing(fresh_body);
+  ASSERT_TRUE(fresh_timing.has_value());
+  EXPECT_EQ(fresh_timing->source, 0);  // executed
+  EXPECT_GT(fresh_timing->exec_us, 0u);
+  const auto plain_decoded = decode_search_response(plain->second);
+  const auto fresh_decoded = decode_search_response(fresh_body);
+  ASSERT_TRUE(plain_decoded.has_value());
+  ASSERT_TRUE(fresh_decoded.has_value());
+  ASSERT_EQ(plain_decoded->result.hits.size(),
+            fresh_decoded->result.hits.size());
+  for (size_t i = 0; i < plain_decoded->result.hits.size(); ++i) {
+    EXPECT_EQ(plain_decoded->result.hits[i].seq_index,
+              fresh_decoded->result.hits[i].seq_index);
+    EXPECT_EQ(plain_decoded->result.hits[i].score,
+              fresh_decoded->result.hits[i].score);
+    EXPECT_EQ(plain_decoded->result.hits[i].end_query,
+              fresh_decoded->result.hits[i].end_query);
+    EXPECT_EQ(plain_decoded->result.hits[i].end_ref,
+              fresh_decoded->result.hits[i].end_ref);
+  }
+
+  // A traced flag without a decodable context is a typed BadFrame, not a
+  // garbage decode of the shifted payload.
+  FrameHeader hb;
+  hb.type = MsgType::SearchRequest;
+  hb.flags = kFlagTraced;
+  hb.request_id = 23;
+  const auto bad = c->roundtrip_raw(encode_frame(hb, "abc"));
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_EQ(bad->first.type, MsgType::ErrorResponse);
+  EXPECT_EQ(service::status_from_wire(bad->first.status),
+            ServiceStatus::BadFrame);
+}
+
+TEST(NetServer, PropagatedTraceIdThreadsServerSpans) {
+  // One client-chosen id must thread every server-side span: the trace
+  // sink's Chrome export and the /tracez entry both carry it verbatim.
+  obs::TraceSink sink;
+  service::ServiceOptions opt;
+  opt.obs.trace_sink = &sink;
+  Loopback lb(opt);
+  auto c = lb.client();
+  c->enable_tracing(true);
+  const uint64_t kTraceId = 0x5EEDF00DDEADBEEFull;
+  c->set_trace_id(kTraceId);
+
+  const auto r = c->search(search_request());
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_TRUE(r.timing.has_value());
+  EXPECT_EQ(r.timing->trace_id, kTraceId);
+
+  const std::string want = "\"trace_id\":" + std::to_string(kTraceId);
+  EXPECT_NE(sink.chrome_trace_json().find(want), std::string::npos);
+
+  const auto body = http_get("127.0.0.1", lb.server->port(), "/tracez");
+  ASSERT_TRUE(body.ok()) << body.error().message;
+  const auto doc = Json::parse(body.value());
+  ASSERT_TRUE(doc.has_value()) << body.value();
+  ASSERT_TRUE((*doc)["entries"].is_array());
+  EXPECT_GT((*doc)["capacity"].as_number(), 0.0);
+  bool found = false;
+  for (const Json& e : (*doc)["entries"].as_array()) {
+    if (e["trace_id"].as_string() != std::to_string(kTraceId)) continue;
+    found = true;
+    EXPECT_EQ(e["source"].as_string(), "executed");
+    EXPECT_TRUE(e["tier"].is_string());
+    EXPECT_GT(e["exec_us"].as_number(), 0.0);
+    ASSERT_TRUE(e["spans"].is_array());
+    EXPECT_FALSE(e["spans"].as_array().empty());  // the id found its spans
+    for (const Json& s : e["spans"].as_array()) {
+      EXPECT_TRUE(s["name"].is_string());
+      EXPECT_TRUE(s["dur_ns"].is_string());  // u64s travel as strings
+    }
+  }
+  EXPECT_TRUE(found) << body.value();
+}
+
+TEST(NetServer, TracedCacheHitReportsProvenance) {
+  Loopback lb;
+  auto c = lb.client();
+  c->enable_tracing(true);
+  const SearchRequest rq = search_request();
+
+  const auto first = c->search(rq);
+  ASSERT_TRUE(first.ok()) << first.error;
+  ASSERT_TRUE(first.timing.has_value());
+  EXPECT_EQ(first.timing->source, 0);
+
+  const auto second = c->search(rq);
+  ASSERT_TRUE(second.ok()) << second.error;
+  EXPECT_TRUE(second.from_cache());
+  ASSERT_TRUE(second.timing.has_value());
+  EXPECT_EQ(second.timing->source, 1);  // cache provenance
+  EXPECT_EQ(second.timing->queue_us, 0u);
+  EXPECT_EQ(second.timing->exec_us, 0u);
+
+  // The trailer stays out of the cache: decoded results are identical.
+  ASSERT_EQ(first.response->result.hits.size(),
+            second.response->result.hits.size());
+  for (size_t i = 0; i < first.response->result.hits.size(); ++i)
+    EXPECT_EQ(first.response->result.hits[i].score,
+              second.response->result.hits[i].score);
+}
+
+TEST(NetServer, TracedCoalescedJoinerReportsProvenance) {
+  service::ServiceOptions opt;
+  opt.queue.start_paused = true;
+  Loopback lb(opt);
+  const SearchRequest rq = search_request();
+
+  auto c1 = lb.client();
+  auto c2 = lb.client();
+  c1->enable_tracing(true);
+  c1->set_trace_id(111);
+  c2->enable_tracing(true);
+  c2->set_trace_id(222);
+  RpcResult<service::SearchResponse> r1, r2;
+  std::thread t1([&] { r1 = c1->search(rq); });
+  std::thread t2([&] { r2 = c2->search(rq); });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (lb.svc->metrics().coalesced < 1 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(milliseconds(5));
+  lb.svc->resume();
+  t1.join();
+  t2.join();
+
+  ASSERT_TRUE(r1.ok()) << r1.error;
+  ASSERT_TRUE(r2.ok()) << r2.error;
+  ASSERT_TRUE(r1.timing.has_value());
+  ASSERT_TRUE(r2.timing.has_value());
+  // Each waiter gets its own id back even though one execution served
+  // both; provenance tells the joiner its spans live under the initiator.
+  EXPECT_EQ(r1.timing->trace_id, 111u);
+  EXPECT_EQ(r2.timing->trace_id, 222u);
+  ASSERT_EQ(r1.coalesced() + r2.coalesced(), 1);
+  const auto& joiner = r1.coalesced() ? *r1.timing : *r2.timing;
+  const auto& initiator = r1.coalesced() ? *r2.timing : *r1.timing;
+  EXPECT_EQ(joiner.source, 2);
+  EXPECT_EQ(initiator.source, 0);
+  // Both carry the single execution's timing.
+  EXPECT_EQ(joiner.exec_us, initiator.exec_us);
+}
+
+TEST(NetServer, HttpNonGetGetsClean405) {
+  Loopback lb;
+  for (const char* method : {"POST", "HEAD", "PUT", "DELETE"}) {
+    std::string head;
+    const auto r = http_get("127.0.0.1", lb.server->port(), "/metrics", 10.0,
+                            &head, method);
+    ASSERT_TRUE(r.ok()) << method << ": " << r.error().message;
+    EXPECT_NE(head.find("405"), std::string::npos) << method;
+    EXPECT_NE(head.find("Allow: GET"), std::string::npos) << method;
+    EXPECT_EQ(r.value(), "method not allowed\n") << method;
+  }
+}
+
+TEST(NetServer, HttpOversizedHeaderCloses) {
+  Loopback lb;
+  auto c = lb.client();
+  // An HTTP request line that never terminates must not buffer forever.
+  std::string bytes = "GET /";
+  bytes.append(9000, 'a');
+  ASSERT_TRUE(c->send_raw(bytes));
+  EXPECT_FALSE(c->read_frame().has_value());  // server closed
+}
+
+TEST(NetServer, StatuszSchema) {
+  Loopback lb;
+  ASSERT_TRUE(lb.client()->search(search_request()).ok());
+
+  const auto body = http_get("127.0.0.1", lb.server->port(), "/statusz");
+  ASSERT_TRUE(body.ok()) << body.error().message;
+  const auto parsed = Json::parse(body.value());
+  ASSERT_TRUE(parsed.has_value()) << body.value();
+  const Json& doc = *parsed;
+
+  ASSERT_TRUE(doc["build"].is_object());
+  EXPECT_TRUE(doc["build"]["version"].is_string());
+  EXPECT_TRUE(doc["build"]["compiler"].is_string());
+  // 64-bit identities travel as decimal strings (JSON numbers are
+  // doubles); the epoch must match the serving database bit-exactly.
+  ASSERT_TRUE(doc["db_epoch"].is_string());
+  EXPECT_EQ(doc["db_epoch"].as_string(),
+            std::to_string(lb.server->db_epoch()));
+  EXPECT_EQ(doc["port"].as_number(),
+            static_cast<double>(lb.server->port()));
+  EXPECT_GE(doc["uptime_s"].as_number(), 0.0);
+  EXPECT_FALSE(doc["draining"].as_bool());
+
+  ASSERT_TRUE(doc["options"].is_object());
+  EXPECT_TRUE(doc["options"]["serve"].is_object());
+  EXPECT_TRUE(doc["options"]["queue"].is_object());
+  ASSERT_TRUE(doc["requests"].is_object());
+  EXPECT_GE(doc["requests"]["completed"].as_number(), 1.0);
+  ASSERT_TRUE(doc["cache"].is_object());
+  EXPECT_GT(doc["cache"]["capacity"].as_number(), 0.0);
+  EXPECT_TRUE(doc["coalesce"].is_object());
+  ASSERT_TRUE(doc["tiers"].is_object());
+  EXPECT_FALSE(doc["tiers"].as_object().empty());
+  ASSERT_TRUE(doc["log"].is_object());
+  EXPECT_TRUE(doc["log"]["records"].is_number());
+}
+
+TEST(NetServer, ConnzSchema) {
+  Loopback lb;
+  auto c = lb.client();  // one live binary connection
+  ASSERT_TRUE(c->ping().ok());
+
+  const auto body = http_get("127.0.0.1", lb.server->port(), "/connz");
+  ASSERT_TRUE(body.ok()) << body.error().message;
+  const auto parsed = Json::parse(body.value());
+  ASSERT_TRUE(parsed.has_value()) << body.value();
+  const Json& doc = *parsed;
+
+  ASSERT_TRUE(doc["connections"].is_array());
+  EXPECT_GE(doc["active"].as_number(), 2.0);  // the client + this scrape
+  EXPECT_FALSE(doc["draining"].as_bool());
+  bool saw_binary = false, saw_http = false;
+  for (const Json& e : doc["connections"].as_array()) {
+    EXPECT_TRUE(e["id"].is_string());
+    EXPECT_NE(e["peer"].as_string().find("127.0.0.1"), std::string::npos);
+    EXPECT_GE(e["age_s"].as_number(), 0.0);
+    const std::string& proto = e["protocol"].as_string();
+    saw_binary = saw_binary || proto == "swv1";
+    saw_http = saw_http || proto == "http";
+    EXPECT_TRUE(e["frames_rx"].is_number());
+    EXPECT_TRUE(e["bytes_tx"].is_number());
+  }
+  EXPECT_TRUE(saw_binary) << body.value();
+  EXPECT_TRUE(saw_http) << body.value();  // the /connz scrape sees itself
 }
 
 TEST(NetServer, PingAndBinaryMetrics) {
