@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "net/json.hpp"
 #include "swve.hpp"
 
 using namespace swve;
@@ -225,6 +226,25 @@ int run_bench(net::Client& client, const Options& o) {
         "p99 %.3f ms | exec p50 %.3f / p99 %.3f ms\n",
         pctof(net_ms, 0.50), pctof(net_ms, 0.99), pctof(queue_ms, 0.50),
         pctof(queue_ms, 0.99), pctof(exec_ms, 0.50), pctof(exec_ms, 0.99));
+  }
+
+  // Server startup cost is not a request latency: fetch the db section of
+  // the metrics JSON and report the one-time database load separately, so
+  // the percentiles above are never conflated with cold-start.
+  const auto m = client.metrics(/*json=*/true);
+  if (m.ok()) {
+    const auto doc = net::Json::parse(*m.response);
+    if (doc) {
+      const net::Json& dbj = (*doc)["db"];
+      if (dbj.is_object()) {
+        std::printf(
+            "bench server: db source %s, db load %.1f ms (one-time startup, "
+            "excluded from latencies), map %.1f MiB\n",
+            dbj["source"].as_string().c_str(),
+            dbj["load_seconds"].as_number() * 1e3,
+            dbj["map_bytes"].as_number() / (1024.0 * 1024.0));
+      }
+    }
   }
   return 0;
 }

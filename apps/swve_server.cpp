@@ -9,11 +9,22 @@
 // the flight recorder (in-flight requests finish, then the process exits).
 //
 // Database options:
-//   --db FILE.fa             serve this FASTA database
+//   --db FILE                serve this database: a FASTA file, or a
+//                            pre-packed swdb artifact (swve_db_build) —
+//                            routed by magic sniff or a .swdb extension,
+//                            so corrupt artifacts are rejected with a
+//                            typed error rather than misparsed as FASTA.
+//                            Artifacts mmap in O(1) instead of re-packing.
+//   --shm                    artifact only: attach/create a shared-memory
+//                            resident copy (falls back to file mmap;
+//                            SWVE_SHM=off forces the fallback)
+//   --madvise MODE           artifact only: off | sequential | willneed |
+//                            sequential+willneed mapping hints
 //   --synthetic-residues N   serve a deterministic synthetic database
 //                            (default: 2,000,000 residues, seed 42)
 //   --seed N                 synthetic generator seed
-//   --dna                    DNA alphabet (default: protein)
+//   --dna                    DNA alphabet (default: protein; FASTA only —
+//                            an artifact records its own alphabet)
 //
 // Serving options:
 //   --port N                 TCP port (default 7731; 0 = ephemeral)
@@ -57,7 +68,8 @@ namespace {
   if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
   std::fputs(
       "usage: swve_server [options]\n"
-      "  --db FILE.fa | --synthetic-residues N [--seed N] [--dna]\n"
+      "  --db FILE(.fa|.swdb) [--shm] [--madvise MODE]\n"
+      "  --synthetic-residues N [--seed N] [--dna]\n"
       "  --port N | --bind ADDR | --max-conns N | --max-frame-mb N\n"
       "  --cache-entries N | --no-singleflight | --no-http\n"
       "  --drain-timeout S | --matrix NAME | --top K | --threads N\n"
@@ -72,6 +84,9 @@ namespace {
 
 int main(int argc, char** argv) {
   std::string db_path;
+  bool use_shm = false;
+  core::MappedDbOptions::Madvise madvise_mode =
+      core::MappedDbOptions::Madvise::Off;
   uint64_t synthetic_residues = 2'000'000;
   uint64_t seed = 42;
   bool dna = false;
@@ -93,6 +108,18 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (s == "--db") db_path = next();
+    else if (s == "--shm") use_shm = true;
+    else if (s == "--madvise") {
+      const std::string m = next();
+      if (m == "off") madvise_mode = core::MappedDbOptions::Madvise::Off;
+      else if (m == "sequential")
+        madvise_mode = core::MappedDbOptions::Madvise::Sequential;
+      else if (m == "willneed")
+        madvise_mode = core::MappedDbOptions::Madvise::WillNeed;
+      else if (m == "sequential+willneed")
+        madvise_mode = core::MappedDbOptions::Madvise::SequentialWillNeed;
+      else usage(("unknown --madvise mode " + m).c_str());
+    }
     else if (s == "--synthetic-residues")
       synthetic_residues = std::strtoull(next(), nullptr, 10);
     else if (s == "--seed") seed = std::strtoull(next(), nullptr, 10);
@@ -155,9 +182,41 @@ int main(int argc, char** argv) {
     opt.obs.trace_sink = trace_sink.get();
   }
 
+  // The mapping is declared before the service: the service serves
+  // sequences and batch columns straight out of it for its whole lifetime.
+  std::unique_ptr<core::MappedDb> mapped;
   seq::SequenceDatabase db;
-  if (!db_path.empty()) {
-    db = seq::SequenceDatabase::from_fasta_file(db_path, alphabet);
+  // Artifact routing: the magic sniff, OR the .swdb extension — so a
+  // corrupted artifact (bad magic included) still reaches the reader and
+  // comes back as a typed invalid_artifact error instead of being
+  // misparsed as FASTA.
+  const bool is_artifact =
+      !db_path.empty() &&
+      (core::file_has_swdb_magic(db_path) ||
+       (db_path.size() > 5 &&
+        db_path.compare(db_path.size() - 5, 5, ".swdb") == 0));
+  if (is_artifact) {
+    core::MappedDbOptions mopts;
+    mopts.residency = use_shm
+                          ? core::MappedDbOptions::Residency::SharedMemory
+                          : core::MappedDbOptions::Residency::File;
+    mopts.madvise = madvise_mode;
+    auto opened = core::MappedDb::open(db_path, mopts);
+    if (!opened) {
+      std::fprintf(stderr, "swve_server: %s (%s)\n",
+                   opened.error().message.c_str(),
+                   core::ConfigError::code_name(opened.error().code));
+      return 1;
+    }
+    mapped = std::move(opened.value());
+  } else if (!db_path.empty()) {
+    try {
+      db = seq::SequenceDatabase::from_fasta_file(db_path, alphabet);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "swve_server: cannot load %s: %s\n",
+                   db_path.c_str(), e.what());
+      return 1;
+    }
   } else {
     seq::SyntheticConfig scfg;
     scfg.seed = seed;
@@ -166,7 +225,10 @@ int main(int argc, char** argv) {
     db = seq::SequenceDatabase::synthetic(scfg);
   }
 
-  service::AlignService svc(db, opt);
+  std::unique_ptr<service::AlignService> svc_holder =
+      mapped ? std::make_unique<service::AlignService>(*mapped, opt)
+             : std::make_unique<service::AlignService>(db, opt);
+  service::AlignService& svc = *svc_holder;
   auto started = net::Server::start(svc);
   if (!started) {
     std::fprintf(stderr, "swve_server: %s\n", started.error().message.c_str());
@@ -187,18 +249,25 @@ int main(int argc, char** argv) {
   fr.exit_on_term = false;
   recorder.install(fr);
 
+  const seq::SequenceDatabase& served = *svc.database();
   std::fprintf(stderr,
                "swve_server: listening on %s:%u (%zu sequences, %llu "
-               "residues, matrix %s, cache %zu, singleflight %s)\n",
+               "residues, db source %s, db load %.1f ms, matrix %s, "
+               "cache %zu, singleflight %s)\n",
                svc.options().serve.bind.c_str(), server->port(),
-               db.sequences().size(),
-               static_cast<unsigned long long>(db.total_residues()),
-               matrix_name.c_str(), opt.serve.result_cache_capacity,
+               served.sequences().size(),
+               static_cast<unsigned long long>(served.total_residues()),
+               core::db_source_name(svc.db_source()),
+               svc.db_load_seconds() * 1e3, matrix_name.c_str(),
+               opt.serve.result_cache_capacity,
                opt.serve.singleflight ? "on" : "off");
   obs::log_info("server.start",
                 {{"port", static_cast<unsigned>(server->port())},
-                 {"sequences", db.sequences().size()},
-                 {"residues", db.total_residues()},
+                 {"sequences", served.sequences().size()},
+                 {"residues", served.total_residues()},
+                 {"db_source", core::db_source_name(svc.db_source())},
+                 {"db_load_ms", svc.db_load_seconds() * 1e3},
+                 {"db_map_bytes", svc.db_map_bytes()},
                  {"cache_entries", opt.serve.result_cache_capacity},
                  {"singleflight", opt.serve.singleflight}});
 

@@ -7,9 +7,10 @@ Compares a fresh ``fig13_scenarios --json`` report against the committed
 runners are noisy shared machines, so this lane never fails the build on a
 slowdown -- it annotates the run so a human looks at the artifact.
 Structural problems (missing file, malformed JSON, a correctness sentinel
--- ``packing/topk_identical``, ``ilp/topk_identical``, or
-``serve/topk_identical`` -- flipping to 0, or a baseline metric missing
-from the new report) DO fail, because those are bugs, not noise.
+-- ``packing/topk_identical``, ``ilp/topk_identical``,
+``serve/topk_identical``, or ``db/topk_identical`` -- flipping to 0, or a
+baseline metric missing from the new report) DO fail, because those are
+bugs, not noise.
 
 Usage:
     check_regression.py CURRENT.json [--baseline bench/baseline.json]
@@ -51,11 +52,13 @@ def main():
         return 2
 
     # Correctness sentinels: packing policies and interleave depths must
-    # each agree on the top-k, and responses decoded off the serving wire
-    # must match in-process submissions.
+    # each agree on the top-k, responses decoded off the serving wire must
+    # match in-process submissions, and a search through an mmap'd swve db
+    # artifact must return the owned packing's exact hits.
     for sentinel, what in (("packing/topk_identical", "policies"),
                            ("ilp/topk_identical", "interleave depths"),
-                           ("serve/topk_identical", "wire vs in-process")):
+                           ("serve/topk_identical", "wire vs in-process"),
+                           ("db/topk_identical", "mapped artifact vs owned")):
         if cur.get(sentinel, 1) != 1:
             print(f"FAIL: {sentinel} == 0 ({what} disagree on top-k)")
             return 1

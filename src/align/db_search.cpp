@@ -263,7 +263,20 @@ DatabaseSearch::DatabaseSearch(const seq::SequenceDatabase& db, AlignConfig cfg,
     if (cfg_.band >= 0)
       throw std::invalid_argument("DatabaseSearch: Batch mode cannot band");
     bdb_ = std::make_unique<core::Batch32Db>(db, batch_lanes(), packing);
+    packed_ = bdb_.get();
   }
+}
+
+DatabaseSearch::DatabaseSearch(const seq::SequenceDatabase& db,
+                               const core::Batch32Db& packed, AlignConfig cfg)
+    : db_(&db), cfg_(cfg), mode_(SearchMode::Batch), packed_(&packed) {
+  cfg_.validate();
+  cfg_.traceback = false;
+  if (cfg_.band >= 0)
+    throw std::invalid_argument("DatabaseSearch: Batch mode cannot band");
+  if (packed.sequence_count() != db.size())
+    throw std::invalid_argument(
+        "DatabaseSearch: packed database does not match the sequence database");
 }
 
 SearchResult DatabaseSearch::search(seq::SeqView query, size_t top_k,
@@ -276,7 +289,7 @@ SearchResult DatabaseSearch::search(seq::SeqView query, size_t top_k,
 SearchResult DatabaseSearch::search(seq::SeqView query, size_t top_k,
                                     const ExecContext& ctx) const {
   return mode_ == SearchMode::Batch
-             ? engine::search_batch(*db_, *bdb_, cfg_, query, top_k, ctx)
+             ? engine::search_batch(*db_, *packed_, cfg_, query, top_k, ctx)
              : engine::search_diagonal(*db_, cfg_, query, top_k, ctx);
 }
 

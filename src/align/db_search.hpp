@@ -99,6 +99,14 @@ class DatabaseSearch {
                  SearchMode mode = SearchMode::Diagonal,
                  core::PackingPolicy packing = core::PackingPolicy::LengthSorted);
 
+  /// Batch-mode facade over an externally-owned packed database (the
+  /// mmap'd-artifact path: a core::MappedDb's batch_db()). Nothing is
+  /// packed or copied here; `db` and `packed` must describe the same
+  /// database and outlive the facade. Results are bit-identical to the
+  /// owning constructor with the same lanes/policy.
+  DatabaseSearch(const seq::SequenceDatabase& db,
+                 const core::Batch32Db& packed, AlignConfig cfg);
+
   /// Search with `pool` (or single-threaded when null). Results are
   /// identical for every thread count and for both search modes.
   SearchResult search(seq::SeqView query, size_t top_k,
@@ -110,14 +118,16 @@ class DatabaseSearch {
 
   SearchMode mode() const noexcept { return mode_; }
   /// Batch mode's packed database (null in Diagonal mode); exposes packing
-  /// efficiency and policy for metrics/benchmarks.
-  const core::Batch32Db* packed_db() const noexcept { return bdb_.get(); }
+  /// efficiency and policy for metrics/benchmarks. Owned or external,
+  /// depending on the constructor used.
+  const core::Batch32Db* packed_db() const noexcept { return packed_; }
 
  private:
   const seq::SequenceDatabase* db_;
   AlignConfig cfg_;
   SearchMode mode_;
-  std::unique_ptr<core::Batch32Db> bdb_;  // Batch mode only
+  std::unique_ptr<core::Batch32Db> bdb_;          // owning Batch mode only
+  const core::Batch32Db* packed_ = nullptr;       // Batch mode (either ctor)
 };
 
 }  // namespace swve::align

@@ -76,7 +76,7 @@ Batch32Db::Batch32Db(const seq::SequenceDatabase& db, int lanes,
                          static_cast<uint32_t>(db[order[start + k]].length()));
     if (max_len == 0) continue;  // batch of empty sequences: nothing to score
 
-    BatchMeta meta;
+    BatchRecord meta;
     meta.column_offset = columns_.size();
     meta.index_offset = seq_index_.size();
     meta.max_len = max_len;
@@ -104,13 +104,59 @@ Batch32Db::Batch32Db(const seq::SequenceDatabase& db, int lanes,
         static_cast<uint64_t>(max_len) * static_cast<uint64_t>(lanes);
     batches_.push_back(meta);
   }
+
+  columns_p_ = columns_.data();
+  seq_index_p_ = seq_index_.data();
+  seq_len_p_ = seq_len_.data();
+  batches_p_ = batches_.data();
+  batch_count_ = batches_.size();
+  column_bytes_ = columns_.size();
+  index_entries_ = seq_index_.size();
+}
+
+Batch32Db::Batch32Db(const PackedView& view)
+    : lanes_(view.lanes),
+      policy_(view.policy),
+      view_(true),
+      total_seqs_(view.total_seqs),
+      real_residues_(view.real_residues),
+      padded_residues_(view.padded_residues),
+      columns_p_(view.columns),
+      seq_index_p_(view.seq_index),
+      seq_len_p_(view.seq_len),
+      batches_p_(view.batches),
+      batch_count_(view.batch_count) {
+  if (lanes_ != 32 && lanes_ != 64)
+    throw std::invalid_argument("Batch32Db: lanes must be 32 or 64");
+  for (size_t b = 0; b < batch_count_; ++b) {
+    const BatchRecord& r = batches_p_[b];
+    column_bytes_ =
+        std::max(column_bytes_,
+                 static_cast<size_t>(r.column_offset) +
+                     static_cast<size_t>(r.max_len) * static_cast<size_t>(lanes_));
+    index_entries_ = std::max(
+        index_entries_, static_cast<size_t>(r.index_offset) + r.count);
+  }
 }
 
 Batch32Db::Batch Batch32Db::batch(size_t b) const noexcept {
-  const BatchMeta& meta = batches_[b];
-  return Batch{columns_.data() + meta.column_offset, meta.max_len, meta.count,
-               seq_index_.data() + meta.index_offset,
-               seq_len_.data() + meta.index_offset, meta.real_residues};
+  const BatchRecord& meta = batches_p_[b];
+  return Batch{columns_p_ + meta.column_offset, meta.max_len, meta.count,
+               seq_index_p_ + meta.index_offset,
+               seq_len_p_ + meta.index_offset, meta.real_residues};
+}
+
+std::span<const uint8_t> Batch32Db::column_bytes() const noexcept {
+  return {columns_p_, column_bytes_};
+}
+std::span<const uint32_t> Batch32Db::seq_index_data() const noexcept {
+  return {seq_index_p_, index_entries_};
+}
+std::span<const uint32_t> Batch32Db::seq_len_data() const noexcept {
+  return {seq_len_p_, index_entries_};
+}
+std::span<const BatchRecord> Batch32Db::batch_records() const noexcept {
+  return {batches_p_, batch_count_};
 }
 
 double Batch32Db::packing_efficiency() const noexcept {

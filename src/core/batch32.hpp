@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/params.hpp"
@@ -48,6 +49,35 @@ enum class PackingPolicy : uint8_t {
 };
 const char* packing_policy_name(PackingPolicy p) noexcept;
 
+/// One batch's placement inside the packed buffers. The layout is fixed and
+/// padding-free (32 bytes) because this struct is also the on-disk batch
+/// record of the swve db artifact (core/db_format.hpp): changing it means
+/// bumping the format version.
+struct BatchRecord {
+  uint64_t column_offset;  ///< into the column stream, in bytes
+  uint64_t index_offset;   ///< into seq_index/seq_len, in entries
+  uint32_t max_len;
+  uint32_t count;
+  uint64_t real_residues;
+};
+static_assert(sizeof(BatchRecord) == 32, "BatchRecord is an on-disk layout");
+
+/// Non-owning description of an already-packed database — the shape of the
+/// batch sections inside an mmap'd swve db artifact. Every pointer must
+/// outlive any Batch32Db view built on top of it.
+struct PackedView {
+  int lanes = 32;
+  PackingPolicy policy = PackingPolicy::LengthSorted;
+  size_t total_seqs = 0;
+  uint64_t real_residues = 0;
+  uint64_t padded_residues = 0;
+  const uint8_t* columns = nullptr;    ///< concatenated transposed columns
+  const uint32_t* seq_index = nullptr;
+  const uint32_t* seq_len = nullptr;
+  const BatchRecord* batches = nullptr;
+  size_t batch_count = 0;
+};
+
 /// Database packed for the batch kernel. Sequences are length-sorted (or
 /// binned, per PackingPolicy) before batching so per-batch padding (to the
 /// batch max length) stays small.
@@ -57,6 +87,11 @@ class Batch32Db {
   /// (AVX-512 VBMI). The final ragged batch is padded with empty lanes.
   Batch32Db(const seq::SequenceDatabase& db, int lanes,
             PackingPolicy policy = PackingPolicy::LengthSorted);
+
+  /// View mode: serve batches straight out of externally-owned storage (an
+  /// mmap'd artifact). No copies; search results are bit-identical to an
+  /// owned Batch32Db packed with the same lanes/policy.
+  explicit Batch32Db(const PackedView& view);
 
   struct Batch {
     const uint8_t* columns;  ///< max_len columns of `lanes` bytes each
@@ -69,9 +104,17 @@ class Batch32Db {
 
   int lanes() const noexcept { return lanes_; }
   PackingPolicy policy() const noexcept { return policy_; }
-  size_t batch_count() const noexcept { return batches_.size(); }
+  size_t batch_count() const noexcept { return batch_count_; }
   Batch batch(size_t b) const noexcept;
   size_t sequence_count() const noexcept { return total_seqs_; }
+  /// False in view mode (storage belongs to the mapped artifact).
+  bool owns_storage() const noexcept { return !view_; }
+  /// Raw packed storage, exposed for the artifact writer. Valid in both
+  /// owned and view modes.
+  std::span<const uint8_t> column_bytes() const noexcept;
+  std::span<const uint32_t> seq_index_data() const noexcept;
+  std::span<const uint32_t> seq_len_data() const noexcept;
+  std::span<const BatchRecord> batch_records() const noexcept;
   /// Residues of actual sequence data packed into the columns.
   uint64_t real_residues() const noexcept { return real_residues_; }
   /// Residues the kernel will actually walk: sum over batches of
@@ -84,22 +127,26 @@ class Batch32Db {
   double padding_overhead() const noexcept;
 
  private:
-  struct BatchMeta {
-    size_t column_offset;  // into columns_, in bytes
-    size_t index_offset;   // into seq_index_/seq_len_
-    uint32_t max_len;
-    uint32_t count;
-    uint64_t real_residues;
-  };
   int lanes_;
   PackingPolicy policy_;
+  bool view_ = false;
   size_t total_seqs_ = 0;
   uint64_t real_residues_ = 0;
   uint64_t padded_residues_ = 0;
+  // Owned storage (empty in view mode).
   std::vector<uint8_t> columns_;
   std::vector<uint32_t> seq_index_;
   std::vector<uint32_t> seq_len_;
-  std::vector<BatchMeta> batches_;
+  std::vector<BatchRecord> batches_;
+  // Access always goes through these; the owned ctor points them at the
+  // vectors above, the view ctor at the caller's storage.
+  const uint8_t* columns_p_ = nullptr;
+  const uint32_t* seq_index_p_ = nullptr;
+  const uint32_t* seq_len_p_ = nullptr;
+  const BatchRecord* batches_p_ = nullptr;
+  size_t batch_count_ = 0;
+  size_t column_bytes_ = 0;   // total bytes behind columns_p_
+  size_t index_entries_ = 0;  // entries behind seq_index_p_/seq_len_p_
 };
 
 /// Pad residue code used for lanes past a sequence's end and for empty

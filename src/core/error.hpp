@@ -30,6 +30,8 @@ struct ConfigError {
     ShuttingDown,         ///< service is stopping; request not accepted
     Unsupported,          ///< valid config, unsupported combination
     Internal,             ///< unexpected failure (see message)
+    InvalidArtifact,      ///< on-disk swve db artifact rejected (corrupt,
+                          ///< truncated, wrong version/endianness, ...)
   };
 
   Code code = Code::Internal;
@@ -50,6 +52,7 @@ struct ConfigError {
       case Code::ShuttingDown: return "shutting_down";
       case Code::Unsupported: return "unsupported";
       case Code::Internal: return "internal";
+      case Code::InvalidArtifact: return "invalid_artifact";
     }
     return "unknown";
   }
@@ -73,6 +76,8 @@ class ErrorOr {
 
   T& operator*() & { return value(); }
   const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
 
  private:
   std::variant<T, ConfigError> v_;

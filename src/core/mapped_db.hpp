@@ -1,0 +1,109 @@
+// Read-only mmap / POSIX-shm loader for swve db artifacts.
+//
+// MappedDb::open maps a file written by tools/swve_db_build and serves both
+// the SequenceDatabase (non-owning Sequence views into the mapped code
+// bytes) and the Batch32Db (view mode over the mapped batch sections)
+// without copying or re-packing anything. Startup work is proportional to
+// sequence COUNT (building the view vectors), not to residues — the
+// gigabytes of column data are faulted in lazily by the kernel, shared
+// across processes via the page cache, and evictable, so databases larger
+// than RAM stream.
+//
+// SharedMemory residency goes one step further: the first process copies
+// the artifact into a POSIX shm object named after the db fingerprint
+// (attach-by-name), later processes attach to the existing object, and the
+// hot copy is explicitly resident instead of competing with file-backed
+// page cache. Readiness is signalled by writing the header magic LAST with
+// a release store; attachers spin (bounded) on an acquire load. Any shm
+// failure — unsupported platform, permission, timeout on a half-written
+// object, SWVE_SHM=off — degrades gracefully to plain file mmap.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/batch32.hpp"
+#include "core/db_format.hpp"
+#include "core/error.hpp"
+#include "seq/database.hpp"
+
+namespace swve::core {
+
+/// Where the served database bytes live. Built = packed in-process from
+/// FASTA/synthetic input (the legacy path); Mmap = file-backed artifact
+/// map; Shm = POSIX shared-memory resident copy of an artifact.
+enum class DbSource : uint8_t { Built = 0, Mmap = 1, Shm = 2 };
+const char* db_source_name(DbSource s) noexcept;
+
+struct MappedDbOptions {
+  enum class Residency : uint8_t {
+    File,          ///< plain file-backed mmap (default)
+    SharedMemory,  ///< shm attach-by-name, fallback to File
+  };
+  /// madvise() hints on the mapping. Off leaves kernel defaults;
+  /// Sequential suits one-pass scans, WillNeed prefaults eagerly (pairs
+  /// with the batch kernels' software prefetch distance).
+  enum class Madvise : uint8_t { Off, Sequential, WillNeed, SequentialWillNeed };
+
+  Residency residency = Residency::File;
+  Madvise madvise = Madvise::Off;
+  /// Also checksum the big payload sections (SeqCodes, BatchColumns) at
+  /// open — O(file size), touches every page. Off by default because it
+  /// defeats the O(1)-startup point; --verify and tests turn it on.
+  bool verify_all = false;
+  /// How long an attacher waits for a half-initialized shm object to
+  /// become ready before falling back to file mmap.
+  double shm_ready_timeout_s = 5.0;
+};
+
+/// An opened artifact. Immutable and internally synchronized-by-constness:
+/// concurrent readers need no locking.
+class MappedDb {
+ public:
+  static ErrorOr<std::unique_ptr<MappedDb>> open(
+      const std::string& path, const MappedDbOptions& opts = MappedDbOptions{});
+
+  ~MappedDb();
+  MappedDb(const MappedDb&) = delete;
+  MappedDb& operator=(const MappedDb&) = delete;
+
+  const seq::SequenceDatabase& db() const noexcept { return db_; }
+  const Batch32Db& batch_db() const noexcept { return *bdb_; }
+  const SwdbHeader& header() const noexcept { return header_; }
+  /// The artifact's stored db_epoch — equal by construction to
+  /// net::database_epoch of the same content loaded from FASTA.
+  uint64_t epoch() const noexcept { return header_.db_epoch; }
+  DbSource source() const noexcept { return source_; }
+  size_t mapped_bytes() const noexcept { return size_; }
+  /// Wall time of open(): map + validate + view construction.
+  double load_seconds() const noexcept { return load_seconds_; }
+  /// Bytes of the mapping currently resident in RAM (mincore walk);
+  /// 0 if the query fails. A residency gauge, not a hard guarantee.
+  size_t resident_bytes() const noexcept;
+  const std::string& path() const noexcept { return path_; }
+  /// Non-empty only when source() == Shm.
+  const std::string& shm_name() const noexcept { return shm_name_; }
+
+  /// Name a shm object for an artifact: fingerprint plus the packing
+  /// parameters, so differently-packed artifacts of the same content never
+  /// collide.
+  static std::string shm_object_name(const SwdbHeader& h);
+  /// Remove a leftover shm object (crashed creator, test cleanup).
+  /// Returns true if one existed and was unlinked.
+  static bool shm_unlink_object(const SwdbHeader& h) noexcept;
+
+ private:
+  MappedDb() = default;
+
+  SwdbHeader header_;
+  seq::SequenceDatabase db_;
+  std::unique_ptr<Batch32Db> bdb_;
+  std::string path_;
+  std::string shm_name_;
+  const uint8_t* base_ = nullptr;
+  size_t size_ = 0;
+  DbSource source_ = DbSource::Mmap;
+  double load_seconds_ = 0.0;
+};
+
+}  // namespace swve::core

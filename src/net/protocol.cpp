@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "core/db_format.hpp"
 #include "net/json.hpp"
 
 namespace swve::net {
@@ -855,14 +856,11 @@ uint64_t cache_key(const BatchRequest& rq, uint64_t db_epoch) {
 }
 
 uint64_t database_epoch(const seq::SequenceDatabase& db) {
-  Fnv f;
-  f.u64(db.size());
-  for (const seq::Sequence& s : db.sequences()) {
-    f.u8(static_cast<uint8_t>(s.alphabet().kind()));
-    f.str(std::string_view(reinterpret_cast<const char*>(s.data()),
-                           s.length()));
-  }
-  return f.h;
+  // Delegates to the artifact layer's fingerprint so a server started from
+  // a .swdb file (which stores the fingerprint in its header) and one
+  // started from the same FASTA agree on the epoch — and therefore on
+  // every wire cache key.
+  return core::database_fingerprint(db);
 }
 
 }  // namespace swve::net

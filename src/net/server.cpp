@@ -16,6 +16,7 @@
 #include <cstring>
 #include <utility>
 
+#include "core/mapped_db.hpp"
 #include "net/json.hpp"
 #include "obs/exporters.hpp"
 #include "obs/log.hpp"
@@ -144,8 +145,12 @@ core::ErrorOr<std::unique_ptr<Server>> Server::start(
         "would stall the event loop when the submission queue fills"};
   const service::ServeOptions& opts = service.options().serve;
 
-  const uint64_t epoch =
-      service.database() ? database_epoch(*service.database()) : 0;
+  // Prefer the epoch the service already knows (an artifact stores its
+  // fingerprint in the header — free); only a legacy FASTA/synthetic
+  // startup pays the O(database) hash here.
+  uint64_t epoch = service.db_epoch();
+  if (epoch == 0 && service.database() != nullptr)
+    epoch = database_epoch(*service.database());
   std::unique_ptr<Server> s(new Server(service, epoch));
 
   s->listen_fd_ =
@@ -832,6 +837,13 @@ std::string Server::render_statusz() const {
                             {"isas", build.isas}};
   out["uptime_s"] = steady_s() - started_s_;
   out["db_epoch"] = u64_string(db_epoch_);
+  out["db"] = JsonObject{
+      {"source", core::db_source_name(
+                     static_cast<core::DbSource>(snap.db_source))},
+      {"map_bytes", snap.db_map_bytes},
+      {"resident_bytes", snap.db_resident_bytes},
+      {"load_ms", snap.db_load_seconds * 1e3},
+      {"epoch", u64_string(db_epoch_)}};
   out["port"] = static_cast<double>(port_);
   out["draining"] = draining_;
   out["options"] = JsonObject{

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "core/mapped_db.hpp"
+
 namespace swve::obs {
 
 namespace {
@@ -371,6 +373,31 @@ std::string to_prometheus(const MetricsSnapshot& s) {
               "counter");
   appendf(out, "swve_slow_requests_total %" PRIu64 "\n", s.slow_requests);
 
+  {
+    const char* src = core::db_source_name(
+        static_cast<core::DbSource>(s.db_source));
+    prom_header(out, "swve_db_info",
+                "Database provenance: constant 1 labeled by source "
+                "(built = packed in-process, mmap = file-backed artifact, "
+                "shm = shared-memory resident artifact)",
+                "gauge");
+    appendf(out, "swve_db_info{source=\"%s\"} 1\n", src);
+    prom_header(out, "swve_db_map_bytes",
+                "Mapped swve db artifact size; 0 for an in-process-built "
+                "database",
+                "gauge");
+    appendf(out, "swve_db_map_bytes %" PRIu64 "\n", s.db_map_bytes);
+    prom_header(out, "swve_db_resident_bytes",
+                "Bytes of the artifact mapping currently resident in RAM",
+                "gauge");
+    appendf(out, "swve_db_resident_bytes %" PRIu64 "\n", s.db_resident_bytes);
+    prom_header(out, "swve_db_load_seconds",
+                "Database startup time: artifact open (or in-process pack) "
+                "to search-ready",
+                "gauge");
+    appendf(out, "swve_db_load_seconds %.6g\n", s.db_load_seconds);
+  }
+
   prom_header(out, "swve_result_cache_lookups_total",
               "Serialized-response cache lookups at the serving front door, "
               "by result",
@@ -596,6 +623,12 @@ std::string to_json(const MetricsSnapshot& s) {
   appendf(out, "],\"avx512_frequency_ratio\":%.6g},",
           s.avx512_frequency_ratio());
   appendf(out, "\"slow_requests\":%" PRIu64 ",", s.slow_requests);
+  appendf(out,
+          "\"db\":{\"source\":\"%s\",\"map_bytes\":%" PRIu64
+          ",\"resident_bytes\":%" PRIu64 ",\"load_seconds\":%.6g"
+          ",\"epoch\":\"%" PRIu64 "\"},",
+          core::db_source_name(static_cast<core::DbSource>(s.db_source)),
+          s.db_map_bytes, s.db_resident_bytes, s.db_load_seconds, s.db_epoch);
   appendf(out,
           "\"result_cache\":{\"hits\":%" PRIu64 ",\"misses\":%" PRIu64
           ",\"hit_rate\":%.6g,\"evictions\":%" PRIu64 ",\"entries\":%" PRIu64

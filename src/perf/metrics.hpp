@@ -186,6 +186,14 @@ struct MetricsSnapshot {
   uint64_t workspace_creates = 0;
   uint64_t query_cache_entries = 0;
 
+  // Database provenance (filled by the owner — service::AlignService; all
+  // zero for a database-less or legacy in-process-packed service).
+  uint64_t db_source = 0;          ///< core::DbSource: 0 built, 1 mmap, 2 shm
+  uint64_t db_map_bytes = 0;       ///< artifact mapping size; 0 when built
+  uint64_t db_resident_bytes = 0;  ///< gauge: mapped bytes resident in RAM
+  double db_load_seconds = 0;      ///< startup: map/pack -> search-ready
+  uint64_t db_epoch = 0;           ///< content fingerprint; 0 when unknown
+
   // Serving front door (filled by net::Server; zero without one). The
   // result cache sits above the query-state cache and holds serialized
   // responses keyed by (scenario, request bytes, config, db epoch).

@@ -19,6 +19,14 @@ SequenceDatabase::SequenceDatabase(std::vector<Sequence> seqs) : seqs_(std::move
   });
 }
 
+SequenceDatabase::SequenceDatabase(std::vector<Sequence> seqs,
+                                   uint64_t total_residues, size_t max_length,
+                                   std::vector<uint32_t> by_length)
+    : seqs_(std::move(seqs)),
+      by_length_(std::move(by_length)),
+      total_residues_(total_residues),
+      max_length_(max_length) {}
+
 SequenceDatabase SequenceDatabase::from_fasta_file(const std::string& path,
                                                    const Alphabet& alphabet) {
   return SequenceDatabase(read_fasta_file(path, alphabet));

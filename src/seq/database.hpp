@@ -18,6 +18,14 @@ class SequenceDatabase {
   SequenceDatabase() = default;
   explicit SequenceDatabase(std::vector<Sequence> seqs);
 
+  /// Adopt sequences whose aggregate statistics and length ordering are
+  /// already known (the mmap'd-artifact path: totals come from the header
+  /// and the order from the length-index section, so construction does no
+  /// residue-proportional work). `by_length` must be a permutation of
+  /// [0, seqs.size()) in ascending length order; it is trusted, not checked.
+  SequenceDatabase(std::vector<Sequence> seqs, uint64_t total_residues,
+                   size_t max_length, std::vector<uint32_t> by_length);
+
   static SequenceDatabase from_fasta_file(const std::string& path,
                                           const Alphabet& alphabet);
   static SequenceDatabase synthetic(const SyntheticConfig& cfg);

@@ -18,15 +18,30 @@ Sequence::Sequence(std::string id, std::vector<uint8_t> codes, const Alphabet& a
       throw std::invalid_argument("sequence code out of alphabet range");
 }
 
+Sequence Sequence::view_of(std::string id, const uint8_t* codes, size_t n,
+                           const Alphabet& alphabet) {
+  Sequence s;
+  s.id_ = std::move(id);
+  s.ext_ = codes;
+  s.ext_len_ = n;
+  s.alphabet_ = &alphabet;
+  return s;
+}
+
+bool Sequence::operator==(const Sequence& o) const noexcept {
+  if (alphabet_ != o.alphabet_ || length() != o.length()) return false;
+  return std::equal(data(), data() + length(), o.data());
+}
+
 std::string Sequence::to_string() const {
-  return decode_string(*alphabet_, codes_.data(), codes_.size());
+  return decode_string(*alphabet_, data(), length());
 }
 
 Sequence Sequence::subsequence(size_t pos, size_t len) const {
-  pos = std::min(pos, codes_.size());
-  len = std::min(len, codes_.size() - pos);
-  std::vector<uint8_t> sub(codes_.begin() + static_cast<ptrdiff_t>(pos),
-                           codes_.begin() + static_cast<ptrdiff_t>(pos + len));
+  const size_t n = length();
+  pos = std::min(pos, n);
+  len = std::min(len, n - pos);
+  std::vector<uint8_t> sub(data() + pos, data() + pos + len);
   return Sequence(id_ + ":" + std::to_string(pos) + "+" + std::to_string(len),
                   std::move(sub), *alphabet_);
 }

@@ -21,12 +21,23 @@ class Sequence {
   /// Adopt pre-encoded codes (must be < alphabet.size()).
   Sequence(std::string id, std::vector<uint8_t> codes, const Alphabet& alphabet);
 
+  /// Non-owning view over externally-owned codes (an mmap'd database
+  /// artifact): nothing is copied and the storage must outlive the
+  /// Sequence. Codes are trusted to be < alphabet.size() — the artifact
+  /// loader vouches for them via section checksums.
+  static Sequence view_of(std::string id, const uint8_t* codes, size_t n,
+                          const Alphabet& alphabet);
+
   const std::string& id() const noexcept { return id_; }
-  size_t length() const noexcept { return codes_.size(); }
-  bool empty() const noexcept { return codes_.empty(); }
-  std::span<const uint8_t> codes() const noexcept { return codes_; }
-  const uint8_t* data() const noexcept { return codes_.data(); }
+  size_t length() const noexcept { return ext_ ? ext_len_ : codes_.size(); }
+  bool empty() const noexcept { return length() == 0; }
+  std::span<const uint8_t> codes() const noexcept { return {data(), length()}; }
+  const uint8_t* data() const noexcept {
+    return ext_ ? ext_ : codes_.data();
+  }
   const Alphabet& alphabet() const noexcept { return *alphabet_; }
+  /// False for view_of() sequences (residues live in someone else's map).
+  bool owns_storage() const noexcept { return ext_ == nullptr; }
 
   /// Decode back to a residue string.
   std::string to_string() const;
@@ -34,13 +45,13 @@ class Sequence {
   /// Encoded subsequence [pos, pos+len), clamped to the sequence end.
   Sequence subsequence(size_t pos, size_t len) const;
 
-  bool operator==(const Sequence& o) const noexcept {
-    return codes_ == o.codes_ && alphabet_ == o.alphabet_;
-  }
+  bool operator==(const Sequence& o) const noexcept;
 
  private:
   std::string id_;
   std::vector<uint8_t> codes_;
+  const uint8_t* ext_ = nullptr;  // set only for view_of() sequences
+  size_t ext_len_ = 0;
   const Alphabet* alphabet_ = &Alphabet::protein();
 };
 

@@ -99,8 +99,25 @@ AlignService::AlignService(const seq::SequenceDatabase& db,
   // Pack once, up front, before any request can arrive (executors are
   // already running but the queue is still empty while we're here only if
   // the caller hasn't submitted yet — which it can't: it has no handle).
+  perf::Stopwatch sw;
   bdb_ = std::make_unique<core::Batch32Db>(
       db, align::engine::batch_server_lanes(), opt_.cache.batch_packing);
+  packed_ = bdb_.get();
+  db_source_ = core::DbSource::Built;
+  db_load_seconds_ = sw.seconds();
+  // db_epoch_ stays 0: fingerprinting the content here would be an O(n)
+  // walk on every construction; callers that need it (net::Server) compute
+  // it once themselves.
+}
+
+AlignService::AlignService(const core::MappedDb& mapped, ServiceOptions options)
+    : AlignService(std::move(options)) {
+  db_ = &mapped.db();
+  packed_ = &mapped.batch_db();
+  mapped_ = &mapped;
+  db_source_ = mapped.source();
+  db_epoch_ = mapped.epoch();
+  db_load_seconds_ = mapped.load_seconds();
 }
 
 AlignService::~AlignService() {
@@ -147,6 +164,15 @@ perf::MetricsSnapshot AlignService::metrics() const {
     s.workspace_reuses = qs.ws_reuses;
     s.workspace_creates = qs.ws_creates;
     s.query_cache_entries = qs.entries;
+  }
+  if (db_ != nullptr) {
+    s.db_source = static_cast<uint64_t>(db_source_);
+    s.db_load_seconds = db_load_seconds_;
+    s.db_epoch = db_epoch_;
+    if (mapped_ != nullptr) {
+      s.db_map_bytes = mapped_->mapped_bytes();
+      s.db_resident_bytes = mapped_->resident_bytes();
+    }
   }
   return s;
 }
@@ -503,7 +529,7 @@ void AlignService::submit_async(SearchRequest request, SearchCompletion done) {
       td = maybe_topdown(
           [&] {
             res = rq->mode == align::SearchMode::Batch
-                      ? align::engine::search_batch(*db_, *bdb_, cfg,
+                      ? align::engine::search_batch(*db_, *packed_, cfg,
                                                     rq->query, top_k, ctx)
                       : align::engine::search_diagonal(*db_, cfg, rq->query,
                                                        top_k, ctx);
@@ -638,7 +664,7 @@ void AlignService::submit_async(BatchRequest request, BatchCompletion done) {
       std::lock_guard<std::mutex> pool_lk(pool_mu_);
       td = maybe_topdown(
           [&] {
-            results = align::engine::batch_run(*db_, *bdb_, cfg, rq->queries,
+            results = align::engine::batch_run(*db_, *packed_, cfg, rq->queries,
                                                top_k, ctx);
           },
           est_cells);

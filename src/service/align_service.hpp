@@ -36,6 +36,7 @@
 #include "align/db_search.hpp"
 #include "align/query_cache.hpp"
 #include "core/batch32.hpp"
+#include "core/mapped_db.hpp"
 #include "obs/exporters.hpp"
 #include "obs/inflight.hpp"
 #include "obs/pmu.hpp"
@@ -251,6 +252,13 @@ class AlignService {
   /// batch32 kernel once, up front; it must outlive the service.
   AlignService(const seq::SequenceDatabase& db, ServiceOptions options = {});
 
+  /// Full service over an opened swve db artifact: the sequence database
+  /// and the packed batch database are both served straight out of the
+  /// mapping — nothing is re-packed, so construction cost is independent
+  /// of database size. `mapped` must outlive the service. The cache
+  /// packing-policy option is ignored (the artifact fixes the policy).
+  AlignService(const core::MappedDb& mapped, ServiceOptions options = {});
+
   /// Fails every pending request with Code::ShuttingDown, then joins.
   ~AlignService();
   AlignService(const AlignService&) = delete;
@@ -301,10 +309,24 @@ class AlignService {
   /// layer fingerprints it into cache keys (net::database_epoch).
   const seq::SequenceDatabase* database() const noexcept { return db_; }
   /// Lanes of the packed batch database (0 without a database).
-  int batch_lanes() const noexcept { return bdb_ ? bdb_->lanes() : 0; }
+  int batch_lanes() const noexcept { return packed_ ? packed_->lanes() : 0; }
   /// The packed batch database (null without one); exposes packing policy
-  /// and efficiency.
-  const core::Batch32Db* packed_db() const noexcept { return bdb_.get(); }
+  /// and efficiency. Owned or a view into the mapped artifact.
+  const core::Batch32Db* packed_db() const noexcept { return packed_; }
+
+  /// Where the database bytes live: Built (packed in-process), Mmap, Shm.
+  core::DbSource db_source() const noexcept { return db_source_; }
+  /// The artifact's content fingerprint; 0 when the service was built from
+  /// an in-memory database (the network layer then computes it itself).
+  uint64_t db_epoch() const noexcept { return db_epoch_; }
+  /// Database startup time: artifact open or in-process pack, to ready.
+  double db_load_seconds() const noexcept { return db_load_seconds_; }
+  /// Mapped artifact size in bytes (0 for a built database).
+  size_t db_map_bytes() const noexcept {
+    return mapped_ ? mapped_->mapped_bytes() : 0;
+  }
+  /// The backing artifact, when started from one.
+  const core::MappedDb* mapped_db() const noexcept { return mapped_; }
   /// The query-state cache (null when bypassed).
   const align::QueryStateCache* query_cache() const noexcept {
     return query_cache_.get();
@@ -379,7 +401,12 @@ class AlignService {
 
   ServiceOptions opt_;
   const seq::SequenceDatabase* db_ = nullptr;
-  std::unique_ptr<core::Batch32Db> bdb_;
+  std::unique_ptr<core::Batch32Db> bdb_;       // owned packing (Built path)
+  const core::Batch32Db* packed_ = nullptr;    // always the one to search
+  const core::MappedDb* mapped_ = nullptr;     // artifact path only
+  core::DbSource db_source_ = core::DbSource::Built;
+  uint64_t db_epoch_ = 0;
+  double db_load_seconds_ = 0;
   std::unique_ptr<align::QueryStateCache> query_cache_;
 
   parallel::ThreadPool pool_;

@@ -86,6 +86,9 @@ constexpr ServiceStatus to_status(core::ConfigError::Code c) noexcept {
     case Code::ShuttingDown: return ServiceStatus::ShuttingDown;
     case Code::Unsupported: return ServiceStatus::Unsupported;
     case Code::Internal: return ServiceStatus::Internal;
+    // Artifact problems are a startup-time concern; if one ever surfaces
+    // through the request path it is a server-side fault.
+    case Code::InvalidArtifact: return ServiceStatus::Internal;
   }
   return ServiceStatus::Internal;
 }

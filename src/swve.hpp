@@ -26,6 +26,8 @@
 #include "baseline/scan.hpp"
 #include "baseline/striped.hpp"
 #include "core/batch32.hpp"
+#include "core/db_format.hpp"
+#include "core/mapped_db.hpp"
 #include "core/scalar_ref.hpp"
 #include "core/traceback.hpp"
 #include "matrix/query_profile.hpp"
