@@ -214,7 +214,9 @@ void dump_observability(const CliOptions& o, const service::AlignService& svc,
                         const obs::TraceSink* sink) {
   if (o.metrics)
     std::fputs(svc.dump_metrics(o.metrics_format).c_str(), stderr);
-  if (svc.sampler())
+  // The service keeps a telemetry sampler alive by default now; the dump
+  // stays tied to the explicit --sample-period-ms opt-in.
+  if (o.sample_period_ms > 0 && svc.sampler())
     std::fprintf(stderr, "sampler: %s", svc.sampler()->json().c_str());
   if (sink && !o.trace_out.empty()) {
     const std::string json = sink->chrome_trace_json();

@@ -4,7 +4,7 @@
 //   swve_client align   [options] QUERY.fa TARGET.fa
 //   swve_client search  [options] QUERY.fa
 //   swve_client batch   [options] QUERIES.fa
-//   swve_client metrics [--json] [net options]
+//   swve_client metrics [--json | --watch S] [net options]
 //   swve_client bench   [options]      closed-loop QPS/latency microbench
 //
 // Sequences are encoded client-side and sent as binary protocol v1 frames,
@@ -36,6 +36,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "net/json.hpp"
@@ -57,6 +58,7 @@ struct Options {
   int repeat = 1;
   bool json = false;
   bool trace = false;
+  double watch_s = 0;  ///< metrics: poll interval; 0 = single dump
   // bench
   int requests = 200;
   uint32_t length = 320;
@@ -71,7 +73,8 @@ struct Options {
       "  --host ADDR | --port N | --timeout S | --tier NAME\n"
       "  --deadline-ms N | --no-cache | --top K | --dna | --repeat N\n"
       "  --trace (server timing breakdown)\n"
-      "  --json (metrics) | --requests N --length N --distinct N (bench)\n",
+      "  --json | --watch S (metrics) | --requests N --length N "
+      "--distinct N (bench)\n",
       stderr);
   std::exit(2);
 }
@@ -99,6 +102,7 @@ Options parse(int argc, char** argv) {
     else if (s == "--dna") o.dna = true;
     else if (s == "--repeat") o.repeat = std::atoi(next());
     else if (s == "--json") o.json = true;
+    else if (s == "--watch") o.watch_s = std::atof(next());
     else if (s == "--trace") o.trace = true;
     else if (s == "--requests") o.requests = std::atoi(next());
     else if (s == "--length")
@@ -249,6 +253,68 @@ int run_bench(net::Client& client, const Options& o) {
   return 0;
 }
 
+/// metrics --watch S: poll the server's JSON metrics at a fixed cadence
+/// and print per-interval rates computed with the same counter-delta
+/// helpers the server-side time-series store uses (perf::delta_rate /
+/// delta_ratio), so a watch line and a /varz point agree.
+int run_metrics_watch(net::Client& client, double interval_s) {
+  if (interval_s <= 0) interval_s = 1.0;
+  uint64_t prev_completed = 0, prev_hits = 0, prev_misses = 0, prev_cells = 0;
+  double prev_kernel_s = 0;
+  bool have_prev = false;
+  auto prev_t = std::chrono::steady_clock::now();
+  std::printf("%10s %10s %12s %10s %10s\n", "dt_s", "qps", "completed",
+              "cache_hit", "gcups");
+  for (;;) {
+    const auto r = client.metrics(/*json=*/true);
+    if (!r.ok()) {
+      std::fprintf(stderr, "swve_client: %s\n", r.error.c_str());
+      return 1;
+    }
+    const auto now_t = std::chrono::steady_clock::now();
+    const auto doc = net::Json::parse(*r.response);
+    if (!doc) {
+      std::fprintf(stderr, "swve_client: unparseable metrics JSON\n");
+      return 1;
+    }
+    const uint64_t completed =
+        static_cast<uint64_t>((*doc)["requests"]["completed"].as_number());
+    const uint64_t hits =
+        static_cast<uint64_t>((*doc)["result_cache"]["hits"].as_number());
+    const uint64_t misses =
+        static_cast<uint64_t>((*doc)["result_cache"]["misses"].as_number());
+    const uint64_t cells =
+        static_cast<uint64_t>((*doc)["kernel"]["cells"].as_number());
+    const double kernel_s = (*doc)["kernel"]["seconds"].as_number();
+    if (have_prev) {
+      const double dt =
+          std::chrono::duration<double>(now_t - prev_t).count();
+      const double qps = perf::delta_rate(completed, prev_completed, dt);
+      const double hit_rate = perf::delta_ratio(
+          hits, prev_hits, hits + misses, prev_hits + prev_misses);
+      const double ks_d = std::max(0.0, kernel_s - prev_kernel_s);
+      const double gcups =
+          ks_d > 0 ? static_cast<double>(
+                         perf::counter_delta(cells, prev_cells)) /
+                         ks_d / 1e9
+                   : 0.0;
+      std::printf("%10.1f %10.1f %+12lld %9.1f%% %10.2f\n", dt, qps,
+                  static_cast<long long>(
+                      perf::counter_delta(completed, prev_completed)),
+                  hit_rate * 100.0, gcups);
+      std::fflush(stdout);
+    }
+    prev_completed = completed;
+    prev_hits = hits;
+    prev_misses = misses;
+    prev_cells = cells;
+    prev_kernel_s = kernel_s;
+    prev_t = now_t;
+    have_prev = true;
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -275,6 +341,7 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "metrics") {
+    if (o.watch_s > 0) return run_metrics_watch(client, o.watch_s);
     const auto r = client.metrics(o.json);
     if (!r.ok()) {
       std::fprintf(stderr, "swve_client: %s\n", r.error.c_str());

@@ -45,6 +45,19 @@
 //   --slo-ms N               watchdog SLO for slow-request records
 //   --flight-out FILE        flight-recorder dump path on signals
 //
+// Telemetry history & SLO alerting options:
+//   --telemetry-cadence S    time-series sample period in seconds
+//                            (default 1; 0 disables history, /varz, and
+//                            the burn-rate engine)
+//   --telemetry-retention S  history window kept in memory (default 600)
+//   --slo-p99-ms N           latency SLO target for burn-rate alerting:
+//                            latency_objective of requests must finish
+//                            within N ms (distinct from --slo-ms, which
+//                            only records slow requests in the watchdog)
+//   --slo-objective F        fraction of requests that must meet the
+//                            latency target (default 0.99)
+//   --tracez-entries N       /tracez ring capacity (default 32)
+//
 // Observability options:
 //   --log-file FILE          structured JSON-lines log file (O_APPEND)
 //   --log-level LVL          debug | info | warn | error (default info)
@@ -75,7 +88,9 @@ namespace {
       "  --drain-timeout S | --matrix NAME | --top K | --threads N\n"
       "  --executors N | --queue-cap N | --slo-ms N | --flight-out FILE\n"
       "  --log-file FILE | --log-level LVL | --log-rate N\n"
-      "  --trace-events N\n",
+      "  --trace-events N | --tracez-entries N\n"
+      "  --telemetry-cadence S | --telemetry-retention S\n"
+      "  --slo-p99-ms N | --slo-objective F\n",
       stderr);
   std::exit(2);
 }
@@ -146,6 +161,16 @@ int main(int argc, char** argv) {
     else if (s == "--queue-cap")
       opt.queue.capacity = std::strtoul(next(), nullptr, 10);
     else if (s == "--slo-ms") slo_ms = std::atoi(next());
+    else if (s == "--telemetry-cadence")
+      opt.serve.telemetry_cadence_s = std::atof(next());
+    else if (s == "--telemetry-retention")
+      opt.serve.telemetry_retention_s = std::atof(next());
+    else if (s == "--slo-p99-ms")
+      opt.obs.slo.latency_target_s = std::atof(next()) / 1000.0;
+    else if (s == "--slo-objective")
+      opt.obs.slo.latency_objective = std::atof(next());
+    else if (s == "--tracez-entries")
+      opt.serve.tracez_capacity = std::strtoul(next(), nullptr, 10);
     else if (s == "--flight-out") flight_out = next();
     else if (s == "--log-file") log_file = next();
     else if (s == "--log-level") log_level = next();

@@ -372,6 +372,10 @@ int main(int argc, char** argv) {
     sopt.queue.executors = 2;
     sopt.queue.capacity = 1024;
     sopt.serve.port = 0;  // ephemeral
+    // Telemetry knobs stay at their defaults on purpose: the time-series
+    // store and SLO engine sample at 1 Hz during this scenario, so the
+    // hot-QPS number below carries their (intended: negligible) overhead
+    // and the regression gate would catch a sampler that got expensive.
     service::AlignService svc(w.db, sopt);
     // Cold-start is not a request latency: the packing the service just did
     // is reported on its own, so serve/p99_cold_ms below measures cache

@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
@@ -757,6 +758,47 @@ void Server::publish(uint64_t key, const Completion& done) {
 
 // --------------------------------------------------------------------- HTTP
 
+/// /varz?series=qps,cache&window=60 — pulls the two recognized parameters
+/// out of the query string and validates every comma-separated series
+/// token. Returns false (with the offending token in `bad`) on an unknown
+/// name, so the caller can answer 400 instead of silently serving nothing.
+static bool parse_varz_query(std::string_view query, std::string* series,
+                             double* window_s, std::string* bad) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string_view::npos) amp = query.size();
+    const std::string_view kv = query.substr(pos, amp - pos);
+    const size_t eq = kv.find('=');
+    const std::string_view key =
+        kv.substr(0, eq == std::string_view::npos ? kv.size() : eq);
+    const std::string_view val =
+        eq == std::string_view::npos ? std::string_view{} : kv.substr(eq + 1);
+    if (key == "series") {
+      *series = std::string(val);
+    } else if (key == "window") {
+      *window_s = std::strtod(std::string(val).c_str(), nullptr);
+      if (*window_s < 0) *window_s = 0;
+    }
+    pos = amp + 1;
+  }
+  const std::string_view s = *series;
+  size_t p = 0;
+  while (p < s.size()) {
+    size_t comma = s.find(',', p);
+    if (comma == std::string_view::npos) comma = s.size();
+    std::string_view tok = s.substr(p, comma - p);
+    while (!tok.empty() && tok.front() == ' ') tok.remove_prefix(1);
+    while (!tok.empty() && tok.back() == ' ') tok.remove_suffix(1);
+    if (!tok.empty() && !obs::TimeSeriesStore::is_series_name(tok)) {
+      *bad = std::string(tok);
+      return false;
+    }
+    p = comma + 1;
+  }
+  return true;
+}
+
 void Server::process_http(Connection& c) {
   const size_t end = c.in.find("\r\n\r\n");
   if (end == std::string::npos) {
@@ -796,9 +838,13 @@ void Server::process_http(Connection& c) {
   if (path == "/metrics" && opts_.http_metrics) {
     service_.registry()->on_http_scrape();
     const bool json = query.find("format=json") != std::string_view::npos;
+    obs::SloStatus slo_status;
+    const bool have_slo = service_.slo() != nullptr;
+    if (have_slo) slo_status = service_.slo()->status();
     const std::string body = obs::render_metrics(
         metrics(),
-        json ? obs::MetricsFormat::Json : obs::MetricsFormat::Prometheus);
+        json ? obs::MetricsFormat::Json : obs::MetricsFormat::Prometheus,
+        have_slo ? &slo_status : nullptr);
     reply = http_response(200, "OK",
                           json ? "application/json"
                                : "text/plain; version=0.0.4",
@@ -809,6 +855,22 @@ void Server::process_http(Connection& c) {
                       : http_response(200, "OK", "text/plain", "ok\n");
   } else if (path == "/statusz" && opts_.http_metrics) {
     reply = http_response(200, "OK", "application/json", render_statusz());
+  } else if (path == "/varz" && opts_.http_metrics) {
+    if (const obs::TimeSeriesStore* ts = service_.timeseries()) {
+      std::string series, bad;
+      double window_s = 0;
+      if (parse_varz_query(query, &series, &window_s, &bad)) {
+        reply = http_response(200, "OK", "application/json",
+                              ts->json(series, window_s));
+      } else {
+        reply = http_response(400, "Bad Request", "text/plain",
+                              "unknown series: " + bad + "\n");
+      }
+    } else {
+      reply = http_response(
+          503, "Service Unavailable", "text/plain",
+          "telemetry history disabled (serve.telemetry_cadence_s = 0)\n");
+    }
   } else if (path == "/tracez" && opts_.http_metrics) {
     reply = http_response(200, "OK", "application/json", render_tracez());
   } else if (path == "/connz" && opts_.http_metrics) {
@@ -855,7 +917,11 @@ std::string Server::render_statusz() const {
                    static_cast<uint64_t>(opts_.result_cache_capacity)},
                   {"singleflight", opts_.singleflight},
                   {"http_metrics", opts_.http_metrics},
-                  {"drain_timeout_s", opts_.drain_timeout_s}}},
+                  {"drain_timeout_s", opts_.drain_timeout_s},
+                  {"tracez_capacity",
+                   static_cast<uint64_t>(opts_.tracez_capacity)},
+                  {"telemetry_cadence_s", opts_.telemetry_cadence_s},
+                  {"telemetry_retention_s", opts_.telemetry_retention_s}}},
       {"queue", JsonObject{{"executors", static_cast<uint64_t>(sopt.queue.executors)},
                            {"capacity", static_cast<uint64_t>(sopt.queue.capacity)}}},
       {"cache",
@@ -890,6 +956,13 @@ std::string Server::render_statusz() const {
                           {"dropped_overflow", snap.log_dropped_overflow},
                           {"dropped_threads", snap.log_dropped_threads},
                           {"suppressed", snap.log_suppressed}};
+  if (const obs::TimeSeriesStore* ts = service_.timeseries())
+    out["telemetry"] =
+        JsonObject{{"samples", static_cast<uint64_t>(ts->size())},
+                   {"cadence_s", opts_.telemetry_cadence_s},
+                   {"retention_s", opts_.telemetry_retention_s}};
+  if (const obs::SloEngine* slo = service_.slo())
+    if (auto s = Json::parse(slo->json())) out["slo"] = *s;
   return Json(std::move(out)).dump();
 }
 
@@ -922,7 +995,7 @@ std::string Server::render_tracez() const {
     entries.push_back(std::move(e));
   }
   out["entries"] = std::move(entries);
-  out["capacity"] = static_cast<uint64_t>(kTracezCapacity);
+  out["capacity"] = static_cast<uint64_t>(opts_.tracez_capacity);
   // SLO breaches ride along: the watchdog's records are the "slow" half of
   // the story /tracez tells (sampled half above).
   if (const obs::Watchdog* wd = service_.watchdog()) {
@@ -973,7 +1046,7 @@ void Server::send_frame(Connection& c, const FrameHeader& h,
 
 void Server::record_tracez(const TracezEntry& entry) {
   tracez_.push_back(entry);
-  while (tracez_.size() > kTracezCapacity) tracez_.pop_front();
+  while (tracez_.size() > opts_.tracez_capacity) tracez_.pop_front();
 }
 
 void Server::send_error(Connection& c, const FrameHeader& req,

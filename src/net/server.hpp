@@ -220,8 +220,8 @@ class Server {
   Singleflight flights_;
   size_t outstanding_ = 0;  ///< submitted executions not yet delivered
 
-  static constexpr size_t kTracezCapacity = 32;
   std::deque<TracezEntry> tracez_;  ///< newest at the back; loop thread only
+                                    ///< (bounded by opts_.tracez_capacity)
 
   std::shared_ptr<CompletionSink> sink_ = std::make_shared<CompletionSink>();
 

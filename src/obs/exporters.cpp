@@ -76,7 +76,43 @@ void prom_histogram(std::string& out, const char* name, const char* help,
   prom_histogram_series(out, name, "", h);
 }
 
+/// JSON string-body escape for the same runtime strings (the exporters
+/// build JSON by hand; a quote in __VERSION__ must not break the object).
+std::string json_escape(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          appendf(out, "\\u%04x", static_cast<unsigned>(c) & 0xff);
+        else
+          out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
+
+std::string prom_escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
 
 BuildInfo build_info() noexcept {
   BuildInfo b;
@@ -113,25 +149,32 @@ std::optional<MetricsFormat> metrics_format_from_string(const std::string& s) {
 }
 
 std::string render_metrics(const MetricsSnapshot& snapshot,
-                           MetricsFormat format) {
+                           MetricsFormat format, const SloStatus* slo) {
   switch (format) {
     case MetricsFormat::Text: return snapshot.to_string();
-    case MetricsFormat::Prometheus: return to_prometheus(snapshot);
-    case MetricsFormat::Json: return to_json(snapshot);
+    case MetricsFormat::Prometheus:
+      return to_prometheus(snapshot, build_info(), slo);
+    case MetricsFormat::Json: return to_json(snapshot, slo);
   }
   return snapshot.to_string();
 }
 
 std::string to_prometheus(const MetricsSnapshot& s) {
+  return to_prometheus(s, build_info(), nullptr);
+}
+
+std::string to_prometheus(const MetricsSnapshot& s, const BuildInfo& b,
+                          const SloStatus* slo) {
   std::string out;
   out.reserve(4096);
 
-  const BuildInfo b = build_info();
   prom_header(out, "swve_build_info",
               "Build identity; value is always 1, facts are labels", "gauge");
   appendf(out,
           "swve_build_info{version=\"%s\",compiler=\"%s\",isas=\"%s\"} 1\n",
-          b.version, b.compiler, b.isas);
+          prom_escape_label(b.version).c_str(),
+          prom_escape_label(b.compiler).c_str(),
+          prom_escape_label(b.isas).c_str());
 
   prom_header(out, "swve_requests_submitted_total",
               "Requests accepted into the submission queue", "counter");
@@ -381,7 +424,8 @@ std::string to_prometheus(const MetricsSnapshot& s) {
                 "(built = packed in-process, mmap = file-backed artifact, "
                 "shm = shared-memory resident artifact)",
                 "gauge");
-    appendf(out, "swve_db_info{source=\"%s\"} 1\n", src);
+    appendf(out, "swve_db_info{source=\"%s\"} 1\n",
+            prom_escape_label(src).c_str());
     prom_header(out, "swve_db_map_bytes",
                 "Mapped swve db artifact size; 0 for an in-process-built "
                 "database",
@@ -506,6 +550,55 @@ std::string to_prometheus(const MetricsSnapshot& s) {
   prom_header(out, "swve_uptime_seconds", "Service lifetime", "gauge");
   appendf(out, "swve_uptime_seconds %.6g\n", s.uptime_seconds);
 
+  {
+    bool any_len = false;
+    for (int bn = 0; bn < MetricsSnapshot::kLengthBins && !any_len; ++bn)
+      any_len = s.query_length_bins[bn] != 0;
+    if (any_len) {
+      prom_header(out, "swve_query_length_requests_total",
+                  "Submitted queries by power-of-two length bin "
+                  "(min_residues = inclusive lower bound)",
+                  "counter");
+      for (int bn = 0; bn < MetricsSnapshot::kLengthBins; ++bn)
+        if (s.query_length_bins[bn] != 0)
+          appendf(out,
+                  "swve_query_length_requests_total{min_residues=\"%" PRIu64
+                  "\"} %" PRIu64 "\n",
+                  MetricsSnapshot::length_bin_lower(bn),
+                  s.query_length_bins[bn]);
+    }
+  }
+
+  if (slo != nullptr) {
+    prom_header(out, "swve_slo_state",
+                "Burn-rate alert state after hysteresis "
+                "(0=ok, 1=warning, 2=firing)",
+                "gauge");
+    appendf(out, "swve_slo_state %d\n", static_cast<int>(slo->state));
+    prom_header(out, "swve_slo_burn_rate",
+                "Error-budget burn rate by objective and window; both "
+                "windows of an objective past the threshold raise the alert",
+                "gauge");
+    appendf(out,
+            "swve_slo_burn_rate{objective=\"latency\",window=\"fast\"} %.6g\n",
+            slo->latency_fast_burn);
+    appendf(out,
+            "swve_slo_burn_rate{objective=\"latency\",window=\"slow\"} %.6g\n",
+            slo->latency_slow_burn);
+    appendf(out,
+            "swve_slo_burn_rate{objective=\"availability\",window=\"fast\"} "
+            "%.6g\n",
+            slo->availability_fast_burn);
+    appendf(out,
+            "swve_slo_burn_rate{objective=\"availability\",window=\"slow\"} "
+            "%.6g\n",
+            slo->availability_slow_burn);
+    prom_header(out, "swve_slo_transitions_total",
+                "Alert-state changes over the service lifetime", "counter");
+    appendf(out, "swve_slo_transitions_total %" PRIu64 "\n",
+            slo->transitions);
+  }
+
   prom_histogram(out, "swve_queue_wait_seconds",
                  "Submit-to-execution-start wait", s.queue_wait);
   prom_histogram(out, "swve_kernel_time_seconds",
@@ -529,7 +622,7 @@ void json_histogram(std::string& out, const char* key,
 
 }  // namespace
 
-std::string to_json(const MetricsSnapshot& s) {
+std::string to_json(const MetricsSnapshot& s, const SloStatus* slo) {
   std::string out;
   out.reserve(2048);
   out += "{";
@@ -537,7 +630,8 @@ std::string to_json(const MetricsSnapshot& s) {
   appendf(out,
           "\"build\":{\"version\":\"%s\",\"compiler\":\"%s\","
           "\"isas\":\"%s\"},",
-          b.version, b.compiler, b.isas);
+          json_escape(b.version).c_str(), json_escape(b.compiler).c_str(),
+          json_escape(b.isas).c_str());
   appendf(out,
           "\"requests\":{\"submitted\":%" PRIu64 ",\"completed\":%" PRIu64
           ",\"rejected_queue_full\":%" PRIu64 ",\"deadline_expired\":%" PRIu64
@@ -664,6 +758,21 @@ std::string to_json(const MetricsSnapshot& s) {
           ",\"dropped_threads\":%" PRIu64 ",\"suppressed\":%" PRIu64 "},",
           s.log_records, s.log_dropped_overflow, s.log_dropped_threads,
           s.log_suppressed);
+  out += "\"query_length_bins\":[";
+  for (int bn = 0; bn < MetricsSnapshot::kLengthBins; ++bn)
+    appendf(out, "%s%" PRIu64, bn ? "," : "", s.query_length_bins[bn]);
+  out += "],";
+  if (slo != nullptr)
+    appendf(out,
+            "\"slo\":{\"state\":\"%s\",\"instant\":\"%s\","
+            "\"latency_fast_burn\":%.6g,\"latency_slow_burn\":%.6g,"
+            "\"availability_fast_burn\":%.6g,"
+            "\"availability_slow_burn\":%.6g,\"evaluations\":%" PRIu64
+            ",\"transitions\":%" PRIu64 "},",
+            alert_state_name(slo->state), alert_state_name(slo->instant),
+            slo->latency_fast_burn, slo->latency_slow_burn,
+            slo->availability_fast_burn, slo->availability_slow_burn,
+            slo->evaluations, slo->transitions);
   appendf(out, "\"uptime_seconds\":%.6g,", s.uptime_seconds);
   json_histogram(out, "queue_wait", s.queue_wait);
   out += ",";

@@ -9,7 +9,9 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 
+#include "obs/slo.hpp"
 #include "perf/metrics.hpp"
 
 namespace swve::obs {
@@ -30,16 +32,31 @@ BuildInfo build_info() noexcept;
 /// CLI); nullopt for anything else.
 std::optional<MetricsFormat> metrics_format_from_string(const std::string& s);
 
+/// Escape a string for splicing into a Prometheus label value: backslash,
+/// double quote, and newline per exposition format 0.0.4. Any runtime
+/// string entering a label MUST pass through this (compiler version
+/// strings contain quotes on some toolchains).
+std::string prom_escape_label(std::string_view value);
+
 /// Render `snapshot` in the requested format. Text delegates to
-/// MetricsSnapshot::to_string().
+/// MetricsSnapshot::to_string(). `slo` (optional) adds the burn-rate
+/// alert state to the Prometheus and JSON renderings.
 std::string render_metrics(const perf::MetricsSnapshot& snapshot,
-                           MetricsFormat format);
+                           MetricsFormat format,
+                           const SloStatus* slo = nullptr);
 
 /// Prometheus text exposition (swve_* metric families).
 std::string to_prometheus(const perf::MetricsSnapshot& snapshot);
+/// Test seam: render with an explicit BuildInfo instead of the compiled-in
+/// identity (hostile label values must come out escaped), and optionally
+/// the SLO alert state (swve_slo_* families).
+std::string to_prometheus(const perf::MetricsSnapshot& snapshot,
+                          const BuildInfo& build,
+                          const SloStatus* slo = nullptr);
 
 /// JSON object mirroring the snapshot (requests / scenarios / kernel /
 /// window / targets / pool / histograms).
-std::string to_json(const perf::MetricsSnapshot& snapshot);
+std::string to_json(const perf::MetricsSnapshot& snapshot,
+                    const SloStatus* slo = nullptr);
 
 }  // namespace swve::obs

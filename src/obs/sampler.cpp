@@ -54,6 +54,7 @@ Sample Sampler::take_sample() {
   s.kernel_seconds = m.kernel_seconds;
   s.window_gcups = m.window_gcups();
   s.pool_utilization = m.pool_utilization();
+  if (opt_.on_sample) opt_.on_sample(s.t_s, m);
   return s;
 }
 

@@ -27,6 +27,13 @@ struct SamplerOptions {
   double period_s = 1.0;      ///< time between samples
   double freq_probe_ms = 5.0; ///< spin-kernel duration per frequency probe
   size_t capacity = 600;      ///< ring length (oldest samples evicted)
+
+  /// Called from the sampler thread once per tick with the fresh
+  /// MetricsSnapshot the sample was projected from (so downstream
+  /// consumers — the TimeSeriesStore, the SLO engine — ride the existing
+  /// thread and snapshot instead of adding their own). Must stay valid
+  /// until stop()/destruction; exceptions must not escape.
+  std::function<void(double t_s, const perf::MetricsSnapshot&)> on_sample;
 };
 
 /// One point of the time series (compact projection of a MetricsSnapshot

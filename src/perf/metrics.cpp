@@ -19,6 +19,41 @@ int bucket_of(uint64_t us) noexcept {
   return std::min(b, LatencyHistogram::kBuckets - 1);
 }
 
+// Percentile estimate over a bucket array: find the bucket the rank lands
+// in, then interpolate log-linearly inside it (bucket 0, [0, 1us),
+// interpolates linearly). The raw upper bound could overstate by up to 2x;
+// the interpolated value is clamped to `max_s` so a lone sample never
+// reports above it. Shared by live snapshots and by the recomputation in
+// Snapshot::subtract / Snapshot::merge.
+double bucket_percentile(
+    const std::array<uint64_t, LatencyHistogram::kBuckets>& buckets,
+    uint64_t count, double max_s, double q) noexcept {
+  if (count == 0) return 0.0;
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(count) + 0.5));
+  uint64_t cum = 0;
+  for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    const uint64_t n = buckets[i];
+    if (n > 0 && cum + n >= rank) {
+      const double frac =
+          static_cast<double>(rank - cum) / static_cast<double>(n);
+      const double value =
+          i == 0 ? frac * 1e-6
+                 : LatencyHistogram::bucket_upper_seconds(i - 1) *
+                       std::exp2(frac);
+      return std::min(value, max_s);
+    }
+    cum += n;
+  }
+  return max_s;
+}
+
+void recompute_percentiles(LatencyHistogram::Snapshot& s) noexcept {
+  s.p50_s = bucket_percentile(s.buckets, s.count, s.max_s, 0.50);
+  s.p90_s = bucket_percentile(s.buckets, s.count, s.max_s, 0.90);
+  s.p99_s = bucket_percentile(s.buckets, s.count, s.max_s, 0.99);
+}
+
 std::string format_hist(const char* name, const LatencyHistogram::Snapshot& h) {
   std::string out = name;
   out += ": n=" + std::to_string(h.count);
@@ -77,34 +112,51 @@ LatencyHistogram::Snapshot LatencyHistogram::snapshot() const noexcept {
   if (s.count == 0) return s;
   s.mean_s = static_cast<double>(sum_us_.load(kRelaxed)) * 1e-6 /
              static_cast<double>(s.count);
-
-  // Percentile estimate: find the bucket the rank lands in, then
-  // interpolate log-linearly inside it (bucket 0, [0, 1us), interpolates
-  // linearly). The raw upper bound could overstate by up to 2x; the
-  // interpolated value is clamped to the observed max so a lone sample
-  // never reports above it.
-  auto percentile = [&](double q) {
-    const uint64_t rank = std::max<uint64_t>(
-        1, static_cast<uint64_t>(q * static_cast<double>(s.count) + 0.5));
-    uint64_t cum = 0;
-    for (int i = 0; i < kBuckets; ++i) {
-      const uint64_t n = s.buckets[i];
-      if (n > 0 && cum + n >= rank) {
-        const double frac =
-            static_cast<double>(rank - cum) / static_cast<double>(n);
-        const double value =
-            i == 0 ? frac * 1e-6
-                   : bucket_upper_seconds(i - 1) * std::exp2(frac);
-        return std::min(value, s.max_s);
-      }
-      cum += n;
-    }
-    return s.max_s;
-  };
-  s.p50_s = percentile(0.50);
-  s.p90_s = percentile(0.90);
-  s.p99_s = percentile(0.99);
+  recompute_percentiles(s);
   return s;
+}
+
+uint64_t LatencyHistogram::Snapshot::count_over(double seconds) const noexcept {
+  uint64_t over = 0;
+  for (int i = 0; i < kBuckets; ++i)
+    if (bucket_upper_seconds(i) > seconds) over += buckets[i];
+  return over;
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::Snapshot::subtract(
+    const Snapshot& now, const Snapshot& prev) noexcept {
+  Snapshot d;
+  for (int i = 0; i < kBuckets; ++i) {
+    d.buckets[i] =
+        now.buckets[i] >= prev.buckets[i] ? now.buckets[i] - prev.buckets[i]
+                                          : 0;
+    d.count += d.buckets[i];
+  }
+  if (d.count == 0) return d;  // empty window: all stats stay zero
+  // Recover the interval's sample sum from the two means; clamp at zero so
+  // a count reset cannot manufacture a negative mean.
+  const double sum_now = now.mean_s * static_cast<double>(now.count);
+  const double sum_prev = prev.mean_s * static_cast<double>(prev.count);
+  d.mean_s = std::max(0.0, sum_now - sum_prev) / static_cast<double>(d.count);
+  d.max_s = now.max_s;  // lifetime max: an upper bound for the window
+  recompute_percentiles(d);
+  return d;
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::Snapshot::merge(
+    const Snapshot& a, const Snapshot& b) noexcept {
+  Snapshot m;
+  for (int i = 0; i < kBuckets; ++i) {
+    m.buckets[i] = a.buckets[i] + b.buckets[i];
+    m.count += m.buckets[i];
+  }
+  if (m.count == 0) return m;
+  m.mean_s = (a.mean_s * static_cast<double>(a.count) +
+              b.mean_s * static_cast<double>(b.count)) /
+             static_cast<double>(m.count);
+  m.max_s = std::max(a.max_s, b.max_s);
+  recompute_percentiles(m);
+  return m;
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const noexcept {
@@ -157,6 +209,8 @@ MetricsSnapshot MetricsRegistry::snapshot() const noexcept {
       s.tier_requests[t][sc] = tier_requests_[t][sc].load(kRelaxed);
     s.tier_latency[t] = tier_latency_[t].snapshot();
   }
+  for (int b = 0; b < MetricsSnapshot::kLengthBins; ++b)
+    s.query_length_bins[b] = query_length_bins_[b].load(kRelaxed);
   const uint64_t now_s = elapsed_s();
   uint64_t wcells = 0, wns = 0;
   for (const WindowBucket& b : window_) {
@@ -307,6 +361,21 @@ std::string MetricsSnapshot::to_string() const {
                   format_seconds(tier_latency[t].p50_s).c_str(),
                   format_seconds(tier_latency[t].p99_s).c_str());
     out += line;
+  }
+  {
+    uint64_t qtotal = 0;
+    for (int b = 0; b < kLengthBins; ++b) qtotal += query_length_bins[b];
+    if (qtotal > 0) {
+      out += "query lengths:";
+      for (int b = 0; b < kLengthBins; ++b) {
+        if (query_length_bins[b] == 0) continue;
+        std::snprintf(line, sizeof line, " [>=%llu]=%llu",
+                      static_cast<unsigned long long>(length_bin_lower(b)),
+                      static_cast<unsigned long long>(query_length_bins[b]));
+        out += line;
+      }
+      out += "\n";
+    }
   }
   if (log_records + log_dropped_overflow + log_dropped_threads +
           log_suppressed >

@@ -13,6 +13,7 @@
 
 #include <array>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -47,6 +48,27 @@ class LatencyHistogram {
     double p90_s = 0;
     double p99_s = 0;
     std::array<uint64_t, kBuckets> buckets{};
+
+    /// Samples recorded at or above `seconds` — the bucket tail from the
+    /// first bucket whose upper bound exceeds the threshold. Used by the
+    /// SLO engine to count latency-objective violations without storing
+    /// raw samples; the answer is exact at bucket boundaries and
+    /// conservative (over-counting) inside a bucket.
+    uint64_t count_over(double seconds) const noexcept;
+
+    /// Window delta `now - prev` of two snapshots of the *same* histogram
+    /// (prev taken earlier). Buckets/count/mean describe only the samples
+    /// recorded between the two snapshots; percentiles are recomputed from
+    /// the delta buckets. A non-monotone pair (counter reset, or snapshots
+    /// of different histograms) clamps per-bucket to zero rather than
+    /// underflowing. `max_s` is inherited from `now` — the per-window max
+    /// is not tracked, so it is an upper bound, not a window statistic.
+    static Snapshot subtract(const Snapshot& now, const Snapshot& prev) noexcept;
+
+    /// Sum of two disjoint snapshots (e.g. folding tiers together):
+    /// buckets and counts add, mean is count-weighted, max is the larger,
+    /// percentiles are recomputed from the merged buckets.
+    static Snapshot merge(const Snapshot& a, const Snapshot& b) noexcept;
   };
   Snapshot snapshot() const noexcept;
 
@@ -61,6 +83,32 @@ class LatencyHistogram {
 /// round up to a whole next unit are promoted ("999.7us" prints "1.00ms",
 /// never "1000us").
 std::string format_seconds(double s);
+
+// Shared delta math for everything that turns two counter snapshots into a
+// window statistic (obs::TimeSeriesStore, `swve_client metrics --watch`).
+// Monotone counters can still appear to step backwards across a process
+// restart; both helpers clamp to zero instead of producing a negative rate.
+
+/// Counter delta `now - prev`, clamped at zero.
+constexpr uint64_t counter_delta(uint64_t now, uint64_t prev) noexcept {
+  return now >= prev ? now - prev : 0;
+}
+
+/// Per-second rate of a counter over a window of `dt_s` seconds.
+constexpr double delta_rate(uint64_t now, uint64_t prev, double dt_s) noexcept {
+  return dt_s > 0 ? static_cast<double>(counter_delta(now, prev)) / dt_s : 0.0;
+}
+
+/// Ratio of two counter deltas (e.g. window cache-hit rate =
+/// delta(hits) / (delta(hits) + delta(misses))); 0 when the denominator
+/// delta is empty.
+constexpr double delta_ratio(uint64_t num_now, uint64_t num_prev,
+                             uint64_t den_now, uint64_t den_prev) noexcept {
+  const uint64_t den = counter_delta(den_now, den_prev);
+  return den > 0 ? static_cast<double>(counter_delta(num_now, num_prev)) /
+                       static_cast<double>(den)
+                 : 0.0;
+}
 
 /// Kernel family that actually served a request (the dispatch target,
 /// together with the resolved ISA). The batch kernel attributes separately
@@ -150,6 +198,24 @@ struct MetricsSnapshot {
     return idx >= 0 && idx < kWidths ? kBits[idx] : 0;
   }
 
+  // Live-workload characterization: query lengths bucketed into the same
+  // geometric regimes the packing policies bin by (core/batch32.cpp,
+  // LengthBinned): bin b holds lengths [2^b, 2^(b+1)); the last bin
+  // saturates. This is the per-length-bin feed the online tuner keys its
+  // (ISA × kernel × length-bin) cells on.
+  static constexpr int kLengthBins = 16;  ///< last bin: >= 32768 residues
+
+  /// Bin index for a query of `len` residues (0 maps to bin 0).
+  static int length_bin_of(uint64_t len) noexcept {
+    if (len == 0) return 0;
+    const int b = std::bit_width(len) - 1;
+    return b < kLengthBins ? b : kLengthBins - 1;
+  }
+  /// Inclusive lower bound of bin b (1, 2, 4, ... — bin 0 also holds 0).
+  static uint64_t length_bin_lower(int b) noexcept {
+    return b > 0 ? uint64_t{1} << b : 0;
+  }
+
   // Request lifecycle counters.
   uint64_t submitted = 0;           ///< accepted into the queue
   uint64_t completed = 0;           ///< future fulfilled with a result
@@ -218,6 +284,10 @@ struct MetricsSnapshot {
   static constexpr int kScenarios = 3;  ///< pairwise / search / batch
   std::array<std::array<uint64_t, kScenarios>, kQosTiers> tier_requests{};
   std::array<LatencyHistogram::Snapshot, kQosTiers> tier_latency{};
+
+  // Submitted queries by length regime (see length_bin_of); batch requests
+  // contribute one count per member query.
+  std::array<uint64_t, kLengthBins> query_length_bins{};
 
   // Structured-log accounting (filled by the owner from obs::Logger; zero
   // when no logger is installed).
@@ -468,6 +538,12 @@ class MetricsRegistry {
     tier_latency_[t].record(total_s);
   }
 
+  /// Bucket one accepted query's length into its workload regime.
+  void on_query_length(uint64_t residues) noexcept {
+    query_length_bins_[MetricsSnapshot::length_bin_of(residues)].fetch_add(
+        1, kRelaxed);
+  }
+
   /// Attribute a completed request to the dispatch target that served it
   /// (resolved ISA + kernel family). Pass the ISA the kernel reported, not
   /// the requested one.
@@ -567,6 +643,8 @@ class MetricsRegistry {
   std::array<std::array<std::atomic<uint64_t>, MetricsSnapshot::kScenarios>,
              MetricsSnapshot::kQosTiers>
       tier_requests_{};
+  std::array<std::atomic<uint64_t>, MetricsSnapshot::kLengthBins>
+      query_length_bins_{};
   std::array<LatencyHistogram, MetricsSnapshot::kQosTiers> tier_latency_;
   std::array<WindowBucket, kWindowBuckets> window_{};
   LatencyHistogram queue_wait_;

@@ -61,6 +61,11 @@ uint16_t dp_width_bits(core::Width w) {
 }  // namespace
 
 AlignService::AlignService(ServiceOptions options)
+    : AlignService(InitTag{}, std::move(options)) {
+  start_telemetry();
+}
+
+AlignService::AlignService(InitTag, ServiceOptions options)
     : opt_(options), pool_(options.pool_threads),
       paused_(options.queue.start_paused) {
   // Pre-group behavior: zero executors/capacity were clamped, not
@@ -84,17 +89,39 @@ AlignService::AlignService(ServiceOptions options)
   executors_.reserve(opt_.queue.executors);
   for (unsigned e = 0; e < opt_.queue.executors; ++e)
     executors_.emplace_back([this, e] { executor_loop(e); });
-  if (opt_.obs.sampler_period_s > 0) {
+}
+
+void AlignService::start_telemetry() {
+  // Telemetry history: the store and SLO engine ride the sampler tick.
+  // An explicit obs.sampler_period_s wins as the cadence; otherwise the
+  // serve.telemetry_cadence_s default turns the sampler on.
+  const double cadence = opt_.obs.sampler_period_s > 0
+                             ? opt_.obs.sampler_period_s
+                             : opt_.serve.telemetry_cadence_s;
+  if (opt_.serve.telemetry_cadence_s > 0) {
+    obs::TimeSeriesOptions to;
+    to.cadence_s = cadence;
+    to.capacity = std::max<size_t>(
+        1, static_cast<size_t>(opt_.serve.telemetry_retention_s / cadence));
+    timeseries_ = std::make_unique<obs::TimeSeriesStore>(to);
+    if (opt_.obs.slo.enabled())
+      slo_ = std::make_unique<obs::SloEngine>(opt_.obs.slo, timeseries_.get());
+  }
+  if (cadence > 0) {
     obs::SamplerOptions so;
-    so.period_s = opt_.obs.sampler_period_s;
+    so.period_s = cadence;
     so.freq_probe_ms = opt_.obs.sampler_freq_probe_ms;
+    so.on_sample = [this](double t_s, const perf::MetricsSnapshot& snap) {
+      if (timeseries_) timeseries_->push(snap, t_s, queue_depth());
+      if (slo_) slo_->evaluate(t_s);
+    };
     sampler_ = std::make_unique<obs::Sampler>(so, [this] { return metrics(); });
   }
 }
 
 AlignService::AlignService(const seq::SequenceDatabase& db,
                            ServiceOptions options)
-    : AlignService(std::move(options)) {
+    : AlignService(InitTag{}, std::move(options)) {
   db_ = &db;
   // Pack once, up front, before any request can arrive (executors are
   // already running but the queue is still empty while we're here only if
@@ -108,16 +135,18 @@ AlignService::AlignService(const seq::SequenceDatabase& db,
   // db_epoch_ stays 0: fingerprinting the content here would be an O(n)
   // walk on every construction; callers that need it (net::Server) compute
   // it once themselves.
+  start_telemetry();
 }
 
 AlignService::AlignService(const core::MappedDb& mapped, ServiceOptions options)
-    : AlignService(std::move(options)) {
+    : AlignService(InitTag{}, std::move(options)) {
   db_ = &mapped.db();
   packed_ = &mapped.batch_db();
   mapped_ = &mapped;
   db_source_ = mapped.source();
   db_epoch_ = mapped.epoch();
   db_load_seconds_ = mapped.load_seconds();
+  start_telemetry();
 }
 
 AlignService::~AlignService() {
@@ -346,6 +375,7 @@ RequestTrace AlignService::make_trace(Scenario scenario,
 void AlignService::submit_async(AlignRequest request, AlignCompletion done) {
   auto cb = std::make_shared<AlignCompletion>(std::move(done));
   auto rq = std::make_shared<AlignRequest>(std::move(request));
+  metrics_.on_query_length(rq->query.length());
   const Clock::time_point submitted = Clock::now();
   const Clock::time_point deadline =
       rq->options.deadline ? submitted + *rq->options.deadline
@@ -456,6 +486,7 @@ std::future<AlignResponse> AlignService::submit(AlignRequest request) {
 void AlignService::submit_async(SearchRequest request, SearchCompletion done) {
   auto cb = std::make_shared<SearchCompletion>(std::move(done));
   auto rq = std::make_shared<SearchRequest>(std::move(request));
+  metrics_.on_query_length(rq->query.length());
   const Clock::time_point submitted = Clock::now();
   const Clock::time_point deadline =
       rq->options.deadline ? submitted + *rq->options.deadline
@@ -584,6 +615,7 @@ std::future<SearchResponse> AlignService::submit_search(SearchRequest request) {
 void AlignService::submit_async(BatchRequest request, BatchCompletion done) {
   auto cb = std::make_shared<BatchCompletion>(std::move(done));
   auto rq = std::make_shared<BatchRequest>(std::move(request));
+  for (const auto& q : rq->queries) metrics_.on_query_length(q.length());
   const Clock::time_point submitted = Clock::now();
   const Clock::time_point deadline =
       rq->options.deadline ? submitted + *rq->options.deadline

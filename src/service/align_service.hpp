@@ -41,6 +41,8 @@
 #include "obs/inflight.hpp"
 #include "obs/pmu.hpp"
 #include "obs/sampler.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "obs/watchdog.hpp"
 #include "parallel/thread_pool.hpp"
@@ -111,6 +113,12 @@ struct ObsOptions {
   double slow_request_slo_s = 0;
   /// Watchdog scan period.
   double watchdog_period_s = 0.05;
+  /// Burn-rate SLO alerting over the telemetry history: objectives,
+  /// fast/slow windows, thresholds, hysteresis (obs::SloOptions). The
+  /// engine runs on the sampler tick and needs the history ring, so it is
+  /// active only when serve.telemetry_cadence_s > 0 and at least one
+  /// objective is set (the availability objective defaults on).
+  obs::SloOptions slo;
 };
 
 /// Network front-door knobs, consumed by net::Server (the in-process
@@ -141,6 +149,18 @@ struct ServeOptions {
   /// Graceful-drain budget on stop/SIGTERM: in-flight and queued requests
   /// get this long to finish and flush before connections are dropped.
   double drain_timeout_s = 10.0;
+  /// Telemetry history cadence: every this many seconds the sampler tick
+  /// folds a MetricsSnapshot diff into the obs::TimeSeriesStore (the /varz
+  /// feed) and re-evaluates the SLO engine. Rides the existing sampler
+  /// thread; when obs.sampler_period_s is also set, that period wins and
+  /// this acts as an enable switch. 0 disables history, /varz, and SLO
+  /// alerting.
+  double telemetry_cadence_s = 1.0;
+  /// Seconds of history retained; the ring holds retention / cadence
+  /// points (~1 KiB each).
+  double telemetry_retention_s = 600.0;
+  /// Sampled traced requests retained for /tracez.
+  size_t tracez_capacity = 32;
 };
 
 struct ServiceOptions {
@@ -226,6 +246,44 @@ struct ServiceOptions {
     if (serve.drain_timeout_s < 0)
       return core::ConfigError{
           Code::Unsupported, "ServiceOptions: serve.drain_timeout_s < 0"};
+    if (serve.tracez_capacity == 0 || serve.tracez_capacity > 65536)
+      return core::ConfigError{
+          Code::Unsupported,
+          "ServiceOptions: serve.tracez_capacity must be in [1, 65536]"};
+    if (serve.telemetry_cadence_s < 0)
+      return core::ConfigError{
+          Code::Unsupported, "ServiceOptions: serve.telemetry_cadence_s < 0"};
+    if (serve.telemetry_cadence_s > 0 &&
+        serve.telemetry_retention_s < serve.telemetry_cadence_s)
+      return core::ConfigError{
+          Code::Unsupported,
+          "ServiceOptions: serve.telemetry_retention_s must cover at least "
+          "one cadence period"};
+    if (obs.slo.latency_target_s < 0)
+      return core::ConfigError{
+          Code::Unsupported, "ServiceOptions: obs.slo.latency_target_s < 0"};
+    if (obs.slo.latency_objective < 0 || obs.slo.latency_objective >= 1 ||
+        obs.slo.availability_objective < 0 ||
+        obs.slo.availability_objective >= 1)
+      return core::ConfigError{
+          Code::Unsupported,
+          "ServiceOptions: SLO objectives must be in [0, 1)"};
+    if (obs.slo.fast_window_s <= 0 ||
+        obs.slo.slow_window_s < obs.slo.fast_window_s)
+      return core::ConfigError{
+          Code::Unsupported,
+          "ServiceOptions: SLO windows need 0 < fast_window_s <= "
+          "slow_window_s"};
+    if (obs.slo.warning_burn <= 0 ||
+        obs.slo.firing_burn < obs.slo.warning_burn)
+      return core::ConfigError{
+          Code::Unsupported,
+          "ServiceOptions: SLO burn thresholds need 0 < warning_burn <= "
+          "firing_burn"};
+    if (obs.slo.enter_evals < 1 || obs.slo.exit_evals < 1)
+      return core::ConfigError{
+          Code::Unsupported,
+          "ServiceOptions: SLO hysteresis eval counts must be >= 1"};
     return {};
   }
 
@@ -294,6 +352,19 @@ class AlignService {
   /// The live sampler, or null when disabled.
   const obs::Sampler* sampler() const noexcept { return sampler_.get(); }
 
+  /// Delta-encoded telemetry history (the /varz feed), or null when
+  /// serve.telemetry_cadence_s == 0.
+  const obs::TimeSeriesStore* timeseries() const noexcept {
+    return timeseries_.get();
+  }
+  /// The burn-rate SLO engine, or null when telemetry is off or no
+  /// objective is configured.
+  const obs::SloEngine* slo() const noexcept { return slo_.get(); }
+  /// Last SLO evaluation (default-constructed Ok status without an engine).
+  obs::SloStatus slo_status() const {
+    return slo_ ? slo_->status() : obs::SloStatus{};
+  }
+
   /// Pending (queued, not yet executing) requests.
   size_t queue_depth() const;
 
@@ -347,6 +418,14 @@ class AlignService {
   }
 
  private:
+  // Delegation target for the public constructors: everything except the
+  // sampler/telemetry threads, which each public constructor starts via
+  // start_telemetry() only once its database fields are fully initialized
+  // (the sampler thread reads them through metrics()).
+  struct InitTag {};
+  AlignService(InitTag, ServiceOptions options);
+  void start_telemetry();
+
   struct Task {
     /// Runs the request (aborted=true: fail the completion without running).
     std::function<void(bool aborted)> run;
@@ -423,6 +502,11 @@ class AlignService {
   perf::MetricsRegistry metrics_;
   std::atomic<uint64_t> exec_sequence_{0};
 
+  // Telemetry history + SLO engine, fed from the sampler tick. Declared
+  // before sampler_ so even default member destruction tears the sampler
+  // (the only writer) down first; the destructor also resets it explicitly.
+  std::unique_ptr<obs::TimeSeriesStore> timeseries_;
+  std::unique_ptr<obs::SloEngine> slo_;
   std::unique_ptr<obs::Sampler> sampler_;  ///< live profiler (optional)
   std::atomic<uint64_t> topdown_seq_{0};   ///< one-in-N request sampling
   std::atomic<double> model_ghz_{0};       ///< cached frequency estimate

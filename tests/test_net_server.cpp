@@ -728,6 +728,112 @@ TEST(NetServer, ConnzSchema) {
   EXPECT_TRUE(saw_http) << body.value();  // the /connz scrape sees itself
 }
 
+TEST(NetServer, VarzServesTelemetryHistory) {
+  service::ServiceOptions opt;
+  opt.serve.telemetry_cadence_s = 0.05;  // fast ticks so the test is quick
+  opt.serve.telemetry_retention_s = 10.0;
+  Loopback lb(opt);
+  ASSERT_TRUE(lb.client()->search(search_request()).ok());
+  // Wait for at least two sampler ticks past the baseline seed.
+  for (int i = 0; i < 100 && lb.svc->timeseries()->size() < 2; ++i)
+    std::this_thread::sleep_for(milliseconds(20));
+  ASSERT_GE(lb.svc->timeseries()->size(), 2u);
+
+  const auto body = http_get("127.0.0.1", lb.server->port(), "/varz");
+  ASSERT_TRUE(body.ok()) << body.error().message;
+  const auto parsed = Json::parse(body.value());
+  ASSERT_TRUE(parsed.has_value()) << body.value();
+  const Json& doc = *parsed;
+  EXPECT_NEAR(doc["cadence_s"].as_number(), 0.05, 1e-9);
+  EXPECT_GT(doc["capacity"].as_number(), 0.0);
+  ASSERT_TRUE(doc["points"].is_array());
+  ASSERT_GE(doc["points"].as_array().size(), 2u);
+  const Json& p = doc["points"].as_array().back();
+  EXPECT_TRUE(p["t_s"].is_number());
+  EXPECT_GT(p["dt_s"].as_number(), 0.0);
+  EXPECT_TRUE(p["qps"].is_number());
+  EXPECT_TRUE(p["tiers"].is_array());
+  EXPECT_TRUE(p["length_bins"].is_array());
+
+  // series= narrows the payload; window= bounds it; both validated.
+  const auto narrow = http_get("127.0.0.1", lb.server->port(),
+                               "/varz?series=qps,cache&window=60");
+  ASSERT_TRUE(narrow.ok());
+  const auto ndoc = Json::parse(narrow.value());
+  ASSERT_TRUE(ndoc.has_value()) << narrow.value();
+  const Json& np = (*ndoc)["points"].as_array().back();
+  EXPECT_TRUE(np["qps"].is_number());
+  EXPECT_TRUE(np["cache_hit_rate"].is_number());
+  EXPECT_TRUE(np["pmu"].is_null());
+  EXPECT_TRUE(np["length_bins"].is_null());
+
+  std::string head;
+  const auto bad = http_get("127.0.0.1", lb.server->port(),
+                            "/varz?series=bogus", 10.0, &head);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_NE(head.find("400"), std::string::npos) << head;
+  EXPECT_NE(bad.value().find("unknown series: bogus"), std::string::npos);
+}
+
+TEST(NetServer, VarzUnavailableWhenTelemetryDisabled) {
+  service::ServiceOptions opt;
+  opt.serve.telemetry_cadence_s = 0;  // history, /varz, and SLO all off
+  Loopback lb(opt);
+  EXPECT_EQ(lb.svc->timeseries(), nullptr);
+  EXPECT_EQ(lb.svc->slo(), nullptr);
+  std::string head;
+  const auto r =
+      http_get("127.0.0.1", lb.server->port(), "/varz", 10.0, &head);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(head.find("503"), std::string::npos) << head;
+}
+
+TEST(NetServer, StatuszCarriesSloAndTelemetryKnobs) {
+  service::ServiceOptions opt;
+  opt.serve.telemetry_cadence_s = 0.05;
+  opt.serve.tracez_capacity = 7;
+  opt.obs.slo.latency_target_s = 10.0;  // generous: stays ok
+  Loopback lb(opt);
+  ASSERT_TRUE(lb.client()->search(search_request()).ok());
+
+  const auto body = http_get("127.0.0.1", lb.server->port(), "/statusz");
+  ASSERT_TRUE(body.ok()) << body.error().message;
+  const auto parsed = Json::parse(body.value());
+  ASSERT_TRUE(parsed.has_value()) << body.value();
+  const Json& doc = *parsed;
+  EXPECT_EQ(doc["options"]["serve"]["tracez_capacity"].as_number(), 7.0);
+  EXPECT_NEAR(doc["options"]["serve"]["telemetry_cadence_s"].as_number(),
+              0.05, 1e-9);
+  ASSERT_TRUE(doc["telemetry"].is_object());
+  EXPECT_TRUE(doc["telemetry"]["samples"].is_number());
+  ASSERT_TRUE(doc["slo"].is_object()) << body.value();
+  EXPECT_EQ(doc["slo"]["state"].as_string(), "ok");
+  EXPECT_TRUE(doc["slo"]["latency"].is_object());
+  EXPECT_TRUE(doc["slo"]["availability"].is_object());
+
+  // The Prometheus scrape carries the same alert state as gauges.
+  const auto prom = http_get("127.0.0.1", lb.server->port(), "/metrics");
+  ASSERT_TRUE(prom.ok());
+  EXPECT_NE(prom.value().find("swve_slo_state 0"), std::string::npos);
+  EXPECT_NE(prom.value().find("swve_slo_burn_rate{objective=\"latency\""),
+            std::string::npos);
+}
+
+TEST(NetServer, TracezCapacityKnobIsValidated) {
+  service::ServiceOptions opt;
+  opt.serve.tracez_capacity = 0;
+  EXPECT_FALSE(opt.try_validate().ok());
+  opt.serve.tracez_capacity = 32;
+  opt.serve.telemetry_cadence_s = 1.0;
+  opt.serve.telemetry_retention_s = 0.5;  // shorter than one tick
+  EXPECT_FALSE(opt.try_validate().ok());
+  opt.serve.telemetry_retention_s = 600;
+  opt.obs.slo.latency_objective = 1.0;  // budget would be zero
+  EXPECT_FALSE(opt.try_validate().ok());
+  opt.obs.slo.latency_objective = 0.99;
+  EXPECT_TRUE(opt.try_validate().ok());
+}
+
 TEST(NetServer, PingAndBinaryMetrics) {
   Loopback lb;
   auto c = lb.client();

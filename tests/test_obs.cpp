@@ -326,6 +326,92 @@ TEST(Exporters, BuildInfoAndTraceAccounting) {
   EXPECT_EQ(json_u64(json, "slow_requests"), 4u);
 }
 
+// Regression: a hostile build identity (quotes, backslashes, a newline —
+// all of which real __VERSION__ strings have contained pieces of) must
+// come out as one well-formed exposition line, not break the scrape.
+TEST(Exporters, PrometheusEscapesHostileBuildInfoLabels) {
+  BuildInfo hostile;
+  hostile.version = "1.0\"evil";
+  hostile.compiler = "g++ (a \"b\") \\ 13.2\nsecond-line";
+  hostile.isas = "scalar+avx2";
+  const std::string prom =
+      to_prometheus(sample_snapshot(), hostile);
+
+  // The raw quote/backslash/newline are escaped per exposition 0.0.4.
+  EXPECT_NE(prom.find("version=\"1.0\\\"evil\""), std::string::npos);
+  EXPECT_NE(prom.find("compiler=\"g++ (a \\\"b\\\") \\\\ 13.2\\nsecond-line\""),
+            std::string::npos);
+
+  // The whole build_info family is still exactly one sample line that
+  // matches the exposition grammar (the escaped value contains no raw
+  // newline and no unescaped quote).
+  std::istringstream in(prom);
+  std::string line;
+  size_t build_lines = 0;
+  const std::regex line_re(
+      R"(^swve_build_info\{[a-zA-Z_]+="([^"\\]|\\.)*"(,[a-zA-Z_]+="([^"\\]|\\.)*")*\} 1$)");
+  while (std::getline(in, line)) {
+    if (line.rfind("swve_build_info{", 0) != 0) continue;
+    ++build_lines;
+    EXPECT_TRUE(std::regex_match(line, line_re)) << line;
+  }
+  EXPECT_EQ(build_lines, 1u);
+
+  EXPECT_EQ(prom_escape_label("plain"), "plain");
+  EXPECT_EQ(prom_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(prom_escape_label("a\"b"), "a\\\"b");
+  EXPECT_EQ(prom_escape_label("a\nb"), "a\\nb");
+}
+
+TEST(Exporters, SloStatusRidesAlongInBothFormats) {
+  SloStatus st;
+  st.state = AlertState::Firing;
+  st.instant = AlertState::Warning;
+  st.latency_fast_burn = 20.5;
+  st.latency_slow_burn = 18.25;
+  st.availability_fast_burn = 1.5;
+  st.availability_slow_burn = 0.75;
+  st.evaluations = 42;
+  st.transitions = 3;
+
+  const std::string prom =
+      to_prometheus(sample_snapshot(), build_info(), &st);
+  EXPECT_NE(prom.find("swve_slo_state 2"), std::string::npos);
+  EXPECT_NE(prom.find("swve_slo_burn_rate{objective=\"latency\","
+                      "window=\"fast\"} 20.5"),
+            std::string::npos);
+  EXPECT_NE(prom.find("swve_slo_burn_rate{objective=\"availability\","
+                      "window=\"slow\"} 0.75"),
+            std::string::npos);
+  EXPECT_NE(prom.find("swve_slo_transitions_total 3"), std::string::npos);
+  // Without a status, no swve_slo family appears at all.
+  EXPECT_EQ(to_prometheus(sample_snapshot()).find("swve_slo_"),
+            std::string::npos);
+
+  const std::string json = to_json(sample_snapshot(), &st);
+  EXPECT_NE(json.find("\"slo\":{\"state\":\"firing\",\"instant\":"
+                      "\"warning\""),
+            std::string::npos);
+  EXPECT_EQ(json_u64(json, "evaluations"), 42u);
+  EXPECT_EQ(to_json(sample_snapshot()).find("\"slo\""), std::string::npos);
+}
+
+TEST(Exporters, QueryLengthBinsExportWhenPopulated) {
+  perf::MetricsSnapshot s = sample_snapshot();
+  s.query_length_bins[8] = 7;   // [256, 512)
+  s.query_length_bins[0] = 2;
+  const std::string prom = to_prometheus(s);
+  EXPECT_NE(prom.find("swve_query_length_requests_total{min_residues="
+                      "\"256\"} 7"),
+            std::string::npos);
+  EXPECT_NE(prom.find("swve_query_length_requests_total{min_residues="
+                      "\"0\"} 2"),
+            std::string::npos);
+  const std::string json = to_json(s);
+  EXPECT_NE(json.find("\"query_length_bins\":[2,0,0,0,0,0,0,0,7,"),
+            std::string::npos);
+}
+
 TEST(Exporters, PmuAttributionCellsInBothFormats) {
   perf::MetricsRegistry reg;
   perf::PmuSample span;

@@ -167,6 +167,105 @@ TEST(LatencyHistogram, PercentileClampedToObservedMax) {
   EXPECT_LE(s.p99_s, 5e-6 + 1e-12);  // never above the max, despite 8us bound
 }
 
+// Snapshot window algebra: subtract() carves out the samples recorded
+// between two snapshots of one histogram; merge() folds disjoint
+// histograms (e.g. tiers) together. Both recompute percentiles with the
+// same interpolation live snapshots use.
+
+TEST(LatencyHistogram, SnapshotSubtractIsolatesTheWindow) {
+  LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) h.record(3e-6);  // bucket 2
+  LatencyHistogram::Snapshot before = h.snapshot();
+  for (int i = 0; i < 5; ++i) h.record(100e-6);  // bucket 7: [64, 128) us
+  LatencyHistogram::Snapshot after = h.snapshot();
+
+  LatencyHistogram::Snapshot d =
+      LatencyHistogram::Snapshot::subtract(after, before);
+  EXPECT_EQ(d.count, 5u);
+  EXPECT_EQ(d.buckets[2], 0u);  // the old samples cancel out
+  EXPECT_EQ(d.buckets[7], 5u);
+  // Window percentiles come from the window's only bucket, not the
+  // lifetime distribution (whose p50 is still in bucket 2).
+  EXPECT_GT(d.p50_s, 64e-6);
+  EXPECT_LE(d.p50_s, 128e-6);
+  EXPECT_NEAR(d.mean_s, 100e-6, 1e-9);
+}
+
+TEST(LatencyHistogram, SnapshotSubtractEmptyWindowIsZero) {
+  LatencyHistogram h;
+  h.record(3e-6);
+  LatencyHistogram::Snapshot s = h.snapshot();
+  LatencyHistogram::Snapshot d = LatencyHistogram::Snapshot::subtract(s, s);
+  EXPECT_EQ(d.count, 0u);
+  EXPECT_DOUBLE_EQ(d.p50_s, 0.0);
+  EXPECT_DOUBLE_EQ(d.p99_s, 0.0);
+  EXPECT_DOUBLE_EQ(d.mean_s, 0.0);
+}
+
+TEST(LatencyHistogram, SnapshotSubtractClampsNonMonotonePairs) {
+  LatencyHistogram small, big;
+  small.record(3e-6);
+  for (int i = 0; i < 4; ++i) big.record(3e-6);
+  // "now" has fewer samples than "prev" (counter reset / mixed-up
+  // histograms): per-bucket clamp to zero, never underflow.
+  LatencyHistogram::Snapshot d = LatencyHistogram::Snapshot::subtract(
+      small.snapshot(), big.snapshot());
+  EXPECT_EQ(d.count, 0u);
+  for (uint64_t b : d.buckets) EXPECT_EQ(b, 0u);
+}
+
+TEST(LatencyHistogram, SnapshotMergeIsCountWeighted) {
+  LatencyHistogram a, b;
+  for (int i = 0; i < 3; ++i) a.record(2e-6);
+  for (int i = 0; i < 1; ++i) b.record(1000e-6);
+  LatencyHistogram::Snapshot m = LatencyHistogram::Snapshot::merge(
+      a.snapshot(), b.snapshot());
+  EXPECT_EQ(m.count, 4u);
+  EXPECT_EQ(m.buckets[2], 3u);
+  EXPECT_EQ(m.buckets[10], 1u);  // 1000 us: [512, 1024) us
+  EXPECT_NEAR(m.mean_s, (3 * 2e-6 + 1 * 1000e-6) / 4.0, 1e-9);
+  EXPECT_NEAR(m.max_s, 1000e-6, 1e-12);
+  EXPECT_GE(m.p99_s, m.p50_s);  // percentiles recomputed over the union
+}
+
+TEST(LatencyHistogram, CountOverIsExactAtBucketBoundaries) {
+  LatencyHistogram h;
+  h.record(0.5e-6);   // bucket 0, upper 1us
+  h.record(100e-6);   // bucket 8, upper 128us
+  h.record(5000e-6);  // bucket 13, upper 8192us
+  LatencyHistogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count_over(0.0), 3u);
+  EXPECT_EQ(s.count_over(1e-6), 2u);     // bucket 0 ends exactly here
+  EXPECT_EQ(s.count_over(128e-6), 1u);   // bucket 8 ends exactly here
+  EXPECT_EQ(s.count_over(64e-6), 2u);    // inside bucket 8: conservative
+  EXPECT_EQ(s.count_over(1.0), 0u);
+}
+
+TEST(MetricsDelta, CounterHelpersShareOneDefinition) {
+  EXPECT_EQ(counter_delta(10, 4), 6u);
+  EXPECT_EQ(counter_delta(4, 10), 0u);  // reset clamps, never wraps
+  EXPECT_DOUBLE_EQ(delta_rate(100, 40, 2.0), 30.0);
+  EXPECT_DOUBLE_EQ(delta_rate(100, 40, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(delta_ratio(8, 4, 10, 5), 0.8);
+  EXPECT_DOUBLE_EQ(delta_ratio(8, 4, 5, 5), 0.0);  // empty denominator
+}
+
+TEST(MetricsDelta, QueryLengthBinsMatchPackingRegimes) {
+  using S = MetricsSnapshot;
+  EXPECT_EQ(S::length_bin_of(0), 0);
+  EXPECT_EQ(S::length_bin_of(1), 0);
+  EXPECT_EQ(S::length_bin_of(2), 1);
+  EXPECT_EQ(S::length_bin_of(3), 1);
+  EXPECT_EQ(S::length_bin_of(4), 2);
+  EXPECT_EQ(S::length_bin_of(320), 8);      // [256, 512)
+  EXPECT_EQ(S::length_bin_of(32768), S::kLengthBins - 1);
+  EXPECT_EQ(S::length_bin_of(1u << 30), S::kLengthBins - 1);  // saturates
+  EXPECT_EQ(S::length_bin_lower(0), 0u);
+  EXPECT_EQ(S::length_bin_lower(1), 2u);
+  EXPECT_EQ(S::length_bin_lower(8), 256u);
+  EXPECT_EQ(S::length_bin_lower(S::kLengthBins - 1), 32768u);
+}
+
 TEST(FormatSeconds, UnitSeams) {
   EXPECT_EQ(format_seconds(999.4e-6), "999us");
   EXPECT_EQ(format_seconds(999.6e-6), "1.00ms");   // not "1000us"

@@ -1,0 +1,390 @@
+// Telemetry history store + burn-rate SLO engine.
+//
+// The store is fed hand-built MetricsSnapshots so every delta in a point
+// can be checked against arithmetic done here; the SLO tests drive the
+// engine through the store exactly as the sampler hook does in
+// production (push, then evaluate at the same timestamp).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
+#include "perf/metrics.hpp"
+
+namespace swve::obs {
+namespace {
+
+using perf::LatencyHistogram;
+using perf::MetricsSnapshot;
+
+/// A snapshot whose counters are all simple functions of `scale`, so two
+/// snapshots at different scales produce known deltas.
+MetricsSnapshot scaled_snapshot(uint64_t scale) {
+  MetricsSnapshot s;
+  s.submitted = 110 * scale;
+  s.completed = 100 * scale;
+  s.rejected_queue_full = 4 * scale;
+  s.deadline_expired = 3 * scale;
+  s.invalid_request = 2 * scale;
+  s.aborted = 1 * scale;
+  s.cells = 2'000'000'000ull * scale;
+  s.kernel_seconds = 1.0 * static_cast<double>(scale);
+  s.result_cache_hits = 30 * scale;
+  s.result_cache_misses = 10 * scale;
+  s.log_dropped_overflow = 5 * scale;
+  s.tier_requests[1][0] = 100 * scale;  // standard tier, pairwise
+  LatencyHistogram h;
+  for (uint64_t i = 0; i < 100 * scale; ++i) h.record(100e-6);
+  s.tier_latency[1] = h.snapshot();
+  s.query_length_bins[8] = 90 * scale;  // [256, 512) residues
+  s.query_length_bins[5] = 10 * scale;
+  s.pmu[1][0][0].samples = 10 * scale;
+  s.pmu[1][0][0].wall_ns = 1'000'000 * scale;
+  s.pmu[1][0][0].cycles = 3'000'000 * scale;
+  s.pmu[1][0][0].instructions = 6'000'000 * scale;
+  s.pmu[1][0][0].stall_backend = 300'000 * scale;
+  return s;
+}
+
+TEST(TimeSeries, FirstPushOnlySeedsTheBaseline) {
+  TimeSeriesStore store({1.0, 16});
+  store.push(scaled_snapshot(1), 10.0);
+  EXPECT_EQ(store.size(), 0u);
+  TimeSeriesPoint p;
+  EXPECT_FALSE(store.latest(&p));
+  store.push(scaled_snapshot(2), 12.0);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.latest(&p));
+  EXPECT_DOUBLE_EQ(p.t_s, 12.0);
+  EXPECT_DOUBLE_EQ(p.dt_s, 2.0);
+}
+
+TEST(TimeSeries, DeltasMatchHandComputedSnapshots) {
+  TimeSeriesStore store({1.0, 16});
+  store.push(scaled_snapshot(1), 0.0);
+  store.push(scaled_snapshot(3), 2.0, /*queue_depth=*/7);
+
+  TimeSeriesPoint p;
+  ASSERT_TRUE(store.latest(&p));
+  // scale 1 -> 3 over dt = 2 s: completed 100 -> 300 is 100/s.
+  EXPECT_EQ(p.completed_delta, 200u);
+  EXPECT_EQ(p.submitted_delta, 220u);
+  EXPECT_DOUBLE_EQ(p.qps, 100.0);
+  // errors = rejected + deadline + invalid + aborted = 10 per scale.
+  EXPECT_EQ(p.error_delta, 20u);
+  EXPECT_DOUBLE_EQ(p.error_qps, 10.0);
+  // cache: hits 30 -> 90 (+60), total 40 -> 120 (+80).
+  EXPECT_DOUBLE_EQ(p.cache_hit_rate, 0.75);
+  // gcups: +4e9 cells over +2 kernel-seconds.
+  EXPECT_DOUBLE_EQ(p.gcups, 2.0);
+  EXPECT_EQ(p.queue_depth, 7u);
+  EXPECT_EQ(p.log_drops, 10u);
+  // tier 1 (standard): 200 more requests over 2 s; its 100us window
+  // latency survives into the merged histogram.
+  EXPECT_DOUBLE_EQ(p.tier_qps[1], 100.0);
+  EXPECT_EQ(p.latency.count, 200u);
+  EXPECT_GT(p.tier_p99_s[1], 64e-6);
+  EXPECT_LE(p.tier_p99_s[1], 128e-6);
+  // query lengths: bin 8 gained 180, bin 5 gained 20 -> bin 8 dominates.
+  EXPECT_EQ(p.length_bins[8], 180u);
+  EXPECT_EQ(p.length_bins[5], 20u);
+  EXPECT_EQ(p.dominant_length_bin, 8);
+  // PMU cell delta: +4M instructions over +2M cycles -> IPC 2.
+  ASSERT_EQ(p.pmu.size(), 1u);
+  EXPECT_EQ(p.pmu[0].isa, 1u);
+  EXPECT_EQ(p.pmu[0].spans, 20u);
+  EXPECT_DOUBLE_EQ(p.pmu[0].ipc, 2.0);
+  EXPECT_DOUBLE_EQ(p.pmu[0].backend_stall_fraction, 0.1);
+  EXPECT_DOUBLE_EQ(p.pmu[0].effective_ghz, 3.0);
+}
+
+TEST(TimeSeries, RingEvictsOldestAtCapacity) {
+  TimeSeriesStore store({1.0, 3});
+  for (uint64_t i = 1; i <= 6; ++i)
+    store.push(scaled_snapshot(i), static_cast<double>(i));
+  EXPECT_EQ(store.size(), 3u);  // 5 points made, capacity 3
+  const std::vector<TimeSeriesPoint> pts = store.points();
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts.front().t_s, 4.0);
+  EXPECT_DOUBLE_EQ(pts.back().t_s, 6.0);
+}
+
+TEST(TimeSeries, WindowQueryFiltersOldPoints) {
+  TimeSeriesStore store({1.0, 64});
+  for (uint64_t i = 1; i <= 10; ++i)
+    store.push(scaled_snapshot(i), static_cast<double>(i));
+  EXPECT_EQ(store.points().size(), 9u);
+  // Window 3 s back from the newest point (t = 10): t in [7, 10].
+  EXPECT_EQ(store.points(3.0).size(), 4u);
+  EXPECT_DOUBLE_EQ(store.points(3.0).front().t_s, 7.0);
+}
+
+TEST(TimeSeries, NonAdvancingClockReseedsInsteadOfDividingByZero) {
+  TimeSeriesStore store({1.0, 16});
+  store.push(scaled_snapshot(1), 5.0);
+  store.push(scaled_snapshot(2), 5.0);  // same timestamp: reseed only
+  EXPECT_EQ(store.size(), 0u);
+  store.push(scaled_snapshot(3), 6.0);
+  TimeSeriesPoint p;
+  ASSERT_TRUE(store.latest(&p));
+  // The baseline is the scale-2 snapshot, not scale-1.
+  EXPECT_EQ(p.completed_delta, 100u);
+}
+
+TEST(TimeSeries, CounterResetClampsToZero) {
+  TimeSeriesStore store({1.0, 16});
+  store.push(scaled_snapshot(5), 0.0);
+  store.push(scaled_snapshot(1), 1.0);  // counters went backwards
+  TimeSeriesPoint p;
+  ASSERT_TRUE(store.latest(&p));
+  EXPECT_EQ(p.completed_delta, 0u);
+  EXPECT_DOUBLE_EQ(p.qps, 0.0);
+  EXPECT_DOUBLE_EQ(p.gcups, 0.0);
+}
+
+TEST(TimeSeries, SeriesNamesValidateAndSelect) {
+  EXPECT_TRUE(TimeSeriesStore::is_series_name("qps"));
+  EXPECT_TRUE(TimeSeriesStore::is_series_name("pmu"));
+  EXPECT_TRUE(TimeSeriesStore::is_series_name("lengths"));
+  EXPECT_FALSE(TimeSeriesStore::is_series_name("bogus"));
+  EXPECT_FALSE(TimeSeriesStore::is_series_name(""));
+
+  TimeSeriesStore store({1.0, 16});
+  store.push(scaled_snapshot(1), 0.0);
+  store.push(scaled_snapshot(2), 1.0);
+  const std::string all = store.json();
+  EXPECT_NE(all.find("\"qps\""), std::string::npos);
+  EXPECT_NE(all.find("\"pmu\""), std::string::npos);
+  EXPECT_NE(all.find("\"length_bins\""), std::string::npos);
+  const std::string only_qps = store.json("qps");
+  EXPECT_NE(only_qps.find("\"qps\""), std::string::npos);
+  EXPECT_EQ(only_qps.find("\"pmu\""), std::string::npos);
+  EXPECT_EQ(only_qps.find("\"cache_hit_rate\""), std::string::npos);
+  const std::string two = store.json("qps, cache");
+  EXPECT_NE(two.find("\"qps\""), std::string::npos);
+  EXPECT_NE(two.find("\"cache_hit_rate\""), std::string::npos);
+}
+
+// TSan target: one pusher (the sampler role) racing readers (/varz
+// scrapes and the SLO engine's points()); the store's mutex must make
+// this clean.
+TEST(TimeSeries, ConcurrentPushAndReadIsClean) {
+  TimeSeriesStore store({1.0, 32});
+  std::atomic<bool> stop{false};
+  std::thread pusher([&] {
+    for (uint64_t i = 1; i <= 2000; ++i)
+      store.push(scaled_snapshot(i), static_cast<double>(i));
+    stop.store(true, std::memory_order_release);
+  });
+  uint64_t reads = 0;
+  while (!stop.load(std::memory_order_acquire)) {
+    TimeSeriesPoint p;
+    store.latest(&p);
+    reads += store.points(8.0).size();
+    if ((reads & 63) == 0) (void)store.json("qps", 4.0);
+  }
+  pusher.join();
+  EXPECT_EQ(store.size(), 32u);
+}
+
+// ---------------------------------------------------------------------------
+// SLO burn rates
+
+/// Feed `store` one second of traffic per tick: `good` completions and
+/// `bad` errors, each latency `lat_s`.
+void feed(TimeSeriesStore& store, MetricsSnapshot& cum, double& t,
+          uint64_t good, uint64_t bad, double lat_s = 100e-6,
+          uint64_t lat_count = 0) {
+  cum.completed += good;
+  cum.aborted += bad;
+  LatencyHistogram h;
+  // Rebuild the cumulative tier histogram: carry the old buckets and add
+  // this tick's samples.
+  LatencyHistogram::Snapshot add;
+  for (uint64_t i = 0; i < (lat_count ? lat_count : good); ++i)
+    h.record(lat_s);
+  add = h.snapshot();
+  cum.tier_latency[1] =
+      LatencyHistogram::Snapshot::merge(cum.tier_latency[1], add);
+  t += 1.0;
+  store.push(cum, t);
+}
+
+TEST(Slo, AvailabilityBurnMatchesHandMath) {
+  TimeSeriesStore store({1.0, 600});
+  SloOptions opt;
+  opt.latency_target_s = 0;  // availability only
+  opt.availability_objective = 0.999;
+  opt.enter_evals = 1;
+  opt.exit_evals = 1;
+  SloEngine eng(opt, &store);
+
+  MetricsSnapshot cum;
+  double t = 0;
+  store.push(cum, t);  // baseline
+  // 10% errors against a 0.1% budget: burn = 100.
+  for (int i = 0; i < 5; ++i) feed(store, cum, t, 90, 10);
+  const SloStatus st = eng.evaluate(t);
+  EXPECT_NEAR(st.availability_fast_burn, 100.0, 1e-6);
+  EXPECT_NEAR(st.availability_slow_burn, 100.0, 1e-6);
+  EXPECT_EQ(st.instant, AlertState::Firing);
+  EXPECT_EQ(st.state, AlertState::Firing);  // enter_evals = 1
+  EXPECT_DOUBLE_EQ(st.latency_fast_burn, 0.0);
+}
+
+TEST(Slo, LatencyBurnCountsHistogramTail) {
+  TimeSeriesStore store({1.0, 600});
+  SloOptions opt;
+  opt.latency_target_s = 1e-3;  // 1 ms
+  opt.latency_objective = 0.99;
+  opt.availability_objective = 0;  // latency only
+  opt.enter_evals = 1;
+  SloEngine eng(opt, &store);
+
+  MetricsSnapshot cum;
+  double t = 0;
+  store.push(cum, t);
+  // Per tick: 90 requests at 100 us (fast), 10 at 5 ms (violations).
+  for (int i = 0; i < 3; ++i) {
+    feed(store, cum, t, 90, 0, 100e-6, 90);
+    // Second push in the same tick would reseed; fold the slow samples
+    // into the next tick instead:
+    LatencyHistogram slow;
+    for (int j = 0; j < 10; ++j) slow.record(5e-3);
+    cum.tier_latency[1] = LatencyHistogram::Snapshot::merge(
+        cum.tier_latency[1], slow.snapshot());
+    cum.completed += 10;
+  }
+  store.push(cum, t + 0.5);  // flush the last tick's slow tail
+  // Bad fraction ~0.1 against a 0.01 budget: burn ~10.
+  const SloStatus st = eng.evaluate(t + 0.5);
+  EXPECT_GT(st.latency_fast_burn, 5.0);
+  EXPECT_LT(st.latency_fast_burn, 15.0);
+  EXPECT_EQ(st.instant, AlertState::Warning);  // 6 <= burn < 14.4
+  EXPECT_DOUBLE_EQ(st.availability_fast_burn, 0.0);
+}
+
+TEST(Slo, MultiWindowRequiresBothWindowsBurning) {
+  // A burst that already ended: the fast window still sees only clean
+  // traffic by the time it slides past, but the slow window remembers the
+  // errors. min(fast, slow) must stay below threshold -> no alert.
+  TimeSeriesStore store({1.0, 600});
+  SloOptions opt;
+  opt.latency_target_s = 0;
+  opt.availability_objective = 0.999;
+  opt.fast_window_s = 5;
+  opt.slow_window_s = 60;
+  opt.enter_evals = 1;
+  SloEngine eng(opt, &store);
+
+  MetricsSnapshot cum;
+  double t = 0;
+  store.push(cum, t);
+  for (int i = 0; i < 3; ++i) feed(store, cum, t, 50, 50);  // the burst
+  for (int i = 0; i < 10; ++i) feed(store, cum, t, 100, 0);  // recovery
+  const SloStatus st = eng.evaluate(t);
+  EXPECT_DOUBLE_EQ(st.availability_fast_burn, 0.0);  // fast window clean
+  EXPECT_GT(st.availability_slow_burn, 14.4);        // slow still burning
+  EXPECT_EQ(st.instant, AlertState::Ok);
+}
+
+TEST(Slo, HysteresisEscalatesAfterConsecutiveEvals) {
+  TimeSeriesStore store({1.0, 600});
+  SloOptions opt;
+  opt.latency_target_s = 0;
+  opt.availability_objective = 0.999;
+  opt.enter_evals = 2;
+  opt.exit_evals = 3;
+  SloEngine eng(opt, &store);
+
+  MetricsSnapshot cum;
+  double t = 0;
+  store.push(cum, t);
+  feed(store, cum, t, 0, 100);  // 100% errors: burn 1000, instant firing
+  SloStatus st = eng.evaluate(t);
+  EXPECT_EQ(st.instant, AlertState::Firing);
+  EXPECT_EQ(st.state, AlertState::Ok);  // 1 of 2 evals
+  EXPECT_EQ(st.transitions, 0u);
+
+  feed(store, cum, t, 0, 100);
+  st = eng.evaluate(t);
+  EXPECT_EQ(st.state, AlertState::Firing);  // 2nd consecutive: escalate
+  EXPECT_EQ(st.transitions, 1u);
+  EXPECT_DOUBLE_EQ(st.since_s, t);
+}
+
+TEST(Slo, HysteresisDeEscalatesAfterExitEvals) {
+  TimeSeriesStore store({1.0, 600});
+  SloOptions opt;
+  opt.latency_target_s = 0;
+  opt.availability_objective = 0.999;
+  opt.fast_window_s = 2;  // short windows so recovery clears the burn
+  opt.slow_window_s = 2;
+  opt.enter_evals = 1;
+  opt.exit_evals = 3;
+  SloEngine eng(opt, &store);
+
+  MetricsSnapshot cum;
+  double t = 0;
+  store.push(cum, t);
+  feed(store, cum, t, 0, 100);
+  SloStatus st = eng.evaluate(t);
+  ASSERT_EQ(st.state, AlertState::Firing);
+
+  // Slide the errors fully out of the 2 s windows, then evaluate clean
+  // ticks: instant drops to Ok, but the filtered state holds for
+  // exit_evals - 1 more evaluations.
+  for (int i = 0; i < 3; ++i) feed(store, cum, t, 100, 0);
+  for (int i = 0; i < 2; ++i) {
+    feed(store, cum, t, 100, 0);
+    st = eng.evaluate(t);
+    EXPECT_EQ(st.instant, AlertState::Ok);
+    EXPECT_EQ(st.state, AlertState::Firing) << "eval " << i;
+  }
+  feed(store, cum, t, 100, 0);
+  st = eng.evaluate(t);
+  EXPECT_EQ(st.state, AlertState::Ok);  // 3rd consecutive clean eval
+  EXPECT_EQ(st.transitions, 2u);
+}
+
+TEST(Slo, FlappingBurnDoesNotFlapTheAlert) {
+  TimeSeriesStore store({1.0, 600});
+  SloOptions opt;
+  opt.latency_target_s = 0;
+  opt.availability_objective = 0.999;
+  opt.fast_window_s = 0.5;  // narrower than the tick spacing: each
+  opt.slow_window_s = 0.5;  // evaluation sees only its own tick
+  opt.enter_evals = 2;
+  opt.exit_evals = 2;
+  SloEngine eng(opt, &store);
+
+  MetricsSnapshot cum;
+  double t = 0;
+  store.push(cum, t);
+  // Alternate bad/clean seconds: neither severity ever gets 2 consecutive
+  // evaluations, so the filtered state never leaves Ok.
+  for (int i = 0; i < 8; ++i) {
+    feed(store, cum, t, i % 2 ? 100 : 0, i % 2 ? 0 : 100);
+    const SloStatus st = eng.evaluate(t);
+    EXPECT_EQ(st.state, AlertState::Ok) << "tick " << i;
+  }
+  EXPECT_EQ(eng.status().transitions, 0u);
+}
+
+TEST(Slo, JsonCarriesStateAndBurns) {
+  TimeSeriesStore store({1.0, 16});
+  SloOptions opt;
+  opt.latency_target_s = 0.25;
+  SloEngine eng(opt, &store);
+  eng.evaluate(1.0);
+  const std::string j = eng.json();
+  EXPECT_NE(j.find("\"state\":\"ok\""), std::string::npos);
+  EXPECT_NE(j.find("\"target_ms\":250"), std::string::npos);
+  EXPECT_NE(j.find("\"evaluations\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swve::obs

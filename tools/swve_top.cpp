@@ -1,0 +1,244 @@
+// swve_top — a terminal dashboard over a running swve_server.
+//
+//   swve_top [--host ADDR] [--port N] [--interval S] [--window S] [--once]
+//
+// Polls the server's /varz telemetry history and /statusz and redraws a
+// single ANSI frame per interval: Unicode sparklines for QPS, per-tier
+// p99, result-cache hit rate, and GCUPS; the latest PMU readings (IPC,
+// backend-stall fraction, effective GHz) per ISA x kernel x width cell;
+// and the burn-rate alert state. Plain escape codes only — no curses, so
+// it works over any ssh session and inside CI logs (--once prints one
+// frame and exits without touching the cursor).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/json.hpp"
+
+using swve::net::Json;
+
+namespace {
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fputs(
+      "usage: swve_top [--host ADDR] [--port N] [--interval S]\n"
+      "                [--window S] [--once]\n",
+      stderr);
+  std::exit(2);
+}
+
+/// Eight-level Unicode sparkline of the series tail, scaled to its own
+/// maximum (a flat-zero series renders as a run of the lowest bar).
+std::string sparkline(const std::vector<double>& v, size_t width) {
+  static const char* kBars[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  const size_t n = std::min(v.size(), width);
+  std::string out;
+  if (n == 0) return out;
+  double hi = 0;
+  for (size_t i = v.size() - n; i < v.size(); ++i) hi = std::max(hi, v[i]);
+  for (size_t i = v.size() - n; i < v.size(); ++i) {
+    int level = 0;
+    if (hi > 0) {
+      level = static_cast<int>(v[i] / hi * 7.0 + 0.5);
+      level = std::clamp(level, 0, 7);
+    }
+    out += kBars[level];
+  }
+  return out;
+}
+
+/// Pull one numeric field out of every /varz point, oldest first.
+std::vector<double> series_of(const Json& points, const char* key) {
+  std::vector<double> out;
+  if (!points.is_array()) return out;
+  for (const Json& p : points.as_array()) out.push_back(p[key].as_number());
+  return out;
+}
+
+/// Per-tier p99 series: points[i].tiers[t].p99_ms.
+std::vector<double> tier_p99_series(const Json& points, size_t tier) {
+  std::vector<double> out;
+  if (!points.is_array()) return out;
+  for (const Json& p : points.as_array()) {
+    const Json& tiers = p["tiers"];
+    out.push_back(tiers.is_array() && tier < tiers.as_array().size()
+                      ? tiers.as_array()[tier]["p99_ms"].as_number()
+                      : 0.0);
+  }
+  return out;
+}
+
+const char* state_color(const std::string& state) {
+  if (state == "firing") return "\x1b[1;31m";   // bold red
+  if (state == "warning") return "\x1b[1;33m";  // bold yellow
+  return "\x1b[1;32m";                          // bold green
+}
+
+double last_of(const std::vector<double>& v) {
+  return v.empty() ? 0.0 : v.back();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 7731;
+  double interval_s = 1.0;
+  double window_s = 120.0;
+  bool once = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string s = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(("missing value for " + s).c_str());
+      return argv[++i];
+    };
+    if (s == "--host") host = next();
+    else if (s == "--port") port = static_cast<uint16_t>(std::atoi(next()));
+    else if (s == "--interval") interval_s = std::atof(next());
+    else if (s == "--window") window_s = std::atof(next());
+    else if (s == "--once") once = true;
+    else if (s == "--help" || s == "-h") usage();
+    else usage(("unknown option " + s).c_str());
+  }
+  if (interval_s <= 0) interval_s = 1.0;
+  if (window_s <= 0) window_s = 120.0;
+
+  const std::string varz_path =
+      "/varz?window=" + std::to_string(static_cast<int>(window_s));
+  constexpr size_t kSparkWidth = 60;
+
+  for (;;) {
+    const auto varz = swve::net::http_get(host, port, varz_path, 5.0);
+    if (!varz) {
+      std::fprintf(stderr, "swve_top: %s:%u: %s\n", host.c_str(), port,
+                   varz.error().message.c_str());
+      return 1;
+    }
+    const auto doc = Json::parse(*varz);
+    if (!doc) {
+      // A 503 body ("telemetry history disabled...") is not JSON; show it.
+      std::fprintf(stderr, "swve_top: %s", varz.value().c_str());
+      return 1;
+    }
+    const Json& points = (*doc)["points"];
+    const size_t npoints =
+        points.is_array() ? points.as_array().size() : 0;
+
+    // /statusz carries what the history does not: uptime, drain state, and
+    // the hysteresis-filtered SLO alert.
+    std::string uptime = "?", slo_state = "ok", slo_line;
+    bool draining = false;
+    if (const auto statusz =
+            swve::net::http_get(host, port, "/statusz", 5.0)) {
+      if (const auto sdoc = Json::parse(*statusz)) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.0fs",
+                      (*sdoc)["uptime_s"].as_number());
+        uptime = buf;
+        draining = (*sdoc)["draining"].as_bool();
+        const Json& slo = (*sdoc)["slo"];
+        if (slo.is_object()) {
+          slo_state = slo["state"].as_string();
+          char line[160];
+          std::snprintf(
+              line, sizeof line,
+              "burn lat %.2f/%.2f avail %.2f/%.2f (fast/slow), "
+              "transitions %.0f",
+              slo["latency"]["fast_burn"].as_number(),
+              slo["latency"]["slow_burn"].as_number(),
+              slo["availability"]["fast_burn"].as_number(),
+              slo["availability"]["slow_burn"].as_number(),
+              slo["transitions"].as_number());
+          slo_line = line;
+        }
+      }
+    }
+
+    const std::vector<double> qps = series_of(points, "qps");
+    const std::vector<double> cache = series_of(points, "cache_hit_rate");
+    const std::vector<double> gcups = series_of(points, "gcups");
+    const std::vector<double> queue = series_of(points, "queue_depth");
+
+    std::string frame;
+    if (!once) frame += "\x1b[H\x1b[J";  // home + clear
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "swve_top — %s:%u   up %s%s   samples %zu   alert %s%s"
+                  "\x1b[0m\n",
+                  host.c_str(), port, uptime.c_str(),
+                  draining ? " (draining)" : "", npoints,
+                  state_color(slo_state), slo_state.c_str());
+    frame += line;
+    if (!slo_line.empty()) {
+      frame += "  ";
+      frame += slo_line;
+      frame += "\n";
+    }
+    frame += "\n";
+
+    std::snprintf(line, sizeof line, "  %-9s %8.1f  %s\n", "qps",
+                  last_of(qps), sparkline(qps, kSparkWidth).c_str());
+    frame += line;
+    static const char* kTierNames[] = {"interactive", "standard", "bulk"};
+    for (size_t t = 0; t < 3; ++t) {
+      const std::vector<double> p99 = tier_p99_series(points, t);
+      std::snprintf(line, sizeof line, "  p99 %-12s %6.2fms %s\n",
+                    kTierNames[t], last_of(p99),
+                    sparkline(p99, kSparkWidth).c_str());
+      frame += line;
+    }
+    std::snprintf(line, sizeof line, "  %-9s %7.0f%%  %s\n", "cache",
+                  last_of(cache) * 100.0,
+                  sparkline(cache, kSparkWidth).c_str());
+    frame += line;
+    std::snprintf(line, sizeof line, "  %-9s %8.2f  %s\n", "gcups",
+                  last_of(gcups), sparkline(gcups, kSparkWidth).c_str());
+    frame += line;
+    std::snprintf(line, sizeof line, "  %-9s %8.0f  %s\n", "queue",
+                  last_of(queue), sparkline(queue, kSparkWidth).c_str());
+    frame += line;
+
+    // Latest PMU cells: one row per ISA x kernel x width that retired
+    // instructions in the last interval.
+    if (npoints > 0) {
+      const Json& pmu = points.as_array().back()["pmu"];
+      if (pmu.is_array() && !pmu.as_array().empty()) {
+        frame += "\n  kernel cells (last interval):\n";
+        std::snprintf(line, sizeof line, "  %-8s %-10s %5s %6s %7s %6s\n",
+                      "isa", "kernel", "width", "ipc", "stall", "ghz");
+        frame += line;
+        for (const Json& c : pmu.as_array()) {
+          std::snprintf(line, sizeof line,
+                        "  %-8s %-10s %5.0f %6.2f %6.1f%% %6.2f\n",
+                        c["isa"].as_string().c_str(),
+                        c["kernel"].as_string().c_str(),
+                        c["width"].as_number(), c["ipc"].as_number(),
+                        c["stall_be"].as_number() * 100.0,
+                        c["ghz"].as_number());
+          frame += line;
+        }
+        const double freq =
+            points.as_array().back()["avx512_freq_ratio"].as_number();
+        if (freq > 0) {
+          std::snprintf(line, sizeof line,
+                        "  avx512 frequency ratio %.2f%s\n", freq,
+                        freq < 0.97 ? "  (license throttling?)" : "");
+          frame += line;
+        }
+      }
+    }
+
+    std::fputs(frame.c_str(), stdout);
+    std::fflush(stdout);
+    if (once) return 0;
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+  }
+}
