@@ -40,6 +40,13 @@
 //   --matrix NAME            scoring matrix (default blosum62)
 //   --top K                  default hits per query (default 10)
 //   --threads N              pool threads for intra-request fan-out
+//   --shards N|auto          split batch search into N database shards
+//                            with per-shard pinned pools and a
+//                            bit-identical top-k merge ("auto" = one
+//                            shard per NUMA node; default 1 = unsharded)
+//   --numa MODE              off | interleave | bind placement of packed
+//                            shard columns (needs --shards; SWVE_NUMA=off
+//                            overrides)
 //   --executors N            executor threads draining the queue
 //   --queue-cap N            submission queue capacity (default 256)
 //   --slo-ms N               watchdog SLO for slow-request records
@@ -86,6 +93,7 @@ namespace {
       "  --port N | --bind ADDR | --max-conns N | --max-frame-mb N\n"
       "  --cache-entries N | --no-singleflight | --no-http\n"
       "  --drain-timeout S | --matrix NAME | --top K | --threads N\n"
+      "  --shards N|auto | --numa off|interleave|bind\n"
       "  --executors N | --queue-cap N | --slo-ms N | --flight-out FILE\n"
       "  --log-file FILE | --log-level LVL | --log-rate N\n"
       "  --trace-events N | --tracez-entries N\n"
@@ -152,6 +160,14 @@ int main(int argc, char** argv) {
     else if (s == "--no-http") opt.serve.http_metrics = false;
     else if (s == "--drain-timeout")
       opt.serve.drain_timeout_s = std::atof(next());
+    else if (s == "--shards") {
+      const std::string v = next();
+      opt.search.shards = (v == "auto") ? 0 : std::atoi(v.c_str());
+    } else if (s == "--numa") {
+      const std::string v = next();
+      if (!parallel::parse_numa_policy(v, &opt.search.numa))
+        usage(("unknown --numa policy " + v).c_str());
+    }
     else if (s == "--matrix") matrix_name = next();
     else if (s == "--top") opt.default_top_k = std::strtoul(next(), nullptr, 10);
     else if (s == "--threads")
@@ -286,6 +302,18 @@ int main(int argc, char** argv) {
                svc.db_load_seconds() * 1e3, matrix_name.c_str(),
                opt.serve.result_cache_capacity,
                opt.serve.singleflight ? "on" : "off");
+  if (const align::ShardedSearch* sh = svc.sharded()) {
+    std::fprintf(stderr,
+                 "swve_server: sharded search: %zu shards, numa %s, %zu "
+                 "node(s)%s\n",
+                 sh->shard_count(), parallel::numa_policy_name(sh->numa_policy()),
+                 sh->topology().nodes.size(),
+                 sh->topology().synthetic ? " (synthetic topology)" : "");
+    obs::log_info("server.shards",
+                  {{"shards", sh->shard_count()},
+                   {"numa", parallel::numa_policy_name(sh->numa_policy())},
+                   {"nodes", sh->topology().nodes.size()}});
+  }
   obs::log_info("server.start",
                 {{"port", static_cast<unsigned>(server->port())},
                  {"sequences", served.sequences().size()},

@@ -51,12 +51,13 @@ def main():
               file=sys.stderr)
         return 2
 
-    # Correctness sentinels: packing policies and interleave depths must
-    # each agree on the top-k, responses decoded off the serving wire must
-    # match in-process submissions, and a search through an mmap'd swve db
-    # artifact must return the owned packing's exact hits.
+    # Correctness sentinels: packing policies, interleave depths, and shard
+    # counts must each agree on the top-k, responses decoded off the serving
+    # wire must match in-process submissions, and a search through an mmap'd
+    # swve db artifact must return the owned packing's exact hits.
     for sentinel, what in (("packing/topk_identical", "policies"),
                            ("ilp/topk_identical", "interleave depths"),
+                           ("shard/topk_identical", "sharded vs flat search"),
                            ("serve/topk_identical", "wire vs in-process"),
                            ("db/topk_identical", "mapped artifact vs owned")):
         if cur.get(sentinel, 1) != 1:

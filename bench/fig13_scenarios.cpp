@@ -34,6 +34,7 @@
 
 #include "align/batch_server.hpp"
 #include "align/db_search.hpp"
+#include "align/sharded_search.hpp"
 #include "bench_common.hpp"
 #include "core/db_format.hpp"
 #include "core/dispatch.hpp"
@@ -270,6 +271,80 @@ int main(int argc, char** argv) {
     report.add("ilp/topk_identical", identical ? 1 : 0);
     if (!identical) {
       std::cerr << "FAIL: interleave depths disagree on top-k\n";
+      return 1;
+    }
+  }
+
+  perf::print_banner(std::cout,
+                     "Fig 13 / shard: sharded batch search vs flat fan-out");
+  {
+    // The same batch search split into S database shards, each scanned by
+    // its own pinned pool slice into a bounded top-k heap, merged at the
+    // end. The shard/topk_identical sentinel holds the tentpole claim: the
+    // merge is bit-identical to the flat path for every shard count. On a
+    // single-node runner S=2 still exercises the full split/merge
+    // machinery (numa stays off); the GCUPS columns show what the shape
+    // costs or buys without placement in play.
+    align::DatabaseSearch flat(w.db, cfg, align::SearchMode::Batch);
+    seq::Sequence query = seq::generate_sequence(args.seed + 34, 512);
+    const int reps = args.quick ? 3 : 5;
+    const size_t batches = flat.packed_db()->batch_count();
+
+    align::SearchResult ref = flat.search(query, 10, &pool);  // warm-up
+    double flat_gcups = 0;
+    for (int r = 0; r < reps; ++r)
+      flat_gcups =
+          std::max(flat_gcups, flat.search(query, 10, &pool).gcups());
+
+    struct ShardRun {
+      int requested;
+      size_t got = 0;
+      double gcups = 0;
+    };
+    std::vector<ShardRun> runs = {{1}, {2}};
+    bool identical = true;
+    for (auto& run : runs) {
+      align::DatabaseSearch search(w.db, cfg, align::SearchMode::Batch);
+      const int s =
+          static_cast<int>(std::min<size_t>(
+              static_cast<size_t>(run.requested), batches));
+      align::ShardOptions sopt;
+      sopt.shards = s;
+      if (auto ok = search.enable_sharding(sopt); !ok) {
+        std::cerr << "FAIL: enable_sharding(" << s
+                  << "): " << ok.error().message << "\n";
+        return 1;
+      }
+      run.got = search.sharded() != nullptr ? search.sharded()->shard_count()
+                                            : 1;
+      align::SearchResult best = search.search(query, 10, &pool);  // warm-up
+      if (best.hits.size() != ref.hits.size()) {
+        identical = false;
+      } else {
+        for (size_t i = 0; i < ref.hits.size(); ++i)
+          if (best.hits[i].seq_index != ref.hits[i].seq_index ||
+              best.hits[i].score != ref.hits[i].score)
+            identical = false;
+      }
+      for (int r = 0; r < reps; ++r)
+        run.gcups = std::max(run.gcups, search.search(query, 10, &pool).gcups());
+    }
+
+    perf::Table t({"layout", "shards", "GCUPS", "vs flat"});
+    t.row({"flat", "-", perf::Table::num(flat_gcups, 2),
+           perf::Table::num(1.0, 2)});
+    for (const auto& run : runs)
+      t.row({"sharded", std::to_string(run.got), perf::Table::num(run.gcups, 2),
+             perf::Table::num(run.gcups / flat_gcups, 2)});
+    t.print(std::cout);
+    std::cout << "top-k identical across shard counts: "
+              << (identical ? "yes" : "NO") << "\n";
+    report.add("shard/flat_gcups", flat_gcups);
+    report.add("shard/s1_gcups", runs[0].gcups);
+    report.add("shard/s2_gcups", runs[1].gcups);
+    report.add("shard/topk_identical", identical ? 1 : 0);
+    if (!identical) {
+      std::cerr << "FAIL: sharded search disagrees with flat search on top-k\n";
       return 1;
     }
   }

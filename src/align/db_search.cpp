@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "align/query_cache.hpp"
+#include "align/sharded_search.hpp"
 #include "parallel/partition.hpp"
 #include "perf/metrics.hpp"
 #include "perf/timer.hpp"
@@ -279,6 +280,20 @@ DatabaseSearch::DatabaseSearch(const seq::SequenceDatabase& db,
         "DatabaseSearch: packed database does not match the sequence database");
 }
 
+DatabaseSearch::~DatabaseSearch() = default;
+DatabaseSearch::DatabaseSearch(DatabaseSearch&&) noexcept = default;
+DatabaseSearch& DatabaseSearch::operator=(DatabaseSearch&&) noexcept = default;
+
+core::ErrorOr<void> DatabaseSearch::enable_sharding(const ShardOptions& opt) {
+  if (mode_ != SearchMode::Batch)
+    return core::ConfigError{core::ConfigError::Code::Unsupported,
+                             "DatabaseSearch: sharding requires Batch mode"};
+  auto sharded = ShardedSearch::create(*db_, *packed_, opt);
+  if (!sharded.ok()) return sharded.error();
+  sharded_ = std::move(sharded).value();
+  return {};
+}
+
 SearchResult DatabaseSearch::search(seq::SeqView query, size_t top_k,
                                     parallel::ThreadPool* pool) const {
   ExecContext ctx;
@@ -288,6 +303,7 @@ SearchResult DatabaseSearch::search(seq::SeqView query, size_t top_k,
 
 SearchResult DatabaseSearch::search(seq::SeqView query, size_t top_k,
                                     const ExecContext& ctx) const {
+  if (sharded_) return sharded_->search(cfg_, query, top_k, ctx);
   return mode_ == SearchMode::Batch
              ? engine::search_batch(*db_, *packed_, cfg_, query, top_k, ctx)
              : engine::search_diagonal(*db_, cfg_, query, top_k, ctx);

@@ -15,10 +15,14 @@
 #include "align/aligner.hpp"
 #include "align/exec_context.hpp"
 #include "core/batch32.hpp"
+#include "core/error.hpp"
 #include "parallel/thread_pool.hpp"
 #include "seq/database.hpp"
 
 namespace swve::align {
+
+class ShardedSearch;    // align/sharded_search.hpp
+struct ShardOptions;
 
 struct Hit {
   uint32_t seq_index = 0;  ///< index into the database
@@ -107,6 +111,10 @@ class DatabaseSearch {
   DatabaseSearch(const seq::SequenceDatabase& db,
                  const core::Batch32Db& packed, AlignConfig cfg);
 
+  ~DatabaseSearch();  // out of line: ShardedSearch is incomplete here
+  DatabaseSearch(DatabaseSearch&&) noexcept;
+  DatabaseSearch& operator=(DatabaseSearch&&) noexcept;
+
   /// Search with `pool` (or single-threaded when null). Results are
   /// identical for every thread count and for both search modes.
   SearchResult search(seq::SeqView query, size_t top_k,
@@ -122,12 +130,22 @@ class DatabaseSearch {
   /// depending on the constructor used.
   const core::Batch32Db* packed_db() const noexcept { return packed_; }
 
+  /// Shard Batch mode across NUMA nodes (align::ShardedSearch): subsequent
+  /// search() calls fan out over per-node pinned pools and merge bounded
+  /// per-shard top-k heaps — bit-identical results, local memory traffic.
+  /// Fails (ConfigError) in Diagonal mode or when opt.shards exceeds the
+  /// packed batch count; the facade stays unsharded on failure.
+  core::ErrorOr<void> enable_sharding(const ShardOptions& opt);
+  /// Non-null after a successful enable_sharding (per-shard stats access).
+  const ShardedSearch* sharded() const noexcept { return sharded_.get(); }
+
  private:
   const seq::SequenceDatabase* db_;
   AlignConfig cfg_;
   SearchMode mode_;
   std::unique_ptr<core::Batch32Db> bdb_;          // owning Batch mode only
   const core::Batch32Db* packed_ = nullptr;       // Batch mode (either ctor)
+  std::unique_ptr<ShardedSearch> sharded_;        // Batch mode, opt-in
 };
 
 }  // namespace swve::align

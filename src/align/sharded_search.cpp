@@ -1,0 +1,400 @@
+#include "align/sharded_search.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+
+#include "align/query_cache.hpp"
+#include "core/dispatch.hpp"
+#include "core/mapped_db.hpp"
+#include "obs/pmu.hpp"
+#include "perf/metrics.hpp"
+#include "perf/timer.hpp"
+
+namespace swve::align {
+
+namespace {
+
+/// Keep the k best hits of a range scanned in index order (same bounded
+/// heap as db_search.cpp's; the merge relies on offer() being selection,
+/// not ordering — any insertion order yields the same k survivors).
+class TopK {
+ public:
+  explicit TopK(size_t k) : k_(k) {}
+  void offer(const Hit& h) {
+    if (h.score <= 0) return;
+    hits_.push_back(h);
+    std::push_heap(hits_.begin(), hits_.end());
+    if (hits_.size() > k_) {
+      std::pop_heap(hits_.begin(), hits_.end());
+      hits_.pop_back();
+    }
+  }
+  std::vector<Hit> sorted() && {
+    std::sort(hits_.begin(), hits_.end());
+    return std::move(hits_);
+  }
+
+ private:
+  size_t k_;
+  std::vector<Hit> hits_;
+};
+
+obs::TruncCause trunc_cause(const ExecContext& ctx) {
+  return ctx.cancelled() ? obs::TruncCause::Cancelled
+                         : obs::TruncCause::Deadline;
+}
+
+std::atomic<int> g_shard_hint{0};
+
+}  // namespace
+
+void set_shard_count_hint(int shards) noexcept {
+  g_shard_hint.store(std::clamp(shards, 0, 64), std::memory_order_relaxed);
+}
+int shard_count_hint() noexcept {
+  return g_shard_hint.load(std::memory_order_relaxed);
+}
+
+/// One shard: a contiguous batch range, its pinned pool + workspace arena,
+/// and lifetime counters (relaxed atomics, read by shard_stats()).
+struct ShardedSearch::Shard {
+  size_t first_batch = 0;
+  size_t end_batch = 0;
+  uint64_t sequences = 0;
+  uint64_t padded_residues = 0;
+  int node = -1;
+  bool bound = false;
+  std::unique_ptr<parallel::ThreadPool> pool;
+  std::unique_ptr<QueryStateCache> cache;
+
+  std::atomic<uint64_t> searches{0};
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> cells{0};
+  std::atomic<uint64_t> useful_cells{0};
+  std::atomic<uint64_t> rescored{0};
+  std::atomic<uint64_t> busy_ns{0};
+  std::atomic<uint64_t> llc_misses{0};
+  std::atomic<uint64_t> cycles{0};
+};
+
+ShardedSearch::ShardedSearch(const seq::SequenceDatabase& db,
+                             const core::Batch32Db& packed)
+    : db_(&db), packed_(&packed) {}
+
+ShardedSearch::~ShardedSearch() = default;
+
+std::vector<std::pair<size_t, size_t>> ShardedSearch::plan_shards(
+    const core::Batch32Db& packed, size_t shards) {
+  const size_t n = packed.batch_count();
+  std::vector<std::pair<size_t, size_t>> ranges;
+  if (shards == 0 || n == 0) return ranges;
+  shards = std::min(shards, n);
+  // Balance by padded cells per query residue: each batch costs
+  // max_len * lanes kernel cells whatever it holds, so cutting at equal
+  // fractions of that prefix equalizes DP work, not batch counts.
+  const auto records = packed.batch_records();
+  uint64_t total = 0;
+  for (const auto& r : records)
+    total += static_cast<uint64_t>(r.max_len) * packed.lanes();
+  size_t begin = 0;
+  uint64_t prefix = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    const uint64_t target = total * (s + 1) / shards;
+    size_t end = begin;
+    // Leave at least one batch per remaining shard; always take one.
+    const size_t max_end = n - (shards - 1 - s);
+    while (end < max_end && (end == begin || prefix < target)) {
+      prefix +=
+          static_cast<uint64_t>(records[end].max_len) * packed.lanes();
+      ++end;
+    }
+    ranges.emplace_back(begin, end);
+    begin = end;
+  }
+  ranges.back().second = n;  // absorb rounding into the last (ragged) shard
+  return ranges;
+}
+
+core::ErrorOr<std::unique_ptr<ShardedSearch>> ShardedSearch::create(
+    const seq::SequenceDatabase& db, const core::Batch32Db& packed,
+    const ShardOptions& opt) {
+  using Code = core::ConfigError::Code;
+  if (opt.shards < 0)
+    return core::ConfigError{Code::Unsupported,
+                             "ShardedSearch: shards must be >= 0"};
+  const size_t batches = packed.batch_count();
+  if (batches == 0)
+    return core::ConfigError{Code::NoDatabase,
+                             "ShardedSearch: packed database has no batches"};
+  if (opt.shards > 0 && static_cast<size_t>(opt.shards) > batches)
+    return core::ConfigError{
+        Code::Unsupported,
+        "ShardedSearch: shards (" + std::to_string(opt.shards) +
+            ") exceeds packed batch count (" + std::to_string(batches) +
+            "); a shard would own no batches"};
+
+  std::unique_ptr<ShardedSearch> s(new ShardedSearch(db, packed));
+  s->topo_ = parallel::Topology::detect();
+  s->numa_ = parallel::numa_disabled_by_env() ? parallel::NumaPolicy::Off
+                                              : opt.numa;
+  size_t shards = static_cast<size_t>(opt.shards);
+  if (shards == 0) {
+    const int hint = shard_count_hint();
+    shards = hint > 0 ? static_cast<size_t>(hint) : s->topo_.node_count();
+    shards = std::min(shards, batches);  // auto degrades, never errors
+  }
+  const auto ranges = plan_shards(packed, shards);
+
+  unsigned total_threads = opt.total_threads != 0
+                               ? opt.total_threads
+                               : std::max(1u, s->topo_.total_cpus());
+  const unsigned per_shard =
+      std::max(1u, total_threads / static_cast<unsigned>(ranges.size()));
+
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->first_batch = ranges[i].first;
+    shard->end_batch = ranges[i].second;
+    for (size_t b = shard->first_batch; b < shard->end_batch; ++b) {
+      const auto batch = packed.batch(b);
+      shard->sequences += batch.count;
+      shard->padded_residues +=
+          static_cast<uint64_t>(batch.max_len) * packed.lanes();
+    }
+    std::vector<int> cpus;  // empty = unpinned
+    if (s->numa_ != parallel::NumaPolicy::Off && !s->topo_.synthetic) {
+      const auto& node =
+          s->topo_.nodes[i % s->topo_.node_count()];
+      shard->node = node.id;
+      cpus = node.cpus;
+    }
+    shard->pool =
+        std::make_unique<parallel::ThreadPool>(per_shard, std::move(cpus));
+    // Per-shard workspace arena: leases never migrate across shards, so
+    // first-touch puts each arena's pages on the shard's own node.
+    shard->cache = std::make_unique<QueryStateCache>(
+        /*capacity=*/8, /*max_pool=*/per_shard * 2);
+
+    const auto range =
+        packed.column_range(shard->first_batch, shard->end_batch);
+    if (s->numa_ == parallel::NumaPolicy::Bind && shard->node >= 0)
+      shard->bound = parallel::bind_memory_to_node(range.data(), range.size(),
+                                                   shard->node);
+    if (opt.mapped != nullptr)
+      opt.mapped->advise_batch_columns(shard->first_batch, shard->end_batch,
+                                       core::MappedDbOptions::Madvise::WillNeed);
+    s->shards_.push_back(std::move(shard));
+  }
+  if (s->numa_ == parallel::NumaPolicy::Interleave && s->topo_.multi_node()) {
+    const auto all = packed.column_bytes();
+    parallel::interleave_memory(
+        all.data(), all.size(),
+        static_cast<unsigned>(s->topo_.node_count()));
+  }
+  return core::ErrorOr<std::unique_ptr<ShardedSearch>>(std::move(s));
+}
+
+size_t ShardedSearch::shard_count() const noexcept { return shards_.size(); }
+
+std::pair<size_t, size_t> ShardedSearch::shard_range(size_t s) const noexcept {
+  if (s >= shards_.size()) return {0, 0};
+  return {shards_[s]->first_batch, shards_[s]->end_batch};
+}
+
+ShardStats ShardedSearch::shard_stats(size_t s) const noexcept {
+  ShardStats out;
+  if (s >= shards_.size()) return out;
+  const Shard& sh = *shards_[s];
+  out.first_batch = sh.first_batch;
+  out.end_batch = sh.end_batch;
+  out.sequences = sh.sequences;
+  out.padded_residues = sh.padded_residues;
+  out.node = sh.node;
+  out.threads = sh.pool->size();
+  out.bound = sh.bound;
+  out.searches = sh.searches.load(std::memory_order_relaxed);
+  out.batches = sh.batches.load(std::memory_order_relaxed);
+  out.cells = sh.cells.load(std::memory_order_relaxed);
+  out.useful_cells = sh.useful_cells.load(std::memory_order_relaxed);
+  out.rescored = sh.rescored.load(std::memory_order_relaxed);
+  out.busy_seconds =
+      static_cast<double>(sh.busy_ns.load(std::memory_order_relaxed)) * 1e-9;
+  out.llc_misses = sh.llc_misses.load(std::memory_order_relaxed);
+  out.cycles = sh.cycles.load(std::memory_order_relaxed);
+  out.queue_depth = sh.pool->pending();
+  return out;
+}
+
+SearchResult ShardedSearch::search(const core::AlignConfig& cfg,
+                                   seq::SeqView query, size_t top_k,
+                                   const ExecContext& ctx) const {
+  perf::Stopwatch sw;
+  SearchResult out;
+  out.query_length = query.length;
+  out.db_residues = db_->total_residues();
+  if (db_->empty() || query.empty()) return out;
+
+  std::shared_ptr<const core::PreparedQuery> prep;
+  if (ctx.query_cache != nullptr) prep = ctx.query_cache->prepared(query, cfg);
+
+  const seq::SequenceDatabase& db = *db_;
+  const core::Batch32Db& bdb = *packed_;
+  const simd::Isa isa = simd::resolve_isa(cfg.isa);
+  const int k_ilp = core::resolved_ilp(isa);
+  const size_t nshards = shards_.size();
+
+  // Phase 1: every shard scans its batch range concurrently, each worker
+  // folding lane scores into a bounded per-worker heap; heaps are merged
+  // per shard, then globally — selection under Hit's strict total order is
+  // partition-shape independent, so this equals the unsharded answer.
+  struct ShardRun {
+    std::vector<std::vector<Hit>> worker_hits;  // [worker] sorted top-k
+    core::BatchSearchStats stats;
+    std::mutex mu;
+  };
+  std::vector<ShardRun> runs(nshards);
+  std::atomic<bool> truncated{false};
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t shards_left = nshards;
+
+  for (size_t si = 0; si < nshards; ++si) {
+    Shard& shard = *shards_[si];
+    ShardRun& run = runs[si];
+    run.worker_hits.resize(shard.pool->size());
+    const size_t nbatches = shard.end_batch - shard.first_batch;
+    shard.searches.fetch_add(1, std::memory_order_relaxed);
+
+    auto scan = [this, &db, &bdb, &cfg, &ctx, &run, &shard, &truncated, prep,
+                 query, top_k, isa, k_ilp, si](size_t rel_begin,
+                                               size_t rel_end, unsigned w) {
+      const obs::PmuReading pmu0 = obs::PmuSession::instance().read();
+      obs::Span span(ctx.trace, "chunk.shard_search");
+      span.set_kernel(perf::batch_kernel_variant(k_ilp));
+      span.set_ilp(static_cast<uint8_t>(k_ilp));
+      span.set_index(si);
+      span.set_isa(isa);
+      span.set_width_bits(8);
+      span.set_lanes(static_cast<uint32_t>(bdb.lanes()));
+      auto lease = shard.cache->lease_workspace();
+      core::Workspace& ws = lease.ws();
+      core::BatchSearchStats local{};
+      TopK top(top_k);
+      core::AlignConfig wide = cfg;
+      wide.width = core::Width::W16;
+      const size_t b_begin = shard.first_batch + rel_begin;
+      const size_t b_end = shard.first_batch + rel_end;
+      uint64_t scanned = 0;
+      for (size_t b = b_begin; b < b_end;) {
+        if (ctx.should_stop()) {  // per-group cancellation/deadline check
+          truncated.store(true, std::memory_order_relaxed);
+          span.set_trunc(trunc_cause(ctx));
+          break;
+        }
+        const int group = static_cast<int>(
+            std::min<size_t>(static_cast<size_t>(k_ilp), b_end - b));
+        core::Batch32Db::Batch batch[core::kMaxBatchInterleave];
+        core::BatchCols cols[core::kMaxBatchInterleave];
+        core::Batch8Result r8[core::kMaxBatchInterleave];
+        for (int g = 0; g < group; ++g) {
+          batch[g] = bdb.batch(b + static_cast<size_t>(g));
+          cols[g] = core::BatchCols{batch[g].columns, batch[g].max_len};
+        }
+        core::batch32_align_u8_group(query, cols, group, bdb.lanes(), cfg, ws,
+                                     isa, k_ilp, r8);
+        for (int g = 0; g < group; ++g) {
+          local.cells8 += static_cast<uint64_t>(batch[g].max_len) *
+                          query.length * static_cast<uint64_t>(bdb.lanes());
+          local.useful_cells8 += batch[g].real_residues * query.length;
+          for (uint32_t k = 0; k < batch[g].count; ++k) {
+            const uint32_t seq_idx = batch[g].seq_index[k];
+            int score;
+            if (r8[g].saturated_mask & (uint64_t{1} << k)) {
+              core::Alignment a =
+                  core::diag_align(query, db[seq_idx], wide, ws, prep.get());
+              if (a.saturated) {
+                core::AlignConfig w32 = wide;
+                w32.width = core::Width::W32;
+                a = core::diag_align(query, db[seq_idx], w32, ws, prep.get());
+              }
+              score = a.score;
+              ++local.rescored;
+              local.rescored_cells += a.stats.cells;
+            } else {
+              score = r8[g].max_score[k];
+            }
+            top.offer(Hit{seq_idx, score, -1, -1});
+          }
+        }
+        scanned += static_cast<uint64_t>(group);
+        b += static_cast<size_t>(group);
+      }
+      span.add_cells(local.cells8 + local.rescored_cells);
+      span.set_useful_cells(local.useful_cells8 + local.rescored_cells);
+      span.end();
+      const obs::PmuReading pmu1 = obs::PmuSession::instance().read();
+      const obs::PmuDelta d = obs::PmuSession::delta(pmu0, pmu1);
+      shard.busy_ns.fetch_add(d.wall_ns, std::memory_order_relaxed);
+      if (d.hw) {
+        shard.llc_misses.fetch_add(d.llc_misses, std::memory_order_relaxed);
+        shard.cycles.fetch_add(d.cycles, std::memory_order_relaxed);
+      }
+      shard.batches.fetch_add(scanned, std::memory_order_relaxed);
+      shard.cells.fetch_add(local.cells8 + local.rescored_cells,
+                            std::memory_order_relaxed);
+      shard.useful_cells.fetch_add(local.useful_cells8,
+                                   std::memory_order_relaxed);
+      shard.rescored.fetch_add(local.rescored, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lk(run.mu);
+        run.worker_hits[w] = std::move(top).sorted();
+        run.stats += local;
+      }
+    };
+    shard.pool->parallel_for_async(nbatches, std::move(scan),
+                                   [&done_mu, &done_cv, &shards_left] {
+                                     std::lock_guard<std::mutex> lk(done_mu);
+                                     if (--shards_left == 0)
+                                       done_cv.notify_all();
+                                   });
+  }
+  {
+    std::unique_lock<std::mutex> lk(done_mu);
+    done_cv.wait(lk, [&shards_left] { return shards_left == 0; });
+  }
+
+  core::BatchSearchStats agg{};
+  TopK merged(top_k);
+  for (size_t si = 0; si < nshards; ++si) {
+    agg += runs[si].stats;
+    for (const auto& worker : runs[si].worker_hits)
+      for (const Hit& h : worker) merged.offer(h);
+  }
+  out.truncated = truncated.load(std::memory_order_relaxed);
+  out.batch_stats = agg;
+  if (out.truncated) {  // partial answer; skip the exact re-alignment pass
+    out.seconds = sw.seconds();
+    return out;
+  }
+
+  // Phase 2: exact re-alignment of just the winners for end positions —
+  // same pass as engine::search_batch, over the identical winner set.
+  out.hits = std::move(merged).sorted();
+  auto lease = QueryStateCache::lease(ctx.query_cache);
+  core::Workspace& ws = lease.ws();
+  for (Hit& h : out.hits) {
+    core::Alignment a =
+        core::diag_align(query, db[h.seq_index], cfg, ws, prep.get());
+    h.end_query = a.end_query;
+    h.end_ref = a.end_ref;
+    out.stats += a.stats;
+  }
+  out.stats.cells += agg.cells8 + agg.rescored_cells;
+  out.stats.vector_cells += agg.cells8;
+  out.seconds = sw.seconds();
+  return out;
+}
+
+}  // namespace swve::align

@@ -149,6 +149,16 @@ Batch32Db::Batch Batch32Db::batch(size_t b) const noexcept {
 std::span<const uint8_t> Batch32Db::column_bytes() const noexcept {
   return {columns_p_, column_bytes_};
 }
+std::span<const uint8_t> Batch32Db::column_range(
+    size_t first_batch, size_t end_batch) const noexcept {
+  if (first_batch >= end_batch || end_batch > batch_count_) return {};
+  const size_t begin = batches_p_[first_batch].column_offset;
+  const size_t end = end_batch < batch_count_
+                         ? static_cast<size_t>(batches_p_[end_batch].column_offset)
+                         : column_bytes_;
+  if (begin >= end || end > column_bytes_) return {};
+  return {columns_p_ + begin, end - begin};
+}
 std::span<const uint32_t> Batch32Db::seq_index_data() const noexcept {
   return {seq_index_p_, index_entries_};
 }

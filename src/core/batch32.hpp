@@ -112,6 +112,13 @@ class Batch32Db {
   /// Raw packed storage, exposed for the artifact writer. Valid in both
   /// owned and view modes.
   std::span<const uint8_t> column_bytes() const noexcept;
+  /// Column bytes owned by batches [first_batch, end_batch) — the packing
+  /// keeps column storage in batch order, so a contiguous batch range maps
+  /// to one contiguous byte range. This is the unit of shard placement
+  /// (mbind / madvise of exactly one shard's stream); empty span on an
+  /// empty or out-of-range request.
+  std::span<const uint8_t> column_range(size_t first_batch,
+                                        size_t end_batch) const noexcept;
   std::span<const uint32_t> seq_index_data() const noexcept;
   std::span<const uint32_t> seq_len_data() const noexcept;
   std::span<const BatchRecord> batch_records() const noexcept;

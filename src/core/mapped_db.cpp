@@ -445,6 +445,23 @@ MappedDb::~MappedDb() {
     ::munmap(const_cast<uint8_t*>(base_), size_);
 }
 
+void MappedDb::advise_batch_columns(size_t first_batch, size_t end_batch,
+                                    MappedDbOptions::Madvise mode) const noexcept {
+  if (bdb_ == nullptr) return;
+  const auto range = bdb_->column_range(first_batch, end_batch);
+  if (range.empty()) return;
+  // Columns are 64-byte (not page) aligned inside the artifact; madvise
+  // wants whole pages, so round outward — over-advising a boundary page
+  // shared with a neighbour shard is harmless.
+  const long page_l = sysconf(_SC_PAGESIZE);
+  const uintptr_t page = page_l > 0 ? static_cast<uintptr_t>(page_l) : 4096;
+  uintptr_t begin = reinterpret_cast<uintptr_t>(range.data());
+  uintptr_t end = begin + range.size();
+  begin &= ~(page - 1);
+  end = (end + page - 1) & ~(page - 1);
+  apply_madvise(reinterpret_cast<const uint8_t*>(begin), end - begin, mode);
+}
+
 size_t MappedDb::resident_bytes() const noexcept {
   if (base_ == nullptr || size_ == 0) return 0;
   const long page = ::sysconf(_SC_PAGESIZE);

@@ -80,6 +80,12 @@ class MappedDb {
   /// Bytes of the mapping currently resident in RAM (mincore walk);
   /// 0 if the query fails. A residency gauge, not a hard guarantee.
   size_t resident_bytes() const noexcept;
+  /// Shard slicing helper: madvise only the column bytes of batches
+  /// [first_batch, end_batch) — a sharded server prefaults each shard's own
+  /// stream from that shard's threads instead of faulting every page
+  /// through whichever node mapped the file. Advisory; no-op on bad ranges.
+  void advise_batch_columns(size_t first_batch, size_t end_batch,
+                            MappedDbOptions::Madvise mode) const noexcept;
   const std::string& path() const noexcept { return path_; }
   /// Non-empty only when source() == Shm.
   const std::string& shm_name() const noexcept { return shm_name_; }

@@ -906,6 +906,28 @@ std::string Server::render_statusz() const {
       {"resident_bytes", snap.db_resident_bytes},
       {"load_ms", snap.db_load_seconds * 1e3},
       {"epoch", u64_string(db_epoch_)}};
+  if (snap.shard_count > 0) {
+    JsonArray shards;
+    for (uint32_t i = 0; i < snap.shard_count &&
+                         i < static_cast<uint32_t>(
+                                 perf::MetricsSnapshot::kMaxShards);
+         ++i) {
+      const perf::MetricsSnapshot::ShardSample& sh = snap.shards[i];
+      shards.push_back(JsonObject{
+          {"shard", static_cast<uint64_t>(i)},
+          {"node", static_cast<double>(sh.node)},
+          {"threads", static_cast<uint64_t>(sh.threads)},
+          {"bound", sh.bound != 0},
+          {"sequences", sh.sequences},
+          {"searches", sh.searches},
+          {"cells", sh.cells},
+          {"busy_s", sh.busy_seconds},
+          {"gcups", sh.gcups()},
+          {"queue_depth", sh.queue_depth},
+          {"llc_misses", sh.llc_misses}});
+    }
+    out["shards"] = std::move(shards);
+  }
   out["port"] = static_cast<double>(port_);
   out["draining"] = draining_;
   out["options"] = JsonObject{

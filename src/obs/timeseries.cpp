@@ -14,6 +14,7 @@ using perf::MetricsSnapshot;
 constexpr const char* kSeriesNames[] = {
     "qps",   "tiers", "latency", "cache",   "gcups",
     "queue", "log",   "pmu",     "lengths", "freq",
+    "shards",
 };
 
 // printf-append with a stack buffer; every call site stays under 512 bytes.
@@ -137,6 +138,26 @@ void TimeSeriesStore::push(const perf::MetricsSnapshot& snap, double t_s,
   }
   p.avx512_frequency_ratio = snap.avx512_frequency_ratio();
 
+  for (uint32_t i = 0; i < snap.shard_count &&
+                       i < MetricsSnapshot::kMaxShards;
+       ++i) {
+    const auto& now = snap.shards[i];
+    // A shard missing from the previous snapshot (count grew) deltas
+    // against zeroes, which counter_delta already handles.
+    const auto& was = prev_.shards[i];
+    TimeSeriesPoint::ShardPoint sp;
+    sp.shard = static_cast<uint8_t>(i);
+    sp.node = now.node;
+    const uint64_t cells_delta = perf::counter_delta(now.cells, was.cells);
+    const double busy_d = std::max(0.0, now.busy_seconds - was.busy_seconds);
+    sp.gcups =
+        busy_d > 0 ? static_cast<double>(cells_delta) / busy_d / 1e9 : 0.0;
+    sp.searches = perf::counter_delta(now.searches, was.searches);
+    sp.llc_misses = perf::counter_delta(now.llc_misses, was.llc_misses);
+    sp.queue_depth = now.queue_depth;
+    p.shards.push_back(sp);
+  }
+
   uint64_t dominant_n = 0;
   for (int b = 0; b < MetricsSnapshot::kLengthBins; ++b) {
     p.length_bins[b] = perf::counter_delta(snap.query_length_bins[b],
@@ -238,6 +259,19 @@ std::string TimeSeriesStore::json(std::string_view series,
     }
     if (selected(series, "freq"))
       appendf(out, ",\"avx512_freq_ratio\":%.4g", p.avx512_frequency_ratio);
+    if (selected(series, "shards") && !p.shards.empty()) {
+      out += ",\"shards\":[";
+      for (size_t c = 0; c < p.shards.size(); ++c) {
+        const TimeSeriesPoint::ShardPoint& sh = p.shards[c];
+        appendf(out,
+                "%s{\"shard\":%u,\"node\":%d,\"gcups\":%.4g,"
+                "\"searches\":%" PRIu64 ",\"queue_depth\":%" PRIu64
+                ",\"llc_misses\":%" PRIu64 "}",
+                c ? "," : "", sh.shard, sh.node, sh.gcups, sh.searches,
+                sh.queue_depth, sh.llc_misses);
+      }
+      out += "]";
+    }
     if (selected(series, "lengths")) {
       out += ",\"length_bins\":[";
       for (int b = 0; b < MetricsSnapshot::kLengthBins; ++b)

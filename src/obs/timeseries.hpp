@@ -78,6 +78,19 @@ struct TimeSeriesPoint {
   std::vector<PmuCellPoint> pmu;  ///< only cells with cycle deltas
   double avx512_frequency_ratio = 0;  ///< lifetime gauge at sample time
 
+  // Sharded search: per-shard window throughput and pressure (empty when
+  // batch search runs unsharded). Live shard imbalance is visible as one
+  // shard's gcups or queue_depth diverging from its peers'.
+  struct ShardPoint {
+    uint8_t shard = 0;
+    int32_t node = -1;         ///< pinned NUMA node; -1 unpinned
+    double gcups = 0;          ///< window cells delta / busy-seconds delta
+    uint64_t searches = 0;     ///< searches retired this window
+    uint64_t queue_depth = 0;  ///< gauge at sample time
+    uint64_t llc_misses = 0;   ///< LLC-miss delta this window (0 = no PMU)
+  };
+  std::vector<ShardPoint> shards;
+
   // Workload characterization: queries per length regime this window (the
   // packing policies' geometric bins), plus the busiest bin (-1 = idle).
   std::array<uint64_t, perf::MetricsSnapshot::kLengthBins> length_bins{};
@@ -109,7 +122,7 @@ class TimeSeriesStore {
   /// Bounded JSON history for /varz:
   /// {"cadence_s":...,"capacity":...,"points":[{...},...]}. `series` is a
   /// comma-separated subset of {"qps","tiers","latency","cache","gcups",
-  /// "queue","log","pmu","freq","lengths"} gating the optional per-point
+  /// "queue","log","pmu","freq","lengths","shards"} gating the optional per-point
   /// sections (empty = all); `window_s` bounds history like points().
   std::string json(std::string_view series = {}, double window_s = 0) const;
 

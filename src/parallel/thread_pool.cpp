@@ -5,13 +5,21 @@
 #include <chrono>
 #include <memory>
 
+#include "parallel/topology.hpp"
+
 namespace swve::parallel {
 
-ThreadPool::ThreadPool(unsigned threads) {
+ThreadPool::ThreadPool(unsigned threads) : ThreadPool(threads, {}) {}
+
+ThreadPool::ThreadPool(unsigned threads, std::vector<int> affinity_cpus)
+    : affinity_cpus_(std::move(affinity_cpus)) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   workers_.reserve(threads);
   for (unsigned w = 0; w < threads; ++w)
-    workers_.emplace_back([this, w] { worker_loop(w); });
+    workers_.emplace_back([this, w] {
+      if (!affinity_cpus_.empty()) pin_current_thread(affinity_cpus_);
+      worker_loop(w);
+    });
 }
 
 ThreadPool::~ThreadPool() {
@@ -65,6 +73,45 @@ void ThreadPool::parallel_for(size_t n,
   cv_.notify_all();
   std::unique_lock<std::mutex> lk(mu_);
   done_cv_.wait(lk, [this] { return outstanding_ == 0; });
+}
+
+void ThreadPool::parallel_for_async(
+    size_t n, std::function<void(size_t, size_t, unsigned)> fn,
+    std::function<void()> on_done) {
+  if (n == 0) {
+    if (on_done) on_done();
+    return;
+  }
+  const unsigned workers = size();
+  // Shared completion state: the worker that retires the last block fires
+  // on_done (after its own fn), so the callback never runs concurrently
+  // with any block of this fan-out.
+  struct Shared {
+    std::function<void(size_t, size_t, unsigned)> fn;
+    std::function<void()> on_done;
+    std::atomic<unsigned> remaining;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->fn = std::move(fn);
+  shared->on_done = std::move(on_done);
+  shared->remaining.store(workers, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (unsigned w = 0; w < workers; ++w) {
+      jobs_.push(Job{[n, w, workers, shared](unsigned) {
+        auto [b, e] = block_range(n, w, workers);
+        // Pass the *block* index, not the executing worker id: under
+        // concurrent fan-outs one worker can run several blocks, and
+        // callers index per-block output slots by this id.
+        if (b < e) shared->fn(b, e, w);
+        if (shared->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+            shared->on_done)
+          shared->on_done();
+      }});
+    }
+    outstanding_ += workers;
+  }
+  cv_.notify_all();
 }
 
 void ThreadPool::parallel_chunks(size_t chunks,

@@ -27,6 +27,10 @@ class ThreadPool {
  public:
   /// `threads` == 0 picks std::thread::hardware_concurrency().
   explicit ThreadPool(unsigned threads = 0);
+  /// Pinned pool: every worker is bound to `affinity_cpus` (a NUMA node or
+  /// CCX slice, see parallel/topology.hpp). Pinning is best-effort — an
+  /// empty set or a failed sched_setaffinity leaves workers unpinned.
+  ThreadPool(unsigned threads, std::vector<int> affinity_cpus);
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -55,6 +59,23 @@ class ThreadPool {
   void parallel_chunks(size_t chunks,
                        const std::function<void(size_t, unsigned)>& fn);
 
+  /// Non-blocking parallel_for: enqueues the same static split and returns
+  /// immediately; `on_done` runs exactly once, on the worker that finishes
+  /// the last block. Lets one caller fan out over several pools at once
+  /// (per-shard pools in align::ShardedSearch) and wait on its own latch.
+  /// Unlike parallel_for, fn's third argument is the *block* index in
+  /// [0, size()) — stable per block even when one worker executes several
+  /// blocks of the same fan-out — so callers can index output slots by it.
+  void parallel_for_async(size_t n,
+                          std::function<void(size_t, size_t, unsigned)> fn,
+                          std::function<void()> on_done);
+
+  /// Jobs enqueued or running right now (queue-depth gauge; approximate).
+  size_t pending() const noexcept {
+    std::lock_guard<std::mutex> lk(mu_);
+    return outstanding_;
+  }
+
  private:
   struct Job {
     std::function<void(unsigned)> fn;  // receives worker id
@@ -62,7 +83,8 @@ class ThreadPool {
   void worker_loop(unsigned id);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  std::vector<int> affinity_cpus_;  // empty: unpinned
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable done_cv_;
   std::queue<Job> jobs_;

@@ -319,6 +319,33 @@ struct MetricsSnapshot {
   /// Requests the watchdog flagged as exceeding the latency SLO.
   uint64_t slow_requests = 0;
 
+  // Sharded-search attribution (filled by the owner from
+  // align::ShardedSearch::shard_stats; shard_count == 0 when batch search
+  // runs on the unsharded flat pool).
+  static constexpr int kMaxShards = 16;
+  struct ShardSample {
+    uint64_t searches = 0;
+    uint64_t batches = 0;       ///< batch-kernel batches scanned
+    uint64_t cells = 0;         ///< DP cells (8-bit + rescore)
+    uint64_t useful_cells = 0;
+    double busy_seconds = 0;    ///< summed worker wall time in the shard
+    uint64_t llc_misses = 0;    ///< PMU deltas over shard scans; 0 = no PMU
+    uint64_t cycles = 0;
+    uint64_t queue_depth = 0;   ///< gauge: jobs pending on the shard's pool
+    uint64_t sequences = 0;     ///< database sequences the shard owns
+    int32_t node = -1;          ///< pinned NUMA node; -1 unpinned
+    uint32_t threads = 0;
+    uint8_t bound = 0;          ///< mbind of the shard's columns succeeded
+
+    double gcups() const noexcept {
+      return busy_seconds > 0
+                 ? static_cast<double>(cells) / busy_seconds / 1e9
+                 : 0.0;
+    }
+  };
+  uint32_t shard_count = 0;  ///< live shards, clamped to kMaxShards
+  std::array<ShardSample, kMaxShards> shards{};
+
   // TraceSink accounting (filled by the owner from obs::TraceSink; zero
   // when no sink is attached).
   uint64_t trace_recorded = 0;          ///< events ever recorded

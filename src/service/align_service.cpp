@@ -135,7 +135,24 @@ AlignService::AlignService(const seq::SequenceDatabase& db,
   // db_epoch_ stays 0: fingerprinting the content here would be an O(n)
   // walk on every construction; callers that need it (net::Server) compute
   // it once themselves.
+  init_sharding();
   start_telemetry();
+}
+
+void AlignService::init_sharding() {
+  if (opt_.search.shards == 1 || packed_ == nullptr) return;
+  align::ShardOptions so;
+  so.shards = opt_.search.shards;
+  so.numa = opt_.search.numa;
+  so.total_threads = opt_.pool_threads;
+  so.mapped = mapped_;
+  auto sh = align::ShardedSearch::create(*db_, *packed_, so);
+  if (!sh.ok()) throw std::invalid_argument(sh.error().message);
+  sharded_ = std::move(sh).value();
+  // Auto on a single-node host resolves to one shard: keep the flat pool
+  // (identical results, one less indirection) and report unsharded.
+  if (opt_.search.shards == 0 && sharded_->shard_count() <= 1)
+    sharded_.reset();
 }
 
 AlignService::AlignService(const core::MappedDb& mapped, ServiceOptions options)
@@ -146,6 +163,7 @@ AlignService::AlignService(const core::MappedDb& mapped, ServiceOptions options)
   db_source_ = mapped.source();
   db_epoch_ = mapped.epoch();
   db_load_seconds_ = mapped.load_seconds();
+  init_sharding();
   start_telemetry();
 }
 
@@ -193,6 +211,27 @@ perf::MetricsSnapshot AlignService::metrics() const {
     s.workspace_reuses = qs.ws_reuses;
     s.workspace_creates = qs.ws_creates;
     s.query_cache_entries = qs.entries;
+  }
+  if (sharded_) {
+    const size_t n = std::min<size_t>(sharded_->shard_count(),
+                                      perf::MetricsSnapshot::kMaxShards);
+    s.shard_count = static_cast<uint32_t>(n);
+    for (size_t i = 0; i < n; ++i) {
+      const align::ShardStats st = sharded_->shard_stats(i);
+      auto& out = s.shards[i];
+      out.searches = st.searches;
+      out.batches = st.batches;
+      out.cells = st.cells;
+      out.useful_cells = st.useful_cells;
+      out.busy_seconds = st.busy_seconds;
+      out.llc_misses = st.llc_misses;
+      out.cycles = st.cycles;
+      out.queue_depth = st.queue_depth;
+      out.sequences = st.sequences;
+      out.node = st.node;
+      out.threads = st.threads;
+      out.bound = st.bound ? 1 : 0;
+    }
   }
   if (db_ != nullptr) {
     s.db_source = static_cast<uint64_t>(db_source_);
@@ -559,11 +598,17 @@ void AlignService::submit_async(SearchRequest request, SearchCompletion done) {
       std::lock_guard<std::mutex> pool_lk(pool_mu_);
       td = maybe_topdown(
           [&] {
-            res = rq->mode == align::SearchMode::Batch
-                      ? align::engine::search_batch(*db_, *packed_, cfg,
-                                                    rq->query, top_k, ctx)
-                      : align::engine::search_diagonal(*db_, cfg, rq->query,
-                                                       top_k, ctx);
+            // Batch searches route through the sharded engine when one was
+            // built (search.shards != 1) — per-NUMA-node pools, bounded
+            // per-shard heaps, bit-identical merged top-k.
+            if (rq->mode == align::SearchMode::Batch)
+              res = sharded_ != nullptr
+                        ? sharded_->search(cfg, rq->query, top_k, ctx)
+                        : align::engine::search_batch(*db_, *packed_, cfg,
+                                                      rq->query, top_k, ctx);
+            else
+              res = align::engine::search_diagonal(*db_, cfg, rq->query,
+                                                   top_k, ctx);
           },
           est_cells);
     }

@@ -35,6 +35,7 @@
 #include "align/batch_server.hpp"
 #include "align/db_search.hpp"
 #include "align/query_cache.hpp"
+#include "align/sharded_search.hpp"
 #include "core/batch32.hpp"
 #include "core/mapped_db.hpp"
 #include "obs/exporters.hpp"
@@ -84,6 +85,23 @@ struct CacheOptions {
   /// Disable the query-state cache entirely (every request builds its own
   /// state, the pre-cache behavior). For A/B measurement and debugging.
   bool query_cache_bypass = false;
+};
+
+/// Scenario-1 sharded execution (align::ShardedSearch): how the packed
+/// database is split across NUMA nodes and how shard memory is placed.
+struct SearchOptions {
+  /// Database shards for batch-mode search. 1 (default) = unsharded flat
+  /// pool; 0 = auto (one shard per NUMA node — unsharded on single-node
+  /// hosts); N >= 2 forces N shards. Requesting more shards than the packed
+  /// database has batches fails construction with a typed config error.
+  /// Results are bit-identical for every value.
+  int shards = 1;
+  /// Thread pinning + memory placement across shards (no effect when
+  /// shards resolve to 1; forced Off by SWVE_NUMA=off):
+  ///   Off        — shard, but let the scheduler and first-touch decide;
+  ///   Interleave — pin shard threads, page-interleave shared columns;
+  ///   Bind       — pin shard threads, mbind each shard's columns local.
+  parallel::NumaPolicy numa = parallel::NumaPolicy::Off;
 };
 
 /// Observability attachments (tracing, sampler, PMU, watchdog, top-down).
@@ -179,6 +197,7 @@ struct ServiceOptions {
   // pre-group spellings compiling unchanged.
   QueueOptions queue;
   CacheOptions cache;
+  SearchOptions search;
   ObsOptions obs;
   ServeOptions serve;
 
@@ -236,6 +255,14 @@ struct ServiceOptions {
     if (queue.capacity == 0)
       return core::ConfigError{Code::Unsupported,
                                "ServiceOptions: queue.capacity must be >= 1"};
+    if (search.shards < 0)
+      return core::ConfigError{Code::Unsupported,
+                               "ServiceOptions: search.shards must be >= 0 "
+                               "(0 = auto, 1 = unsharded)"};
+    if (search.shards > 4096)
+      return core::ConfigError{Code::Unsupported,
+                               "ServiceOptions: search.shards unreasonably "
+                               "large (max 4096)"};
     if (serve.max_frame_bytes < 64)
       return core::ConfigError{
           Code::Unsupported,
@@ -294,6 +321,7 @@ struct ServiceOptions {
     default_top_k = o.default_top_k;
     queue = o.queue;
     cache = o.cache;
+    search = o.search;
     obs = o.obs;
     serve = o.serve;
     before_execute_hook = o.before_execute_hook;
@@ -402,6 +430,12 @@ class AlignService {
   const align::QueryStateCache* query_cache() const noexcept {
     return query_cache_.get();
   }
+  /// The sharded search engine, or null when search.shards resolved to 1
+  /// (the unsharded flat-pool path). Per-shard stats for /statusz and the
+  /// exporters come from here.
+  const align::ShardedSearch* sharded() const noexcept {
+    return sharded_.get();
+  }
 
   /// The service's metrics registry — wiring point for the flight recorder
   /// and anything else that wants raw counters rather than snapshots.
@@ -425,6 +459,10 @@ class AlignService {
   struct InitTag {};
   AlignService(InitTag, ServiceOptions options);
   void start_telemetry();
+  /// Build the sharded engine when search.shards != 1 (db ctors, after
+  /// packed_ is set). Throws std::invalid_argument on a typed config error
+  /// (shards > batches), matching constructor-time validation behavior.
+  void init_sharding();
 
   struct Task {
     /// Runs the request (aborted=true: fail the completion without running).
@@ -487,6 +525,7 @@ class AlignService {
   uint64_t db_epoch_ = 0;
   double db_load_seconds_ = 0;
   std::unique_ptr<align::QueryStateCache> query_cache_;
+  std::unique_ptr<align::ShardedSearch> sharded_;  // search.shards != 1
 
   parallel::ThreadPool pool_;
   std::mutex pool_mu_;  ///< one fan-out request on the pool at a time

@@ -21,6 +21,7 @@
 #include "align/db_search.hpp"
 #include "align/format.hpp"
 #include "align/global.hpp"
+#include "align/sharded_search.hpp"
 #include "align/stats.hpp"
 #include "baseline/diag_basic.hpp"
 #include "baseline/scan.hpp"
@@ -45,6 +46,7 @@
 #include "obs/watchdog.hpp"
 #include "parallel/partition.hpp"
 #include "parallel/thread_pool.hpp"
+#include "parallel/topology.hpp"
 #include "perf/freq_monitor.hpp"
 #include "perf/gcups.hpp"
 #include "perf/metrics.hpp"

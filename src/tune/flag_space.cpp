@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "align/sharded_search.hpp"
 #include "core/batch32.hpp"
 #include "core/dispatch.hpp"
 #include "simd/cpu.hpp"
@@ -64,6 +65,12 @@ FlagSpace FlagSpace::gcc_with_runtime() {
                           {"", "prefetch=0", "prefetch=2", "prefetch=4",
                            "prefetch=8"},
                           /*runtime=*/true});
+  // Database shard count for sharded batch search ("" = auto: topology
+  // node count). Results are bit-identical across choices — the GA only
+  // sees the throughput difference.
+  space.flags_.push_back(
+      {"search-shards", {"", "shards=1", "shards=2", "shards=4"},
+       /*runtime=*/true});
   return space;
 }
 
@@ -141,6 +148,7 @@ void apply_runtime_settings(const std::vector<std::string>& settings) {
   for (simd::Isa isa : isas)
     core::set_ilp_override(isa, core::IlpPolicy::auto_policy());
   core::set_batch_prefetch_distance(core::kDefaultBatchPrefetchCols);
+  align::set_shard_count_hint(0);
   for (const std::string& s : settings) {
     if (s.rfind("ilp=", 0) == 0) {
       const int k = std::atoi(s.c_str() + 4);
@@ -149,6 +157,8 @@ void apply_runtime_settings(const std::vector<std::string>& settings) {
     } else if (s.rfind("prefetch=", 0) == 0) {
       core::set_batch_prefetch_distance(
           static_cast<uint32_t>(std::atoi(s.c_str() + 9)));
+    } else if (s.rfind("shards=", 0) == 0) {
+      align::set_shard_count_hint(std::atoi(s.c_str() + 7));
     } else {
       throw std::invalid_argument("apply_runtime_settings: unknown key " + s);
     }

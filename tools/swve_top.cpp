@@ -234,6 +234,41 @@ int main(int argc, char** argv) {
           frame += line;
         }
       }
+
+      // Per-shard throughput: one sparkline row per database shard, so
+      // NUMA imbalance (one shard's GCUPS or queue diverging from its
+      // peers') is visible at a glance.
+      const Json& shards = points.as_array().back()["shards"];
+      if (shards.is_array() && !shards.as_array().empty()) {
+        frame += "\n  shards (gcups | queue):\n";
+        const size_t nshards = shards.as_array().size();
+        for (size_t sh = 0; sh < nshards; ++sh) {
+          std::vector<double> sh_gcups, sh_queue;
+          for (const Json& p : points.as_array()) {
+            const Json& arr = p["shards"];
+            const bool have =
+                arr.is_array() && sh < arr.as_array().size();
+            sh_gcups.push_back(
+                have ? arr.as_array()[sh]["gcups"].as_number() : 0.0);
+            sh_queue.push_back(
+                have ? arr.as_array()[sh]["queue_depth"].as_number() : 0.0);
+          }
+          const Json& last = shards.as_array()[sh];
+          const double node = last["node"].as_number();
+          char tag[24];
+          if (node >= 0)
+            std::snprintf(tag, sizeof tag, "s%zu/n%.0f", sh, node);
+          else
+            std::snprintf(tag, sizeof tag, "s%zu", sh);
+          std::snprintf(line, sizeof line,
+                        "  %-9s %8.2f  %s  q%3.0f %s\n", tag,
+                        last_of(sh_gcups),
+                        sparkline(sh_gcups, kSparkWidth / 2).c_str(),
+                        last_of(sh_queue),
+                        sparkline(sh_queue, kSparkWidth / 2).c_str());
+          frame += line;
+        }
+      }
     }
 
     std::fputs(frame.c_str(), stdout);
